@@ -1,0 +1,71 @@
+// Command kvmarm-bench regenerates the paper's evaluation: Tables 1–4 and
+// Figures 3–7 (§5), printed as text tables.
+//
+// Usage:
+//
+//	kvmarm-bench                 # everything
+//	kvmarm-bench -exp table3     # one experiment: table1..table4, fig3..fig7
+//	kvmarm-bench -root .         # repo root for Table 4 line counting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kvmarm/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7")
+	root := flag.String("root", ".", "repository root (for table4 line counts)")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	out := os.Stdout
+
+	if run("table1") {
+		bench.PrintTable1(out)
+	}
+	if run("table2") {
+		bench.PrintTable2(out)
+	}
+	if run("table3") {
+		rows, err := bench.Table3()
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintMicro(out, rows)
+	}
+	figs := []struct {
+		name string
+		f    func() (*bench.Figure, error)
+	}{
+		{"fig3", bench.Figure3},
+		{"fig4", bench.Figure4},
+		{"fig5", bench.Figure5},
+		{"fig6", bench.Figure6},
+		{"fig7", bench.Figure7},
+	}
+	for _, fg := range figs {
+		if !run(fg.name) {
+			continue
+		}
+		fmt.Fprintf(out, "\nrunning %s ...\n", fg.name)
+		f, err := fg.f()
+		if err != nil {
+			fail(err)
+		}
+		f.Print(out)
+	}
+	if run("table4") {
+		if err := bench.PrintTable4(out, *root); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kvmarm-bench:", err)
+	os.Exit(1)
+}

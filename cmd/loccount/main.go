@@ -1,0 +1,22 @@
+// Command loccount prints per-package line counts for the repository (the
+// tooling behind the Table 4 reproduction).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kvmarm/internal/loc"
+)
+
+func main() {
+	root := flag.String("root", ".", "directory to count")
+	flag.Parse()
+	inv, err := loc.Inventory(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	loc.PrintInventory(os.Stdout, inv)
+}

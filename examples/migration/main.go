@@ -1,0 +1,113 @@
+// Migration: save a paused vCPU's complete register state through the
+// ONE_REG user-space interface (the save/restore API of §4, designed with
+// Rusty Russell for debugging and VM migration), restore it into a fresh
+// VM on a fresh board, and let the guest continue exactly where it
+// stopped.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kvmarm"
+	"kvmarm/internal/arm"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+)
+
+const progBase = 0x8540_0000
+
+// guestProgram counts in r5 and hypercalls every step; after 6 steps it
+// powers off. We migrate it mid-count.
+func guestProgram() []uint32 {
+	return isa.NewAsm(progBase).
+		MOVW(isa.R5, 0).
+		Label("loop").
+		ADDI(isa.R5, isa.R5, 1).
+		HVC(1). // observable progress marker
+		CMPI(isa.R5, 6).
+		BNE("loop").
+		HVC(kernel.PSCISystemOff).
+		MustAssemble()
+}
+
+func bootISAGuest(label string) (*kvmarm.VirtSystem, error) {
+	sys, err := kvmarm.NewARMVirt(1, kvmarm.VirtOptions{VGIC: true, VTimers: true})
+	if err != nil {
+		return nil, err
+	}
+	prog := guestProgram()
+	raw := make([]byte, 0, len(prog)*4)
+	for _, w := range prog {
+		raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	if err := sys.VM.WriteGuestMem(progBase, raw); err != nil {
+		return nil, err
+	}
+	v := sys.VM.VCPUs()[0]
+	v.SetGuestSoftware(nil, &isa.Interp{})
+	_ = label
+	return sys, nil
+}
+
+func main() {
+	// Source machine.
+	src, err := bootISAGuest("source")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := src.VM.VCPUs()[0]
+	if !src.Board.Run(20_000_000, func() bool { return v.State() == "wfi" }) {
+		log.Fatal("source vCPU did not pause")
+	}
+	v.Ctx.GP.PC = progBase
+	v.Ctx.GP.CPSR = uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF
+	v.Wake(0)
+
+	// Run until the guest has made 3 hypercalls, then stop stepping:
+	// the vCPU is paused with its state saved in the hypervisor.
+	if !src.Board.Run(50_000_000, func() bool { return src.VM.Stats.Hypercalls >= 3 }) {
+		log.Fatal("source guest made no progress")
+	}
+	v.Pause()
+	if !src.Board.Run(20_000_000, v.Paused) {
+		log.Fatal("source vCPU did not pause")
+	}
+	regs, err := v.SaveAllRegs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source paused: %d registers saved, r5=%d, pc=%#x\n",
+		len(regs), v.Ctx.Reg(5), v.Ctx.GP.PC)
+
+	// Copy guest memory (the migration stream).
+	mem, err := src.VM.ReadGuestMem(progBase, len(guestProgram())*4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Destination machine: fresh board, fresh VM.
+	dst, err := bootISAGuest("destination")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dst.VM.WriteGuestMem(progBase, mem); err != nil {
+		log.Fatal(err)
+	}
+	dv := dst.VM.VCPUs()[0]
+	if !dst.Board.Run(20_000_000, func() bool { return dv.State() == "wfi" }) {
+		log.Fatal("destination vCPU did not pause")
+	}
+	if err := dv.RestoreAllRegs(regs); err != nil {
+		log.Fatal(err)
+	}
+	dv.Wake(0)
+
+	if !dst.Board.Run(50_000_000, func() bool { return dst.Host.LiveCount() == 0 }) {
+		log.Fatal("destination guest did not finish")
+	}
+	fmt.Printf("destination finished: r5=%d (expect 6), hypercalls here=%d\n",
+		dv.Ctx.Reg(5), dst.VM.Stats.Hypercalls)
+}

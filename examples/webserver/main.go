@@ -1,0 +1,68 @@
+// Webserver: the scenario from the paper's introduction — run a web-server
+// workload natively and inside a VM, on ARM and on the x86 comparator, and
+// compare the virtualization overhead (the Apache column of Figures 5/6).
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kvmarm"
+	"kvmarm/internal/workloads"
+	"kvmarm/internal/x86"
+)
+
+func main() {
+	w := workloads.Apache()
+	const cpus = 2
+
+	type runRes struct {
+		name   string
+		cycles uint64
+	}
+	var results []runRes
+
+	// ARM native baseline.
+	if nat, err := kvmarm.NewARMNative(cpus); err != nil {
+		log.Fatal(err)
+	} else if res, err := workloads.Run(nat.System, w); err != nil {
+		log.Fatal(err)
+	} else {
+		results = append(results, runRes{"ARM native", res.Cycles})
+	}
+
+	// ARM under KVM/ARM.
+	if virt, err := kvmarm.NewARMVirt(cpus, kvmarm.VirtOptions{VGIC: true, VTimers: true}); err != nil {
+		log.Fatal(err)
+	} else if res, err := workloads.Run(virt.System, w); err != nil {
+		log.Fatal(err)
+	} else {
+		results = append(results, runRes{"ARM / KVM-ARM", res.Cycles})
+	}
+
+	// x86 laptop, native and virtualized.
+	if nat, err := kvmarm.NewX86Native(cpus, x86.Laptop()); err != nil {
+		log.Fatal(err)
+	} else if res, err := workloads.Run(nat.System, w); err != nil {
+		log.Fatal(err)
+	} else {
+		results = append(results, runRes{"x86 native", res.Cycles})
+	}
+	if virt, err := kvmarm.NewX86Virt(cpus, x86.Laptop()); err != nil {
+		log.Fatal(err)
+	} else if res, err := workloads.Run(virt.System, w); err != nil {
+		log.Fatal(err)
+	} else {
+		results = append(results, runRes{"x86 / KVM-x86", res.Cycles})
+	}
+
+	fmt.Printf("%-16s %12s\n", "system", "cycles")
+	for _, r := range results {
+		fmt.Printf("%-16s %12d\n", r.name, r.cycles)
+	}
+	fmt.Printf("\nARM overhead: %.2fx   x86 overhead: %.2fx\n",
+		float64(results[1].cycles)/float64(results[0].cycles),
+		float64(results[3].cycles)/float64(results[2].cycles))
+}

@@ -1,0 +1,3 @@
+module kvmarm
+
+go 1.22

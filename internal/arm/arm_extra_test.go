@@ -1,0 +1,198 @@
+package arm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kvmarm/internal/mmu"
+)
+
+func TestGPSnapshotRoundTrip(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	// Scatter values across banks.
+	c.setMode(ModeSVC)
+	for i := 0; i < 13; i++ {
+		c.Regs.SetR(i, uint32(100+i))
+	}
+	c.Regs.SetR(RegSP, 0xAAA0)
+	c.Regs.SetR(RegLR, 0xAAA4)
+	c.setMode(ModeFIQ)
+	c.Regs.SetR(8, 0xF18)
+	c.Regs.SetR(RegSP, 0xF1C)
+	c.Regs.SetSPSR(0x1D3)
+	c.setMode(ModeIRQ)
+	c.Regs.SetR(RegSP, 0x1230)
+	c.setMode(ModeSVC)
+	c.Regs.SetPC(0x8000_1234)
+	c.Regs.SetELRHyp(0x8000_5678)
+
+	snap := c.SaveGP()
+
+	// Trash everything, then restore.
+	c2 := testCPU(t)
+	c2.Secure = false
+	c2.setMode(ModeSVC)
+	c2.RestoreGP(snap)
+
+	if c2.Regs.R(0) != 100 || c2.Regs.R(12) != 112 {
+		t.Fatal("shared registers lost")
+	}
+	if c2.Regs.BankedSP(ModeSVC) != 0xAAA0 || c2.Regs.BankedLR(ModeSVC) != 0xAAA4 {
+		t.Fatal("svc bank lost")
+	}
+	if c2.Regs.BankedSP(ModeIRQ) != 0x1230 {
+		t.Fatal("irq bank lost")
+	}
+	c2.setMode(ModeFIQ)
+	if c2.Regs.R(8) != 0xF18 || c2.Regs.R(RegSP) != 0xF1C || c2.Regs.SPSR() != 0x1D3 {
+		t.Fatal("fiq bank lost")
+	}
+	if c2.Regs.PC() != 0x8000_1234 || c2.Regs.ELRHyp() != 0x8000_5678 {
+		t.Fatal("pc/elr lost")
+	}
+}
+
+func TestPropertySnapshotIdempotent(t *testing.T) {
+	// Save→restore→save yields identical snapshots for arbitrary
+	// register contents.
+	f := func(vals [16]uint32, sp, lr uint32) bool {
+		c := testCPU(nil)
+		c.Secure = false
+		c.setMode(ModeSVC)
+		for i := 0; i < 13; i++ {
+			c.Regs.SetR(i, vals[i])
+		}
+		c.Regs.SetR(RegSP, sp)
+		c.Regs.SetR(RegLR, lr)
+		s1 := c.SaveGP()
+		c2 := testCPU(nil)
+		c2.Secure = false
+		c2.setMode(ModeSVC)
+		c2.RestoreGP(s1)
+		s2 := c2.SaveGP()
+		s2.CPSR = s1.CPSR // RestoreGP deliberately leaves CPSR alone
+		return s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWFEAndSEV(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+	// SEV first: the next WFE consumes the event and does not sleep.
+	c.SendEvent()
+	c.DoWFE()
+	if c.WFIWait {
+		t.Fatal("WFE after SEV must not sleep")
+	}
+	// No event: WFE sleeps.
+	c.DoWFE()
+	if !c.WFIWait {
+		t.Fatal("WFE without event must sleep")
+	}
+}
+
+func TestWFETrapsFromGuest(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+	c.CP15.Regs[SysHCR] = HCRTWE
+	trapped := false
+	c.HypHandler = func(cpu *CPU, e *Exception) {
+		if HSREC(e.HSR) == ECWFx && HSRISS(e.HSR)&1 == 1 {
+			trapped = true
+		}
+	}
+	c.DoWFE()
+	if !trapped {
+		t.Fatal("guest WFE must trap with the WFE bit in the syndrome")
+	}
+}
+
+func TestReadVMUsesGuestRegime(t *testing.T) {
+	// While the CPU sits in Hyp mode after a guest trap, ReadVM must
+	// translate through the guest's Stage-1 + Stage-2 state (used by the
+	// MMIO instruction decoder).
+	c := testCPU(t)
+	c.Secure = false
+	ram := c.Bus.RAM
+
+	pool := &testPool{next: 0x8040_0000}
+	pool.ram = ram
+	s2, _ := mmu.NewBuilder(mmu.TableStage2, ram, pool)
+	_ = s2.MapRange(0, 0x8100_0000, 8<<20, mmu.MapFlags{W: true})
+	// Guest "instruction" at IPA 0x1000 (S1 off in this guest).
+	_ = ram.Write32(0x8100_1000, 0xFEEDF00D)
+
+	c.setMode(ModeSVC)
+	c.CP15.Regs[SysHCR] = HCRVM
+	c.CP15.Write64(SysVTTBRLo, s2.Root)
+
+	// Trap to Hyp (leaves guest CP15 intact), then decode.
+	c.TakeException(&Exception{Kind: ExcHypTrap, HSR: MakeHSR(ECDataAbort, 0)})
+	if c.Mode() != ModeHYP {
+		t.Fatal("not in hyp")
+	}
+	v, err := c.ReadVM(0x1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(v) != 0xFEEDF00D {
+		t.Fatalf("ReadVM = %#x", v)
+	}
+}
+
+func TestInterruptMaskingHonored(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+	c.CPSR |= PSRI
+	c.IRQLine = true
+	if c.InterruptPending() {
+		t.Fatal("masked IRQ must not be pending-deliverable")
+	}
+	if c.DeliverInterrupts() {
+		t.Fatal("masked IRQ must not deliver")
+	}
+	c.CPSR &^= PSRI
+	if !c.InterruptPending() {
+		t.Fatal("unmasked IRQ must be deliverable")
+	}
+}
+
+func TestFIQPriorityOverIRQ(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.SetCPSR(uint32(ModeSVC)) // both unmasked
+	c.IRQLine = true
+	c.FIQLine = true
+	var kinds []ExcKind
+	c.PL1Handler = func(cpu *CPU, e *Exception) {
+		kinds = append(kinds, e.Kind)
+		cpu.FIQLine = false
+		cpu.IRQLine = false
+		cpu.ERET()
+	}
+	c.DeliverInterrupts()
+	if len(kinds) != 1 || kinds[0] != ExcFIQ {
+		t.Fatalf("kinds = %v, want FIQ first", kinds)
+	}
+}
+
+func TestCtxControlRegsStableOrder(t *testing.T) {
+	a := CtxControlRegs()
+	b := CtxControlRegs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("world-switch register order must be stable")
+		}
+	}
+	// SCTLR first: the paper's switch loads it before dependent state.
+	if a[0] != SysSCTLR {
+		t.Fatalf("first ctx register = %v", a[0])
+	}
+}

@@ -1,0 +1,68 @@
+package arm
+
+// Costs is the cycle-cost model of the CPU. All hypervisor-visible costs in
+// the benchmarks emerge from these primitives: a hypercall costs what its
+// world-switch steps cost, a world switch costs what the registers it moves
+// cost, and so on. The constants are calibrated so the micro-architectural
+// *shape* of Table 3 holds (ARM traps are cheap because only two registers
+// are manipulated; explicit software save/restore of state is what makes
+// ARM world switches expensive; MMIO register accesses dominate VGIC
+// save/restore).
+type Costs struct {
+	// Instruction execution.
+	Insn    uint64 // base cost of one simple instruction
+	InsnMul uint64 // multiply
+
+	// Exception mechanics. TrapToHyp is deliberately tiny: entering Hyp
+	// mode manipulates two registers (ELR_hyp, SPSR_hyp) plus the PC,
+	// with no hardware state save (§2, "Comparison with x86"; Table 3
+	// row "Trap" measures 27 cycles round trip).
+	TrapToPL1 uint64 // exception entry to kernel mode
+	TrapToHyp uint64 // exception entry to Hyp mode
+	TrapToMon uint64 // SMC to monitor mode
+	ERET      uint64 // exception return
+
+	// Register movement, charged per register by software save/restore
+	// sequences (world switch, kernel context switch).
+	RegSave    uint64 // store one GP/control register to memory
+	RegRestore uint64
+	SysRegMove uint64 // MRC/MRS/MCR/MSR of one system register
+	VFPRegMove uint64 // one 64-bit VFP register
+
+	// Memory system.
+	TLBHit       uint64 // address translation on a TLB hit
+	WalkReadRAM  uint64 // one page-table descriptor fetch (uncached)
+	TLBFlushAll  uint64
+	TLBFlushASID uint64
+
+	// Cache maintenance (trap-and-emulate group of Table 1).
+	CacheOpSetWay uint64
+
+	// WFI wake-up latency.
+	WFIWake uint64
+}
+
+// DefaultCosts returns the Cortex-A15 calibration used by all experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		Insn:          1,
+		InsnMul:       3,
+		TrapToPL1:     16,
+		TrapToHyp:     14,
+		TrapToMon:     20,
+		ERET:          13,
+		RegSave:       8,
+		RegRestore:    8,
+		SysRegMove:    8,
+		VFPRegMove:    3,
+		TLBHit:        0,
+		WalkReadRAM:   25,
+		TLBFlushAll:   60,
+		TLBFlushASID:  45,
+		CacheOpSetWay: 30,
+		WFIWake:       50,
+	}
+}
+
+// Charge advances the CPU's cycle clock by n cycles.
+func (c *CPU) Charge(n uint64) { c.Clock += n }

@@ -1,0 +1,523 @@
+package arm
+
+import (
+	"testing"
+
+	"kvmarm/internal/bus"
+	"kvmarm/internal/mem"
+	"kvmarm/internal/mmu"
+)
+
+func testCPU(t *testing.T) *CPU {
+	if t != nil {
+		t.Helper()
+	}
+	ram := mem.New(0x8000_0000, 64<<20)
+	b := bus.New(ram)
+	return NewCPU(0, b)
+}
+
+func TestResetState(t *testing.T) {
+	c := testCPU(t)
+	if c.Mode() != ModeSVC {
+		t.Fatalf("reset mode = %v, want svc", c.Mode())
+	}
+	if !c.Secure {
+		t.Fatal("CPU must power up in the secure world")
+	}
+	if c.CPSR&PSRI == 0 || c.CPSR&PSRF == 0 {
+		t.Fatal("interrupts must be masked at reset")
+	}
+	if c.InGuest() {
+		t.Fatal("Stage-2 must be off at reset")
+	}
+}
+
+func TestModePrivilegeLevels(t *testing.T) {
+	cases := []struct {
+		m  Mode
+		pl PL
+	}{
+		{ModeUSR, PL0}, {ModeSVC, PL1}, {ModeIRQ, PL1}, {ModeFIQ, PL1},
+		{ModeABT, PL1}, {ModeUND, PL1}, {ModeSYS, PL1}, {ModeMON, PL1}, {ModeHYP, PL2},
+	}
+	for _, tc := range cases {
+		if got := tc.m.PL(); got != tc.pl {
+			t.Errorf("%v.PL() = %v, want %v", tc.m, got, tc.pl)
+		}
+	}
+}
+
+func TestBankedRegisters(t *testing.T) {
+	c := testCPU(t)
+	c.setMode(ModeSVC)
+	c.Regs.SetR(RegSP, 0x1000)
+	c.Regs.SetR(RegLR, 0x2000)
+	c.Regs.SetR(0, 42)
+
+	c.setMode(ModeIRQ)
+	if got := c.Regs.R(RegSP); got == 0x1000 {
+		t.Error("IRQ mode must not see SVC SP")
+	}
+	if got := c.Regs.R(0); got != 42 {
+		t.Errorf("r0 must be shared across modes, got %d", got)
+	}
+	c.Regs.SetR(RegSP, 0x3000)
+
+	c.setMode(ModeSVC)
+	if got := c.Regs.R(RegSP); got != 0x1000 {
+		t.Errorf("SVC SP = %#x after IRQ changed its own, want 0x1000", got)
+	}
+}
+
+func TestFIQBanksR8R12(t *testing.T) {
+	c := testCPU(t)
+	c.setMode(ModeSVC)
+	c.Regs.SetR(8, 100)
+	c.setMode(ModeFIQ)
+	if c.Regs.R(8) == 100 {
+		t.Error("FIQ must have its own r8")
+	}
+	c.Regs.SetR(8, 200)
+	c.setMode(ModeUSR)
+	if got := c.Regs.R(8); got != 100 {
+		t.Errorf("usr r8 = %d, want 100", got)
+	}
+}
+
+func TestGPCountMatchesTable1(t *testing.T) {
+	if got := GPCount(); got != 38 {
+		t.Fatalf("GPCount() = %d, want 38 (Table 1)", got)
+	}
+}
+
+func TestCtxControlRegCountMatchesTable1(t *testing.T) {
+	if got := NumCtxControlRegs; got != 26 {
+		t.Fatalf("NumCtxControlRegs = %d, want 26 (Table 1)", got)
+	}
+	if got := len(CtxControlRegs()); got != 26 {
+		t.Fatalf("len(CtxControlRegs()) = %d, want 26", got)
+	}
+}
+
+func TestSVCExceptionEntryAndERET(t *testing.T) {
+	c := testCPU(t)
+	c.CP15.Regs[SysVBAR] = 0x8000_0000
+	c.setMode(ModeUSR)
+	c.CPSR &^= PSRI
+	c.Regs.SetPC(0x4000)
+
+	var seen *Exception
+	c.PL1Handler = func(cpu *CPU, e *Exception) { seen = e }
+	c.TakeException(&Exception{Kind: ExcSVC, Imm: 7})
+
+	if seen == nil || seen.Imm != 7 {
+		t.Fatal("PL1 handler did not receive the SVC")
+	}
+	if c.Mode() != ModeSVC {
+		t.Fatalf("mode after SVC = %v, want svc", c.Mode())
+	}
+	if c.CPSR&PSRI == 0 {
+		t.Error("IRQs must be masked on exception entry")
+	}
+	if got := c.Regs.PC(); got != 0x8000_0000+VecSVC {
+		t.Errorf("PC = %#x, want vector %#x", got, 0x8000_0000+VecSVC)
+	}
+	if got := c.Regs.BankedLR(ModeSVC); got != 0x4000 {
+		t.Errorf("LR_svc = %#x, want 0x4000", got)
+	}
+	if seen.PrevMode != ModeUSR {
+		t.Errorf("PrevMode = %v, want usr", seen.PrevMode)
+	}
+
+	c.ERET()
+	if c.Mode() != ModeUSR {
+		t.Fatalf("mode after ERET = %v, want usr", c.Mode())
+	}
+	if got := c.Regs.PC(); got != 0x4000 {
+		t.Errorf("PC after ERET = %#x, want 0x4000", got)
+	}
+	if c.CPSR&PSRI != 0 {
+		t.Error("IRQ mask must be restored by ERET")
+	}
+}
+
+func TestHVCEntersHypAndERETReturns(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.CP15.Regs[SysHVBAR] = 0x8010_0000
+	c.setMode(ModeSVC)
+	c.Regs.SetPC(0x5000)
+
+	called := false
+	c.HypHandler = func(cpu *CPU, e *Exception) {
+		called = true
+		if cpu.Mode() != ModeHYP {
+			t.Errorf("handler mode = %v, want hyp", cpu.Mode())
+		}
+		if e.Kind != ExcHVC {
+			t.Errorf("kind = %v, want hvc", e.Kind)
+		}
+	}
+	c.TakeException(&Exception{Kind: ExcHVC, HSR: MakeHSR(ECHVC, 0)})
+	if !called {
+		t.Fatal("Hyp handler not invoked")
+	}
+	if got := c.Regs.ELRHyp(); got != 0x5000 {
+		t.Errorf("ELR_hyp = %#x, want 0x5000", got)
+	}
+	c.ERET()
+	if c.Mode() != ModeSVC || c.Regs.PC() != 0x5000 {
+		t.Fatalf("after ERET: mode=%v pc=%#x", c.Mode(), c.Regs.PC())
+	}
+}
+
+func TestTrapCostAsymmetry(t *testing.T) {
+	// Trapping to Hyp mode must be far cheaper than a PL1 exception plus
+	// state movement: the hardware manipulates only two registers (§2
+	// comparison with x86; Table 3 "Trap" = 27 cycles vs 600+ on x86).
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+
+	before := c.Clock
+	c.TakeException(&Exception{Kind: ExcHVC, HSR: MakeHSR(ECHVC, 0)})
+	hypEntry := c.Clock - before
+	before = c.Clock
+	c.ERET()
+	eret := c.Clock - before
+
+	if hypEntry+eret > 40 {
+		t.Errorf("hyp trap round trip = %d cycles, want <= 40", hypEntry+eret)
+	}
+}
+
+func TestIRQRoutingFollowsHCRIMO(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+	c.CPSR &^= PSRI
+
+	gotPL1, gotHyp := false, false
+	c.PL1Handler = func(cpu *CPU, e *Exception) { gotPL1 = true }
+	c.HypHandler = func(cpu *CPU, e *Exception) { gotHyp = true }
+
+	// Host configuration: interrupts go directly to kernel mode.
+	c.TakeException(&Exception{Kind: ExcIRQ})
+	if !gotPL1 || gotHyp {
+		t.Fatalf("host IRQ: pl1=%v hyp=%v, want pl1 only", gotPL1, gotHyp)
+	}
+
+	// Guest configuration: HCR.IMO routes IRQs to Hyp mode so the
+	// hypervisor retains control (§3.5).
+	gotPL1, gotHyp = false, false
+	c.ERET()
+	c.setMode(ModeSVC)
+	c.CPSR &^= PSRI
+	c.CP15.Regs[SysHCR] = HCRGuest
+	c.TakeException(&Exception{Kind: ExcIRQ})
+	if !gotHyp || gotPL1 {
+		t.Fatalf("guest IRQ: pl1=%v hyp=%v, want hyp only", gotPL1, gotHyp)
+	}
+}
+
+func TestWFITrapsOnlyFromGuest(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+
+	c.DoWFI()
+	if !c.WFIWait {
+		t.Fatal("host WFI must sleep, not trap")
+	}
+	c.WFIWait = false
+
+	trapped := false
+	c.HypHandler = func(cpu *CPU, e *Exception) {
+		trapped = true
+		if HSREC(e.HSR) != ECWFx {
+			t.Errorf("EC = %#x, want ECWFx", HSREC(e.HSR))
+		}
+	}
+	c.CP15.Regs[SysHCR] = HCRGuest
+	c.DoWFI()
+	if !trapped {
+		t.Fatal("guest WFI must trap to Hyp mode (HCR.TWI)")
+	}
+	if c.WFIWait {
+		t.Fatal("trapped WFI must not also sleep")
+	}
+}
+
+func TestSensitiveSysRegTraps(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+	c.CP15.Regs[SysHCR] = HCRGuest
+
+	var trapReg SysReg
+	traps := 0
+	c.HypHandler = func(cpu *CPU, e *Exception) {
+		traps++
+		reg, _, _ := DecodeCP15ISS(HSRISS(e.HSR))
+		trapReg = reg
+		// Emulate: return to the trapping context.
+		cpu.ERET()
+		cpu.setMode(ModeSVC)
+	}
+
+	if _, trapped := c.ReadSys(SysACTLR, 1); !trapped {
+		t.Fatal("ACTLR read from guest must trap (HCR.TAC)")
+	}
+	if trapReg != SysACTLR {
+		t.Errorf("syndrome reg = %v, want ACTLR", trapReg)
+	}
+	if trapped := c.WriteSys(SysDCISW, 2, 0); !trapped {
+		t.Fatal("set/way cache op from guest must trap (HCR.TSW)")
+	}
+	if _, trapped := c.ReadSys(SysL2CTLR, 3); !trapped {
+		t.Fatal("L2CTLR read from guest must trap")
+	}
+	if traps != 3 {
+		t.Fatalf("traps = %d, want 3", traps)
+	}
+
+	// The same accesses from the host (HCR clear) must not trap.
+	c.ERET()
+	c.setMode(ModeSVC)
+	c.CP15.Regs[SysHCR] = 0
+	if _, trapped := c.ReadSys(SysACTLR, 1); trapped {
+		t.Fatal("host ACTLR read must not trap")
+	}
+}
+
+func TestStage1PageTableAccessDoesNotTrap(t *testing.T) {
+	// "The VM can directly program the Stage-1 page table base register
+	// without trapping to the hypervisor, a fairly common operation in
+	// most guest OSes." (§3.2)
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+	c.CP15.Regs[SysHCR] = HCRGuest
+	c.HypHandler = func(cpu *CPU, e *Exception) {
+		t.Fatalf("unexpected hyp trap: %v", e.Kind)
+	}
+	if trapped := c.WriteSys(SysTTBR0Lo, 0, 0x8020_0000); trapped {
+		t.Fatal("TTBR0 write from guest must not trap")
+	}
+	if v, _ := c.ReadSys(SysTTBR0Lo, 0); v != 0x8020_0000 {
+		t.Fatalf("TTBR0 = %#x", v)
+	}
+}
+
+func TestHypRegsInaccessibleFromPL1(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+	undef := false
+	c.PL1Handler = func(cpu *CPU, e *Exception) {
+		if e.Kind == ExcUndef {
+			undef = true
+		}
+	}
+	if _, trapped := c.ReadSys(SysHCR, 0); !trapped {
+		t.Fatal("HCR read from PL1 must fail")
+	}
+	if !undef {
+		t.Fatal("HCR read from PL1 must be undefined, not a hyp trap")
+	}
+}
+
+func TestShadowIDRegisters(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeHYP)
+	if trapped := c.WriteSys(SysVMPIDR, 0, 0xDEAD); trapped {
+		t.Fatal("VMPIDR write from Hyp must succeed")
+	}
+	c.setMode(ModeSVC)
+	if v, _ := c.ReadSys(SysMPIDR, 0); v != 0xDEAD {
+		t.Fatalf("PL1 MPIDR read = %#x, want shadow value 0xdead", v)
+	}
+	c.setMode(ModeHYP)
+	if v, _ := c.ReadSys(SysMPIDR, 0); v == 0xDEAD {
+		t.Fatal("Hyp MPIDR read must see the real register")
+	}
+}
+
+func TestCannotCPSIntoHyp(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+	if err := c.EnterMode(ModeHYP); err == nil {
+		t.Fatal("CPS into Hyp mode from SVC must fail; Hyp is entered by trap only")
+	}
+}
+
+func TestVFPLazyTrap(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	c.setMode(ModeSVC)
+	c.VFP.Enabled = true
+	c.CP15.Regs[SysHCR] = HCRGuest
+	c.CP15.Regs[SysHCPTR] = HCPTRTCP10 | HCPTRTCP11
+
+	trapped := false
+	c.HypHandler = func(cpu *CPU, e *Exception) {
+		if HSREC(e.HSR) == ECVFP {
+			trapped = true
+			// Lowvisor switches VFP state and clears the trap.
+			cpu.CP15.Regs[SysHCPTR] = 0
+			cpu.ERET()
+		}
+	}
+	if !c.VFPAccess() {
+		t.Fatal("first FP op must trap for lazy switching")
+	}
+	if !trapped {
+		t.Fatal("hyp handler did not see the VFP trap")
+	}
+	if c.VFPAccess() {
+		t.Fatal("second FP op must not trap")
+	}
+}
+
+func TestMemoryAccessThroughStage2(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	ram := c.Bus.RAM
+
+	// Build a Stage-2 table mapping IPA 0 -> PA 0x8100_0000.
+	pool := &testPool{next: 0x8040_0000, ram: ram}
+	b, err := mmu.NewBuilder(mmu.TableStage2, ram, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MapPage(0, 0x8100_0000, mmu.MapFlags{W: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ram.Write32(0x8100_0010, 0xCAFEBABE); err != nil {
+		t.Fatal(err)
+	}
+
+	c.setMode(ModeSVC)
+	c.CP15.Regs[SysHCR] = HCRVM
+	c.CP15.Write64(SysVTTBRLo, b.Root)
+
+	v, err := c.TryRead(0x10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(v) != 0xCAFEBABE {
+		t.Fatalf("read %#x, want 0xcafebabe", v)
+	}
+}
+
+func TestStage2FaultTrapsToHypWithIPA(t *testing.T) {
+	c := testCPU(t)
+	c.Secure = false
+	ram := c.Bus.RAM
+	pool := &testPool{next: 0x8040_0000, ram: ram}
+	b, _ := mmu.NewBuilder(mmu.TableStage2, ram, pool)
+	_ = b.MapPage(0, 0x8100_0000, mmu.MapFlags{W: true})
+
+	c.setMode(ModeSVC)
+	c.CP15.Regs[SysHCR] = HCRVM
+	c.CP15.Write64(SysVTTBRLo, b.Root)
+
+	var got *Exception
+	c.HypHandler = func(cpu *CPU, e *Exception) { got = e }
+
+	var v uint64
+	taken := c.Access(0x0040_0004, 4, mmu.Load, &v, true, 3)
+	if !taken {
+		t.Fatal("unmapped IPA access must fault")
+	}
+	if got == nil || got.Kind != ExcHypTrap {
+		t.Fatalf("fault did not trap to Hyp: %+v", got)
+	}
+	if HSREC(got.HSR) != ECDataAbort {
+		t.Errorf("EC = %#x, want data abort", HSREC(got.HSR))
+	}
+	if got.FaultIPA != 0x0040_0004 {
+		t.Errorf("IPA = %#x, want 0x400004", got.FaultIPA)
+	}
+	isv, size, rt, write := DecodeDataAbortISS(HSRISS(got.HSR))
+	if !isv || size != 2 || rt != 3 || write {
+		t.Errorf("ISS = isv:%v size:%d rt:%d w:%v, want valid 4-byte read of r3", isv, size, rt, write)
+	}
+}
+
+func TestStage1FaultGoesToGuestKernelNotHyp(t *testing.T) {
+	// Page faults inside the VM are handled by the guest OS without
+	// hypervisor intervention (§2): only Stage-2 faults reach Hyp mode.
+	c := testCPU(t)
+	c.Secure = false
+	ram := c.Bus.RAM
+	pool := &testPool{next: 0x8040_0000, ram: ram}
+
+	s2, _ := mmu.NewBuilder(mmu.TableStage2, ram, pool)
+	// Identity-map 16 MiB of IPA space at PA 0x8100_0000.
+	_ = s2.MapRange(0, 0x8100_0000, 16<<20, mmu.MapFlags{W: true})
+
+	s1, _ := mmu.NewBuilder(mmu.TableKernel, ram, pool)
+	// Stage-1 tables live in guest "physical" (IPA) space. The pool
+	// above allocated from host PAs; build guest tables in IPA space
+	// instead.
+	gpool := &testPool{next: 0x0080_0000, ram: ram, off: 0x8100_0000 - 0}
+	s1, err := mmu.NewBuilder(mmu.TableKernel, offsetMem{ram, 0x8100_0000}, gpool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s1.MapPage(0x1000, 0x2000, mmu.MapFlags{W: true, U: true})
+
+	c.setMode(ModeSVC)
+	c.CP15.Regs[SysHCR] = HCRVM
+	c.CP15.Write64(SysVTTBRLo, s2.Root)
+	c.CP15.Regs[SysSCTLR] = SCTLRM
+	c.CP15.Write64(SysTTBR0Lo, s1.Root)
+
+	var pl1, hyp bool
+	c.PL1Handler = func(cpu *CPU, e *Exception) {
+		if e.Kind == ExcDataAbort {
+			pl1 = true
+			if e.FaultVA != 0x0900_0000 {
+				t.Errorf("DFAR = %#x", e.FaultVA)
+			}
+		}
+	}
+	c.HypHandler = func(cpu *CPU, e *Exception) { hyp = true }
+
+	var v uint64
+	if taken := c.Access(0x0900_0000, 4, mmu.Load, &v, true, 0); !taken {
+		t.Fatal("unmapped VA must fault")
+	}
+	if !pl1 || hyp {
+		t.Fatalf("stage-1 fault routing: pl1=%v hyp=%v, want guest kernel only", pl1, hyp)
+	}
+}
+
+// testPool allocates physical pages linearly from RAM for tests.
+type testPool struct {
+	next uint64
+	ram  interface {
+		Write64(uint64, uint64) error
+	}
+	off uint64
+}
+
+func (p *testPool) AllocPages(n int) (uint64, error) {
+	pa := p.next
+	p.next += uint64(n) * mmu.PageSize
+	return pa, nil
+}
+
+// offsetMem presents RAM shifted by a fixed offset, standing in for a
+// guest's IPA view during table construction.
+type offsetMem struct {
+	ram *mem.Physical
+	off uint64
+}
+
+func (o offsetMem) Read64(pa uint64) (uint64, error)  { return o.ram.Read64(pa + o.off) }
+func (o offsetMem) Write64(pa uint64, v uint64) error { return o.ram.Write64(pa+o.off, v) }

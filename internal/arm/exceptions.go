@@ -1,0 +1,348 @@
+package arm
+
+import "fmt"
+
+// ExcKind identifies an exception or trap cause.
+type ExcKind int
+
+// Exception kinds.
+const (
+	ExcReset ExcKind = iota
+	ExcUndef
+	ExcSVC
+	ExcPrefetchAbort
+	ExcDataAbort
+	ExcIRQ
+	ExcFIQ
+	ExcHVC     // explicit hypercall
+	ExcHypTrap // any condition configured to trap to Hyp mode
+	ExcSMC     // secure monitor call (to monitor mode)
+	ExcVIRQ    // virtual IRQ raised by the VGIC to a VM's kernel mode
+)
+
+func (k ExcKind) String() string {
+	switch k {
+	case ExcReset:
+		return "reset"
+	case ExcUndef:
+		return "undef"
+	case ExcSVC:
+		return "svc"
+	case ExcPrefetchAbort:
+		return "pabt"
+	case ExcDataAbort:
+		return "dabt"
+	case ExcIRQ:
+		return "irq"
+	case ExcFIQ:
+		return "fiq"
+	case ExcHVC:
+		return "hvc"
+	case ExcHypTrap:
+		return "hyp-trap"
+	case ExcSMC:
+		return "smc"
+	case ExcVIRQ:
+		return "virq"
+	}
+	return fmt.Sprintf("exc(%d)", int(k))
+}
+
+// Exception syndrome classes, stored in HSR[31:26] on a trap to Hyp mode.
+// The values follow the ARMv7 HSR.EC encoding.
+const (
+	ECUnknown    uint32 = 0x00
+	ECWFx        uint32 = 0x01
+	ECCP15       uint32 = 0x03
+	ECCP14       uint32 = 0x05
+	ECVFP        uint32 = 0x07
+	ECHVC        uint32 = 0x12
+	ECSMC        uint32 = 0x13
+	ECInstrAbort uint32 = 0x20
+	ECDataAbort  uint32 = 0x24
+)
+
+// HSR field helpers.
+const (
+	hsrECShift = 26
+	hsrIL      = 1 << 25
+)
+
+// Data-abort ISS fields (HSR[24:0]); the hardware populates these on MMIO
+// aborts for instructions it can describe, which is what lets KVM/ARM
+// emulate most MMIO accesses without loading and decoding the instruction
+// (§4 "Be persistent" recounts what happened to the software decoder).
+const (
+	ISSISV      uint32 = 1 << 24 // ISS valid: syndrome describes the access
+	issSASShift        = 22      // access size: log2 bytes
+	issSRTShift        = 16      // source/target register
+	ISSWnR      uint32 = 1 << 6  // write not read
+)
+
+// MakeHSR assembles a syndrome register value.
+func MakeHSR(ec uint32, iss uint32) uint32 {
+	return ec<<hsrECShift | hsrIL | (iss & 0x01FFFFFF)
+}
+
+// HSREC extracts the exception class.
+func HSREC(hsr uint32) uint32 { return hsr >> hsrECShift }
+
+// HSRISS extracts the instruction-specific syndrome.
+func HSRISS(hsr uint32) uint32 { return hsr & 0x01FFFFFF }
+
+// DataAbortISS builds the ISS for a Stage-2 data abort. If isv is false the
+// instruction was of the class that does not populate the syndrome (e.g.
+// register-writeback addressing) and the hypervisor must load and decode
+// the instruction from guest memory.
+func DataAbortISS(isv bool, sizeLog2, rt int, write bool) uint32 {
+	var iss uint32
+	if isv {
+		iss |= ISSISV
+	}
+	iss |= uint32(sizeLog2) << issSASShift
+	iss |= uint32(rt) << issSRTShift
+	if write {
+		iss |= ISSWnR
+	}
+	return iss
+}
+
+// DecodeDataAbortISS unpacks DataAbortISS.
+func DecodeDataAbortISS(iss uint32) (isv bool, sizeLog2, rt int, write bool) {
+	return iss&ISSISV != 0, int(iss>>issSASShift) & 0x3, int(iss>>issSRTShift) & 0xF, iss&ISSWnR != 0
+}
+
+// CP15ISS builds the ISS for a trapped MRC/MCR: which register, which GP
+// register, and the direction (read=true for MRC).
+func CP15ISS(reg SysReg, rt int, read bool) uint32 {
+	iss := uint32(reg)<<10 | uint32(rt&0xF)<<6
+	if read {
+		iss |= 1
+	}
+	return iss
+}
+
+// DecodeCP15ISS unpacks CP15ISS.
+func DecodeCP15ISS(iss uint32) (reg SysReg, rt int, read bool) {
+	return SysReg(iss >> 10 & 0x3FF), int(iss >> 6 & 0xF), iss&1 != 0
+}
+
+// WFxISS: bit0 set for WFE, clear for WFI.
+func WFxISS(wfe bool) uint32 {
+	if wfe {
+		return 1
+	}
+	return 0
+}
+
+// Exception carries everything the receiving software needs. For traps to
+// Hyp mode the same information is also latched into the HSR/HDFAR/HPFAR
+// system registers, which is where real hypervisor code reads it.
+type Exception struct {
+	Kind ExcKind
+	// HSR is the syndrome (traps to Hyp mode only).
+	HSR uint32
+	// FaultVA is the faulting virtual address (aborts).
+	FaultVA uint32
+	// FaultIPA is the intermediate physical address (Stage-2 aborts).
+	FaultIPA uint64
+	// Imm is the SVC/HVC/SMC immediate.
+	Imm uint16
+	// PrevMode is the mode the CPU was in when the exception was taken.
+	PrevMode Mode
+}
+
+// Vector table offsets (ARMv7). The PL1 table is at VBAR, the Hyp table at
+// HVBAR, the monitor table at MVBAR.
+const (
+	VecReset         uint32 = 0x00
+	VecUndef         uint32 = 0x04
+	VecSVC           uint32 = 0x08
+	VecPrefetchAbort uint32 = 0x0C
+	VecDataAbort     uint32 = 0x10
+	VecHypTrap       uint32 = 0x14 // Hyp table: all traps/HVC funnel here
+	VecIRQ           uint32 = 0x18
+	VecFIQ           uint32 = 0x1C
+)
+
+// ExcHandler is the privileged software attached to an exception vector: Go
+// code standing in for the host kernel, a guest kernel, the lowvisor, or
+// secure firmware. If no handler is attached the CPU vectors into the
+// corresponding in-memory table and executes guest code there.
+type ExcHandler func(c *CPU, e *Exception)
+
+// takeTo performs the hardware actions of exception entry into target mode:
+// bank the PSR, record the return address, switch mode, mask interrupts and
+// redirect the PC to the vector.
+func (c *CPU) takeTo(target Mode, vec uint32, ret uint32) {
+	oldCPSR := c.CPSR
+	switch target {
+	case ModeHYP:
+		c.Regs.SetELRHyp(ret)
+		c.Regs.SetSPSRof(ModeHYP, oldCPSR)
+		c.setMode(ModeHYP)
+		c.CPSR |= PSRI | PSRF | PSRA
+		c.Regs.SetPC(c.CP15.Regs[SysHVBAR] + vec)
+		c.Charge(c.Cost.TrapToHyp)
+	case ModeMON:
+		c.Regs.SetSPSRof(ModeMON, oldCPSR)
+		c.Regs.SetBankedLR(ModeMON, ret)
+		c.setMode(ModeMON)
+		c.CPSR |= PSRI | PSRF | PSRA
+		c.Regs.SetPC(c.MVBAR + vec)
+		c.Charge(c.Cost.TrapToMon)
+	default:
+		c.Regs.SetSPSRof(target, oldCPSR)
+		c.Regs.SetBankedLR(target, ret)
+		c.setMode(target)
+		c.CPSR |= PSRI
+		if target == ModeFIQ {
+			c.CPSR |= PSRF
+		}
+		c.Regs.SetPC(c.CP15.Regs[SysVBAR] + vec)
+		c.Charge(c.Cost.TrapToPL1)
+	}
+}
+
+// vectorOf maps an exception kind to its PL1 vector offset.
+func vectorOf(k ExcKind) uint32 {
+	switch k {
+	case ExcReset:
+		return VecReset
+	case ExcUndef:
+		return VecUndef
+	case ExcSVC:
+		return VecSVC
+	case ExcPrefetchAbort:
+		return VecPrefetchAbort
+	case ExcDataAbort:
+		return VecDataAbort
+	case ExcIRQ, ExcVIRQ:
+		return VecIRQ
+	case ExcFIQ:
+		return VecFIQ
+	}
+	return VecUndef
+}
+
+// pl1ModeOf maps an exception kind to the PL1 mode that receives it.
+func pl1ModeOf(k ExcKind) Mode {
+	switch k {
+	case ExcUndef:
+		return ModeUND
+	case ExcSVC:
+		return ModeSVC
+	case ExcPrefetchAbort, ExcDataAbort:
+		return ModeABT
+	case ExcIRQ, ExcVIRQ:
+		return ModeIRQ
+	case ExcFIQ:
+		return ModeFIQ
+	}
+	return ModeSVC
+}
+
+// TakeException delivers e according to the hardware routing rules and then
+// invokes the software handler attached to the destination context, if any.
+//
+// Routing (§2 "CPU Virtualization" and "Interrupt Virtualization"):
+//   - ExcHypTrap and ExcHVC always enter Hyp mode.
+//   - ExcSMC enters monitor mode (unless the caller already classified it
+//     as a Hyp trap because HCR.TSC was set).
+//   - IRQ/FIQ enter Hyp mode when HCR.IMO/FMO are set (hypervisor retains
+//     control of the hardware); otherwise they go to PL1 directly — this is
+//     both how the host runs (no Hyp overhead) and how virtual interrupts
+//     reach a VM's kernel mode via the VGIC.
+//   - Everything else goes to the corresponding PL1 mode: system calls and
+//     page faults from a VM's user mode are handled by the guest kernel
+//     without hypervisor intervention.
+func (c *CPU) TakeException(e *Exception) {
+	e.PrevMode = c.Mode()
+	ret := c.Regs.PC() // preferred return address; callers pre-adjust
+
+	switch e.Kind {
+	case ExcHVC, ExcHypTrap:
+		c.CP15.Regs[SysHSR] = e.HSR
+		c.CP15.Regs[SysHDFAR] = e.FaultVA
+		c.CP15.Regs[SysHPFAR] = uint32(e.FaultIPA >> 4) // IPA[39:12] -> HPFAR[31:4]
+		c.takeTo(ModeHYP, VecHypTrap, ret)
+		c.Traps.HypTraps++
+		if c.HypHandler != nil {
+			c.HypHandler(c, e)
+		}
+	case ExcSMC:
+		c.takeTo(ModeMON, VecSVC, ret)
+		if c.MonHandler != nil {
+			c.MonHandler(c, e)
+		}
+	case ExcIRQ:
+		if c.CP15.Regs[SysHCR]&HCRIMO != 0 && c.Mode() != ModeHYP {
+			// Physical interrupts trap to Hyp mode while a VM runs.
+			c.CP15.Regs[SysHSR] = MakeHSR(ECUnknown, 0)
+			c.takeTo(ModeHYP, VecIRQ, ret)
+			c.Traps.HypTraps++
+			if c.HypHandler != nil {
+				c.HypHandler(c, e)
+			}
+			return
+		}
+		c.takeTo(ModeIRQ, VecIRQ, ret)
+		c.Traps.PL1Traps++
+		if c.PL1Handler != nil {
+			c.PL1Handler(c, e)
+		}
+	case ExcFIQ:
+		if c.CP15.Regs[SysHCR]&HCRFMO != 0 && c.Mode() != ModeHYP {
+			c.takeTo(ModeHYP, VecFIQ, ret)
+			c.Traps.HypTraps++
+			if c.HypHandler != nil {
+				c.HypHandler(c, e)
+			}
+			return
+		}
+		c.takeTo(ModeFIQ, VecFIQ, ret)
+		c.Traps.PL1Traps++
+		if c.PL1Handler != nil {
+			c.PL1Handler(c, e)
+		}
+	default:
+		// PL1 exceptions: delivered to the current PL1 software, which
+		// is the guest kernel while a VM runs (no Hyp transition).
+		if e.Kind == ExcDataAbort {
+			c.CP15.Regs[SysDFAR] = e.FaultVA
+		}
+		if e.Kind == ExcPrefetchAbort {
+			c.CP15.Regs[SysIFAR] = e.FaultVA
+		}
+		c.takeTo(pl1ModeOf(e.Kind), vectorOf(e.Kind), ret)
+		c.Traps.PL1Traps++
+		if c.PL1Handler != nil {
+			c.PL1Handler(c, e)
+		}
+	}
+}
+
+// ERET returns from an exception: restores CPSR from the current mode's
+// SPSR and the PC from the banked return register.
+func (c *CPU) ERET() {
+	m := c.Mode()
+	var ret uint32
+	switch m {
+	case ModeHYP:
+		ret = c.Regs.ELRHyp()
+	default:
+		ret = c.Regs.BankedLR(m)
+	}
+	spsr := c.Regs.SPSRof(m)
+	c.SetCPSR(spsr)
+	c.Regs.SetPC(ret)
+	c.Charge(c.Cost.ERET)
+}
+
+// TrapCounters tallies exception deliveries for the instrumentation used in
+// §5.1 ("we instrumented the code ... to more accurately determine where
+// overhead time was spent").
+type TrapCounters struct {
+	HypTraps uint64
+	PL1Traps uint64
+}

@@ -1,0 +1,135 @@
+// Package arm models an ARMv7-A CPU with the virtualization and security
+// extensions: the privilege structure of Figure 1 of the paper (PL0 user,
+// PL1 kernel, PL2 Hyp, plus the TrustZone secure world and monitor mode),
+// banked registers, CP15 system registers, the Hyp-mode trap configuration
+// (HCR, HSTR, HCPTR, HDCR), exception entry/return, and a cycle clock.
+//
+// The CPU executes instruction streams through a pluggable Runner (the SARM32
+// interpreter in internal/isa, or a workload micro-op engine), and delivers
+// exceptions either to Go handlers — the simulated privileged software:
+// host kernel, guest kernel, lowvisor — or to in-guest vector code.
+package arm
+
+import "fmt"
+
+// Mode is an ARMv7 processor mode (CPSR[4:0]).
+type Mode uint8
+
+// ARMv7 processor modes. SYS shares registers with USR.
+const (
+	ModeUSR Mode = 0x10
+	ModeFIQ Mode = 0x11
+	ModeIRQ Mode = 0x12
+	ModeSVC Mode = 0x13
+	ModeMON Mode = 0x16
+	ModeABT Mode = 0x17
+	ModeHYP Mode = 0x1A
+	ModeUND Mode = 0x1B
+	ModeSYS Mode = 0x1F
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeUSR:
+		return "usr"
+	case ModeFIQ:
+		return "fiq"
+	case ModeIRQ:
+		return "irq"
+	case ModeSVC:
+		return "svc"
+	case ModeMON:
+		return "mon"
+	case ModeABT:
+		return "abt"
+	case ModeHYP:
+		return "hyp"
+	case ModeUND:
+		return "und"
+	case ModeSYS:
+		return "sys"
+	}
+	return fmt.Sprintf("mode(%#x)", uint8(m))
+}
+
+// Valid reports whether m is a defined ARMv7 mode.
+func (m Mode) Valid() bool {
+	switch m {
+	case ModeUSR, ModeFIQ, ModeIRQ, ModeSVC, ModeMON, ModeABT, ModeHYP, ModeUND, ModeSYS:
+		return true
+	}
+	return false
+}
+
+// PL is a privilege level.
+type PL int
+
+// Privilege levels: PL0 is user, PL1 is kernel, PL2 is Hyp. Monitor mode is
+// secure PL1 but is strictly more privileged than non-secure software.
+const (
+	PL0 PL = 0
+	PL1 PL = 1
+	PL2 PL = 2
+)
+
+// PL returns the privilege level of the mode.
+func (m Mode) PL() PL {
+	switch m {
+	case ModeUSR:
+		return PL0
+	case ModeHYP:
+		return PL2
+	default:
+		return PL1
+	}
+}
+
+// CPSR bit assignments (ARMv7).
+const (
+	PSRModeMask uint32 = 0x1F
+	PSRT        uint32 = 1 << 5  // Thumb (unused by SARM32)
+	PSRF        uint32 = 1 << 6  // FIQ mask
+	PSRI        uint32 = 1 << 7  // IRQ mask
+	PSRA        uint32 = 1 << 8  // async abort mask
+	PSRV        uint32 = 1 << 28 // overflow
+	PSRC        uint32 = 1 << 29 // carry
+	PSRZ        uint32 = 1 << 30 // zero
+	PSRN        uint32 = 1 << 31 // negative
+)
+
+// bankIndex identifies a banked-register group.
+type bankIndex int
+
+const (
+	bankUSR bankIndex = iota // shared by USR and SYS
+	bankSVC
+	bankABT
+	bankUND
+	bankIRQ
+	bankFIQ
+	bankMON
+	bankHYP
+	numBanks
+)
+
+func (m Mode) bank() bankIndex {
+	switch m {
+	case ModeUSR, ModeSYS:
+		return bankUSR
+	case ModeSVC:
+		return bankSVC
+	case ModeABT:
+		return bankABT
+	case ModeUND:
+		return bankUND
+	case ModeIRQ:
+		return bankIRQ
+	case ModeFIQ:
+		return bankFIQ
+	case ModeMON:
+		return bankMON
+	case ModeHYP:
+		return bankHYP
+	}
+	return bankUSR
+}

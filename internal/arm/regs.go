@@ -1,0 +1,180 @@
+package arm
+
+// RegFile is the general-purpose register file with ARMv7 banking:
+// r0–r7 are shared by all modes, r8–r12 are banked for FIQ, and SP (r13)
+// and LR (r14) are banked per mode (USR/SYS share one copy; Hyp banks only
+// SP and uses ELR_hyp in place of a banked LR). Each exception mode has its
+// own SPSR.
+//
+// The paper's Table 1 counts 38 general-purpose registers context-switched
+// on every world switch; GPCount enumerates exactly that set.
+type RegFile struct {
+	// low holds r0–r7, shared across modes.
+	low [8]uint32
+	// mid holds r8–r12: index 0 is the common bank, index 1 the FIQ bank.
+	mid [2][5]uint32
+	// sp and lr are banked per bank group.
+	sp [numBanks]uint32
+	lr [numBanks]uint32
+	// pc is r15.
+	pc uint32
+	// spsr per exception bank (bankUSR unused).
+	spsr [numBanks]uint32
+	// elrHyp is the Hyp-mode exception return address.
+	elrHyp uint32
+
+	mode Mode
+}
+
+// Registers with architectural aliases.
+const (
+	RegSP = 13
+	RegLR = 14
+	RegPC = 15
+)
+
+func (r *RegFile) midBank(m Mode) int {
+	if m == ModeFIQ {
+		return 1
+	}
+	return 0
+}
+
+// R reads register n (0–15) as seen from the current mode.
+func (r *RegFile) R(n int) uint32 {
+	switch {
+	case n < 8:
+		return r.low[n]
+	case n < 13:
+		return r.mid[r.midBank(r.mode)][n-8]
+	case n == RegSP:
+		return r.sp[r.mode.bank()]
+	case n == RegLR:
+		if r.mode == ModeHYP {
+			// Hyp mode has no banked LR; it sees the common LR.
+			return r.lr[bankUSR]
+		}
+		return r.lr[r.mode.bank()]
+	case n == RegPC:
+		return r.pc
+	}
+	panic("arm: register index out of range")
+}
+
+// SetR writes register n (0–15) as seen from the current mode.
+func (r *RegFile) SetR(n int, v uint32) {
+	switch {
+	case n < 8:
+		r.low[n] = v
+	case n < 13:
+		r.mid[r.midBank(r.mode)][n-8] = v
+	case n == RegSP:
+		r.sp[r.mode.bank()] = v
+	case n == RegLR:
+		if r.mode == ModeHYP {
+			r.lr[bankUSR] = v
+		} else {
+			r.lr[r.mode.bank()] = v
+		}
+	case n == RegPC:
+		r.pc = v
+	default:
+		panic("arm: register index out of range")
+	}
+}
+
+// PC returns r15.
+func (r *RegFile) PC() uint32 { return r.pc }
+
+// SetPC writes r15.
+func (r *RegFile) SetPC(v uint32) { r.pc = v }
+
+// BankedSP returns the SP of the given mode regardless of the current mode.
+func (r *RegFile) BankedSP(m Mode) uint32 { return r.sp[m.bank()] }
+
+// SetBankedSP writes the SP of the given mode.
+func (r *RegFile) SetBankedSP(m Mode, v uint32) { r.sp[m.bank()] = v }
+
+// BankedLR returns the LR of the given mode regardless of the current mode.
+func (r *RegFile) BankedLR(m Mode) uint32 {
+	if m == ModeHYP {
+		return r.lr[bankUSR]
+	}
+	return r.lr[m.bank()]
+}
+
+// SetBankedLR writes the LR of the given mode.
+func (r *RegFile) SetBankedLR(m Mode, v uint32) {
+	if m == ModeHYP {
+		r.lr[bankUSR] = v
+	} else {
+		r.lr[m.bank()] = v
+	}
+}
+
+// SPSR returns the saved PSR of the current mode. Reading the SPSR in user
+// or system mode is unpredictable on hardware; we return 0.
+func (r *RegFile) SPSR() uint32 {
+	b := r.mode.bank()
+	if b == bankUSR {
+		return 0
+	}
+	return r.spsr[b]
+}
+
+// SetSPSR writes the saved PSR of the current mode.
+func (r *RegFile) SetSPSR(v uint32) {
+	b := r.mode.bank()
+	if b != bankUSR {
+		r.spsr[b] = v
+	}
+}
+
+// SPSRof returns the SPSR of an explicit mode.
+func (r *RegFile) SPSRof(m Mode) uint32 { return r.spsr[m.bank()] }
+
+// SetSPSRof writes the SPSR of an explicit mode.
+func (r *RegFile) SetSPSRof(m Mode, v uint32) { r.spsr[m.bank()] = v }
+
+// ELRHyp returns the Hyp exception return address.
+func (r *RegFile) ELRHyp() uint32 { return r.elrHyp }
+
+// SetELRHyp writes the Hyp exception return address.
+func (r *RegFile) SetELRHyp(v uint32) { r.elrHyp = v }
+
+// setMode changes the register view. Callers (exception entry, MSR/CPS)
+// must also update CPSR.
+func (r *RegFile) setMode(m Mode) { r.mode = m }
+
+// GPCount is the number of general-purpose registers that must be saved and
+// restored by software on a world switch (Table 1 row "38 General Purpose
+// (GP) Registers"): r0–r12 (13) and the FIQ bank of r8–r12 (5), the six
+// banked SP/LR pairs of USR, SVC, ABT, UND, IRQ and FIQ (12), the five
+// SPSRs of the exception modes (5), PC, CPSR, and ELR_hyp (3).
+func GPCount() int {
+	const (
+		shared    = 13 // r0-r12
+		fiqHigh   = 5  // r8_fiq-r12_fiq
+		spLrPairs = 6 * 2
+		spsrs     = 5 // svc, abt, und, irq, fiq
+		pcPsrElr  = 3 // pc, cpsr, elr_hyp
+	)
+	return shared + fiqHigh + spLrPairs + spsrs + pcPsrElr
+}
+
+// GPSnapshot captures every register in the world-switched GP set, in a
+// fixed order. The world switch in internal/core saves and restores exactly
+// this set.
+type GPSnapshot struct {
+	Low    [8]uint32
+	Mid    [2][5]uint32
+	SP     [6]uint32 // usr, svc, abt, und, irq, fiq
+	LR     [6]uint32
+	PC     uint32
+	SPSR   [5]uint32 // svc, abt, und, irq, fiq
+	CPSR   uint32
+	ELRHyp uint32
+}
+
+var gpBanks = [6]bankIndex{bankUSR, bankSVC, bankABT, bankUND, bankIRQ, bankFIQ}
+var spsrBanks = [5]bankIndex{bankSVC, bankABT, bankUND, bankIRQ, bankFIQ}

@@ -1,0 +1,233 @@
+package arm
+
+import "fmt"
+
+// SysReg names a CP15 (or CP14/timer) system register as addressed by
+// MRC/MCR in the SARM32 ISA. The numbering is our own stable encoding, not
+// the architectural (CRn, opc1, CRm, opc2) tuple, but the register set and
+// trap behaviour follow ARMv7 with the virtualization extensions.
+type SysReg uint16
+
+// Identification and context registers visible at PL1.
+const (
+	// Read-only ID registers. MIDR/MPIDR reads are shadowed by
+	// VPIDR/VMPIDR while a VM runs (world-switch step 7 of §3.2).
+	SysMIDR SysReg = iota
+	SysMPIDR
+
+	// The 26 "Control Registers" of Table 1, context-switched by the
+	// world switch because the VM programs them directly (e.g. the
+	// Stage-1 page table base without trapping, §3.2).
+	SysSCTLR
+	SysACTLRCtx // ACTLR value storage; *access* from a VM traps (HCR.TAC)
+	SysCPACR
+	SysTTBR0Lo
+	SysTTBR0Hi
+	SysTTBR1Lo
+	SysTTBR1Hi
+	SysTTBCR
+	SysDACR
+	SysDFSR
+	SysIFSR
+	SysDFAR
+	SysIFAR
+	SysPAR
+	SysPRRR
+	SysNMRR
+	SysAMAIR0
+	SysAMAIR1
+	SysVBAR
+	SysCONTEXTIDR
+	SysTPIDRURW
+	SysTPIDRURO
+	SysTPIDRPRW
+	SysCSSELR
+	SysFCSEIDR
+	SysCLIDRCtx
+	numCtxControl // sentinel: SysSCTLR..SysCLIDRCtx are the 26 of Table 1
+
+	// Read-only cache geometry (not context-switched; reads trap when
+	// HCR.TID2 is set so the hypervisor can present virtual geometry).
+	SysCCSIDR
+
+	// Trap-and-emulate group of Table 1.
+	SysACTLR    // Auxiliary Control Register access (HCR.TAC)
+	SysL2CTLR   // L2 control (implementation defined; always trapped)
+	SysL2ECTLR  // L2 extended control (always trapped)
+	SysDCISW    // data cache invalidate by set/way (HCR.TSW)
+	SysDCCSW    // data cache clean by set/way (HCR.TSW)
+	SysCP14DBG  // debug/trace registers (HDCR.TDE)
+	SysCP14TRC  // CP14 trace registers (HDCR.TTRF analogue)
+	SysTLBIALL  // TLB invalidate all (local)
+	SysTLBIASID // TLB invalidate by ASID
+	SysICIALLU  // instruction cache invalidate all
+
+	// Generic timer registers (CP15 c14). See internal/timer.
+	SysCNTFRQ
+	SysCNTPCTLo
+	SysCNTPCTHi
+	SysCNTVCTLo
+	SysCNTVCTHi
+	SysCNTPCTL
+	SysCNTPTVAL
+	SysCNTVCTL
+	SysCNTVTVAL
+	SysCNTVOFFLo
+	SysCNTVOFFHi
+	SysCNTHCTL
+
+	// Hyp-mode registers (accessible only at PL2; the lowvisor's
+	// "dedicated configuration registers only for use in Hyp mode").
+	SysHCR
+	SysHDCR
+	SysHCPTR
+	SysHSTR
+	SysHSR
+	SysHVBAR
+	SysHTTBRLo
+	SysHTTBRHi
+	SysHTCR
+	SysHSCTLR
+	SysHMAIR0
+	SysHMAIR1
+	SysVTTBRLo
+	SysVTTBRHi
+	SysVTCR
+	SysHPFAR
+	SysHDFAR
+	SysHIFAR
+	SysVPIDR
+	SysVMPIDR
+
+	// Secure configuration (monitor mode only).
+	SysSCR
+
+	NumSysRegs
+)
+
+// NumCtxControlRegs is the count of PL1 control registers the world switch
+// context-switches: the "26 Control Registers" row of Table 1.
+const NumCtxControlRegs = int(numCtxControl - SysSCTLR)
+
+var sysRegNames = map[SysReg]string{
+	SysMIDR: "MIDR", SysMPIDR: "MPIDR", SysSCTLR: "SCTLR", SysACTLRCtx: "ACTLR(ctx)",
+	SysCPACR: "CPACR", SysTTBR0Lo: "TTBR0_lo", SysTTBR0Hi: "TTBR0_hi",
+	SysTTBR1Lo: "TTBR1_lo", SysTTBR1Hi: "TTBR1_hi", SysTTBCR: "TTBCR",
+	SysDACR: "DACR", SysDFSR: "DFSR", SysIFSR: "IFSR", SysDFAR: "DFAR",
+	SysIFAR: "IFAR", SysPAR: "PAR", SysPRRR: "PRRR", SysNMRR: "NMRR",
+	SysAMAIR0: "AMAIR0", SysAMAIR1: "AMAIR1", SysVBAR: "VBAR",
+	SysCONTEXTIDR: "CONTEXTIDR", SysTPIDRURW: "TPIDRURW", SysTPIDRURO: "TPIDRURO",
+	SysTPIDRPRW: "TPIDRPRW", SysCSSELR: "CSSELR", SysFCSEIDR: "FCSEIDR",
+	SysCLIDRCtx: "CLIDR", SysCCSIDR: "CCSIDR", SysACTLR: "ACTLR",
+	SysL2CTLR: "L2CTLR", SysL2ECTLR: "L2ECTLR", SysDCISW: "DCISW", SysDCCSW: "DCCSW",
+	SysCP14DBG: "CP14_DBG", SysCP14TRC: "CP14_TRC", SysTLBIALL: "TLBIALL",
+	SysTLBIASID: "TLBIASID", SysICIALLU: "ICIALLU",
+	SysCNTFRQ: "CNTFRQ", SysCNTPCTLo: "CNTPCT_lo", SysCNTPCTHi: "CNTPCT_hi",
+	SysCNTVCTLo: "CNTVCT_lo", SysCNTVCTHi: "CNTVCT_hi", SysCNTPCTL: "CNTP_CTL",
+	SysCNTPTVAL: "CNTP_TVAL", SysCNTVCTL: "CNTV_CTL", SysCNTVTVAL: "CNTV_TVAL",
+	SysCNTVOFFLo: "CNTVOFF_lo", SysCNTVOFFHi: "CNTVOFF_hi", SysCNTHCTL: "CNTHCTL",
+	SysHCR: "HCR", SysHDCR: "HDCR", SysHCPTR: "HCPTR", SysHSTR: "HSTR",
+	SysHSR: "HSR", SysHVBAR: "HVBAR", SysHTTBRLo: "HTTBR_lo", SysHTTBRHi: "HTTBR_hi",
+	SysHTCR: "HTCR", SysHSCTLR: "HSCTLR", SysHMAIR0: "HMAIR0", SysHMAIR1: "HMAIR1",
+	SysVTTBRLo: "VTTBR_lo", SysVTTBRHi: "VTTBR_hi", SysVTCR: "VTCR",
+	SysHPFAR: "HPFAR", SysHDFAR: "HDFAR", SysHIFAR: "HIFAR",
+	SysVPIDR: "VPIDR", SysVMPIDR: "VMPIDR", SysSCR: "SCR",
+}
+
+func (r SysReg) String() string {
+	if s, ok := sysRegNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("sysreg(%d)", uint16(r))
+}
+
+// IsHypReg reports whether the register is accessible only at PL2 (or in
+// monitor mode for SCR).
+func (r SysReg) IsHypReg() bool {
+	return (r >= SysHCR && r <= SysVMPIDR) || r == SysSCR
+}
+
+// IsCtxControl reports whether the register belongs to the 26
+// context-switched control registers of Table 1.
+func (r SysReg) IsCtxControl() bool {
+	return r >= SysSCTLR && r < numCtxControl
+}
+
+// CtxControlRegs returns the 26 context-switched control registers in a
+// stable order (the order the world switch saves them).
+func CtxControlRegs() []SysReg {
+	regs := make([]SysReg, 0, NumCtxControlRegs)
+	for r := SysSCTLR; r < numCtxControl; r++ {
+		regs = append(regs, r)
+	}
+	return regs
+}
+
+// HCR bit assignments (subset used by KVM/ARM).
+const (
+	HCRVM   uint32 = 1 << 0  // enable Stage-2 translation
+	HCRSWIO uint32 = 1 << 1  // set/way invalidate override
+	HCRFMO  uint32 = 1 << 3  // route FIQs to Hyp
+	HCRIMO  uint32 = 1 << 4  // route IRQs to Hyp
+	HCRAMO  uint32 = 1 << 5  // route async aborts to Hyp
+	HCRTWI  uint32 = 1 << 13 // trap WFI
+	HCRTWE  uint32 = 1 << 14 // trap WFE
+	HCRTID2 uint32 = 1 << 17 // trap cache ID registers (CCSIDR/CSSELR group)
+	HCRTSC  uint32 = 1 << 19 // trap SMC
+	HCRTAC  uint32 = 1 << 21 // trap ACTLR accesses
+	HCRTSW  uint32 = 1 << 22 // trap cache maintenance by set/way
+	HCRTVM  uint32 = 1 << 26 // trap virtual-memory control registers
+)
+
+// HCRGuest is the trap configuration KVM/ARM installs when entering a VM
+// (world-switch step 6): Stage-2 on, interrupts to Hyp, and the
+// trap-and-emulate set of Table 1.
+const HCRGuest = HCRVM | HCRSWIO | HCRFMO | HCRIMO | HCRAMO | HCRTWI | HCRTSC | HCRTAC | HCRTSW | HCRTID2
+
+// HCPTR bits.
+const (
+	HCPTRTCP10 uint32 = 1 << 10 // trap VFP (cp10)
+	HCPTRTCP11 uint32 = 1 << 11 // trap VFP (cp11)
+	HCPTRTTA   uint32 = 1 << 20 // trap trace register access
+)
+
+// HDCR bits.
+const (
+	HDCRTDRA  uint32 = 1 << 11 // trap debug ROM access
+	HDCRTDOSA uint32 = 1 << 10
+	HDCRTDA   uint32 = 1 << 9 // trap debug register access
+)
+
+// HSTR: bit n traps PL1 accesses to CP15 primary register cn. We model a
+// single bit that covers the CP14 trace group instead.
+const HSTRTTEE uint32 = 1 << 16
+
+// SCR (secure configuration register) bits.
+const (
+	SCRNS uint32 = 1 << 0 // non-secure
+)
+
+// CP15 holds the values of all system registers. Trap checks are performed
+// by the CPU before reaching this storage.
+type CP15 struct {
+	Regs [NumSysRegs]uint32
+}
+
+// Read64 assembles a 64-bit register from its lo/hi halves.
+func (c *CP15) Read64(lo SysReg) uint64 {
+	return uint64(c.Regs[lo]) | uint64(c.Regs[lo+1])<<32
+}
+
+// Write64 stores a 64-bit register into its lo/hi halves.
+func (c *CP15) Write64(lo SysReg, v uint64) {
+	c.Regs[lo] = uint32(v)
+	c.Regs[lo+1] = uint32(v >> 32)
+}
+
+// SCTLR bits.
+const (
+	SCTLRM uint32 = 1 << 0 // MMU (Stage-1) enable
+	SCTLRC uint32 = 1 << 2 // data cache enable
+	SCTLRI uint32 = 1 << 12
+	SCTLRV uint32 = 1 << 13 // high vectors (unused; VBAR preferred)
+)

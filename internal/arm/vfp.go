@@ -1,0 +1,36 @@
+package arm
+
+// VFP models the VFPv4 register file of a Cortex-A15: 32 64-bit registers
+// plus the control registers. Table 1 counts "32 64-bit VFP registers" and
+// "4 32-bit VFP Control Registers" in the context-switched state.
+//
+// KVM/ARM context-switches VFP lazily (world-switch step 6 configures
+// HCPTR to trap floating-point operations): the guest's first FP use after
+// entry traps to Hyp mode, where the lowvisor switches the VFP state and
+// clears the trap for the rest of the time slice.
+type VFP struct {
+	D [32]uint64 // d0-d31
+
+	FPSCR uint32
+	FPEXC uint32
+	FPSID uint32
+	MVFR0 uint32
+
+	// Enabled mirrors FPEXC.EN: whether FP executes at all.
+	Enabled bool
+}
+
+// FPEXC bits.
+const FPEXCEN uint32 = 1 << 30
+
+// NumVFPDataRegs and NumVFPCtrlRegs are the Table 1 counts.
+const (
+	NumVFPDataRegs = 32
+	NumVFPCtrlRegs = 4
+)
+
+// Snapshot copies the full VFP state.
+func (v *VFP) Snapshot() VFP { return *v }
+
+// Restore replaces the full VFP state.
+func (v *VFP) Restore(s VFP) { *v = s }

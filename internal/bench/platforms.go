@@ -1,0 +1,128 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§5) on the simulated platforms —
+// Table 1 (context-switched state), Table 2 (workloads), Table 3
+// (micro-architectural cycle counts), Figures 3–6 (normalized lmbench and
+// application performance, UP and SMP), Figure 7 (normalized energy), and
+// Table 4 (code complexity).
+package bench
+
+import (
+	"fmt"
+
+	"kvmarm"
+	"kvmarm/internal/workloads"
+	"kvmarm/internal/x86"
+)
+
+// Config names one platform configuration of §5.1.
+type Config struct {
+	Name string
+	// Virt builds the virtualized system; Native its baseline.
+	Virt   func(cpus int) (*workloads.System, error)
+	Native func(cpus int) (*workloads.System, error)
+	// EnergyARM marks which power model applies (Figure 7).
+	IsARM bool
+}
+
+// Configs returns the four virtualized configurations compared throughout
+// the evaluation, in the paper's legend order: ARM, ARM w/o VGIC/vtimers,
+// x86 laptop, x86 server.
+func Configs() []Config {
+	return []Config{
+		{
+			Name:  "ARM",
+			IsARM: true,
+			Virt: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewARMVirt(cpus, kvmarm.VirtOptions{VGIC: true, VTimers: true})
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+			Native: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewARMNative(cpus)
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+		},
+		{
+			Name:  "ARM no VGIC/vtimers",
+			IsARM: true,
+			Virt: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewARMVirt(cpus, kvmarm.VirtOptions{})
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+			Native: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewARMNative(cpus)
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+		},
+		{
+			Name: "KVM x86 laptop",
+			Virt: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewX86Virt(cpus, x86.Laptop())
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+			Native: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewX86Native(cpus, x86.Laptop())
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+		},
+		{
+			Name: "KVM x86 server",
+			Virt: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewX86Virt(cpus, x86.Server())
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+			Native: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewX86Native(cpus, x86.Server())
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+		},
+	}
+}
+
+// Overhead runs w on a fresh virtualized system and a fresh native
+// baseline of cfg and returns the normalized (virt/native) runtime.
+func Overhead(cfg Config, w workloads.Workload, cpus int) (float64, error) {
+	nat, err := cfg.Native(cpus)
+	if err != nil {
+		return 0, fmt.Errorf("%s native: %w", cfg.Name, err)
+	}
+	nres, err := workloads.Run(nat, w)
+	if err != nil {
+		return 0, fmt.Errorf("%s native %s: %w", cfg.Name, w.Name, err)
+	}
+	virt, err := cfg.Virt(cpus)
+	if err != nil {
+		return 0, fmt.Errorf("%s virt: %w", cfg.Name, err)
+	}
+	vres, err := workloads.Run(virt, w)
+	if err != nil {
+		return 0, fmt.Errorf("%s virt %s: %w", cfg.Name, w.Name, err)
+	}
+	if nres.Cycles == 0 {
+		return 0, fmt.Errorf("%s native %s: zero-length run", cfg.Name, w.Name)
+	}
+	return float64(vres.Cycles) / float64(nres.Cycles), nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/gic"
+	"kvmarm/internal/loc"
+	"kvmarm/internal/workloads"
+)
+
+// Table1Row is one row of the VM/host state inventory.
+type Table1Row struct {
+	Action string
+	Count  string
+	State  string
+}
+
+// Table1 enumerates the state the world switch context-switches and the
+// operations it traps and emulates, as implemented by internal/core — the
+// reproduction of Table 1 ("VM and Host State on a Cortex-A15").
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"Context Switch", fmt.Sprintf("%d", arm.GPCount()), "General Purpose (GP) Registers"},
+		{"Context Switch", fmt.Sprintf("%d", arm.NumCtxControlRegs), "Control Registers"},
+		{"Context Switch", fmt.Sprintf("%d", gic.NumVGICCtrlRegs), "VGIC Control Registers"},
+		{"Context Switch", fmt.Sprintf("%d", gic.NumListRegs), "VGIC List Registers"},
+		{"Context Switch", "2", "Arch. Timer Control Registers"},
+		{"Context Switch", fmt.Sprintf("%d", arm.NumVFPDataRegs), "64-bit VFP registers"},
+		{"Context Switch", fmt.Sprintf("%d", arm.NumVFPCtrlRegs), "32-bit VFP Control Registers"},
+		{"Trap-and-Emulate", "-", "CP14 Trace Registers"},
+		{"Trap-and-Emulate", "-", "WFI Instructions"},
+		{"Trap-and-Emulate", "-", "SMC Instructions"},
+		{"Trap-and-Emulate", "-", "ACTLR Access"},
+		{"Trap-and-Emulate", "-", "Cache ops. by Set/Way"},
+		{"Trap-and-Emulate", "-", "L2CTLR / L2ECTLR Registers"},
+	}
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer) {
+	fmt.Fprintf(w, "\nTable 1 — VM and Host State on a Cortex-A15 (as implemented)\n")
+	fmt.Fprintf(w, "%-18s %-5s %s\n", "Action", "Nr.", "State")
+	for _, r := range Table1() {
+		fmt.Fprintf(w, "%-18s %-5s %s\n", r.Action, r.Count, r.State)
+	}
+}
+
+// PrintTable2 renders the workload inventory of Table 2.
+func PrintTable2(w io.Writer) {
+	fmt.Fprintf(w, "\nTable 2 — Benchmark Applications\n")
+	for _, a := range workloads.Table2() {
+		fmt.Fprintf(w, "%-16s %s\n", a.Name, a.Desc)
+	}
+}
+
+// Table4Paper holds the paper's LOC numbers for side-by-side reporting.
+var Table4Paper = []struct {
+	Component string
+	ARM, X86  int
+}{
+	{"Core CPU", 2493, 16177},
+	{"Page Fault Handling", 738, 3410},
+	{"Interrupts", 1057, 1978},
+	{"Timers", 180, 573},
+	{"Other", 1344, 1288},
+	{"Architecture-specific", 5812, 25367},
+}
+
+// PrintTable4 renders the code-complexity comparison: the paper's Linux
+// numbers next to this repository's own counts. The claim that carries
+// over directly is the split-mode one: the Hyp-mode lowvisor is a small
+// fraction of the hypervisor. (Our x86 comparator is deliberately a
+// cost-model-driven baseline, so — unlike Linux's KVM x86 — it is *smaller*
+// than the ARM side; EXPERIMENTS.md discusses this.)
+func PrintTable4(w io.Writer, root string) error {
+	rows, armTotal, x86Total, err := loc.Table4(root)
+	if err != nil {
+		return err
+	}
+	lowvisor, err := loc.CountFile(root + "/internal/core/lowvisor.go")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nTable 4 — Code Complexity in Lines of Code\n")
+	fmt.Fprintf(w, "%-40s %14s %14s\n", "Component (paper / Linux 3.10)", "KVM/ARM", "KVM x86 (Intel)")
+	for _, r := range Table4Paper {
+		fmt.Fprintf(w, "%-40s %14d %14d\n", r.Component, r.ARM, r.X86)
+	}
+	fmt.Fprintf(w, "\n%-40s %14s\n", "This repository (code lines)", "")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-40s %14d\n", r.Component, r.ARM)
+	}
+	fmt.Fprintf(w, "%-40s %14d %14d\n", "Hypervisor total (core vs kvmx86+x86)", armTotal.Code, x86Total.Code)
+	fmt.Fprintf(w, "%-40s %14d\n", "of which lowvisor (Hyp-mode component)", lowvisor.Code)
+	fmt.Fprintf(w, "lowvisor share: %.1f%% of the ARM hypervisor (paper: 718/5812 = 12.4%%)\n",
+		100*float64(lowvisor.Code)/float64(armTotal.Code))
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package bus implements the physical address space of a board: RAM plus
+// memory-mapped I/O regions.
+//
+// On ARM all device I/O is performed with ordinary loads and stores to MMIO
+// regions (the paper, §3.4), so the bus is the single chokepoint through
+// which every CPU memory access flows after address translation. Device
+// accesses are significantly slower than cached RAM accesses; the bus
+// reports a cycle cost for every access so those costs can be charged to the
+// issuing CPU. The expense of MMIO is what makes VGIC state save/restore the
+// dominant world-switch cost in Table 3.
+package bus
+
+import (
+	"fmt"
+	"sort"
+
+	"kvmarm/internal/mem"
+)
+
+// Access distinguishes reads from writes for device handlers.
+type Access int
+
+// Access kinds.
+const (
+	Read Access = iota
+	Write
+)
+
+func (a Access) String() string {
+	if a == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Device is a memory-mapped peripheral. Offsets are relative to the start of
+// the device's mapped region. Size is 1, 2, 4 or 8 bytes.
+type Device interface {
+	// Name identifies the device in errors and traces.
+	Name() string
+	// ReadReg returns the value of the register at offset.
+	ReadReg(offset uint64, size int) (uint64, error)
+	// WriteReg stores v to the register at offset.
+	WriteReg(offset uint64, size int, v uint64) error
+	// AccessCycles is the cycle cost of one register access. MMIO is
+	// uncached and traverses the interconnect, so this is typically tens
+	// of cycles where a cached RAM access is a few.
+	AccessCycles() uint64
+}
+
+type region struct {
+	base, size uint64
+	dev        Device
+}
+
+// Bus is a board's physical address map: one RAM bank plus MMIO regions.
+type Bus struct {
+	RAM     *mem.Physical
+	regions []region // sorted by base
+
+	// RAMCycles is the cycle cost of a RAM access (cache-hit cost; the
+	// MMU models miss costs separately).
+	RAMCycles uint64
+
+	// Accessor is the ID of the CPU currently driving the bus; devices
+	// with per-CPU banked registers (the GIC CPU interface) read it.
+	// The simulation is single-threaded, so a plain field suffices.
+	Accessor int
+}
+
+// New creates a bus over the given RAM bank.
+func New(ram *mem.Physical) *Bus {
+	return &Bus{RAM: ram, RAMCycles: 1}
+}
+
+// Map attaches dev at [base, base+size). Overlapping RAM or another device
+// is an error: real SoCs have disjoint address maps.
+func (b *Bus) Map(base, size uint64, dev Device) error {
+	if size == 0 {
+		return fmt.Errorf("bus: mapping %s with zero size", dev.Name())
+	}
+	if b.RAM != nil && b.RAM.Contains(base, 1) {
+		return fmt.Errorf("bus: mapping %s at %#x overlaps RAM", dev.Name(), base)
+	}
+	for _, r := range b.regions {
+		if base < r.base+r.size && r.base < base+size {
+			return fmt.Errorf("bus: mapping %s at %#x overlaps %s at %#x", dev.Name(), base, r.dev.Name(), r.base)
+		}
+	}
+	b.regions = append(b.regions, region{base, size, dev})
+	sort.Slice(b.regions, func(i, j int) bool { return b.regions[i].base < b.regions[j].base })
+	return nil
+}
+
+// Lookup returns the device mapped at pa, if any, with the region base.
+func (b *Bus) Lookup(pa uint64) (Device, uint64, bool) {
+	i := sort.Search(len(b.regions), func(i int) bool { return b.regions[i].base+b.regions[i].size > pa })
+	if i < len(b.regions) && pa >= b.regions[i].base {
+		return b.regions[i].dev, b.regions[i].base, true
+	}
+	return nil, 0, false
+}
+
+// IsRAM reports whether [pa, pa+n) is backed by RAM.
+func (b *Bus) IsRAM(pa, n uint64) bool {
+	return b.RAM != nil && b.RAM.Contains(pa, n)
+}
+
+// IsMMIO reports whether pa is covered by a device mapping.
+func (b *Bus) IsMMIO(pa uint64) bool {
+	_, _, ok := b.Lookup(pa)
+	return ok
+}
+
+// BusError reports an access to a hole in the physical address map; the
+// hardware reaction is an external abort.
+type BusError struct {
+	PA     uint64
+	Acc    Access
+	Reason string
+}
+
+func (e *BusError) Error() string {
+	return fmt.Sprintf("bus: %s at PA %#x: %s", e.Acc, e.PA, e.Reason)
+}
+
+// Read performs a physical read of size bytes, returning the value and the
+// access cycle cost.
+func (b *Bus) Read(pa uint64, size int) (uint64, uint64, error) {
+	if b.IsRAM(pa, uint64(size)) {
+		var v uint64
+		var err error
+		switch size {
+		case 1:
+			var b8 byte
+			b8, err = b.RAM.Read8(pa)
+			v = uint64(b8)
+		case 4:
+			var b32 uint32
+			b32, err = b.RAM.Read32(pa)
+			v = uint64(b32)
+		case 8:
+			v, err = b.RAM.Read64(pa)
+		default:
+			err = fmt.Errorf("bus: unsupported RAM read size %d", size)
+		}
+		return v, b.RAMCycles, err
+	}
+	if dev, base, ok := b.Lookup(pa); ok {
+		v, err := dev.ReadReg(pa-base, size)
+		return v, dev.AccessCycles(), err
+	}
+	return 0, 0, &BusError{PA: pa, Acc: Read, Reason: "no RAM or device mapped"}
+}
+
+// Write performs a physical write of size bytes, returning the access cycle
+// cost.
+func (b *Bus) Write(pa uint64, size int, v uint64) (uint64, error) {
+	if b.IsRAM(pa, uint64(size)) {
+		var err error
+		switch size {
+		case 1:
+			err = b.RAM.Write8(pa, byte(v))
+		case 4:
+			err = b.RAM.Write32(pa, uint32(v))
+		case 8:
+			err = b.RAM.Write64(pa, v)
+		default:
+			err = fmt.Errorf("bus: unsupported RAM write size %d", size)
+		}
+		return b.RAMCycles, err
+	}
+	if dev, base, ok := b.Lookup(pa); ok {
+		return dev.AccessCycles(), dev.WriteReg(pa-base, size, v)
+	}
+	return 0, &BusError{PA: pa, Acc: Write, Reason: "no RAM or device mapped"}
+}

@@ -1,0 +1,105 @@
+package bus
+
+import (
+	"testing"
+
+	"kvmarm/internal/mem"
+)
+
+type fakeDev struct {
+	name   string
+	reads  int
+	writes int
+	last   uint64
+	cost   uint64
+}
+
+func (d *fakeDev) Name() string         { return d.name }
+func (d *fakeDev) AccessCycles() uint64 { return d.cost }
+func (d *fakeDev) ReadReg(off uint64, size int) (uint64, error) {
+	d.reads++
+	return off | 0x100, nil
+}
+func (d *fakeDev) WriteReg(off uint64, size int, v uint64) error {
+	d.writes++
+	d.last = v
+	return nil
+}
+
+func newBus(t *testing.T) *Bus {
+	t.Helper()
+	return New(mem.New(0x8000_0000, 1<<20))
+}
+
+func TestRAMAccessCost(t *testing.T) {
+	b := newBus(t)
+	cost, err := b.Write(0x8000_0000, 4, 7)
+	if err != nil || cost != b.RAMCycles {
+		t.Fatalf("cost=%d err=%v", cost, err)
+	}
+	v, cost, err := b.Read(0x8000_0000, 4)
+	if err != nil || v != 7 || cost != b.RAMCycles {
+		t.Fatalf("v=%d cost=%d err=%v", v, cost, err)
+	}
+}
+
+func TestDeviceDispatchAndCost(t *testing.T) {
+	b := newBus(t)
+	d := &fakeDev{name: "d", cost: 42}
+	if err := b.Map(0x1000_0000, 0x1000, d); err != nil {
+		t.Fatal(err)
+	}
+	v, cost, err := b.Read(0x1000_0010, 4)
+	if err != nil || v != 0x110 || cost != 42 {
+		t.Fatalf("v=%#x cost=%d err=%v", v, cost, err)
+	}
+	if cost, err := b.Write(0x1000_0020, 4, 9); err != nil || cost != 42 {
+		t.Fatalf("cost=%d err=%v", cost, err)
+	}
+	if d.reads != 1 || d.writes != 1 || d.last != 9 {
+		t.Fatalf("dev state: %+v", d)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	b := newBus(t)
+	d := &fakeDev{name: "a", cost: 1}
+	if err := b.Map(0x1000_0000, 0x2000, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Map(0x1000_1000, 0x1000, &fakeDev{name: "b"}); err == nil {
+		t.Error("overlapping device mapping must fail")
+	}
+	if err := b.Map(0x8000_0000, 0x1000, &fakeDev{name: "c"}); err == nil {
+		t.Error("mapping over RAM must fail")
+	}
+	if err := b.Map(0x2000_0000, 0, &fakeDev{name: "z"}); err == nil {
+		t.Error("zero-size mapping must fail")
+	}
+}
+
+func TestHoleIsBusError(t *testing.T) {
+	b := newBus(t)
+	if _, _, err := b.Read(0x4000_0000, 4); err == nil {
+		t.Fatal("read from hole must fail")
+	} else if _, ok := err.(*BusError); !ok {
+		t.Fatalf("error type %T", err)
+	}
+}
+
+func TestLookupOrdering(t *testing.T) {
+	b := newBus(t)
+	d1 := &fakeDev{name: "one", cost: 1}
+	d2 := &fakeDev{name: "two", cost: 1}
+	_ = b.Map(0x2000_0000, 0x1000, d2)
+	_ = b.Map(0x1000_0000, 0x1000, d1)
+	if dev, base, ok := b.Lookup(0x1000_0800); !ok || dev != d1 || base != 0x1000_0000 {
+		t.Fatalf("lookup low: %v %#x %v", dev, base, ok)
+	}
+	if dev, _, ok := b.Lookup(0x2000_0000); !ok || dev != d2 {
+		t.Fatal("lookup high")
+	}
+	if _, _, ok := b.Lookup(0x1800_0000); ok {
+		t.Fatal("gap must miss")
+	}
+}

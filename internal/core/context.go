@@ -1,0 +1,128 @@
+// Package core implements KVM/ARM: the split-mode hypervisor of the paper.
+//
+// The hypervisor is split into two components (§3.1, Figure 2):
+//
+//   - the lowvisor (lowvisor.go) runs in Hyp mode, kept to an absolute
+//     minimum: it configures execution contexts, performs the world switch,
+//     and is the virtualization trap handler;
+//   - the highvisor (highvisor.go) runs in kernel mode as part of the host
+//     kernel, where it reuses minOS services — the scheduler, memory
+//     allocation (GetUserPages), software timers and wait queues — to do
+//     the bulk of the work: Stage-2 fault handling, MMIO emulation and
+//     routing, the virtual distributor, virtual timer multiplexing.
+//
+// Because the hypervisor spans kernel mode and Hyp mode, every transition
+// between a VM and the highvisor is a *double trap*: VM → Hyp (hardware
+// trap into the lowvisor) → host kernel mode (world switch out), and back.
+package core
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/gic"
+	"kvmarm/internal/timer"
+)
+
+// GuestContext is the per-vCPU state moved by the world switch — exactly
+// the "Context Switch" half of Table 1, plus the software execution context
+// (which PL1 software the VM runs).
+type GuestContext struct {
+	// GP is the 38-register general-purpose set.
+	GP arm.GPSnapshot
+	// CP15 holds the 26 context-switched control registers, indexed in
+	// arm.CtxControlRegs order.
+	CP15 [arm.NumCtxControlRegs]uint32
+	// Shadow ID registers presented to the VM (world-switch step 7).
+	VPIDR  uint32
+	VMPIDR uint32
+	// VGIC is the saved VGIC CPU-interface state (16 control + 4 list
+	// registers).
+	VGIC gic.VGICCpu
+	// VTimer is the virtual timer state (2 control registers + CNTVOFF).
+	VTimer timer.VirtState
+	// VFP is the guest floating-point state (32 × 64-bit + 4 control),
+	// switched lazily: Dirty marks that the guest touched FP since entry.
+	VFP   arm.VFP
+	Dirty bool
+
+	// PL1Software is the guest's kernel-mode software: installed as the
+	// CPU's PL1 handler while the VM runs. Swapping it is what "switching
+	// the world" means for the parts of the VM that run in kernel mode.
+	PL1Software arm.ExcHandler
+	// Runner is the guest's execution content (a guest kernel scheduler
+	// or a bare SARM32 interpreter).
+	Runner arm.Runner
+}
+
+// Reg reads GP register n from a saved context, honouring the banked view
+// of the saved CPSR's mode (the highvisor reads the faulting instruction's
+// source register this way during MMIO emulation).
+func (g *GuestContext) Reg(n int) uint32 {
+	mode := arm.Mode(g.GP.CPSR & arm.PSRModeMask)
+	switch {
+	case n < 8:
+		return g.GP.Low[n]
+	case n < 13:
+		if mode == arm.ModeFIQ {
+			return g.GP.Mid[1][n-8]
+		}
+		return g.GP.Mid[0][n-8]
+	case n == arm.RegSP:
+		return g.GP.SP[bankIndexOf(mode)]
+	case n == arm.RegLR:
+		return g.GP.LR[bankIndexOf(mode)]
+	case n == arm.RegPC:
+		return g.GP.PC
+	}
+	return 0
+}
+
+// SetReg writes GP register n in a saved context (MMIO load emulation).
+func (g *GuestContext) SetReg(n int, v uint32) {
+	mode := arm.Mode(g.GP.CPSR & arm.PSRModeMask)
+	switch {
+	case n < 8:
+		g.GP.Low[n] = v
+	case n < 13:
+		if mode == arm.ModeFIQ {
+			g.GP.Mid[1][n-8] = v
+		} else {
+			g.GP.Mid[0][n-8] = v
+		}
+	case n == arm.RegSP:
+		g.GP.SP[bankIndexOf(mode)] = v
+	case n == arm.RegLR:
+		g.GP.LR[bankIndexOf(mode)] = v
+	case n == arm.RegPC:
+		g.GP.PC = v
+	}
+}
+
+// bankIndexOf maps a mode to the GPSnapshot SP/LR slot (usr, svc, abt,
+// und, irq, fiq).
+func bankIndexOf(m arm.Mode) int {
+	switch m {
+	case arm.ModeSVC:
+		return 1
+	case arm.ModeABT:
+		return 2
+	case arm.ModeUND:
+		return 3
+	case arm.ModeIRQ:
+		return 4
+	case arm.ModeFIQ:
+		return 5
+	default:
+		return 0 // usr/sys (hyp never appears in a guest context)
+	}
+}
+
+// hostContext is the host-side state the lowvisor parks on its "Hyp stack"
+// during guest execution (world-switch steps 1 and 4).
+type hostContext struct {
+	GP          arm.GPSnapshot
+	CP15        [arm.NumCtxControlRegs]uint32
+	CPSR        uint32
+	PL1Software arm.ExcHandler
+	Runner      arm.Runner
+	VFP         arm.VFP
+}

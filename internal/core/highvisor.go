@@ -1,0 +1,382 @@
+package core
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/gic"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/mmu"
+	"kvmarm/internal/timer"
+)
+
+// Highvisor is the kernel-mode half of KVM/ARM (§3.1): it runs as part of
+// the host kernel and leverages its services — GetUserPages-style
+// allocation for Stage-2 faults, software timers for virtual timer
+// multiplexing, wait queues for WFI blocking — plus the virtual
+// distributor and all MMIO emulation and routing.
+type Highvisor struct {
+	kvm *KVM
+}
+
+func newHighvisor(k *KVM) *Highvisor { return &Highvisor{kvm: k} }
+
+// handleExit runs immediately after a world switch out, in host kernel
+// context. Exits it can finish in the kernel re-enter the guest before
+// returning (paying the double trap both ways); exits that need the vCPU
+// thread (WFI blocking, physical interrupts, shutdown) just set the vCPU
+// state and unwind.
+func (h *Highvisor) handleExit(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint32, insnOK bool) {
+	v.Stats.Exits++
+	switch e.Kind {
+	case arm.ExcIRQ, arm.ExcFIQ:
+		// A physical interrupt while the VM ran: the host kernel takes
+		// it as soon as we unwind (its CPSR unmasks IRQs); the vCPU
+		// thread then re-enters.
+		v.vm.Stats.IRQExits++
+		v.state = vcpuNeedEnter
+		if v.pauseReq {
+			v.state = vcpuPaused
+		}
+		h.vtimerOnExit(c, v)
+		return
+	case arm.ExcHVC:
+		h.handleHypercall(c, v, e)
+		return
+	case arm.ExcHypTrap:
+		switch arm.HSREC(e.HSR) {
+		case arm.ECHVC:
+			h.handleHypercall(c, v, e)
+		case arm.ECWFx:
+			v.vm.Stats.WFIExits++
+			v.Ctx.GP.PC += 4 // skip the WFI/WFE
+			v.state = vcpuBlockedWFI
+			h.vtimerOnExit(c, v)
+		case arm.ECDataAbort, arm.ECInstrAbort:
+			h.handleAbort(c, v, e, insn, insnOK)
+		case arm.ECCP15, arm.ECCP14:
+			v.vm.Stats.SysRegTraps++
+			h.emulateSysReg(c, v, e)
+			v.Ctx.GP.PC += 4
+			h.reenter(c, v)
+		case arm.ECSMC:
+			// VMs may not reach secure firmware; emulate as a NOP.
+			v.Ctx.GP.PC += 4
+			h.reenter(c, v)
+		default:
+			v.state = vcpuNeedEnter
+		}
+	default:
+		v.state = vcpuNeedEnter
+	}
+}
+
+// reenter performs the second half of an in-kernel handled exit: HVC back
+// into the lowvisor and world switch in — unless user space asked for a
+// pause, in which case the vCPU parks with its state saved.
+func (h *Highvisor) reenter(c *arm.CPU, v *VCPU) {
+	if v.pauseReq {
+		v.state = vcpuPaused
+		return
+	}
+	h.kvm.low.CallEnterGuest(c, v)
+}
+
+// handleHypercall services guest HVC calls: PSCI power management, or the
+// null hypercall used by the Table 3 micro-benchmark ("two world switches
+// ... without doing any work in the host").
+func (h *Highvisor) handleHypercall(c *arm.CPU, v *VCPU, e *arm.Exception) {
+	v.vm.Stats.Hypercalls++
+	switch e.Imm {
+	case PSCISystemOff:
+		for _, o := range v.vm.vcpus {
+			if o != v {
+				o.Wake(c.ID) // unblock before marking shutdown
+			}
+			o.state = vcpuShutdown
+		}
+		return
+	default:
+		// Null hypercall: immediately back in.
+		h.reenter(c, v)
+	}
+}
+
+// handleAbort distinguishes Stage-2 RAM faults (resolved with the host
+// kernel's allocator, §3.3) from MMIO aborts (emulated, §3.4).
+func (h *Highvisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint32, insnOK bool) {
+	vm := v.vm
+	ipa := e.FaultIPA
+	if vm.inSlot(ipa) {
+		vm.Stats.Stage2Faults++
+		// get_user_pages + map into the Stage-2 tables; the faulting
+		// access retries after re-entry.
+		pa, err := h.kvm.Host.Alloc.AllocPages(1)
+		if err != nil {
+			v.state = vcpuShutdown
+			return
+		}
+		if err := vm.S2.MapPage(uint32(ipa)&^(mmu.PageSize-1), pa, mmu.MapFlags{W: true}); err != nil {
+			v.state = vcpuShutdown
+			return
+		}
+		// get_user_pages + rmap + memslot bookkeeping, then the page
+		// itself.
+		c.Charge(h.kvm.Host.Cost.FaultWork + h.kvm.Host.Cost.PageZero)
+		h.reenter(c, v)
+		return
+	}
+
+	// MMIO: describe the access from the syndrome, or decode the
+	// instruction loaded by the lowvisor (§4: the software decoder).
+	isv, sizeLog2, rt, write := arm.DecodeDataAbortISS(arm.HSRISS(e.HSR))
+	size := 1 << sizeLog2
+	if !isv {
+		if !insnOK {
+			// Cannot describe the access: treat as a guest bug.
+			v.state = vcpuShutdown
+			return
+		}
+		in := isa.Decode(insn)
+		isMem, isStore, _, sz := in.IsMemAccess()
+		if !isMem {
+			v.state = vcpuShutdown
+			return
+		}
+		vm.Stats.MMIODecoded++
+		write, size, rt = isStore, sz, in.Rd
+		c.Charge(200) // decode work
+	}
+	h.emulateMMIO(c, v, ipa, write, size, rt)
+	v.Ctx.GP.PC += 4
+	h.reenter(c, v)
+}
+
+// emulateMMIO routes an MMIO access: the virtual distributor and other
+// in-kernel devices are emulated directly; everything else goes to user
+// space (QEMU), paying the kernel→user→kernel transition.
+func (h *Highvisor) emulateMMIO(c *arm.CPU, v *VCPU, ipa uint64, write bool, size, rt int) {
+	vm := v.vm
+	vm.Stats.MMIOExits++
+
+	// Virtual distributor: in-kernel with VGIC support (§3.5). Without
+	// it, interrupt-controller emulation lives in QEMU: "sending, EOIing
+	// and ACKing interrupts trap to the hypervisor and are handled by
+	// QEMU in user space" (§5.2).
+	if ipa >= machine.GICDistBase && ipa < machine.GICDistBase+gic.DistSize {
+		off := ipa - machine.GICDistBase
+		if write {
+			vm.VDist.WriteReg(v, off, v.Ctx.Reg(rt))
+		} else {
+			v.Ctx.SetReg(rt, vm.VDist.ReadReg(v, off))
+		}
+		if h.kvm.Board.Cfg.HasVGIC {
+			c.Charge(600) // in-kernel emulation work incl. locking
+		} else {
+			vm.Stats.MMIOUserExits++
+			c.Charge(h.kvm.UserTransitionCycles + h.kvm.QEMUWorkCycles)
+		}
+		return
+	}
+
+	// GIC CPU interface: only reachable without VGIC hardware; ACK/EOI
+	// are emulated in user space (the expensive path of Table 3).
+	if ipa >= machine.GICCPUBase && ipa < machine.GICCPUBase+gic.CPUIfaceSize {
+		vm.Stats.MMIOUserExits++
+		c.Charge(h.kvm.UserTransitionCycles + h.kvm.QEMUWorkCycles)
+		off := ipa - machine.GICCPUBase
+		switch {
+		case off == gic.GICCIar && !write:
+			id, src := vm.VDist.AckEmu(v)
+			v.Ctx.SetReg(rt, uint32(id)|uint32(src)<<gic.IARSourceShift)
+		case off == gic.GICCEoir && write:
+			vm.VDist.EOIEmu(v, int(v.Ctx.Reg(rt)&0x3FF))
+		case !write:
+			v.Ctx.SetReg(rt, 1)
+		}
+		if !h.kvm.Board.Cfg.HasVGIC {
+			c.VIRQLine = false // recomputed at re-entry
+		}
+		return
+	}
+
+	if r, off := vm.findMMIO(ipa); r != nil {
+		if r.user {
+			vm.Stats.MMIOUserExits++
+			c.Charge(h.kvm.UserTransitionCycles + h.kvm.QEMUWorkCycles)
+		} else {
+			c.Charge(620) // in-kernel device emulation work
+		}
+		if write {
+			r.h.Write(v, off, size, uint64(v.Ctx.Reg(rt)))
+		} else {
+			v.Ctx.SetReg(rt, uint32(r.h.Read(v, off, size)))
+		}
+		return
+	}
+
+	// Unbacked address: reads as zero, writes ignored (matches KVM's
+	// treatment of stray accesses well enough for a model).
+	if !write {
+		v.Ctx.SetReg(rt, 0)
+	}
+}
+
+// emulateSysReg services trapped MRC/MCR accesses (the Trap-and-Emulate
+// half of Table 1, plus counter/timer emulation when the hardware lacks
+// virtual timers).
+func (h *Highvisor) emulateSysReg(c *arm.CPU, v *VCPU, e *arm.Exception) {
+	reg, rt, read := arm.DecodeCP15ISS(arm.HSRISS(e.HSR))
+	switch reg {
+	case arm.SysACTLR, arm.SysACTLRCtx:
+		if read {
+			v.Ctx.SetReg(rt, v.Ctx.CP15[int(arm.SysACTLRCtx-arm.SysSCTLR)])
+		}
+		c.Charge(120)
+	case arm.SysL2CTLR:
+		if read {
+			// Virtual L2 geometry: report the vCPU count in the
+			// number-of-cores field.
+			v.Ctx.SetReg(rt, uint32(len(v.vm.vcpus)-1)<<24)
+		}
+		c.Charge(120)
+	case arm.SysL2ECTLR, arm.SysCSSELR, arm.SysCCSIDR, arm.SysCP14DBG, arm.SysCP14TRC:
+		if read {
+			v.Ctx.SetReg(rt, 0)
+		}
+		c.Charge(120)
+	case arm.SysDCISW, arm.SysDCCSW:
+		// Set/way cache maintenance: perform on behalf of the guest.
+		c.Charge(c.Cost.CacheOpSetWay + 150)
+	case arm.SysCNTVCTLo, arm.SysCNTVCTHi, arm.SysCNTPCTLo, arm.SysCNTPCTHi:
+		// Counter read on hardware without virtual timers: emulated in
+		// user space (§5.2: "reading a counter traps to user space
+		// without vtimers on the ARM platform").
+		v.vm.Stats.MMIOUserExits++
+		c.Charge(h.kvm.UserTransitionCycles + h.kvm.QEMUWorkCycles/2)
+		if read {
+			cnt := timer.Count(c.Clock) - v.Ctx.VTimer.CNTVOFF
+			if reg == arm.SysCNTVCTHi || reg == arm.SysCNTPCTHi {
+				v.Ctx.SetReg(rt, uint32(cnt>>32))
+			} else {
+				v.Ctx.SetReg(rt, uint32(cnt))
+			}
+		}
+	case arm.SysCNTVCTL, arm.SysCNTVTVAL, arm.SysCNTPCTL, arm.SysCNTPTVAL:
+		// Fully emulated guest timer (no vtimer hardware).
+		v.vm.Stats.MMIOUserExits++
+		c.Charge(h.kvm.UserTransitionCycles + h.kvm.QEMUWorkCycles/2)
+		h.emulateTimerReg(c, v, reg, rt, read)
+	default:
+		if read {
+			v.Ctx.SetReg(rt, 0)
+		}
+		c.Charge(120)
+	}
+}
+
+// emulateTimerReg maintains the software model of the guest timer when
+// there is no virtual timer hardware, arming a host soft timer for the
+// programmed deadline.
+func (h *Highvisor) emulateTimerReg(c *arm.CPU, v *VCPU, reg arm.SysReg, rt int, read bool) {
+	vt := &v.Ctx.VTimer
+	vnow := timer.Count(c.Clock) - vt.CNTVOFF
+	switch reg {
+	case arm.SysCNTVCTL, arm.SysCNTPCTL:
+		if read {
+			val := vt.CTL &^ timer.CTLIStatus
+			if vt.CTL&timer.CTLEnable != 0 && vnow >= vt.CVAL {
+				val |= timer.CTLIStatus
+			}
+			v.Ctx.SetReg(rt, val)
+			return
+		}
+		vt.CTL = v.Ctx.Reg(rt) &^ timer.CTLIStatus
+	case arm.SysCNTVTVAL, arm.SysCNTPTVAL:
+		if read {
+			v.Ctx.SetReg(rt, uint32(vt.CVAL-vnow))
+			return
+		}
+		vt.CVAL = vnow + uint64(int64(int32(v.Ctx.Reg(rt))))
+	}
+	// (Re)arm the host soft timer for the emulated deadline.
+	h.cancelSoftTimer(c, v)
+	if vt.CTL&timer.CTLEnable != 0 && vt.CTL&timer.CTLIMask == 0 {
+		h.armSoftTimer(c, v)
+	}
+}
+
+// --- Virtual timer multiplexing (§3.6) ---
+
+// vtimerOnEntry cancels any host soft timer standing in for the vCPU's
+// virtual timer and loads the real virtual timer hardware. A timer whose
+// expiry was already forwarded as a virtual interrupt is restored masked,
+// so its (level) hardware interrupt does not immediately force another
+// exit; the guest's handler reprograms it.
+func (h *Highvisor) vtimerOnEntry(c *arm.CPU, v *VCPU) {
+	if !h.kvm.Board.Cfg.HasVirtTimer {
+		// Fully emulated timer: the host soft timer must KEEP running
+		// while the guest executes — it is the only thing that can
+		// interrupt the vCPU at the emulated deadline.
+		return
+	}
+	h.cancelSoftTimer(c, v)
+	st := v.Ctx.VTimer
+	if st.CTL&timer.CTLEnable != 0 && st.CTL&timer.CTLIMask == 0 {
+		if timer.Count(c.Clock)-st.CNTVOFF >= st.CVAL {
+			st.CTL |= timer.CTLIMask
+			v.Ctx.VTimer = st
+		}
+	}
+	h.kvm.Board.Timers.RestoreVirt(c.ID, st, c.Clock)
+}
+
+// vtimerOnExit checks a descheduled vCPU's virtual timer: if it already
+// fired, inject the virtual interrupt now (ACK/EOI of the physical side
+// were done by the host IRQ path); if it is armed for the future, program
+// a host software timer for the residual (§3.6).
+func (h *Highvisor) vtimerOnExit(c *arm.CPU, v *VCPU) {
+	vt := v.Ctx.VTimer
+	if vt.CTL&timer.CTLEnable == 0 || vt.CTL&timer.CTLIMask != 0 {
+		return
+	}
+	vnow := timer.Count(c.Clock) - vt.CNTVOFF
+	if vnow >= vt.CVAL {
+		// Mask the (already forwarded) expiry so it is not re-injected
+		// on every subsequent exit.
+		v.Ctx.VTimer.CTL |= timer.CTLIMask
+		h.injectVTimer(c.ID, v)
+		return
+	}
+	if v.softTimerID != 0 {
+		return // already armed (emulated-timer configurations)
+	}
+	h.armSoftTimer(c, v)
+}
+
+func (h *Highvisor) armSoftTimer(c *arm.CPU, v *VCPU) {
+	vt := v.Ctx.VTimer
+	vnow := timer.Count(c.Clock) - vt.CNTVOFF
+	delay := vt.CVAL - vnow
+	hostCPU := c.ID
+	v.softTimerCPU = hostCPU
+	v.softTimerID = h.kvm.Host.AddTimer(hostCPU, c, delay+1, func(_ *kernel.Kernel, cpu int) {
+		v.softTimerID = 0
+		h.injectVTimer(cpu, v)
+	})
+}
+
+func (h *Highvisor) cancelSoftTimer(c *arm.CPU, v *VCPU) {
+	if v.softTimerID != 0 {
+		h.kvm.Host.CancelTimer(v.softTimerCPU, c, v.softTimerID)
+		v.softTimerID = 0
+	}
+}
+
+// injectVTimer delivers the virtual timer interrupt to the vCPU through
+// the virtual distributor, waking it if blocked.
+func (h *Highvisor) injectVTimer(fromHostCPU int, v *VCPU) {
+	v.vm.Stats.VTimerInjected++
+	v.vm.VDist.InjectPPI(v, gic.IRQVirtTimer)
+	v.Wake(fromHostCPU)
+}

@@ -1,0 +1,601 @@
+package core
+
+import (
+	"fmt"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/dev"
+	"kvmarm/internal/gic"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/mmu"
+)
+
+// PSCI function IDs (guest power management hypercalls).
+const (
+	PSCISystemOff uint16 = 0x808
+	PSCICPUOn     uint16 = 0x803
+)
+
+// KVM is the hypervisor instance: the KVM subsystem of the host kernel.
+type KVM struct {
+	Board *machine.Board
+	Host  *kernel.Kernel
+
+	low  *Lowvisor
+	high *Highvisor
+
+	vms      []*VM
+	nextVMID uint8
+
+	// LazyVGIC enables the optimisation of §3.5 (skip list-register
+	// save/restore when no virtual interrupts are in flight). The
+	// "initial unoptimized version" of the paper context-switches all
+	// VGIC state on every world switch; benchmarks flip this for the
+	// ablation.
+	LazyVGIC bool
+
+	// UserTransitionCycles is the host kernel→user→kernel round trip for
+	// QEMU-emulated MMIO (the difference between I/O User and I/O Kernel
+	// in Table 3).
+	UserTransitionCycles uint64
+	// QEMUWorkCycles is the user-space device emulation work per exit.
+	QEMUWorkCycles uint64
+}
+
+// Init brings KVM up on a booted host kernel, per the paper's boot
+// protocol: it fails cleanly when the kernel was not entered in Hyp mode.
+func Init(b *machine.Board, host *kernel.Kernel) (*KVM, error) {
+	k := &KVM{
+		Board:                b,
+		Host:                 host,
+		UserTransitionCycles: 3000,
+		QEMUWorkCycles:       1400,
+	}
+	k.low = newLowvisor(k)
+	k.high = newHighvisor(k)
+	if err := k.low.initHyp(); err != nil {
+		return nil, err
+	}
+	// The VGIC maintenance interrupt tells the hypervisor that a guest
+	// completed a level-triggered virtual interrupt.
+	if b.Cfg.HasVGIC {
+		host.RegisterIRQ(gic.IRQMaintenance, func(_ *kernel.Kernel, cpu int) {
+			b.GIC.ClearMaintenance(cpu)
+		})
+	}
+	// The §6 direct-VIPI hardware routes guest SGI writes straight into
+	// the issuing VM's virtual distributor, no exit taken.
+	if b.Cfg.HasDirectVIPI && b.VSGI != nil {
+		b.VSGI.Deliver = func(cpu int, mask uint8, id int) {
+			if v := k.low.loaded[cpu]; v != nil {
+				v.vm.VDist.SendSGIFrom(v, mask, id)
+			}
+		}
+	}
+	// Enable the virtual-timer PPI on the physical GIC: an expiring guest
+	// timer raises a *hardware* interrupt that must force an exit so the
+	// hypervisor can inject the virtual interrupt (§3.6 — "the virtual
+	// timers cannot directly raise virtual interrupts, but always raise
+	// hardware interrupts, which trap to the hypervisor").
+	for cpu := range b.CPUs {
+		if err := b.GIC.EnableIRQ(cpu, gic.IRQVirtTimer); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}
+
+// Lowvisor exposes the Hyp-mode component (benchmark instrumentation).
+func (k *KVM) Lowvisor() *Lowvisor { return k.low }
+
+// MemSlot is a guest-physical memory region backed lazily by host pages
+// (KVM_SET_USER_MEMORY_REGION).
+type MemSlot struct {
+	IPABase uint64
+	Size    uint64
+}
+
+// MMIOHandler emulates a device region for a VM.
+type MMIOHandler interface {
+	Name() string
+	Read(v *VCPU, off uint64, size int) uint64
+	Write(v *VCPU, off uint64, size int, val uint64)
+}
+
+type mmioRegion struct {
+	base, size uint64
+	h          MMIOHandler
+	user       bool // emulated in user space (QEMU) rather than in-kernel
+}
+
+// VMStats counts per-VM hypervisor activity.
+type VMStats struct {
+	Stage2Faults   uint64
+	MMIOExits      uint64
+	MMIOUserExits  uint64
+	MMIODecoded    uint64 // software instruction decode used
+	SysRegTraps    uint64
+	WFIExits       uint64
+	IRQExits       uint64
+	Hypercalls     uint64
+	VTimerInjected uint64
+	IPIsEmulated   uint64
+}
+
+// VM is one virtual machine.
+type VM struct {
+	kvm  *KVM
+	VMID uint8
+	// S2 is the Stage-2 page table (IPA → PA), owned by the highvisor.
+	S2    *mmu.Builder
+	slots []MemSlot
+	VDist *VDist
+	vcpus []*VCPU
+
+	mmio []mmioRegion
+
+	// Virtual devices (QEMU-side models; completions raise virtual SPIs
+	// through the virtual distributor).
+	Net *dev.Virt
+	Blk *dev.Virt
+	Con *dev.Virt
+	// Console collects virtual UART output.
+	Console []byte
+
+	// lastGuestCPU is the physical CPU most recently executing this VM
+	// (set on world switch in; the guest-physical I/O adapter uses it).
+	lastGuestCPU *arm.CPU
+
+	Stats VMStats
+}
+
+// CreateVM builds a VM with memBytes of guest RAM at the canonical base.
+func (k *KVM) CreateVM(memBytes uint64) (*VM, error) {
+	k.nextVMID++
+	if k.nextVMID == 0 {
+		return nil, fmt.Errorf("core: out of VMIDs")
+	}
+	s2, err := mmu.NewBuilder(mmu.TableStage2, k.Board.RAM, k.Host.Alloc)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{kvm: k, VMID: k.nextVMID, S2: s2}
+	vm.slots = []MemSlot{{IPABase: machine.RAMBase, Size: memBytes}}
+	vm.VDist = newVDist(vm)
+
+	if k.Board.Cfg.HasVGIC {
+		// Map the VGIC virtual CPU interface at the IPA where guests
+		// expect the GIC CPU interface (§3.5): ACK/EOI run without
+		// traps, on the same driver the host uses.
+		if err := s2.MapPage(uint32(machine.GICCPUBase), machine.GICVBase, mmu.MapFlags{W: true}); err != nil {
+			return nil, err
+		}
+	}
+	if k.Board.Cfg.HasDirectVIPI {
+		// §6 extension: the direct virtual-SGI register is guest-visible.
+		if err := s2.MapPage(uint32(machine.GICVSGIBase), machine.GICVSGIBase, mmu.MapFlags{W: true}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Default emulated devices, mirroring the host board's layout so the
+	// unmodified guest kernel discovers them at the same addresses.
+	// Virtio block and network are emulated in QEMU (user space); the
+	// console UART too.
+	vm.Net = vm.newVirtDevice(dev.VirtNet, machine.IRQNet, 0.0074, 22_000)
+	vm.Blk = vm.newVirtDevice(dev.VirtBlock, machine.IRQBlk, 0.147, 150_000)
+	vm.Con = vm.newVirtDevice(dev.VirtConsole, machine.IRQCon, 1.0, 6_000)
+	vm.AddUserMMIO(machine.VirtNetBase, dev.VirtSize, &virtMMIO{vm.Net})
+	vm.AddUserMMIO(machine.VirtBlkBase, dev.VirtSize, &virtMMIO{vm.Blk})
+	vm.AddUserMMIO(machine.VirtConBase, dev.VirtSize, &virtMMIO{vm.Con})
+	vm.AddUserMMIO(machine.UARTBase, dev.UARTSize, &uartMMIO{vm})
+
+	k.vms = append(k.vms, vm)
+	return vm, nil
+}
+
+func (vm *VM) newVirtDevice(class dev.VirtClass, irq int, bw float64, lat uint64) *dev.Virt {
+	return &dev.Virt{
+		Class: class, IRQ: irq, BytesPerCycle: bw, FixedLatency: lat,
+		Sched: vm.kvm.Board.Schedule,
+		Now:   vm.kvm.Board.Now,
+		RaiseIRQ: func(irq int, level bool) {
+			vm.VDist.InjectSPI(irq, level)
+		},
+	}
+}
+
+// AddUserMMIO registers a QEMU-emulated region (I/O User path).
+func (vm *VM) AddUserMMIO(base, size uint64, h MMIOHandler) {
+	vm.mmio = append(vm.mmio, mmioRegion{base: base, size: size, h: h, user: true})
+}
+
+// AddKernelMMIO registers an in-kernel emulated region (I/O Kernel path,
+// like vhost).
+func (vm *VM) AddKernelMMIO(base, size uint64, h MMIOHandler) {
+	vm.mmio = append(vm.mmio, mmioRegion{base: base, size: size, h: h, user: false})
+}
+
+// EnsureMapped populates the Stage-2 mapping for the page containing ipa
+// (the host/QEMU touching guest memory faults it in just like the guest
+// would) and returns the backing PA.
+func (vm *VM) EnsureMapped(ipa uint64) (uint64, error) {
+	page := ipa &^ (mmu.PageSize - 1)
+	if pa, ok, err := vm.S2.Lookup(uint32(page)); err != nil {
+		return 0, err
+	} else if ok {
+		return pa | (ipa & (mmu.PageSize - 1)), nil
+	}
+	if !vm.inSlot(ipa) {
+		return 0, fmt.Errorf("core: IPA %#x not in any memory slot", ipa)
+	}
+	pa, err := vm.kvm.Host.Alloc.AllocPages(1)
+	if err != nil {
+		return 0, err
+	}
+	if err := vm.S2.MapPage(uint32(page), pa, mmu.MapFlags{W: true}); err != nil {
+		return 0, err
+	}
+	return pa | (ipa & (mmu.PageSize - 1)), nil
+}
+
+// WriteGuestMem copies data into guest-physical memory, populating Stage-2
+// mappings as needed (QEMU loading a guest image).
+func (vm *VM) WriteGuestMem(ipa uint64, data []byte) error {
+	for off := 0; off < len(data); {
+		pa, err := vm.EnsureMapped(ipa + uint64(off))
+		if err != nil {
+			return err
+		}
+		n := int(mmu.PageSize - (ipa+uint64(off))&(mmu.PageSize-1))
+		if n > len(data)-off {
+			n = len(data) - off
+		}
+		if err := vm.kvm.Board.RAM.WriteBytes(pa, data[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// ReadGuestMem copies guest-physical memory out (QEMU inspecting a guest).
+func (vm *VM) ReadGuestMem(ipa uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for off := 0; off < n; {
+		pa, err := vm.EnsureMapped(ipa + uint64(off))
+		if err != nil {
+			return nil, err
+		}
+		chunk := int(mmu.PageSize - (ipa+uint64(off))&(mmu.PageSize-1))
+		if chunk > n-off {
+			chunk = n - off
+		}
+		if err := vm.kvm.Board.RAM.ReadBytes(pa, out[off:off+chunk]); err != nil {
+			return nil, err
+		}
+		off += chunk
+	}
+	return out, nil
+}
+
+// SetUserMemoryRegion adds a guest RAM slot.
+func (vm *VM) SetUserMemoryRegion(ipaBase, size uint64) {
+	vm.slots = append(vm.slots, MemSlot{IPABase: ipaBase, Size: size})
+}
+
+func (vm *VM) inSlot(ipa uint64) bool {
+	for _, s := range vm.slots {
+		if ipa >= s.IPABase && ipa < s.IPABase+s.Size {
+			return true
+		}
+	}
+	return false
+}
+
+func (vm *VM) findMMIO(ipa uint64) (*mmioRegion, uint64) {
+	for i := range vm.mmio {
+		r := &vm.mmio[i]
+		if ipa >= r.base && ipa < r.base+r.size {
+			return r, ipa - r.base
+		}
+	}
+	return nil, 0
+}
+
+func (vm *VM) noteGuestCPU(c *arm.CPU) { vm.lastGuestCPU = c }
+
+// VCPUs returns the VM's vCPUs.
+func (vm *VM) VCPUs() []*VCPU { return vm.vcpus }
+
+type vcpuState int
+
+const (
+	vcpuNeedEnter vcpuState = iota
+	vcpuRunning
+	vcpuBlockedWFI
+	vcpuPaused
+	vcpuShutdown
+)
+
+// VCPUStats counts per-vCPU exits.
+type VCPUStats struct {
+	Exits   uint64
+	Entries uint64
+}
+
+// VCPU is one virtual CPU.
+type VCPU struct {
+	vm  *VM
+	ID  int
+	Ctx GuestContext
+
+	phys  int
+	state vcpuState
+	wq    *kernel.WaitQueue
+	proc  *kernel.Proc
+
+	// vtimer soft-timer bookkeeping while the vCPU is out of the CPU.
+	softTimerID  uint64
+	softTimerCPU int
+
+	// pauseReq asks the run loop to park the vCPU at its next exit
+	// (user-space pause for register access / migration).
+	pauseReq bool
+
+	Stats VCPUStats
+}
+
+// CreateVCPU adds a vCPU to the VM.
+func (vm *VM) CreateVCPU(id int) (*VCPU, error) {
+	if id != len(vm.vcpus) {
+		return nil, fmt.Errorf("core: vCPUs must be created in order")
+	}
+	host0 := vm.kvm.Board.CPUs[0]
+	v := &VCPU{
+		vm:   vm,
+		ID:   id,
+		phys: -1,
+		wq:   kernel.NewWaitQueue(fmt.Sprintf("vcpu%d.%d", vm.VMID, id)),
+	}
+	v.Ctx.GP.CPSR = uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF | arm.PSRA
+	v.Ctx.VPIDR = host0.CP15.Regs[arm.SysMIDR]
+	v.Ctx.VMPIDR = 0x8000_0000 | uint32(id)
+	vm.vcpus = append(vm.vcpus, v)
+	vm.VDist.addVCPU()
+	return v, nil
+}
+
+// SetGuestSoftware installs the guest's kernel-mode software context: the
+// PL1 exception handler and the execution runner the world switch loads.
+func (v *VCPU) SetGuestSoftware(h arm.ExcHandler, r arm.Runner) {
+	v.Ctx.PL1Software = h
+	v.Ctx.Runner = r
+}
+
+// VM returns the owning VM.
+func (v *VCPU) VM() *VM { return v.vm }
+
+// State reports the vCPU's run state (for tests and the harness).
+func (v *VCPU) State() string {
+	switch v.state {
+	case vcpuNeedEnter:
+		return "ready"
+	case vcpuRunning:
+		return "running"
+	case vcpuBlockedWFI:
+		return "wfi"
+	case vcpuPaused:
+		return "paused"
+	case vcpuShutdown:
+		return "shutdown"
+	}
+	return "?"
+}
+
+// Pause asks the vCPU to stop at its next exit, kicking it out of the
+// guest if it is currently running (the user-space pause used for
+// debugging and migration, §4).
+func (v *VCPU) Pause() {
+	v.pauseReq = true
+	if v.phys >= 0 && v.phys != v.vm.kvm.Board.Current {
+		_ = v.vm.kvm.Board.GIC.SendSGI(v.vm.kvm.Board.Current, 1<<uint(v.phys), 2)
+	}
+	if v.state == vcpuNeedEnter || v.state == vcpuBlockedWFI {
+		v.state = vcpuPaused
+	}
+}
+
+// Paused reports whether the vCPU is parked.
+func (v *VCPU) Paused() bool { return v.state == vcpuPaused }
+
+// Resume lets a paused vCPU run again.
+func (v *VCPU) Resume() {
+	v.pauseReq = false
+	if v.state == vcpuPaused {
+		v.state = vcpuNeedEnter
+		v.vm.kvm.Host.Wake(v.vm.kvm.Board.Current, v.wq)
+	}
+}
+
+// Shutdown marks the vCPU (and its thread) as finished.
+func (v *VCPU) Shutdown() { v.state = vcpuShutdown }
+
+// StartThread creates the host process (the "QEMU vCPU thread") that runs
+// this vCPU, pinned to hostCPU (-1 for any). The thread loops on the
+// KVM_RUN ioctl; exits that need user space are handled inline with QEMU
+// costs charged.
+func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
+	k := v.vm.kvm
+	body := kernel.BodyFunc(func(hk *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+		return v.runStep(hostCPU, c)
+	})
+	from := hostCPU
+	if from < 0 {
+		from = 0
+	}
+	proc, err := k.Host.NewProcFrom(from, fmt.Sprintf("qemu-vcpu%d.%d", v.vm.VMID, v.ID), hostCPU, body)
+	if err != nil {
+		return nil, err
+	}
+	v.proc = proc
+	return proc, nil
+}
+
+// runStep is one iteration of the vCPU thread: the KVM_RUN ioctl.
+func (v *VCPU) runStep(hostCPU int, c *arm.CPU) bool {
+	k := v.vm.kvm
+	switch v.state {
+	case vcpuShutdown:
+		return true
+	case vcpuPaused:
+		hostIdx := hostCPU
+		if hostIdx < 0 {
+			hostIdx = c.ID
+		}
+		k.Host.Block(hostIdx, v.wq)
+		return false
+	case vcpuBlockedWFI:
+		if v.hasPendingVirq() {
+			v.state = vcpuNeedEnter
+		} else {
+			// Block the vCPU thread on the host wait queue; virtual
+			// interrupt injection wakes it (§3.6 for the timer case).
+			hostIdx := hostCPU
+			if hostIdx < 0 {
+				hostIdx = c.ID
+			}
+			k.Host.Block(hostIdx, v.wq)
+			return false
+		}
+	case vcpuRunning:
+		// Already in guest (should not happen from the thread).
+		return false
+	}
+
+	// ioctl(KVM_RUN): user → kernel transition, then HVC into the
+	// lowvisor (the double trap's first half).
+	prev := c.CPSR
+	c.Charge(c.Cost.TrapToPL1 + k.Host.Cost.SyscallWork/2)
+	c.SetCPSR(uint32(arm.ModeSVC) | (prev &^ arm.PSRModeMask))
+	v.Stats.Entries++
+	k.low.CallEnterGuest(c, v)
+	// The CPU now runs the guest; this thread resumes when the
+	// highvisor returns an exit to user space (deferred states).
+	return false
+}
+
+// hasPendingVirq reports whether any virtual interrupt awaits this vCPU:
+// in the virtual distributor's software state, or already staged in a
+// (saved) list register. An interrupt can be in the second category when
+// it was flushed to the hardware just before the guest executed WFI — the
+// exit then parks it inside the saved VGIC context, and the WFI block
+// check must still see it or the vCPU sleeps through its wakeup.
+func (v *VCPU) hasPendingVirq() bool {
+	if v.vm.VDist.hasPendingFor(v) {
+		return true
+	}
+	for i := range v.Ctx.VGIC.LR {
+		st := v.Ctx.VGIC.LR[i].State
+		if st == gic.LRPending || st == gic.LRPendingActive {
+			return true
+		}
+	}
+	return false
+}
+
+// Wake unblocks a WFI-blocked vCPU (virtual interrupt arrived). May be
+// called from interrupt context on any host CPU.
+func (v *VCPU) Wake(fromHostCPU int) {
+	if v.state == vcpuBlockedWFI {
+		v.state = vcpuNeedEnter
+		v.vm.kvm.Host.Wake(fromHostCPU, v.wq)
+	}
+}
+
+// virtMMIO adapts a dev.Virt to the VM MMIO interface (QEMU's device
+// model: same register layout as the physical board's).
+type virtMMIO struct{ d *dev.Virt }
+
+func (m *virtMMIO) Name() string { return m.d.Name() }
+func (m *virtMMIO) Read(v *VCPU, off uint64, size int) uint64 {
+	val, _ := m.d.ReadReg(off, size)
+	return val
+}
+func (m *virtMMIO) Write(v *VCPU, off uint64, size int, val uint64) {
+	_ = m.d.WriteReg(off, size, val)
+}
+
+// uartMMIO is the emulated console UART.
+type uartMMIO struct{ vm *VM }
+
+func (m *uartMMIO) Name() string { return "virtual-uart" }
+func (m *uartMMIO) Read(v *VCPU, off uint64, size int) uint64 {
+	if off == dev.UARTStatus {
+		return 1
+	}
+	return 0
+}
+func (m *uartMMIO) Write(v *VCPU, off uint64, size int, val uint64) {
+	if off == dev.UARTTx {
+		m.vm.Console = append(m.vm.Console, byte(val))
+	}
+}
+
+// GuestPhysIO gives a guest kernel access to its own (guest-)physical
+// address space: every access is a real load/store on the currently
+// executing CPU, traversing Stage-2 — so fresh pages take genuine Stage-2
+// faults into the highvisor, which resolves them with GetUserPages-style
+// allocation and retries.
+type GuestPhysIO struct {
+	VM *VM
+	// Cur returns the CPU executing guest code right now.
+	Cur func() *arm.CPU
+}
+
+func (g *GuestPhysIO) cpu() *arm.CPU {
+	if g.Cur != nil {
+		if c := g.Cur(); c != nil {
+			return c
+		}
+	}
+	return g.VM.lastGuestCPU
+}
+
+// Read64 implements kernel.PhysIO over guest-physical space.
+func (g *GuestPhysIO) Read64(ipa uint64) (uint64, error) {
+	c := g.cpu()
+	if c == nil {
+		return 0, fmt.Errorf("core: no CPU executing VM %d", g.VM.VMID)
+	}
+	// Kernel-context access: the guest kernel manipulates its tables in
+	// privileged mode even when invoked on behalf of a user process.
+	prev := c.CPSR
+	c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
+	defer c.SetCPSR(prev)
+	var v uint64
+	for tries := 0; tries < 4; tries++ {
+		if taken := c.Access(uint32(ipa), 8, mmu.Load, &v, true, 0); !taken {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unresolvable guest-physical read at %#x", ipa)
+}
+
+// Write64 implements kernel.PhysIO over guest-physical space.
+func (g *GuestPhysIO) Write64(ipa uint64, v uint64) error {
+	c := g.cpu()
+	if c == nil {
+		return fmt.Errorf("core: no CPU executing VM %d", g.VM.VMID)
+	}
+	prev := c.CPSR
+	c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
+	defer c.SetCPSR(prev)
+	for tries := 0; tries < 4; tries++ {
+		if taken := c.Access(uint32(ipa), 8, mmu.Store, &v, true, 0); !taken {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unresolvable guest-physical write at %#x", ipa)
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+
+	"kvmarm/internal/gic"
+)
+
+// VDist is the virtual distributor of §3.5: "a software model of the GIC
+// distributor as part of the highvisor". It exposes the same MMIO register
+// map as the physical distributor to the VM (every VM access traps here),
+// an interface for emulated devices to raise virtual interrupts, and it
+// programs the hardware list registers whenever a vCPU runs.
+type VDist struct {
+	vm      *VM
+	enabled bool
+
+	// priv is the banked SGI/PPI state per vCPU.
+	priv [][gic.SPIBase]virqState
+	// sgiSrc records the requesting vCPU per pending SGI.
+	sgiSrc [][gic.NumSGIs]int
+	// spi is the shared interrupt state.
+	spi []virqState
+
+	// Stats.
+	Injections uint64
+	SGIs       uint64
+	Flushes    uint64
+}
+
+type virqState struct {
+	enabled  bool
+	pending  bool
+	active   bool
+	inflight bool // staged in a hardware list register
+	level    bool // device line level (level-triggered SPIs)
+	target   uint8
+	// raised/staged count interrupt instances: an edge raised after the
+	// current instance was staged into a list register must survive that
+	// instance's retirement (otherwise an IPI sent while the previous
+	// one is being EOId is silently lost).
+	raised uint64
+	staged uint64
+}
+
+// deliverable reports whether s holds an undelivered instance for v.
+func (s *virqState) deliverable() bool {
+	return s.enabled && s.pending && !s.active && (!s.inflight || s.raised > s.staged)
+}
+
+const vdistSPIs = 96
+
+func newVDist(vm *VM) *VDist {
+	return &VDist{vm: vm, enabled: true, spi: make([]virqState, vdistSPIs)}
+}
+
+func (d *VDist) addVCPU() {
+	d.priv = append(d.priv, [gic.SPIBase]virqState{})
+	d.sgiSrc = append(d.sgiSrc, [gic.NumSGIs]int{})
+}
+
+func (d *VDist) irq(vcpu, id int) *virqState {
+	if id >= 0 && id < gic.SPIBase {
+		return &d.priv[vcpu][id]
+	}
+	if id >= gic.SPIBase && id-gic.SPIBase < len(d.spi) {
+		return &d.spi[id-gic.SPIBase]
+	}
+	return nil
+}
+
+// --- Register emulation (same map as gic.DistDevice) ---
+
+// ReadReg emulates a VM read of the distributor.
+func (d *VDist) ReadReg(v *VCPU, off uint64) uint32 {
+	switch {
+	case off == gic.GICDCtlr:
+		if d.enabled {
+			return 1
+		}
+		return 0
+	case off == gic.GICDTyper:
+		return uint32((gic.SPIBase+vdistSPIs)/32 - 1)
+	case off >= gic.GICDIsenabler && off < gic.GICDIsenabler+0x80:
+		word := int(off-gic.GICDIsenabler) / 4
+		var bits uint32
+		for b := 0; b < 32; b++ {
+			if s := d.irq(v.ID, word*32+b); s != nil && s.enabled {
+				bits |= 1 << b
+			}
+		}
+		return bits
+	case off >= gic.GICDItargetsr && off < gic.GICDItargetsr+0x400:
+		id := int(off - gic.GICDItargetsr)
+		var w uint32
+		for i := 0; i < 4; i++ {
+			if id+i >= gic.SPIBase {
+				if s := d.irq(v.ID, id+i); s != nil {
+					w |= uint32(s.target) << (8 * i)
+				}
+			}
+		}
+		return w
+	}
+	return 0
+}
+
+// WriteReg emulates a VM write to the distributor. SGIR writes are the
+// virtual IPI path: "this will cause a trap to the hypervisor, which
+// emulates the distributor access in software and programs the list
+// registers on the receiving CPU's GIC hypervisor control interface".
+func (d *VDist) WriteReg(v *VCPU, off uint64, val uint32) {
+	switch {
+	case off == gic.GICDCtlr:
+		d.enabled = val&1 != 0
+	case off >= gic.GICDIsenabler && off < gic.GICDIsenabler+0x80:
+		d.writeEnable(v.ID, int(off-gic.GICDIsenabler)/4, val, true)
+	case off >= gic.GICDIcenabler && off < gic.GICDIcenabler+0x80:
+		d.writeEnable(v.ID, int(off-gic.GICDIcenabler)/4, val, false)
+	case off >= gic.GICDItargetsr && off < gic.GICDItargetsr+0x400:
+		id := int(off - gic.GICDItargetsr)
+		for i := 0; i < 4; i++ {
+			if id+i >= gic.SPIBase {
+				if s := d.irq(v.ID, id+i); s != nil {
+					s.target = uint8(val >> (8 * i))
+				}
+			}
+		}
+	case off == gic.GICDSgir:
+		d.sendSGI(v, uint8(val>>gic.SGIRTargetShift), int(val&gic.SGIRIDMask))
+	}
+	d.deliverAll()
+}
+
+func (d *VDist) writeEnable(vcpu, word int, bits uint32, enable bool) {
+	for b := 0; b < 32; b++ {
+		if bits&(1<<b) == 0 {
+			continue
+		}
+		if s := d.irq(vcpu, word*32+b); s != nil {
+			s.enabled = enable
+		}
+	}
+}
+
+// SendSGIFrom is the hardware-delivered virtual IPI entry point (the §6
+// direct-VIPI extension): the interrupt-controller hardware itself stages
+// the virtual interrupt into the receiving core's list registers — no
+// exit on the sender, no kick on the receiver. Only a descheduled or
+// WFI-blocked target still needs the hypervisor (the doorbell case).
+func (d *VDist) SendSGIFrom(src *VCPU, mask uint8, id int) {
+	d.sendSGI(src, mask, id)
+	k := d.vm.kvm
+	for i, v := range d.vm.vcpus {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		if v.state == vcpuBlockedWFI && d.hasPendingFor(v) {
+			v.Wake(k.Board.Current)
+			continue
+		}
+		if v.phys >= 0 {
+			// The vSGI hardware and the list registers live in the
+			// same GIC: reconcile retired interrupts against the live
+			// registers, then stage the new one — all without any
+			// CPU involvement.
+			d.SyncFrom(v, k.Board.GIC.VGICCpuIface(v.phys))
+			d.FlushTo(v, v.phys)
+		}
+	}
+}
+
+// sendSGI delivers a virtual IPI from vCPU src to every vCPU in the mask.
+func (d *VDist) sendSGI(src *VCPU, mask uint8, id int) {
+	d.SGIs++
+	d.vm.Stats.IPIsEmulated++
+	for i, t := range d.vm.vcpus {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		s := &d.priv[i][id]
+		s.pending = true
+		s.raised++
+		d.sgiSrc[i][id] = src.ID
+		_ = t
+	}
+}
+
+// --- Injection API (devices, virtual timer) ---
+
+// InjectSPI raises/lowers a level-triggered shared virtual interrupt.
+func (d *VDist) InjectSPI(id int, level bool) {
+	s := d.irq(0, id)
+	if s == nil {
+		return
+	}
+	s.level = level
+	if level {
+		s.pending = true
+		s.raised++
+		d.Injections++
+	}
+	d.deliverAll()
+}
+
+// InjectPPI raises a private virtual interrupt on one vCPU (virtual timer).
+func (d *VDist) InjectPPI(v *VCPU, id int) {
+	s := &d.priv[v.ID][id]
+	s.pending = true
+	s.raised++
+	d.Injections++
+	d.deliverTo(v)
+}
+
+// --- Delivery ---
+
+// hasPendingFor reports whether any enabled virtual interrupt is pending
+// for v (wake condition for WFI-blocked vCPUs; software VIRQ line level on
+// hardware without a VGIC).
+func (d *VDist) hasPendingFor(v *VCPU) bool {
+	if !d.enabled {
+		return false
+	}
+	for id := 0; id < gic.SPIBase; id++ {
+		if d.priv[v.ID][id].deliverable() {
+			return true
+		}
+	}
+	for i := range d.spi {
+		s := &d.spi[i]
+		if s.deliverable() && d.targets(s, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *VDist) targets(s *virqState, v *VCPU) bool {
+	return s.target == 0 && v.ID == 0 || s.target&(1<<v.ID) != 0
+}
+
+// deliverAll pushes pending interrupts toward every vCPU.
+func (d *VDist) deliverAll() {
+	for _, v := range d.vm.vcpus {
+		d.deliverTo(v)
+	}
+}
+
+// deliverTo makes v see its pending virtual interrupts: a WFI-blocked
+// vCPU's thread is woken; a vCPU running on the local core picks the
+// interrupt up when it re-enters (list registers are flushed at every
+// world switch in); a vCPU running on a REMOTE core is kicked out of the
+// guest with a physical IPI so its next entry programs the list registers
+// — which is why the paper's IPI micro-benchmark costs two world switches
+// on each side (Table 3) and why §6 asks hardware to "completely avoid
+// IPI traps".
+func (d *VDist) deliverTo(v *VCPU) {
+	k := d.vm.kvm
+	if v.state == vcpuBlockedWFI && d.hasPendingFor(v) {
+		v.Wake(k.Board.Current)
+		return
+	}
+	if v.phys < 0 {
+		return
+	}
+	if !k.Board.Cfg.HasVGIC {
+		k.Board.CPUs[v.phys].VIRQLine = d.hasPendingFor(v)
+		if v.phys != k.Board.Current && d.hasPendingFor(v) {
+			_ = k.Board.GIC.SendSGI(k.Board.Current, 1<<uint(v.phys), 2 /* kernel.IPICall */)
+		}
+		return
+	}
+	if v.phys == k.Board.Current {
+		// Local: the in-flight exit handler re-enters and flushes.
+		return
+	}
+	if d.hasPendingFor(v) {
+		// Kick the remote core out of guest mode (vcpu_kick).
+		_ = k.Board.GIC.SendSGI(k.Board.Current, 1<<uint(v.phys), 2 /* kernel.IPICall */)
+	}
+}
+
+// FlushTo programs pending interrupts for v into free list registers of
+// physical CPU phys. Each LR write is a real (slow) MMIO access.
+func (d *VDist) FlushTo(v *VCPU, phys int) {
+	k := d.vm.kvm
+	g := k.Board.GIC
+	d.Flushes++
+	stage := func(id int, s *virqState) bool {
+		lr := g.FreeLR(phys)
+		if lr < 0 {
+			return false
+		}
+		if err := g.WriteLR(phys, lr, gic.ListReg{VirtID: id, State: gic.LRPending, EOIMaint: s.level}); err != nil {
+			return false
+		}
+		k.Board.CPUs[phys].Charge(gic.CPUIfaceAccessCycles)
+		s.inflight = true
+		s.staged = s.raised
+		return true
+	}
+	for id := 0; id < gic.SPIBase; id++ {
+		s := &d.priv[v.ID][id]
+		if s.enabled && s.pending && !s.active && !s.inflight {
+			if !stage(id, s) {
+				return
+			}
+		}
+	}
+	for i := range d.spi {
+		s := &d.spi[i]
+		if s.enabled && s.pending && !s.active && !s.inflight && d.targets(s, v) {
+			if !stage(gic.SPIBase+i, s) {
+				return
+			}
+		}
+	}
+}
+
+// SyncFrom reconciles the software model with list-register state read
+// back at world switch out: completed LRs retire their interrupts; ones
+// still pending/active return to software state for the next entry.
+func (d *VDist) SyncFrom(v *VCPU, saved *gic.VGICCpu) {
+	seen := map[int]gic.ListRegState{}
+	for i := range saved.LR {
+		lr := &saved.LR[i]
+		if lr.VirtID != 0 || lr.State != gic.LRInvalid {
+			seen[lr.VirtID] = lr.State
+		}
+	}
+	retire := func(id int, s *virqState) {
+		if !s.inflight {
+			return
+		}
+		st, live := seen[id]
+		if !live || st == gic.LRInvalid {
+			// Delivered and EOId. Level interrupts still asserted,
+			// and edges raised after this instance was staged, become
+			// pending again.
+			s.inflight = false
+			s.active = false
+			s.pending = s.level || s.raised > s.staged
+		}
+		// Still pending/active in the LR: leave inflight; the state
+		// will be restored with the VGIC context at next entry.
+	}
+	for id := 0; id < gic.SPIBase; id++ {
+		retire(id, &d.priv[v.ID][id])
+	}
+	for i := range d.spi {
+		retire(gic.SPIBase+i, &d.spi[i])
+	}
+}
+
+// --- Software CPU-interface emulation (no VGIC hardware) ---
+
+// AckEmu emulates a GICC IAR read for hardware without a VGIC: highest
+// pending virtual interrupt becomes active.
+func (d *VDist) AckEmu(v *VCPU) (id, src int) {
+	best := -1
+	var bs *virqState
+	consider := func(id int, s *virqState) {
+		if s.enabled && s.pending && !s.active && (best < 0 || id < best) {
+			best, bs = id, s
+		}
+	}
+	for id := 0; id < gic.SPIBase; id++ {
+		consider(id, &d.priv[v.ID][id])
+	}
+	for i := range d.spi {
+		if d.targets(&d.spi[i], v) {
+			consider(gic.SPIBase+i, &d.spi[i])
+		}
+	}
+	if best < 0 {
+		return 1023, 0
+	}
+	bs.pending = bs.level
+	if best < gic.SPIBase {
+		bs.pending = false
+	}
+	bs.active = true
+	if best < gic.NumSGIs {
+		return best, d.sgiSrc[v.ID][best]
+	}
+	return best, 0
+}
+
+// EOIEmu emulates a GICC EOIR write without a VGIC.
+func (d *VDist) EOIEmu(v *VCPU, id int) {
+	if s := d.irq(v.ID, id); s != nil {
+		s.active = false
+		if s.level {
+			s.pending = true
+		}
+	}
+}
+
+// DebugIRQ exposes one interrupt's software state for diagnostics.
+func (d *VDist) DebugIRQ(vcpu, id int) string {
+	s := d.irq(vcpu, id)
+	if s == nil {
+		return "nil"
+	}
+	return fmt.Sprintf("{en:%v pend:%v act:%v inflight:%v}", s.enabled, s.pending, s.active, s.inflight)
+}
+
+// DebugPending exposes hasPendingFor for diagnostics.
+func (d *VDist) DebugPending(v *VCPU) bool { return d.hasPendingFor(v) }

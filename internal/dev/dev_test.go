@@ -1,0 +1,83 @@
+package dev
+
+import "testing"
+
+func TestUARTTransmit(t *testing.T) {
+	u := &UART{}
+	for _, ch := range "abc" {
+		if err := u.WriteReg(UARTTx, 4, uint64(ch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.String() != "abc" || u.TxCount != 3 {
+		t.Fatalf("out=%q count=%d", u.String(), u.TxCount)
+	}
+	if v, err := u.ReadReg(UARTStatus, 4); err != nil || v != 1 {
+		t.Fatalf("status=%d err=%v", v, err)
+	}
+	if err := u.WriteReg(0x999, 4, 0); err == nil {
+		t.Error("unknown register write must fail")
+	}
+}
+
+func TestVirtCompletionLatency(t *testing.T) {
+	var fired []uint64
+	var now uint64
+	var events []struct {
+		at uint64
+		fn func()
+	}
+	v := &Virt{
+		Class: VirtBlock, IRQ: 41,
+		BytesPerCycle: 0.1, FixedLatency: 1000,
+		Now: func() uint64 { return now },
+		Sched: func(at uint64, fn func()) {
+			events = append(events, struct {
+				at uint64
+				fn func()
+			}{at, fn})
+		},
+		RaiseIRQ: func(irq int, level bool) {
+			if level {
+				fired = append(fired, now)
+			}
+		},
+	}
+	// 4096 bytes at 0.1 B/cycle + 1000 fixed = 41960 cycles.
+	_ = v.WriteReg(VirtQueueNotify, 4, 4096)
+	if len(events) != 1 {
+		t.Fatal("completion not scheduled")
+	}
+	want := uint64(1000 + 40960)
+	if events[0].at != want {
+		t.Fatalf("latency %d, want %d", events[0].at, want)
+	}
+	now = events[0].at
+	events[0].fn()
+	if len(fired) != 1 {
+		t.Fatal("IRQ not raised on completion")
+	}
+	// ISR read clears and reports.
+	if isr, _ := v.ReadReg(VirtISR, 4); isr&1 == 0 {
+		t.Fatal("ISR must read 1 after completion")
+	}
+	if isr, _ := v.ReadReg(VirtISR, 4); isr != 0 {
+		t.Fatal("ISR read must clear")
+	}
+	if c := v.Drain(); len(c) != 1 || c[0].Bytes != 4096 {
+		t.Fatalf("completions %+v", c)
+	}
+	if v.Kicks != 1 || v.BytesMoved != 4096 {
+		t.Fatalf("stats kicks=%d bytes=%d", v.Kicks, v.BytesMoved)
+	}
+}
+
+func TestVirtConfigClass(t *testing.T) {
+	v := &Virt{Class: VirtNet}
+	if c, _ := v.ReadReg(VirtConfig, 4); VirtClass(c) != VirtNet {
+		t.Fatalf("config = %d", c)
+	}
+	if v.Name() != "virtio-net" {
+		t.Fatalf("name = %s", v.Name())
+	}
+}

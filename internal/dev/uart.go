@@ -1,0 +1,53 @@
+// Package dev provides the board's peripherals: a UART for console output
+// and virtio-style paravirtual block and network devices. All devices are
+// reached by MMIO loads and stores (§3.4: "all I/O mechanisms on the ARM
+// architecture are based on load/store operations to MMIO device regions").
+package dev
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// UART register offsets.
+const (
+	UARTTx     = 0x00 // write: transmit one byte
+	UARTStatus = 0x04 // read: bit0 = tx ready (always)
+	UARTSize   = 0x1000
+)
+
+// UART is a minimal serial port; transmitted bytes accumulate in a buffer.
+type UART struct {
+	Out bytes.Buffer
+	// TxCount counts transmitted bytes.
+	TxCount uint64
+}
+
+// Name implements bus.Device.
+func (u *UART) Name() string { return "uart" }
+
+// AccessCycles implements bus.Device.
+func (u *UART) AccessCycles() uint64 { return 30 }
+
+// ReadReg implements bus.Device.
+func (u *UART) ReadReg(offset uint64, size int) (uint64, error) {
+	switch offset {
+	case UARTStatus:
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// WriteReg implements bus.Device.
+func (u *UART) WriteReg(offset uint64, size int, v uint64) error {
+	switch offset {
+	case UARTTx:
+		u.Out.WriteByte(byte(v))
+		u.TxCount++
+		return nil
+	}
+	return fmt.Errorf("uart: write to unknown register %#x", offset)
+}
+
+// String returns the console output so far.
+func (u *UART) String() string { return u.Out.String() }

@@ -1,0 +1,80 @@
+// Package energy models the power measurements of §5.1/Figure 7: the ARM
+// Energy Probe sampling the Arndale's supply, and powerstat reading ACPI
+// battery draw on the x86 laptop. Both reported instantaneous watts at
+// 10 Hz; energy is the average power times the run duration.
+//
+// The model is P(t) = Pbase + Σ_i busy_i(t)·Pcore: a platform floor plus a
+// per-core active component. Because Figure 7 is *normalized* energy
+// (virtualized / native per platform), only the ratio of idle to active
+// power matters for the shape; the absolute values below are in the range
+// the paper's platforms drew.
+package energy
+
+import "kvmarm/internal/machine"
+
+// Model is a platform power model (watts).
+type Model struct {
+	Name string
+	// Base is the SoC/system floor, drawn regardless of CPU activity
+	// (includes the storage power the paper routed through the probe).
+	Base float64
+	// PerCoreActive is the additional draw of one busy core.
+	PerCoreActive float64
+}
+
+// ARM is the Arndale (Exynos 5250) model: low floor, efficient cores.
+func ARM() Model { return Model{Name: "arm", Base: 1.7, PerCoreActive: 1.5} }
+
+// X86Laptop is the 2011 MacBook Air (Core i7-2677M) with display and
+// wireless off (§5.1): a much higher floor and hungrier cores.
+func X86Laptop() Model { return Model{Name: "x86-laptop", Base: 8.0, PerCoreActive: 6.5} }
+
+// Sample is one 10 Hz-style measurement window.
+type Sample struct {
+	Watts float64
+}
+
+// Meter accumulates a board's busy/idle time into an energy figure.
+type Meter struct {
+	M Model
+
+	startBusy []uint64
+	startIdle []uint64
+	started   bool
+}
+
+// NewMeter attaches a model to a board run.
+func NewMeter(m Model) *Meter { return &Meter{M: m} }
+
+// Start snapshots the board's counters at the beginning of the timed
+// region.
+func (mt *Meter) Start(b *machine.Board) {
+	mt.startBusy = append([]uint64(nil), b.BusyCycles...)
+	mt.startIdle = append([]uint64(nil), b.IdleCycles...)
+	mt.started = true
+}
+
+// Energy returns the energy of the timed region in joule-like units
+// (watts × cycles; the cycle→second factor cancels in normalized
+// comparisons) along with the average power and elapsed cycles.
+func (mt *Meter) Energy(b *machine.Board) (energy, avgWatts float64, elapsed uint64) {
+	var busy, idle uint64
+	for i := range b.BusyCycles {
+		sb, si := uint64(0), uint64(0)
+		if mt.started && i < len(mt.startBusy) {
+			sb, si = mt.startBusy[i], mt.startIdle[i]
+		}
+		busy += b.BusyCycles[i] - sb
+		idle += b.IdleCycles[i] - si
+	}
+	total := busy + idle
+	if total == 0 {
+		return 0, mt.M.Base, 0
+	}
+	// Elapsed wall time approximated by per-core average.
+	elapsed = total / uint64(len(b.BusyCycles))
+	util := float64(busy) / float64(elapsed) // busy cores on average
+	avgWatts = mt.M.Base + util*mt.M.PerCoreActive
+	energy = avgWatts * float64(elapsed)
+	return energy, avgWatts, elapsed
+}

@@ -1,0 +1,91 @@
+package energy
+
+import (
+	"testing"
+
+	"kvmarm/internal/machine"
+)
+
+func board(t *testing.T) *machine.Board {
+	t.Helper()
+	b, err := machine.New(machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestIdleBoardDrawsBasePower(t *testing.T) {
+	b := board(t)
+	m := NewMeter(ARM())
+	m.Start(b)
+	b.IdleCycles[0] += 1_000_000
+	b.IdleCycles[1] += 1_000_000
+	e, w, elapsed := m.Energy(b)
+	if w != ARM().Base {
+		t.Fatalf("idle watts = %v, want base %v", w, ARM().Base)
+	}
+	if elapsed != 1_000_000 {
+		t.Fatalf("elapsed = %d", elapsed)
+	}
+	if e != ARM().Base*1_000_000 {
+		t.Fatalf("energy = %v", e)
+	}
+}
+
+func TestBusyCoresAddPower(t *testing.T) {
+	b := board(t)
+	m := NewMeter(ARM())
+	m.Start(b)
+	b.BusyCycles[0] += 1_000_000
+	b.BusyCycles[1] += 1_000_000
+	_, w, _ := m.Energy(b)
+	want := ARM().Base + 2*ARM().PerCoreActive
+	if w != want {
+		t.Fatalf("watts = %v, want %v (two busy cores)", w, want)
+	}
+}
+
+func TestStartExcludesHistory(t *testing.T) {
+	b := board(t)
+	b.BusyCycles[0] = 5_000_000 // pre-measurement activity
+	m := NewMeter(ARM())
+	m.Start(b)
+	b.IdleCycles[0] += 2_000_000
+	b.IdleCycles[1] += 2_000_000
+	_, w, _ := m.Energy(b)
+	if w != ARM().Base {
+		t.Fatalf("watts = %v: history before Start must not count", w)
+	}
+}
+
+func TestX86FloorHigherThanARM(t *testing.T) {
+	// The shape behind Figure 7: the x86 laptop's idle floor and busy
+	// cores draw several times the ARM SoC's.
+	if X86Laptop().Base <= 2*ARM().Base {
+		t.Error("x86 base power must be well above ARM's")
+	}
+	if X86Laptop().PerCoreActive <= 2*ARM().PerCoreActive {
+		t.Error("x86 per-core power must be well above ARM's")
+	}
+}
+
+func TestNormalizedEnergyEqualForIdenticalRuns(t *testing.T) {
+	b1, b2 := board(t), board(t)
+	for _, b := range []*machine.Board{b1, b2} {
+		b.BusyCycles[0] += 3_000_000
+		b.IdleCycles[1] += 3_000_000
+	}
+	m1, m2 := NewMeter(ARM()), NewMeter(ARM())
+	m1.Start(b1)
+	m2.Start(b2)
+	b1.BusyCycles[0] += 1000
+	b1.IdleCycles[1] += 1000
+	b2.BusyCycles[0] += 1000
+	b2.IdleCycles[1] += 1000
+	e1, _, _ := m1.Energy(b1)
+	e2, _, _ := m2.Energy(b2)
+	if e1 != e2 {
+		t.Fatalf("identical runs must measure identically: %v vs %v", e1, e2)
+	}
+}

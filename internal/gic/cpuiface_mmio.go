@@ -1,0 +1,99 @@
+package gic
+
+// CPU interface register map (GICC_*; also used by the virtual interface
+// GICV_*, which is register-compatible so that guests run the same GIC
+// driver — the property KVM/ARM exploits by mapping the VGIC virtual CPU
+// interface at the GIC CPU interface's guest-physical address, §3.5).
+const (
+	GICCCtlr = 0x00
+	GICCIar  = 0x0C // read: acknowledge, returns interrupt ID (+source<<10 for SGIs)
+	GICCEoir = 0x10 // write: end of interrupt
+	// CPUIfaceSize is the size of the region.
+	CPUIfaceSize = 0x1000
+)
+
+// IARSourceShift packs the SGI source CPU into IAR bits [12:10].
+const IARSourceShift = 10
+
+// CPUIfaceDevice is the physical GIC CPU interface, banked per CPU via the
+// bus accessor.
+type CPUIfaceDevice struct {
+	G        *GIC
+	Accessor AccessorFunc
+}
+
+// Name implements bus.Device.
+func (d *CPUIfaceDevice) Name() string { return "gic-cpu-interface" }
+
+// AccessCycles implements bus.Device.
+func (d *CPUIfaceDevice) AccessCycles() uint64 { return CPUIfaceAccessCycles }
+
+func (d *CPUIfaceDevice) cpu() int {
+	if d.Accessor != nil {
+		return d.Accessor()
+	}
+	return 0
+}
+
+// ReadReg implements bus.Device.
+func (d *CPUIfaceDevice) ReadReg(offset uint64, size int) (uint64, error) {
+	switch offset {
+	case GICCCtlr:
+		return 1, nil
+	case GICCIar:
+		id, src := d.G.Ack(d.cpu())
+		return uint64(id) | uint64(src)<<IARSourceShift, nil
+	}
+	return 0, nil
+}
+
+// WriteReg implements bus.Device.
+func (d *CPUIfaceDevice) WriteReg(offset uint64, size int, v uint64) error {
+	switch offset {
+	case GICCEoir:
+		d.G.EOI(d.cpu(), int(v&0x3FF))
+	}
+	return nil
+}
+
+// VCPUIfaceDevice is the VGIC virtual CPU interface (GICV_*). The
+// hypervisor maps it into a VM's Stage-2 tables at the GICC IPA; guest
+// ACK/EOI then manipulate the list registers directly in hardware, without
+// trapping (§2, §3.5).
+type VCPUIfaceDevice struct {
+	G        *GIC
+	Accessor AccessorFunc
+}
+
+// Name implements bus.Device.
+func (d *VCPUIfaceDevice) Name() string { return "gic-virtual-cpu-interface" }
+
+// AccessCycles implements bus.Device.
+func (d *VCPUIfaceDevice) AccessCycles() uint64 { return VCPUIfaceAccessCycles }
+
+func (d *VCPUIfaceDevice) cpu() int {
+	if d.Accessor != nil {
+		return d.Accessor()
+	}
+	return 0
+}
+
+// ReadReg implements bus.Device.
+func (d *VCPUIfaceDevice) ReadReg(offset uint64, size int) (uint64, error) {
+	switch offset {
+	case GICCCtlr:
+		return 1, nil
+	case GICCIar:
+		return uint64(d.G.VAck(d.cpu())), nil
+	}
+	return 0, nil
+}
+
+// WriteReg implements bus.Device.
+func (d *VCPUIfaceDevice) WriteReg(offset uint64, size int, v uint64) error {
+	switch offset {
+	case GICCEoir:
+		d.G.VEOI(d.cpu(), int(v&0x3FF))
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package gic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type lines struct {
+	irq  []bool
+	virq []bool
+}
+
+func newGIC(t *testing.T, cpus int) (*GIC, *lines) {
+	if t != nil {
+		t.Helper()
+	}
+	g := New(cpus, 128)
+	l := &lines{irq: make([]bool, cpus), virq: make([]bool, cpus)}
+	g.SetIRQLine = func(c int, lv bool) { l.irq[c] = lv }
+	g.SetVIRQLine = func(c int, lv bool) { l.virq[c] = lv }
+	return g, l
+}
+
+func TestSPIRouting(t *testing.T) {
+	g, l := newGIC(t, 2)
+	if err := g.EnableIRQ(0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetTarget(40, 0b10); err != nil { // CPU 1 only
+		t.Fatal(err)
+	}
+	if err := g.RaiseSPI(40, true); err != nil {
+		t.Fatal(err)
+	}
+	if l.irq[0] || !l.irq[1] {
+		t.Fatalf("irq lines = %v, want only CPU 1", l.irq)
+	}
+
+	id, _ := g.Ack(1)
+	if id != 40 {
+		t.Fatalf("ack = %d, want 40", id)
+	}
+	// Level-triggered and still high: completing re-raises.
+	g.EOI(1, 40)
+	if !l.irq[1] {
+		t.Fatal("level-triggered SPI must stay pending while the line is high")
+	}
+	_ = g.RaiseSPI(40, false)
+	id, _ = g.Ack(1)
+	if id != 40 {
+		t.Fatalf("re-ack = %d", id)
+	}
+	g.EOI(1, 40)
+	if l.irq[1] {
+		t.Fatal("line low and EOId: must drop")
+	}
+}
+
+func TestAckWithoutPendingIsSpurious(t *testing.T) {
+	g, _ := newGIC(t, 1)
+	if id, _ := g.Ack(0); id != 1023 {
+		t.Fatalf("spurious ack = %d, want 1023", id)
+	}
+}
+
+func TestInterruptNotRaisedAgainBeforeEOI(t *testing.T) {
+	// §2: "The interrupt will not be raised to the CPU again before the
+	// CPU writes to the EOI register".
+	g, l := newGIC(t, 1)
+	_ = g.EnableIRQ(0, 40)
+	_ = g.SetTarget(40, 1)
+	_ = g.RaiseSPI(40, true)
+	_ = g.RaiseSPI(40, false)
+	id, _ := g.Ack(0)
+	if id != 40 {
+		t.Fatal("expected irq 40")
+	}
+	if l.irq[0] {
+		t.Fatal("active interrupt must not assert the line")
+	}
+	_ = g.RaiseSPI(40, true) // new edge while active
+	if l.irq[0] {
+		t.Fatal("pending+active must stay masked until EOI")
+	}
+	g.EOI(0, 40)
+	if !l.irq[0] {
+		t.Fatal("after EOI the pending interrupt must be raised")
+	}
+}
+
+func TestSGIIPIDelivery(t *testing.T) {
+	g, l := newGIC(t, 4)
+	for c := 0; c < 4; c++ {
+		_ = g.EnableIRQ(c, 5)
+	}
+	if err := g.SendSGI(0, 0b1110, 5); err != nil { // all but self
+		t.Fatal(err)
+	}
+	if l.irq[0] {
+		t.Fatal("SGI must not hit the sender when excluded from the mask")
+	}
+	for c := 1; c < 4; c++ {
+		if !l.irq[c] {
+			t.Fatalf("CPU %d missing IPI", c)
+		}
+		id, src := g.Ack(c)
+		if id != 5 || src != 0 {
+			t.Fatalf("cpu %d: ack=(%d,%d), want (5,0)", c, id, src)
+		}
+		g.EOI(c, 5)
+	}
+}
+
+func TestPPIIsBankedPerCPU(t *testing.T) {
+	g, l := newGIC(t, 2)
+	_ = g.EnableIRQ(0, IRQVirtTimer)
+	_ = g.EnableIRQ(1, IRQVirtTimer)
+	_ = g.RaisePPI(0, IRQVirtTimer, true)
+	if !l.irq[0] || l.irq[1] {
+		t.Fatalf("PPI lines = %v, want CPU 0 only", l.irq)
+	}
+}
+
+func TestVGICInjectAckEOIWithoutHypervisor(t *testing.T) {
+	g, l := newGIC(t, 1)
+	g.SetVGICEnabled(0, true)
+	lr := g.FreeLR(0)
+	if lr < 0 {
+		t.Fatal("no free LR")
+	}
+	if err := g.WriteLR(0, lr, ListReg{VirtID: 44, State: LRPending}); err != nil {
+		t.Fatal(err)
+	}
+	if !l.virq[0] {
+		t.Fatal("pending LR must raise VIRQ")
+	}
+
+	acks := g.Stats.Acks
+	id := g.VAck(0)
+	if id != 44 {
+		t.Fatalf("vack = %d, want 44", id)
+	}
+	if l.virq[0] {
+		t.Fatal("active virtual interrupt must drop VIRQ")
+	}
+	g.VEOI(0, 44)
+	if got, _ := g.ReadLR(0, lr); got.State != LRInvalid {
+		t.Fatalf("LR after EOI = %+v, want invalid", got)
+	}
+	if g.Stats.Acks != acks {
+		t.Fatal("virtual ACK/EOI must not touch the physical CPU interface")
+	}
+}
+
+func TestVAckPicksLowestID(t *testing.T) {
+	g, _ := newGIC(t, 1)
+	g.SetVGICEnabled(0, true)
+	_ = g.WriteLR(0, 0, ListReg{VirtID: 50, State: LRPending})
+	_ = g.WriteLR(0, 1, ListReg{VirtID: 30, State: LRPending})
+	if id := g.VAck(0); id != 30 {
+		t.Fatalf("vack = %d, want 30 (highest priority)", id)
+	}
+}
+
+func TestVGICDisabledHardware(t *testing.T) {
+	g, l := newGIC(t, 1)
+	g.HasVGIC = false
+	if err := g.WriteLR(0, 0, ListReg{VirtID: 1, State: LRPending}); err == nil {
+		t.Fatal("WriteLR must fail without VGIC hardware")
+	}
+	if l.virq[0] {
+		t.Fatal("no VGIC: VIRQ must never assert")
+	}
+}
+
+func TestEOIMaintenanceInterrupt(t *testing.T) {
+	g, l := newGIC(t, 1)
+	g.SetVGICEnabled(0, true)
+	_ = g.WriteLR(0, 0, ListReg{VirtID: IRQVirtTimer, State: LRPending, EOIMaint: true})
+	if g.VAck(0) != IRQVirtTimer {
+		t.Fatal("vack")
+	}
+	g.VEOI(0, IRQVirtTimer)
+	if !l.irq[0] {
+		t.Fatal("EOI-maintenance must raise the (physical) maintenance PPI")
+	}
+	id, _ := g.Ack(0)
+	if id != IRQMaintenance {
+		t.Fatalf("ack = %d, want maintenance", id)
+	}
+	g.EOI(0, id)
+	g.ClearMaintenance(0)
+	if l.irq[0] {
+		t.Fatal("maintenance must clear")
+	}
+}
+
+func TestSaveRestoreVGICCostAndFidelity(t *testing.T) {
+	g, _ := newGIC(t, 2)
+	g.SetVGICEnabled(0, true)
+	_ = g.WriteLR(0, 2, ListReg{VirtID: 61, State: LRPending})
+
+	st, cost := g.SaveVGIC(0)
+	wantAccesses := uint64(NumVGICCtrlRegs + NumListRegs)
+	if cost != wantAccesses*CPUIfaceAccessCycles {
+		t.Fatalf("save cost = %d, want %d accesses x %d", cost, wantAccesses, CPUIfaceAccessCycles)
+	}
+	// Clobber and restore.
+	_ = g.WriteLR(0, 2, ListReg{})
+	g.SetVGICEnabled(0, false)
+	if cost := g.RestoreVGIC(0, st); cost == 0 {
+		t.Fatal("restore must cost MMIO accesses")
+	}
+	got, _ := g.ReadLR(0, 2)
+	if got.VirtID != 61 || got.State != LRPending {
+		t.Fatalf("restored LR = %+v", got)
+	}
+}
+
+func TestPendingLRCountDrivesLazySwitch(t *testing.T) {
+	g, _ := newGIC(t, 1)
+	if g.PendingLRCount(0) != 0 {
+		t.Fatal("fresh VGIC must be empty")
+	}
+	_ = g.WriteLR(0, 0, ListReg{VirtID: 7, State: LRPending})
+	_ = g.WriteLR(0, 1, ListReg{VirtID: 8, State: LRActive})
+	if g.PendingLRCount(0) != 2 {
+		t.Fatal("count must include active LRs")
+	}
+}
+
+func TestHWLinkedLREOIsPhysical(t *testing.T) {
+	g, _ := newGIC(t, 1)
+	g.SetVGICEnabled(0, true)
+	_ = g.EnableIRQ(0, 48)
+	_ = g.SetTarget(48, 1)
+	_ = g.RaiseSPI(48, true)
+	_ = g.RaiseSPI(48, false)
+	id, _ := g.Ack(0) // physical ack: active
+	if id != 48 {
+		t.Fatal("phys ack")
+	}
+	_ = g.WriteLR(0, 0, ListReg{VirtID: 48, State: LRPending, HW: true, PhysID: 48})
+	if g.VAck(0) != 48 {
+		t.Fatal("vack")
+	}
+	g.VEOI(0, 48)
+	// Physical interrupt must be deactivated by the guest's EOI.
+	_ = g.RaiseSPI(48, true)
+	if id, _ := g.Ack(0); id != 48 {
+		t.Fatal("physical interrupt still active after HW-linked vEOI")
+	}
+}
+
+func TestDistributorMMIODevice(t *testing.T) {
+	g, l := newGIC(t, 2)
+	cur := 0
+	d := &DistDevice{G: g, Accessor: func() int { return cur }}
+
+	// Enable SPI 40 via ISENABLER word 1 (IDs 32..63).
+	if err := d.WriteReg(GICDIsenabler+4, 4, 1<<(40-32)); err != nil {
+		t.Fatal(err)
+	}
+	// Target CPU1 via ITARGETSR.
+	if err := d.WriteReg(GICDItargetsr+40, 4, uint64(0b10)); err != nil {
+		t.Fatal(err)
+	}
+	_ = g.RaiseSPI(40, true)
+	if !l.irq[1] || l.irq[0] {
+		t.Fatalf("lines = %v", l.irq)
+	}
+	// Read back the enable bit.
+	v, err := d.ReadReg(GICDIsenabler+4, 4)
+	if err != nil || v&(1<<8) == 0 {
+		t.Fatalf("ISENABLER readback = %#x err=%v", v, err)
+	}
+	// SGI from CPU 0 to CPU 1 through GICD_SGIR — the trap-and-emulate
+	// path for VMs.
+	_ = g.EnableIRQ(1, 3)
+	if err := d.WriteReg(GICDSgir, 4, uint64(0b10)<<SGIRTargetShift|3); err != nil {
+		t.Fatal(err)
+	}
+	id, src := g.Ack(1)
+	if id != 3 || src != 0 {
+		t.Fatalf("sgi via mmio: (%d,%d)", id, src)
+	}
+}
+
+func TestPropertySGIMaskDelivery(t *testing.T) {
+	// Every CPU in the mask (and only those) sees the SGI.
+	f := func(mask uint8, id uint8) bool {
+		g, l := newGIC(nil, 8)
+		sgi := int(id % NumSGIs)
+		for c := 0; c < 8; c++ {
+			_ = g.EnableIRQ(c, sgi)
+		}
+		_ = g.SendSGI(0, mask, sgi)
+		for c := 0; c < 8; c++ {
+			if l.irq[c] != (mask&(1<<c) != 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyVGICAckEOIConserves(t *testing.T) {
+	// For any set of staged virtual interrupts, repeatedly ACK+EOI
+	// drains exactly the staged set.
+	f := func(ids [NumListRegs]uint8) bool {
+		g, _ := newGIC(nil, 1)
+		g.SetVGICEnabled(0, true)
+		want := map[int]int{}
+		for i, id := range ids {
+			vid := int(id%64) + SPIBase
+			_ = g.WriteLR(0, i, ListReg{VirtID: vid, State: LRPending})
+			want[vid]++
+		}
+		got := map[int]int{}
+		for {
+			id := g.VAck(0)
+			if id == 1023 {
+				break
+			}
+			got[id]++
+			g.VEOI(0, id)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return g.PendingLRCount(0) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

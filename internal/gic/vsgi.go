@@ -1,0 +1,39 @@
+package gic
+
+// VSGIDevice is the hypothetical "send virtual IPIs directly from VMs"
+// hardware of §6 ("Completely avoid IPI traps"): a per-CPU-banked register
+// accepting GICD_SGIR-format writes that the interrupt-controller hardware
+// routes to the *virtual* distributor state of the issuing VM, with no
+// hypervisor involvement. The hypervisor maps it into a VM\'s Stage-2
+// tables; the guest\'s IPI path then costs one device access instead of a
+// trap, an emulation, and a kick.
+type VSGIDevice struct {
+	Accessor AccessorFunc
+	// Deliver routes a virtual SGI raised by physical CPU cpu; the
+	// hypervisor wires it to the loaded vCPU\'s virtual distributor.
+	Deliver func(cpu int, targetMask uint8, id int)
+}
+
+// VSGISize is the size of the register page.
+const VSGISize = 0x1000
+
+// Name implements bus.Device.
+func (d *VSGIDevice) Name() string { return "gic-virtual-sgi" }
+
+// AccessCycles implements bus.Device.
+func (d *VSGIDevice) AccessCycles() uint64 { return CPUIfaceAccessCycles }
+
+// ReadReg implements bus.Device.
+func (d *VSGIDevice) ReadReg(offset uint64, size int) (uint64, error) { return 0, nil }
+
+// WriteReg implements bus.Device.
+func (d *VSGIDevice) WriteReg(offset uint64, size int, v uint64) error {
+	if offset == 0 && d.Deliver != nil {
+		cpu := 0
+		if d.Accessor != nil {
+			cpu = d.Accessor()
+		}
+		d.Deliver(cpu, uint8(v>>SGIRTargetShift), int(v&SGIRIDMask))
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package isa
+
+import "fmt"
+
+// Register aliases for assembler readability.
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // r13
+	LR // r14
+	PC // r15
+)
+
+// Asm builds a SARM32 program with label resolution. Instructions are
+// appended with the helper methods; Assemble resolves branches and returns
+// the words.
+type Asm struct {
+	base   uint32
+	words  []uint32
+	labels map[string]int // label -> instruction index
+	fixups map[int]string // instruction index -> label
+	conds  map[int]Op     // branch opcode per fixup
+	errs   []error
+}
+
+// NewAsm starts a program that will be loaded at base (a virtual address).
+func NewAsm(base uint32) *Asm {
+	return &Asm{
+		base:   base,
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+		conds:  make(map[int]Op),
+	}
+}
+
+// Base returns the load address.
+func (a *Asm) Base() uint32 { return a.base }
+
+// PCAt returns the address of instruction index i.
+func (a *Asm) PCAt(i int) uint32 { return a.base + uint32(i)*4 }
+
+// Here returns the address of the next instruction to be emitted.
+func (a *Asm) Here() uint32 { return a.PCAt(len(a.words)) }
+
+// Label binds name to the next instruction.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("asm: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.words)
+	return a
+}
+
+func (a *Asm) emit(i Instr) *Asm {
+	a.words = append(a.words, Encode(i))
+	return a
+}
+
+// NOP emits a no-op.
+func (a *Asm) NOP() *Asm { return a.emit(Instr{Op: OpNOP}) }
+
+// MOV emits rd <- rm.
+func (a *Asm) MOV(rd, rm int) *Asm { return a.emit(Instr{Op: OpMOV, Rd: rd, Rm: rm}) }
+
+// ADD emits rd <- rn + rm.
+func (a *Asm) ADD(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpADD, Rd: rd, Rn: rn, Rm: rm}) }
+
+// SUB emits rd <- rn - rm.
+func (a *Asm) SUB(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpSUB, Rd: rd, Rn: rn, Rm: rm}) }
+
+// AND emits rd <- rn & rm.
+func (a *Asm) AND(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpAND, Rd: rd, Rn: rn, Rm: rm}) }
+
+// ORR emits rd <- rn | rm.
+func (a *Asm) ORR(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpORR, Rd: rd, Rn: rn, Rm: rm}) }
+
+// XOR emits rd <- rn ^ rm.
+func (a *Asm) XOR(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpXOR, Rd: rd, Rn: rn, Rm: rm}) }
+
+// MUL emits rd <- rn * rm.
+func (a *Asm) MUL(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpMUL, Rd: rd, Rn: rn, Rm: rm}) }
+
+// LSL emits rd <- rn << rm.
+func (a *Asm) LSL(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpLSL, Rd: rd, Rn: rn, Rm: rm}) }
+
+// LSR emits rd <- rn >> rm.
+func (a *Asm) LSR(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpLSR, Rd: rd, Rn: rn, Rm: rm}) }
+
+// CMP emits flags <- compare(rn, rm).
+func (a *Asm) CMP(rn, rm int) *Asm { return a.emit(Instr{Op: OpCMP, Rn: rn, Rm: rm}) }
+
+// CMPI emits flags <- compare(rn, imm).
+func (a *Asm) CMPI(rn int, imm uint16) *Asm { return a.emit(Instr{Op: OpCMPI, Rn: rn, Imm12: imm}) }
+
+// MOVW emits rd <- imm (zero-extended).
+func (a *Asm) MOVW(rd int, imm uint16) *Asm { return a.emit(Instr{Op: OpMOVW, Rd: rd, Imm16: imm}) }
+
+// MOVT emits rd[31:16] <- imm.
+func (a *Asm) MOVT(rd int, imm uint16) *Asm { return a.emit(Instr{Op: OpMOVT, Rd: rd, Imm16: imm}) }
+
+// MOV32 emits a MOVW/MOVT pair loading a full 32-bit constant.
+func (a *Asm) MOV32(rd int, v uint32) *Asm {
+	a.MOVW(rd, uint16(v))
+	if v>>16 != 0 {
+		a.MOVT(rd, uint16(v>>16))
+	}
+	return a
+}
+
+// ADDI emits rd <- rn + imm.
+func (a *Asm) ADDI(rd, rn int, imm uint16) *Asm {
+	return a.emit(Instr{Op: OpADDI, Rd: rd, Rn: rn, Imm12: imm})
+}
+
+// SUBI emits rd <- rn - imm.
+func (a *Asm) SUBI(rd, rn int, imm uint16) *Asm {
+	return a.emit(Instr{Op: OpSUBI, Rd: rd, Rn: rn, Imm12: imm})
+}
+
+// LDR emits rd <- mem32[rn + imm].
+func (a *Asm) LDR(rd, rn int, imm uint16) *Asm {
+	return a.emit(Instr{Op: OpLDR, Rd: rd, Rn: rn, Imm12: imm})
+}
+
+// STR emits mem32[rn + imm] <- rd.
+func (a *Asm) STR(rd, rn int, imm uint16) *Asm {
+	return a.emit(Instr{Op: OpSTR, Rd: rd, Rn: rn, Imm12: imm})
+}
+
+// LDRB emits rd <- mem8[rn + imm].
+func (a *Asm) LDRB(rd, rn int, imm uint16) *Asm {
+	return a.emit(Instr{Op: OpLDRB, Rd: rd, Rn: rn, Imm12: imm})
+}
+
+// STRB emits mem8[rn + imm] <- rd.
+func (a *Asm) STRB(rd, rn int, imm uint16) *Asm {
+	return a.emit(Instr{Op: OpSTRB, Rd: rd, Rn: rn, Imm12: imm})
+}
+
+// LDRR emits rd <- mem32[rn + rm] (the no-syndrome class).
+func (a *Asm) LDRR(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpLDRR, Rd: rd, Rn: rn, Rm: rm}) }
+
+// STRR emits mem32[rn + rm] <- rd (the no-syndrome class).
+func (a *Asm) STRR(rd, rn, rm int) *Asm { return a.emit(Instr{Op: OpSTRR, Rd: rd, Rn: rn, Rm: rm}) }
+
+func (a *Asm) branch(op Op, label string) *Asm {
+	a.fixups[len(a.words)] = label
+	a.conds[len(a.words)] = op
+	return a.emit(Instr{Op: op})
+}
+
+// B emits an unconditional branch to label.
+func (a *Asm) B(label string) *Asm { return a.branch(OpB, label) }
+
+// BL emits a branch-and-link to label.
+func (a *Asm) BL(label string) *Asm { return a.branch(OpBL, label) }
+
+// BEQ branches to label when Z is set.
+func (a *Asm) BEQ(label string) *Asm { return a.branch(OpBEQ, label) }
+
+// BNE branches to label when Z is clear.
+func (a *Asm) BNE(label string) *Asm { return a.branch(OpBNE, label) }
+
+// BLT branches to label when signed less-than.
+func (a *Asm) BLT(label string) *Asm { return a.branch(OpBLT, label) }
+
+// BGE branches to label when signed greater-or-equal.
+func (a *Asm) BGE(label string) *Asm { return a.branch(OpBGE, label) }
+
+// BX emits an indirect branch to rm (BX LR returns from BL).
+func (a *Asm) BX(rm int) *Asm { return a.emit(Instr{Op: OpBX, Rm: rm}) }
+
+// SVC emits a system call.
+func (a *Asm) SVC(imm uint16) *Asm { return a.emit(Instr{Op: OpSVC, Imm16: imm}) }
+
+// HVC emits a hypercall.
+func (a *Asm) HVC(imm uint16) *Asm { return a.emit(Instr{Op: OpHVC, Imm16: imm}) }
+
+// SMC emits a secure monitor call.
+func (a *Asm) SMC(imm uint16) *Asm { return a.emit(Instr{Op: OpSMC, Imm16: imm}) }
+
+// WFI emits wait-for-interrupt.
+func (a *Asm) WFI() *Asm { return a.emit(Instr{Op: OpWFI}) }
+
+// WFE emits wait-for-event.
+func (a *Asm) WFE() *Asm { return a.emit(Instr{Op: OpWFE}) }
+
+// SEV emits send-event.
+func (a *Asm) SEV() *Asm { return a.emit(Instr{Op: OpSEV}) }
+
+// ERET emits an exception return.
+func (a *Asm) ERET() *Asm { return a.emit(Instr{Op: OpERET}) }
+
+// MRS emits rd <- CPSR.
+func (a *Asm) MRS(rd int) *Asm { return a.emit(Instr{Op: OpMRS, Rd: rd}) }
+
+// MSR emits CPSR <- rm.
+func (a *Asm) MSR(rm int) *Asm { return a.emit(Instr{Op: OpMSR, Rm: rm}) }
+
+// MRC emits rd <- sysreg.
+func (a *Asm) MRC(rd int, sysreg uint16) *Asm {
+	return a.emit(Instr{Op: OpMRC, Rd: rd, Imm12: sysreg})
+}
+
+// MCR emits sysreg <- rd.
+func (a *Asm) MCR(rd int, sysreg uint16) *Asm {
+	return a.emit(Instr{Op: OpMCR, Rd: rd, Imm12: sysreg})
+}
+
+// CPS emits a mode switch.
+func (a *Asm) CPS(mode uint16) *Asm { return a.emit(Instr{Op: OpCPS, Imm12: mode}) }
+
+// VMOV emits d[fd] <- r[rn].
+func (a *Asm) VMOV(fd, rn int) *Asm { return a.emit(Instr{Op: OpVMOV, Rd: fd, Rn: rn}) }
+
+// VADD emits d[fd] <- d[fn] + d[fm].
+func (a *Asm) VADD(fd, fn, fm int) *Asm { return a.emit(Instr{Op: OpVADD, Rd: fd, Rn: fn, Rm: fm}) }
+
+// VMUL emits d[fd] <- d[fn] * d[fm].
+func (a *Asm) VMUL(fd, fn, fm int) *Asm { return a.emit(Instr{Op: OpVMUL, Rd: fd, Rn: fn, Rm: fm}) }
+
+// VMRS emits rd <- FPSCR.
+func (a *Asm) VMRS(rd int) *Asm { return a.emit(Instr{Op: OpVMRS, Rd: rd}) }
+
+// HALT stops the CPU with r0 as exit status.
+func (a *Asm) HALT() *Asm { return a.emit(Instr{Op: OpHALT}) }
+
+// Assemble resolves labels and returns the program words.
+func (a *Asm) Assemble() ([]uint32, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	for idx, label := range a.fixups {
+		target, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", label)
+		}
+		// Offset is relative to the next instruction.
+		off := int32(target - (idx + 1))
+		a.words[idx] = Encode(Instr{Op: a.conds[idx], Imm24: off})
+	}
+	return a.words, nil
+}
+
+// MustAssemble panics on assembly errors; for tests and examples.
+func (a *Asm) MustAssemble() []uint32 {
+	w, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Bytes returns the program as little-endian bytes, ready to copy into
+// simulated memory.
+func (a *Asm) Bytes() ([]byte, error) {
+	words, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(words)*4)
+	for i, w := range words {
+		out[i*4] = byte(w)
+		out[i*4+1] = byte(w >> 8)
+		out[i*4+2] = byte(w >> 16)
+		out[i*4+3] = byte(w >> 24)
+	}
+	return out, nil
+}

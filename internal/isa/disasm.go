@@ -1,0 +1,85 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders one instruction as assembler-like text; pc is the
+// instruction's address (used to resolve branch targets).
+func Disassemble(w uint32, pc uint32) string {
+	in := Decode(w)
+	r := func(n int) string { return fmt.Sprintf("r%d", n) }
+	switch in.Op {
+	case OpNOP:
+		return "nop"
+	case OpMOV:
+		return fmt.Sprintf("mov %s, %s", r(in.Rd), r(in.Rm))
+	case OpADD, OpSUB, OpAND, OpORR, OpXOR, OpMUL, OpLSL, OpLSR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rn), r(in.Rm))
+	case OpCMP:
+		return fmt.Sprintf("cmp %s, %s", r(in.Rn), r(in.Rm))
+	case OpCMPI:
+		return fmt.Sprintf("cmp %s, #%d", r(in.Rn), in.Imm12)
+	case OpMOVW:
+		return fmt.Sprintf("movw %s, #%#x", r(in.Rd), in.Imm16)
+	case OpMOVT:
+		return fmt.Sprintf("movt %s, #%#x", r(in.Rd), in.Imm16)
+	case OpADDI:
+		return fmt.Sprintf("add %s, %s, #%d", r(in.Rd), r(in.Rn), in.Imm12)
+	case OpSUBI:
+		return fmt.Sprintf("sub %s, %s, #%d", r(in.Rd), r(in.Rn), in.Imm12)
+	case OpLDR:
+		return fmt.Sprintf("ldr %s, [%s, #%d]", r(in.Rd), r(in.Rn), in.Imm12)
+	case OpSTR:
+		return fmt.Sprintf("str %s, [%s, #%d]", r(in.Rd), r(in.Rn), in.Imm12)
+	case OpLDRB:
+		return fmt.Sprintf("ldrb %s, [%s, #%d]", r(in.Rd), r(in.Rn), in.Imm12)
+	case OpSTRB:
+		return fmt.Sprintf("strb %s, [%s, #%d]", r(in.Rd), r(in.Rn), in.Imm12)
+	case OpLDRR:
+		return fmt.Sprintf("ldr %s, [%s, %s]", r(in.Rd), r(in.Rn), r(in.Rm))
+	case OpSTRR:
+		return fmt.Sprintf("str %s, [%s, %s]", r(in.Rd), r(in.Rn), r(in.Rm))
+	case OpB, OpBL, OpBEQ, OpBNE, OpBLT, OpBGE:
+		target := uint32(int64(pc) + 4 + int64(in.Imm24)*4)
+		return fmt.Sprintf("%s %#x", in.Op, target)
+	case OpBX:
+		return fmt.Sprintf("bx %s", r(in.Rm))
+	case OpSVC, OpHVC, OpSMC:
+		return fmt.Sprintf("%s #%#x", in.Op, in.Imm16)
+	case OpWFI, OpWFE, OpSEV, OpERET, OpHALT:
+		return in.Op.String()
+	case OpMRS:
+		return fmt.Sprintf("mrs %s, cpsr", r(in.Rd))
+	case OpMSR:
+		return fmt.Sprintf("msr cpsr, %s", r(in.Rm))
+	case OpMRC:
+		return fmt.Sprintf("mrc %s, %s", r(in.Rd), sysRegName(in.Imm12))
+	case OpMCR:
+		return fmt.Sprintf("mcr %s, %s", r(in.Rd), sysRegName(in.Imm12))
+	case OpCPS:
+		return fmt.Sprintf("cps #%#x", in.Imm12)
+	case OpVMOV:
+		return fmt.Sprintf("vmov d%d, %s", in.Rd, r(in.Rn))
+	case OpVADD:
+		return fmt.Sprintf("vadd d%d, d%d, d%d", in.Rd, in.Rn, in.Rm)
+	case OpVMUL:
+		return fmt.Sprintf("vmul d%d, d%d, d%d", in.Rd, in.Rn, in.Rm)
+	case OpVMRS:
+		return fmt.Sprintf("vmrs %s, fpscr", r(in.Rd))
+	}
+	return fmt.Sprintf(".word %#08x", w)
+}
+
+// sysRegName avoids importing internal/arm (which imports nothing from
+// isa, but keeping the layering one-way is cleaner); the benches and
+// examples print the numeric ID.
+func sysRegName(id uint16) string { return fmt.Sprintf("sysreg(%d)", id) }
+
+// DisassembleProgram renders a whole program with addresses.
+func DisassembleProgram(words []uint32, base uint32) []string {
+	out := make([]string, 0, len(words))
+	for i, w := range words {
+		pc := base + uint32(i)*4
+		out = append(out, fmt.Sprintf("%08x: %08x  %s", pc, w, Disassemble(w, pc)))
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleCoversAssembler(t *testing.T) {
+	prog := NewAsm(0x1000).
+		NOP().
+		MOVW(R1, 0x42).
+		MOVT(R1, 0x8000).
+		ADD(R2, R1, R0).
+		ADDI(R2, R2, 4).
+		CMP(R2, R1).
+		CMPI(R2, 7).
+		LDR(R3, R1, 8).
+		STRR(R3, R1, R2).
+		B("end").
+		SVC(1).
+		HVC(2).
+		WFI().
+		MRC(R4, 12).
+		VMUL(1, 2, 3).
+		Label("end").
+		HALT().
+		MustAssemble()
+	lines := DisassembleProgram(prog, 0x1000)
+	if len(lines) != len(prog) {
+		t.Fatalf("%d lines for %d words", len(lines), len(prog))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"nop", "movw r1, #0x42", "movt r1, #0x8000", "add r2, r1, r0",
+		"add r2, r2, #4", "cmp r2, r1", "cmp r2, #7", "ldr r3, [r1, #8]",
+		"str r3, [r1, r2]", "svc #0x1", "hvc #0x2", "wfi",
+		"mrc r4, sysreg(12)", "vmul d1, d2, d3", "halt",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+	// The branch resolves to the HALT address.
+	if !strings.Contains(joined, "b 0x103c") {
+		t.Errorf("branch target not resolved:\n%s", joined)
+	}
+}
+
+func TestDisassembleUnknownWord(t *testing.T) {
+	if got := Disassemble(0xEE123456, 0); !strings.Contains(got, ".word") {
+		t.Fatalf("unknown word rendered as %q", got)
+	}
+}

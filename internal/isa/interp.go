@@ -1,0 +1,256 @@
+package isa
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/mmu"
+)
+
+// Interp executes SARM32 on a CPU; it implements arm.Runner. One Step is
+// one instruction. Exceptions raised mid-instruction redirect the PC; the
+// interpreter simply continues from whatever context the exception entry
+// (and its software handler) left behind.
+type Interp struct {
+	// OnHalt, if set, is called when a HALT retires.
+	OnHalt func(c *arm.CPU)
+}
+
+// Step fetches, decodes and executes one instruction.
+func (it *Interp) Step(c *arm.CPU) {
+	instrPC := c.Regs.PC()
+	w, ok := c.Fetch32()
+	if !ok {
+		return // prefetch abort taken
+	}
+	in := Decode(w)
+	c.Insns++
+	c.Charge(c.Cost.Insn)
+
+	next := instrPC + 4
+	setFlags := func(n, z, carry, v bool) {
+		psr := c.CPSR &^ (arm.PSRN | arm.PSRZ | arm.PSRC | arm.PSRV)
+		if n {
+			psr |= arm.PSRN
+		}
+		if z {
+			psr |= arm.PSRZ
+		}
+		if carry {
+			psr |= arm.PSRC
+		}
+		if v {
+			psr |= arm.PSRV
+		}
+		c.SetCPSR(psr)
+	}
+	compare := func(a, b uint32) {
+		d := a - b
+		setFlags(int32(d) < 0, d == 0, a >= b, (int32(a) < int32(b)) != (int32(d) < 0))
+	}
+	branchTo := func(idxOff int32) {
+		next = uint32(int64(instrPC) + 4 + int64(idxOff)*4)
+	}
+
+	switch in.Op {
+	case OpNOP:
+	case OpMOV:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rm))
+	case OpADD:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)+c.Regs.R(in.Rm))
+	case OpSUB:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)-c.Regs.R(in.Rm))
+	case OpAND:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)&c.Regs.R(in.Rm))
+	case OpORR:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)|c.Regs.R(in.Rm))
+	case OpXOR:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)^c.Regs.R(in.Rm))
+	case OpMUL:
+		c.Charge(c.Cost.InsnMul - c.Cost.Insn)
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)*c.Regs.R(in.Rm))
+	case OpLSL:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)<<(c.Regs.R(in.Rm)&31))
+	case OpLSR:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)>>(c.Regs.R(in.Rm)&31))
+	case OpCMP:
+		compare(c.Regs.R(in.Rn), c.Regs.R(in.Rm))
+	case OpCMPI:
+		compare(c.Regs.R(in.Rn), uint32(in.Imm12))
+	case OpMOVW:
+		c.Regs.SetR(in.Rd, uint32(in.Imm16))
+	case OpMOVT:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rd)&0xFFFF|uint32(in.Imm16)<<16)
+	case OpADDI:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)+uint32(in.Imm12))
+	case OpSUBI:
+		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)-uint32(in.Imm12))
+
+	case OpLDR, OpLDRB, OpSTR, OpSTRB, OpLDRR, OpSTRR:
+		var addr uint32
+		switch in.Op {
+		case OpLDRR, OpSTRR:
+			addr = c.Regs.R(in.Rn) + c.Regs.R(in.Rm)
+		default:
+			addr = c.Regs.R(in.Rn) + uint32(in.Imm12)
+		}
+		isMem, isStore, synd, size := in.IsMemAccess()
+		_ = isMem
+		// Aborts must return to this instruction so it can be retried
+		// (page fault) or skipped after emulation (MMIO): keep PC here.
+		var v uint64
+		at := mmu.Load
+		if isStore {
+			at = mmu.Store
+			v = uint64(c.Regs.R(in.Rd))
+		}
+		if taken := c.Access(addr, size, at, &v, synd, in.Rd); taken {
+			return
+		}
+		if !isStore {
+			c.Regs.SetR(in.Rd, uint32(v))
+		}
+
+	case OpB:
+		branchTo(in.Imm24)
+	case OpBL:
+		c.Regs.SetR(arm.RegLR, next)
+		branchTo(in.Imm24)
+	case OpBEQ:
+		if c.CPSR&arm.PSRZ != 0 {
+			branchTo(in.Imm24)
+		}
+	case OpBNE:
+		if c.CPSR&arm.PSRZ == 0 {
+			branchTo(in.Imm24)
+		}
+	case OpBLT:
+		if (c.CPSR&arm.PSRN != 0) != (c.CPSR&arm.PSRV != 0) {
+			branchTo(in.Imm24)
+		}
+	case OpBGE:
+		if (c.CPSR&arm.PSRN != 0) == (c.CPSR&arm.PSRV != 0) {
+			branchTo(in.Imm24)
+		}
+	case OpBX:
+		next = c.Regs.R(in.Rm)
+
+	case OpSVC:
+		// Preferred return address for SVC is the next instruction.
+		c.Regs.SetPC(next)
+		c.TakeException(&arm.Exception{Kind: arm.ExcSVC, Imm: in.Imm16})
+		return
+	case OpHVC:
+		if c.Mode() == arm.ModeUSR {
+			c.TakeException(&arm.Exception{Kind: arm.ExcUndef})
+			return
+		}
+		c.Regs.SetPC(next)
+		c.TakeException(&arm.Exception{Kind: arm.ExcHVC, Imm: in.Imm16,
+			HSR: arm.MakeHSR(arm.ECHVC, uint32(in.Imm16))})
+		return
+	case OpSMC:
+		if c.Mode() == arm.ModeUSR {
+			c.TakeException(&arm.Exception{Kind: arm.ExcUndef})
+			return
+		}
+		c.Regs.SetPC(next)
+		if c.NonSecure() && c.Mode() != arm.ModeHYP && c.HCR()&arm.HCRTSC != 0 {
+			// KVM/ARM traps SMC: the VM must not reach secure firmware.
+			c.TakeException(&arm.Exception{Kind: arm.ExcHypTrap, Imm: in.Imm16,
+				HSR: arm.MakeHSR(arm.ECSMC, uint32(in.Imm16))})
+			return
+		}
+		c.TakeException(&arm.Exception{Kind: arm.ExcSMC, Imm: in.Imm16})
+		return
+	case OpWFI:
+		// A trapped WFI returns to the WFI itself (ELR_hyp = instrPC);
+		// the hypervisor skips it after emulating. An untrapped WFI
+		// sleeps and resumes at the next instruction once woken.
+		c.DoWFI()
+		if c.WFIWait {
+			c.Regs.SetPC(next)
+		}
+		return
+	case OpWFE:
+		c.DoWFE()
+		if c.WFIWait {
+			c.Regs.SetPC(next)
+		}
+		return
+	case OpSEV:
+		if c.SEVBroadcast != nil {
+			c.SEVBroadcast()
+		} else {
+			c.SendEvent()
+		}
+	case OpERET:
+		if c.Mode() == arm.ModeUSR || c.Mode() == arm.ModeSYS {
+			c.TakeException(&arm.Exception{Kind: arm.ExcUndef})
+			return
+		}
+		c.ERET()
+		return
+	case OpMRS:
+		if c.Mode() == arm.ModeUSR {
+			c.TakeException(&arm.Exception{Kind: arm.ExcUndef})
+			return
+		}
+		c.Regs.SetR(in.Rd, c.CPSR)
+	case OpMSR:
+		if c.Mode() == arm.ModeUSR {
+			c.TakeException(&arm.Exception{Kind: arm.ExcUndef})
+			return
+		}
+		c.SetCPSR(c.Regs.R(in.Rm))
+	case OpCPS:
+		if err := c.EnterMode(arm.Mode(in.Imm12)); err != nil {
+			c.TakeException(&arm.Exception{Kind: arm.ExcUndef})
+			return
+		}
+	case OpMRC:
+		v, trapped := c.ReadSys(arm.SysReg(in.Imm12), in.Rd)
+		if trapped {
+			return // trap handlers skip by advancing ELR
+		}
+		c.Regs.SetR(in.Rd, v)
+	case OpMCR:
+		if trapped := c.WriteSys(arm.SysReg(in.Imm12), in.Rd, c.Regs.R(in.Rd)); trapped {
+			return
+		}
+
+	case OpVMOV:
+		if c.VFPAccess() {
+			return
+		}
+		c.Charge(c.Cost.VFPRegMove)
+		c.VFP.D[in.Rd&31] = uint64(c.Regs.R(in.Rn))
+	case OpVADD:
+		if c.VFPAccess() {
+			return
+		}
+		c.Charge(c.Cost.VFPRegMove)
+		c.VFP.D[in.Rd&31] = c.VFP.D[in.Rn&31] + c.VFP.D[in.Rm&31]
+	case OpVMUL:
+		if c.VFPAccess() {
+			return
+		}
+		c.Charge(c.Cost.VFPRegMove)
+		c.VFP.D[in.Rd&31] = c.VFP.D[in.Rn&31] * c.VFP.D[in.Rm&31]
+	case OpVMRS:
+		if c.VFPAccess() {
+			return
+		}
+		c.Regs.SetR(in.Rd, c.VFP.FPSCR)
+
+	case OpHALT:
+		c.Halted = true
+		if it.OnHalt != nil {
+			it.OnHalt(c)
+		}
+		return
+
+	default:
+		c.TakeException(&arm.Exception{Kind: arm.ExcUndef})
+		return
+	}
+	c.Regs.SetPC(next)
+}

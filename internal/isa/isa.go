@@ -1,0 +1,193 @@
+// Package isa defines SARM32, the synthetic 32-bit instruction set executed
+// by the simulated ARM CPU, together with an encoder, a decoder, a small
+// assembler, and an interpreter.
+//
+// SARM32 is not the ARM encoding, but it is shaped so that everything the
+// paper's hypervisor cares about is faithful:
+//
+//   - sensitive instructions (WFI/WFE, SMC, MRC/MCR of trapped registers,
+//     VFP after a world switch) trap to Hyp mode per HCR/HCPTR/HSTR;
+//   - loads and stores translate through both MMU stages, so accesses to
+//     unmapped guest-physical addresses become Stage-2 aborts;
+//   - immediate-offset loads/stores populate the HSR syndrome on an abort
+//     (the hardware-described MMIO class), while register-offset forms do
+//     not, forcing the hypervisor onto the software instruction-decoding
+//     path that §4 recounts;
+//   - HVC is the hypercall; SVC is the system call; ERET returns.
+//
+// Every instruction is one 32-bit little-endian word:
+//
+//	bits [31:24] opcode
+//	bits [23:20] rd
+//	bits [19:16] rn
+//	bits [15:12] rm
+//	bits [15:0]  imm16 (immediate forms)
+//	bits [11:0]  imm12 (memory offsets, system register numbers)
+//	bits [23:0]  imm24 (branch offset in words, signed)
+package isa
+
+import "fmt"
+
+// Op is a SARM32 opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNOP Op = 0x00
+
+	// Register ALU: rd, rn, rm.
+	OpMOV Op = 0x01
+	OpADD Op = 0x02
+	OpSUB Op = 0x03
+	OpAND Op = 0x04
+	OpORR Op = 0x05
+	OpXOR Op = 0x06
+	OpMUL Op = 0x07
+	OpLSL Op = 0x08
+	OpLSR Op = 0x09
+	OpCMP Op = 0x0A // rn, rm; sets NZCV
+
+	// Immediate ALU.
+	OpMOVW Op = 0x11 // rd, imm16
+	OpADDI Op = 0x12 // rd, rn, imm12
+	OpSUBI Op = 0x13 // rd, rn, imm12
+	OpMOVT Op = 0x14 // rd, imm16 into the top half
+	OpCMPI Op = 0x1A // rn, imm12
+
+	// Memory. Immediate-offset forms populate the abort syndrome (ISV);
+	// register-offset forms do not.
+	OpLDR  Op = 0x20 // rd, [rn + imm12]
+	OpSTR  Op = 0x21
+	OpLDRB Op = 0x22
+	OpSTRB Op = 0x23
+	OpLDRR Op = 0x24 // rd, [rn + rm] — no syndrome on abort
+	OpSTRR Op = 0x25
+
+	// Branches: imm24 word offset relative to the next instruction.
+	OpB   Op = 0x30
+	OpBL  Op = 0x31
+	OpBEQ Op = 0x32
+	OpBNE Op = 0x33
+	OpBLT Op = 0x34
+	OpBGE Op = 0x35
+	OpBX  Op = 0x36 // to rm
+
+	// System.
+	OpSVC  Op = 0x40 // imm16
+	OpHVC  Op = 0x41 // imm16; undefined from user mode
+	OpSMC  Op = 0x42 // imm16; traps to Hyp when HCR.TSC
+	OpWFI  Op = 0x43
+	OpWFE  Op = 0x44
+	OpERET Op = 0x45
+	OpMRS  Op = 0x46 // rd <- CPSR
+	OpMSR  Op = 0x47 // CPSR <- rm (privileged)
+	OpMRC  Op = 0x48 // rd <- sysreg[imm12]
+	OpMCR  Op = 0x49 // sysreg[imm12] <- rd
+	OpCPS  Op = 0x4A // switch mode to imm12 (privileged)
+	OpSEV  Op = 0x4B
+
+	// VFP (operates on 64-bit d registers; fd/fn/fm in rd/rn/rm).
+	OpVMOV Op = 0x50 // d[fd] <- r[rn] (zero-extended)
+	OpVADD Op = 0x51
+	OpVMUL Op = 0x52
+	OpVMRS Op = 0x53 // rd <- FPSCR
+
+	// HALT stops the CPU; r0 is the exit code. Test/example harness only.
+	OpHALT Op = 0xFF
+)
+
+var opNames = map[Op]string{
+	OpNOP: "nop", OpMOV: "mov", OpADD: "add", OpSUB: "sub", OpAND: "and",
+	OpORR: "orr", OpXOR: "xor", OpMUL: "mul", OpLSL: "lsl", OpLSR: "lsr",
+	OpCMP: "cmp", OpMOVW: "movw", OpADDI: "addi", OpSUBI: "subi",
+	OpMOVT: "movt", OpCMPI: "cmpi", OpLDR: "ldr", OpSTR: "str",
+	OpLDRB: "ldrb", OpSTRB: "strb", OpLDRR: "ldrr", OpSTRR: "strr",
+	OpB: "b", OpBL: "bl", OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt",
+	OpBGE: "bge", OpBX: "bx", OpSVC: "svc", OpHVC: "hvc", OpSMC: "smc",
+	OpWFI: "wfi", OpWFE: "wfe", OpERET: "eret", OpMRS: "mrs", OpMSR: "msr",
+	OpMRC: "mrc", OpMCR: "mcr", OpCPS: "cps", OpSEV: "sev",
+	OpVMOV: "vmov", OpVADD: "vadd", OpVMUL: "vmul", OpVMRS: "vmrs",
+	OpHALT: "halt",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%#x)", uint8(o))
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op    Op
+	Rd    int
+	Rn    int
+	Rm    int
+	Imm16 uint16
+	Imm12 uint16
+	// Imm24 is the sign-extended branch offset in words.
+	Imm24 int32
+	// Raw is the encoded word.
+	Raw uint32
+}
+
+// Encode packs an instruction into its 32-bit word.
+func Encode(i Instr) uint32 {
+	w := uint32(i.Op) << 24
+	switch i.Op {
+	case OpB, OpBL, OpBEQ, OpBNE, OpBLT, OpBGE:
+		w |= uint32(i.Imm24) & 0x00FF_FFFF
+	case OpMOVW, OpMOVT:
+		w |= uint32(i.Rd&0xF)<<20 | uint32(i.Imm16)
+	case OpSVC, OpHVC, OpSMC:
+		w |= uint32(i.Imm16)
+	case OpCMPI:
+		w |= uint32(i.Rn&0xF)<<16 | uint32(i.Imm12&0xFFF)
+	case OpADDI, OpSUBI, OpLDR, OpSTR, OpLDRB, OpSTRB, OpMRC, OpMCR, OpCPS:
+		w |= uint32(i.Rd&0xF)<<20 | uint32(i.Rn&0xF)<<16 | uint32(i.Imm12&0xFFF)
+	default:
+		w |= uint32(i.Rd&0xF)<<20 | uint32(i.Rn&0xF)<<16 | uint32(i.Rm&0xF)<<12
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word. Unknown opcodes decode with Op preserved so
+// the interpreter can raise an undefined-instruction exception.
+func Decode(w uint32) Instr {
+	i := Instr{
+		Op:    Op(w >> 24),
+		Rd:    int(w >> 20 & 0xF),
+		Rn:    int(w >> 16 & 0xF),
+		Rm:    int(w >> 12 & 0xF),
+		Imm16: uint16(w),
+		Imm12: uint16(w & 0xFFF),
+		Raw:   w,
+	}
+	off := int32(w & 0x00FF_FFFF)
+	if off&0x0080_0000 != 0 {
+		off |= -1 << 24 // sign extend
+	}
+	i.Imm24 = off
+	return i
+}
+
+// IsMemAccess reports whether the instruction is a load or store, and
+// whether it belongs to the syndrome-valid class. MMIO abort handlers use
+// this during software decode.
+func (i Instr) IsMemAccess() (isMem, isStore, syndromeValid bool, size int) {
+	switch i.Op {
+	case OpLDR:
+		return true, false, true, 4
+	case OpSTR:
+		return true, true, true, 4
+	case OpLDRB:
+		return true, false, true, 1
+	case OpSTRB:
+		return true, true, true, 1
+	case OpLDRR:
+		return true, false, false, 4
+	case OpSTRR:
+		return true, true, false, 4
+	}
+	return false, false, false, 0
+}

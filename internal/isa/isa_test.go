@@ -1,0 +1,419 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/bus"
+	"kvmarm/internal/mem"
+)
+
+const ramBase = 0x8000_0000
+
+// testMachine loads a program at ramBase and returns a CPU ready to run it
+// flat-mapped (MMU off) in the given mode.
+func testMachine(t *testing.T, prog []uint32, mode arm.Mode) (*arm.CPU, *Interp) {
+	t.Helper()
+	ram := mem.New(ramBase, 16<<20)
+	b := bus.New(ram)
+	c := arm.NewCPU(0, b)
+	c.Secure = false
+	c.SetCPSR(uint32(mode) | arm.PSRI | arm.PSRF)
+	for i, w := range prog {
+		if err := ram.Write32(ramBase+uint64(i)*4, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Regs.SetPC(ramBase)
+	it := &Interp{}
+	c.Runner = it
+	return c, it
+}
+
+func run(t *testing.T, c *arm.CPU, maxSteps int) {
+	t.Helper()
+	for i := 0; i < maxSteps && !c.Halted; i++ {
+		c.Step()
+	}
+	if !c.Halted {
+		t.Fatalf("program did not halt in %d steps (pc=%#x)", maxSteps, c.Regs.PC())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rn, rm uint8) bool {
+		in := Instr{Op: OpADD, Rd: int(rd & 0xF), Rn: int(rn & 0xF), Rm: int(rm & 0xF)}
+		out := Decode(Encode(in))
+		return out.Op == in.Op && out.Rd == in.Rd && out.Rn == in.Rn && out.Rm == in.Rm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchOffsetSignExtension(t *testing.T) {
+	f := func(off int32) bool {
+		off %= 1 << 22 // keep inside imm24
+		in := Decode(Encode(Instr{Op: OpB, Imm24: off}))
+		return in.Imm24 == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImmediateRoundTrip(t *testing.T) {
+	f := func(rd uint8, imm uint16) bool {
+		in := Decode(Encode(Instr{Op: OpMOVW, Rd: int(rd & 0xF), Imm16: imm}))
+		return in.Imm16 == imm && in.Rd == int(rd&0xF)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestALUProgram(t *testing.T) {
+	prog := NewAsm(ramBase).
+		MOVW(R0, 6).
+		MOVW(R1, 7).
+		MUL(R2, R0, R1).  // 42
+		ADDI(R2, R2, 8).  // 50
+		SUBI(R2, R2, 25). // 25
+		MOVW(R3, 5).
+		LSL(R2, R2, R3). // 25<<5 = 800
+		MOV(R0, R2).
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	run(t, c, 100)
+	if got := c.Regs.R(0); got != 800 {
+		t.Fatalf("r0 = %d, want 800", got)
+	}
+}
+
+func TestLoopAndFlags(t *testing.T) {
+	// Sum 1..10 with a countdown loop.
+	prog := NewAsm(ramBase).
+		MOVW(R0, 0).  // sum
+		MOVW(R1, 10). // i
+		Label("loop").
+		ADD(R0, R0, R1).
+		SUBI(R1, R1, 1).
+		CMPI(R1, 0).
+		BNE("loop").
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	run(t, c, 1000)
+	if got := c.Regs.R(0); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestSignedBranches(t *testing.T) {
+	// |−3| via BLT.
+	prog := NewAsm(ramBase).
+		MOVW(R0, 0).
+		SUBI(R0, R0, 3). // r0 = -3
+		CMPI(R0, 0).
+		BLT("neg").
+		HALT().
+		Label("neg").
+		MOVW(R1, 0).
+		SUB(R0, R1, R0). // r0 = 3
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	run(t, c, 100)
+	if got := c.Regs.R(0); got != 3 {
+		t.Fatalf("r0 = %d, want 3", got)
+	}
+}
+
+func TestBLAndBX(t *testing.T) {
+	prog := NewAsm(ramBase).
+		MOVW(R0, 1).
+		BL("fn").
+		ADDI(R0, R0, 100). // runs after return
+		HALT().
+		Label("fn").
+		ADDI(R0, R0, 10).
+		BX(LR).
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	run(t, c, 100)
+	if got := c.Regs.R(0); got != 111 {
+		t.Fatalf("r0 = %d, want 111", got)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	dataVA := uint32(ramBase + 0x1000)
+	prog := NewAsm(ramBase).
+		MOV32(R1, dataVA).
+		MOVW(R2, 0xBEEF).
+		MOVT(R2, 0xDEAD).
+		STR(R2, R1, 0).
+		LDR(R3, R1, 0).
+		STRB(R3, R1, 8).
+		LDRB(R4, R1, 8).
+		MOVW(R5, 4).
+		STRR(R3, R1, R5). // mem[r1+4] = r3
+		LDRR(R6, R1, R5).
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	run(t, c, 100)
+	if got := c.Regs.R(3); got != 0xDEADBEEF {
+		t.Fatalf("r3 = %#x, want 0xdeadbeef", got)
+	}
+	if got := c.Regs.R(4); got != 0xEF {
+		t.Fatalf("r4 = %#x, want 0xef (byte load)", got)
+	}
+	if got := c.Regs.R(6); got != 0xDEADBEEF {
+		t.Fatalf("r6 = %#x, want 0xdeadbeef (register-offset)", got)
+	}
+}
+
+func TestSVCDispatchesToPL1Handler(t *testing.T) {
+	prog := NewAsm(ramBase).
+		MOVW(R0, 3).
+		SVC(0x77).
+		ADDI(R0, R0, 1).
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeUSR)
+	var imm uint16
+	c.PL1Handler = func(cpu *arm.CPU, e *arm.Exception) {
+		imm = e.Imm
+		cpu.Regs.SetR(0, cpu.Regs.R(0)*10)
+		cpu.ERET()
+	}
+	run(t, c, 100)
+	if imm != 0x77 {
+		t.Fatalf("svc imm = %#x, want 0x77", imm)
+	}
+	if got := c.Regs.R(0); got != 31 {
+		t.Fatalf("r0 = %d, want 31 (3*10+1): SVC must return to next instruction", got)
+	}
+}
+
+func TestHVCUndefinedFromUser(t *testing.T) {
+	prog := NewAsm(ramBase).
+		HVC(0).
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeUSR)
+	undef := false
+	c.PL1Handler = func(cpu *arm.CPU, e *arm.Exception) {
+		if e.Kind == arm.ExcUndef {
+			undef = true
+		}
+		cpu.Halted = true
+	}
+	c.HypHandler = func(cpu *arm.CPU, e *arm.Exception) {
+		t.Fatal("HVC from user mode must not reach Hyp mode")
+	}
+	run(t, c, 10)
+	if !undef {
+		t.Fatal("HVC from user mode must be undefined")
+	}
+}
+
+func TestHVCFromKernelTrapsToHyp(t *testing.T) {
+	prog := NewAsm(ramBase).
+		MOVW(R0, 1).
+		HVC(0xAB).
+		ADDI(R0, R0, 1).
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	var hsr uint32
+	c.HypHandler = func(cpu *arm.CPU, e *arm.Exception) {
+		hsr = e.HSR
+		cpu.ERET()
+	}
+	run(t, c, 100)
+	if arm.HSREC(hsr) != arm.ECHVC {
+		t.Fatalf("EC = %#x, want HVC", arm.HSREC(hsr))
+	}
+	if got := c.Regs.R(0); got != 2 {
+		t.Fatalf("r0 = %d, want 2", got)
+	}
+}
+
+func TestSMCRouting(t *testing.T) {
+	// Without HCR.TSC an SMC reaches monitor mode; with it, Hyp mode.
+	prog := NewAsm(ramBase).SMC(1).HALT().MustAssemble()
+
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	mon := false
+	c.MonHandler = func(cpu *arm.CPU, e *arm.Exception) {
+		mon = true
+		cpu.ERET()
+	}
+	run(t, c, 10)
+	if !mon {
+		t.Fatal("SMC without HCR.TSC must reach monitor mode")
+	}
+
+	c2, _ := testMachine(t, prog, arm.ModeSVC)
+	c2.CP15.Regs[arm.SysHCR] = arm.HCRGuest &^ arm.HCRVM
+	hyp := false
+	c2.HypHandler = func(cpu *arm.CPU, e *arm.Exception) {
+		if arm.HSREC(e.HSR) == arm.ECSMC {
+			hyp = true
+		}
+		// Skip the trapped SMC and return.
+		cpu.Regs.SetELRHyp(cpu.Regs.ELRHyp())
+		cpu.ERET()
+	}
+	c2.MonHandler = func(cpu *arm.CPU, e *arm.Exception) {
+		t.Fatal("guest SMC must not reach the secure monitor")
+	}
+	run(t, c2, 10)
+	if !hyp {
+		t.Fatal("SMC with HCR.TSC must trap to Hyp mode")
+	}
+}
+
+func TestMRCMCRSysregs(t *testing.T) {
+	prog := NewAsm(ramBase).
+		MOVW(R1, 0x55).
+		MCR(R1, uint16(arm.SysTPIDRPRW)).
+		MRC(R2, uint16(arm.SysTPIDRPRW)).
+		MOV(R0, R2).
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	run(t, c, 100)
+	if got := c.Regs.R(0); got != 0x55 {
+		t.Fatalf("r0 = %#x, want 0x55", got)
+	}
+}
+
+func TestTrappedMRCSkippedByHypervisor(t *testing.T) {
+	prog := NewAsm(ramBase).
+		MRC(R0, uint16(arm.SysACTLR)). // traps under HCR.TAC
+		ADDI(R0, R0, 1).
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	c.CP15.Regs[arm.SysHCR] = arm.HCRGuest &^ arm.HCRVM // trap bits only; no Stage-2 tables in this test
+	c.HypHandler = func(cpu *arm.CPU, e *arm.Exception) {
+		reg, rt, read := arm.DecodeCP15ISS(arm.HSRISS(e.HSR))
+		if reg != arm.SysACTLR || !read {
+			t.Errorf("syndrome: reg=%v read=%v", reg, read)
+		}
+		// Emulate: write 0x41 into the target register, skip, return.
+		cpu.Regs.SetR(rt, 0x41)
+		cpu.Regs.SetELRHyp(cpu.Regs.ELRHyp() + 4)
+		cpu.ERET()
+	}
+	run(t, c, 100)
+	if got := c.Regs.R(0); got != 0x42 {
+		t.Fatalf("r0 = %#x, want 0x42 (emulated 0x41 + 1)", got)
+	}
+}
+
+func TestVFPTrapThenDirectUse(t *testing.T) {
+	prog := NewAsm(ramBase).
+		MOVW(R1, 6).
+		MOVW(R2, 7).
+		VMOV(0, R1).
+		VMOV(1, R2).
+		VMUL(2, 0, 1).
+		VMRS(R0). // also FP; then read result via memory-free path
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	c.VFP.Enabled = true
+	c.CP15.Regs[arm.SysHCR] = arm.HCRGuest &^ arm.HCRVM // trap bits only; no Stage-2 tables in this test
+	c.CP15.Regs[arm.SysHCPTR] = arm.HCPTRTCP10 | arm.HCPTRTCP11
+	traps := 0
+	c.HypHandler = func(cpu *arm.CPU, e *arm.Exception) {
+		if arm.HSREC(e.HSR) != arm.ECVFP {
+			t.Fatalf("unexpected trap EC %#x", arm.HSREC(e.HSR))
+		}
+		traps++
+		// Lazy switch: enable FP and retry the same instruction.
+		cpu.CP15.Regs[arm.SysHCPTR] = 0
+		cpu.ERET()
+	}
+	run(t, c, 100)
+	if traps != 1 {
+		t.Fatalf("VFP traps = %d, want exactly 1 (lazy switch)", traps)
+	}
+	if got := c.VFP.D[2]; got != 42 {
+		t.Fatalf("d2 = %d, want 42", got)
+	}
+}
+
+func TestWFISleepsAndWakes(t *testing.T) {
+	prog := NewAsm(ramBase).
+		WFI().
+		MOVW(R0, 9).
+		HALT().
+		MustAssemble()
+	c, _ := testMachine(t, prog, arm.ModeSVC)
+	c.SetCPSR(uint32(arm.ModeSVC)) // unmask IRQs
+	irqSeen := false
+	c.PL1Handler = func(cpu *arm.CPU, e *arm.Exception) {
+		if e.Kind == arm.ExcIRQ {
+			irqSeen = true
+			cpu.IRQLine = false
+			cpu.ERET()
+		}
+	}
+	c.Step() // WFI: sleeps
+	if !c.WFIWait {
+		t.Fatal("WFI must sleep")
+	}
+	c.Step() // still asleep
+	c.IRQLine = true
+	run(t, c, 20)
+	if !irqSeen {
+		t.Fatal("wake-up IRQ not delivered")
+	}
+	if got := c.Regs.R(0); got != 9 {
+		t.Fatalf("r0 = %d, want 9", got)
+	}
+}
+
+func TestAsmUndefinedLabel(t *testing.T) {
+	_, err := NewAsm(0).B("nowhere").Assemble()
+	if err == nil {
+		t.Fatal("undefined label must fail assembly")
+	}
+}
+
+func TestAsmBytesLittleEndian(t *testing.T) {
+	bts, err := NewAsm(0).MOVW(R1, 0x1234).Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bts) != 4 {
+		t.Fatalf("len = %d", len(bts))
+	}
+	w := uint32(bts[0]) | uint32(bts[1])<<8 | uint32(bts[2])<<16 | uint32(bts[3])<<24
+	in := Decode(w)
+	if in.Op != OpMOVW || in.Rd != R1 || in.Imm16 != 0x1234 {
+		t.Fatalf("decoded %+v", in)
+	}
+}
+
+func TestUndefinedOpcode(t *testing.T) {
+	c, _ := testMachine(t, []uint32{0xEE00_0000}, arm.ModeSVC)
+	undef := false
+	c.PL1Handler = func(cpu *arm.CPU, e *arm.Exception) {
+		if e.Kind == arm.ExcUndef {
+			undef = true
+		}
+		cpu.Halted = true
+	}
+	c.Step()
+	if !undef {
+		t.Fatal("unknown opcode must raise undefined-instruction")
+	}
+}

@@ -1,0 +1,113 @@
+package kernel
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/dev"
+)
+
+// Device drivers for the virtio-style peripherals. All register access is
+// MMIO through the executing CPU, so on the host it reaches the physical
+// device directly while inside a VM every access traps to the hypervisor's
+// emulation (QEMU) — the I/O virtualization path of §3.4. Completions
+// arrive as (virtual) interrupts handled by the driver, which wakes
+// waiting processes.
+type devDriver struct {
+	name      string
+	base      uint64
+	irq       int
+	q         *WaitQueue
+	completed uint32
+	submitted uint64
+	irqs      uint64
+}
+
+// Driver indices.
+const (
+	DrvNet = iota
+	DrvBlk
+	DrvCon
+	numDrivers
+)
+
+// SetupDrivers initializes the network, block and console drivers and
+// registers their interrupt handlers; call it from kernel context on a
+// booted CPU (an init process inside a VM, or the host after Boot).
+func (k *Kernel) SetupDrivers(c *arm.CPU) {
+	if k.drivers[DrvNet] != nil {
+		return
+	}
+	mk := func(idx int, name string, base uint64, irq int) {
+		if base == 0 {
+			return
+		}
+		d := &devDriver{name: name, base: base, irq: irq, q: NewWaitQueue("dev:" + name)}
+		k.drivers[idx] = d
+		k.RegisterIRQOn(c, irq, func(kk *Kernel, cpu int) {
+			kk.devInterrupt(cpu, d)
+		})
+	}
+	mk(DrvNet, "net", k.HW.NetBase, k.HW.IRQNet)
+	mk(DrvBlk, "blk", k.HW.BlkBase, k.HW.IRQBlk)
+	mk(DrvCon, "con", k.HW.ConBase, k.HW.IRQCon)
+}
+
+// devInterrupt runs in IRQ context: acknowledge the device (ISR read,
+// which clears its line) and wake waiters.
+func (k *Kernel) devInterrupt(cpu int, d *devDriver) {
+	c := k.CPU(cpu)
+	isr := k.mmioRead32(c, d.base+dev.VirtISR)
+	if isr&1 != 0 {
+		d.irqs++
+		d.completed++
+		k.Wake(cpu, d.q)
+	}
+}
+
+// Submit kicks a device with an n-byte request (non-blocking).
+func (k *Kernel) Submit(c *arm.CPU, drv int, n uint32) {
+	d := k.drivers[drv]
+	if d == nil {
+		return
+	}
+	d.submitted++
+	k.mmioWrite32(c, d.base+dev.VirtQueueNotify, n)
+}
+
+// WaitDev consumes one completion, blocking the calling process if none is
+// available yet (restart after wake, like the other blocking syscalls).
+func (k *Kernel) WaitDev(cpu int, c *arm.CPU, drv int) (blocked bool) {
+	d := k.drivers[drv]
+	if d == nil {
+		return false
+	}
+	if d.completed > 0 {
+		d.completed--
+		return false
+	}
+	k.Charge(cpu, k.Cost.WaitQueueWork)
+	k.Block(cpu, d.q)
+	return true
+}
+
+// DevCompletions reports how many interrupts a driver has taken.
+func (k *Kernel) DevCompletions(drv int) uint64 {
+	if k.drivers[drv] == nil {
+		return 0
+	}
+	return k.drivers[drv].irqs
+}
+
+// ConsoleWrite transmits bytes through the UART (one MMIO store each).
+func (k *Kernel) ConsoleWrite(c *arm.CPU, s string) {
+	for i := 0; i < len(s); i++ {
+		k.mmioWrite32(c, k.HW.UARTBase+dev.UARTTx, uint32(s[i]))
+	}
+}
+
+// RegisterIRQOn is RegisterIRQ with an explicit CPU for the distributor
+// programming (required inside VMs, where the enabling MMIO must issue
+// from a loaded vCPU so it traps to the right virtual distributor).
+func (k *Kernel) RegisterIRQOn(c *arm.CPU, irq int, h func(k *Kernel, cpu int)) {
+	k.irqHandlers[irq] = h
+	k.gicEnable(c, irq)
+}

@@ -1,0 +1,212 @@
+package kernel
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/gic"
+	"kvmarm/internal/mmu"
+	"kvmarm/internal/timer"
+)
+
+// This file is the kernel's hardware access layer. Every device register
+// access goes through the CPU's load/store path, so the same driver code
+// behaves correctly on the host (direct MMIO) and inside a VM (Stage-2
+// remap to the VGIC virtual CPU interface, or a trap into the hypervisor's
+// emulation). The register used to carry MMIO values on the trap path.
+const mmioScratchReg = 12
+
+// mmioRead32 performs a device register read at pa (identity-mapped VA).
+// If the access traps (VM: emulated device), the hypervisor places the
+// result in the scratch register per the MMIO emulation contract. Driver
+// code is kernel code: the access executes at PL1 even when reached from
+// a process body (the syscall boundary is implicit).
+func (k *Kernel) mmioRead32(c *arm.CPU, pa uint64) uint32 {
+	prev := c.CPSR
+	if c.Mode() == arm.ModeUSR {
+		c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
+		defer c.SetCPSR(prev)
+	}
+	var v uint64
+	if taken := c.Access(uint32(pa), 4, mmu.Load, &v, true, mmioScratchReg); taken {
+		return c.Regs.R(mmioScratchReg)
+	}
+	return uint32(v)
+}
+
+// mmioWrite32 performs a device register write at pa; the value travels in
+// the scratch register so a trapping access can be emulated from the
+// syndrome alone.
+func (k *Kernel) mmioWrite32(c *arm.CPU, pa uint64, v uint32) {
+	prev := c.CPSR
+	if c.Mode() == arm.ModeUSR {
+		c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
+		defer c.SetCPSR(prev)
+	}
+	c.Regs.SetR(mmioScratchReg, v)
+	val := uint64(v)
+	c.Access(uint32(pa), 4, mmu.Store, &val, true, mmioScratchReg)
+}
+
+// --- GIC driver ---
+
+func (k *Kernel) gicInitCPU(i int, c *arm.CPU) {
+	// Enable the timer PPI this kernel will use, plus the IPIs.
+	timerIRQ := gic.IRQPhysTimer
+	if k.UseVirtTimer {
+		timerIRQ = gic.IRQVirtTimer
+	}
+	k.gicEnable(c, timerIRQ)
+	k.gicEnable(c, IPIReschedule)
+	k.gicEnable(c, IPICall)
+}
+
+// gicEnable sets the distributor enable bit for irq (banked word 0 for
+// SGI/PPI applies to the issuing CPU).
+func (k *Kernel) gicEnable(c *arm.CPU, irq int) {
+	word := uint64(irq / 32)
+	bit := uint32(1) << (irq % 32)
+	k.mmioWrite32(c, k.HW.GICDistBase+gic.GICDIsenabler+word*4, bit)
+	if irq >= gic.SPIBase {
+		// Route the SPI to CPU 0 by default.
+		cur := k.mmioRead32(c, k.HW.GICDistBase+gic.GICDItargetsr+uint64(irq&^3))
+		cur |= 1 << (8 * uint(irq%4))
+		k.mmioWrite32(c, k.HW.GICDistBase+gic.GICDItargetsr+uint64(irq&^3), cur)
+	}
+}
+
+// gicAck reads the CPU interface IAR: on the host this is the physical
+// GIC; in a VM the same address reaches the VGIC virtual CPU interface
+// without trapping (or, without VGIC hardware, traps all the way to
+// user-space emulation — the expensive path of Table 3's EOI+ACK row).
+func (k *Kernel) gicAck(c *arm.CPU) (id, src int) {
+	if k.HW.AckHook != nil {
+		return k.HW.AckHook(c.ID, c)
+	}
+	v := k.mmioRead32(c, k.HW.GICCPUBase+gic.GICCIar)
+	return int(v & 0x3FF), int(v >> gic.IARSourceShift & 0x7)
+}
+
+// gicEOI completes an interrupt through the CPU interface.
+func (k *Kernel) gicEOI(c *arm.CPU, id int) {
+	if k.HW.EOIHook != nil {
+		k.HW.EOIHook(c.ID, c, id)
+		return
+	}
+	k.mmioWrite32(c, k.HW.GICCPUBase+gic.GICCEoir, uint32(id))
+}
+
+// gicSendIPI writes GICD_SGIR. From a VM the distributor is never mapped,
+// so this traps to the hypervisor's virtual distributor (§3.5). Host
+// kernels use the direct path: the write always reaches the physical
+// distributor even if the issuing CPU currently runs a VM (the wakeup
+// then forces a guest exit on the target core).
+func (k *Kernel) gicSendIPI(c *arm.CPU, mask uint8, id int) {
+	if k.DirectGIC != nil {
+		c.Charge(gic.DistAccessCycles)
+		_ = k.DirectGIC.SendSGI(c.ID, mask, id)
+		return
+	}
+	if k.HW.VSGIBase != 0 {
+		// §6 extension hardware: virtual IPIs without a trap.
+		k.mmioWrite32(c, k.HW.VSGIBase, uint32(mask)<<gic.SGIRTargetShift|uint32(id))
+		return
+	}
+	k.mmioWrite32(c, k.HW.GICDistBase+gic.GICDSgir, uint32(mask)<<gic.SGIRTargetShift|uint32(id))
+}
+
+// SendIPICall raises the generic cross-call IPI on the targets in mask
+// (smp_call_function analogue; the Table 3 IPI micro-benchmark drives it).
+func (k *Kernel) SendIPICall(c *arm.CPU, mask uint8) {
+	k.gicSendIPI(c, mask, IPICall)
+}
+
+// handleIRQ is the kernel interrupt entry: ACK, dispatch, EOI.
+func (k *Kernel) handleIRQ(cpu int, c *arm.CPU) {
+	id, _ := k.gicAck(c)
+	c.Charge(k.Cost.IRQWork)
+	ownTimer := gic.IRQPhysTimer
+	if k.UseVirtTimer {
+		ownTimer = gic.IRQVirtTimer
+	}
+	switch {
+	case id == 1023:
+		// Spurious.
+	case id == ownTimer:
+		k.Stats.TimerIRQs++
+		k.timerInterrupt(cpu, c)
+	case id == IPIReschedule:
+		k.scheds[cpu].needResched = true
+	case id == IPICall:
+		// Remote function call.
+		if k.OnIPICall != nil {
+			k.OnIPICall(cpu)
+		}
+	default:
+		if h, ok := k.irqHandlers[id]; ok {
+			h(k, cpu)
+		}
+	}
+	if id != 1023 {
+		k.gicEOI(c, id)
+	}
+	c.ERET()
+}
+
+// --- Generic timer driver ---
+
+func (k *Kernel) timerCtlReg() (ctl, tval arm.SysReg, cntLo arm.SysReg) {
+	if k.UseVirtTimer {
+		return arm.SysCNTVCTL, arm.SysCNTVTVAL, arm.SysCNTVCTLo
+	}
+	return arm.SysCNTPCTL, arm.SysCNTPTVAL, arm.SysCNTPCTLo
+}
+
+// ReadCounter returns the kernel's clocksource value in counter ticks.
+// Trapping reads (no virtual timers) are emulated by the hypervisor, which
+// leaves the value in the scratch register.
+func (k *Kernel) ReadCounter(c *arm.CPU) uint64 {
+	k.Stats.CounterReads++
+	_, _, lo := k.timerCtlReg()
+	rlo, trapped := c.ReadSys(lo, mmioScratchReg)
+	if trapped {
+		rlo = c.Regs.R(mmioScratchReg)
+	}
+	rhi, trapped := c.ReadSys(lo+1, mmioScratchReg)
+	if trapped {
+		rhi = c.Regs.R(mmioScratchReg)
+	}
+	return uint64(rlo) | uint64(rhi)<<32
+}
+
+// writeTimer programs the active timer; trapping writes are emulated.
+func (k *Kernel) writeTimer(c *arm.CPU, reg arm.SysReg, v uint32) {
+	c.Regs.SetR(mmioScratchReg, v)
+	c.WriteSys(reg, mmioScratchReg, v)
+}
+
+func (k *Kernel) timerInitCPU(i int, c *arm.CPU) {
+	ctl, _, _ := k.timerCtlReg()
+	k.writeTimer(c, ctl, 0)
+}
+
+// armTimerFor programs the hardware timer of cpu to fire at absolute
+// counter tick `at`.
+func (k *Kernel) armTimerFor(c *arm.CPU, at uint64) {
+	k.armTimerForAt(c, at, k.ReadCounter(c))
+}
+
+// armTimerForAt is armTimerFor with the current counter already in hand.
+func (k *Kernel) armTimerForAt(c *arm.CPU, at, now uint64) {
+	d := uint64(1)
+	if at > now {
+		d = at - now
+	}
+	ctl, tval, _ := k.timerCtlReg()
+	k.writeTimer(c, tval, uint32(d))
+	k.writeTimer(c, ctl, timer.CTLEnable)
+}
+
+// disarmTimer stops the hardware timer.
+func (k *Kernel) disarmTimer(c *arm.CPU) {
+	ctl, _, _ := k.timerCtlReg()
+	k.writeTimer(c, ctl, 0)
+}

@@ -1,0 +1,276 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/mmu"
+)
+
+func TestPageAllocatorReuseAndChurn(t *testing.T) {
+	a := NewPageAllocator(0x8000_0000, 1<<20)
+	p1, err := a.AllocPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.FreePage(p1)
+	// Most single-page allocations reuse; periodically one is fresh.
+	reused, fresh := 0, 0
+	for i := 0; i < 48; i++ {
+		p, err := a.AllocPages(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == p1 {
+			reused++
+		} else {
+			fresh++
+		}
+		a.FreePage(p1)
+		_ = p
+	}
+	if reused == 0 || fresh == 0 {
+		t.Fatalf("allocator churn model broken: reused=%d fresh=%d", reused, fresh)
+	}
+}
+
+func TestPageAllocatorBlocks(t *testing.T) {
+	a := NewPageAllocator(0, 1<<20)
+	b1, err := a.AllocPages(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.FreeBlock(b1, 2)
+	b2, err := a.AllocPages(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b1 {
+		t.Fatalf("2-page block not reused: %#x vs %#x", b2, b1)
+	}
+}
+
+func TestPageAllocatorExhaustion(t *testing.T) {
+	a := NewPageAllocator(0, 4*mmu.PageSize)
+	if _, err := a.AllocPages(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocPages(1); err == nil {
+		t.Fatal("exhausted allocator must fail")
+	}
+}
+
+func TestPropertyAllocatorNeverDoubleAllocates(t *testing.T) {
+	f := func(ops []bool) bool {
+		a := NewPageAllocator(0, 1<<20)
+		live := map[uint64]bool{}
+		var held []uint64
+		for _, alloc := range ops {
+			if alloc || len(held) == 0 {
+				p, err := a.AllocPages(1)
+				if err != nil {
+					return true // exhaustion is fine
+				}
+				if live[p] {
+					return false // double allocation!
+				}
+				live[p] = true
+				held = append(held, p)
+			} else {
+				p := held[len(held)-1]
+				held = held[:len(held)-1]
+				delete(live, p)
+				a.FreePage(p)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmapUserRangeFreesAndFaultsAgain(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	phase := 0
+	var faults1, faults2 uint64
+	p, _ := k.NewProc("um", 0, BodyFunc(func(kk *Kernel, pr *Proc, c *arm.CPU) bool {
+		switch phase {
+		case 0:
+			for i := 0; i < 4; i++ {
+				kk.TouchUserPage(c, uint32(0x0030_0000+i*4096))
+			}
+			faults1 = pr.Faults
+			kk.UnmapUserRange(c, pr.AS, 0x0030_0000, 4)
+			phase = 1
+			return false
+		default:
+			for i := 0; i < 4; i++ {
+				kk.TouchUserPage(c, uint32(0x0030_0000+i*4096))
+			}
+			faults2 = pr.Faults
+			return true
+		}
+	}))
+	if !b.Run(2_000_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("did not finish")
+	}
+	_ = p
+	if faults1 != 4 {
+		t.Fatalf("first pass faults = %d", faults1)
+	}
+	if faults2 != 8 {
+		t.Fatalf("unmapped pages must fault again: total faults = %d, want 8", faults2)
+	}
+}
+
+func TestSocketSemantics(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	s := k.NewUnixSocket()
+	got := uint32(0)
+	state := 0
+	_, _ = k.NewProc("sock", 0, BodyFunc(func(kk *Kernel, p *Proc, c *arm.CPU) bool {
+		switch state {
+		case 0:
+			if _, blocked := kk.SyscallSocketSend(0, c, s, 100); blocked {
+				return false
+			}
+			state = 1
+			return false
+		default:
+			n, blocked := kk.SyscallSocketRecv(0, c, s, 500)
+			if blocked {
+				return false
+			}
+			got = n
+			return true
+		}
+	}))
+	if !b.Run(1_000_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("stalled")
+	}
+	if got != 100 {
+		t.Fatalf("recv = %d, want the 100 buffered bytes", got)
+	}
+}
+
+func TestSocketBufControl(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	s := k.NewTCPSocket()
+	s.SetBuf(64)
+	blockedOnce := false
+	sent := uint32(0)
+	state := 0
+	_, _ = k.NewProc("w", 0, BodyFunc(func(kk *Kernel, p *Proc, c *arm.CPU) bool {
+		switch state {
+		case 0:
+			if _, blocked := kk.SyscallSocketSend(0, c, s, 64); blocked {
+				return false
+			}
+			sent += 64
+			state = 1
+			return false
+		case 1:
+			// Second send must block: buffer full.
+			if _, blocked := kk.SyscallSocketSend(0, c, s, 64); blocked {
+				blockedOnce = true
+				state = 2
+				return false
+			}
+			sent += 64
+			state = 2
+			return false
+		default:
+			return true
+		}
+	}))
+	_, _ = k.NewProc("r", 0, BodyFunc(func(kk *Kernel, p *Proc, c *arm.CPU) bool {
+		if _, blocked := kk.SyscallSocketRecv(0, c, s, 64); blocked {
+			return false
+		}
+		return true
+	}))
+	if !b.Run(2_000_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("stalled")
+	}
+	if !blockedOnce {
+		t.Fatal("full socket buffer must block the writer")
+	}
+}
+
+func TestDeviceDriverSubmitWait(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	done := false
+	state := 0
+	_, _ = k.NewProc("io", 0, BodyFunc(func(kk *Kernel, p *Proc, c *arm.CPU) bool {
+		switch state {
+		case 0:
+			kk.SetupDrivers(c)
+			kk.Submit(c, DrvBlk, 4096)
+			state = 1
+			fallthrough
+		default:
+			if kk.WaitDev(0, c, DrvBlk) {
+				return false
+			}
+			done = true
+			return true
+		}
+	}))
+	if !b.Run(10_000_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("I/O stalled")
+	}
+	if !done {
+		t.Fatal("completion not seen")
+	}
+	if k.DevCompletions(DrvBlk) != 1 {
+		t.Fatalf("completions = %d", k.DevCompletions(DrvBlk))
+	}
+	if b.Blk.Kicks != 1 {
+		t.Fatalf("device kicks = %d", b.Blk.Kicks)
+	}
+}
+
+func TestConsoleWriteReachesUART(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	_, _ = k.NewProc("con", 0, BodyFunc(func(kk *Kernel, p *Proc, c *arm.CPU) bool {
+		kk.ConsoleWrite(c, "minOS\n")
+		return true
+	}))
+	if !b.Run(1_000_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("stalled")
+	}
+	if got := b.UART.String(); got != "minOS\n" {
+		t.Fatalf("uart = %q", got)
+	}
+}
+
+func TestKernelIdentityMappingCoversDevices(t *testing.T) {
+	_, k := hostBoot(t, 1)
+	// The kernel half must map the device window and RAM but keep user
+	// space (below the split) unmapped.
+	for _, va := range []uint32{machine.UARTBase, machine.GICDistBase, machine.RAMBase + 0x1000} {
+		if pa, ok, err := k.KernelTable.Lookup(va); err != nil || !ok || pa != uint64(va) {
+			t.Errorf("kernel identity map missing for %#x (pa=%#x ok=%v err=%v)", va, pa, ok, err)
+		}
+	}
+	if _, ok, _ := k.KernelTable.Lookup(0x0010_0000); ok {
+		t.Error("user-half address must not be in the kernel table")
+	}
+}
+
+func TestPowerOffHaltsHost(t *testing.T) {
+	b, k := hostBoot(t, 2)
+	_, _ = k.NewProc("off", 0, BodyFunc(func(kk *Kernel, p *Proc, c *arm.CPU) bool {
+		kk.PowerOff(c)
+		return true
+	}))
+	b.Run(1_000_000, func() bool { return b.CPUs[0].Halted && b.CPUs[1].Halted })
+	for i, c := range b.CPUs {
+		if !c.Halted {
+			t.Fatalf("cpu %d not halted", i)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package kernel
+
+import (
+	"testing"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/machine"
+)
+
+// hostBoot brings up minOS natively on a fresh board, mimicking the
+// bootloader: non-secure, entered in Hyp mode.
+func hostBoot(t *testing.T, cpus int) (*machine.Board, *Kernel) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.CPUs = cpus
+	b, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range b.CPUs {
+		c.Secure = false
+		c.SetCPSR(uint32(arm.ModeHYP) | arm.PSRI | arm.PSRF)
+	}
+	k := New(Config{
+		Name:    "host",
+		NumCPUs: cpus,
+		CPU:     func(i int) *arm.CPU { return b.CPUs[i] },
+		HW: HWConfig{
+			GICDistBase: machine.GICDistBase,
+			GICCPUBase:  machine.GICCPUBase,
+			UARTBase:    machine.UARTBase,
+			NetBase:     machine.VirtNetBase,
+			BlkBase:     machine.VirtBlkBase,
+			IRQNet:      machine.IRQNet,
+			IRQBlk:      machine.IRQBlk,
+		},
+		Mem:       b.RAM,
+		AllocBase: machine.RAMBase + (64 << 20),
+		AllocSize: 128 << 20,
+	})
+	if err := k.BootAll(); err != nil {
+		t.Fatal(err)
+	}
+	return b, k
+}
+
+func TestBootDetectsHypAndDropsToSVC(t *testing.T) {
+	b, k := hostBoot(t, 2)
+	if !k.BootedInHyp {
+		t.Fatal("host must detect Hyp boot")
+	}
+	if k.UseVirtTimer {
+		t.Fatal("host kernel keeps the physical timer")
+	}
+	if !k.HypStubInstalled {
+		t.Fatal("hyp stub must be installed")
+	}
+	for _, c := range b.CPUs {
+		if c.Mode() != arm.ModeSVC {
+			t.Fatalf("cpu mode after boot = %v", c.Mode())
+		}
+		if c.CPSR&arm.PSRI != 0 {
+			t.Fatal("interrupts must be open after boot")
+		}
+		if c.CP15.Regs[arm.SysSCTLR]&arm.SCTLRM == 0 {
+			t.Fatal("stage-1 MMU must be on")
+		}
+	}
+}
+
+func TestGuestStyleBootUsesVirtTimer(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.CPUs = 1
+	b, _ := machine.New(cfg)
+	c := b.CPUs[0]
+	c.Secure = false
+	c.SetCPSR(uint32(arm.ModeSVC) | arm.PSRI) // booted in SVC, like a VM
+	k := New(Config{
+		Name: "guest", NumCPUs: 1,
+		CPU:       func(i int) *arm.CPU { return b.CPUs[i] },
+		HW:        HWConfig{GICDistBase: machine.GICDistBase, GICCPUBase: machine.GICCPUBase},
+		Mem:       b.RAM,
+		AllocBase: machine.RAMBase + (64 << 20),
+		AllocSize: 32 << 20,
+	})
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if k.BootedInHyp || !k.UseVirtTimer {
+		t.Fatal("SVC boot must select the virtual timer and no Hyp access")
+	}
+}
+
+func TestRunSingleProcess(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	n := 0
+	_, err := k.NewProc("counter", 0, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		n++
+		c.Charge(100)
+		return n >= 5
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Run(100_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("process did not finish")
+	}
+	if n != 5 {
+		t.Fatalf("steps = %d", n)
+	}
+}
+
+func TestSyscallGetPID(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	var got uint32
+	p, _ := k.NewProc("sys", 0, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		got = k.SyscallGetPID(0, c)
+		return true
+	}))
+	if !b.Run(100_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("no finish")
+	}
+	if got != uint32(p.PID) {
+		t.Fatalf("getpid = %d, want %d", got, p.PID)
+	}
+	if k.Stats.Syscalls == 0 {
+		t.Fatal("syscall not counted")
+	}
+	if b.CPUs[0].Traps.PL1Traps == 0 {
+		t.Fatal("syscall must take a real SVC trap")
+	}
+}
+
+func TestPipePingPong(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	pipeAB := k.NewPipe()
+	pipeBA := k.NewPipe()
+	const rounds = 20
+	recvd := 0
+
+	// A writes then reads; B reads then writes. Step-machine style.
+	aState, bState := 0, 0
+	sent := 0
+	_, _ = k.NewProc("A", 0, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		switch aState {
+		case 0:
+			if sent >= rounds {
+				return true
+			}
+			if _, blocked := k.SyscallPipeWrite(0, c, pipeAB, 64); blocked {
+				return false
+			}
+			sent++
+			aState = 1
+		case 1:
+			if _, blocked := k.SyscallPipeRead(0, c, pipeBA, 64); blocked {
+				return false
+			}
+			recvd++
+			aState = 0
+		}
+		return false
+	}))
+	_, _ = k.NewProc("B", 0, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		switch bState {
+		case 0:
+			if _, blocked := k.SyscallPipeRead(0, c, pipeAB, 64); blocked {
+				return false
+			}
+			bState = 1
+		case 1:
+			if _, blocked := k.SyscallPipeWrite(0, c, pipeBA, 64); blocked {
+				return false
+			}
+			bState = 0
+		}
+		return false
+	}))
+
+	if !b.Run(2_000_000, func() bool { return recvd >= rounds }) {
+		t.Fatalf("ping-pong stalled: sent=%d recvd=%d", sent, recvd)
+	}
+	if k.Stats.Switches == 0 {
+		t.Fatal("pipe ping-pong must context switch")
+	}
+}
+
+func TestCrossCPUPipeSendsReschedIPI(t *testing.T) {
+	b, k := hostBoot(t, 2)
+	pipe := k.NewPipe()
+	pipe.Cap = 8 // force the writer to block so wakeups cross CPUs
+	got := 0
+	_, _ = k.NewProc("reader", 1, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		if _, blocked := k.SyscallPipeRead(1, c, pipe, 8); blocked {
+			return false
+		}
+		got++
+		return got >= 5
+	}))
+	wrote := 0
+	_, _ = k.NewProc("writer", 0, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		if wrote >= 5 {
+			return true
+		}
+		c.Charge(20_000) // slow producer: the reader drains and blocks
+		if _, blocked := k.SyscallPipeWrite(0, c, pipe, 8); blocked {
+			return false
+		}
+		wrote++
+		return false
+	}))
+	if !b.Run(5_000_000, func() bool { return got >= 5 }) {
+		t.Fatalf("cross-cpu pipe stalled: wrote=%d got=%d", wrote, got)
+	}
+	if k.Stats.ReschedIPIs == 0 {
+		t.Fatal("cross-core wakeups must send reschedule IPIs")
+	}
+	if b.GIC.Stats.SGIsSent == 0 {
+		t.Fatal("the IPIs must go through the GIC distributor")
+	}
+}
+
+func TestForkWaitExit(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	childRan := false
+	state := 0
+	_, _ = k.NewProc("parent", 0, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		switch state {
+		case 0:
+			pid := k.SyscallFork(0, c, "child", BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+				childRan = true
+				return true
+			}))
+			if pid <= 0 {
+				t.Error("fork failed")
+				return true
+			}
+			state = 1
+			return false
+		case 1:
+			if k.SyscallWait(0, c) {
+				return false // blocked; retry after wake
+			}
+			return true
+		}
+		return true
+	}))
+	if !b.Run(2_000_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("fork/wait did not complete")
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+	if k.Stats.Forks != 1 {
+		t.Fatalf("forks = %d", k.Stats.Forks)
+	}
+}
+
+func TestDemandPagingFaults(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	touched := 0
+	p, _ := k.NewProc("toucher", 0, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		k.TouchUserPage(c, uint32(0x0010_0000+touched*4096))
+		touched++
+		return touched >= 8
+	}))
+	if !b.Run(2_000_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("did not finish")
+	}
+	if p.Faults != 8 {
+		t.Fatalf("faults = %d, want 8 (one per fresh page)", p.Faults)
+	}
+	if k.Stats.PageFaults < 8 {
+		t.Fatalf("kernel fault count = %d", k.Stats.PageFaults)
+	}
+	// A second pass over the same pages must not fault.
+	before := p.Faults
+	touched = 0
+	p2, _ := k.NewProc("toucher2", 0, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		k.TouchUserPage(c, uint32(0x0010_0000+touched*4096))
+		touched++
+		if touched >= 8 {
+			return true
+		}
+		return false
+	}))
+	_ = before
+	if !b.Run(2_000_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("second pass did not finish")
+	}
+	if p2.Faults != 8 {
+		t.Fatalf("fresh address space must fault anew: %d", p2.Faults)
+	}
+}
+
+func TestNanosleepUsesTimer(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	state := 0
+	var before, after uint64
+	_, _ = k.NewProc("sleeper", 0, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		switch state {
+		case 0:
+			before = c.Clock
+			state = 1
+			if k.SyscallNanosleep(0, c, 5000) {
+				return false
+			}
+			return false
+		default:
+			after = c.Clock
+			return true
+		}
+	}))
+	if !b.Run(10_000_000, func() bool { return k.LiveCount() == 0 }) {
+		t.Fatal("sleeper stuck")
+	}
+	if k.Stats.SoftTimers == 0 || k.Stats.TimerIRQs == 0 {
+		t.Fatalf("sleep must use a soft timer + timer IRQ: %+v", k.Stats)
+	}
+	if after-before < 5000<<6 {
+		t.Fatalf("slept %d cycles, want >= %d", after-before, 5000<<6)
+	}
+}
+
+func TestSchedulerPreemptsWithTimerTick(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	counts := [2]int{}
+	mk := func(i int) BodyFunc {
+		return func(k *Kernel, p *Proc, c *arm.CPU) bool {
+			counts[i]++
+			c.Charge(50_000) // CPU hog
+			return counts[i] > 100
+		}
+	}
+	_, _ = k.NewProc("hog0", 0, mk(0))
+	_, _ = k.NewProc("hog1", 0, mk(1))
+	if !b.Run(5_000_000, func() bool { return counts[0] > 20 && counts[1] > 20 }) {
+		t.Fatalf("no interleaving: %v (timerIRQs=%d)", counts, k.Stats.TimerIRQs)
+	}
+	if k.Stats.TimerIRQs == 0 {
+		t.Fatal("preemption requires timer interrupts")
+	}
+}

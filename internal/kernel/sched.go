@@ -1,0 +1,351 @@
+package kernel
+
+import (
+	"kvmarm/internal/arm"
+)
+
+// ProcState is a process's lifecycle state.
+type ProcState int
+
+// Process states.
+const (
+	ProcRunnable ProcState = iota
+	ProcRunning
+	ProcBlocked
+	ProcDead
+)
+
+// Body is the executable content of a process: a Go step function standing
+// in for its user-mode instruction stream. Each Step call represents a
+// slice of user execution; it returns true when the process exits.
+//
+// Bodies run with the CPU in user mode under the process's address space,
+// so their memory touches, system calls and device operations take the
+// real trap paths.
+type Body interface {
+	Step(k *Kernel, p *Proc, c *arm.CPU) (done bool)
+}
+
+// BodyFunc adapts a function to Body.
+type BodyFunc func(k *Kernel, p *Proc, c *arm.CPU) bool
+
+// Step implements Body.
+func (f BodyFunc) Step(k *Kernel, p *Proc, c *arm.CPU) bool { return f(k, p, c) }
+
+// Proc is a schedulable process.
+type Proc struct {
+	PID   int
+	Name  string
+	State ProcState
+	Body  Body
+	AS    *AddrSpace
+
+	// Affinity pins the process to a CPU (-1 = any). The paper's SMP
+	// lmbench runs pin benchmark processes to separate CPUs (§5.1).
+	Affinity int
+
+	// Faults counts demand-paging faults taken.
+	Faults uint64
+	// ProtFaults counts protection (signal-delivery) faults taken.
+	ProtFaults uint64
+	// Steps counts body steps executed.
+	Steps uint64
+
+	cpu     int
+	onCPU   bool
+	ExitErr string
+
+	// wchan is the wait queue the process sleeps on.
+	wchan *WaitQueue
+	// pending carries the in-flight system call (the register ABI).
+	pending *syscallReq
+	// parent links fork children for wait().
+	parent *Proc
+	// waitParent is where this process sleeps in wait().
+	waitParent *WaitQueue
+}
+
+// WaitQueue is a kernel wait queue (pipes, I/O completion, wait()).
+type WaitQueue struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewWaitQueue creates a wait queue.
+func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{name: name} }
+
+type cpuSched struct {
+	k   *Kernel
+	cpu int
+
+	runq        []*Proc
+	curr        *Proc
+	needResched bool
+	sliceTicks  uint32
+
+	// Switches counts context switches on this CPU.
+	Switches uint64
+}
+
+func newCPUSched(k *Kernel, cpu int) *cpuSched {
+	return &cpuSched{k: k, cpu: cpu, sliceTicks: 10_000} // ~10k counter ticks
+}
+
+// NewProc creates a process with a fresh address space and enqueues it.
+func (k *Kernel) NewProc(name string, affinity int, body Body) (*Proc, error) {
+	as, err := k.NewAddrSpace()
+	if err != nil {
+		return nil, err
+	}
+	p := &Proc{PID: k.nextPID, Name: name, Body: body, AS: as, Affinity: affinity, cpu: 0}
+	k.nextPID++
+	k.procs[p.PID] = p
+	k.enqueue(p)
+	return p, nil
+}
+
+// NewProcFrom is NewProc issued from kernel context on logical CPU from:
+// a process pinned to a different, possibly idle CPU is kicked with a
+// reschedule IPI so it actually starts (the fork/exec wakeup path).
+func (k *Kernel) NewProcFrom(from int, name string, affinity int, body Body) (*Proc, error) {
+	as, err := k.NewAddrSpace()
+	if err != nil {
+		return nil, err
+	}
+	p := &Proc{PID: k.nextPID, Name: name, Body: body, AS: as, Affinity: affinity, cpu: 0}
+	k.nextPID++
+	k.procs[p.PID] = p
+	k.wakeProc(from, p)
+	return p, nil
+}
+
+// Proc returns the process with the given pid, if it exists.
+func (k *Kernel) Proc(pid int) (*Proc, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// enqueue makes p runnable on its preferred CPU and kicks that CPU if it
+// is idle (the reschedule-IPI path).
+func (k *Kernel) enqueue(p *Proc) {
+	cpu := p.cpu
+	if p.Affinity >= 0 {
+		cpu = p.Affinity
+	}
+	if cpu >= k.NumCPUs {
+		cpu = 0
+	}
+	p.cpu = cpu
+	p.State = ProcRunnable
+	s := k.scheds[cpu]
+	s.runq = append(s.runq, p)
+}
+
+// WakeFromIRQ is enqueue plus the cross-CPU kick, callable from interrupt
+// context on cpu `from`.
+func (k *Kernel) wakeProc(from int, p *Proc) {
+	k.enqueue(p)
+	target := p.cpu
+	if target != from {
+		// Cross-core wakeup: reschedule IPI through the distributor.
+		// From a VM this MMIO write traps to the hypervisor and is
+		// emulated by the virtual distributor — the dominant SMP cost
+		// the paper measures (Table 3 "IPI", §6 recommendation).
+		k.Stats.ReschedIPIs++
+		c := k.CPU(from)
+		k.gicSendIPI(c, 1<<uint(target), IPIReschedule)
+		return
+	}
+	if k.CPU(target).WFIWait {
+		// The target core sleeps in WFI (the wakeup came from an
+		// asynchronous agent, e.g. a device completion): a self-IPI
+		// is needed to bring it out.
+		k.gicSendIPI(k.CPU(from), 1<<uint(target), IPIReschedule)
+		return
+	}
+	k.scheds[target].needResched = true
+}
+
+// Wake moves every waiter off q, waking remote CPUs as needed. from is the
+// logical CPU doing the waking.
+func (k *Kernel) Wake(from int, q *WaitQueue) int {
+	n := len(q.waiters)
+	for _, p := range q.waiters {
+		p.wchan = nil
+		k.wakeProc(from, p)
+	}
+	q.waiters = q.waiters[:0]
+	k.Charge(from, k.Cost.WaitQueueWork)
+	return n
+}
+
+// Block puts the current process of cpu to sleep on q and switches away.
+func (k *Kernel) Block(cpu int, q *WaitQueue) {
+	s := k.scheds[cpu]
+	p := s.curr
+	if p == nil {
+		return
+	}
+	p.State = ProcBlocked
+	p.wchan = q
+	q.waiters = append(q.waiters, p)
+	k.Charge(cpu, k.Cost.WaitQueueWork)
+	s.switchAway()
+}
+
+// Yield voluntarily gives up the CPU.
+func (k *Kernel) Yield(cpu int) {
+	s := k.scheds[cpu]
+	if s.curr != nil {
+		p := s.curr
+		s.switchAway()
+		k.enqueue(p)
+	}
+}
+
+// CurrentProc returns the process running on logical cpu, if any.
+func (k *Kernel) CurrentProc(cpu int) *Proc { return k.scheds[cpu].curr }
+
+// killCurrent terminates the current process with a reason.
+func (k *Kernel) killCurrent(cpu int, c *arm.CPU, why string) {
+	s := k.scheds[cpu]
+	if s.curr == nil {
+		return
+	}
+	s.curr.ExitErr = why
+	k.exitCurrent(cpu)
+}
+
+// exitCurrent tears down the current process.
+func (k *Kernel) exitCurrent(cpu int) {
+	s := k.scheds[cpu]
+	p := s.curr
+	if p == nil {
+		return
+	}
+	p.State = ProcDead
+	if p.AS != nil {
+		k.FreeAddrSpace(p.AS)
+	}
+	if p.parent != nil && p.parent.waitParent != nil {
+		k.Wake(cpu, p.parent.waitParent)
+	}
+	s.curr = nil
+}
+
+// switchAway deschedules the current process without requeueing it.
+func (s *cpuSched) switchAway() {
+	s.curr = nil
+	s.needResched = true
+}
+
+// readRunqueueClock models Linux's per-switch clock update: one counter
+// read. With virtual timers this is a plain register read; without them it
+// traps to the hypervisor and on to user-space emulation — the cause of the
+// pipe/ctxsw spikes in Figure 3 (§5.2).
+func (k *Kernel) readRunqueueClock(c *arm.CPU) uint64 {
+	return k.ReadCounter(c)
+}
+
+// contextSwitchTo performs the software context switch to p: bank the old
+// register file, install the new one and the address space, update the
+// runqueue clock, re-arm the slice timer.
+func (s *cpuSched) contextSwitchTo(c *arm.CPU, p *Proc) {
+	k := s.k
+	s.Switches++
+	k.Stats.Switches++
+	// Save + restore the general-purpose file (38 registers each way).
+	c.Charge(uint64(arm.GPCount()) * (c.Cost.RegSave + c.Cost.RegRestore))
+	now := k.readRunqueueClock(c)
+	k.switchAddressSpace(c, p.AS)
+	// Arm the preemption tick unless this is the only live process
+	// (tickless when truly uncontended, like NO_HZ Linux; but a blocked
+	// peer that may wake keeps the tick armed). Under virtualization
+	// this is the hot timer-programming path: free with ARM's virtual
+	// timers, a trap to root mode on x86, and a round trip to user
+	// space without vtimers (§2, §5.2).
+	if len(s.runq) > 0 || k.LiveCount() > 1 {
+		k.armSliceTimer(s.cpu, c, now)
+	}
+	c.Charge(k.Cost.SwitchWork)
+}
+
+// Step implements arm.Runner: the per-CPU scheduling loop.
+func (s *cpuSched) Step(c *arm.CPU) {
+	k := s.k
+	if s.curr == nil || s.needResched {
+		s.pickNext(c)
+	}
+	p := s.curr
+	if p == nil {
+		// Idle: wait for an interrupt. Inside a VM this WFI traps to
+		// the hypervisor, which blocks the vCPU (§3.2 trap table).
+		if k.OnIdle != nil {
+			k.OnIdle(s.cpu)
+			return
+		}
+		c.DoWFI()
+		return
+	}
+
+	// Run one slice of the process body in user mode.
+	prevPSR := c.CPSR
+	c.SetCPSR(c.CPSR&^arm.PSRModeMask | uint32(arm.ModeUSR))
+	p.Steps++
+	done := p.Body.Step(k, p, c)
+	if c.Runner != arm.Runner(s) {
+		// The body handed the CPU to different software entirely — a
+		// KVM world switch into a guest. Do not touch the CPSR or the
+		// process state: this scheduler resumes when the world switch
+		// back restores it as the CPU's runner.
+		return
+	}
+	c.SetCPSR(prevPSR)
+	if done && s.curr == p {
+		k.exitCurrent(s.cpu)
+	}
+}
+
+func (s *cpuSched) pickNext(c *arm.CPU) {
+	k := s.k
+	s.needResched = false
+	if s.curr != nil {
+		// Preempted: requeue.
+		old := s.curr
+		s.curr = nil
+		k.enqueue(old)
+	}
+	if len(s.runq) == 0 {
+		return
+	}
+	p := s.runq[0]
+	s.runq = s.runq[1:]
+	p.State = ProcRunning
+	p.onCPU = true
+	s.curr = p
+	s.contextSwitchTo(c, p)
+}
+
+// LiveCount reports processes that have not exited (runnable, running or
+// blocked).
+func (k *Kernel) LiveCount() int {
+	n := 0
+	for _, p := range k.procs {
+		if p.State != ProcDead {
+			n++
+		}
+	}
+	return n
+}
+
+// RunnableCount reports queued plus running processes (for idle checks).
+func (k *Kernel) RunnableCount() int {
+	n := 0
+	for _, s := range k.scheds {
+		n += len(s.runq)
+		if s.curr != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,235 @@
+package kernel
+
+import (
+	"kvmarm/internal/arm"
+)
+
+// Syscall numbers.
+const (
+	SysExit = iota
+	SysYield
+	SysGetPID
+	SysWrite // console write
+	SysPipeRead
+	SysPipeWrite
+	SysFork
+	SysExec
+	SysNanosleep
+	SysWait
+	SysSocketSend // loopback socket send (af_unix / tcp-local models)
+	SysSocketRecv
+)
+
+// syscallReq carries a system call's arguments and results between the
+// user-mode body and the kernel handler (standing in for the register ABI).
+type syscallReq struct {
+	no    int
+	pipe  *Pipe
+	sock  *Socket
+	n     uint32
+	child Body
+	name  string
+	ticks uint64
+
+	ret      uint32
+	blocked  bool
+	childPID int
+}
+
+// Syscall issues a system call from a process body: a real SVC trap to the
+// kernel, dispatched by handleSyscall. If blocked is true the calling body
+// must return from its Step; the process sleeps and the call should be
+// re-issued after wake-up (restartable syscall semantics).
+func (k *Kernel) Syscall(cpu int, c *arm.CPU, req *syscallReq) (ret uint32, blocked bool) {
+	p := k.scheds[cpu].curr
+	if p == nil {
+		return 0, false
+	}
+	p.pending = req
+	c.TakeException(&arm.Exception{Kind: arm.ExcSVC, Imm: uint16(req.no)})
+	return req.ret, req.blocked
+}
+
+// Convenience wrappers used by workload bodies.
+
+// Exit terminates the calling process.
+func (k *Kernel) SyscallExit(cpu int, c *arm.CPU) {
+	k.Syscall(cpu, c, &syscallReq{no: SysExit})
+}
+
+// SyscallYield yields the CPU.
+func (k *Kernel) SyscallYield(cpu int, c *arm.CPU) {
+	k.Syscall(cpu, c, &syscallReq{no: SysYield})
+}
+
+// SyscallGetPID is the canonical null syscall (lmbench's syscall latency).
+func (k *Kernel) SyscallGetPID(cpu int, c *arm.CPU) uint32 {
+	r, _ := k.Syscall(cpu, c, &syscallReq{no: SysGetPID})
+	return r
+}
+
+// SyscallPipeRead reads up to n bytes; blocked=true means retry after wake.
+func (k *Kernel) SyscallPipeRead(cpu int, c *arm.CPU, p *Pipe, n uint32) (uint32, bool) {
+	return k.Syscall(cpu, c, &syscallReq{no: SysPipeRead, pipe: p, n: n})
+}
+
+// SyscallPipeWrite writes n bytes; blocked=true means the pipe was full.
+func (k *Kernel) SyscallPipeWrite(cpu int, c *arm.CPU, p *Pipe, n uint32) (uint32, bool) {
+	return k.Syscall(cpu, c, &syscallReq{no: SysPipeWrite, pipe: p, n: n})
+}
+
+// SyscallFork creates a child process running body; returns the child PID.
+func (k *Kernel) SyscallFork(cpu int, c *arm.CPU, name string, body Body) int {
+	req := &syscallReq{no: SysFork, child: body, name: name}
+	k.Syscall(cpu, c, req)
+	return req.childPID
+}
+
+// SyscallExec replaces the current address space (exec latency model).
+func (k *Kernel) SyscallExec(cpu int, c *arm.CPU, name string) {
+	k.Syscall(cpu, c, &syscallReq{no: SysExec, name: name})
+}
+
+// SyscallWait blocks until a child exits.
+func (k *Kernel) SyscallWait(cpu int, c *arm.CPU) bool {
+	_, blocked := k.Syscall(cpu, c, &syscallReq{no: SysWait})
+	return blocked
+}
+
+// SyscallNanosleep blocks for the given counter ticks.
+func (k *Kernel) SyscallNanosleep(cpu int, c *arm.CPU, ticks uint64) bool {
+	_, blocked := k.Syscall(cpu, c, &syscallReq{no: SysNanosleep, ticks: ticks})
+	return blocked
+}
+
+// PSCISystemOff is the PSCI power-off function ID a guest kernel invokes
+// via HVC (matched by the hypervisor's PSCI emulation).
+const PSCISystemOff uint16 = 0x808
+
+// PowerOff shuts the machine down. A kernel that booted in Hyp mode owns
+// the hardware and halts its CPUs; a guest kernel issues the PSCI
+// hypercall, which traps to the hypervisor. Callers inside a VM must
+// return immediately afterwards: the CPU belongs to the host again.
+func (k *Kernel) PowerOff(c *arm.CPU) {
+	if k.BootedInHyp {
+		for i := 0; i < k.NumCPUs; i++ {
+			k.CPU(i).Halted = true
+		}
+		return
+	}
+	c.TakeException(&arm.Exception{Kind: arm.ExcHVC, Imm: PSCISystemOff,
+		HSR: arm.MakeHSR(arm.ECHVC, uint32(PSCISystemOff))})
+}
+
+// handleSyscall dispatches an SVC.
+func (k *Kernel) handleSyscall(cpu int, c *arm.CPU, e *arm.Exception) {
+	s := k.scheds[cpu]
+	p := s.curr
+	if p == nil || p.pending == nil {
+		c.ERET()
+		return
+	}
+	req := p.pending
+	p.pending = nil
+	c.Charge(k.Cost.SyscallWork)
+	req.blocked = false
+
+	switch req.no {
+	case SysExit:
+		k.exitCurrent(cpu)
+		// No ERET: the process is gone; the scheduler picks next.
+		return
+	case SysYield:
+		c.ERET()
+		k.Yield(cpu)
+		return
+	case SysGetPID:
+		req.ret = uint32(p.PID)
+	case SysPipeRead:
+		k.pipeRead(cpu, c, req)
+	case SysPipeWrite:
+		k.pipeWrite(cpu, c, req)
+	case SysSocketSend:
+		k.socketSend(cpu, c, req)
+	case SysSocketRecv:
+		k.socketRecv(cpu, c, req)
+	case SysFork:
+		k.doFork(cpu, c, req)
+	case SysExec:
+		k.doExec(cpu, c, req)
+	case SysWait:
+		if k.liveChildren(p) > 0 {
+			if p.waitParent == nil {
+				p.waitParent = NewWaitQueue("wait:" + p.Name)
+			}
+			req.blocked = true
+			c.ERET()
+			k.Block(cpu, p.waitParent)
+			return
+		}
+	case SysNanosleep:
+		q := NewWaitQueue("sleep")
+		pp := p
+		k.AddTimer(cpu, c, req.ticks, func(k *Kernel, tcpu int) {
+			_ = pp
+			k.Wake(tcpu, q)
+		})
+		req.blocked = true
+		c.ERET()
+		k.Block(cpu, q)
+		return
+	}
+	c.ERET()
+}
+
+func (k *Kernel) liveChildren(p *Proc) int {
+	n := 0
+	for _, q := range k.procs {
+		if q.parent == p && q.State != ProcDead {
+			n++
+		}
+	}
+	return n
+}
+
+// doFork implements fork: new process, copied address space. The page
+// copies and table writes run through the kernel's physical memory view,
+// so inside a VM they cross Stage-2 and pay the two-dimensional costs that
+// make fork one of the visible overheads in Figures 3–4.
+func (k *Kernel) doFork(cpu int, c *arm.CPU, req *syscallReq) {
+	k.Stats.Forks++
+	c.Charge(k.Cost.ForkWork)
+	parent := k.scheds[cpu].curr
+	as, err := k.CopyAddrSpace(cpu, parent.AS)
+	if err != nil {
+		req.ret = ^uint32(0)
+		return
+	}
+	child := &Proc{
+		PID: k.nextPID, Name: req.name, Body: req.child, AS: as,
+		Affinity: parent.Affinity, cpu: parent.cpu, parent: parent,
+	}
+	k.nextPID++
+	k.procs[child.PID] = child
+	k.enqueue(child)
+	req.childPID = child.PID
+	req.ret = uint32(child.PID)
+}
+
+// doExec replaces the address space: teardown, fresh table, demand-zero
+// pages faulted back in by the body's touches.
+func (k *Kernel) doExec(cpu int, c *arm.CPU, req *syscallReq) {
+	k.Stats.Execs++
+	c.Charge(k.Cost.ExecWork)
+	p := k.scheds[cpu].curr
+	k.FreeAddrSpace(p.AS)
+	as, err := k.NewAddrSpace()
+	if err != nil {
+		k.killCurrent(cpu, c, "exec oom")
+		return
+	}
+	p.AS = as
+	k.switchAddressSpace(c, as)
+	// Flush this process's stale translations (charged TLB op).
+	c.WriteSys(arm.SysTLBIASID, 0, uint32(as.ASID))
+}

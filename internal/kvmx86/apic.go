@@ -1,0 +1,235 @@
+package kvmx86
+
+import "kvmarm/internal/gic"
+
+// APIC is KVM x86's in-kernel interrupt-controller emulation (pre-APICv:
+// no hardware assist at all). Compared with the ARM virtual distributor it
+// plays a double role: it is both the "distributor" (routing, IPIs via ICR
+// writes) and the CPU interface (vector delivery through the IDT on entry,
+// EOI by trapped MMIO write).
+type APIC struct {
+	vm *VM
+
+	priv   [][gic.SPIBase]virqState
+	sgiSrc [][gic.NumSGIs]int
+	spi    []virqState
+
+	Injections uint64
+	IPIs       uint64
+	EOIs       uint64
+}
+
+type virqState struct {
+	enabled bool
+	pending bool
+	active  bool
+	level   bool
+	target  uint8
+}
+
+const apicSPIs = 96
+
+func newAPIC(vm *VM) *APIC { return &APIC{vm: vm, spi: make([]virqState, apicSPIs)} }
+
+func (a *APIC) addVCPU() {
+	a.priv = append(a.priv, [gic.SPIBase]virqState{})
+	a.sgiSrc = append(a.sgiSrc, [gic.NumSGIs]int{})
+}
+
+func (a *APIC) irq(vcpu, id int) *virqState {
+	if id >= 0 && id < gic.SPIBase {
+		return &a.priv[vcpu][id]
+	}
+	if id >= gic.SPIBase && id-gic.SPIBase < len(a.spi) {
+		return &a.spi[id-gic.SPIBase]
+	}
+	return nil
+}
+
+// ReadReg / WriteReg emulate the guest's interrupt-controller MMIO window
+// (reusing the GIC register map that the shared guest kernel drives; on
+// real x86 this is LAPIC/IOAPIC programming — the trap pattern and cost
+// structure are what matter for the comparison).
+func (a *APIC) ReadReg(v *VCPU, off uint64) uint32 {
+	switch {
+	case off == gic.GICDCtlr:
+		return 1
+	case off >= gic.GICDIsenabler && off < gic.GICDIsenabler+0x80:
+		word := int(off-gic.GICDIsenabler) / 4
+		var bits uint32
+		for bit := 0; bit < 32; bit++ {
+			if s := a.irq(v.ID, word*32+bit); s != nil && s.enabled {
+				bits |= 1 << bit
+			}
+		}
+		return bits
+	}
+	return 0
+}
+
+// WriteReg handles guest interrupt-controller writes; SGIR is the ICR
+// (IPI) path, which the paper identifies as especially expensive on x86:
+// the exit, the decode, the emulation with locking, and the costly
+// physical IPI underneath.
+func (a *APIC) WriteReg(v *VCPU, off uint64, val uint32) {
+	switch {
+	case off >= gic.GICDIsenabler && off < gic.GICDIsenabler+0x80:
+		a.writeEnable(v.ID, int(off-gic.GICDIsenabler)/4, val, true)
+	case off >= gic.GICDIcenabler && off < gic.GICDIcenabler+0x80:
+		a.writeEnable(v.ID, int(off-gic.GICDIcenabler)/4, val, false)
+	case off >= gic.GICDItargetsr && off < gic.GICDItargetsr+0x400:
+		id := int(off - gic.GICDItargetsr)
+		for i := 0; i < 4; i++ {
+			if id+i >= gic.SPIBase {
+				if s := a.irq(v.ID, id+i); s != nil {
+					s.target = uint8(val >> (8 * i))
+				}
+			}
+		}
+	case off == gic.GICDSgir:
+		a.sendIPI(v, uint8(val>>gic.SGIRTargetShift), int(val&gic.SGIRIDMask))
+	}
+	a.deliverAll()
+}
+
+func (a *APIC) writeEnable(vcpu, word int, bits uint32, enable bool) {
+	for b := 0; b < 32; b++ {
+		if bits&(1<<b) == 0 {
+			continue
+		}
+		if s := a.irq(vcpu, word*32+b); s != nil {
+			s.enabled = enable
+		}
+	}
+}
+
+// sendIPI is an ICR write: mark the vector pending on the targets and pay
+// for the physical IPI that kicks a running target out of the guest.
+func (a *APIC) sendIPI(src *VCPU, mask uint8, id int) {
+	a.IPIs++
+	a.vm.Stats.IPIsEmulated++
+	hv := a.vm.hv
+	for i := range a.vm.vcpus {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		s := &a.priv[i][id]
+		s.pending = true
+		a.sgiSrc[i][id] = src.ID
+	}
+	// The physical IPI underneath (sender-side cost; charged to the core
+	// executing the ICR emulation — the sender exited to root mode).
+	hv.Board.CPUs[hv.Board.Current].Charge(hv.P.HWIPI)
+}
+
+// InjectSPI raises/lowers a level-triggered device interrupt.
+func (a *APIC) InjectSPI(id int, level bool) {
+	s := a.irq(0, id)
+	if s == nil {
+		return
+	}
+	s.level = level
+	if level {
+		s.pending = true
+		a.Injections++
+	}
+	a.deliverAll()
+}
+
+// InjectPPI raises a per-vCPU interrupt (timer).
+func (a *APIC) InjectPPI(v *VCPU, id int) {
+	a.priv[v.ID][id].pending = true
+	a.Injections++
+	a.deliverTo(v)
+}
+
+func (a *APIC) targets(s *virqState, v *VCPU) bool {
+	return s.target == 0 && v.ID == 0 || s.target&(1<<v.ID) != 0
+}
+
+func (a *APIC) hasPendingFor(v *VCPU) bool {
+	for id := 0; id < gic.SPIBase; id++ {
+		s := &a.priv[v.ID][id]
+		if s.enabled && s.pending && !s.active {
+			return true
+		}
+	}
+	for i := range a.spi {
+		s := &a.spi[i]
+		if s.enabled && s.pending && !s.active && a.targets(s, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *APIC) deliverAll() {
+	for _, v := range a.vm.vcpus {
+		a.deliverTo(v)
+	}
+}
+
+// deliverTo makes v notice pending interrupts: if running in the guest,
+// assert its (software) interrupt line; if halted, wake its thread.
+func (a *APIC) deliverTo(v *VCPU) {
+	hv := a.vm.hv
+	if v.state == vcpuBlockedHLT && a.hasPendingFor(v) {
+		v.Wake(hv.Board.Current)
+		return
+	}
+	if v.phys < 0 {
+		return
+	}
+	hv.Board.CPUs[v.phys].VIRQLine = a.hasPendingFor(v)
+	if v.phys != hv.Board.Current && a.hasPendingFor(v) {
+		// Kick the remote core out of non-root mode (vcpu_kick).
+		_ = hv.Board.GIC.SendSGI(hv.Board.Current, 1<<uint(v.phys), 2)
+	}
+}
+
+// Ack is the IDT-vectoring delivery: the guest learns the vector as part
+// of taking the interrupt, with no acknowledge read and NO exit ("x86
+// does not [need an ACK] because the source is directly indicated by the
+// interrupt descriptor table entry").
+func (a *APIC) Ack(v *VCPU) (id, src int) {
+	best := -1
+	var bs *virqState
+	consider := func(id int, s *virqState) {
+		if s.enabled && s.pending && !s.active && (best < 0 || id < best) {
+			best, bs = id, s
+		}
+	}
+	for id := 0; id < gic.SPIBase; id++ {
+		consider(id, &a.priv[v.ID][id])
+	}
+	for i := range a.spi {
+		if a.targets(&a.spi[i], v) {
+			consider(gic.SPIBase+i, &a.spi[i])
+		}
+	}
+	if best < 0 {
+		return 1023, 0
+	}
+	bs.pending = bs.level
+	if best < gic.SPIBase {
+		bs.pending = false
+	}
+	bs.active = true
+	if best < gic.NumSGIs {
+		return best, a.sgiSrc[v.ID][best]
+	}
+	return best, 0
+}
+
+// EOI completes an interrupt; reaching here cost a full exit (charged by
+// the caller) — the mechanism behind Table 3's EOI+ACK row on x86.
+func (a *APIC) EOI(v *VCPU, id int) {
+	a.EOIs++
+	if s := a.irq(v.ID, id); s != nil {
+		s.active = false
+		if s.level {
+			s.pending = true
+		}
+	}
+	a.deliverTo(v)
+}

@@ -1,0 +1,410 @@
+// Package kvmx86 implements the paper's comparison baseline: KVM on x86
+// with Intel VT-x (§2 "Comparison with x86", §5). It provides the same
+// VM/vCPU/guest-OS interface as internal/core, but with the x86
+// architecture's mechanics:
+//
+//   - No split mode: root mode is orthogonal to the protection rings, so
+//     the exit handler IS the host kernel — a single (but expensive,
+//     hardware-VMCS-saving) transition instead of ARM's cheap double trap.
+//   - The world switch is one instruction: no software save/restore of
+//     registers, no MMIO to interrupt-controller state.
+//   - No virtual APIC (pre-APICv hardware, as in the paper): interrupt
+//     injection happens on VM entry; the guest needs no ACK (IDT
+//     vectoring) but every EOI exits to root mode; APIC MMIO requires
+//     software instruction decode.
+//   - TSC reads do not exit; APIC timer programming does.
+//   - EPT: same two-dimensional walks as Stage-2 (shared MMU model).
+package kvmx86
+
+import (
+	"fmt"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/dev"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/mmu"
+	"kvmarm/internal/timer"
+	"kvmarm/internal/x86"
+)
+
+// NewBoard builds a board configured like the paper's x86 platforms: no
+// VGIC (no virtual APIC), hardware timer readable without exits but
+// trapping on programming, and cost constants from the profile.
+func NewBoard(cpus int, p x86.Profile) (*machine.Board, error) {
+	cfg := machine.Config{CPUs: cpus, RAMBytes: 256 << 20, HasVGIC: false, HasVirtTimer: true}
+	b, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range b.CPUs {
+		c.Feat.TimerWriteTraps = true
+		// Root-mode transitions save the whole VMCS in hardware.
+		c.Cost.TrapToHyp = p.VMExit
+		c.Cost.TrapToPL1 = p.TrapToKernel
+		c.Cost.ERET = 20
+	}
+	return b, nil
+}
+
+// Stats instruments the hypervisor.
+type Stats struct {
+	VMExits    uint64
+	VMEntries  uint64
+	EOIExits   uint64
+	IPIExits   uint64
+	TimerExits uint64
+}
+
+// Hypervisor is KVM x86.
+type Hypervisor struct {
+	Board *machine.Board
+	Host  *kernel.Kernel
+	P     x86.Profile
+
+	vms      []*VM
+	nextVMID uint8
+	loaded   []*VCPU
+	hostCtx  []hostSaved
+
+	Stats Stats
+}
+
+type hostSaved struct {
+	GP          arm.GPSnapshot
+	CP15        [arm.NumCtxControlRegs]uint32
+	CPSR        uint32
+	PL1Software arm.ExcHandler
+	Runner      arm.Runner
+}
+
+// Init creates the hypervisor on a booted host kernel. Unlike ARM, no
+// special boot mode is required: the kernel already runs in root mode.
+func Init(b *machine.Board, host *kernel.Kernel, p x86.Profile) (*Hypervisor, error) {
+	hv := &Hypervisor{
+		Board:   b,
+		Host:    host,
+		P:       p,
+		loaded:  make([]*VCPU, len(b.CPUs)),
+		hostCtx: make([]hostSaved, len(b.CPUs)),
+	}
+	for _, c := range b.CPUs {
+		c.HypHandler = hv.vmExit
+	}
+	// The (emulated) guest timer is backed by the hardware timer; its
+	// interrupt must force an exit so KVM can inject the guest's vector.
+	for cpu := range b.CPUs {
+		if err := b.GIC.EnableIRQ(cpu, 27); err != nil {
+			return nil, err
+		}
+	}
+	return hv, nil
+}
+
+// VM is one x86 virtual machine.
+type VM struct {
+	hv   *Hypervisor
+	VMID uint8
+	// EPT is the extended page table (same two-dimensional walk model
+	// as ARM Stage-2).
+	EPT   *mmu.Builder
+	slots []machineSlot
+	APIC  *APIC
+	vcpus []*VCPU
+
+	mmio []mmioRegion
+
+	Net *dev.Virt
+	Blk *dev.Virt
+	Con *dev.Virt
+
+	Console      []byte
+	lastGuestCPU *arm.CPU
+
+	Stats VMStats
+}
+
+// VMStats mirrors core.VMStats for the benchmarks.
+type VMStats struct {
+	EPTFaults     uint64
+	MMIOExits     uint64
+	MMIOUserExits uint64
+	EOIExits      uint64
+	WFIExits      uint64
+	IRQExits      uint64
+	Hypercalls    uint64
+	TimerInjected uint64
+	IPIsEmulated  uint64
+	SysRegTraps   uint64
+}
+
+type machineSlot struct{ base, size uint64 }
+
+type mmioRegion struct {
+	base, size uint64
+	h          MMIOHandler
+	user       bool
+}
+
+// MMIOHandler mirrors core.MMIOHandler.
+type MMIOHandler interface {
+	Name() string
+	Read(v *VCPU, off uint64, size int) uint64
+	Write(v *VCPU, off uint64, size int, val uint64)
+}
+
+// CreateVM builds a VM with memBytes of guest RAM.
+func (hv *Hypervisor) CreateVM(memBytes uint64) (*VM, error) {
+	hv.nextVMID++
+	ept, err := mmu.NewBuilder(mmu.TableStage2, hv.Board.RAM, hv.Host.Alloc)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{hv: hv, VMID: hv.nextVMID, EPT: ept}
+	vm.slots = []machineSlot{{base: machine.RAMBase, size: memBytes}}
+	vm.APIC = newAPIC(vm)
+
+	vm.Net = vm.newVirtDevice(dev.VirtNet, machine.IRQNet, 0.0074, 22_000)
+	vm.Blk = vm.newVirtDevice(dev.VirtBlock, machine.IRQBlk, 0.147, 150_000)
+	vm.Con = vm.newVirtDevice(dev.VirtConsole, machine.IRQCon, 1.0, 6_000)
+	vm.mmio = append(vm.mmio,
+		mmioRegion{machine.VirtNetBase, dev.VirtSize, &virtMMIO{vm.Net}, true},
+		mmioRegion{machine.VirtBlkBase, dev.VirtSize, &virtMMIO{vm.Blk}, true},
+		mmioRegion{machine.VirtConBase, dev.VirtSize, &virtMMIO{vm.Con}, true},
+		mmioRegion{machine.UARTBase, dev.UARTSize, &uartMMIO{vm}, true},
+	)
+	hv.vms = append(hv.vms, vm)
+	return vm, nil
+}
+
+func (vm *VM) newVirtDevice(class dev.VirtClass, irq int, bw float64, lat uint64) *dev.Virt {
+	return &dev.Virt{
+		Class: class, IRQ: irq, BytesPerCycle: bw, FixedLatency: lat,
+		Sched: vm.hv.Board.Schedule,
+		Now:   vm.hv.Board.Now,
+		RaiseIRQ: func(irq int, level bool) {
+			vm.APIC.InjectSPI(irq, level)
+		},
+	}
+}
+
+func (vm *VM) inSlot(ipa uint64) bool {
+	for _, s := range vm.slots {
+		if ipa >= s.base && ipa < s.base+s.size {
+			return true
+		}
+	}
+	return false
+}
+
+func (vm *VM) findMMIO(ipa uint64) (*mmioRegion, uint64) {
+	for i := range vm.mmio {
+		r := &vm.mmio[i]
+		if ipa >= r.base && ipa < r.base+r.size {
+			return r, ipa - r.base
+		}
+	}
+	return nil, 0
+}
+
+// AddKernelMMIO registers an in-kernel emulated device region.
+func (vm *VM) AddKernelMMIO(base, size uint64, h MMIOHandler) {
+	vm.mmio = append(vm.mmio, mmioRegion{base: base, size: size, h: h, user: false})
+}
+
+// AddUserMMIO registers a QEMU-emulated device region.
+func (vm *VM) AddUserMMIO(base, size uint64, h MMIOHandler) {
+	vm.mmio = append(vm.mmio, mmioRegion{base: base, size: size, h: h, user: true})
+}
+
+// EnsureMapped backs the EPT page containing gpa.
+func (vm *VM) EnsureMapped(gpa uint64) (uint64, error) {
+	page := gpa &^ (mmu.PageSize - 1)
+	if pa, ok, err := vm.EPT.Lookup(uint32(page)); err != nil {
+		return 0, err
+	} else if ok {
+		return pa | (gpa & (mmu.PageSize - 1)), nil
+	}
+	if !vm.inSlot(gpa) {
+		return 0, fmt.Errorf("kvmx86: gpa %#x unbacked", gpa)
+	}
+	pa, err := vm.hv.Host.Alloc.AllocPages(1)
+	if err != nil {
+		return 0, err
+	}
+	if err := vm.EPT.MapPage(uint32(page), pa, mmu.MapFlags{W: true}); err != nil {
+		return 0, err
+	}
+	return pa | (gpa & (mmu.PageSize - 1)), nil
+}
+
+// WriteGuestMem loads data into guest-physical memory.
+func (vm *VM) WriteGuestMem(gpa uint64, data []byte) error {
+	for off := 0; off < len(data); {
+		pa, err := vm.EnsureMapped(gpa + uint64(off))
+		if err != nil {
+			return err
+		}
+		n := int(mmu.PageSize - (gpa+uint64(off))&(mmu.PageSize-1))
+		if n > len(data)-off {
+			n = len(data) - off
+		}
+		if err := vm.hv.Board.RAM.WriteBytes(pa, data[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+type vcpuState int
+
+const (
+	vcpuNeedEnter vcpuState = iota
+	vcpuRunning
+	vcpuBlockedHLT
+	vcpuShutdown
+)
+
+// GuestContext is the VMCS-held guest state: moved by hardware, so the
+// world switch charges a fixed cost rather than per-register moves.
+type GuestContext struct {
+	GP          arm.GPSnapshot
+	CP15        [arm.NumCtxControlRegs]uint32
+	VTimer      timer.VirtState
+	PL1Software arm.ExcHandler
+	Runner      arm.Runner
+}
+
+// VCPU is one x86 virtual CPU.
+type VCPU struct {
+	vm  *VM
+	ID  int
+	Ctx GuestContext
+
+	phys  int
+	state vcpuState
+	wq    *kernel.WaitQueue
+
+	softTimerID  uint64
+	softTimerCPU int
+
+	Stats struct {
+		Exits   uint64
+		Entries uint64
+	}
+}
+
+// CreateVCPU adds a vCPU.
+func (vm *VM) CreateVCPU(id int) (*VCPU, error) {
+	if id != len(vm.vcpus) {
+		return nil, fmt.Errorf("kvmx86: vCPUs must be created in order")
+	}
+	v := &VCPU{vm: vm, ID: id, phys: -1,
+		wq: kernel.NewWaitQueue(fmt.Sprintf("x86vcpu%d.%d", vm.VMID, id))}
+	v.Ctx.GP.CPSR = uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF
+	vm.vcpus = append(vm.vcpus, v)
+	vm.APIC.addVCPU()
+	return v, nil
+}
+
+// VCPUs returns the VM's vCPUs.
+func (vm *VM) VCPUs() []*VCPU { return vm.vcpus }
+
+// State reports the run state.
+func (v *VCPU) State() string {
+	switch v.state {
+	case vcpuNeedEnter:
+		return "ready"
+	case vcpuRunning:
+		return "running"
+	case vcpuBlockedHLT:
+		return "hlt"
+	case vcpuShutdown:
+		return "shutdown"
+	}
+	return "?"
+}
+
+// SetGuestSoftware installs the guest's software context.
+func (v *VCPU) SetGuestSoftware(h arm.ExcHandler, r arm.Runner) {
+	v.Ctx.PL1Software = h
+	v.Ctx.Runner = r
+}
+
+// StartThread creates the host vCPU thread.
+func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
+	hv := v.vm.hv
+	body := kernel.BodyFunc(func(hk *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+		return v.runStep(hostCPU, c)
+	})
+	from := hostCPU
+	if from < 0 {
+		from = 0
+	}
+	return hv.Host.NewProcFrom(from, fmt.Sprintf("qemu-x86vcpu%d.%d", v.vm.VMID, v.ID), hostCPU, body)
+}
+
+func (v *VCPU) runStep(hostCPU int, c *arm.CPU) bool {
+	hv := v.vm.hv
+	switch v.state {
+	case vcpuShutdown:
+		return true
+	case vcpuBlockedHLT:
+		if v.vm.APIC.hasPendingFor(v) {
+			v.state = vcpuNeedEnter
+		} else {
+			hostIdx := hostCPU
+			if hostIdx < 0 {
+				hostIdx = c.ID
+			}
+			hv.Host.Block(hostIdx, v.wq)
+			return false
+		}
+	case vcpuRunning:
+		return false
+	}
+	prev := c.CPSR
+	c.Charge(hv.P.TrapToKernel + hv.Host.Cost.SyscallWork/2)
+	c.SetCPSR(uint32(arm.ModeSVC) | (prev &^ arm.PSRModeMask))
+	v.Stats.Entries++
+	hv.enterGuest(c, v)
+	return false
+}
+
+// Wake unblocks an HLT-blocked vCPU.
+func (v *VCPU) Wake(fromHostCPU int) {
+	if v.state == vcpuBlockedHLT {
+		v.state = vcpuNeedEnter
+		v.vm.hv.Host.Wake(fromHostCPU, v.wq)
+	}
+}
+
+// Shutdown stops the vCPU.
+func (v *VCPU) Shutdown() { v.state = vcpuShutdown }
+
+type virtMMIO struct{ d *dev.Virt }
+
+func (m *virtMMIO) Name() string { return m.d.Name() }
+func (m *virtMMIO) Read(v *VCPU, off uint64, size int) uint64 {
+	val, _ := m.d.ReadReg(off, size)
+	return val
+}
+func (m *virtMMIO) Write(v *VCPU, off uint64, size int, val uint64) {
+	_ = m.d.WriteReg(off, size, val)
+}
+
+type uartMMIO struct{ vm *VM }
+
+func (m *uartMMIO) Name() string { return "virtual-uart" }
+func (m *uartMMIO) Read(v *VCPU, off uint64, size int) uint64 {
+	if off == dev.UARTStatus {
+		return 1
+	}
+	return 0
+}
+func (m *uartMMIO) Write(v *VCPU, off uint64, size int, val uint64) {
+	if off == dev.UARTTx {
+		m.vm.Console = append(m.vm.Console, byte(val))
+	}
+}

@@ -1,0 +1,334 @@
+package kvmx86
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/gic"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/mmu"
+	"kvmarm/internal/timer"
+)
+
+// This file is the VT-x transition machinery: VM entry (VMRESUME) and the
+// exit handler. The crucial contrast with internal/core's lowvisor is that
+// the hardware moves all state (a fixed VMEntry/VMExit charge instead of
+// per-register software costs), and the handler already runs in the host
+// kernel: no second trap.
+
+// enterGuest is VMRESUME: swap in the guest context, pay the fixed entry
+// cost, inject any pending virtual interrupt.
+func (hv *Hypervisor) enterGuest(c *arm.CPU, v *VCPU) {
+	hc := &hv.hostCtx[c.ID]
+	hv.Stats.VMEntries++
+	v.Stats.Entries++
+
+	// Hardware-managed state save/load: single instruction.
+	hc.GP = c.SaveGP()
+	hc.CPSR = c.CPSR
+	hc.PL1Software = c.PL1Handler
+	hc.Runner = c.Runner
+	for i, r := range arm.CtxControlRegs() {
+		hc.CP15[i] = c.CP15.Regs[r]
+		c.CP15.Regs[r] = v.Ctx.CP15[i]
+	}
+	c.Charge(hv.P.VMEntry)
+
+	// Trap configuration (VMCS execution controls): interrupts exit,
+	// HLT exits, EPT on. x86 has no SMC/ACTLR analogues; set/way ops
+	// don't exist; we leave those trap bits clear.
+	c.CP15.Regs[arm.SysHCR] = arm.HCRVM | arm.HCRIMO | arm.HCRFMO | arm.HCRTWI | arm.HCRTWE
+	c.CP15.Write64(arm.SysVTTBRLo, v.vm.EPT.Root|uint64(v.vm.VMID)<<48)
+
+	// Guest timer state (KVM x86 emulates the APIC timer with hrtimers;
+	// we back it with the hardware timer so TSC-style reads stay exit-free).
+	hv.timerOnEntry(c, v)
+
+	c.RestoreGP(v.Ctx.GP)
+	c.PL1Handler = v.Ctx.PL1Software
+	c.Runner = v.Ctx.Runner
+	hv.loaded[c.ID] = v
+	v.phys = c.ID
+	v.state = vcpuRunning
+	v.vm.lastGuestCPU = c
+	c.SetCPSR(v.Ctx.GP.CPSR)
+
+	// Event injection: pending virtual interrupts are delivered on entry.
+	if v.vm.APIC.hasPendingFor(v) {
+		c.VIRQLine = true
+		c.Charge(hv.P.InjectOnEntry)
+	} else {
+		c.VIRQLine = false
+	}
+}
+
+// exitGuest is the VM exit: hardware stores the guest state and reloads
+// the host's; the handler below then runs in root mode directly.
+func (hv *Hypervisor) exitGuest(c *arm.CPU, v *VCPU) {
+	hc := &hv.hostCtx[c.ID]
+	hv.Stats.VMExits++
+	v.Stats.Exits++
+
+	gp := c.SaveGP()
+	gp.PC = c.Regs.ELRHyp()
+	gp.CPSR = c.Regs.SPSRof(arm.ModeHYP)
+	v.Ctx.GP = gp
+	for i, r := range arm.CtxControlRegs() {
+		v.Ctx.CP15[i] = c.CP15.Regs[r]
+		c.CP15.Regs[r] = hc.CP15[i]
+	}
+	c.CP15.Regs[arm.SysHCR] = 0
+	// The VMExit hardware cost was charged by the trap itself
+	// (Cost.TrapToHyp == P.VMExit); only bookkeeping here.
+	c.Charge(40)
+
+	v.Ctx.VTimer = hv.Board.Timers.SaveVirt(c.ID)
+	hv.Board.Timers.DisableVirt(c.ID, c.Clock)
+
+	c.RestoreGP(hc.GP)
+	c.PL1Handler = hc.PL1Software
+	c.Runner = hc.Runner
+	hv.loaded[c.ID] = nil
+	v.phys = -1
+	c.VIRQLine = false
+	c.SetCPSR(hc.CPSR)
+}
+
+// vmExit is the root-mode handler for everything the guest does that
+// exits; it is installed as the CPU's Hyp handler but conceptually runs
+// in the host kernel (root mode, ring 0).
+func (hv *Hypervisor) vmExit(c *arm.CPU, e *arm.Exception) {
+	v := hv.loaded[c.ID]
+	if v == nil {
+		// Not a guest exit (stray HVC from the host); ignore.
+		c.ERET()
+		return
+	}
+	hv.exitGuest(c, v)
+	hv.handleExit(c, v, e)
+}
+
+func (hv *Hypervisor) reenter(c *arm.CPU, v *VCPU) {
+	hv.enterGuest(c, v)
+}
+
+func (hv *Hypervisor) handleExit(c *arm.CPU, v *VCPU, e *arm.Exception) {
+	vm := v.vm
+	switch e.Kind {
+	case arm.ExcIRQ, arm.ExcFIQ:
+		vm.Stats.IRQExits++
+		v.state = vcpuNeedEnter
+		hv.timerOnExit(c, v)
+		return
+	case arm.ExcHVC:
+		vm.Stats.Hypercalls++
+		if e.Imm == kernelPSCISystemOff {
+			for _, o := range vm.vcpus {
+				if o != v {
+					o.Wake(c.ID) // unblock before marking shutdown
+				}
+				o.state = vcpuShutdown
+			}
+			return
+		}
+		hv.reenter(c, v)
+		return
+	case arm.ExcHypTrap:
+		switch arm.HSREC(e.HSR) {
+		case arm.ECHVC:
+			vm.Stats.Hypercalls++
+			if e.Imm == kernelPSCISystemOff {
+				for _, o := range vm.vcpus {
+					o.state = vcpuShutdown
+					if o != v {
+						o.Wake(c.ID)
+					}
+				}
+				return
+			}
+			hv.reenter(c, v)
+		case arm.ECWFx: // HLT
+			vm.Stats.WFIExits++
+			v.Ctx.GP.PC += 4
+			v.state = vcpuBlockedHLT
+			hv.timerOnExit(c, v)
+		case arm.ECDataAbort, arm.ECInstrAbort:
+			hv.handleEPTViolation(c, v, e)
+		case arm.ECCP15:
+			vm.Stats.SysRegTraps++
+			hv.emulateSysReg(c, v, e)
+			v.Ctx.GP.PC += 4
+			hv.reenter(c, v)
+		default:
+			v.state = vcpuNeedEnter
+		}
+	default:
+		v.state = vcpuNeedEnter
+	}
+}
+
+// kernelPSCISystemOff mirrors kernel.PSCISystemOff without the import.
+const kernelPSCISystemOff = 0x808
+
+// handleEPTViolation resolves guest-physical faults: RAM slots are backed
+// with host pages; everything else is MMIO, which on x86 always needs
+// software instruction decode (no syndrome assist; "a number of
+// operations require software decoding of instructions on the x86
+// platform").
+func (hv *Hypervisor) handleEPTViolation(c *arm.CPU, v *VCPU, e *arm.Exception) {
+	vm := v.vm
+	gpa := e.FaultIPA
+	if vm.inSlot(gpa) {
+		vm.Stats.EPTFaults++
+		pa, err := hv.Host.Alloc.AllocPages(1)
+		if err != nil {
+			v.state = vcpuShutdown
+			return
+		}
+		if err := vm.EPT.MapPage(uint32(gpa)&^(mmu.PageSize-1), pa, mmu.MapFlags{W: true}); err != nil {
+			v.state = vcpuShutdown
+			return
+		}
+		c.Charge(hv.Host.Cost.FaultWork + hv.Host.Cost.PageZero)
+		hv.reenter(c, v)
+		return
+	}
+
+	// MMIO: decode the instruction (always, on x86).
+	isv, sizeLog2, rt, write := arm.DecodeDataAbortISS(arm.HSRISS(e.HSR))
+	size := 1 << sizeLog2
+	_ = isv
+	c.Charge(hv.P.APICDecode)
+	hv.emulateMMIO(c, v, gpa, write, size, rt)
+	v.Ctx.GP.PC += 4
+	hv.reenter(c, v)
+}
+
+func (hv *Hypervisor) emulateMMIO(c *arm.CPU, v *VCPU, gpa uint64, write bool, size, rt int) {
+	vm := v.vm
+	vm.Stats.MMIOExits++
+
+	// APIC region (we reuse the GIC distributor window as the guest's
+	// interrupt-controller address): ICR writes are the IPI path.
+	if gpa >= machine.GICDistBase && gpa < machine.GICDistBase+gic.DistSize {
+		off := gpa - machine.GICDistBase
+		if write {
+			vm.APIC.WriteReg(v, off, regOf(v, rt))
+		} else {
+			setRegOf(v, rt, vm.APIC.ReadReg(v, off))
+		}
+		c.Charge(hv.P.APICEmulate)
+		return
+	}
+
+	if r, off := vm.findMMIO(gpa); r != nil {
+		if r.user {
+			vm.Stats.MMIOUserExits++
+			c.Charge(hv.P.KernelToUser + hv.P.QEMUWork)
+		} else {
+			c.Charge(hv.P.IOKernelWork)
+		}
+		if write {
+			r.h.Write(v, off, size, uint64(regOf(v, rt)))
+		} else {
+			setRegOf(v, rt, uint32(r.h.Read(v, off, size)))
+		}
+		return
+	}
+	if !write {
+		setRegOf(v, rt, 0)
+	}
+}
+
+// emulateSysReg handles trapped register accesses — for x86 this is the
+// APIC timer (TSC reads never exit).
+func (hv *Hypervisor) emulateSysReg(c *arm.CPU, v *VCPU, e *arm.Exception) {
+	reg, rt, read := arm.DecodeCP15ISS(arm.HSRISS(e.HSR))
+	hv.Stats.TimerExits++
+	c.Charge(hv.P.TimerEmulate)
+	vt := &v.Ctx.VTimer
+	vnow := timer.Count(c.Clock) - vt.CNTVOFF
+	switch reg {
+	case arm.SysCNTVCTL, arm.SysCNTPCTL:
+		if read {
+			setRegOf(v, rt, vt.CTL)
+			return
+		}
+		vt.CTL = regOf(v, rt) &^ timer.CTLIStatus
+	case arm.SysCNTVTVAL, arm.SysCNTPTVAL:
+		if read {
+			setRegOf(v, rt, uint32(vt.CVAL-vnow))
+			return
+		}
+		vt.CVAL = vnow + uint64(int64(int32(regOf(v, rt))))
+	default:
+		if read {
+			setRegOf(v, rt, 0)
+		}
+		return
+	}
+	// Keep the backing hardware timer in sync so in-guest expiry forces
+	// an exit (the hrtimer model).
+	hv.Board.Timers.RestoreVirt(c.ID, *vt, c.Clock)
+}
+
+// regOf/setRegOf access a saved guest register.
+func regOf(v *VCPU, n int) uint32 {
+	g := &v.Ctx
+	switch {
+	case n < 8:
+		return g.GP.Low[n]
+	case n < 13:
+		return g.GP.Mid[0][n-8]
+	}
+	return 0
+}
+
+func setRegOf(v *VCPU, n int, val uint32) {
+	g := &v.Ctx
+	switch {
+	case n < 8:
+		g.GP.Low[n] = val
+	case n < 13:
+		g.GP.Mid[0][n-8] = val
+	}
+}
+
+// --- Guest timer multiplexing (hrtimer model) ---
+
+func (hv *Hypervisor) timerOnEntry(c *arm.CPU, v *VCPU) {
+	if v.softTimerID != 0 {
+		hv.Host.CancelTimer(v.softTimerCPU, c, v.softTimerID)
+		v.softTimerID = 0
+	}
+	st := v.Ctx.VTimer
+	if st.CTL&timer.CTLEnable != 0 && st.CTL&timer.CTLIMask == 0 {
+		if timer.Count(c.Clock)-st.CNTVOFF >= st.CVAL {
+			st.CTL |= timer.CTLIMask
+			v.Ctx.VTimer = st
+		}
+	}
+	hv.Board.Timers.RestoreVirt(c.ID, st, c.Clock)
+}
+
+func (hv *Hypervisor) timerOnExit(c *arm.CPU, v *VCPU) {
+	vt := v.Ctx.VTimer
+	if vt.CTL&timer.CTLEnable == 0 || vt.CTL&timer.CTLIMask != 0 {
+		return
+	}
+	vnow := timer.Count(c.Clock) - vt.CNTVOFF
+	if vnow >= vt.CVAL {
+		hv.injectTimer(c.ID, v)
+		return
+	}
+	v.softTimerCPU = c.ID
+	v.softTimerID = hv.Host.AddTimer(c.ID, c, vt.CVAL-vnow+1, func(_ *kernel.Kernel, cpu int) {
+		v.softTimerID = 0
+		hv.injectTimer(cpu, v)
+	})
+}
+
+func (hv *Hypervisor) injectTimer(fromHostCPU int, v *VCPU) {
+	v.vm.Stats.TimerInjected++
+	v.vm.APIC.InjectPPI(v, 27)
+	v.Wake(fromHostCPU)
+}

@@ -1,0 +1,85 @@
+package loc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountReaderClassification(t *testing.T) {
+	src := `// a comment
+package x
+
+/* block
+comment */
+func f() int { // trailing comments count the line as code
+	return 1
+}
+`
+	c, err := CountReader(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Code != 4 {
+		t.Errorf("code = %d, want 4", c.Code)
+	}
+	if c.Comments != 3 {
+		t.Errorf("comments = %d, want 3", c.Comments)
+	}
+	if c.Blank != 1 {
+		t.Errorf("blank = %d, want 1", c.Blank)
+	}
+}
+
+func TestCountDirSelf(t *testing.T) {
+	code, err := CountDir(".", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.Files < 1 || code.Code < 50 {
+		t.Fatalf("implausible self-count: %+v", code)
+	}
+	tests, err := CountDir(".", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tests.Files < 1 {
+		t.Fatalf("no test files counted: %+v", tests)
+	}
+}
+
+func TestTable4Structure(t *testing.T) {
+	rows, armTotal, x86Total, err := Table4("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if armTotal.Code < 800 {
+		t.Fatalf("KVM/ARM total %d implausibly small", armTotal.Code)
+	}
+	if x86Total.Code < 300 {
+		t.Fatalf("x86 total %d implausibly small", x86Total.Code)
+	}
+	// The split-mode claim: the lowvisor is a small fraction.
+	lv, err := CountFile("../../internal/core/lowvisor.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := float64(lv.Code) / float64(armTotal.Code)
+	if share > 0.30 {
+		t.Errorf("lowvisor share %.2f: the Hyp-mode component must stay small (paper: 12.4%%)", share)
+	}
+}
+
+func TestInventoryCoversKnownPackages(t *testing.T) {
+	inv, err := Inventory("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range []string{"internal/core", "internal/arm", "internal/kernel", "internal/mmu"} {
+		if c, ok := inv[pkg]; !ok || c.Code == 0 {
+			t.Errorf("package %s missing from inventory", pkg)
+		}
+	}
+}

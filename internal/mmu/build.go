@@ -1,0 +1,195 @@
+package mmu
+
+import "fmt"
+
+// PhysWriter writes physical memory for page-table construction.
+type PhysWriter interface {
+	Read64(pa uint64) (uint64, error)
+	Write64(pa uint64, v uint64) error
+}
+
+// PageAlloc hands out physical pages for page tables. The kernel's page
+// allocator and the highvisor's Stage-2 allocator both satisfy it.
+type PageAlloc interface {
+	// AllocPages returns the PA of n fresh zeroed, page-aligned pages.
+	AllocPages(n int) (uint64, error)
+}
+
+// TableKind selects the descriptor validation rules Builder emits.
+type TableKind int
+
+// Table kinds: kernel-format Stage-1, Hyp-format Stage-1 (mandated AF, no
+// user bit — the format mismatch of §3.1), and Stage-2.
+const (
+	TableKernel TableKind = iota
+	TableHyp
+	TableStage2
+)
+
+// MapFlags carries permissions for a mapping.
+type MapFlags struct {
+	W  bool // writable
+	U  bool // user accessible (Stage-1 kernel format only)
+	XN bool // execute never
+}
+
+// Builder constructs a page table of the given kind in simulated physical
+// memory. The L1 table occupies two pages (1024 × 8 bytes).
+type Builder struct {
+	Kind TableKind
+	Mem  PhysWriter
+	Pool PageAlloc
+
+	// Root is the PA of the L1 table (the value to program into
+	// TTBR0/HTTBR/VTTBR).
+	Root uint64
+	// tablePages records every page allocated for this table tree, so
+	// the owner can return them to its allocator on teardown.
+	tablePages []uint64
+}
+
+// TablePages returns the physical pages backing this table tree.
+func (b *Builder) TablePages() []uint64 { return b.tablePages }
+
+// NewBuilder allocates an empty L1 table.
+func NewBuilder(kind TableKind, mem PhysWriter, pool PageAlloc) (*Builder, error) {
+	root, err := pool.AllocPages(TableBytes / PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("mmu: allocating L1 table: %w", err)
+	}
+	b := &Builder{Kind: kind, Mem: mem, Pool: pool, Root: root}
+	for i := uint64(0); i < TableBytes/PageSize; i++ {
+		b.tablePages = append(b.tablePages, root+i*PageSize)
+	}
+	return b, nil
+}
+
+func (b *Builder) leafBits(f MapFlags) uint64 {
+	d := DescValid
+	if f.W {
+		d |= DescW
+	}
+	if f.XN {
+		d |= DescXN
+	}
+	switch b.Kind {
+	case TableKernel:
+		if f.U {
+			d |= DescU
+		}
+	case TableHyp:
+		// Hyp format mandates AF and forbids user mappings.
+		d |= DescAF
+	case TableStage2:
+		d |= DescS2MemAttr
+	}
+	return d
+}
+
+// MapPage installs a single 4 KiB mapping from va (or IPA for Stage-2
+// tables) to pa.
+func (b *Builder) MapPage(va uint32, pa uint64, f MapFlags) error {
+	idx1 := uint64(va >> L1Shift)
+	d1addr := b.Root + idx1*8
+	d1, err := b.Mem.Read64(d1addr)
+	if err != nil {
+		return err
+	}
+	if d1&DescValid != 0 && d1&DescTable == 0 {
+		return fmt.Errorf("mmu: va %#x already covered by a block mapping", va)
+	}
+	var l2 uint64
+	if d1&DescValid == 0 {
+		l2, err = b.Pool.AllocPages(TableBytes / PageSize)
+		if err != nil {
+			return fmt.Errorf("mmu: allocating L2 table: %w", err)
+		}
+		for i := uint64(0); i < TableBytes/PageSize; i++ {
+			b.tablePages = append(b.tablePages, l2+i*PageSize)
+		}
+		d1 = DescValid | DescTable | (l2 & DescAddrMask)
+		if b.Kind == TableHyp {
+			d1 |= DescAF
+		}
+		if b.Kind == TableStage2 {
+			d1 |= DescS2MemAttr
+		}
+		if err := b.Mem.Write64(d1addr, d1); err != nil {
+			return err
+		}
+	} else {
+		l2 = d1 & DescAddrMask
+	}
+	idx2 := uint64(va>>PageShift) & (L2Entries - 1)
+	leaf := b.leafBits(f) | DescTable | (pa & DescAddrMask)
+	return b.Mem.Write64(l2+idx2*8, leaf)
+}
+
+// MapBlock installs a 4 MiB block mapping; va and pa must be 4 MiB aligned.
+func (b *Builder) MapBlock(va uint32, pa uint64, f MapFlags) error {
+	if va&(BlockSize-1) != 0 || pa&(BlockSize-1) != 0 {
+		return fmt.Errorf("mmu: block mapping %#x->%#x not 4MiB aligned", va, pa)
+	}
+	idx1 := uint64(va >> L1Shift)
+	leaf := b.leafBits(f) | (pa & DescAddrMask) // DescTable clear: block
+	return b.Mem.Write64(b.Root+idx1*8, leaf)
+}
+
+// MapRange maps [va, va+size) to [pa, pa+size) using block mappings where
+// alignment allows and page mappings elsewhere.
+func (b *Builder) MapRange(va uint32, pa, size uint64, f MapFlags) error {
+	end := uint64(va) + size
+	for cur := uint64(va); cur < end; {
+		if cur&(BlockSize-1) == 0 && pa&(BlockSize-1) == 0 && end-cur >= BlockSize {
+			if err := b.MapBlock(uint32(cur), pa, f); err != nil {
+				return err
+			}
+			cur += BlockSize
+			pa += BlockSize
+			continue
+		}
+		if err := b.MapPage(uint32(cur), pa, f); err != nil {
+			return err
+		}
+		cur += PageSize
+		pa += PageSize
+	}
+	return nil
+}
+
+// Unmap removes the 4 KiB mapping at va if present; it does not free L2
+// tables. Unmapping inside a block mapping is an error.
+func (b *Builder) Unmap(va uint32) error {
+	idx1 := uint64(va >> L1Shift)
+	d1, err := b.Mem.Read64(b.Root + idx1*8)
+	if err != nil {
+		return err
+	}
+	if d1&DescValid == 0 {
+		return nil
+	}
+	if d1&DescTable == 0 {
+		return fmt.Errorf("mmu: unmap %#x inside block mapping", va)
+	}
+	idx2 := uint64(va>>PageShift) & (L2Entries - 1)
+	return b.Mem.Write64(d1&DescAddrMask+idx2*8, 0)
+}
+
+// Lookup walks the table in software (no TLB, no faults) and reports the
+// mapping for va, primarily for tests and debugging.
+func (b *Builder) Lookup(va uint32) (pa uint64, ok bool, err error) {
+	idx1 := uint64(va >> L1Shift)
+	d1, err := b.Mem.Read64(b.Root + idx1*8)
+	if err != nil || d1&DescValid == 0 {
+		return 0, false, err
+	}
+	if d1&DescTable == 0 {
+		return d1&DescAddrMask | uint64(va)&(BlockSize-1), true, nil
+	}
+	idx2 := uint64(va>>PageShift) & (L2Entries - 1)
+	d2, err := b.Mem.Read64(d1&DescAddrMask + idx2*8)
+	if err != nil || d2&DescValid == 0 {
+		return 0, false, err
+	}
+	return d2&DescAddrMask | uint64(va)&(PageSize-1), true, nil
+}

@@ -1,0 +1,224 @@
+// Package timer implements the ARM Generic Timer architecture (§2 "Timer
+// Virtualization"): a system counter, and per CPU a physical timer and a
+// virtual timer. The virtual counter reads as the physical counter minus
+// the CNTVOFF offset programmed from Hyp mode.
+//
+// KVM/ARM keeps the physical timer for the hypervisor and gives VMs the
+// virtual timer, which guests program without trapping. Architectural
+// limitation faithfully modeled: an expiring *virtual* timer still raises a
+// hardware PPI, which traps to the hypervisor while a VM runs; the
+// hypervisor forwards it as a virtual interrupt (§3.6).
+package timer
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/gic"
+)
+
+// CycleShift converts CPU cycles to counter ticks: the Arndale's A15 runs
+// at 1.7 GHz with a 24 MHz system counter; a power-of-two ratio of 64 keeps
+// the arithmetic exact.
+const CycleShift = 6
+
+// CTL register bits (CNTx_CTL).
+const (
+	CTLEnable  uint32 = 1 << 0
+	CTLIMask   uint32 = 1 << 1
+	CTLIStatus uint32 = 1 << 2 // read-only: condition met
+)
+
+type oneTimer struct {
+	ctl  uint32
+	cval uint64 // compare value, in counter ticks
+}
+
+func (t *oneTimer) firing(cnt uint64) bool {
+	return t.ctl&CTLEnable != 0 && cnt >= t.cval
+}
+
+func (t *oneTimer) interrupting(cnt uint64) bool {
+	return t.firing(cnt) && t.ctl&CTLIMask == 0
+}
+
+type cpuTimers struct {
+	phys    oneTimer
+	virt    oneTimer
+	cntvoff uint64
+}
+
+// Generic is the board's generic-timer block.
+type Generic struct {
+	cpus []cpuTimers
+
+	// Raise drives the per-CPU timer PPIs; wired to the GIC by the board.
+	Raise func(cpu, irq int, level bool)
+}
+
+// New creates timers for numCPUs cores.
+func New(numCPUs int) *Generic {
+	return &Generic{cpus: make([]cpuTimers, numCPUs)}
+}
+
+// Count converts a CPU cycle clock to the system counter value.
+func Count(now uint64) uint64 { return now >> CycleShift }
+
+// CyclesUntil converts a future counter value into CPU cycles from now.
+func CyclesUntil(now, cnt uint64) uint64 {
+	cur := Count(now)
+	if cnt <= cur {
+		return 0
+	}
+	return (cnt - cur) << CycleShift
+}
+
+// VirtCount returns the virtual counter of cpu at cycle time now.
+func (g *Generic) VirtCount(cpu int, now uint64) uint64 {
+	return Count(now) - g.cpus[cpu].cntvoff
+}
+
+// SetCNTVOFF programs the virtual offset (Hyp mode only; the CPU enforces
+// the privilege check before this is reached).
+func (g *Generic) SetCNTVOFF(cpu int, off uint64) { g.cpus[cpu].cntvoff = off }
+
+// CNTVOFF reads the virtual offset.
+func (g *Generic) CNTVOFF(cpu int) uint64 { return g.cpus[cpu].cntvoff }
+
+// ReadTimerReg implements arm.TimerBackend.
+func (g *Generic) ReadTimerReg(cpuID int, r arm.SysReg, now uint64) uint32 {
+	t := &g.cpus[cpuID]
+	cnt := Count(now)
+	vcnt := cnt - t.cntvoff
+	switch r {
+	case arm.SysCNTPCTLo:
+		return uint32(cnt)
+	case arm.SysCNTPCTHi:
+		return uint32(cnt >> 32)
+	case arm.SysCNTVCTLo:
+		return uint32(vcnt)
+	case arm.SysCNTVCTHi:
+		return uint32(vcnt >> 32)
+	case arm.SysCNTPCTL:
+		v := t.phys.ctl &^ CTLIStatus
+		if t.phys.firing(cnt) {
+			v |= CTLIStatus
+		}
+		return v
+	case arm.SysCNTVCTL:
+		v := t.virt.ctl &^ CTLIStatus
+		if t.virt.firing(vcnt) {
+			v |= CTLIStatus
+		}
+		return v
+	case arm.SysCNTPTVAL:
+		return uint32(t.phys.cval - cnt)
+	case arm.SysCNTVTVAL:
+		return uint32(t.virt.cval - vcnt)
+	case arm.SysCNTVOFFLo:
+		return uint32(t.cntvoff)
+	case arm.SysCNTVOFFHi:
+		return uint32(t.cntvoff >> 32)
+	}
+	return 0
+}
+
+// WriteTimerReg implements arm.TimerBackend.
+func (g *Generic) WriteTimerReg(cpuID int, r arm.SysReg, v uint32, now uint64) {
+	t := &g.cpus[cpuID]
+	cnt := Count(now)
+	vcnt := cnt - t.cntvoff
+	switch r {
+	case arm.SysCNTPCTL:
+		t.phys.ctl = v &^ CTLIStatus
+	case arm.SysCNTVCTL:
+		t.virt.ctl = v &^ CTLIStatus
+	case arm.SysCNTPTVAL:
+		t.phys.cval = cnt + uint64(int64(int32(v)))
+	case arm.SysCNTVTVAL:
+		t.virt.cval = vcnt + uint64(int64(int32(v)))
+	case arm.SysCNTVOFFLo:
+		t.cntvoff = t.cntvoff&^uint64(0xFFFFFFFF) | uint64(v)
+	case arm.SysCNTVOFFHi:
+		t.cntvoff = t.cntvoff&uint64(0xFFFFFFFF) | uint64(v)<<32
+	}
+	g.Tick(cpuID, now)
+}
+
+// Tick re-evaluates cpu's timer lines at cycle time now; the board calls it
+// every scheduling quantum and after register writes.
+func (g *Generic) Tick(cpu int, now uint64) {
+	if g.Raise == nil {
+		return
+	}
+	t := &g.cpus[cpu]
+	g.Raise(cpu, gic.IRQPhysTimer, t.phys.interrupting(Count(now)))
+	g.Raise(cpu, gic.IRQVirtTimer, t.virt.interrupting(Count(now)-t.cntvoff))
+}
+
+// NextDeadline returns the earliest cycle time at which one of cpu's
+// enabled, unmasked timers will fire, or 0 if none is armed. The board uses
+// it to skip idle time deterministically.
+func (g *Generic) NextDeadline(cpu int, now uint64) uint64 {
+	t := &g.cpus[cpu]
+	var best uint64
+	consider := func(tm *oneTimer, off uint64) {
+		if tm.ctl&CTLEnable == 0 || tm.ctl&CTLIMask != 0 {
+			return
+		}
+		// Fire time in cycle units: when counter reaches cval+off.
+		fire := (tm.cval + off) << CycleShift
+		if fire <= now {
+			fire = now
+		}
+		if best == 0 || fire < best {
+			best = fire
+		}
+	}
+	consider(&t.phys, 0)
+	consider(&t.virt, t.cntvoff)
+	return best
+}
+
+// VirtState captures a vCPU's virtual-timer state for the world switch
+// ("2 Arch. Timer Control Registers" in Table 1, plus CNTVOFF).
+type VirtState struct {
+	CTL     uint32
+	CVAL    uint64
+	CNTVOFF uint64
+}
+
+// SaveVirt reads the virtual timer state of cpu.
+func (g *Generic) SaveVirt(cpu int) VirtState {
+	t := &g.cpus[cpu]
+	return VirtState{CTL: t.virt.ctl, CVAL: t.virt.cval, CNTVOFF: t.cntvoff}
+}
+
+// RestoreVirt writes the virtual timer state of cpu.
+func (g *Generic) RestoreVirt(cpu int, s VirtState, now uint64) {
+	t := &g.cpus[cpu]
+	t.virt.ctl = s.CTL
+	t.virt.cval = s.CVAL
+	t.cntvoff = s.CNTVOFF
+	g.Tick(cpu, now)
+}
+
+// DisableVirt masks the virtual timer (used when descheduling a vCPU: the
+// hypervisor takes over with a software timer, §3.6).
+func (g *Generic) DisableVirt(cpu int, now uint64) {
+	g.cpus[cpu].virt.ctl &^= CTLEnable
+	g.Tick(cpu, now)
+}
+
+// VirtPending reports whether cpu's virtual timer condition is met at now.
+func (g *Generic) VirtPending(cpu int, now uint64) bool {
+	t := &g.cpus[cpu]
+	return t.virt.firing(Count(now) - t.cntvoff)
+}
+
+// VirtDeadlineCycles returns the cycle time when the virtual timer in state
+// s would fire, for programming a host software timer.
+func VirtDeadlineCycles(s VirtState) uint64 {
+	if s.CTL&CTLEnable == 0 || s.CTL&CTLIMask != 0 {
+		return 0
+	}
+	return (s.CVAL + s.CNTVOFF) << CycleShift
+}

@@ -1,0 +1,173 @@
+package timer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/gic"
+)
+
+type lineRec struct {
+	phys, virt map[int]bool
+}
+
+func newTimers(cpus int) (*Generic, *lineRec) {
+	g := New(cpus)
+	rec := &lineRec{phys: map[int]bool{}, virt: map[int]bool{}}
+	g.Raise = func(cpu, irq int, level bool) {
+		switch irq {
+		case gic.IRQPhysTimer:
+			rec.phys[cpu] = level
+		case gic.IRQVirtTimer:
+			rec.virt[cpu] = level
+		}
+	}
+	return g, rec
+}
+
+func TestCounterAdvancesWithCycles(t *testing.T) {
+	g, _ := newTimers(1)
+	c0 := g.ReadTimerReg(0, arm.SysCNTPCTLo, 0)
+	c1 := g.ReadTimerReg(0, arm.SysCNTPCTLo, 1<<20)
+	if c1 <= c0 {
+		t.Fatalf("counter did not advance: %d -> %d", c0, c1)
+	}
+	if got := Count(1 << 20); uint32(got) != c1 {
+		t.Fatalf("Count mismatch")
+	}
+}
+
+func TestVirtualCounterOffset(t *testing.T) {
+	g, _ := newTimers(1)
+	now := uint64(1 << 20)
+	g.SetCNTVOFF(0, 100)
+	p := g.ReadTimerReg(0, arm.SysCNTPCTLo, now)
+	v := g.ReadTimerReg(0, arm.SysCNTVCTLo, now)
+	if p-v != 100 {
+		t.Fatalf("virtual counter must trail physical by CNTVOFF: p=%d v=%d", p, v)
+	}
+}
+
+func TestPhysTimerFires(t *testing.T) {
+	g, rec := newTimers(1)
+	now := uint64(0)
+	g.WriteTimerReg(0, arm.SysCNTPTVAL, 100, now) // fire in 100 ticks
+	g.WriteTimerReg(0, arm.SysCNTPCTL, CTLEnable, now)
+	g.Tick(0, now)
+	if rec.phys[0] {
+		t.Fatal("timer fired early")
+	}
+	later := now + 101<<CycleShift
+	g.Tick(0, later)
+	if !rec.phys[0] {
+		t.Fatal("timer did not fire")
+	}
+	if g.ReadTimerReg(0, arm.SysCNTPCTL, later)&CTLIStatus == 0 {
+		t.Fatal("ISTATUS must read set")
+	}
+	// Masking drops the line without losing state.
+	g.WriteTimerReg(0, arm.SysCNTPCTL, CTLEnable|CTLIMask, later)
+	if rec.phys[0] {
+		t.Fatal("masked timer must not interrupt")
+	}
+}
+
+func TestVirtTimerUsesVirtualTime(t *testing.T) {
+	g, rec := newTimers(1)
+	now := uint64(1000 << CycleShift)
+	g.SetCNTVOFF(0, 500)
+	g.WriteTimerReg(0, arm.SysCNTVTVAL, 50, now)
+	g.WriteTimerReg(0, arm.SysCNTVCTL, CTLEnable, now)
+	g.Tick(0, now+49<<CycleShift)
+	if rec.virt[0] {
+		t.Fatal("early fire")
+	}
+	g.Tick(0, now+51<<CycleShift)
+	if !rec.virt[0] {
+		t.Fatal("virtual timer did not fire at its virtual deadline")
+	}
+}
+
+func TestTVALReadsRemaining(t *testing.T) {
+	g, _ := newTimers(1)
+	g.WriteTimerReg(0, arm.SysCNTPTVAL, 1000, 0)
+	rem := g.ReadTimerReg(0, arm.SysCNTPTVAL, 600<<CycleShift)
+	if rem != 400 {
+		t.Fatalf("TVAL = %d, want 400", rem)
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	g, _ := newTimers(1)
+	if g.NextDeadline(0, 0) != 0 {
+		t.Fatal("no deadline when disarmed")
+	}
+	g.WriteTimerReg(0, arm.SysCNTPTVAL, 100, 0)
+	g.WriteTimerReg(0, arm.SysCNTPCTL, CTLEnable, 0)
+	d := g.NextDeadline(0, 0)
+	if d != 100<<CycleShift {
+		t.Fatalf("deadline = %d, want %d", d, 100<<CycleShift)
+	}
+	// A nearer virtual timer wins.
+	g.WriteTimerReg(0, arm.SysCNTVTVAL, 10, 0)
+	g.WriteTimerReg(0, arm.SysCNTVCTL, CTLEnable, 0)
+	if d := g.NextDeadline(0, 0); d != 10<<CycleShift {
+		t.Fatalf("deadline = %d, want %d", d, 10<<CycleShift)
+	}
+}
+
+func TestSaveRestoreVirtState(t *testing.T) {
+	g, rec := newTimers(2)
+	now := uint64(0)
+	g.SetCNTVOFF(0, 7)
+	g.WriteTimerReg(0, arm.SysCNTVTVAL, 20, now)
+	g.WriteTimerReg(0, arm.SysCNTVCTL, CTLEnable, now)
+	st := g.SaveVirt(0)
+	if st.CTL&CTLEnable == 0 || st.CNTVOFF != 7 {
+		t.Fatalf("saved state %+v", st)
+	}
+	// Deschedule: disable; line must drop even past the deadline.
+	g.DisableVirt(0, now+100<<CycleShift)
+	if rec.virt[0] {
+		t.Fatal("disabled virtual timer still firing")
+	}
+	// Reschedule on the other physical CPU: state migrates.
+	g.RestoreVirt(1, st, now+100<<CycleShift)
+	if !rec.virt[1] {
+		t.Fatal("restored virtual timer must fire (deadline passed)")
+	}
+}
+
+func TestVirtDeadlineCycles(t *testing.T) {
+	s := VirtState{CTL: CTLEnable, CVAL: 100, CNTVOFF: 20}
+	if got := VirtDeadlineCycles(s); got != 120<<CycleShift {
+		t.Fatalf("deadline = %d", got)
+	}
+	s.CTL = 0
+	if VirtDeadlineCycles(s) != 0 {
+		t.Fatal("disabled timer has no deadline")
+	}
+}
+
+func TestPropertyTimerMonotonic(t *testing.T) {
+	// A timer armed for d ticks never interrupts before d and always
+	// interrupts at or after d.
+	f := func(d uint16, extra uint16) bool {
+		g, rec := newTimers(1)
+		dd := uint64(d%10000) + 1
+		g.WriteTimerReg(0, arm.SysCNTPTVAL, uint32(dd), 0)
+		g.WriteTimerReg(0, arm.SysCNTPCTL, CTLEnable, 0)
+		before := (dd - 1) << CycleShift
+		g.Tick(0, before)
+		if rec.phys[0] {
+			return false
+		}
+		after := (dd + uint64(extra%1000)) << CycleShift
+		g.Tick(0, after)
+		return rec.phys[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,428 @@
+package workloads
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/kernel"
+)
+
+// The application workloads of Table 2, expressed as the operation mixes
+// that make each benchmark stress what it stresses on real hardware:
+// apache/mysql mix network I/O, syscalls and (on SMP) cross-core wakeups;
+// memcached is interrupt-heavy but not CPU-bound; kernel compilation is
+// fork/exec/page-fault and compute heavy; untar is block-I/O plus
+// syscalls; curl 1K is network latency, curl 1G network throughput; and
+// hackbench is an extreme scheduler/IPI load.
+
+// AppDescription documents each workload (the content of Table 2).
+type AppDescription struct {
+	Name string
+	Desc string
+}
+
+// Table2 returns the application inventory with the paper's descriptions.
+func Table2() []AppDescription {
+	return []AppDescription{
+		{"apache", "Apache v2.2.22 Web server running ApacheBench v2.3 on the local server, 100 concurrent requests against the GCC manual index"},
+		{"mysql", "MySQL v14.14 (distrib 5.5.27) running the SysBench OLTP benchmark using the default configuration"},
+		{"memcached", "memcached v1.4.14 using the memslap benchmark with a concurrency parameter of 100"},
+		{"kernel compile", "compilation of the Linux 3.6.0 kernel using the vexpress defconfig (GCC 4.7.2 cross toolchain)"},
+		{"untar", "extracting the 3.6.0 Linux kernel image compressed with bz2 using standard tar"},
+		{"curl 1K", "curl v7.27.0 downloading a 1 KB randomly generated file 1,000 times (network latency)"},
+		{"curl 1G", "curl v7.27.0 downloading a 1 GB randomly generated file (network throughput)"},
+		{"hackbench", "hackbench using Unix domain sockets and 100 process groups running with 500 loops"},
+	}
+}
+
+// Apps returns the runnable application workloads in Table 2 order.
+func Apps() []Workload {
+	return []Workload{
+		Apache(), MySQL(), Memcached(), KernelCompile(), Untar(), Curl1K(), Curl1G(), Hackbench(),
+	}
+}
+
+// netRequest performs one network request/response from a worker: submit
+// to the NIC and block for the completion interrupt.
+func netRequest(k *kernel.Kernel, cpu int, c *arm.CPU, bytes uint32, st *int) bool {
+	switch *st {
+	case 0:
+		k.Submit(c, kernel.DrvNet, bytes)
+		*st = 1
+		fallthrough
+	default:
+		if k.WaitDev(cpu, c, kernel.DrvNet) {
+			return false
+		}
+		*st = 0
+		return true
+	}
+}
+
+// blkRequest is the block-device analogue.
+func blkRequest(k *kernel.Kernel, cpu int, c *arm.CPU, bytes uint32, st *int) bool {
+	switch *st {
+	case 0:
+		k.Submit(c, kernel.DrvBlk, bytes)
+		*st = 1
+		fallthrough
+	default:
+		if k.WaitDev(cpu, c, kernel.DrvBlk) {
+			return false
+		}
+		*st = 0
+		return true
+	}
+}
+
+// setupDrivers spawns a transient init process that initializes the device
+// drivers from inside the system (required for VMs), then runs body procs.
+func withDrivers(sys *System, spawnRest func() error) (started *bool, err error) {
+	startedFlag := false
+	_, err = sys.Spawn("init", 0, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+		k.SetupDrivers(c)
+		if err := spawnRest(); err != nil {
+			panic(err)
+		}
+		startedFlag = true
+		return true
+	}))
+	return &startedFlag, err
+}
+
+// clientServer builds a loopback request/response pair: a client process
+// (the benchmark driver: ab, sysbench, memslap) and a server worker,
+// pinned to different CPUs on SMP so every request involves cross-core
+// wakeup IPIs — the traffic pattern behind the paper's Figure 6 findings
+// for Apache and MySQL.
+func clientServer(sys *System, name string, requests int, reqBytes, respBytes uint32,
+	clientWork, serverWork uint64,
+	serverExtra func(k *kernel.Kernel, cpu int, c *arm.CPU, round int) bool,
+) (func() bool, error) {
+	reqQ := sys.K.NewTCPSocket()
+	respQ := sys.K.NewTCPSocket()
+	// Loopback TCP with default window: segments stream 4 KiB at a
+	// time, a reader wakeup per segment.
+	respQ.SetBuf(4096)
+	served := 0
+	cliCPU, srvCPU := pin(sys, 0), pin(sys, 1)
+
+	cState := 0
+	sent := 0
+	var received uint32
+	if _, err := sys.Spawn(name+"-client", cliCPU, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+		switch cState {
+		case 0:
+			if sent >= requests {
+				return true
+			}
+			c.Charge(clientWork)
+			if _, blocked := k.SyscallSocketSend(cliCPU, c, reqQ, reqBytes); blocked {
+				return false
+			}
+			sent++
+			received = 0
+			cState = 1
+			fallthrough
+		default:
+			// Stream the response segment by segment.
+			n, blocked := k.SyscallSocketRecv(cliCPU, c, respQ, respBytes-received)
+			if blocked {
+				return false
+			}
+			received += n
+			if received < respBytes {
+				return false
+			}
+			cState = 0
+			return false
+		}
+	})); err != nil {
+		return nil, err
+	}
+
+	sState := 0
+	var respSent uint32
+	if _, err := sys.Spawn(name+"-server", srvCPU, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+		switch sState {
+		case 0:
+			if served >= requests {
+				return true
+			}
+			if _, blocked := k.SyscallSocketRecv(srvCPU, c, reqQ, reqBytes); blocked {
+				return false
+			}
+			c.Charge(serverWork)
+			k.SyscallGetPID(srvCPU, c)
+			k.SyscallGetPID(srvCPU, c)
+			sState = 1
+			fallthrough
+		case 1:
+			if serverExtra != nil && !serverExtra(k, srvCPU, c, served) {
+				return false
+			}
+			sState = 2
+			fallthrough
+		default:
+			// Stream the response; a full socket buffer blocks until
+			// the client drains a segment.
+			seg := respBytes - respSent
+			if seg > 4096 {
+				seg = 4096
+			}
+			if _, blocked := k.SyscallSocketSend(srvCPU, c, respQ, seg); blocked {
+				return false
+			}
+			respSent += seg
+			if respSent < respBytes {
+				return false
+			}
+			respSent = 0
+			served++
+			sState = 0
+			return false
+		}
+	})); err != nil {
+		return nil, err
+	}
+	return func() bool { return served >= requests }, nil
+}
+
+// Apache: ApacheBench against the local server (Table 2) — loopback TCP,
+// request parsing and response building on the server, response handling
+// on the client, heavy cross-core wakeup traffic on SMP.
+func Apache() Workload {
+	const requests = 30
+	return Workload{Name: "apache", Setup: func(sys *System) (func() bool, error) {
+		return clientServer(sys, "apache", requests, 512, 11_000,
+			60_000,  // ab: connection management, response validation
+			130_000, // httpd: parse, build headers, read cached index
+			nil)
+	}}
+}
+
+// MySQL: SysBench OLTP over the local socket; transactions are heavier
+// than web requests and every fourth commit writes the redo log to disk.
+func MySQL() Workload {
+	const txns = 24
+	return Workload{Name: "mysql", Setup: func(sys *System) (func() bool, error) {
+		blkSt := 0
+		return clientServer(sys, "mysql", txns, 256, 24_000,
+			80_000,  // sysbench driver work
+			400_000, // queries of one OLTP transaction: parse, rows, locks
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, round int) bool {
+				if round%4 != 3 {
+					return true
+				}
+				return blkRequest(k, cpu, c, 16_384, &blkSt)
+			})
+	}}
+}
+
+// Memcached: memslap over the local socket — tiny per-op work, so the
+// run is dominated by wakeups, switches and traps rather than compute
+// ("not CPU bound", §5.2).
+func Memcached() Workload {
+	const ops = 60
+	return Workload{Name: "memcached", Setup: func(sys *System) (func() bool, error) {
+		return clientServer(sys, "memcached", ops, 1200, 1200,
+			25_000, // memslap
+			40_000, // hash lookup + response build
+			nil)
+	}}
+}
+
+// KernelCompile: per compilation unit, fork+exec a compiler, fault in its
+// working set, and burn CPU; occasionally read sources from disk.
+func KernelCompile() Workload {
+	const units = 8
+	return Workload{Name: "kernel compile", Setup: func(sys *System) (func() bool, error) {
+		builtN := 0
+		built := &builtN
+		spawn := func() error {
+			for w := 0; w < sys.SMP; w++ {
+				cpu := w
+				state := 0
+				blkSt := 0
+				if _, err := sys.K.NewProcFrom(0, "make", cpu, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+					switch state {
+					case 0:
+						if *built >= units {
+							return true
+						}
+						// Read the source file.
+						if !blkRequest(k, cpu, c, 32_768, &blkSt) {
+							return false
+						}
+						state = 1
+						return false
+					case 1:
+						k.SyscallFork(cpu, c, "cc1", kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+							k.SyscallExec(cpu, c, "cc1")
+							for i := 0; i < 20; i++ {
+								k.TouchUserPage(c, uint32(0x0060_0000+i*4096))
+							}
+							c.Charge(350_000) // compile
+							return true
+						}))
+						state = 2
+						return false
+					default:
+						if k.SyscallWait(cpu, c) {
+							return false
+						}
+						*built++
+						state = 0
+						return false
+					}
+				})); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		_, err := withDrivers(sys, spawn)
+		return func() bool { return *built >= units }, err
+	}}
+}
+
+// Untar: stream blocks from disk, decompress (compute), write back.
+func Untar() Workload {
+	const files = 20
+	return Workload{Name: "untar", Setup: func(sys *System) (func() bool, error) {
+		doneN := 0
+		done := &doneN
+		spawn := func() error {
+			st, blkSt := 0, 0
+			_, err := sys.K.NewProcFrom(0, "tar", pin(sys, 0), kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+				cpu := pin(sys, 0)
+				switch st {
+				case 0:
+					if *done >= files {
+						return true
+					}
+					if !blkRequest(k, cpu, c, 65_536, &blkSt) {
+						return false
+					}
+					c.Charge(45_000) // bunzip2 of the chunk
+					k.SyscallGetPID(cpu, c)
+					st = 1
+					return false
+				default:
+					if !blkRequest(k, cpu, c, 65_536, &blkSt) {
+						return false
+					}
+					k.SyscallGetPID(cpu, c)
+					*done++
+					st = 0
+					return false
+				}
+			}))
+			return err
+		}
+		_, err := withDrivers(sys, spawn)
+		return func() bool { return *done >= files }, err
+	}}
+}
+
+// Curl1K: 1 KB downloads in a loop — network latency bound; the CPU is
+// mostly idle waiting for the wire.
+func Curl1K() Workload {
+	const requests = 40
+	return Workload{Name: "curl 1K", Setup: func(sys *System) (func() bool, error) {
+		doneN := 0
+		done := &doneN
+		spawn := func() error {
+			st, netSt := 0, 0
+			_, err := sys.K.NewProcFrom(0, "curl1k", pin(sys, 0), kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+				cpu := pin(sys, 0)
+				_ = st
+				if *done >= requests {
+					return true
+				}
+				if !netRequest(k, cpu, c, 1024, &netSt) {
+					return false
+				}
+				c.Charge(2_500)
+				k.SyscallGetPID(cpu, c)
+				*done++
+				return false
+			}))
+			return err
+		}
+		_, err := withDrivers(sys, spawn)
+		return func() bool { return *done >= requests }, err
+	}}
+}
+
+// Curl1G: one large download streamed in 64 KB windows — throughput bound
+// by the NIC; an interrupt and a copy per window.
+func Curl1G() Workload {
+	const windows = 40 // 40 × 64 KB — scaled from 1 GB
+	return Workload{Name: "curl 1G", Setup: func(sys *System) (func() bool, error) {
+		doneN := 0
+		done := &doneN
+		spawn := func() error {
+			netSt := 0
+			_, err := sys.K.NewProcFrom(0, "curl1g", pin(sys, 0), kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+				cpu := pin(sys, 0)
+				if *done >= windows {
+					return true
+				}
+				if !netRequest(k, cpu, c, 65_536, &netSt) {
+					return false
+				}
+				c.Charge(9_000) // copy + checksum of the window
+				*done++
+				return false
+			}))
+			return err
+		}
+		_, err := withDrivers(sys, spawn)
+		return func() bool { return *done >= windows }, err
+	}}
+}
+
+// Hackbench: groups of processes exchanging messages over af_unix sockets
+// — an extreme scheduler and (on SMP) IPI load.
+func Hackbench() Workload {
+	const (
+		groups   = 6
+		messages = 30
+	)
+	return Workload{Name: "hackbench", Setup: func(sys *System) (func() bool, error) {
+		finished := 0
+		for g := 0; g < groups; g++ {
+			sock := sys.K.NewUnixSocket()
+			sCPU := pin(sys, g%2)
+			rCPU := pin(sys, (g+1)%2)
+			sent := 0
+			if _, err := sys.Spawn("hb-send", sCPU, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+				if sent >= messages {
+					return true
+				}
+				c.Charge(600)
+				if _, blocked := k.SyscallSocketSend(sCPU, c, sock, 100); blocked {
+					return false
+				}
+				sent++
+				return false
+			})); err != nil {
+				return nil, err
+			}
+			recvd := 0
+			if _, err := sys.Spawn("hb-recv", rCPU, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+				if _, blocked := k.SyscallSocketRecv(rCPU, c, sock, 100); blocked {
+					return false
+				}
+				recvd++
+				if recvd >= messages {
+					finished++
+					return true
+				}
+				return false
+			})); err != nil {
+				return nil, err
+			}
+		}
+		return func() bool { return finished >= groups }, nil
+	}}
+}

@@ -1,0 +1,324 @@
+package workloads
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/kernel"
+)
+
+// The lmbench v3.0 micro-benchmarks of Figures 3 and 4, scaled to
+// simulation-friendly iteration counts. Each stresses one low-level OS
+// operation; the virtualization overhead of each comes entirely from the
+// trap/MMU/interrupt mechanics of the platform underneath.
+
+// Iteration counts (lmbench runs millions; the shape needs far fewer).
+const (
+	nSyscall   = 300
+	nForks     = 10
+	nExecs     = 10
+	nPipeRound = 150
+	nCtxRound  = 150
+	nProtFault = 120
+	nPageFault = 150
+	nSockRound = 100
+)
+
+// LMBench returns the micro suite in Figure 3/4 order.
+func LMBench() []Workload {
+	return []Workload{
+		LatSyscall(),
+		LatFork(),
+		LatExec(),
+		LatPipe(),
+		LatCtxSw(),
+		LatProtFault(),
+		LatPageFault(),
+		LatUnixSock(),
+		LatTCP(),
+	}
+}
+
+// LatSyscall measures the null system call (getpid).
+func LatSyscall() Workload {
+	return Workload{Name: "syscall", Setup: func(sys *System) (func() bool, error) {
+		n := 0
+		_, err := sys.Spawn("lat_syscall", pin(sys, 0), kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+			k.SyscallGetPID(pin(sys, 0), c)
+			n++
+			return n >= nSyscall
+		}))
+		return func() bool { return n >= nSyscall }, err
+	}}
+}
+
+// LatFork measures process creation: fork a child that exits, then wait.
+// The parent has a populated address space, so every fork copies pages —
+// under virtualization that means fresh Stage-2 faults.
+func LatFork() Workload {
+	return Workload{Name: "fork", SetupTimed: func(sys *System) (func() bool, func() bool, error) {
+		cpu := pin(sys, 0)
+		// forks counts completed fork+wait rounds; the first two are
+		// warmup (fault in the parent's pages and populate the allocator
+		// free lists), matching lmbench's repeat-and-discard discipline.
+		const warmup = 2
+		forks := -warmup
+		state := 0
+		warmed := false
+		_, err := sys.Spawn("lat_fork", cpu, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+			if !warmed {
+				for i := 0; i < 12; i++ {
+					k.TouchUserPage(c, uint32(0x0010_0000+i*4096))
+				}
+				warmed = true
+				return false
+			}
+			switch state {
+			case 0:
+				if forks >= nForks {
+					return true
+				}
+				k.SyscallFork(cpu, c, "child", kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+					return true // exit immediately
+				}))
+				state = 1
+				return false
+			default:
+				if k.SyscallWait(cpu, c) {
+					return false
+				}
+				forks++
+				state = 0
+				return false
+			}
+		}))
+		started := func() bool { return forks >= 0 }
+		return started, func() bool { return forks >= nForks }, err
+	}}
+}
+
+// LatExec measures fork+exec: the child replaces its address space and
+// faults a working set back in.
+func LatExec() Workload {
+	return Workload{Name: "exec", SetupTimed: func(sys *System) (func() bool, func() bool, error) {
+		cpu := pin(sys, 0)
+		const warmup = 2
+		execs := -warmup
+		state := 0
+		_, err := sys.Spawn("lat_exec", cpu, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+			switch state {
+			case 0:
+				if execs >= nExecs {
+					return true
+				}
+				k.SyscallFork(cpu, c, "execchild", kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+					k.SyscallExec(cpu, c, "hello")
+					for i := 0; i < 10; i++ {
+						k.TouchUserPage(c, uint32(0x0010_0000+i*4096))
+					}
+					return true
+				}))
+				state = 1
+				return false
+			default:
+				if k.SyscallWait(cpu, c) {
+					return false
+				}
+				execs++
+				state = 0
+				return false
+			}
+		}))
+		started := func() bool { return execs >= 0 }
+		return started, func() bool { return execs >= nExecs }, err
+	}}
+}
+
+// pingPong builds the two-process message-exchange skeleton used by the
+// pipe, ctxsw and socket benchmarks. On SMP systems the two processes are
+// pinned to separate CPUs, so every wakeup is a cross-core IPI.
+func pingPong(sys *System, name string, rounds int, msg uint32,
+	write func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool),
+	read func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool),
+	writeB func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool),
+	readB func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool),
+) (func() bool, error) {
+	cpuA, cpuB := pin(sys, 0), pin(sys, 1)
+	done := 0
+	stateA, stateB := 0, 0
+	_, err := sys.Spawn(name+".A", cpuA, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+		switch stateA {
+		case 0:
+			if done >= rounds {
+				return true
+			}
+			if _, blocked := write(k, cpuA, c, msg); blocked {
+				return false
+			}
+			stateA = 1
+		case 1:
+			if _, blocked := readB(k, cpuA, c, msg); blocked {
+				return false
+			}
+			done++
+			stateA = 0
+		}
+		return false
+	}))
+	if err != nil {
+		return nil, err
+	}
+	_, err = sys.Spawn(name+".B", cpuB, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+		if done >= rounds {
+			return true
+		}
+		switch stateB {
+		case 0:
+			if _, blocked := read(k, cpuB, c, msg); blocked {
+				return false
+			}
+			stateB = 1
+		case 1:
+			if _, blocked := writeB(k, cpuB, c, msg); blocked {
+				return false
+			}
+			stateB = 0
+		}
+		return false
+	}))
+	return func() bool { return done >= rounds }, err
+}
+
+// LatPipe is lmbench's pipe latency: token exchange through two pipes.
+func LatPipe() Workload {
+	return Workload{Name: "pipe", Setup: func(sys *System) (func() bool, error) {
+		ab := sys.K.NewPipe()
+		ba := sys.K.NewPipe()
+		return pingPong(sys, "pipe", nPipeRound, 64,
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallPipeWrite(cpu, c, ab, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallPipeRead(cpu, c, ab, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallPipeWrite(cpu, c, ba, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallPipeRead(cpu, c, ba, n)
+			},
+		)
+	}}
+}
+
+// LatCtxSw is lmbench's context-switch latency (lat_ctx): minimal-size
+// token exchange, dominated by scheduler and switch costs.
+func LatCtxSw() Workload {
+	return Workload{Name: "ctxsw", Setup: func(sys *System) (func() bool, error) {
+		ab := sys.K.NewPipe()
+		ba := sys.K.NewPipe()
+		return pingPong(sys, "ctx", nCtxRound, 1,
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallPipeWrite(cpu, c, ab, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallPipeRead(cpu, c, ab, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallPipeWrite(cpu, c, ba, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallPipeRead(cpu, c, ba, n)
+			},
+		)
+	}}
+}
+
+// LatProtFault measures write-protection fault (signal) delivery.
+func LatProtFault() Workload {
+	return Workload{Name: "prot fault", Setup: func(sys *System) (func() bool, error) {
+		cpu := pin(sys, 0)
+		n := 0
+		prepared := false
+		_, err := sys.Spawn("lat_prot", cpu, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+			const va = 0x0040_0000
+			if !prepared {
+				k.TouchUserPage(c, va)
+				prepared = true
+				return false
+			}
+			k.ProtectPage(c, p.AS, va)
+			k.TouchUserPage(c, va) // takes the protection fault
+			n++
+			return n >= nProtFault
+		}))
+		return func() bool { return n >= nProtFault }, err
+	}}
+}
+
+// LatPageFault measures page-fault latency the way lmbench does: map and
+// touch the same working set repeatedly (the backing frames are reused, so
+// under virtualization the steady state pays the two-dimensional walk and
+// fault path, not a fresh Stage-2 allocation per fault).
+func LatPageFault() Workload {
+	const pool = 30
+	return Workload{Name: "page fault", Setup: func(sys *System) (func() bool, error) {
+		cpu := pin(sys, 0)
+		n := 0
+		i := 0
+		_, err := sys.Spawn("lat_pf", cpu, kernel.BodyFunc(func(k *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+			k.TouchUserPage(c, uint32(0x0050_0000+i*4096))
+			n++
+			i++
+			if i == pool {
+				// munmap the range; the next pass faults it back in.
+				k.UnmapUserRange(c, p.AS, 0x0050_0000, pool)
+				i = 0
+			}
+			return n >= nPageFault
+		}))
+		return func() bool { return n >= nPageFault }, err
+	}}
+}
+
+// LatUnixSock is af_unix socket latency.
+func LatUnixSock() Workload {
+	return Workload{Name: "af_unix", Setup: func(sys *System) (func() bool, error) {
+		ab := sys.K.NewUnixSocket()
+		ba := sys.K.NewUnixSocket()
+		return pingPong(sys, "unix", nSockRound, 64,
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallSocketSend(cpu, c, ab, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallSocketRecv(cpu, c, ab, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallSocketSend(cpu, c, ba, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallSocketRecv(cpu, c, ba, n)
+			},
+		)
+	}}
+}
+
+// LatTCP is local TCP latency (thicker protocol stack than af_unix).
+func LatTCP() Workload {
+	return Workload{Name: "tcp", Setup: func(sys *System) (func() bool, error) {
+		ab := sys.K.NewTCPSocket()
+		ba := sys.K.NewTCPSocket()
+		return pingPong(sys, "tcp", nSockRound, 64,
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallSocketSend(cpu, c, ab, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallSocketRecv(cpu, c, ab, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallSocketSend(cpu, c, ba, n)
+			},
+			func(k *kernel.Kernel, cpu int, c *arm.CPU, n uint32) (uint32, bool) {
+				return k.SyscallSocketRecv(cpu, c, ba, n)
+			},
+		)
+	}}
+}

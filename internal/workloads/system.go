@@ -1,0 +1,97 @@
+// Package workloads implements the paper's benchmark programs: the lmbench
+// micro-benchmarks of Figures 3–4 and the eight application workloads of
+// Table 2 / Figures 5–7. A workload is a set of process bodies running on
+// a minOS instance; the *same* workload code runs on every platform
+// configuration (ARM native, ARM virtualized with/without VGIC+vtimers,
+// x86 native/virtualized) — only the system underneath changes, exactly
+// like the paper's methodology (§5.1: "we kept the software environments
+// across all hardware platforms the same as much as possible").
+package workloads
+
+import (
+	"fmt"
+
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+// System is a place to run workload processes: a booted kernel (host or
+// guest) on a board, with a way to create processes.
+type System struct {
+	Name  string
+	Board *machine.Board
+	K     *kernel.Kernel
+	// Spawn creates a process (guest systems also kick sleeping vCPUs).
+	Spawn func(name string, cpu int, body kernel.Body) (*kernel.Proc, error)
+	// Virtualized marks VM configurations.
+	Virtualized bool
+	// SMP is the number of (v)CPUs available to the workload.
+	SMP int
+}
+
+// Workload is one benchmark.
+type Workload struct {
+	Name string
+	// Setup spawns the workload's processes on sys and returns a
+	// completion predicate.
+	Setup func(sys *System) (done func() bool, err error)
+	// SetupTimed, if set, is used instead of Setup: it additionally
+	// returns a predicate marking the start of the timed region, so a
+	// workload can warm up (fault in pages, fill allocator free lists)
+	// before measurement, as lmbench does.
+	SetupTimed func(sys *System) (started, done func() bool, err error)
+}
+
+// Result is one measured run.
+type Result struct {
+	System   string
+	Workload string
+	// Cycles is the elapsed board time for the timed region.
+	Cycles uint64
+	// Steps is the number of simulation steps used.
+	Steps uint64
+}
+
+// MaxSteps bounds a single measurement run.
+const MaxSteps = 120_000_000
+
+// Run executes w on sys to completion and returns the elapsed board time
+// of the timed region.
+func Run(sys *System, w Workload) (Result, error) {
+	var started, done func() bool
+	var err error
+	if w.SetupTimed != nil {
+		started, done, err = w.SetupTimed(sys)
+	} else {
+		done, err = w.Setup(sys)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if started != nil {
+		if !sys.Board.Run(MaxSteps, started) {
+			return Result{}, fmt.Errorf("workloads: %s warmup did not complete on %s", w.Name, sys.Name)
+		}
+	}
+	start := sys.Board.Now()
+	startSteps := sys.Board.Steps
+	ok := sys.Board.Run(MaxSteps, done)
+	if !ok {
+		return Result{}, fmt.Errorf("workloads: %s did not complete on %s within %d steps", w.Name, sys.Name, MaxSteps)
+	}
+	return Result{
+		System:   sys.Name,
+		Workload: w.Name,
+		Cycles:   sys.Board.Now() - start,
+		Steps:    sys.Board.Steps - startSteps,
+	}, nil
+}
+
+// pin returns the cpu to pin a benchmark process to: lmbench SMP runs pin
+// each process to a separate CPU (§5.1); UP systems use cpu 0.
+func pin(sys *System, want int) int {
+	if want < sys.SMP {
+		return want
+	}
+	return 0
+}

@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"testing"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+// nativeSystem boots a host minOS for workload unit tests.
+func nativeSystem(t *testing.T, cpus int) *System {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.CPUs = cpus
+	b, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range b.CPUs {
+		c.Secure = false
+		c.SetCPSR(uint32(arm.ModeHYP) | arm.PSRI | arm.PSRF)
+	}
+	k := kernel.New(kernel.Config{
+		Name: "wl-host", NumCPUs: cpus,
+		CPU: func(i int) *arm.CPU { return b.CPUs[i] },
+		HW: kernel.HWConfig{
+			GICDistBase: machine.GICDistBase,
+			GICCPUBase:  machine.GICCPUBase,
+			UARTBase:    machine.UARTBase,
+			NetBase:     machine.VirtNetBase,
+			BlkBase:     machine.VirtBlkBase,
+			ConBase:     machine.VirtConBase,
+			IRQNet:      machine.IRQNet,
+			IRQBlk:      machine.IRQBlk,
+			IRQCon:      machine.IRQCon,
+		},
+		Mem:       b.RAM,
+		DirectGIC: b.GIC,
+		AllocBase: machine.RAMBase + (64 << 20),
+		AllocSize: 128 << 20,
+	})
+	if err := k.BootAll(); err != nil {
+		t.Fatal(err)
+	}
+	return &System{Name: "test-native", Board: b, K: k, Spawn: k.NewProc, SMP: cpus}
+}
+
+func TestEveryLMBenchWorkloadCompletesUP(t *testing.T) {
+	for _, w := range LMBench() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			sys := nativeSystem(t, 1)
+			res, err := Run(sys, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles == 0 {
+				t.Fatal("zero-length measurement")
+			}
+		})
+	}
+}
+
+func TestEveryLMBenchWorkloadCompletesSMP(t *testing.T) {
+	for _, w := range LMBench() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			sys := nativeSystem(t, 2)
+			if _, err := Run(sys, w); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEveryAppWorkloadCompletes(t *testing.T) {
+	for _, w := range Apps() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			sys := nativeSystem(t, 2)
+			res, err := Run(sys, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles == 0 {
+				t.Fatal("zero-length measurement")
+			}
+		})
+	}
+}
+
+func TestTable2CoversAllApps(t *testing.T) {
+	desc := Table2()
+	apps := Apps()
+	if len(desc) != len(apps) {
+		t.Fatalf("Table 2 has %d entries, Apps() has %d", len(desc), len(apps))
+	}
+	for i := range apps {
+		if desc[i].Name != apps[i].Name {
+			t.Errorf("entry %d: %q vs %q", i, desc[i].Name, apps[i].Name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two identical boards measuring the same workload must agree
+	// exactly: the whole simulation is deterministic.
+	w := LatPipe()
+	r1, err := Run(nativeSystem(t, 2), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(nativeSystem(t, 2), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("non-deterministic: %d vs %d cycles", r1.Cycles, r2.Cycles)
+	}
+}
+
+func TestPipeMechanismsDifferByTopology(t *testing.T) {
+	// On one core the ping-pong context switches; across two cores it
+	// sends reschedule IPIs instead (the lmbench pinning of §5.1).
+	up := nativeSystem(t, 1)
+	if _, err := Run(up, LatPipe()); err != nil {
+		t.Fatal(err)
+	}
+	if up.K.Stats.Switches < 100 {
+		t.Errorf("UP pipe: %d switches, want many", up.K.Stats.Switches)
+	}
+	smp := nativeSystem(t, 2)
+	if _, err := Run(smp, LatPipe()); err != nil {
+		t.Fatal(err)
+	}
+	if smp.K.Stats.ReschedIPIs < 100 {
+		t.Errorf("SMP pipe: %d resched IPIs, want many", smp.K.Stats.ReschedIPIs)
+	}
+}
+
+func TestWarmupExcludedFromForkTiming(t *testing.T) {
+	sys := nativeSystem(t, 1)
+	w := LatFork()
+	if w.SetupTimed == nil {
+		t.Fatal("fork must use the two-phase setup")
+	}
+	res, err := Run(sys, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With warmup excluded, the per-fork cost is stable: compare two
+	// separate systems.
+	res2, err := Run(nativeSystem(t, 1), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != res2.Cycles {
+		t.Fatalf("fork timing unstable: %d vs %d", res.Cycles, res2.Cycles)
+	}
+}

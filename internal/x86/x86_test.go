@@ -1,0 +1,40 @@
+package x86
+
+import "testing"
+
+func TestProfileShapes(t *testing.T) {
+	lap, srv := Laptop(), Server()
+
+	// The structural contrasts of §2 that the profiles must encode.
+	if lap.VMExit < 500 {
+		t.Error("a VM exit saves the whole VMCS: hundreds of cycles")
+	}
+	if lap.TrapToKernel > 200 {
+		t.Error("a native trap stays within the same mode: tens of cycles")
+	}
+	if lap.VMExit < 5*lap.TrapToKernel {
+		t.Error("exits must dwarf native traps")
+	}
+	// The server platform measured higher cycle counts across Table 3.
+	if srv.VMExit <= lap.VMExit || srv.HWIPI <= lap.HWIPI || srv.KernelToUser <= lap.KernelToUser {
+		t.Error("server profile must be uniformly costlier than laptop")
+	}
+	// Going to user space is the dominant I/O cost (Table 3 I/O User).
+	if lap.KernelToUser < 2*lap.VMExit {
+		t.Error("kernel→user→kernel must exceed exit costs")
+	}
+	if lap.Name == srv.Name {
+		t.Error("profiles must be distinguishable")
+	}
+}
+
+func TestEOIPathCost(t *testing.T) {
+	// EOI+ACK on x86 ≈ exit + decode + APIC emulation + entry
+	// (Table 3: 2,043 laptop / 2,305 server).
+	for _, p := range []Profile{Laptop(), Server()} {
+		eoi := p.VMExit + p.APICDecode + p.APICEmulate + p.VMEntry
+		if eoi < 1500 || eoi > 3000 {
+			t.Errorf("%s EOI path = %d cycles, want ~2000-2300", p.Name, eoi)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package kvmarm is a reproduction, in simulation, of "KVM/ARM: The Design
+// and Implementation of the Linux ARM Hypervisor" (Dall & Nieh, ASPLOS
+// 2014).
+//
+// The library builds a complete simulated ARMv7 platform with the
+// virtualization extensions — CPU privilege modes including Hyp mode, a
+// two-stage MMU, a GICv2 interrupt controller with the VGIC, and the
+// generic timers — plus minOS, a miniature Linux stand-in that boots both
+// natively and (unmodified) inside VMs, and KVM/ARM itself: the paper's
+// split-mode hypervisor with its Hyp-mode lowvisor and kernel-mode
+// highvisor. An Intel VT-x-style comparator (internal/kvmx86) provides the
+// paper's x86 baseline.
+//
+// # Quick start
+//
+//	sys, err := kvmarm.NewARMNative(2)        // bare-metal minOS
+//	vsys, vm, err := kvmarm.NewARMVirt(2, kvmarm.VirtOptions{VGIC: true, VTimers: true})
+//	res, err := workloads.Run(vsys.System, workloads.Apache())
+//
+// See examples/ for runnable programs and internal/bench for the harness
+// that regenerates every table and figure of the paper's evaluation.
+package kvmarm
+
+import (
+	"fmt"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/core"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/kvmx86"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/workloads"
+	"kvmarm/internal/x86"
+)
+
+// NativeSystem is a bare-metal minOS on a simulated board.
+type NativeSystem struct {
+	System *workloads.System
+	Board  *machine.Board
+	Host   *kernel.Kernel
+}
+
+// VirtOptions selects the ARM virtualization hardware variant (the paper's
+// "ARM" vs "ARM no VGIC/vtimers" configurations).
+type VirtOptions struct {
+	VGIC    bool
+	VTimers bool
+	// LazyVGIC enables the list-register switch optimisation of §3.5;
+	// the paper's "initial unoptimized version" leaves it off.
+	LazyVGIC bool
+	// SummaryReg / DirectVIPI enable the hypothetical hardware of the
+	// paper's §6 recommendations (ablation studies).
+	SummaryReg bool
+	DirectVIPI bool
+	// MemBytes is the guest RAM size (default 96 MiB).
+	MemBytes uint64
+}
+
+// VirtSystem is a VM running minOS under KVM/ARM.
+type VirtSystem struct {
+	System *workloads.System
+	Board  *machine.Board
+	Host   *kernel.Kernel
+	KVM    *core.KVM
+	VM     *core.VM
+	Guest  *core.GuestOS
+}
+
+// hostHW is the board's hardware map as the host kernel sees it.
+func hostHW() kernel.HWConfig {
+	return kernel.HWConfig{
+		GICDistBase: machine.GICDistBase,
+		GICCPUBase:  machine.GICCPUBase,
+		UARTBase:    machine.UARTBase,
+		NetBase:     machine.VirtNetBase,
+		BlkBase:     machine.VirtBlkBase,
+		ConBase:     machine.VirtConBase,
+		IRQNet:      machine.IRQNet,
+		IRQBlk:      machine.IRQBlk,
+		IRQCon:      machine.IRQCon,
+	}
+}
+
+// bootHost builds a board and boots a host minOS on it. The simulated
+// bootloader follows the paper's recommendation: non-secure, kernel
+// entered in Hyp mode.
+func bootHost(cfg machine.Config, name string) (*machine.Board, *kernel.Kernel, error) {
+	b, err := machine.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range b.CPUs {
+		c.Secure = false
+		c.SetCPSR(uint32(arm.ModeHYP) | arm.PSRI | arm.PSRF)
+	}
+	host := kernel.New(kernel.Config{
+		Name:      name,
+		NumCPUs:   cfg.CPUs,
+		CPU:       func(i int) *arm.CPU { return b.CPUs[i] },
+		HW:        hostHW(),
+		Mem:       b.RAM,
+		DirectGIC: b.GIC,
+		AllocBase: machine.RAMBase + (64 << 20),
+		AllocSize: cfg.RAMBytes - (96 << 20),
+	})
+	if err := host.BootAll(); err != nil {
+		return nil, nil, err
+	}
+	return b, host, nil
+}
+
+// NewARMNative boots minOS bare-metal on an Arndale-like board.
+func NewARMNative(cpus int) (*NativeSystem, error) {
+	cfg := machine.DefaultConfig()
+	cfg.CPUs = cpus
+	b, host, err := bootHost(cfg, "arm-native")
+	if err != nil {
+		return nil, err
+	}
+	return &NativeSystem{
+		Board: b,
+		Host:  host,
+		System: &workloads.System{
+			Name:  "arm-native",
+			Board: b,
+			K:     host,
+			Spawn: host.NewProc,
+			SMP:   cpus,
+		},
+	}, nil
+}
+
+// NewARMVirt boots a VM running minOS under KVM/ARM and waits for the
+// guest kernel to come up.
+func NewARMVirt(cpus int, opt VirtOptions) (*VirtSystem, error) {
+	if opt.MemBytes == 0 {
+		opt.MemBytes = 96 << 20
+	}
+	cfg := machine.DefaultConfig()
+	cfg.CPUs = cpus
+	cfg.HasVGIC = opt.VGIC
+	cfg.HasVirtTimer = opt.VTimers
+	cfg.HasSummaryReg = opt.SummaryReg
+	cfg.HasDirectVIPI = opt.DirectVIPI
+	name := "arm-kvm"
+	if !opt.VGIC || !opt.VTimers {
+		name = "arm-kvm-novgic"
+	}
+	b, host, err := bootHost(cfg, name+"-host")
+	if err != nil {
+		return nil, err
+	}
+	kvm, err := core.Init(b, host)
+	if err != nil {
+		return nil, err
+	}
+	kvm.LazyVGIC = opt.LazyVGIC
+	vm, err := kvm.CreateVM(opt.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cpus; i++ {
+		if _, err := vm.CreateVCPU(i); err != nil {
+			return nil, err
+		}
+	}
+	guest, err := core.NewGuestOS(vm, opt.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vm.VCPUs() {
+		if _, err := v.StartThread(i); err != nil {
+			return nil, err
+		}
+	}
+	if !b.Run(200_000_000, guest.Booted) {
+		return nil, fmt.Errorf("kvmarm: guest kernel did not boot: %v", guest.Err())
+	}
+	return &VirtSystem{
+		Board: b, Host: host, KVM: kvm, VM: vm, Guest: guest,
+		System: &workloads.System{
+			Name:        name,
+			Board:       b,
+			K:           guest.K,
+			Spawn:       guest.Spawn,
+			Virtualized: true,
+			SMP:         cpus,
+		},
+	}, nil
+}
+
+// X86System is the VT-x comparator platform (native or virtualized).
+type X86System struct {
+	System *workloads.System
+	Board  *machine.Board
+	Host   *kernel.Kernel
+	HV     *kvmx86.Hypervisor
+	VM     *kvmx86.VM
+	Guest  *kvmx86.GuestOS
+}
+
+func bootX86Host(cpus int, p x86.Profile, name string) (*machine.Board, *kernel.Kernel, error) {
+	b, err := kvmx86.NewBoard(cpus, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range b.CPUs {
+		c.Secure = false
+		c.SetCPSR(uint32(arm.ModeHYP) | arm.PSRI | arm.PSRF)
+	}
+	host := kernel.New(kernel.Config{
+		Name:      name,
+		NumCPUs:   cpus,
+		CPU:       func(i int) *arm.CPU { return b.CPUs[i] },
+		HW:        hostHW(),
+		Mem:       b.RAM,
+		DirectGIC: b.GIC,
+		AllocBase: machine.RAMBase + (64 << 20),
+		AllocSize: (256 << 20) - (96 << 20),
+	})
+	if err := host.BootAll(); err != nil {
+		return nil, nil, err
+	}
+	return b, host, nil
+}
+
+// NewX86Native boots minOS bare-metal with an x86 cost profile.
+func NewX86Native(cpus int, p x86.Profile) (*X86System, error) {
+	b, host, err := bootX86Host(cpus, p, p.Name+"-native")
+	if err != nil {
+		return nil, err
+	}
+	return &X86System{
+		Board: b, Host: host,
+		System: &workloads.System{
+			Name:  p.Name + "-native",
+			Board: b,
+			K:     host,
+			Spawn: host.NewProc,
+			SMP:   cpus,
+		},
+	}, nil
+}
+
+// NewX86Virt boots a VM running minOS under the KVM x86 comparator.
+func NewX86Virt(cpus int, p x86.Profile) (*X86System, error) {
+	const memBytes = 96 << 20
+	b, host, err := bootX86Host(cpus, p, p.Name+"-host")
+	if err != nil {
+		return nil, err
+	}
+	hv, err := kvmx86.Init(b, host, p)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := hv.CreateVM(memBytes)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cpus; i++ {
+		if _, err := vm.CreateVCPU(i); err != nil {
+			return nil, err
+		}
+	}
+	guest, err := kvmx86.NewGuestOS(vm, memBytes)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vm.VCPUs() {
+		if _, err := v.StartThread(i); err != nil {
+			return nil, err
+		}
+	}
+	if !b.Run(300_000_000, guest.Booted) {
+		return nil, fmt.Errorf("kvmarm: x86 guest did not boot: %v", guest.Err())
+	}
+	return &X86System{
+		Board: b, Host: host, HV: hv, VM: vm, Guest: guest,
+		System: &workloads.System{
+			Name:        p.Name + "-kvm",
+			Board:       b,
+			K:           guest.K,
+			Spawn:       guest.Spawn,
+			Virtualized: true,
+			SMP:         cpus,
+		},
+	}, nil
+}
