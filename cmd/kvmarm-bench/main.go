@@ -4,7 +4,7 @@
 // Usage:
 //
 //	kvmarm-bench                 # everything
-//	kvmarm-bench -exp table3     # one experiment: table1..table4, fig3..fig7
+//	kvmarm-bench -exp table3     # one experiment: table1..table4, fig3..fig7, stat
 //	kvmarm-bench -root .         # repo root for Table 4 line counting
 package main
 
@@ -14,10 +14,11 @@ import (
 	"os"
 
 	"kvmarm/internal/bench"
+	"kvmarm/internal/workloads"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, stat")
 	root := flag.String("root", ".", "repository root (for table4 line counts)")
 	flag.Parse()
 
@@ -61,6 +62,18 @@ func main() {
 	if run("table4") {
 		if err := bench.PrintTable4(out, *root); err != nil {
 			fail(err)
+		}
+	}
+	if run("stat") {
+		tr, rows, err := bench.TraceCrossCheck(2, workloads.Apache())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+		snap := tr.Snapshot()
+		snap.WriteStat(out)
+		if !bench.PrintCrossCheck(out, rows) {
+			fail(fmt.Errorf("trace counts disagree with hypervisor counters"))
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"kvmarm"
+	"kvmarm/internal/trace"
+	"kvmarm/internal/workloads"
+)
+
+// CrossCheckRow compares one class of traced events against the
+// hypervisor's independent ad-hoc counter for the same thing.
+type CrossCheckRow struct {
+	Name    string
+	Traced  uint64
+	Counter uint64
+}
+
+// OK reports whether the trace layer and the ad-hoc counter agree.
+func (r CrossCheckRow) OK() bool { return r.Traced == r.Counter }
+
+// TraceCrossCheck boots the paper's "ARM" configuration (VGIC + vtimers)
+// with a tracer attached, runs w on cpus vCPUs, and compares the trace
+// layer's aggregated counts against the hypervisor's own statistics —
+// vm.Stats, the per-vCPU exit counts and the lowvisor's world-switch
+// counters — which are maintained independently of the trace layer. Any
+// disagreement means an emit point is missing, duplicated or
+// misclassified.
+func TraceCrossCheck(cpus int, w workloads.Workload) (*trace.Tracer, []CrossCheckRow, error) {
+	tr := trace.New(trace.DefaultRingSize)
+	vsys, err := kvmarm.NewARMVirt(cpus, kvmarm.VirtOptions{VGIC: true, VTimers: true, Tracer: tr})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := workloads.Run(vsys.System, w); err != nil {
+		return nil, nil, err
+	}
+	return tr, CrossCheckRows(vsys, tr), nil
+}
+
+// CrossCheckRows builds the comparison rows for an already-run traced
+// system.
+func CrossCheckRows(vsys *kvmarm.VirtSystem, tr *trace.Tracer) []CrossCheckRow {
+	st := vsys.VM.Stats
+	lv := vsys.KVM.Lowvisor().Stats
+	var exits uint64
+	for _, v := range vsys.VM.VCPUs() {
+		exits += v.Stats.Exits
+	}
+	snap := tr.Snapshot()
+	return []CrossCheckRow{
+		{"guest exits", snap.TotalExits(), exits},
+		{"hypercalls", tr.Count(trace.ExitHypercall), st.Hypercalls},
+		{"stage-2 faults", tr.Count(trace.ExitStage2Fault), st.Stage2Faults},
+		{"mmio exits", tr.Count(trace.ExitMMIOKernel) + tr.Count(trace.ExitMMIOUser), st.MMIOExits},
+		{"mmio user exits", tr.Count(trace.ExitMMIOUser), st.MMIOUserExits},
+		{"wfi exits", tr.Count(trace.ExitWFI), st.WFIExits},
+		{"irq exits", tr.Count(trace.ExitIRQ), st.IRQExits},
+		{"sysreg traps", tr.Count(trace.ExitSysReg), st.SysRegTraps},
+		{"vtimer injections", tr.Count(trace.EvVTimerInject), st.VTimerInjected},
+		{"world switches in", tr.Count(trace.EvWorldSwitchIn), lv.WorldSwitchIn},
+		{"world switches out", tr.Count(trace.EvWorldSwitchOut), lv.WorldSwitchOut},
+	}
+}
+
+// PrintCrossCheck renders the cross-check table and returns whether every
+// row agreed.
+func PrintCrossCheck(w io.Writer, rows []CrossCheckRow) bool {
+	ok := true
+	fmt.Fprintf(w, "\ntrace cross-check (traced vs hypervisor counters):\n")
+	fmt.Fprintf(w, "%-20s %12s %12s  %s\n", "class", "traced", "counter", "ok")
+	for _, r := range rows {
+		mark := "ok"
+		if !r.OK() {
+			mark = "MISMATCH"
+			ok = false
+		}
+		fmt.Fprintf(w, "%-20s %12d %12d  %s\n", r.Name, r.Traced, r.Counter, mark)
+	}
+	return ok
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"kvmarm/internal/trace"
+	"kvmarm/internal/workloads"
+)
+
+// TestTraceCrossCheckUP runs a syscall-heavy workload on one vCPU and
+// requires the trace layer's aggregated counts to agree exactly with the
+// hypervisor's independent counters.
+func TestTraceCrossCheckUP(t *testing.T) {
+	tr, rows, err := TraceCrossCheck(1, workloads.LatSyscall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OK() {
+			t.Errorf("%s: traced %d != counter %d", r.Name, r.Traced, r.Counter)
+		}
+	}
+	if tr.Count(trace.EvWorldSwitchIn) == 0 {
+		t.Fatal("no world switches traced")
+	}
+	snap := tr.Snapshot()
+	if snap.TotalExits() == 0 {
+		t.Fatal("no guest exits traced")
+	}
+}
+
+// TestTraceCrossCheckSMP does the same on two vCPUs with an IPI- and
+// IRQ-heavy workload, and checks the rendered stat view is well formed.
+func TestTraceCrossCheckSMP(t *testing.T) {
+	tr, rows, err := TraceCrossCheck(2, workloads.LatPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OK() {
+			t.Errorf("%s: traced %d != counter %d", r.Name, r.Traced, r.Counter)
+		}
+	}
+	snap := tr.Snapshot()
+	if len(snap.VCPUs) != 2 {
+		t.Fatalf("expected 2 registered vCPUs, got %d", len(snap.VCPUs))
+	}
+	var sb strings.Builder
+	snap.WriteStat(&sb)
+	out := sb.String()
+	for _, want := range []string{"kvmarm-stat —", "guest exits", "per-vCPU exits", "world-switch in cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stat view missing %q:\n%s", want, out)
+		}
+	}
+}

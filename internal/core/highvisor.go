@@ -8,6 +8,7 @@ import (
 	"kvmarm/internal/machine"
 	"kvmarm/internal/mmu"
 	"kvmarm/internal/timer"
+	"kvmarm/internal/trace"
 )
 
 // Highvisor is the kernel-mode half of KVM/ARM (§3.1): it runs as part of
@@ -28,11 +29,27 @@ func newHighvisor(k *KVM) *Highvisor { return &Highvisor{kvm: k} }
 // state and unwind.
 func (h *Highvisor) handleExit(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint32, insnOK bool) {
 	v.Stats.Exits++
+	// Exit-class tracing: classify the trap into one of the trace.Exit*
+	// kinds (the taxonomy behind the paper's Table 3 rows) and emit one
+	// event per exit, cycle-accounting the in-kernel handling including
+	// the re-entry world switch when the exit resolves in the kernel.
+	exitKind := trace.ExitOther
+	var exitArg uint64
+	if t := h.kvm.Trace; t != nil {
+		start := c.Clock
+		pc := v.Ctx.GP.PC
+		defer func() {
+			t.Emit(trace.Event{Kind: exitKind, VM: v.vm.VMID, VCPU: int16(v.ID),
+				CPU: int16(c.ID), PC: pc, HSR: e.HSR, Arg: exitArg,
+				Cycles: c.Clock - start, Time: c.Clock})
+		}()
+	}
 	switch e.Kind {
 	case arm.ExcIRQ, arm.ExcFIQ:
 		// A physical interrupt while the VM ran: the host kernel takes
 		// it as soon as we unwind (its CPSR unmasks IRQs); the vCPU
 		// thread then re-enters.
+		exitKind = trace.ExitIRQ
 		v.vm.Stats.IRQExits++
 		v.state = vcpuNeedEnter
 		if v.pauseReq {
@@ -41,26 +58,31 @@ func (h *Highvisor) handleExit(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint3
 		h.vtimerOnExit(c, v)
 		return
 	case arm.ExcHVC:
+		exitKind = trace.ExitHypercall
 		h.handleHypercall(c, v, e)
 		return
 	case arm.ExcHypTrap:
 		switch arm.HSREC(e.HSR) {
 		case arm.ECHVC:
+			exitKind = trace.ExitHypercall
 			h.handleHypercall(c, v, e)
 		case arm.ECWFx:
+			exitKind = trace.ExitWFI
 			v.vm.Stats.WFIExits++
 			v.Ctx.GP.PC += 4 // skip the WFI/WFE
 			v.state = vcpuBlockedWFI
 			h.vtimerOnExit(c, v)
 		case arm.ECDataAbort, arm.ECInstrAbort:
-			h.handleAbort(c, v, e, insn, insnOK)
+			exitKind, exitArg = h.handleAbort(c, v, e, insn, insnOK)
 		case arm.ECCP15, arm.ECCP14:
+			exitKind = trace.ExitSysReg
 			v.vm.Stats.SysRegTraps++
 			h.emulateSysReg(c, v, e)
 			v.Ctx.GP.PC += 4
 			h.reenter(c, v)
 		case arm.ECSMC:
 			// VMs may not reach secure firmware; emulate as a NOP.
+			exitKind = trace.ExitSMC
 			v.Ctx.GP.PC += 4
 			h.reenter(c, v)
 		default:
@@ -103,8 +125,12 @@ func (h *Highvisor) handleHypercall(c *arm.CPU, v *VCPU, e *arm.Exception) {
 }
 
 // handleAbort distinguishes Stage-2 RAM faults (resolved with the host
-// kernel's allocator, §3.3) from MMIO aborts (emulated, §3.4).
-func (h *Highvisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint32, insnOK bool) {
+// kernel's allocator, §3.3) from MMIO aborts (emulated, §3.4). It returns
+// the trace classification of the abort — ExitStage2Fault with the
+// faulting IPA, or ExitMMIOUser/ExitMMIOKernel depending on whether the
+// emulation needed a round trip to user space (Table 3 "I/O User" vs
+// "I/O Kernel").
+func (h *Highvisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint32, insnOK bool) (trace.Kind, uint64) {
 	vm := v.vm
 	ipa := e.FaultIPA
 	if vm.inSlot(ipa) {
@@ -114,17 +140,17 @@ func (h *Highvisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint
 		pa, err := h.kvm.Host.Alloc.AllocPages(1)
 		if err != nil {
 			v.state = vcpuShutdown
-			return
+			return trace.ExitStage2Fault, ipa
 		}
 		if err := vm.S2.MapPage(uint32(ipa)&^(mmu.PageSize-1), pa, mmu.MapFlags{W: true}); err != nil {
 			v.state = vcpuShutdown
-			return
+			return trace.ExitStage2Fault, ipa
 		}
 		// get_user_pages + rmap + memslot bookkeeping, then the page
 		// itself.
 		c.Charge(h.kvm.Host.Cost.FaultWork + h.kvm.Host.Cost.PageZero)
 		h.reenter(c, v)
-		return
+		return trace.ExitStage2Fault, ipa
 	}
 
 	// MMIO: describe the access from the syndrome, or decode the
@@ -135,21 +161,27 @@ func (h *Highvisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint
 		if !insnOK {
 			// Cannot describe the access: treat as a guest bug.
 			v.state = vcpuShutdown
-			return
+			return trace.ExitOther, ipa
 		}
 		in := isa.Decode(insn)
 		isMem, isStore, _, sz := in.IsMemAccess()
 		if !isMem {
 			v.state = vcpuShutdown
-			return
+			return trace.ExitOther, ipa
 		}
 		vm.Stats.MMIODecoded++
 		write, size, rt = isStore, sz, in.Rd
 		c.Charge(200) // decode work
 	}
+	userBefore := vm.Stats.MMIOUserExits
 	h.emulateMMIO(c, v, ipa, write, size, rt)
+	kind := trace.ExitMMIOKernel
+	if vm.Stats.MMIOUserExits != userBefore {
+		kind = trace.ExitMMIOUser
+	}
 	v.Ctx.GP.PC += 4
 	h.reenter(c, v)
+	return kind, ipa
 }
 
 // emulateMMIO routes an MMIO access: the virtual distributor and other
@@ -377,6 +409,10 @@ func (h *Highvisor) cancelSoftTimer(c *arm.CPU, v *VCPU) {
 // the virtual distributor, waking it if blocked.
 func (h *Highvisor) injectVTimer(fromHostCPU int, v *VCPU) {
 	v.vm.Stats.VTimerInjected++
+	if t := h.kvm.Trace; t != nil {
+		t.Emit(trace.Event{Kind: trace.EvVTimerInject, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(fromHostCPU), Arg: gic.IRQVirtTimer})
+	}
 	v.vm.VDist.InjectPPI(v, gic.IRQVirtTimer)
 	v.Wake(fromHostCPU)
 }

@@ -9,6 +9,7 @@ import (
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/mmu"
+	"kvmarm/internal/trace"
 )
 
 // PSCI function IDs (guest power management hypercalls).
@@ -41,6 +42,33 @@ type KVM struct {
 	UserTransitionCycles uint64
 	// QEMUWorkCycles is the user-space device emulation work per exit.
 	QEMUWorkCycles uint64
+
+	// Trace is the unified exit/trap event sink (internal/trace). Nil by
+	// default: every emit site pays a single nil-check branch when
+	// tracing is off. Attach with AttachTracer.
+	Trace *trace.Tracer
+}
+
+// AttachTracer wires t into every layer of the hypervisor: the lowvisor's
+// world switch and trap dispatch, the highvisor's exit handling, the GIC's
+// VGIC traffic, the generic timers, and each physical CPU's TLB. Existing
+// VMs and vCPUs are registered for per-VM/per-vCPU counters; attach before
+// creating VMs to capture boot-time exits too. Passing nil detaches.
+func (k *KVM) AttachTracer(t *trace.Tracer) {
+	k.Trace = t
+	k.Board.GIC.Trace = t
+	if k.Board.Timers != nil {
+		k.Board.Timers.Trace = t
+	}
+	for _, c := range k.Board.CPUs {
+		c.MMU.Trace = t
+	}
+	for _, vm := range k.vms {
+		t.RegisterVM(vm.VMID)
+		for _, v := range vm.vcpus {
+			t.RegisterVCPU(vm.VMID, v.ID)
+		}
+	}
 }
 
 // Init brings KVM up on a booted host kernel, per the paper's boot
@@ -163,6 +191,7 @@ func (k *KVM) CreateVM(memBytes uint64) (*VM, error) {
 	vm := &VM{kvm: k, VMID: k.nextVMID, S2: s2}
 	vm.slots = []MemSlot{{IPABase: machine.RAMBase, Size: memBytes}}
 	vm.VDist = newVDist(vm)
+	k.Trace.RegisterVM(vm.VMID)
 
 	if k.Board.Cfg.HasVGIC {
 		// Map the VGIC virtual CPU interface at the IPA where guests
@@ -364,6 +393,7 @@ func (vm *VM) CreateVCPU(id int) (*VCPU, error) {
 	v.Ctx.VMPIDR = 0x8000_0000 | uint32(id)
 	vm.vcpus = append(vm.vcpus, v)
 	vm.VDist.addVCPU()
+	vm.kvm.Trace.RegisterVCPU(vm.VMID, id)
 	return v, nil
 }
 

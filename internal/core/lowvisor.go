@@ -6,6 +6,7 @@ import (
 	"kvmarm/internal/arm"
 	"kvmarm/internal/gic"
 	"kvmarm/internal/mmu"
+	"kvmarm/internal/trace"
 )
 
 // HVC immediates for host→lowvisor calls (the "kvm_call_hyp" interface).
@@ -133,6 +134,7 @@ func (lv *Lowvisor) dispatch(c *arm.CPU, e *arm.Exception) {
 	// Lazy VFP switch: handled entirely in the lowvisor, no world switch
 	// (world-switch step 6 configured HCPTR to trap FP).
 	if e.Kind == arm.ExcHypTrap && arm.HSREC(e.HSR) == arm.ECVFP {
+		start := c.Clock
 		lv.Stats.VFPLazySwitches++
 		lv.host[c.ID].VFP = c.VFP.Snapshot()
 		c.VFP.Restore(v.Ctx.VFP)
@@ -140,6 +142,10 @@ func (lv *Lowvisor) dispatch(c *arm.CPU, e *arm.Exception) {
 		v.Ctx.Dirty = true
 		c.CP15.Regs[arm.SysHCPTR] = 0
 		c.Charge(uint64(arm.NumVFPDataRegs)*2*c.Cost.VFPRegMove + arm.NumVFPCtrlRegs*2*c.Cost.SysRegMove)
+		if t := lv.kvm.Trace; t != nil {
+			t.Emit(trace.Event{Kind: trace.ExitVFP, VM: v.vm.VMID, VCPU: int16(v.ID),
+				CPU: int16(c.ID), HSR: e.HSR, Cycles: c.Clock - start, Time: c.Clock})
+		}
 		c.ERET()
 		return
 	}
@@ -182,6 +188,7 @@ func (lv *Lowvisor) worldSwitchIn(c *arm.CPU, v *VCPU) {
 	k := lv.kvm
 	hc := &lv.host[c.ID]
 	lv.Stats.WorldSwitchIn++
+	wsStart := c.Clock
 
 	// (1) Store all host GP registers on the Hyp stack.
 	hc.GP = c.SaveGP()
@@ -261,6 +268,11 @@ func (lv *Lowvisor) worldSwitchIn(c *arm.CPU, v *VCPU) {
 	if !k.Board.Cfg.HasVGIC {
 		c.VIRQLine = v.vm.VDist.hasPendingFor(v)
 	}
+
+	if t := k.Trace; t != nil {
+		t.Emit(trace.Event{Kind: trace.EvWorldSwitchIn, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(c.ID), PC: v.Ctx.GP.PC, Cycles: c.Clock - wsStart, Time: c.Clock})
+	}
 }
 
 func vgicStateLive(s *gic.VGICCpu) bool {
@@ -278,6 +290,7 @@ func (lv *Lowvisor) worldSwitchOut(c *arm.CPU, v *VCPU) {
 	k := lv.kvm
 	hc := &lv.host[c.ID]
 	lv.Stats.WorldSwitchOut++
+	wsStart := c.Clock
 
 	// (1) Store all VM GP registers.
 	gp := c.SaveGP()
@@ -351,4 +364,9 @@ func (lv *Lowvisor) worldSwitchOut(c *arm.CPU, v *VCPU) {
 	c.VIRQLine = false
 	c.SetCPSR(hc.CPSR)
 	c.Charge(c.Cost.ERET)
+
+	if t := k.Trace; t != nil {
+		t.Emit(trace.Event{Kind: trace.EvWorldSwitchOut, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(c.ID), PC: v.Ctx.GP.PC, Cycles: c.Clock - wsStart, Time: c.Clock})
+	}
 }

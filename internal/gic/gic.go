@@ -19,7 +19,11 @@
 // software (internal/core's virtual distributor).
 package gic
 
-import "fmt"
+import (
+	"fmt"
+
+	"kvmarm/internal/trace"
+)
 
 // Interrupt ID layout (GICv2).
 const (
@@ -132,6 +136,10 @@ type GIC struct {
 	SetIRQLine func(cpu int, level bool)
 	// SetVIRQLine drives each CPU's virtual IRQ input (from the VGIC).
 	SetVIRQLine func(cpu int, level bool)
+
+	// Trace, when non-nil, receives VGIC events (maintenance interrupts,
+	// list-register traffic, state save/restore).
+	Trace *trace.Tracer
 
 	Stats Stats
 }

@@ -1,6 +1,10 @@
 package gic
 
-import "fmt"
+import (
+	"fmt"
+
+	"kvmarm/internal/trace"
+)
 
 // This file implements the VGIC: the per-CPU hypervisor control interface
 // (list registers, GICH_*) programmed by the hypervisor, and the virtual
@@ -38,6 +42,9 @@ func (g *GIC) WriteLR(cpu, idx int, lr ListReg) error {
 	}
 	g.Stats.MMIOAccesses++
 	g.Stats.LRWrites++
+	if g.Trace != nil {
+		g.Trace.Emit(trace.Event{Kind: trace.EvLRWrite, VCPU: -1, CPU: int16(cpu), Arg: uint64(lr.VirtID)})
+	}
 	g.cpus[cpu].vgic.LR[idx] = lr
 	g.update()
 	return nil
@@ -55,6 +62,9 @@ func (g *GIC) ReadLR(cpu, idx int) (ListReg, error) {
 	}
 	g.Stats.MMIOAccesses++
 	g.Stats.LRReads++
+	if g.Trace != nil {
+		g.Trace.Emit(trace.Event{Kind: trace.EvLRRead, VCPU: -1, CPU: int16(cpu)})
+	}
 	return g.cpus[cpu].vgic.LR[idx], nil
 }
 
@@ -138,6 +148,9 @@ func (g *GIC) VEOI(cpu, virtID int) {
 // raiseMaintenance asserts the maintenance PPI, which traps to the
 // hypervisor like any physical interrupt while a VM runs.
 func (g *GIC) raiseMaintenance(cpu int) {
+	if g.Trace != nil {
+		g.Trace.Emit(trace.Event{Kind: trace.EvVGICMaint, VCPU: -1, CPU: int16(cpu)})
+	}
 	s := &g.cpus[cpu].priv[IRQMaintenance]
 	s.pending = true
 	s.enabled = true
@@ -169,7 +182,7 @@ func (g *GIC) SaveVGIC(cpu int) (VGICCpu, uint64) {
 		// HCR/VMCR round-trip.
 		accesses += 2
 		g.Stats.MMIOAccesses += accesses
-		return v, accesses * CPUIfaceAccessCycles
+		return v, g.traceVGICState(trace.EvVGICSave, cpu, accesses)
 	}
 	accesses := uint64(NumVGICCtrlRegs)
 	for i := 0; i < NumListRegs; i++ {
@@ -177,7 +190,17 @@ func (g *GIC) SaveVGIC(cpu int) (VGICCpu, uint64) {
 		accesses++
 	}
 	g.Stats.MMIOAccesses += accesses
-	return v, accesses * CPUIfaceAccessCycles
+	return v, g.traceVGICState(trace.EvVGICSave, cpu, accesses)
+}
+
+// traceVGICState converts an MMIO access count into its cycle cost,
+// emitting a trace event carrying both when tracing is on.
+func (g *GIC) traceVGICState(kind trace.Kind, cpu int, accesses uint64) uint64 {
+	cost := accesses * CPUIfaceAccessCycles
+	if g.Trace != nil {
+		g.Trace.Emit(trace.Event{Kind: kind, VCPU: -1, CPU: int16(cpu), Arg: accesses, Cycles: cost})
+	}
+	return cost
 }
 
 // RestoreVGIC writes a previously saved per-CPU VGIC state back, with the
@@ -194,7 +217,7 @@ func (g *GIC) RestoreVGIC(cpu int, st VGICCpu) uint64 {
 		}
 		g.Stats.MMIOAccesses += accesses
 		g.update()
-		return accesses * CPUIfaceAccessCycles
+		return g.traceVGICState(trace.EvVGICRestore, cpu, accesses)
 	}
 	accesses := uint64(NumVGICCtrlRegs)
 	for i := 0; i < NumListRegs; i++ {
@@ -203,7 +226,7 @@ func (g *GIC) RestoreVGIC(cpu int, st VGICCpu) uint64 {
 	}
 	g.Stats.MMIOAccesses += accesses
 	g.update()
-	return accesses * CPUIfaceAccessCycles
+	return g.traceVGICState(trace.EvVGICRestore, cpu, accesses)
 }
 
 // PendingLRCount reports how many list registers are in use on cpu; the

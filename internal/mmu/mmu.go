@@ -22,7 +22,11 @@
 // memory-overhead bars in Figures 3–6.
 package mmu
 
-import "fmt"
+import (
+	"fmt"
+
+	"kvmarm/internal/trace"
+)
 
 // AccessType distinguishes instruction fetches from data accesses.
 type AccessType int
@@ -162,16 +166,22 @@ type MMU struct {
 	WalkReadCycles uint64
 	// TLBCapacity bounds the unified TLB (entries); 0 means default.
 	TLBCapacity int
+	// Trace, when non-nil, receives TLB maintenance events (flushes).
+	Trace *trace.Tracer
 
 	tlb   map[tlbKey]tlbEntry
 	order []tlbKey // FIFO eviction order
 	stats TLBStats
 }
 
-// TLBStats counts translation outcomes.
+// TLBStats counts translation outcomes. Invariant: every Translate call
+// increments exactly one of Hits or Misses, so Hits+Misses equals the
+// total number of translations — including ones that end in a permission
+// fault (counted separately in PermFaults).
 type TLBStats struct {
 	Hits       uint64
 	Misses     uint64
+	PermFaults uint64
 	Flushes    uint64
 	WalkReads  uint64
 	Stage2Only uint64
@@ -207,9 +217,14 @@ func (m *MMU) FlushAll() {
 	m.tlb = make(map[tlbKey]tlbEntry)
 	m.order = m.order[:0]
 	m.stats.Flushes++
+	if m.Trace != nil {
+		m.Trace.Emit(trace.Event{Kind: trace.EvTLBFlush, VCPU: -1, CPU: -1, Arg: trace.FlushScopeAll})
+	}
 }
 
-// FlushASID invalidates entries tagged with asid (TLBIASID).
+// FlushASID invalidates entries tagged with asid (TLBIASID). Every bulk
+// delete from tlb must be followed by compactOrder to keep the FIFO order
+// slice consistent with the map.
 func (m *MMU) FlushASID(asid uint8) {
 	for k := range m.tlb {
 		if k.s1 && k.asid == asid {
@@ -218,6 +233,9 @@ func (m *MMU) FlushASID(asid uint8) {
 	}
 	m.compactOrder()
 	m.stats.Flushes++
+	if m.Trace != nil {
+		m.Trace.Emit(trace.Event{Kind: trace.EvTLBFlush, VCPU: -1, CPU: -1, Arg: trace.FlushScopeASID})
+	}
 }
 
 // FlushVMID invalidates entries tagged with vmid (performed by the
@@ -230,6 +248,9 @@ func (m *MMU) FlushVMID(vmid uint8) {
 	}
 	m.compactOrder()
 	m.stats.Flushes++
+	if m.Trace != nil {
+		m.Trace.Emit(trace.Event{Kind: trace.EvTLBFlush, VM: vmid, VCPU: -1, CPU: -1, Arg: trace.FlushScopeVMID})
+	}
 }
 
 func (m *MMU) compactOrder() {
@@ -243,6 +264,14 @@ func (m *MMU) compactOrder() {
 }
 
 func (m *MMU) insert(k tlbKey, e tlbEntry) {
+	if _, exists := m.tlb[k]; exists {
+		// Re-insert of a resident key (e.g. a walk refilling a page whose
+		// permissions changed) replaces in place: evicting a FIFO victim
+		// here would wrongly drop an unrelated live entry and desynchronize
+		// order from tlb.
+		m.tlb[k] = e
+		return
+	}
 	capacity := m.TLBCapacity
 	if capacity <= 0 {
 		capacity = 512
@@ -253,9 +282,7 @@ func (m *MMU) insert(k tlbKey, e tlbEntry) {
 		m.order = m.order[1:]
 		delete(m.tlb, victim)
 	}
-	if _, exists := m.tlb[k]; !exists {
-		m.order = append(m.order, k)
-	}
+	m.order = append(m.order, k)
 	m.tlb[k] = e
 }
 
@@ -263,6 +290,14 @@ func (m *MMU) insert(k tlbKey, e tlbEntry) {
 // fault. MMIO addresses translate like any other PA; whether the PA is RAM
 // or a device is the bus's business.
 func (m *MMU) Translate(ctx *Context, va uint32, at AccessType) (Result, *Fault) {
+	r, f := m.translate(ctx, va, at)
+	if f != nil && f.Kind == FaultPermission {
+		m.stats.PermFaults++
+	}
+	return r, f
+}
+
+func (m *MMU) translate(ctx *Context, va uint32, at AccessType) (Result, *Fault) {
 	key := tlbKey{page: va >> PageShift, asid: ctx.ASID, vmid: 0, s1: ctx.S1Enabled}
 	if ctx.S2Enabled {
 		key.vmid = ctx.VMID
@@ -271,10 +306,12 @@ func (m *MMU) Translate(ctx *Context, va uint32, at AccessType) (Result, *Fault)
 		key.asid = 0
 	}
 	if e, ok := m.tlb[key]; ok {
+		// A TLB hit that faults on permissions is still a hit: counting it
+		// first keeps Hits+Misses equal to the number of translations.
+		m.stats.Hits++
 		if f := checkPerms(e, ctx, va, at); f != nil {
 			return Result{}, f
 		}
-		m.stats.Hits++
 		return Result{PA: e.paPage<<PageShift | uint64(va)&(PageSize-1), TLBHit: true}, nil
 	}
 	m.stats.Misses++

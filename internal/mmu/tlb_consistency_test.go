@@ -1,0 +1,201 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkTLBInvariant asserts the structural invariants tying the tlb map to
+// the FIFO order slice: same length, no duplicate keys in order, and every
+// ordered key resident in the map. Every mutation of the TLB must preserve
+// these or eviction picks wrong victims.
+func checkTLBInvariant(t *testing.T, m *MMU) {
+	t.Helper()
+	if len(m.order) != len(m.tlb) {
+		t.Fatalf("invariant violated: len(order)=%d len(tlb)=%d", len(m.order), len(m.tlb))
+	}
+	seen := make(map[tlbKey]bool, len(m.order))
+	for _, k := range m.order {
+		if seen[k] {
+			t.Fatalf("invariant violated: key %+v appears twice in order", k)
+		}
+		seen[k] = true
+		if _, ok := m.tlb[k]; !ok {
+			t.Fatalf("invariant violated: ordered key %+v not in tlb", k)
+		}
+	}
+}
+
+// TestReinsertAtCapacityDoesNotEvict is the regression test for the FIFO
+// eviction bug: inserting a key that is already resident while the TLB is
+// full must replace in place, not evict an unrelated live entry (and must
+// not append a duplicate order slot).
+func TestReinsertAtCapacityDoesNotEvict(t *testing.T) {
+	_, _, m := setup(t)
+	m.TLBCapacity = 4
+	keys := make([]tlbKey, 4)
+	for i := range keys {
+		keys[i] = tlbKey{page: uint32(i), asid: 1, s1: true}
+		m.insert(keys[i], tlbEntry{paPage: uint64(i)})
+	}
+	checkTLBInvariant(t, m)
+
+	// Re-insert the newest key (e.g. a walk refilling the same page after
+	// a permissions change) with the TLB at capacity.
+	m.insert(keys[3], tlbEntry{paPage: 99})
+	checkTLBInvariant(t, m)
+
+	if len(m.tlb) != 4 {
+		t.Fatalf("TLB shrank to %d entries after re-insert", len(m.tlb))
+	}
+	for i, k := range keys {
+		if _, ok := m.tlb[k]; !ok {
+			t.Fatalf("re-insert evicted live entry %d", i)
+		}
+	}
+	if m.tlb[keys[3]].paPage != 99 {
+		t.Fatal("re-insert did not update the entry")
+	}
+}
+
+// TestTLBHitPermFaultCountsAsHit is the regression test for the stats bug:
+// a TLB hit that faults on permissions must count as a hit (and as a
+// permission fault), so Hits+Misses always equals the translation count.
+func TestTLBHitPermFaultCountsAsHit(t *testing.T) {
+	ram, p, m := setup(t)
+	b, _ := NewBuilder(TableKernel, ram, p)
+	_ = b.MapPage(0x1000, ramBase+0x5000, MapFlags{W: false})
+	ctx := &Context{S1Enabled: true, TTBR0: b.Root}
+
+	if _, f := m.Translate(ctx, 0x1000, Load); f != nil { // miss + fill
+		t.Fatal(f)
+	}
+	if _, f := m.Translate(ctx, 0x1000, Store); f == nil || f.Kind != FaultPermission {
+		t.Fatalf("store to read-only page: fault=%v, want permission", f)
+	}
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = {Hits:%d Misses:%d}, want {1 1}: the faulting hit vanished", st.Hits, st.Misses)
+	}
+	if st.PermFaults != 1 {
+		t.Fatalf("PermFaults = %d, want 1", st.PermFaults)
+	}
+	if st.Hits+st.Misses != 2 {
+		t.Fatalf("Hits+Misses = %d, want 2 translations", st.Hits+st.Misses)
+	}
+}
+
+// TestStatsSumUnderMixedFaults drives translations across hit/miss/fault
+// combinations and asserts the Hits+Misses == translations invariant.
+func TestStatsSumUnderMixedFaults(t *testing.T) {
+	ram, p, m := setup(t)
+	b, _ := NewBuilder(TableKernel, ram, p)
+	_ = b.MapPage(0x1000, ramBase+0x5000, MapFlags{W: false, U: false, XN: true})
+	_ = b.MapPage(0x2000, ramBase+0x6000, MapFlags{W: true, U: true})
+	ctx := &Context{S1Enabled: true, TTBR0: b.Root}
+	uctx := *ctx
+	uctx.User = true
+
+	total := uint64(0)
+	tr := func(c *Context, va uint32, at AccessType) {
+		m.Translate(c, va, at)
+		total++
+	}
+	tr(ctx, 0x1000, Load)      // miss, ok
+	tr(ctx, 0x1000, Store)     // hit, perm fault
+	tr(ctx, 0x1000, Fetch)     // hit, perm fault (XN)
+	tr(&uctx, 0x1000, Load)    // hit, perm fault (user)
+	tr(ctx, 0x2000, Store)     // miss, ok
+	tr(ctx, 0x2000, Load)      // hit, ok
+	tr(ctx, 0xDEAD_0000, Load) // miss, translation fault
+	tr(ctx, 0x1000, Load)      // hit, ok
+
+	st := m.Stats()
+	if st.Hits+st.Misses != total {
+		t.Fatalf("Hits(%d)+Misses(%d) = %d, want %d translations",
+			st.Hits, st.Misses, st.Hits+st.Misses, total)
+	}
+	if st.PermFaults != 3 {
+		t.Fatalf("PermFaults = %d, want 3", st.PermFaults)
+	}
+}
+
+// TestFlushInsertFuzz runs a deterministic randomized sequence of inserts
+// and flushes, checking the tlb/order structural invariant after every
+// mutation, and the Hits+Misses==translations invariant when driving real
+// translations.
+func TestFlushInsertFuzz(t *testing.T) {
+	_, _, m := setup(t)
+	m.TLBCapacity = 32
+	rng := rand.New(rand.NewSource(42))
+
+	randKey := func() tlbKey {
+		return tlbKey{
+			page: uint32(rng.Intn(64)),
+			asid: uint8(rng.Intn(4)),
+			vmid: uint8(rng.Intn(4)),
+			s1:   rng.Intn(2) == 0,
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			m.FlushAll()
+		case 1:
+			m.FlushASID(uint8(rng.Intn(4)))
+		case 2:
+			m.FlushVMID(uint8(rng.Intn(4)))
+		default:
+			m.insert(randKey(), tlbEntry{paPage: uint64(rng.Intn(1 << 20))})
+		}
+		checkTLBInvariant(t, m)
+		if len(m.tlb) > 32 {
+			t.Fatalf("op %d: TLB grew past capacity: %d", i, len(m.tlb))
+		}
+	}
+}
+
+// TestTranslateFuzzStatsInvariant drives end-to-end translations (mapped,
+// unmapped, and permission-faulting pages, with interleaved flushes) and
+// asserts the stats invariant continuously.
+func TestTranslateFuzzStatsInvariant(t *testing.T) {
+	ram, p, m := setup(t)
+	m.TLBCapacity = 8
+	b, _ := NewBuilder(TableKernel, ram, p)
+	// 16 pages: even pages writable, odd pages read-only+XN; pages >= 16
+	// unmapped.
+	for i := uint32(0); i < 16; i++ {
+		flags := MapFlags{W: i%2 == 0, U: i%4 == 0}
+		flags.XN = i%2 == 1
+		_ = b.MapPage(i*PageSize, ramBase+uint64(i)*PageSize, flags)
+	}
+	ctx := &Context{S1Enabled: true, TTBR0: b.Root}
+	uctx := *ctx
+	uctx.User = true
+	ats := []AccessType{Load, Store, Fetch}
+
+	rng := rand.New(rand.NewSource(7))
+	var total uint64
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(50) == 0 {
+			m.FlushAll()
+			checkTLBInvariant(t, m)
+		}
+		c := ctx
+		if rng.Intn(3) == 0 {
+			c = &uctx
+		}
+		va := uint32(rng.Intn(24)) * PageSize // 1/3 unmapped
+		m.Translate(c, va, ats[rng.Intn(len(ats))])
+		total++
+		checkTLBInvariant(t, m)
+		st := m.Stats()
+		if st.Hits+st.Misses != total {
+			t.Fatalf("op %d: Hits(%d)+Misses(%d) != %d translations",
+				i, st.Hits, st.Misses, total)
+		}
+	}
+	if st := m.Stats(); st.PermFaults == 0 {
+		t.Fatal("fuzz never produced a permission fault; widen the input space")
+	}
+}

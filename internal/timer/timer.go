@@ -13,6 +13,7 @@ package timer
 import (
 	"kvmarm/internal/arm"
 	"kvmarm/internal/gic"
+	"kvmarm/internal/trace"
 )
 
 // CycleShift converts CPU cycles to counter ticks: the Arndale's A15 runs
@@ -52,11 +53,20 @@ type Generic struct {
 
 	// Raise drives the per-CPU timer PPIs; wired to the GIC by the board.
 	Raise func(cpu, irq int, level bool)
+
+	// Trace, when non-nil, receives a vtimer_fire event on each rising
+	// edge of a virtual-timer interrupt line — the hardware PPI that
+	// forces a guest exit so the hypervisor can inject the virtual
+	// interrupt (§3.6).
+	Trace *trace.Tracer
+	// lastVirt tracks the previous virtual-timer line level per CPU for
+	// edge detection.
+	lastVirt []bool
 }
 
 // New creates timers for numCPUs cores.
 func New(numCPUs int) *Generic {
-	return &Generic{cpus: make([]cpuTimers, numCPUs)}
+	return &Generic{cpus: make([]cpuTimers, numCPUs), lastVirt: make([]bool, numCPUs)}
 }
 
 // Count converts a CPU cycle clock to the system counter value.
@@ -151,7 +161,12 @@ func (g *Generic) Tick(cpu int, now uint64) {
 	}
 	t := &g.cpus[cpu]
 	g.Raise(cpu, gic.IRQPhysTimer, t.phys.interrupting(Count(now)))
-	g.Raise(cpu, gic.IRQVirtTimer, t.virt.interrupting(Count(now)-t.cntvoff))
+	virtLine := t.virt.interrupting(Count(now) - t.cntvoff)
+	if g.Trace != nil && virtLine && !g.lastVirt[cpu] {
+		g.Trace.Emit(trace.Event{Kind: trace.EvTimerFire, VCPU: -1, CPU: int16(cpu), Time: now})
+	}
+	g.lastVirt[cpu] = virtLine
+	g.Raise(cpu, gic.IRQVirtTimer, virtLine)
 }
 
 // NextDeadline returns the earliest cycle time at which one of cpu's

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// KindStat is one aggregated row of the kvm_stat view.
+type KindStat struct {
+	Kind   Kind
+	Count  uint64
+	Cycles uint64
+}
+
+// Avg is the mean cycle cost per event of this kind.
+func (s KindStat) Avg() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Count)
+}
+
+// VCPUStat is the per-vCPU exit breakdown.
+type VCPUStat struct {
+	VM     uint8
+	VCPU   int16
+	Counts [NumKinds]uint64
+	Cycles [NumKinds]uint64
+}
+
+// Snapshot is a consistent copy of a Tracer's aggregated state, taken
+// under the lock so it can be read while vCPU threads keep emitting.
+type Snapshot struct {
+	Total  uint64
+	Counts [NumKinds]uint64
+	Cycles [NumKinds]uint64
+	// VMs maps VMID to its counter copy; VCPUs is sorted (vm, vcpu).
+	VMs   map[uint8]VCPUStat
+	VCPUs []VCPUStat
+	// WSIn / WSOut are the world-switch cycle-cost histograms (log2
+	// buckets: bucket i counts switches costing [2^(i-1), 2^i)).
+	WSIn  [HistBuckets]uint64
+	WSOut [HistBuckets]uint64
+	// Events is the ring content in chronological order.
+	Events []Event
+}
+
+// Snapshot copies out the aggregated state. Nil-safe: returns an empty
+// snapshot when tracing is off.
+func (t *Tracer) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{VMs: map[uint8]VCPUStat{}}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{
+		Total:  t.seq,
+		Counts: t.counts,
+		Cycles: t.cycles,
+		WSIn:   t.wsIn,
+		WSOut:  t.wsOut,
+		VMs:    make(map[uint8]VCPUStat, len(t.vms)),
+	}
+	for vmid, vc := range t.vms {
+		s.VMs[vmid] = VCPUStat{VM: vmid, VCPU: -1, Counts: vc.counts, Cycles: vc.cycles}
+	}
+	for k, vc := range t.vcpus {
+		s.VCPUs = append(s.VCPUs, VCPUStat{VM: k.vm, VCPU: k.vcpu, Counts: vc.counts, Cycles: vc.cycles})
+	}
+	sort.Slice(s.VCPUs, func(i, j int) bool {
+		if s.VCPUs[i].VM != s.VCPUs[j].VM {
+			return s.VCPUs[i].VM < s.VCPUs[j].VM
+		}
+		return s.VCPUs[i].VCPU < s.VCPUs[j].VCPU
+	})
+	if t.wrapped {
+		s.Events = make([]Event, 0, len(t.ring))
+		s.Events = append(s.Events, t.ring[t.next:]...)
+		s.Events = append(s.Events, t.ring[:t.next]...)
+	} else {
+		s.Events = append(s.Events, t.ring[:t.next]...)
+	}
+	return s
+}
+
+// Sorted returns the non-zero kind rows sorted by count descending (the
+// kvm_stat presentation order).
+func (s *Snapshot) Sorted() []KindStat {
+	var rows []KindStat
+	for k := Kind(0); k < NumKinds; k++ {
+		if s.Counts[k] > 0 {
+			rows = append(rows, KindStat{Kind: k, Count: s.Counts[k], Cycles: s.Cycles[k]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Kind < rows[j].Kind
+	})
+	return rows
+}
+
+// TotalExits sums the Exit* classes — one per guest exit, so this equals
+// the hypervisor's exit count.
+func (s *Snapshot) TotalExits() uint64 {
+	var n uint64
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.IsExit() {
+			n += s.Counts[k]
+		}
+	}
+	return n
+}
+
+// WriteStat renders the kvm_stat-style aggregated view: sorted exit
+// counts with per-class cycle accounting, the per-vCPU breakdown, and the
+// world-switch cost histograms.
+func (s *Snapshot) WriteStat(w io.Writer) {
+	fmt.Fprintf(w, "kvmarm-stat — %d events, %d guest exits\n", s.Total, s.TotalExits())
+	fmt.Fprintf(w, "%-18s %10s %14s %10s  %s\n", "event", "count", "cycles", "avg", "table3")
+	for _, r := range s.Sorted() {
+		fmt.Fprintf(w, "%-18s %10d %14d %10.0f  %s\n",
+			r.Kind, r.Count, r.Cycles, r.Avg(), r.Kind.Table3Class())
+	}
+	if len(s.VCPUs) > 0 {
+		fmt.Fprintf(w, "\nper-vCPU exits:\n")
+		for _, v := range s.VCPUs {
+			var exits uint64
+			for k := Kind(0); k < NumKinds; k++ {
+				if k.IsExit() {
+					exits += v.Counts[k]
+				}
+			}
+			fmt.Fprintf(w, "  vm %d vcpu %d: %d exits (s2=%d mmio=%d hvc=%d wfi=%d irq=%d)\n",
+				v.VM, v.VCPU, exits,
+				v.Counts[ExitStage2Fault],
+				v.Counts[ExitMMIOKernel]+v.Counts[ExitMMIOUser],
+				v.Counts[ExitHypercall], v.Counts[ExitWFI], v.Counts[ExitIRQ])
+		}
+	}
+	writeHist(w, "world-switch in cycles", s.WSIn)
+	writeHist(w, "world-switch out cycles", s.WSOut)
+}
+
+func writeHist(w io.Writer, title string, h [HistBuckets]uint64) {
+	var total uint64
+	for _, n := range h {
+		total += n
+	}
+	if total == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%s (%d switches):\n", title, total)
+	for i, n := range h {
+		if n == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = uint64(1) << (i - 1)
+		}
+		hi := uint64(1)<<i - 1
+		fmt.Fprintf(w, "  [%7d, %7d] %8d  %s\n", lo, hi, n, bar(n, total))
+	}
+}
+
+func bar(n, total uint64) string {
+	const width = 40
+	w := int(n * width / total)
+	out := make([]byte, w)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,346 @@
+// Package trace is the unified exit/trap observability layer of the
+// hypervisor — the reproduction's kvm_stat. The paper's entire evaluation
+// (Tables 2–4, Figures 3–7) is built on counting and cycle-accounting
+// hypervisor exits: world switches, Stage-2 faults, VGIC maintenance and
+// list-register traffic, timer traps. Real KVM ships tracepoints and the
+// kvm_stat tool for exactly this reason; this package is their stand-in.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when off: every emit site guards with a single nil check
+//     (the Tracer pointer is nil by default), and all Tracer methods are
+//     nil-receiver-safe, so an untraced hot path pays one branch.
+//   - Allocation-free when on: events go into a fixed-size ring buffer of
+//     plain structs; counters are fixed arrays indexed by Kind; per-VM and
+//     per-vCPU slots are pre-allocated at Register time, never inside
+//     Emit.
+//   - Race-safe: the simulation is single-goroutine today, but the trace
+//     layer is designed to be read (Snapshot) concurrently with emitting
+//     VCPU threads later; a single mutex guards all mutable state.
+//
+// Event taxonomy: the Exit* kinds mirror the exit classes behind the
+// paper's Table 3 micro-benchmarks (Hypercall, I/O Kernel, I/O User,
+// EOI+ACK via the sysreg/MMIO classes) and the world-switch steps of §3.2;
+// the Ev* kinds cover the subsystems those exits traverse (TLB flushes,
+// VGIC state traffic, timer expiry).
+package trace
+
+import "sync"
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds. The Exit* block is the per-exit-reason classification the
+// highvisor assigns when it handles a trap (one event per guest exit); the
+// Ev* block covers world switches and subsystem-level activity.
+const (
+	// World switch (lowvisor, §3.2). Cycles carries the cost of the
+	// ten-step entry / nine-step return sequence itself.
+	EvWorldSwitchIn Kind = iota
+	EvWorldSwitchOut
+
+	// Guest exit classes (highvisor dispatch). Cycles carries the
+	// in-kernel handling cost including the re-entry world switch when
+	// the exit was resolved without returning to user space.
+	ExitHypercall
+	ExitIRQ
+	ExitWFI
+	ExitStage2Fault
+	ExitMMIOKernel
+	ExitMMIOUser
+	ExitSysReg
+	ExitSMC
+	ExitVFP // lazy VFP switch, handled entirely in the lowvisor
+	ExitOther
+
+	// Memory subsystem (internal/mmu). Arg is the FlushScope.
+	EvTLBFlush
+
+	// VGIC (internal/gic). Arg of save/restore is the MMIO access count.
+	EvVGICMaint
+	EvVGICSave
+	EvVGICRestore
+	EvLRRead
+	EvLRWrite
+
+	// Timers. EvTimerFire is a virtual-timer line rising edge (the
+	// hardware interrupt that forces an exit, §3.6); EvVTimerInject is
+	// the highvisor forwarding it as a virtual interrupt.
+	EvTimerFire
+	EvVTimerInject
+
+	// NumKinds is the number of event kinds (array sizing).
+	NumKinds
+)
+
+// FlushScope values carried in EvTLBFlush's Arg.
+const (
+	FlushScopeAll uint64 = iota
+	FlushScopeASID
+	FlushScopeVMID
+)
+
+var kindNames = [NumKinds]string{
+	EvWorldSwitchIn:  "world_switch_in",
+	EvWorldSwitchOut: "world_switch_out",
+	ExitHypercall:    "exit_hypercall",
+	ExitIRQ:          "exit_irq",
+	ExitWFI:          "exit_wfi",
+	ExitStage2Fault:  "exit_stage2_fault",
+	ExitMMIOKernel:   "exit_mmio_kernel",
+	ExitMMIOUser:     "exit_mmio_user",
+	ExitSysReg:       "exit_sysreg",
+	ExitSMC:          "exit_smc",
+	ExitVFP:          "exit_vfp",
+	ExitOther:        "exit_other",
+	EvTLBFlush:       "tlb_flush",
+	EvVGICMaint:      "vgic_maintenance",
+	EvVGICSave:       "vgic_save",
+	EvVGICRestore:    "vgic_restore",
+	EvLRRead:         "vgic_lr_read",
+	EvLRWrite:        "vgic_lr_write",
+	EvTimerFire:      "vtimer_fire",
+	EvVTimerInject:   "vtimer_inject",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// IsExit reports whether k is a guest exit class (one event per exit).
+func (k Kind) IsExit() bool { return k >= ExitHypercall && k <= ExitOther }
+
+// Table3Class maps an exit kind to the paper's Table 3 micro-benchmark
+// class it contributes to, or "" when it has no Table 3 row.
+func (k Kind) Table3Class() string {
+	switch k {
+	case ExitHypercall:
+		return "Hypercall"
+	case ExitMMIOKernel:
+		return "I/O Kernel"
+	case ExitMMIOUser:
+		return "I/O User"
+	case ExitSysReg, ExitSMC, ExitVFP:
+		return "Trap"
+	default:
+		return ""
+	}
+}
+
+// Event is one trace record. Plain value type: emitting one performs no
+// allocation.
+type Event struct {
+	Kind Kind
+	// VM is the VMID (0 = none: host- or hardware-level event).
+	VM uint8
+	// VCPU is the vCPU id within the VM, -1 when not applicable.
+	VCPU int16
+	// CPU is the physical CPU the event occurred on, -1 when unknown.
+	CPU int16
+	// PC is the guest program counter at exit, when known.
+	PC uint32
+	// HSR is the Hyp syndrome register value for trap events.
+	HSR uint32
+	// Arg is kind-specific: faulting IPA for aborts, FlushScope for TLB
+	// flushes, MMIO access count for VGIC save/restore.
+	Arg uint64
+	// Cycles is the simulated-cycle cost attributed to the event.
+	Cycles uint64
+	// Time is the emitting CPU's simulated-cycle timestamp (0 for
+	// hardware-level emitters that have no clock in scope).
+	Time uint64
+	// Seq is the global emission sequence number, assigned by Emit.
+	Seq uint64
+}
+
+// HistBuckets is the number of log2 cycle-cost buckets in the
+// world-switch histograms: bucket i counts events with cost in
+// [2^(i-1), 2^i).
+const HistBuckets = 32
+
+// vcpuKey indexes per-vCPU counter slots.
+type vcpuKey struct {
+	vm   uint8
+	vcpu int16
+}
+
+// vmCounters is the pre-allocated per-VM slot.
+type vmCounters struct {
+	counts [NumKinds]uint64
+	cycles [NumKinds]uint64
+}
+
+// Tracer is the event sink: a fixed ring of events plus aggregated
+// counters. The zero value is not usable; call New. A nil *Tracer is the
+// valid "tracing off" state — every method no-ops on a nil receiver.
+type Tracer struct {
+	mu sync.Mutex
+
+	ring    []Event
+	next    int
+	wrapped bool
+	seq     uint64
+
+	counts [NumKinds]uint64
+	cycles [NumKinds]uint64
+
+	vms   map[uint8]*vmCounters
+	vcpus map[vcpuKey]*vmCounters
+
+	wsIn  [HistBuckets]uint64
+	wsOut [HistBuckets]uint64
+}
+
+// DefaultRingSize is the ring capacity used when New is given n <= 0.
+const DefaultRingSize = 4096
+
+// New creates a Tracer with a ring of n events (DefaultRingSize if n<=0).
+func New(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Tracer{
+		ring:  make([]Event, n),
+		vms:   make(map[uint8]*vmCounters),
+		vcpus: make(map[vcpuKey]*vmCounters),
+	}
+}
+
+// Enabled reports whether tracing is on (t non-nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// RegisterVM pre-allocates the per-VM counter slot. Emits for an
+// unregistered VM still count globally; registration only adds the per-VM
+// breakdown (keeping Emit allocation-free).
+func (t *Tracer) RegisterVM(vmid uint8) {
+	if t == nil || vmid == 0 {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.vms[vmid]; !ok {
+		t.vms[vmid] = &vmCounters{}
+	}
+	t.mu.Unlock()
+}
+
+// RegisterVCPU pre-allocates the per-vCPU counter slot (and the VM's).
+func (t *Tracer) RegisterVCPU(vmid uint8, vcpu int) {
+	if t == nil || vmid == 0 || vcpu < 0 {
+		return
+	}
+	t.RegisterVM(vmid)
+	t.mu.Lock()
+	k := vcpuKey{vm: vmid, vcpu: int16(vcpu)}
+	if _, ok := t.vcpus[k]; !ok {
+		t.vcpus[k] = &vmCounters{}
+	}
+	t.mu.Unlock()
+}
+
+// Emit records one event: counters always, ring always (overwriting the
+// oldest on wrap). Safe on a nil receiver (no-op) and allocation-free.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	k := e.Kind
+	if k < NumKinds {
+		t.counts[k]++
+		t.cycles[k] += e.Cycles
+		if e.VM != 0 {
+			if vc, ok := t.vms[e.VM]; ok {
+				vc.counts[k]++
+				vc.cycles[k] += e.Cycles
+			}
+			if e.VCPU >= 0 {
+				if vc, ok := t.vcpus[vcpuKey{vm: e.VM, vcpu: e.VCPU}]; ok {
+					vc.counts[k]++
+					vc.cycles[k] += e.Cycles
+				}
+			}
+		}
+		switch k {
+		case EvWorldSwitchIn:
+			t.wsIn[bucketOf(e.Cycles)]++
+		case EvWorldSwitchOut:
+			t.wsOut[bucketOf(e.Cycles)]++
+		}
+	}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// bucketOf maps a cycle cost to its log2 histogram bucket.
+func bucketOf(cycles uint64) int {
+	b := 0
+	for cycles > 0 && b < HistBuckets-1 {
+		cycles >>= 1
+		b++
+	}
+	return b
+}
+
+// Len reports how many events the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Total reports how many events were ever emitted (ring overwrites
+// included).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Count returns the global count for one kind.
+func (t *Tracer) Count(k Kind) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[k]
+}
+
+// Reset clears the ring and all counters, keeping registrations.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next, t.wrapped, t.seq = 0, false, 0
+	t.counts = [NumKinds]uint64{}
+	t.cycles = [NumKinds]uint64{}
+	t.wsIn = [HistBuckets]uint64{}
+	t.wsOut = [HistBuckets]uint64{}
+	for _, vc := range t.vms {
+		*vc = vmCounters{}
+	}
+	for _, vc := range t.vcpus {
+		*vc = vmCounters{}
+	}
+}

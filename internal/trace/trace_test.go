@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{Kind: ExitHypercall, Time: uint64(i)})
+	}
+	if tr.Len() != 8 {
+		t.Fatalf("ring holds %d events, want 8", tr.Len())
+	}
+	if tr.Total() != 20 {
+		t.Fatalf("total = %d, want 20", tr.Total())
+	}
+	s := tr.Snapshot()
+	if len(s.Events) != 8 {
+		t.Fatalf("snapshot has %d events, want 8", len(s.Events))
+	}
+	// Chronological order: the oldest surviving event is #12 (0-based),
+	// i.e. Time 12 .. 19, Seq 13 .. 20.
+	for i, e := range s.Events {
+		if e.Time != uint64(12+i) {
+			t.Fatalf("event %d has Time %d, want %d", i, e.Time, 12+i)
+		}
+		if e.Seq != uint64(13+i) {
+			t.Fatalf("event %d has Seq %d, want %d", i, e.Seq, 13+i)
+		}
+	}
+	// Counters are not limited by ring capacity.
+	if s.Counts[ExitHypercall] != 20 {
+		t.Fatalf("count = %d, want 20", s.Counts[ExitHypercall])
+	}
+}
+
+func TestCounterAggregationAcrossVCPUs(t *testing.T) {
+	tr := New(16)
+	tr.RegisterVCPU(1, 0)
+	tr.RegisterVCPU(1, 1)
+	tr.RegisterVCPU(2, 0)
+
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Kind: ExitStage2Fault, VM: 1, VCPU: 0, Cycles: 100})
+	}
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: ExitStage2Fault, VM: 1, VCPU: 1, Cycles: 200})
+	}
+	tr.Emit(Event{Kind: ExitWFI, VM: 2, VCPU: 0, Cycles: 50})
+
+	s := tr.Snapshot()
+	if got := s.Counts[ExitStage2Fault]; got != 8 {
+		t.Fatalf("global stage-2 count = %d, want 8", got)
+	}
+	if got := s.VMs[1].Counts[ExitStage2Fault]; got != 8 {
+		t.Fatalf("vm1 stage-2 count = %d, want 8", got)
+	}
+	if got := s.VMs[1].Cycles[ExitStage2Fault]; got != 3*100+5*200 {
+		t.Fatalf("vm1 stage-2 cycles = %d, want 1300", got)
+	}
+	if got := s.VMs[2].Counts[ExitWFI]; got != 1 {
+		t.Fatalf("vm2 wfi count = %d, want 1", got)
+	}
+	if len(s.VCPUs) != 3 {
+		t.Fatalf("got %d vcpu rows, want 3", len(s.VCPUs))
+	}
+	// Sorted (vm, vcpu); per-vCPU counts sum to the per-VM count.
+	if s.VCPUs[0].Counts[ExitStage2Fault] != 3 || s.VCPUs[1].Counts[ExitStage2Fault] != 5 {
+		t.Fatalf("per-vcpu split = %d/%d, want 3/5",
+			s.VCPUs[0].Counts[ExitStage2Fault], s.VCPUs[1].Counts[ExitStage2Fault])
+	}
+}
+
+func TestUnregisteredVMStillCountsGlobally(t *testing.T) {
+	tr := New(4)
+	tr.Emit(Event{Kind: ExitIRQ, VM: 9, VCPU: 0})
+	s := tr.Snapshot()
+	if s.Counts[ExitIRQ] != 1 {
+		t.Fatal("global counter must not require registration")
+	}
+	if _, ok := s.VMs[9]; ok {
+		t.Fatal("unregistered VM must not grow a per-VM slot inside Emit")
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	// None of these may panic.
+	tr.Emit(Event{Kind: ExitHypercall})
+	tr.RegisterVM(1)
+	tr.RegisterVCPU(1, 0)
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Count(ExitHypercall) != 0 {
+		t.Fatal("nil tracer must report zero state")
+	}
+	s := tr.Snapshot()
+	if s.Total != 0 || len(s.Events) != 0 {
+		t.Fatal("nil tracer snapshot must be empty")
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: ExitStage2Fault, VM: 1, VCPU: 0, Cycles: 123})
+	}); allocs != 0 {
+		t.Fatalf("disabled emit allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestEnabledEmitDoesNotAllocate(t *testing.T) {
+	tr := New(64)
+	tr.RegisterVCPU(1, 0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: ExitStage2Fault, VM: 1, VCPU: 0, Arg: 0x8000_0000, Cycles: 123, Time: 42})
+	}); allocs != 0 {
+		t.Fatalf("enabled emit allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestWorldSwitchHistogram(t *testing.T) {
+	tr := New(16)
+	tr.Emit(Event{Kind: EvWorldSwitchIn, Cycles: 0})    // bucket 0
+	tr.Emit(Event{Kind: EvWorldSwitchIn, Cycles: 1})    // bucket 1
+	tr.Emit(Event{Kind: EvWorldSwitchIn, Cycles: 1000}) // bucket 10: [512,1023]
+	tr.Emit(Event{Kind: EvWorldSwitchOut, Cycles: 700}) // bucket 10
+	s := tr.Snapshot()
+	if s.WSIn[0] != 1 || s.WSIn[1] != 1 || s.WSIn[10] != 1 {
+		t.Fatalf("WSIn histogram = %v", s.WSIn[:12])
+	}
+	if s.WSOut[10] != 1 {
+		t.Fatalf("WSOut histogram = %v", s.WSOut[:12])
+	}
+}
+
+func TestResetKeepsRegistrations(t *testing.T) {
+	tr := New(8)
+	tr.RegisterVCPU(1, 0)
+	tr.Emit(Event{Kind: ExitWFI, VM: 1, VCPU: 0})
+	tr.Reset()
+	if tr.Total() != 0 || tr.Len() != 0 {
+		t.Fatal("reset must clear ring and counters")
+	}
+	tr.Emit(Event{Kind: ExitWFI, VM: 1, VCPU: 0})
+	s := tr.Snapshot()
+	if s.VMs[1].Counts[ExitWFI] != 1 {
+		t.Fatal("per-VM slot must survive Reset")
+	}
+}
+
+func TestWriteStatRendersSortedCounts(t *testing.T) {
+	tr := New(32)
+	tr.RegisterVCPU(1, 0)
+	for i := 0; i < 7; i++ {
+		tr.Emit(Event{Kind: ExitStage2Fault, VM: 1, VCPU: 0, Cycles: 1000})
+	}
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Kind: ExitHypercall, VM: 1, VCPU: 0, Cycles: 500})
+	}
+	tr.Emit(Event{Kind: EvWorldSwitchIn, VM: 1, VCPU: 0, Cycles: 800})
+	var b strings.Builder
+	s := tr.Snapshot()
+	s.WriteStat(&b)
+	out := b.String()
+	s2 := strings.Index(out, "exit_stage2_fault")
+	hvc := strings.Index(out, "exit_hypercall")
+	if s2 < 0 || hvc < 0 || s2 > hvc {
+		t.Fatalf("stat output must list stage-2 (7) before hypercall (3):\n%s", out)
+	}
+	if !strings.Contains(out, "world-switch in cycles") {
+		t.Fatalf("stat output missing histogram:\n%s", out)
+	}
+	if s.TotalExits() != 10 {
+		t.Fatalf("TotalExits = %d, want 10 (world switch is not an exit class)", s.TotalExits())
+	}
+}
+
+// TestConcurrentEmitAndSnapshot exercises the locking under -race: vCPU
+// threads emit while a monitor snapshots.
+func TestConcurrentEmitAndSnapshot(t *testing.T) {
+	tr := New(128)
+	tr.RegisterVCPU(1, 0)
+	tr.RegisterVCPU(1, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tr.Emit(Event{Kind: ExitIRQ, VM: 1, VCPU: int16(id % 2), Cycles: uint64(i)})
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			_ = tr.Snapshot()
+			_ = tr.Len()
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	if tr.Total() != 8000 {
+		t.Fatalf("total = %d, want 8000", tr.Total())
+	}
+}

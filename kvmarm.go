@@ -29,6 +29,7 @@ import (
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/kvmx86"
 	"kvmarm/internal/machine"
+	"kvmarm/internal/trace"
 	"kvmarm/internal/workloads"
 	"kvmarm/internal/x86"
 )
@@ -54,6 +55,9 @@ type VirtOptions struct {
 	DirectVIPI bool
 	// MemBytes is the guest RAM size (default 96 MiB).
 	MemBytes uint64
+	// Tracer, when non-nil, is attached to the hypervisor before the VM
+	// is created, so every exit from guest boot onward is recorded.
+	Tracer *trace.Tracer
 }
 
 // VirtSystem is a VM running minOS under KVM/ARM.
@@ -155,6 +159,9 @@ func NewARMVirt(cpus int, opt VirtOptions) (*VirtSystem, error) {
 		return nil, err
 	}
 	kvm.LazyVGIC = opt.LazyVGIC
+	if opt.Tracer != nil {
+		kvm.AttachTracer(opt.Tracer)
+	}
 	vm, err := kvm.CreateVM(opt.MemBytes)
 	if err != nil {
 		return nil, err
