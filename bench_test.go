@@ -121,7 +121,7 @@ func BenchmarkGuestBoot(b *testing.B) {
 // BenchmarkX86GuestBoot is the comparator stack's boot.
 func BenchmarkX86GuestBoot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := kvmarm.NewX86Virt(2, x86.Laptop()); err != nil {
+		if _, err := kvmarm.NewX86Virt(2, x86.Laptop(), nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -65,15 +65,17 @@ func main() {
 		}
 	}
 	if run("stat") {
-		tr, rows, err := bench.TraceCrossCheck(2, workloads.Apache())
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out)
-		snap := tr.Snapshot()
-		snap.WriteStat(out)
-		if !bench.PrintCrossCheck(out, rows) {
-			fail(fmt.Errorf("trace counts disagree with hypervisor counters"))
+		for _, backend := range []string{"ARM", "x86 laptop"} {
+			fmt.Fprintf(out, "\n=== %s ===\n", backend)
+			tr, rows, err := bench.TraceCrossCheck(backend, 2, workloads.Apache())
+			if err != nil {
+				fail(err)
+			}
+			snap := tr.Snapshot()
+			snap.WriteStat(out)
+			if !bench.PrintCrossCheck(out, rows) {
+				fail(fmt.Errorf("%s: trace counts disagree with hypervisor counters", backend))
+			}
 		}
 	}
 }

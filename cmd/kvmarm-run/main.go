@@ -54,13 +54,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("\n--- virtual console ---\n%s-----------------------\n", string(sys.VM.Console))
-	st := sys.VM.Stats
-	lv := sys.KVM.Lowvisor().Stats
-	fmt.Printf("world switches: %d in / %d out\n", lv.WorldSwitchIn, lv.WorldSwitchOut)
+	fmt.Printf("\n--- virtual console ---\n%s-----------------------\n", string(sys.VM.ConsoleBytes()))
+	st := sys.VM.StatsSnapshot()
+	ctr := sys.HV.Counters()
+	fmt.Printf("world switches: %d in / %d out\n", ctr["world_switch_in"], ctr["world_switch_out"])
 	fmt.Printf("stage-2 faults: %d   mmio exits: %d (user: %d)\n", st.Stage2Faults, st.MMIOExits, st.MMIOUserExits)
 	fmt.Printf("wfi exits: %d   irq exits: %d   vtimer injections: %d\n", st.WFIExits, st.IRQExits, st.VTimerInjected)
+	gk := sys.Guest.Kernel()
 	fmt.Printf("guest kernel: %d syscalls, %d switches, %d timer irqs\n",
-		sys.Guest.K.Stats.Syscalls, sys.Guest.K.Stats.Switches, sys.Guest.K.Stats.TimerIRQs)
+		gk.Stats.Syscalls, gk.Stats.Switches, gk.Stats.TimerIRQs)
 	fmt.Printf("board time: %d cycles\n", sys.Board.Now())
 }

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	kvmarm-stat                          # syscall workload, 2 vCPUs
+//	kvmarm-stat                          # syscall workload, 2 vCPUs, ARM
 //	kvmarm-stat -workload apache -cpus 4
+//	kvmarm-stat -backend x86-laptop      # any registered backend (see kvmarm)
 //	kvmarm-stat -novgic                  # the paper's "ARM no VGIC/vtimers"
 //	kvmarm-stat -events 20               # also dump the last 20 raw events
 //	kvmarm-stat -list                    # list workload names
@@ -20,6 +21,7 @@ import (
 
 	"kvmarm"
 	"kvmarm/internal/bench"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/trace"
 	"kvmarm/internal/workloads"
 )
@@ -38,7 +40,8 @@ func allWorkloads() map[string]workloads.Workload {
 func main() {
 	cpus := flag.Int("cpus", 2, "number of vCPUs")
 	name := flag.String("workload", "syscall", "workload to run (see -list)")
-	novgic := flag.Bool("novgic", false, "use the ARM no VGIC/vtimers configuration")
+	backend := flag.String("backend", "ARM", "hypervisor backend (ARM, arm-novgic, x86-laptop, x86-server)")
+	novgic := flag.Bool("novgic", false, "shorthand for -backend arm-novgic")
 	ring := flag.Int("ring", trace.DefaultRingSize, "trace ring size in events")
 	events := flag.Int("events", 0, "dump the last N raw trace events")
 	list := flag.Bool("list", false, "list workload names and exit")
@@ -61,10 +64,12 @@ func main() {
 		fail(fmt.Errorf("unknown workload %q (try -list)", *name))
 	}
 
+	be := *backend
+	if *novgic {
+		be = "arm-novgic"
+	}
 	tr := trace.New(*ring)
-	vsys, err := kvmarm.NewARMVirt(*cpus, kvmarm.VirtOptions{
-		VGIC: !*novgic, VTimers: !*novgic, Tracer: tr,
-	})
+	vsys, err := kvmarm.NewVirt(be, *cpus, tr)
 	if err != nil {
 		fail(err)
 	}
@@ -72,7 +77,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("workload %q on %d vCPU(s): %d cycles\n\n", w.Name, *cpus, res.Cycles)
+	fmt.Printf("workload %q on %d vCPU(s) [%s]: %d cycles\n\n", w.Name, *cpus, be, res.Cycles)
 
 	snap := tr.Snapshot()
 	snap.WriteStat(os.Stdout)
@@ -90,9 +95,9 @@ func main() {
 	}
 
 	// The cross-check mapping between trace classes and the hypervisor's
-	// ad-hoc counters holds for the full-hardware configuration; without
+	// ad-hoc counters holds for the full-hardware configurations; without
 	// VGIC/vtimers the sysreg-emulation paths blur the MMIO-user split.
-	if !*novgic {
+	if b, ok := hv.Lookup(be); ok && b.Name != "ARM no VGIC/vtimers" {
 		if !bench.PrintCrossCheck(os.Stdout, bench.CrossCheckRows(vsys, tr)) {
 			fail(fmt.Errorf("trace counts disagree with hypervisor counters"))
 		}

@@ -13,6 +13,7 @@ import (
 
 	"kvmarm"
 	"kvmarm/internal/arm"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/isa"
 	"kvmarm/internal/kernel"
 )
@@ -33,7 +34,7 @@ func guestProgram() []uint32 {
 		MustAssemble()
 }
 
-func bootISAGuest(label string) (*kvmarm.VirtSystem, error) {
+func bootISAGuest(label string) (*kvmarm.GuestSystem, error) {
 	sys, err := kvmarm.NewARMVirt(1, kvmarm.VirtOptions{VGIC: true, VTimers: true})
 	if err != nil {
 		return nil, err
@@ -62,25 +63,31 @@ func main() {
 	if !src.Board.Run(20_000_000, func() bool { return v.State() == "wfi" }) {
 		log.Fatal("source vCPU did not pause")
 	}
-	v.Ctx.GP.PC = progBase
-	v.Ctx.GP.CPSR = uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF
+	if err := v.SetOneReg(hv.RegPC, progBase); err != nil {
+		log.Fatal(err)
+	}
+	if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
+		log.Fatal(err)
+	}
 	v.Wake(0)
 
 	// Run until the guest has made 3 hypercalls, then stop stepping:
 	// the vCPU is paused with its state saved in the hypervisor.
-	if !src.Board.Run(50_000_000, func() bool { return src.VM.Stats.Hypercalls >= 3 }) {
+	if !src.Board.Run(50_000_000, func() bool { return src.VM.StatsSnapshot().Hypercalls >= 3 }) {
 		log.Fatal("source guest made no progress")
 	}
 	v.Pause()
 	if !src.Board.Run(20_000_000, v.Paused) {
 		log.Fatal("source vCPU did not pause")
 	}
-	regs, err := v.SaveAllRegs()
+	regs, err := hv.SaveAllRegs(v)
 	if err != nil {
 		log.Fatal(err)
 	}
+	r5, _ := v.GetOneReg(hv.RegGP(5))
+	pc, _ := v.GetOneReg(hv.RegPC)
 	fmt.Printf("source paused: %d registers saved, r5=%d, pc=%#x\n",
-		len(regs), v.Ctx.Reg(5), v.Ctx.GP.PC)
+		len(regs), r5, pc)
 
 	// Copy guest memory (the migration stream).
 	mem, err := src.VM.ReadGuestMem(progBase, len(guestProgram())*4)
@@ -100,7 +107,7 @@ func main() {
 	if !dst.Board.Run(20_000_000, func() bool { return dv.State() == "wfi" }) {
 		log.Fatal("destination vCPU did not pause")
 	}
-	if err := dv.RestoreAllRegs(regs); err != nil {
+	if err := hv.RestoreAllRegs(dv, regs); err != nil {
 		log.Fatal(err)
 	}
 	dv.Wake(0)
@@ -108,6 +115,10 @@ func main() {
 	if !dst.Board.Run(50_000_000, func() bool { return dst.Host.LiveCount() == 0 }) {
 		log.Fatal("destination guest did not finish")
 	}
+	dr5, err := dv.GetOneReg(hv.RegGP(5))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("destination finished: r5=%d (expect 6), hypercalls here=%d\n",
-		dv.Ctx.Reg(5), dst.VM.Stats.Hypercalls)
+		dr5, dst.VM.StatsSnapshot().Hypercalls)
 }

@@ -13,21 +13,22 @@ import (
 
 	"kvmarm"
 	"kvmarm/internal/arm"
-	"kvmarm/internal/core"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/isa"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 )
 
 // counterDev is a tiny emulated device: reg 0 reads a counter, writes add
-// to it.
+// to it. It implements hv.MMIOHandler, so the same device works on any
+// registered backend.
 type counterDev struct{ value uint64 }
 
 func (d *counterDev) Name() string { return "counter" }
-func (d *counterDev) Read(v *core.VCPU, off uint64, size int) uint64 {
+func (d *counterDev) Read(v hv.VCPU, off uint64, size int) uint64 {
 	return d.value
 }
-func (d *counterDev) Write(v *core.VCPU, off uint64, size int, val uint64) {
+func (d *counterDev) Write(v hv.VCPU, off uint64, size int, val uint64) {
 	d.value += val
 }
 
@@ -74,9 +75,14 @@ func main() {
 		log.Fatal("vCPU did not pause")
 	}
 	// Redirect the booted guest to the bare program (this example wants
-	// raw instructions, not the guest kernel).
-	v.Ctx.GP.PC = 0x8540_0000
-	v.Ctx.GP.CPSR = uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF
+	// raw instructions, not the guest kernel). A non-running vCPU's
+	// registers are set through the ONE_REG interface.
+	if err := v.SetOneReg(hv.RegPC, 0x8540_0000); err != nil {
+		log.Fatal(err)
+	}
+	if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
+		log.Fatal(err)
+	}
 	v.SetGuestSoftware(nil, &isa.Interp{})
 	v.Wake(0)
 
@@ -84,9 +90,14 @@ func main() {
 		log.Fatalf("guest did not finish (state=%s)", v.State())
 	}
 
+	r0, err := v.GetOneReg(hv.RegGP(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.VM.StatsSnapshot()
 	fmt.Printf("device value: %d (expect 42)\n", dev.value)
-	fmt.Printf("guest r0 (read back): %d\n", v.Ctx.Reg(0))
+	fmt.Printf("guest r0 (read back): %d\n", r0)
 	fmt.Printf("mmio exits: %d, of which software-decoded: %d\n",
-		sys.VM.Stats.MMIOExits, sys.VM.Stats.MMIODecoded)
+		st.MMIOExits, st.MMIODecoded)
 	_ = machine.RAMBase
 }

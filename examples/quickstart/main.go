@@ -48,8 +48,8 @@ func main() {
 		log.Fatal("guest did not finish")
 	}
 
-	fmt.Printf("console: %q\n", string(sys.VM.Console))
-	lv := sys.KVM.Lowvisor().Stats
+	fmt.Printf("console: %q\n", string(sys.VM.ConsoleBytes()))
+	st := sys.VM.StatsSnapshot()
 	fmt.Printf("world switches: %d, stage-2 faults: %d, mmio exits: %d\n",
-		lv.WorldSwitchIn, sys.VM.Stats.Stage2Faults, sys.VM.Stats.MMIOExits)
+		sys.HV.Counters()["world_switch_in"], st.Stage2Faults, st.MMIOExits)
 }

@@ -50,7 +50,7 @@ func main() {
 	} else {
 		results = append(results, runRes{"x86 native", res.Cycles})
 	}
-	if virt, err := kvmarm.NewX86Virt(cpus, x86.Laptop()); err != nil {
+	if virt, err := kvmarm.NewX86Virt(cpus, x86.Laptop(), nil); err != nil {
 		log.Fatal(err)
 	} else if res, err := workloads.Run(virt.System, w); err != nil {
 		log.Fatal(err)

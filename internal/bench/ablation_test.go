@@ -47,7 +47,7 @@ func measureHypercallMicro(t *testing.T, opt kvmarm.VirtOptions) uint64 {
 		t.Fatal("vCPU did not idle")
 	}
 	start := sys.Board.CPUs[0].Clock
-	hcStart := sys.VM.Stats.Hypercalls
+	hcStart := sys.VM.StatsSnapshot().Hypercalls
 	// Drive hypercalls from the guest kernel: a process issuing HVCs
 	// via PowerOff-like traps would shut down; use the null hypercall
 	// through a tiny guest proc loop instead.
@@ -60,7 +60,7 @@ func measureHypercallMicro(t *testing.T, opt kvmarm.VirtOptions) uint64 {
 	if !sys.Board.Run(50_000_000, func() bool { return n >= 64 }) {
 		t.Fatal("hypercall loop stalled")
 	}
-	made := sys.VM.Stats.Hypercalls - hcStart
+	made := sys.VM.StatsSnapshot().Hypercalls - hcStart
 	if made < 64 {
 		t.Fatalf("only %d hypercalls measured", made)
 	}
@@ -79,9 +79,10 @@ func TestAblationDirectVIPI(t *testing.T) {
 		const rounds = 16
 		roundsDone := 0
 		flag := false
-		sys.Guest.K.OnIPICall = func(cpu int) {
+		gk := sys.Guest.Kernel()
+		gk.OnIPICall = func(cpu int) {
 			if cpu == 1 {
-				sys.Guest.K.SendIPICall(sys.Guest.K.CPU(1), 1<<0)
+				gk.SendIPICall(gk.CPU(1), 1<<0)
 			} else {
 				flag = true
 			}

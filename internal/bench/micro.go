@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"io"
 
+	"kvmarm"
 	"kvmarm/internal/arm"
-	"kvmarm/internal/core"
 	"kvmarm/internal/gic"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/isa"
 	"kvmarm/internal/kernel"
-	"kvmarm/internal/kvmx86"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/workloads"
 	"kvmarm/internal/x86"
@@ -36,7 +36,7 @@ func Table3() ([]MicroRow, error) {
 		{Name: "EOI+ACK", Values: map[string]uint64{}},
 	}
 	for _, cfg := range MicroConfigs {
-		hc, iok, iou, eoi, err := measureARMOrX86Micro(cfg)
+		hc, iok, iou, eoi, err := measureMicro(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cfg, err)
 		}
@@ -44,7 +44,11 @@ func Table3() ([]MicroRow, error) {
 		rows[2].Values[cfg] = iok
 		rows[3].Values[cfg] = iou
 		rows[5].Values[cfg] = eoi
-		rows[1].Values[cfg] = measureTrap(cfg)
+		trap, err := measureTrap(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s trap: %w", cfg, err)
+		}
+		rows[1].Values[cfg] = trap
 		ipi, err := measureIPI(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s ipi: %w", cfg, err)
@@ -52,67 +56,6 @@ func Table3() ([]MicroRow, error) {
 		rows[4].Values[cfg] = ipi
 	}
 	return rows, nil
-}
-
-// armEnv builds a booted ARM host + KVM, with or without VGIC/vtimers.
-func armEnv(cpus int, vgic bool) (*machine.Board, *kernel.Kernel, *core.KVM, error) {
-	cfg := machine.DefaultConfig()
-	cfg.CPUs = cpus
-	cfg.HasVGIC = vgic
-	cfg.HasVirtTimer = vgic
-	b, err := machine.New(cfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	for _, c := range b.CPUs {
-		c.Secure = false
-		c.SetCPSR(uint32(arm.ModeHYP) | arm.PSRI | arm.PSRF)
-	}
-	host := kernel.New(kernel.Config{
-		Name: "bench-host", NumCPUs: cpus,
-		CPU:       func(i int) *arm.CPU { return b.CPUs[i] },
-		HW:        kernel.HWConfig{GICDistBase: machine.GICDistBase, GICCPUBase: machine.GICCPUBase},
-		Mem:       b.RAM,
-		DirectGIC: b.GIC,
-		AllocBase: machine.RAMBase + (64 << 20),
-		AllocSize: 160 << 20,
-	})
-	if err := host.BootAll(); err != nil {
-		return nil, nil, nil, err
-	}
-	k, err := core.Init(b, host)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return b, host, k, nil
-}
-
-func x86Env(cpus int, p x86.Profile) (*machine.Board, *kernel.Kernel, *kvmx86.Hypervisor, error) {
-	b, err := kvmx86.NewBoard(cpus, p)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	for _, c := range b.CPUs {
-		c.Secure = false
-		c.SetCPSR(uint32(arm.ModeHYP) | arm.PSRI | arm.PSRF)
-	}
-	host := kernel.New(kernel.Config{
-		Name: "bench-x86host", NumCPUs: cpus,
-		CPU:       func(i int) *arm.CPU { return b.CPUs[i] },
-		HW:        kernel.HWConfig{GICDistBase: machine.GICDistBase, GICCPUBase: machine.GICCPUBase},
-		Mem:       b.RAM,
-		DirectGIC: b.GIC,
-		AllocBase: machine.RAMBase + (64 << 20),
-		AllocSize: 160 << 20,
-	})
-	if err := host.BootAll(); err != nil {
-		return nil, nil, nil, err
-	}
-	hv, err := kvmx86.Init(b, host, p)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return b, host, hv, nil
 }
 
 func profileFor(cfg string) x86.Profile {
@@ -123,22 +66,15 @@ func profileFor(cfg string) x86.Profile {
 }
 
 // kernelEchoDev is a trivial in-kernel emulated device (vhost-style) for
-// the I/O Kernel micro-benchmark.
+// the I/O Kernel micro-benchmark. One implementation serves every backend
+// through the hv interface.
 type kernelEchoDev struct{}
 
 func (kernelEchoDev) Name() string { return "echo" }
-func (kernelEchoDev) Read(v *core.VCPU, off uint64, size int) uint64 {
+func (kernelEchoDev) Read(v hv.VCPU, off uint64, size int) uint64 {
 	return 0x5A
 }
-func (kernelEchoDev) Write(v *core.VCPU, off uint64, size int, val uint64) {}
-
-type kernelEchoDevX86 struct{}
-
-func (kernelEchoDevX86) Name() string { return "echo" }
-func (kernelEchoDevX86) Read(v *kvmx86.VCPU, off uint64, size int) uint64 {
-	return 0x5A
-}
-func (kernelEchoDevX86) Write(v *kvmx86.VCPU, off uint64, size int, val uint64) {}
+func (kernelEchoDev) Write(v hv.VCPU, off uint64, size int, val uint64) {}
 
 // echoDevBase is an otherwise unused IPA for the in-kernel echo device.
 const echoDevBase = 0x1D00_0000
@@ -159,77 +95,54 @@ func microLoop(op func(a *isa.Asm), n int) []uint32 {
 	return a.MustAssemble()
 }
 
-// runMicroISA loads prog into a fresh VM of cfg and runs it to shutdown,
-// returning a window measurement: f is sampled at iteration markers.
-type microVM interface {
-	WriteGuestMem(ipa uint64, data []byte) error
-}
-
-// measureARMOrX86Micro measures the ISA-guest rows (Hypercall, I/O Kernel,
-// I/O User, EOI+ACK) for one configuration.
-func measureARMOrX86Micro(cfg string) (hypercall, ioKernel, ioUser, eoiAck uint64, err error) {
+// measureMicro measures the ISA-guest rows (Hypercall, I/O Kernel,
+// I/O User, EOI+ACK) for one configuration, entirely through the hv
+// interfaces — the same code path drives the ARM and x86 backends.
+func measureMicro(cfg string) (hypercall, ioKernel, ioUser, eoiAck uint64, err error) {
+	be, ok := hv.Lookup(cfg)
+	if !ok {
+		err = fmt.Errorf("unknown micro config %q", cfg)
+		return
+	}
 	const n = 64
-	run := func(op func(a *isa.Asm), extra func(vmAny interface{})) (uint64, error) {
-		prog := microLoop(op, n+1)
-		bytes := progBytes(prog)
-		switch cfg {
-		case "ARM", "ARM no VGIC/vtimers":
-			b, host, k, err := armEnv(1, cfg == "ARM")
-			if err != nil {
-				return 0, err
-			}
-			vm, err := k.CreateVM(64 << 20)
-			if err != nil {
-				return 0, err
-			}
-			if extra != nil {
-				extra(vm)
-			}
-			v, _ := vm.CreateVCPU(0)
-			if err := vm.WriteGuestMem(machine.RAMBase, bytes); err != nil {
-				return 0, err
-			}
-			v.Ctx.GP.PC = machine.RAMBase
-			v.Ctx.GP.CPSR = uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF
-			v.SetGuestSoftware(nil, &isa.Interp{})
-			if _, err := v.StartThread(0); err != nil {
-				return 0, err
-			}
-			if !b.Run(80_000_000, func() bool { return host.LiveCount() == 0 }) {
-				return 0, fmt.Errorf("micro guest did not finish (%s)", v.State())
-			}
-			return b.CPUs[0].Clock, nil
-		default:
-			b, host, hv, err := x86Env(1, profileFor(cfg))
-			if err != nil {
-				return 0, err
-			}
-			vm, err := hv.CreateVM(64 << 20)
-			if err != nil {
-				return 0, err
-			}
-			if extra != nil {
-				extra(vm)
-			}
-			v, _ := vm.CreateVCPU(0)
-			if err := vm.WriteGuestMem(machine.RAMBase, bytes); err != nil {
-				return 0, err
-			}
-			v.Ctx.GP.PC = machine.RAMBase
-			v.Ctx.GP.CPSR = uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF
-			v.SetGuestSoftware(nil, &isa.Interp{})
-			if _, err := v.StartThread(0); err != nil {
-				return 0, err
-			}
-			if !b.Run(80_000_000, func() bool { return host.LiveCount() == 0 }) {
-				return 0, fmt.Errorf("x86 micro guest did not finish (%s)", v.State())
-			}
-			return b.CPUs[0].Clock, nil
+	run := func(op func(a *isa.Asm), extra func(vm hv.VM)) (uint64, error) {
+		bytes := progBytes(microLoop(op, n+1))
+		env, err := be.NewEnv(1)
+		if err != nil {
+			return 0, err
 		}
+		vm, err := env.HV.CreateVM(64 << 20)
+		if err != nil {
+			return 0, err
+		}
+		if extra != nil {
+			extra(vm)
+		}
+		v, err := vm.CreateVCPU(0)
+		if err != nil {
+			return 0, err
+		}
+		if err := vm.WriteGuestMem(machine.RAMBase, bytes); err != nil {
+			return 0, err
+		}
+		if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+			return 0, err
+		}
+		if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
+			return 0, err
+		}
+		v.SetGuestSoftware(nil, &isa.Interp{})
+		if _, err := v.StartThread(0); err != nil {
+			return 0, err
+		}
+		if !env.Board.Run(80_000_000, func() bool { return env.Host.LiveCount() == 0 }) {
+			return 0, fmt.Errorf("micro guest did not finish (%s)", v.State())
+		}
+		return env.Board.CPUs[0].Clock, nil
 	}
 
 	// Each measurement: total(op loop) − total(empty loop), divided by n.
-	perOp := func(op func(a *isa.Asm), extra func(interface{})) (uint64, error) {
+	perOp := func(op func(a *isa.Asm), extra func(vm hv.VM)) (uint64, error) {
 		base, err := run(func(a *isa.Asm) { a.NOP() }, extra)
 		if err != nil {
 			return 0, err
@@ -244,13 +157,8 @@ func measureARMOrX86Micro(cfg string) (hypercall, ioKernel, ioUser, eoiAck uint6
 		return (full - base) / uint64(n+1), nil
 	}
 
-	addEcho := func(vmAny interface{}) {
-		switch vm := vmAny.(type) {
-		case *core.VM:
-			vm.AddKernelMMIO(echoDevBase, 0x1000, kernelEchoDev{})
-		case *kvmx86.VM:
-			vm.AddKernelMMIO(echoDevBase, 0x1000, kernelEchoDevX86{})
-		}
+	addEcho := func(vm hv.VM) {
+		vm.AddKernelMMIO(echoDevBase, 0x1000, kernelEchoDev{})
 	}
 
 	if hypercall, err = perOp(func(a *isa.Asm) { a.HVC(1) }, nil); err != nil {
@@ -273,14 +181,13 @@ func measureARMOrX86Micro(cfg string) (hypercall, ioKernel, ioUser, eoiAck uint6
 	// x86 there is no acknowledge read at all — the vector arrives by
 	// IDT vectoring — and the EOI write exits to root mode; the cost is
 	// exactly what the EOI exit path charges.
-	switch cfg {
-	case "ARM", "ARM no VGIC/vtimers":
+	if be.IsARM {
 		eoiAck, err = perOp(func(a *isa.Asm) {
 			a.MOV32(isa.R1, machine.GICCPUBase)
 			a.LDR(isa.R0, isa.R1, uint16(gic.GICCIar))
 			a.STR(isa.R0, isa.R1, uint16(gic.GICCEoir))
 		}, nil)
-	default:
+	} else {
 		p := profileFor(cfg)
 		eoiAck = 30 /* IDT vectoring */ + p.VMExit + p.APICDecode + p.APICEmulate + p.VMEntry
 	}
@@ -290,22 +197,22 @@ func measureARMOrX86Micro(cfg string) (hypercall, ioKernel, ioUser, eoiAck uint6
 // measureTrap measures the raw cost of switching the hardware into the
 // hypervisor's mode and back: on ARM a Hyp trap manipulates two registers;
 // on x86 the VMCS save/restore makes it two orders of magnitude costlier.
-func measureTrap(cfg string) uint64 {
-	var c *arm.CPU
-	switch cfg {
-	case "ARM", "ARM no VGIC/vtimers":
-		b, _ := machine.New(machine.Config{CPUs: 1, RAMBytes: 16 << 20, HasVGIC: cfg == "ARM", HasVirtTimer: cfg == "ARM"})
-		c = b.CPUs[0]
-	default:
-		b, _ := kvmx86.NewBoard(1, profileFor(cfg))
-		c = b.CPUs[0]
+func measureTrap(cfg string) (uint64, error) {
+	be, ok := hv.Lookup(cfg)
+	if !ok {
+		return 0, fmt.Errorf("unknown micro config %q", cfg)
 	}
+	b, err := be.NewBoard(1)
+	if err != nil {
+		return 0, err
+	}
+	c := b.CPUs[0]
 	c.Secure = false
 	c.SetCPSR(uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF)
 	c.HypHandler = func(c *arm.CPU, e *arm.Exception) { c.ERET() }
 	before := c.Clock
 	c.TakeException(&arm.Exception{Kind: arm.ExcHVC, HSR: arm.MakeHSR(arm.ECHVC, 0)})
-	return c.Clock - before
+	return c.Clock - before, nil
 }
 
 // measureIPI measures a virtual IPI round trip between two vCPUs of a
@@ -380,22 +287,11 @@ func measureIPI(cfg string) (uint64, error) {
 // microSystem builds a booted guest system of the given configuration for
 // the kernel-level micro-benchmarks.
 func microSystem(cfg string, cpus int) (*workloads.System, error) {
-	for _, c := range Configs() {
-		if c.Name == mapMicroName(cfg) {
-			return c.Virt(cpus)
-		}
+	sys, err := kvmarm.NewVirt(cfg, cpus, nil)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown micro config %q", cfg)
-}
-
-func mapMicroName(cfg string) string {
-	switch cfg {
-	case "x86 laptop":
-		return "KVM x86 laptop"
-	case "x86 server":
-		return "KVM x86 server"
-	}
-	return cfg
+	return sys.System, nil
 }
 
 func progBytes(words []uint32) []byte {

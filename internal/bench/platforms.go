@@ -68,7 +68,7 @@ func Configs() []Config {
 		{
 			Name: "KVM x86 laptop",
 			Virt: func(cpus int) (*workloads.System, error) {
-				s, err := kvmarm.NewX86Virt(cpus, x86.Laptop())
+				s, err := kvmarm.NewX86Virt(cpus, x86.Laptop(), nil)
 				if err != nil {
 					return nil, err
 				}
@@ -85,7 +85,7 @@ func Configs() []Config {
 		{
 			Name: "KVM x86 server",
 			Virt: func(cpus int) (*workloads.System, error) {
-				s, err := kvmarm.NewX86Virt(cpus, x86.Server())
+				s, err := kvmarm.NewX86Virt(cpus, x86.Server(), nil)
 				if err != nil {
 					return nil, err
 				}

@@ -12,7 +12,7 @@ import (
 // requires the trace layer's aggregated counts to agree exactly with the
 // hypervisor's independent counters.
 func TestTraceCrossCheckUP(t *testing.T) {
-	tr, rows, err := TraceCrossCheck(1, workloads.LatSyscall())
+	tr, rows, err := TraceCrossCheck("ARM", 1, workloads.LatSyscall())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestTraceCrossCheckUP(t *testing.T) {
 // TestTraceCrossCheckSMP does the same on two vCPUs with an IPI- and
 // IRQ-heavy workload, and checks the rendered stat view is well formed.
 func TestTraceCrossCheckSMP(t *testing.T) {
-	tr, rows, err := TraceCrossCheck(2, workloads.LatPipe())
+	tr, rows, err := TraceCrossCheck("ARM", 2, workloads.LatPipe())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,5 +53,30 @@ func TestTraceCrossCheckSMP(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("stat view missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTraceCrossCheckX86 runs the same exact-agreement check against the
+// VT-x comparator: every x86 exit — including the EOI write exits and the
+// emulated IPIs that have no ARM analogue — must be traced exactly once.
+func TestTraceCrossCheckX86(t *testing.T) {
+	tr, rows, err := TraceCrossCheck("x86 laptop", 2, workloads.LatPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OK() {
+			t.Errorf("%s: traced %d != counter %d", r.Name, r.Traced, r.Counter)
+		}
+	}
+	if tr.Count(trace.ExitEOI) == 0 {
+		t.Fatal("x86 guest EOIs must be traced as EOI exits")
+	}
+	if tr.Count(trace.EvIPI) == 0 {
+		t.Fatal("cross-vCPU wakeups must trace emulated IPIs")
+	}
+	snap := tr.Snapshot()
+	if snap.TotalExits() == 0 {
+		t.Fatal("no guest exits traced")
 	}
 }

@@ -11,8 +11,9 @@ import (
 
 func TestOneRegRoundTrip(t *testing.T) {
 	_, _, k := defaultEnv(t)
-	vm, _ := k.CreateVM(64 << 20)
-	v, _ := vm.CreateVCPU(0)
+	vmI, _ := k.CreateVM(64 << 20)
+	vI, _ := vmI.CreateVCPU(0)
+	v := vI.(*VCPU)
 
 	ids := v.RegList()
 	if len(ids) < 38 {
@@ -74,7 +75,8 @@ func TestSaveRestoreMovesGuestBetweenVMs(t *testing.T) {
 
 	// Restore into a second VM on the same host and finish there.
 	vm2, _ := k.CreateVM(64 << 20)
-	v2, _ := vm2.CreateVCPU(0)
+	v2I, _ := vm2.CreateVCPU(0)
+	v2 := v2I.(*VCPU)
 	asm := progBytesOf(prog)
 	if err := vm2.WriteGuestMem(machine.RAMBase, asm); err != nil {
 		t.Fatal(err)
@@ -136,9 +138,12 @@ func TestPauseResume(t *testing.T) {
 
 func TestSMPGuestRunsProcsOnBothVCPUs(t *testing.T) {
 	b, host, k := defaultEnv(t)
-	vm, _ := k.CreateVM(96 << 20)
-	v0, _ := vm.CreateVCPU(0)
-	v1, _ := vm.CreateVCPU(1)
+	vmI, _ := k.CreateVM(96 << 20)
+	vm := vmI.(*VM)
+	v0I, _ := vm.CreateVCPU(0)
+	v0 := v0I.(*VCPU)
+	v1I, _ := vm.CreateVCPU(1)
+	v1 := v1I.(*VCPU)
 	g, err := NewGuestOS(vm, 96<<20)
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +181,8 @@ func TestNoVGICGuestEndToEnd(t *testing.T) {
 	cfg.HasVGIC = false
 	cfg.HasVirtTimer = false
 	b, host, k := hostEnv(t, cfg)
-	vm, _ := k.CreateVM(96 << 20)
+	vmI, _ := k.CreateVM(96 << 20)
+	vm := vmI.(*VM)
 	v0, _ := vm.CreateVCPU(0)
 	g, err := NewGuestOS(vm, 96<<20)
 	if err != nil {
@@ -257,7 +263,8 @@ func TestLazyVGICAblationReducesHypercallCost(t *testing.T) {
 
 func TestGuestConsoleThroughQEMU(t *testing.T) {
 	b, host, k := defaultEnv(t)
-	vm, _ := k.CreateVM(96 << 20)
+	vmI, _ := k.CreateVM(96 << 20)
+	vm := vmI.(*VM)
 	v0, _ := vm.CreateVCPU(0)
 	g, _ := NewGuestOS(vm, 96<<20)
 	_, _ = v0.StartThread(0)

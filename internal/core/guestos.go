@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kvmarm/internal/arm"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 )
@@ -14,18 +15,20 @@ import (
 // virtual timer and never touches Hyp state; its GIC driver lands on the
 // VGIC virtual CPU interface; its distributor writes trap to the virtual
 // distributor; its page tables live in guest-physical space behind
-// Stage-2.
+// Stage-2. Boot scaffolding (shims, Spawn, Booted) is the shared
+// hv.GuestBoot.
 type GuestOS struct {
+	hv.GuestBoot
 	VM *VM
-	K  *kernel.Kernel
-
-	primaryDone bool
-	booted      []bool
-	bootErr     error
 }
 
 // LoadedVCPU reports the vCPU running on physical CPU id, if any.
 func (k *KVM) LoadedVCPU(cpuID int) *VCPU { return k.low.loaded[cpuID] }
+
+// NewGuestOS implements hv.VM.
+func (vm *VM) NewGuestOS(memBytes uint64) (hv.GuestOS, error) {
+	return NewGuestOS(vm, memBytes)
+}
 
 // NewGuestOS creates the guest kernel for vm (whose vCPUs must already be
 // created) and installs boot shims on each vCPU. Start the vCPU threads
@@ -35,17 +38,21 @@ func NewGuestOS(vm *VM, memBytes uint64) (*GuestOS, error) {
 		return nil, fmt.Errorf("core: create vCPUs before the guest OS")
 	}
 	kvm := vm.kvm
-	g := &GuestOS{VM: vm, booted: make([]bool, len(vm.vcpus))}
+	g := &GuestOS{VM: vm}
 
-	phys := &GuestPhysIO{VM: vm, Cur: func() *arm.CPU {
-		c := kvm.Board.CPUs[kvm.Board.Current]
-		if lv := kvm.low.loaded[c.ID]; lv != nil && lv.vm == vm {
-			return c
-		}
-		return nil
-	}}
+	phys := &hv.GuestPhysIO{
+		Label: fmt.Sprintf("VM %d", vm.VMID),
+		Cur: func() *arm.CPU {
+			c := kvm.Board.CPUs[kvm.Board.Current]
+			if lv := kvm.low.loaded[c.ID]; lv != nil && lv.vm == vm {
+				return c
+			}
+			return nil
+		},
+		Last: func() *arm.CPU { return vm.lastGuestCPU },
+	}
 
-	g.K = kernel.New(kernel.Config{
+	k := kernel.New(kernel.Config{
 		Name:    fmt.Sprintf("guest-vm%d", vm.VMID),
 		NumCPUs: len(vm.vcpus),
 		CPU: func(i int) *arm.CPU {
@@ -75,9 +82,7 @@ func NewGuestOS(vm *VM, memBytes uint64) (*GuestOS, error) {
 		AllocSize: memBytes - (16 << 20),
 	})
 
-	for i, v := range vm.vcpus {
-		v.SetGuestSoftware(nil, &bootShim{g: g, cpu: i})
-	}
+	g.Attach(k, kvm.Board, vm.VCPUs())
 	return g, nil
 }
 
@@ -89,88 +94,3 @@ func vsgiBase(kvm *KVM) uint64 {
 	}
 	return 0
 }
-
-// bootShim is the vCPU's initial runner: it stands in for the guest
-// bootloader + kernel head, running the kernel's boot path the first time
-// the vCPU executes, then handing over to the guest scheduler.
-type bootShim struct {
-	g   *GuestOS
-	cpu int
-}
-
-// Step implements arm.Runner.
-func (b *bootShim) Step(c *arm.CPU) {
-	g := b.g
-	c.Charge(50) // boot/spin progress so the board clock always advances
-	if g.bootErr != nil {
-		c.Charge(1000)
-		return
-	}
-	if b.cpu == 0 {
-		if !g.primaryDone {
-			if err := g.K.Boot(); err != nil {
-				g.bootErr = err
-				return
-			}
-			g.primaryDone = true
-			g.finishBoot(b.cpu, c)
-		}
-		return
-	}
-	if !g.primaryDone {
-		// Secondary vCPU spinning in the holding pen until the primary
-		// releases it (the boot protocol's secondary-CPU spin table).
-		c.Charge(500)
-		return
-	}
-	if !g.booted[b.cpu] {
-		if err := g.K.BootSecondary(b.cpu); err != nil {
-			g.bootErr = err
-			return
-		}
-		g.finishBoot(b.cpu, c)
-	}
-}
-
-// finishBoot records the freshly attached kernel context into the vCPU so
-// later world switches restore the real guest software. The boot path may
-// itself have taken world switches (Stage-2 faults, distributor MMIO), so
-// the *live* CPU fields can be stale: install the kernel's own handler and
-// runner explicitly.
-func (g *GuestOS) finishBoot(cpu int, c *arm.CPU) {
-	g.booted[cpu] = true
-	v := g.VM.vcpus[cpu]
-	v.Ctx.PL1Software = g.K.PL1HandlerFor(cpu)
-	v.Ctx.Runner = g.K.Runner(cpu)
-	c.PL1Handler = v.Ctx.PL1Software
-	c.Runner = v.Ctx.Runner
-}
-
-// Spawn creates a process inside the guest and kicks any WFI-blocked vCPU
-// so its scheduler notices the new work. (This models what a guest-side
-// event — an interrupt or shell input — would otherwise do; processes
-// cannot appear spontaneously inside a sleeping VM.)
-func (g *GuestOS) Spawn(name string, cpu int, body kernel.Body) (*kernel.Proc, error) {
-	p, err := g.K.NewProc(name, cpu, body)
-	if err != nil {
-		return nil, err
-	}
-	from := g.VM.kvm.Board.Current
-	for _, v := range g.VM.vcpus {
-		v.Wake(from)
-	}
-	return p, nil
-}
-
-// Booted reports whether every vCPU finished kernel bring-up.
-func (g *GuestOS) Booted() bool {
-	for _, b := range g.booted {
-		if !b {
-			return false
-		}
-	}
-	return g.bootErr == nil
-}
-
-// Err returns a boot failure, if any.
-func (g *GuestOS) Err() error { return g.bootErr }

@@ -133,7 +133,7 @@ func (h *Highvisor) handleHypercall(c *arm.CPU, v *VCPU, e *arm.Exception) {
 func (h *Highvisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint32, insnOK bool) (trace.Kind, uint64) {
 	vm := v.vm
 	ipa := e.FaultIPA
-	if vm.inSlot(ipa) {
+	if vm.Mem.InSlot(ipa) {
 		vm.Stats.Stage2Faults++
 		// get_user_pages + map into the Stage-2 tables; the faulting
 		// access retries after re-entry.
@@ -232,17 +232,17 @@ func (h *Highvisor) emulateMMIO(c *arm.CPU, v *VCPU, ipa uint64, write bool, siz
 		return
 	}
 
-	if r, off := vm.findMMIO(ipa); r != nil {
-		if r.user {
+	if r, off := vm.mmio.Find(ipa); r != nil {
+		if r.User {
 			vm.Stats.MMIOUserExits++
 			c.Charge(h.kvm.UserTransitionCycles + h.kvm.QEMUWorkCycles)
 		} else {
 			c.Charge(620) // in-kernel device emulation work
 		}
 		if write {
-			r.h.Write(v, off, size, uint64(v.Ctx.Reg(rt)))
+			r.H.Write(v, off, size, uint64(v.Ctx.Reg(rt)))
 		} else {
-			v.Ctx.SetReg(rt, uint32(r.h.Read(v, off, size)))
+			v.Ctx.SetReg(rt, uint32(r.H.Read(v, off, size)))
 		}
 		return
 	}

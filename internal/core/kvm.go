@@ -6,6 +6,7 @@ import (
 	"kvmarm/internal/arm"
 	"kvmarm/internal/dev"
 	"kvmarm/internal/gic"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/mmu"
@@ -16,6 +17,22 @@ import (
 const (
 	PSCISystemOff uint16 = 0x808
 	PSCICPUOn     uint16 = 0x803
+)
+
+// Backend-neutral aliases: the types this package historically exported
+// now live in internal/hv, shared with the x86 backend.
+type (
+	// MemSlot is a guest-physical memory region backed lazily by host
+	// pages (KVM_SET_USER_MEMORY_REGION).
+	MemSlot = hv.MemSlot
+	// MMIOHandler emulates a device region for a VM.
+	MMIOHandler = hv.MMIOHandler
+	// VMStats counts per-VM hypervisor activity.
+	VMStats = hv.VMStats
+	// VCPUStats counts per-vCPU exits.
+	VCPUStats = hv.VCPUStats
+	// RegID names one guest register in the ONE_REG namespace.
+	RegID = hv.RegID
 )
 
 // KVM is the hypervisor instance: the KVM subsystem of the host kernel.
@@ -71,6 +88,33 @@ func (k *KVM) AttachTracer(t *trace.Tracer) {
 	}
 }
 
+// Tracer returns the attached tracer (nil when tracing is off).
+func (k *KVM) Tracer() *trace.Tracer { return k.Trace }
+
+// VMs lists the created VMs.
+func (k *KVM) VMs() []hv.VM {
+	out := make([]hv.VM, len(k.vms))
+	for i, vm := range k.vms {
+		out[i] = vm
+	}
+	return out
+}
+
+// Counters exposes the lowvisor's hypervisor-level statistics under
+// stable names.
+func (k *KVM) Counters() map[string]uint64 {
+	s := k.low.Stats
+	return map[string]uint64{
+		"world_switch_in":     s.WorldSwitchIn,
+		"world_switch_out":    s.WorldSwitchOut,
+		"guest_traps":         s.GuestTraps,
+		"host_calls":          s.HostCalls,
+		"vfp_lazy_switches":   s.VFPLazySwitches,
+		"vgic_save_skipped":   s.VGICSaveSkipped,
+		"vgic_restore_skipped": s.VGICRestoreSkipped,
+	}
+}
+
 // Init brings KVM up on a booted host kernel, per the paper's boot
 // protocol: it fails cleanly when the kernel was not entered in Hyp mode.
 func Init(b *machine.Board, host *kernel.Kernel) (*KVM, error) {
@@ -117,51 +161,18 @@ func Init(b *machine.Board, host *kernel.Kernel) (*KVM, error) {
 // Lowvisor exposes the Hyp-mode component (benchmark instrumentation).
 func (k *KVM) Lowvisor() *Lowvisor { return k.low }
 
-// MemSlot is a guest-physical memory region backed lazily by host pages
-// (KVM_SET_USER_MEMORY_REGION).
-type MemSlot struct {
-	IPABase uint64
-	Size    uint64
-}
-
-// MMIOHandler emulates a device region for a VM.
-type MMIOHandler interface {
-	Name() string
-	Read(v *VCPU, off uint64, size int) uint64
-	Write(v *VCPU, off uint64, size int, val uint64)
-}
-
-type mmioRegion struct {
-	base, size uint64
-	h          MMIOHandler
-	user       bool // emulated in user space (QEMU) rather than in-kernel
-}
-
-// VMStats counts per-VM hypervisor activity.
-type VMStats struct {
-	Stage2Faults   uint64
-	MMIOExits      uint64
-	MMIOUserExits  uint64
-	MMIODecoded    uint64 // software instruction decode used
-	SysRegTraps    uint64
-	WFIExits       uint64
-	IRQExits       uint64
-	Hypercalls     uint64
-	VTimerInjected uint64
-	IPIsEmulated   uint64
-}
-
 // VM is one virtual machine.
 type VM struct {
 	kvm  *KVM
 	VMID uint8
 	// S2 is the Stage-2 page table (IPA → PA), owned by the highvisor.
+	// (The same table GuestMem populates on host-side accesses.)
 	S2    *mmu.Builder
-	slots []MemSlot
+	Mem   hv.GuestMem
 	VDist *VDist
 	vcpus []*VCPU
 
-	mmio []mmioRegion
+	mmio hv.Regions
 
 	// Virtual devices (QEMU-side models; completions raise virtual SPIs
 	// through the virtual distributor).
@@ -179,7 +190,7 @@ type VM struct {
 }
 
 // CreateVM builds a VM with memBytes of guest RAM at the canonical base.
-func (k *KVM) CreateVM(memBytes uint64) (*VM, error) {
+func (k *KVM) CreateVM(memBytes uint64) (hv.VM, error) {
 	k.nextVMID++
 	if k.nextVMID == 0 {
 		return nil, fmt.Errorf("core: out of VMIDs")
@@ -189,7 +200,8 @@ func (k *KVM) CreateVM(memBytes uint64) (*VM, error) {
 		return nil, err
 	}
 	vm := &VM{kvm: k, VMID: k.nextVMID, S2: s2}
-	vm.slots = []MemSlot{{IPABase: machine.RAMBase, Size: memBytes}}
+	vm.Mem = hv.GuestMem{Table: s2, Alloc: k.Host.Alloc, RAM: k.Board.RAM}
+	vm.Mem.AddSlot(machine.RAMBase, memBytes)
 	vm.VDist = newVDist(vm)
 	k.Trace.RegisterVM(vm.VMID)
 
@@ -212,131 +224,80 @@ func (k *KVM) CreateVM(memBytes uint64) (*VM, error) {
 	// unmodified guest kernel discovers them at the same addresses.
 	// Virtio block and network are emulated in QEMU (user space); the
 	// console UART too.
-	vm.Net = vm.newVirtDevice(dev.VirtNet, machine.IRQNet, 0.0074, 22_000)
-	vm.Blk = vm.newVirtDevice(dev.VirtBlock, machine.IRQBlk, 0.147, 150_000)
-	vm.Con = vm.newVirtDevice(dev.VirtConsole, machine.IRQCon, 1.0, 6_000)
-	vm.AddUserMMIO(machine.VirtNetBase, dev.VirtSize, &virtMMIO{vm.Net})
-	vm.AddUserMMIO(machine.VirtBlkBase, dev.VirtSize, &virtMMIO{vm.Blk})
-	vm.AddUserMMIO(machine.VirtConBase, dev.VirtSize, &virtMMIO{vm.Con})
-	vm.AddUserMMIO(machine.UARTBase, dev.UARTSize, &uartMMIO{vm})
+	vm.Net, vm.Blk, vm.Con = hv.StandardDevices(k.Board, vm, func(irq int, level bool) {
+		vm.VDist.InjectSPI(irq, level)
+	}, &vm.Console)
 
 	k.vms = append(k.vms, vm)
 	return vm, nil
 }
 
-func (vm *VM) newVirtDevice(class dev.VirtClass, irq int, bw float64, lat uint64) *dev.Virt {
-	return &dev.Virt{
-		Class: class, IRQ: irq, BytesPerCycle: bw, FixedLatency: lat,
-		Sched: vm.kvm.Board.Schedule,
-		Now:   vm.kvm.Board.Now,
-		RaiseIRQ: func(irq int, level bool) {
-			vm.VDist.InjectSPI(irq, level)
-		},
+// ID is the VMID (tags the VM's TLB entries).
+func (vm *VM) ID() uint8 { return vm.VMID }
+
+// Device returns the VM's emulated virtio-style device of class, or nil.
+func (vm *VM) Device(class dev.VirtClass) *dev.Virt {
+	switch class {
+	case dev.VirtNet:
+		return vm.Net
+	case dev.VirtBlock:
+		return vm.Blk
+	case dev.VirtConsole:
+		return vm.Con
 	}
+	return nil
 }
+
+// ConsoleBytes returns the virtual UART output collected so far.
+func (vm *VM) ConsoleBytes() []byte { return vm.Console }
+
+// StatsSnapshot copies out the per-VM activity counters.
+func (vm *VM) StatsSnapshot() hv.VMStats { return vm.Stats }
 
 // AddUserMMIO registers a QEMU-emulated region (I/O User path).
 func (vm *VM) AddUserMMIO(base, size uint64, h MMIOHandler) {
-	vm.mmio = append(vm.mmio, mmioRegion{base: base, size: size, h: h, user: true})
+	vm.mmio.Add(base, size, h, true)
 }
 
 // AddKernelMMIO registers an in-kernel emulated region (I/O Kernel path,
 // like vhost).
 func (vm *VM) AddKernelMMIO(base, size uint64, h MMIOHandler) {
-	vm.mmio = append(vm.mmio, mmioRegion{base: base, size: size, h: h, user: false})
+	vm.mmio.Add(base, size, h, false)
 }
 
 // EnsureMapped populates the Stage-2 mapping for the page containing ipa
 // (the host/QEMU touching guest memory faults it in just like the guest
 // would) and returns the backing PA.
 func (vm *VM) EnsureMapped(ipa uint64) (uint64, error) {
-	page := ipa &^ (mmu.PageSize - 1)
-	if pa, ok, err := vm.S2.Lookup(uint32(page)); err != nil {
-		return 0, err
-	} else if ok {
-		return pa | (ipa & (mmu.PageSize - 1)), nil
-	}
-	if !vm.inSlot(ipa) {
-		return 0, fmt.Errorf("core: IPA %#x not in any memory slot", ipa)
-	}
-	pa, err := vm.kvm.Host.Alloc.AllocPages(1)
-	if err != nil {
-		return 0, err
-	}
-	if err := vm.S2.MapPage(uint32(page), pa, mmu.MapFlags{W: true}); err != nil {
-		return 0, err
-	}
-	return pa | (ipa & (mmu.PageSize - 1)), nil
+	return vm.Mem.EnsureMapped(ipa)
 }
 
 // WriteGuestMem copies data into guest-physical memory, populating Stage-2
 // mappings as needed (QEMU loading a guest image).
 func (vm *VM) WriteGuestMem(ipa uint64, data []byte) error {
-	for off := 0; off < len(data); {
-		pa, err := vm.EnsureMapped(ipa + uint64(off))
-		if err != nil {
-			return err
-		}
-		n := int(mmu.PageSize - (ipa+uint64(off))&(mmu.PageSize-1))
-		if n > len(data)-off {
-			n = len(data) - off
-		}
-		if err := vm.kvm.Board.RAM.WriteBytes(pa, data[off:off+n]); err != nil {
-			return err
-		}
-		off += n
-	}
-	return nil
+	return vm.Mem.Write(ipa, data)
 }
 
 // ReadGuestMem copies guest-physical memory out (QEMU inspecting a guest).
 func (vm *VM) ReadGuestMem(ipa uint64, n int) ([]byte, error) {
-	out := make([]byte, n)
-	for off := 0; off < n; {
-		pa, err := vm.EnsureMapped(ipa + uint64(off))
-		if err != nil {
-			return nil, err
-		}
-		chunk := int(mmu.PageSize - (ipa+uint64(off))&(mmu.PageSize-1))
-		if chunk > n-off {
-			chunk = n - off
-		}
-		if err := vm.kvm.Board.RAM.ReadBytes(pa, out[off:off+chunk]); err != nil {
-			return nil, err
-		}
-		off += chunk
-	}
-	return out, nil
+	return vm.Mem.Read(ipa, n)
 }
 
 // SetUserMemoryRegion adds a guest RAM slot.
 func (vm *VM) SetUserMemoryRegion(ipaBase, size uint64) {
-	vm.slots = append(vm.slots, MemSlot{IPABase: ipaBase, Size: size})
-}
-
-func (vm *VM) inSlot(ipa uint64) bool {
-	for _, s := range vm.slots {
-		if ipa >= s.IPABase && ipa < s.IPABase+s.Size {
-			return true
-		}
-	}
-	return false
-}
-
-func (vm *VM) findMMIO(ipa uint64) (*mmioRegion, uint64) {
-	for i := range vm.mmio {
-		r := &vm.mmio[i]
-		if ipa >= r.base && ipa < r.base+r.size {
-			return r, ipa - r.base
-		}
-	}
-	return nil, 0
+	vm.Mem.AddSlot(ipaBase, size)
 }
 
 func (vm *VM) noteGuestCPU(c *arm.CPU) { vm.lastGuestCPU = c }
 
 // VCPUs returns the VM's vCPUs.
-func (vm *VM) VCPUs() []*VCPU { return vm.vcpus }
+func (vm *VM) VCPUs() []hv.VCPU {
+	out := make([]hv.VCPU, len(vm.vcpus))
+	for i, v := range vm.vcpus {
+		out[i] = v
+	}
+	return out
+}
 
 type vcpuState int
 
@@ -347,12 +308,6 @@ const (
 	vcpuPaused
 	vcpuShutdown
 )
-
-// VCPUStats counts per-vCPU exits.
-type VCPUStats struct {
-	Exits   uint64
-	Entries uint64
-}
 
 // VCPU is one virtual CPU.
 type VCPU struct {
@@ -377,7 +332,7 @@ type VCPU struct {
 }
 
 // CreateVCPU adds a vCPU to the VM.
-func (vm *VM) CreateVCPU(id int) (*VCPU, error) {
+func (vm *VM) CreateVCPU(id int) (hv.VCPU, error) {
 	if id != len(vm.vcpus) {
 		return nil, fmt.Errorf("core: vCPUs must be created in order")
 	}
@@ -396,6 +351,12 @@ func (vm *VM) CreateVCPU(id int) (*VCPU, error) {
 	vm.kvm.Trace.RegisterVCPU(vm.VMID, id)
 	return v, nil
 }
+
+// VCPUID is the vCPU index within its VM.
+func (v *VCPU) VCPUID() int { return v.ID }
+
+// ExitStats copies out the per-vCPU entry/exit counters.
+func (v *VCPU) ExitStats() hv.VCPUStats { return v.Stats }
 
 // SetGuestSoftware installs the guest's kernel-mode software context: the
 // PL1 exception handler and the execution runner the world switch loads.
@@ -544,88 +505,10 @@ func (v *VCPU) Wake(fromHostCPU int) {
 	}
 }
 
-// virtMMIO adapts a dev.Virt to the VM MMIO interface (QEMU's device
-// model: same register layout as the physical board's).
-type virtMMIO struct{ d *dev.Virt }
-
-func (m *virtMMIO) Name() string { return m.d.Name() }
-func (m *virtMMIO) Read(v *VCPU, off uint64, size int) uint64 {
-	val, _ := m.d.ReadReg(off, size)
-	return val
-}
-func (m *virtMMIO) Write(v *VCPU, off uint64, size int, val uint64) {
-	_ = m.d.WriteReg(off, size, val)
-}
-
-// uartMMIO is the emulated console UART.
-type uartMMIO struct{ vm *VM }
-
-func (m *uartMMIO) Name() string { return "virtual-uart" }
-func (m *uartMMIO) Read(v *VCPU, off uint64, size int) uint64 {
-	if off == dev.UARTStatus {
-		return 1
-	}
-	return 0
-}
-func (m *uartMMIO) Write(v *VCPU, off uint64, size int, val uint64) {
-	if off == dev.UARTTx {
-		m.vm.Console = append(m.vm.Console, byte(val))
-	}
-}
-
-// GuestPhysIO gives a guest kernel access to its own (guest-)physical
-// address space: every access is a real load/store on the currently
-// executing CPU, traversing Stage-2 — so fresh pages take genuine Stage-2
-// faults into the highvisor, which resolves them with GetUserPages-style
-// allocation and retries.
-type GuestPhysIO struct {
-	VM *VM
-	// Cur returns the CPU executing guest code right now.
-	Cur func() *arm.CPU
-}
-
-func (g *GuestPhysIO) cpu() *arm.CPU {
-	if g.Cur != nil {
-		if c := g.Cur(); c != nil {
-			return c
-		}
-	}
-	return g.VM.lastGuestCPU
-}
-
-// Read64 implements kernel.PhysIO over guest-physical space.
-func (g *GuestPhysIO) Read64(ipa uint64) (uint64, error) {
-	c := g.cpu()
-	if c == nil {
-		return 0, fmt.Errorf("core: no CPU executing VM %d", g.VM.VMID)
-	}
-	// Kernel-context access: the guest kernel manipulates its tables in
-	// privileged mode even when invoked on behalf of a user process.
-	prev := c.CPSR
-	c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
-	defer c.SetCPSR(prev)
-	var v uint64
-	for tries := 0; tries < 4; tries++ {
-		if taken := c.Access(uint32(ipa), 8, mmu.Load, &v, true, 0); !taken {
-			return v, nil
-		}
-	}
-	return 0, fmt.Errorf("core: unresolvable guest-physical read at %#x", ipa)
-}
-
-// Write64 implements kernel.PhysIO over guest-physical space.
-func (g *GuestPhysIO) Write64(ipa uint64, v uint64) error {
-	c := g.cpu()
-	if c == nil {
-		return fmt.Errorf("core: no CPU executing VM %d", g.VM.VMID)
-	}
-	prev := c.CPSR
-	c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
-	defer c.SetCPSR(prev)
-	for tries := 0; tries < 4; tries++ {
-		if taken := c.Access(uint32(ipa), 8, mmu.Store, &v, true, 0); !taken {
-			return nil
-		}
-	}
-	return fmt.Errorf("core: unresolvable guest-physical write at %#x", ipa)
-}
+// Interface conformance (compile-time).
+var (
+	_ hv.Hypervisor = (*KVM)(nil)
+	_ hv.VM         = (*VM)(nil)
+	_ hv.VCPU       = (*VCPU)(nil)
+	_ hv.GuestOS    = (*GuestOS)(nil)
+)

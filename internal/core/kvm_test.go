@@ -72,14 +72,16 @@ func TestInitRequiresHypBoot(t *testing.T) {
 // isaGuest builds a VM running a raw SARM32 program at the guest RAM base.
 func isaGuest(t *testing.T, k *KVM, prog []uint32, hostCPU int) (*VM, *VCPU) {
 	t.Helper()
-	vm, err := k.CreateVM(64 << 20)
+	vmI, err := k.CreateVM(64 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := vm.CreateVCPU(0)
+	vm := vmI.(*VM)
+	vI, err := vm.CreateVCPU(0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	v := vI.(*VCPU)
 	asm := make([]byte, 0, len(prog)*4)
 	for _, w := range prog {
 		asm = append(asm, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
@@ -201,10 +203,11 @@ func TestMMIOSoftwareDecodePath(t *testing.T) {
 
 func TestGuestOSBootsAndRunsProcesses(t *testing.T) {
 	b, host, k := defaultEnv(t)
-	vm, err := k.CreateVM(96 << 20)
+	vmI, err := k.CreateVM(96 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
+	vm := vmI.(*VM)
 	v0, _ := vm.CreateVCPU(0)
 	g, err := NewGuestOS(vm, 96<<20)
 	if err != nil {
@@ -259,7 +262,8 @@ func TestGuestOSBootsAndRunsProcesses(t *testing.T) {
 
 func TestGuestNanosleepUsesVTimerAndWFI(t *testing.T) {
 	b, host, k := defaultEnv(t)
-	vm, _ := k.CreateVM(96 << 20)
+	vmI, _ := k.CreateVM(96 << 20)
+	vm := vmI.(*VM)
 	v0, _ := vm.CreateVCPU(0)
 	g, err := NewGuestOS(vm, 96<<20)
 	if err != nil {

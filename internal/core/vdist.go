@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kvmarm/internal/gic"
+	"kvmarm/internal/trace"
 )
 
 // VDist is the virtual distributor of §3.5: "a software model of the GIC
@@ -174,6 +175,10 @@ func (d *VDist) SendSGIFrom(src *VCPU, mask uint8, id int) {
 func (d *VDist) sendSGI(src *VCPU, mask uint8, id int) {
 	d.SGIs++
 	d.vm.Stats.IPIsEmulated++
+	if t := d.vm.kvm.Trace; t != nil {
+		t.Emit(trace.Event{Kind: trace.EvIPI, VM: d.vm.VMID, VCPU: int16(src.ID),
+			CPU: int16(d.vm.kvm.Board.Current), Arg: uint64(id)})
+	}
 	for i, t := range d.vm.vcpus {
 		if mask&(1<<i) == 0 {
 			continue

@@ -1,0 +1,108 @@
+// Cross-backend conformance: every registered backend must boot the same
+// micro-op guest and expose the same behaviour through the hv interfaces
+// alone. The test never names a concrete hypervisor type — new backends
+// are covered the moment they register.
+package hv_test
+
+import (
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/arm"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+// marker is a guest-physical address the program stores to; reading it
+// back through the VM exercises guest-memory access plus the lazy
+// second-stage fault path on the store.
+const marker = machine.RAMBase + 1<<20
+
+// conformanceProgram stores 0x5A to the marker address (one Stage-2/EPT
+// fault), issues an observable hypercall, and powers off (a second
+// hypercall). r0 still holds 0x5A at shutdown.
+func conformanceProgram() []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		MOV32(isa.R1, marker).
+		MOVW(isa.R0, 0x5A).
+		STR(isa.R0, isa.R1, 0).
+		HVC(1).
+		HVC(kernel.PSCISystemOff).
+		MustAssemble()
+}
+
+func TestBackendConformance(t *testing.T) {
+	backends := hv.Backends()
+	if len(backends) < 2 {
+		t.Fatalf("expected at least the ARM and x86 backends registered, got %d", len(backends))
+	}
+	for _, be := range backends {
+		be := be
+		t.Run(be.Name, func(t *testing.T) {
+			env, err := be.NewEnv(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vmI, err := env.HV.CreateVM(64 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := vmI.CreateVCPU(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			prog := conformanceProgram()
+			raw := make([]byte, 0, len(prog)*4)
+			for _, w := range prog {
+				raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+			}
+			if err := vmI.WriteGuestMem(machine.RAMBase, raw); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
+				t.Fatal(err)
+			}
+			v.SetGuestSoftware(nil, &isa.Interp{})
+			if _, err := v.StartThread(0); err != nil {
+				t.Fatal(err)
+			}
+			if !env.Board.Run(80_000_000, func() bool { return env.Host.LiveCount() == 0 }) {
+				t.Fatalf("guest did not finish (state=%s)", v.State())
+			}
+
+			if v.State() != "shutdown" {
+				t.Errorf("vCPU state = %q, want shutdown", v.State())
+			}
+			st := vmI.StatsSnapshot()
+			if st.Hypercalls < 2 {
+				t.Errorf("hypercalls = %d, want >= 2", st.Hypercalls)
+			}
+			if st.Stage2Faults == 0 {
+				t.Error("expected at least one second-stage fault for the marker store")
+			}
+			if v.ExitStats().Exits == 0 {
+				t.Error("expected vCPU exits")
+			}
+			b, err := vmI.ReadGuestMem(marker, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b[0] != 0x5A {
+				t.Errorf("marker byte = %#x, want 0x5A", b[0])
+			}
+			r0, err := v.GetOneReg(hv.RegGP(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r0 != 0x5A {
+				t.Errorf("r0 = %#x, want 0x5A", r0)
+			}
+		})
+	}
+}

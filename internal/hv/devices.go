@@ -1,0 +1,31 @@
+package hv
+
+import (
+	"kvmarm/internal/dev"
+	"kvmarm/internal/machine"
+)
+
+// StandardDevices creates the default emulated device set every VM gets —
+// virtio-style network, block and console models plus the UART, all
+// QEMU-emulated (user space), mirroring the host board's layout so the
+// unmodified guest kernel discovers them at the same addresses. raise is
+// the backend's virtual-interrupt injection path (virtual distributor or
+// APIC); console receives UART output.
+func StandardDevices(b *machine.Board, vm VM, raise func(irq int, level bool), console *[]byte) (net, blk, con *dev.Virt) {
+	newDev := func(class dev.VirtClass, irq int, bw float64, lat uint64) *dev.Virt {
+		return &dev.Virt{
+			Class: class, IRQ: irq, BytesPerCycle: bw, FixedLatency: lat,
+			Sched:    b.Schedule,
+			Now:      b.Now,
+			RaiseIRQ: raise,
+		}
+	}
+	net = newDev(dev.VirtNet, machine.IRQNet, 0.0074, 22_000)
+	blk = newDev(dev.VirtBlock, machine.IRQBlk, 0.147, 150_000)
+	con = newDev(dev.VirtConsole, machine.IRQCon, 1.0, 6_000)
+	vm.AddUserMMIO(machine.VirtNetBase, dev.VirtSize, &VirtMMIO{net})
+	vm.AddUserMMIO(machine.VirtBlkBase, dev.VirtSize, &VirtMMIO{blk})
+	vm.AddUserMMIO(machine.VirtConBase, dev.VirtSize, &VirtMMIO{con})
+	vm.AddUserMMIO(machine.UARTBase, dev.UARTSize, &UARTMMIO{console})
+	return net, blk, con
+}

@@ -1,0 +1,126 @@
+package hv
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+// GuestBoot is the backend-shared guest bring-up scaffolding: the boot
+// shims that stand in for the guest bootloader + kernel head on each
+// vCPU, the per-vCPU boot bookkeeping, and the GuestOS surface (Kernel,
+// Spawn, Booted, Err). A backend builds its kernel.Config — that is where
+// the architectures genuinely differ (VGIC vs trapped-EOI interrupt
+// hooks, the direct-VIPI register) — and calls Attach; everything else is
+// identical across backends and lives here.
+type GuestBoot struct {
+	// K is the guest kernel (exported so backend GuestOS embedders
+	// expose it the way tests and tools expect).
+	K *kernel.Kernel
+
+	board *machine.Board
+	vcpus []VCPU
+
+	primaryDone bool
+	booted      []bool
+	bootErr     error
+}
+
+// Attach installs boot shims on every vCPU; starting the vCPU threads
+// then boots the guest kernel.
+func (g *GuestBoot) Attach(k *kernel.Kernel, b *machine.Board, vcpus []VCPU) {
+	g.K = k
+	g.board = b
+	g.vcpus = vcpus
+	g.booted = make([]bool, len(vcpus))
+	for i, v := range vcpus {
+		v.SetGuestSoftware(nil, &bootShim{g: g, cpu: i})
+	}
+}
+
+// Kernel returns the guest kernel.
+func (g *GuestBoot) Kernel() *kernel.Kernel { return g.K }
+
+// Spawn creates a process inside the guest and kicks any blocked vCPU so
+// its scheduler notices the new work. (This models what a guest-side
+// event — an interrupt or shell input — would otherwise do; processes
+// cannot appear spontaneously inside a sleeping VM.)
+func (g *GuestBoot) Spawn(name string, cpu int, body kernel.Body) (*kernel.Proc, error) {
+	p, err := g.K.NewProc(name, cpu, body)
+	if err != nil {
+		return nil, err
+	}
+	from := g.board.Current
+	for _, v := range g.vcpus {
+		v.Wake(from)
+	}
+	return p, nil
+}
+
+// Booted reports whether every vCPU finished kernel bring-up.
+func (g *GuestBoot) Booted() bool {
+	for _, b := range g.booted {
+		if !b {
+			return false
+		}
+	}
+	return g.bootErr == nil
+}
+
+// Err returns a boot failure, if any.
+func (g *GuestBoot) Err() error { return g.bootErr }
+
+// finishBoot records the freshly attached kernel context into the vCPU so
+// later world switches restore the real guest software. The boot path may
+// itself have taken world switches (second-stage faults, distributor
+// MMIO), so the *live* CPU fields can be stale: install the kernel's own
+// handler and runner explicitly.
+func (g *GuestBoot) finishBoot(cpu int, c *arm.CPU) {
+	g.booted[cpu] = true
+	h, r := g.K.PL1HandlerFor(cpu), g.K.Runner(cpu)
+	g.vcpus[cpu].SetGuestSoftware(h, r)
+	c.PL1Handler = h
+	c.Runner = r
+}
+
+// bootShim is the vCPU's initial runner: it runs the kernel's boot path
+// the first time the vCPU executes, then hands over to the guest
+// scheduler.
+type bootShim struct {
+	g   *GuestBoot
+	cpu int
+}
+
+// Step implements arm.Runner.
+func (b *bootShim) Step(c *arm.CPU) {
+	g := b.g
+	c.Charge(50) // boot/spin progress so the board clock always advances
+	if g.bootErr != nil {
+		c.Charge(1000)
+		return
+	}
+	if b.cpu == 0 {
+		if !g.primaryDone {
+			if err := g.K.Boot(); err != nil {
+				g.bootErr = err
+				return
+			}
+			g.primaryDone = true
+			g.finishBoot(b.cpu, c)
+		}
+		return
+	}
+	if !g.primaryDone {
+		// Secondary vCPU spinning in the holding pen until the primary
+		// releases it (the boot protocol's secondary-CPU spin table).
+		c.Charge(500)
+		return
+	}
+	if !g.booted[b.cpu] {
+		if err := g.K.BootSecondary(b.cpu); err != nil {
+			g.bootErr = err
+			return
+		}
+		g.finishBoot(b.cpu, c)
+	}
+}

@@ -1,0 +1,115 @@
+package hv
+
+import (
+	"fmt"
+
+	"kvmarm/internal/mmu"
+)
+
+// MemSlot is a guest-physical memory region backed lazily by host pages
+// (KVM_SET_USER_MEMORY_REGION).
+type MemSlot struct {
+	IPABase uint64
+	Size    uint64
+}
+
+// PageAllocator grants host page frames (the host kernel's allocator).
+type PageAllocator interface {
+	AllocPages(n int) (uint64, error)
+}
+
+// PhysMem is host-physical memory (the board's RAM).
+type PhysMem interface {
+	ReadBytes(addr uint64, dst []byte) error
+	WriteBytes(addr uint64, src []byte) error
+}
+
+// GuestMem is the guest-physical memory bookkeeping both backends share:
+// the slot list, lazy second-stage population, and the chunked
+// user-space-style copies in and out of guest memory. The backend owns
+// the page table (Stage-2 or EPT — the same two-dimensional walk model)
+// and hands it in as Table.
+type GuestMem struct {
+	Table *mmu.Builder
+	Alloc PageAllocator
+	RAM   PhysMem
+	Slots []MemSlot
+}
+
+// AddSlot registers a guest RAM slot.
+func (m *GuestMem) AddSlot(ipaBase, size uint64) {
+	m.Slots = append(m.Slots, MemSlot{IPABase: ipaBase, Size: size})
+}
+
+// InSlot reports whether ipa falls inside a registered RAM slot.
+func (m *GuestMem) InSlot(ipa uint64) bool {
+	for _, s := range m.Slots {
+		if ipa >= s.IPABase && ipa < s.IPABase+s.Size {
+			return true
+		}
+	}
+	return false
+}
+
+// EnsureMapped populates the second-stage mapping for the page containing
+// ipa (the host/QEMU touching guest memory faults it in just like the
+// guest would) and returns the backing PA.
+func (m *GuestMem) EnsureMapped(ipa uint64) (uint64, error) {
+	page := ipa &^ (mmu.PageSize - 1)
+	if pa, ok, err := m.Table.Lookup(uint32(page)); err != nil {
+		return 0, err
+	} else if ok {
+		return pa | (ipa & (mmu.PageSize - 1)), nil
+	}
+	if !m.InSlot(ipa) {
+		return 0, fmt.Errorf("hv: IPA %#x not in any memory slot", ipa)
+	}
+	pa, err := m.Alloc.AllocPages(1)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Table.MapPage(uint32(page), pa, mmu.MapFlags{W: true}); err != nil {
+		return 0, err
+	}
+	return pa | (ipa & (mmu.PageSize - 1)), nil
+}
+
+// Write copies data into guest-physical memory, populating mappings as
+// needed.
+func (m *GuestMem) Write(ipa uint64, data []byte) error {
+	for off := 0; off < len(data); {
+		pa, err := m.EnsureMapped(ipa + uint64(off))
+		if err != nil {
+			return err
+		}
+		n := int(mmu.PageSize - (ipa+uint64(off))&(mmu.PageSize-1))
+		if n > len(data)-off {
+			n = len(data) - off
+		}
+		if err := m.RAM.WriteBytes(pa, data[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// Read copies guest-physical memory out.
+func (m *GuestMem) Read(ipa uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for off := 0; off < n; {
+		pa, err := m.EnsureMapped(ipa + uint64(off))
+		if err != nil {
+			return nil, err
+		}
+		chunk := int(mmu.PageSize - (ipa+uint64(off))&(mmu.PageSize-1))
+		if chunk > n-off {
+			chunk = n - off
+		}
+		if err := m.RAM.ReadBytes(pa, out[off:off+chunk]); err != nil {
+			return nil, err
+		}
+		off += chunk
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package hv defines the backend-neutral hypervisor interface the rest of
+// the repository programs against. The paper's whole evaluation is a
+// cross-architecture comparison — KVM/ARM's split-mode design
+// (internal/core) against KVM x86 with VT-x (internal/kvmx86) — and both
+// stacks expose the same conceptual objects: a hypervisor that creates
+// VMs, VMs that own guest-physical memory, MMIO regions and virtual
+// devices, and vCPUs that run on host threads. This package names those
+// objects once, so the benchmark harness, the workloads, the facade and
+// the CLIs drive every backend through one code path, and a third backend
+// (a §6 "ideal hardware" model, a RISC-V-H-style model) only has to
+// implement three interfaces.
+//
+// Alongside the interfaces live the concrete helpers both backends
+// previously duplicated verbatim: the memory-slot bookkeeping and chunked
+// guest-memory copies (GuestMem), MMIO region lookup (Regions), the
+// QEMU-side device shims (VirtMMIO, UARTMMIO, StandardDevices), the
+// guest-physical access adapter (GuestPhysIO), the ONE_REG register
+// namespace (RegID, GetReg, SetReg), and the guest boot scaffolding
+// (GuestBoot). The helpers depend only on the architecture-generic
+// substrate (arm, dev, kernel, machine, mmu, trace) — never on a backend.
+package hv
+
+import (
+	"kvmarm/internal/arm"
+	"kvmarm/internal/dev"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/trace"
+)
+
+// Hypervisor is one hypervisor backend instance brought up on a booted
+// host kernel (KVM/ARM's split-mode stack, the VT-x comparator, ...).
+type Hypervisor interface {
+	// CreateVM builds a VM with memBytes of guest RAM at the canonical
+	// base address.
+	CreateVM(memBytes uint64) (VM, error)
+	// AttachTracer wires the unified exit/trap event sink into every
+	// emit point of the backend (world switches, exit classification,
+	// interrupt-controller and timer traffic). Attach before creating
+	// VMs to capture boot-time exits; nil detaches.
+	AttachTracer(t *trace.Tracer)
+	// Tracer returns the currently attached tracer (nil when off).
+	Tracer() *trace.Tracer
+	// VMs lists the created VMs.
+	VMs() []VM
+	// Counters exposes the backend's hypervisor-level statistics under
+	// stable snake_case names (ARM: world_switch_in/out and the lowvisor
+	// counters; x86: vm_entries/vm_exits and the exit-reason counters).
+	Counters() map[string]uint64
+}
+
+// VM is one virtual machine.
+type VM interface {
+	// ID is the VM identifier (the VMID/VPID tagging its TLB entries).
+	ID() uint8
+	// CreateVCPU adds vCPU number id; vCPUs must be created in order.
+	CreateVCPU(id int) (VCPU, error)
+	// VCPUs returns the VM's vCPUs in creation order.
+	VCPUs() []VCPU
+	// AddKernelMMIO registers an in-kernel emulated device region
+	// (the I/O Kernel path, like vhost).
+	AddKernelMMIO(base, size uint64, h MMIOHandler)
+	// AddUserMMIO registers a QEMU-emulated region (the I/O User path).
+	AddUserMMIO(base, size uint64, h MMIOHandler)
+	// SetUserMemoryRegion adds a guest RAM slot
+	// (KVM_SET_USER_MEMORY_REGION).
+	SetUserMemoryRegion(ipaBase, size uint64)
+	// EnsureMapped populates the second-stage mapping for the page
+	// containing ipa and returns the backing host-physical address.
+	EnsureMapped(ipa uint64) (uint64, error)
+	// WriteGuestMem copies data into guest-physical memory, populating
+	// mappings as needed (QEMU loading a guest image).
+	WriteGuestMem(ipa uint64, data []byte) error
+	// ReadGuestMem copies guest-physical memory out (QEMU inspecting a
+	// guest, the migration source side).
+	ReadGuestMem(ipa uint64, n int) ([]byte, error)
+	// Device returns the VM's emulated virtio-style device of the given
+	// class, or nil.
+	Device(class dev.VirtClass) *dev.Virt
+	// ConsoleBytes returns the virtual UART output collected so far.
+	ConsoleBytes() []byte
+	// StatsSnapshot copies out the per-VM activity counters.
+	StatsSnapshot() VMStats
+	// NewGuestOS couples an unmodified minOS instance to the VM (whose
+	// vCPUs must already be created) and installs boot shims; start the
+	// vCPU threads to boot it.
+	NewGuestOS(memBytes uint64) (GuestOS, error)
+}
+
+// VCPU is one virtual CPU.
+type VCPU interface {
+	// VCPUID is the vCPU index within its VM.
+	VCPUID() int
+	// State reports the run state: "ready", "running", "wfi"/"hlt",
+	// "paused" or "shutdown".
+	State() string
+	// SetGuestSoftware installs the guest's kernel-mode software
+	// context: the PL1 exception handler and the execution runner the
+	// world switch loads.
+	SetGuestSoftware(h arm.ExcHandler, r arm.Runner)
+	// StartThread creates the host process (the "QEMU vCPU thread")
+	// that runs this vCPU, pinned to hostCPU (-1 for any).
+	StartThread(hostCPU int) (*kernel.Proc, error)
+	// Pause asks the vCPU to stop at its next exit, kicking it out of
+	// the guest if it is running (user-space pause for register access
+	// and migration, §4).
+	Pause()
+	// Resume lets a paused vCPU run again.
+	Resume()
+	// Paused reports whether the vCPU is parked.
+	Paused() bool
+	// Shutdown marks the vCPU (and its thread) as finished.
+	Shutdown()
+	// Wake unblocks a WFI/HLT-blocked vCPU (virtual interrupt arrived).
+	Wake(fromHostCPU int)
+	// GetOneReg reads one guest register (KVM_GET_ONE_REG). The vCPU
+	// must not be running.
+	GetOneReg(id RegID) (uint32, error)
+	// SetOneReg writes one guest register (KVM_SET_ONE_REG).
+	SetOneReg(id RegID, val uint32) error
+	// ExitStats copies out the per-vCPU entry/exit counters.
+	ExitStats() VCPUStats
+}
+
+// GuestOS is a minOS instance booted inside a VM.
+type GuestOS interface {
+	// Kernel returns the guest kernel.
+	Kernel() *kernel.Kernel
+	// Spawn creates a process inside the guest and kicks sleeping
+	// vCPUs so their schedulers notice the new work.
+	Spawn(name string, cpu int, body kernel.Body) (*kernel.Proc, error)
+	// Booted reports whether every vCPU finished kernel bring-up.
+	Booted() bool
+	// Err returns a boot failure, if any.
+	Err() error
+}
+
+// MMIOHandler emulates a device region for a VM.
+type MMIOHandler interface {
+	Name() string
+	Read(v VCPU, off uint64, size int) uint64
+	Write(v VCPU, off uint64, size int, val uint64)
+}
+
+// VMStats counts per-VM hypervisor activity. One struct serves both
+// backends: Stage2Faults covers EPT violations on x86, VTimerInjected the
+// hrtimer-backed APIC timer, and EOIExits is the x86-only trapped-EOI
+// count (zero on ARM, where EOI runs through the VGIC without exits).
+type VMStats struct {
+	Stage2Faults   uint64
+	MMIOExits      uint64
+	MMIOUserExits  uint64
+	MMIODecoded    uint64 // software instruction decode used
+	SysRegTraps    uint64
+	WFIExits       uint64
+	IRQExits       uint64
+	Hypercalls     uint64
+	VTimerInjected uint64
+	IPIsEmulated   uint64
+	EOIExits       uint64
+}
+
+// VCPUStats counts per-vCPU entries and exits.
+type VCPUStats struct {
+	Exits   uint64
+	Entries uint64
+}

@@ -1,0 +1,64 @@
+package hv
+
+import "kvmarm/internal/dev"
+
+// MMIORegion is one registered emulated-device window.
+type MMIORegion struct {
+	Base, Size uint64
+	H          MMIOHandler
+	// User marks regions emulated in user space (QEMU) rather than
+	// in-kernel — the I/O User vs I/O Kernel split of Table 3.
+	User bool
+}
+
+// Regions is the MMIO routing table of a VM.
+type Regions []MMIORegion
+
+// Add registers a region.
+func (rs *Regions) Add(base, size uint64, h MMIOHandler, user bool) {
+	*rs = append(*rs, MMIORegion{Base: base, Size: size, H: h, User: user})
+}
+
+// Find returns the region containing ipa and the offset into it, or nil.
+func (rs Regions) Find(ipa uint64) (*MMIORegion, uint64) {
+	for i := range rs {
+		r := &rs[i]
+		if ipa >= r.Base && ipa < r.Base+r.Size {
+			return r, ipa - r.Base
+		}
+	}
+	return nil, 0
+}
+
+// VirtMMIO adapts a dev.Virt to the VM MMIO interface (QEMU's device
+// model: same register layout as the physical board's).
+type VirtMMIO struct{ D *dev.Virt }
+
+func (m *VirtMMIO) Name() string { return m.D.Name() }
+
+func (m *VirtMMIO) Read(v VCPU, off uint64, size int) uint64 {
+	val, _ := m.D.ReadReg(off, size)
+	return val
+}
+
+func (m *VirtMMIO) Write(v VCPU, off uint64, size int, val uint64) {
+	_ = m.D.WriteReg(off, size, val)
+}
+
+// UARTMMIO is the emulated console UART; output accumulates in *Console.
+type UARTMMIO struct{ Console *[]byte }
+
+func (m *UARTMMIO) Name() string { return "virtual-uart" }
+
+func (m *UARTMMIO) Read(v VCPU, off uint64, size int) uint64 {
+	if off == dev.UARTStatus {
+		return 1
+	}
+	return 0
+}
+
+func (m *UARTMMIO) Write(v VCPU, off uint64, size int, val uint64) {
+	if off == dev.UARTTx {
+		*m.Console = append(*m.Console, byte(val))
+	}
+}

@@ -1,0 +1,195 @@
+package hv
+
+import (
+	"fmt"
+	"sort"
+
+	"kvmarm/internal/arm"
+)
+
+// The user-space register save/restore interface of §4 ("user space save
+// and restore of registers, a feature useful for both debugging and VM
+// migration" — the interface Rusty Russell helped design). Register IDs
+// are stable across releases, as the kernel community's no-ABI-breakage
+// policy demands. Both backends hold guest state in the same shape (an
+// arm.GPSnapshot plus the context-switched control registers), so the
+// namespace and its accessors live here once.
+
+// RegID names one guest register in the ONE_REG namespace.
+type RegID uint32
+
+// RegID encoding: class in the top byte, index below.
+const (
+	regClassGP   uint32 = 0x0100_0000 // r0..r12 (common bank)
+	regClassSP   uint32 = 0x0200_0000 // banked SPs: usr,svc,abt,und,irq,fiq
+	regClassLR   uint32 = 0x0300_0000
+	regClassSPSR uint32 = 0x0400_0000 // svc,abt,und,irq,fiq
+	regClassCore uint32 = 0x0500_0000 // 0=PC 1=CPSR 2=ELR_hyp
+	regClassCP15 uint32 = 0x0600_0000 // the context-switched control regs
+	regClassFIQ  uint32 = 0x0700_0000 // r8_fiq..r12_fiq
+)
+
+// Well-known register IDs.
+const (
+	RegPC   = RegID(regClassCore | 0)
+	RegCPSR = RegID(regClassCore | 1)
+)
+
+// RegGP returns the ID of general-purpose register rN (0 <= n <= 12).
+func RegGP(n int) RegID { return RegID(regClassGP | uint32(n)) }
+
+// RegList enumerates every register the interface exposes
+// (KVM_GET_REG_LIST).
+func RegList() []RegID {
+	var ids []RegID
+	for i := 0; i < 13; i++ {
+		ids = append(ids, RegID(regClassGP|uint32(i)))
+	}
+	for i := 0; i < 6; i++ {
+		ids = append(ids, RegID(regClassSP|uint32(i)), RegID(regClassLR|uint32(i)))
+	}
+	for i := 0; i < 5; i++ {
+		ids = append(ids, RegID(regClassSPSR|uint32(i)))
+	}
+	for i := 0; i < 3; i++ {
+		ids = append(ids, RegID(regClassCore|uint32(i)))
+	}
+	for i := 0; i < arm.NumCtxControlRegs; i++ {
+		ids = append(ids, RegID(regClassCP15|uint32(i)))
+	}
+	for i := 0; i < 5; i++ {
+		ids = append(ids, RegID(regClassFIQ|uint32(i)))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RegFile is a backend's saved guest register state, by reference.
+type RegFile struct {
+	GP   *arm.GPSnapshot
+	CP15 *[arm.NumCtxControlRegs]uint32
+}
+
+// GetReg reads one register from a saved register file.
+func GetReg(f RegFile, id RegID) (uint32, error) {
+	class, idx := uint32(id)&0xFF00_0000, int(uint32(id)&0x00FF_FFFF)
+	g := f.GP
+	switch class {
+	case regClassGP:
+		if idx < 8 {
+			return g.Low[idx], nil
+		}
+		if idx < 13 {
+			return g.Mid[0][idx-8], nil
+		}
+	case regClassSP:
+		if idx < 6 {
+			return g.SP[idx], nil
+		}
+	case regClassLR:
+		if idx < 6 {
+			return g.LR[idx], nil
+		}
+	case regClassSPSR:
+		if idx < 5 {
+			return g.SPSR[idx], nil
+		}
+	case regClassCore:
+		switch idx {
+		case 0:
+			return g.PC, nil
+		case 1:
+			return g.CPSR, nil
+		case 2:
+			return g.ELRHyp, nil
+		}
+	case regClassCP15:
+		if idx < arm.NumCtxControlRegs {
+			return f.CP15[idx], nil
+		}
+	case regClassFIQ:
+		if idx < 5 {
+			return g.Mid[1][idx], nil
+		}
+	}
+	return 0, fmt.Errorf("hv: unknown register id %#x", uint32(id))
+}
+
+// SetReg writes one register into a saved register file.
+func SetReg(f RegFile, id RegID, val uint32) error {
+	class, idx := uint32(id)&0xFF00_0000, int(uint32(id)&0x00FF_FFFF)
+	g := f.GP
+	switch class {
+	case regClassGP:
+		if idx < 8 {
+			g.Low[idx] = val
+			return nil
+		}
+		if idx < 13 {
+			g.Mid[0][idx-8] = val
+			return nil
+		}
+	case regClassSP:
+		if idx < 6 {
+			g.SP[idx] = val
+			return nil
+		}
+	case regClassLR:
+		if idx < 6 {
+			g.LR[idx] = val
+			return nil
+		}
+	case regClassSPSR:
+		if idx < 5 {
+			g.SPSR[idx] = val
+			return nil
+		}
+	case regClassCore:
+		switch idx {
+		case 0:
+			g.PC = val
+			return nil
+		case 1:
+			g.CPSR = val
+			return nil
+		case 2:
+			g.ELRHyp = val
+			return nil
+		}
+	case regClassCP15:
+		if idx < arm.NumCtxControlRegs {
+			f.CP15[idx] = val
+			return nil
+		}
+	case regClassFIQ:
+		if idx < 5 {
+			g.Mid[1][idx] = val
+			return nil
+		}
+	}
+	return fmt.Errorf("hv: unknown register id %#x", uint32(id))
+}
+
+// SaveAllRegs snapshots every exposed register of a (non-running) vCPU
+// (the migration source side).
+func SaveAllRegs(v VCPU) (map[RegID]uint32, error) {
+	out := map[RegID]uint32{}
+	for _, id := range RegList() {
+		val, err := v.GetOneReg(id)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = val
+	}
+	return out, nil
+}
+
+// RestoreAllRegs writes a snapshot back (the migration destination side).
+func RestoreAllRegs(v VCPU, regs map[RegID]uint32) error {
+	for id, val := range regs {
+		if err := v.SetOneReg(id, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package hv
+
+import (
+	"fmt"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/mmu"
+)
+
+// GuestPhysIO gives a guest kernel access to its own (guest-)physical
+// address space: every access is a real load/store on the currently
+// executing CPU, traversing the second stage — so fresh pages take
+// genuine Stage-2/EPT faults into the hypervisor, which resolves them
+// with GetUserPages-style allocation and retries.
+type GuestPhysIO struct {
+	// Label names the VM in error messages.
+	Label string
+	// Cur returns the CPU executing guest code of this VM right now, or
+	// nil.
+	Cur func() *arm.CPU
+	// Last returns the physical CPU that most recently ran the VM (the
+	// fallback when no CPU is currently in the guest).
+	Last func() *arm.CPU
+}
+
+func (g *GuestPhysIO) cpu() *arm.CPU {
+	if g.Cur != nil {
+		if c := g.Cur(); c != nil {
+			return c
+		}
+	}
+	if g.Last != nil {
+		return g.Last()
+	}
+	return nil
+}
+
+// Read64 implements kernel.PhysIO over guest-physical space.
+func (g *GuestPhysIO) Read64(ipa uint64) (uint64, error) {
+	c := g.cpu()
+	if c == nil {
+		return 0, fmt.Errorf("hv: no CPU executing %s", g.Label)
+	}
+	// Kernel-context access: the guest kernel manipulates its tables in
+	// privileged mode even when invoked on behalf of a user process.
+	prev := c.CPSR
+	c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
+	defer c.SetCPSR(prev)
+	var v uint64
+	for tries := 0; tries < 4; tries++ {
+		if taken := c.Access(uint32(ipa), 8, mmu.Load, &v, true, 0); !taken {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("hv: unresolvable guest-physical read at %#x (%s)", ipa, g.Label)
+}
+
+// Write64 implements kernel.PhysIO over guest-physical space.
+func (g *GuestPhysIO) Write64(ipa uint64, v uint64) error {
+	c := g.cpu()
+	if c == nil {
+		return fmt.Errorf("hv: no CPU executing %s", g.Label)
+	}
+	prev := c.CPSR
+	c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
+	defer c.SetCPSR(prev)
+	for tries := 0; tries < 4; tries++ {
+		if taken := c.Access(uint32(ipa), 8, mmu.Store, &v, true, 0); !taken {
+			return nil
+		}
+	}
+	return fmt.Errorf("hv: unresolvable guest-physical write at %#x (%s)", ipa, g.Label)
+}

@@ -1,0 +1,109 @@
+package hv
+
+import (
+	"fmt"
+
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/trace"
+)
+
+// Env is a booted host environment with a hypervisor brought up on it —
+// everything a harness needs to create VMs through the interfaces.
+type Env struct {
+	Board *machine.Board
+	Host  *kernel.Kernel
+	HV    Hypervisor
+}
+
+// Backend describes one registered hypervisor configuration (the paper's
+// platform columns: "ARM", "ARM no VGIC/vtimers", "KVM x86 laptop",
+// "KVM x86 server"). Registration happens in the root kvmarm package —
+// the only place allowed to name concrete backend types — so consumers
+// stay backend-neutral.
+type Backend struct {
+	// Name is the canonical configuration name (a Table 3 column).
+	Name string
+	// Aliases are accepted alternative spellings for Lookup.
+	Aliases []string
+	// IsARM distinguishes the split-mode ARM stack from the VT-x
+	// comparator where the measurement method differs (the EOI+ACK
+	// micro-benchmark has no trap to time on x86).
+	IsARM bool
+	// BootBudget is the board-step budget a full guest boot may take.
+	BootBudget uint64
+	// NewBoard builds a bare board with this configuration's hardware
+	// and cost model (no host kernel) — raw trap-cost measurements.
+	NewBoard func(cpus int) (*machine.Board, error)
+	// NewEnv boots a minimal measurement host and brings the
+	// hypervisor up on it.
+	NewEnv func(cpus int) (*Env, error)
+}
+
+var backends []*Backend
+
+// Register adds a backend configuration. Later registrations of the same
+// canonical name replace earlier ones.
+func Register(b *Backend) {
+	for i, old := range backends {
+		if old.Name == b.Name {
+			backends[i] = b
+			return
+		}
+	}
+	backends = append(backends, b)
+}
+
+// Lookup resolves a configuration by canonical name or alias.
+func Lookup(name string) (*Backend, bool) {
+	for _, b := range backends {
+		if b.Name == name {
+			return b, true
+		}
+		for _, a := range b.Aliases {
+			if a == name {
+				return b, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Backends lists the registered configurations in registration order.
+func Backends() []*Backend {
+	out := make([]*Backend, len(backends))
+	copy(out, backends)
+	return out
+}
+
+// BootGuest runs the standard VM bring-up sequence through the
+// interfaces: attach the tracer (before the VM exists, so boot-time exits
+// are captured), create the VM and its vCPUs, couple a guest OS, start
+// the vCPU threads, and run the board until the guest kernel is up.
+func BootGuest(env *Env, cpus int, memBytes, budget uint64, tr *trace.Tracer) (VM, GuestOS, error) {
+	if tr != nil {
+		env.HV.AttachTracer(tr)
+	}
+	vm, err := env.HV.CreateVM(memBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < cpus; i++ {
+		if _, err := vm.CreateVCPU(i); err != nil {
+			return nil, nil, err
+		}
+	}
+	guest, err := vm.NewGuestOS(memBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, v := range vm.VCPUs() {
+		if _, err := v.StartThread(i); err != nil {
+			return nil, nil, err
+		}
+	}
+	if !env.Board.Run(budget, guest.Booted) {
+		return nil, nil, fmt.Errorf("hv: guest kernel did not boot: %v", guest.Err())
+	}
+	return vm, guest, nil
+}

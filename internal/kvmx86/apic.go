@@ -1,6 +1,9 @@
 package kvmx86
 
-import "kvmarm/internal/gic"
+import (
+	"kvmarm/internal/gic"
+	"kvmarm/internal/trace"
+)
 
 // APIC is KVM x86's in-kernel interrupt-controller emulation (pre-APICv:
 // no hardware assist at all). Compared with the ARM virtual distributor it
@@ -108,7 +111,12 @@ func (a *APIC) writeEnable(vcpu, word int, bits uint32, enable bool) {
 func (a *APIC) sendIPI(src *VCPU, mask uint8, id int) {
 	a.IPIs++
 	a.vm.Stats.IPIsEmulated++
-	hv := a.vm.hv
+	x := a.vm.kvm
+	x.Stats.IPIExits++
+	if t := x.Trace; t != nil {
+		t.Emit(trace.Event{Kind: trace.EvIPI, VM: a.vm.VMID, VCPU: int16(src.ID),
+			CPU: int16(x.Board.Current), Arg: uint64(id)})
+	}
 	for i := range a.vm.vcpus {
 		if mask&(1<<i) == 0 {
 			continue
@@ -119,7 +127,7 @@ func (a *APIC) sendIPI(src *VCPU, mask uint8, id int) {
 	}
 	// The physical IPI underneath (sender-side cost; charged to the core
 	// executing the ICR emulation — the sender exited to root mode).
-	hv.Board.CPUs[hv.Board.Current].Charge(hv.P.HWIPI)
+	x.Board.CPUs[x.Board.Current].Charge(x.P.HWIPI)
 }
 
 // InjectSPI raises/lowers a level-triggered device interrupt.
@@ -172,18 +180,18 @@ func (a *APIC) deliverAll() {
 // deliverTo makes v notice pending interrupts: if running in the guest,
 // assert its (software) interrupt line; if halted, wake its thread.
 func (a *APIC) deliverTo(v *VCPU) {
-	hv := a.vm.hv
+	x := a.vm.kvm
 	if v.state == vcpuBlockedHLT && a.hasPendingFor(v) {
-		v.Wake(hv.Board.Current)
+		v.Wake(x.Board.Current)
 		return
 	}
 	if v.phys < 0 {
 		return
 	}
-	hv.Board.CPUs[v.phys].VIRQLine = a.hasPendingFor(v)
-	if v.phys != hv.Board.Current && a.hasPendingFor(v) {
+	x.Board.CPUs[v.phys].VIRQLine = a.hasPendingFor(v)
+	if v.phys != x.Board.Current && a.hasPendingFor(v) {
 		// Kick the remote core out of non-root mode (vcpu_kick).
-		_ = hv.Board.GIC.SendSGI(hv.Board.Current, 1<<uint(v.phys), 2)
+		_ = x.Board.GIC.SendSGI(x.Board.Current, 1<<uint(v.phys), 2)
 	}
 }
 

@@ -4,22 +4,25 @@ import (
 	"fmt"
 
 	"kvmarm/internal/arm"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
-	"kvmarm/internal/mmu"
+	"kvmarm/internal/trace"
 )
 
 // GuestOS couples a minOS instance to an x86 VM. The kernel is the same
 // package the ARM stacks run; only the interrupt architecture hooks differ
 // (IDT-style delivery with no ACK, EOI by trapped APIC write), exactly the
-// x86/ARM contrast of §2.
+// x86/ARM contrast of §2. Boot sequencing and process spawning are the
+// shared hv.GuestBoot machinery.
 type GuestOS struct {
+	hv.GuestBoot
 	VM *VM
-	K  *kernel.Kernel
+}
 
-	primaryDone bool
-	booted      []bool
-	bootErr     error
+// NewGuestOS implements hv.VM.
+func (vm *VM) NewGuestOS(memBytes uint64) (hv.GuestOS, error) {
+	return NewGuestOS(vm, memBytes)
 }
 
 // NewGuestOS builds the guest kernel for vm.
@@ -27,23 +30,33 @@ func NewGuestOS(vm *VM, memBytes uint64) (*GuestOS, error) {
 	if len(vm.vcpus) == 0 {
 		return nil, fmt.Errorf("kvmx86: create vCPUs before the guest OS")
 	}
-	hv := vm.hv
-	g := &GuestOS{VM: vm, booted: make([]bool, len(vm.vcpus))}
+	x := vm.kvm
+	g := &GuestOS{VM: vm}
 
-	phys := &guestPhysIO{vm: vm}
+	phys := &hv.GuestPhysIO{
+		Label: fmt.Sprintf("VM %d", vm.VMID),
+		Cur: func() *arm.CPU {
+			c := x.Board.CPUs[x.Board.Current]
+			if lv := x.loaded[c.ID]; lv != nil && lv.vm == vm {
+				return c
+			}
+			return nil
+		},
+		Last: func() *arm.CPU { return vm.lastGuestCPU },
+	}
 
-	g.K = kernel.New(kernel.Config{
+	k := kernel.New(kernel.Config{
 		Name:    fmt.Sprintf("x86guest-vm%d", vm.VMID),
 		NumCPUs: len(vm.vcpus),
 		CPU: func(i int) *arm.CPU {
 			v := vm.vcpus[i]
 			if v.phys >= 0 {
-				return hv.Board.CPUs[v.phys]
+				return x.Board.CPUs[v.phys]
 			}
 			if vm.lastGuestCPU != nil {
 				return vm.lastGuestCPU
 			}
-			return hv.Board.CPUs[0]
+			return x.Board.CPUs[0]
 		},
 		HW: kernel.HWConfig{
 			GICDistBase: machine.GICDistBase,
@@ -65,13 +78,18 @@ func NewGuestOS(vm *VM, memBytes uint64) (*GuestOS, error) {
 			EOIHook: func(cpu int, c *arm.CPU, id int) {
 				v := vm.vcpus[cpu]
 				vm.Stats.EOIExits++
-				hv.Stats.EOIExits++
+				x.Stats.EOIExits++
 				// Full exit: VMCS save, decode, APIC emulation with
 				// locking, VMRESUME.
-				c.Charge(hv.P.VMExit + hv.P.APICDecode + hv.P.APICEmulate + hv.P.VMEntry)
+				cost := x.P.VMExit + x.P.APICDecode + x.P.APICEmulate + x.P.VMEntry
+				c.Charge(cost)
 				vm.APIC.EOI(v, id)
 				if v.phys >= 0 {
-					hv.Board.CPUs[v.phys].VIRQLine = vm.APIC.hasPendingFor(v)
+					x.Board.CPUs[v.phys].VIRQLine = vm.APIC.hasPendingFor(v)
+				}
+				if t := x.Trace; t != nil {
+					t.Emit(trace.Event{Kind: trace.ExitEOI, VM: vm.VMID, VCPU: int16(v.ID),
+						CPU: int16(c.ID), Arg: uint64(id), Cycles: cost, Time: c.Clock})
 				}
 			},
 		},
@@ -80,129 +98,6 @@ func NewGuestOS(vm *VM, memBytes uint64) (*GuestOS, error) {
 		AllocSize: memBytes - (16 << 20),
 	})
 
-	for i := range vm.vcpus {
-		vm.vcpus[i].SetGuestSoftware(nil, &bootShim{g: g, cpu: i})
-	}
+	g.Attach(k, x.Board, vm.VCPUs())
 	return g, nil
-}
-
-// Spawn creates a guest process and kicks halted vCPUs.
-func (g *GuestOS) Spawn(name string, cpu int, body kernel.Body) (*kernel.Proc, error) {
-	p, err := g.K.NewProc(name, cpu, body)
-	if err != nil {
-		return nil, err
-	}
-	from := g.VM.hv.Board.Current
-	for _, v := range g.VM.vcpus {
-		v.Wake(from)
-	}
-	return p, nil
-}
-
-// Booted reports whether every vCPU finished bring-up.
-func (g *GuestOS) Booted() bool {
-	for _, b := range g.booted {
-		if !b {
-			return false
-		}
-	}
-	return g.bootErr == nil
-}
-
-// Err returns a boot failure.
-func (g *GuestOS) Err() error { return g.bootErr }
-
-type bootShim struct {
-	g   *GuestOS
-	cpu int
-}
-
-// Step implements arm.Runner.
-func (b *bootShim) Step(c *arm.CPU) {
-	g := b.g
-	c.Charge(50)
-	if g.bootErr != nil {
-		c.Charge(1000)
-		return
-	}
-	if b.cpu == 0 {
-		if !g.primaryDone {
-			if err := g.K.Boot(); err != nil {
-				g.bootErr = err
-				return
-			}
-			g.primaryDone = true
-			g.finishBoot(0, c)
-		}
-		return
-	}
-	if !g.primaryDone {
-		c.Charge(500)
-		return
-	}
-	if !g.booted[b.cpu] {
-		if err := g.K.BootSecondary(b.cpu); err != nil {
-			g.bootErr = err
-			return
-		}
-		g.finishBoot(b.cpu, c)
-	}
-}
-
-func (g *GuestOS) finishBoot(cpu int, c *arm.CPU) {
-	g.booted[cpu] = true
-	v := g.VM.vcpus[cpu]
-	v.Ctx.PL1Software = g.K.PL1HandlerFor(cpu)
-	v.Ctx.Runner = g.K.Runner(cpu)
-	c.PL1Handler = v.Ctx.PL1Software
-	c.Runner = v.Ctx.Runner
-}
-
-// guestPhysIO is the guest-physical access adapter (EPT-translated).
-type guestPhysIO struct{ vm *VM }
-
-func (g *guestPhysIO) cpu() *arm.CPU {
-	hv := g.vm.hv
-	c := hv.Board.CPUs[hv.Board.Current]
-	if lv := hv.loaded[c.ID]; lv != nil && lv.vm == g.vm {
-		return c
-	}
-	return g.vm.lastGuestCPU
-}
-
-// Read64 implements kernel.PhysIO.
-func (g *guestPhysIO) Read64(gpa uint64) (uint64, error) {
-	c := g.cpu()
-	if c == nil {
-		return 0, fmt.Errorf("kvmx86: no CPU executing VM %d", g.vm.VMID)
-	}
-	// Kernel-context access: the guest kernel manipulates its tables in
-	// privileged mode even when invoked on behalf of a user process.
-	prev := c.CPSR
-	c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
-	defer c.SetCPSR(prev)
-	var v uint64
-	for tries := 0; tries < 4; tries++ {
-		if taken := c.Access(uint32(gpa), 8, mmu.Load, &v, true, 0); !taken {
-			return v, nil
-		}
-	}
-	return 0, fmt.Errorf("kvmx86: unresolvable guest read at %#x", gpa)
-}
-
-// Write64 implements kernel.PhysIO.
-func (g *guestPhysIO) Write64(gpa uint64, v uint64) error {
-	c := g.cpu()
-	if c == nil {
-		return fmt.Errorf("kvmx86: no CPU executing VM %d", g.vm.VMID)
-	}
-	prev := c.CPSR
-	c.SetCPSR(prev&^arm.PSRModeMask | uint32(arm.ModeSVC))
-	defer c.SetCPSR(prev)
-	for tries := 0; tries < 4; tries++ {
-		if taken := c.Access(uint32(gpa), 8, mmu.Store, &v, true, 0); !taken {
-			return nil
-		}
-	}
-	return fmt.Errorf("kvmx86: unresolvable guest write at %#x", gpa)
 }

@@ -1,7 +1,7 @@
 // Package kvmx86 implements the paper's comparison baseline: KVM on x86
 // with Intel VT-x (§2 "Comparison with x86", §5). It provides the same
-// VM/vCPU/guest-OS interface as internal/core, but with the x86
-// architecture's mechanics:
+// VM/vCPU/guest-OS interface as internal/core — both backends implement
+// the internal/hv interfaces — but with the x86 architecture's mechanics:
 //
 //   - No split mode: root mode is orthogonal to the protection rings, so
 //     the exit handler IS the host kernel — a single (but expensive,
@@ -21,11 +21,26 @@ import (
 
 	"kvmarm/internal/arm"
 	"kvmarm/internal/dev"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/mmu"
 	"kvmarm/internal/timer"
+	"kvmarm/internal/trace"
 	"kvmarm/internal/x86"
+)
+
+// Backend-neutral aliases, shared with the ARM backend via internal/hv.
+type (
+	// MMIOHandler emulates a device region for a VM.
+	MMIOHandler = hv.MMIOHandler
+	// VMStats counts per-VM hypervisor activity (Stage2Faults counts EPT
+	// violations here).
+	VMStats = hv.VMStats
+	// VCPUStats counts per-vCPU exits.
+	VCPUStats = hv.VCPUStats
+	// RegID names one guest register in the ONE_REG namespace.
+	RegID = hv.RegID
 )
 
 // NewBoard builds a board configured like the paper's x86 platforms: no
@@ -68,6 +83,10 @@ type Hypervisor struct {
 	hostCtx  []hostSaved
 
 	Stats Stats
+
+	// Trace is the unified exit/trap event sink; nil when tracing is
+	// off. Attach with AttachTracer.
+	Trace *trace.Tracer
 }
 
 type hostSaved struct {
@@ -81,7 +100,7 @@ type hostSaved struct {
 // Init creates the hypervisor on a booted host kernel. Unlike ARM, no
 // special boot mode is required: the kernel already runs in root mode.
 func Init(b *machine.Board, host *kernel.Kernel, p x86.Profile) (*Hypervisor, error) {
-	hv := &Hypervisor{
+	x := &Hypervisor{
 		Board:   b,
 		Host:    host,
 		P:       p,
@@ -89,7 +108,7 @@ func Init(b *machine.Board, host *kernel.Kernel, p x86.Profile) (*Hypervisor, er
 		hostCtx: make([]hostSaved, len(b.CPUs)),
 	}
 	for _, c := range b.CPUs {
-		c.HypHandler = hv.vmExit
+		c.HypHandler = x.vmExit
 	}
 	// The (emulated) guest timer is backed by the hardware timer; its
 	// interrupt must force an exit so KVM can inject the guest's vector.
@@ -98,21 +117,67 @@ func Init(b *machine.Board, host *kernel.Kernel, p x86.Profile) (*Hypervisor, er
 			return nil, err
 		}
 	}
-	return hv, nil
+	return x, nil
+}
+
+// AttachTracer wires t into every layer: VM entry/exit, exit
+// classification, interrupt-controller and timer traffic, and each
+// physical CPU's TLB. Existing VMs and vCPUs are registered for
+// per-VM/per-vCPU counters; attach before creating VMs to capture
+// boot-time exits too. Passing nil detaches.
+func (x *Hypervisor) AttachTracer(t *trace.Tracer) {
+	x.Trace = t
+	x.Board.GIC.Trace = t
+	if x.Board.Timers != nil {
+		x.Board.Timers.Trace = t
+	}
+	for _, c := range x.Board.CPUs {
+		c.MMU.Trace = t
+	}
+	for _, vm := range x.vms {
+		t.RegisterVM(vm.VMID)
+		for _, v := range vm.vcpus {
+			t.RegisterVCPU(vm.VMID, v.ID)
+		}
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (x *Hypervisor) Tracer() *trace.Tracer { return x.Trace }
+
+// VMs lists the created VMs.
+func (x *Hypervisor) VMs() []hv.VM {
+	out := make([]hv.VM, len(x.vms))
+	for i, vm := range x.vms {
+		out[i] = vm
+	}
+	return out
+}
+
+// Counters exposes the hypervisor-level statistics under stable names.
+func (x *Hypervisor) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"vm_entries":  x.Stats.VMEntries,
+		"vm_exits":    x.Stats.VMExits,
+		"eoi_exits":   x.Stats.EOIExits,
+		"ipi_exits":   x.Stats.IPIExits,
+		"timer_exits": x.Stats.TimerExits,
+	}
 }
 
 // VM is one x86 virtual machine.
 type VM struct {
-	hv   *Hypervisor
+	kvm  *Hypervisor
 	VMID uint8
 	// EPT is the extended page table (same two-dimensional walk model
-	// as ARM Stage-2).
-	EPT   *mmu.Builder
-	slots []machineSlot
-	APIC  *APIC
-	vcpus []*VCPU
+	// as ARM Stage-2; the same table GuestMem populates on host-side
+	// accesses).
+	EPT  *mmu.Builder
+	Mem  hv.GuestMem
+	APIC *APIC
 
-	mmio []mmioRegion
+	vcpus []*VCPU
+	mmio  hv.Regions
 
 	Net *dev.Virt
 	Blk *dev.Virt
@@ -124,137 +189,77 @@ type VM struct {
 	Stats VMStats
 }
 
-// VMStats mirrors core.VMStats for the benchmarks.
-type VMStats struct {
-	EPTFaults     uint64
-	MMIOExits     uint64
-	MMIOUserExits uint64
-	EOIExits      uint64
-	WFIExits      uint64
-	IRQExits      uint64
-	Hypercalls    uint64
-	TimerInjected uint64
-	IPIsEmulated  uint64
-	SysRegTraps   uint64
-}
-
-type machineSlot struct{ base, size uint64 }
-
-type mmioRegion struct {
-	base, size uint64
-	h          MMIOHandler
-	user       bool
-}
-
-// MMIOHandler mirrors core.MMIOHandler.
-type MMIOHandler interface {
-	Name() string
-	Read(v *VCPU, off uint64, size int) uint64
-	Write(v *VCPU, off uint64, size int, val uint64)
-}
-
 // CreateVM builds a VM with memBytes of guest RAM.
-func (hv *Hypervisor) CreateVM(memBytes uint64) (*VM, error) {
-	hv.nextVMID++
-	ept, err := mmu.NewBuilder(mmu.TableStage2, hv.Board.RAM, hv.Host.Alloc)
+func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
+	x.nextVMID++
+	ept, err := mmu.NewBuilder(mmu.TableStage2, x.Board.RAM, x.Host.Alloc)
 	if err != nil {
 		return nil, err
 	}
-	vm := &VM{hv: hv, VMID: hv.nextVMID, EPT: ept}
-	vm.slots = []machineSlot{{base: machine.RAMBase, size: memBytes}}
+	vm := &VM{kvm: x, VMID: x.nextVMID, EPT: ept}
+	vm.Mem = hv.GuestMem{Table: ept, Alloc: x.Host.Alloc, RAM: x.Board.RAM}
+	vm.Mem.AddSlot(machine.RAMBase, memBytes)
 	vm.APIC = newAPIC(vm)
+	x.Trace.RegisterVM(vm.VMID)
 
-	vm.Net = vm.newVirtDevice(dev.VirtNet, machine.IRQNet, 0.0074, 22_000)
-	vm.Blk = vm.newVirtDevice(dev.VirtBlock, machine.IRQBlk, 0.147, 150_000)
-	vm.Con = vm.newVirtDevice(dev.VirtConsole, machine.IRQCon, 1.0, 6_000)
-	vm.mmio = append(vm.mmio,
-		mmioRegion{machine.VirtNetBase, dev.VirtSize, &virtMMIO{vm.Net}, true},
-		mmioRegion{machine.VirtBlkBase, dev.VirtSize, &virtMMIO{vm.Blk}, true},
-		mmioRegion{machine.VirtConBase, dev.VirtSize, &virtMMIO{vm.Con}, true},
-		mmioRegion{machine.UARTBase, dev.UARTSize, &uartMMIO{vm}, true},
-	)
-	hv.vms = append(hv.vms, vm)
+	vm.Net, vm.Blk, vm.Con = hv.StandardDevices(x.Board, vm, func(irq int, level bool) {
+		vm.APIC.InjectSPI(irq, level)
+	}, &vm.Console)
+
+	x.vms = append(x.vms, vm)
 	return vm, nil
 }
 
-func (vm *VM) newVirtDevice(class dev.VirtClass, irq int, bw float64, lat uint64) *dev.Virt {
-	return &dev.Virt{
-		Class: class, IRQ: irq, BytesPerCycle: bw, FixedLatency: lat,
-		Sched: vm.hv.Board.Schedule,
-		Now:   vm.hv.Board.Now,
-		RaiseIRQ: func(irq int, level bool) {
-			vm.APIC.InjectSPI(irq, level)
-		},
+// ID is the VMID (the VPID tagging the VM's TLB entries).
+func (vm *VM) ID() uint8 { return vm.VMID }
+
+// Device returns the VM's emulated virtio-style device of class, or nil.
+func (vm *VM) Device(class dev.VirtClass) *dev.Virt {
+	switch class {
+	case dev.VirtNet:
+		return vm.Net
+	case dev.VirtBlock:
+		return vm.Blk
+	case dev.VirtConsole:
+		return vm.Con
 	}
+	return nil
 }
 
-func (vm *VM) inSlot(ipa uint64) bool {
-	for _, s := range vm.slots {
-		if ipa >= s.base && ipa < s.base+s.size {
-			return true
-		}
-	}
-	return false
-}
+// ConsoleBytes returns the virtual UART output collected so far.
+func (vm *VM) ConsoleBytes() []byte { return vm.Console }
 
-func (vm *VM) findMMIO(ipa uint64) (*mmioRegion, uint64) {
-	for i := range vm.mmio {
-		r := &vm.mmio[i]
-		if ipa >= r.base && ipa < r.base+r.size {
-			return r, ipa - r.base
-		}
-	}
-	return nil, 0
-}
+// StatsSnapshot copies out the per-VM activity counters.
+func (vm *VM) StatsSnapshot() hv.VMStats { return vm.Stats }
 
 // AddKernelMMIO registers an in-kernel emulated device region.
 func (vm *VM) AddKernelMMIO(base, size uint64, h MMIOHandler) {
-	vm.mmio = append(vm.mmio, mmioRegion{base: base, size: size, h: h, user: false})
+	vm.mmio.Add(base, size, h, false)
 }
 
 // AddUserMMIO registers a QEMU-emulated device region.
 func (vm *VM) AddUserMMIO(base, size uint64, h MMIOHandler) {
-	vm.mmio = append(vm.mmio, mmioRegion{base: base, size: size, h: h, user: true})
+	vm.mmio.Add(base, size, h, true)
 }
 
 // EnsureMapped backs the EPT page containing gpa.
 func (vm *VM) EnsureMapped(gpa uint64) (uint64, error) {
-	page := gpa &^ (mmu.PageSize - 1)
-	if pa, ok, err := vm.EPT.Lookup(uint32(page)); err != nil {
-		return 0, err
-	} else if ok {
-		return pa | (gpa & (mmu.PageSize - 1)), nil
-	}
-	if !vm.inSlot(gpa) {
-		return 0, fmt.Errorf("kvmx86: gpa %#x unbacked", gpa)
-	}
-	pa, err := vm.hv.Host.Alloc.AllocPages(1)
-	if err != nil {
-		return 0, err
-	}
-	if err := vm.EPT.MapPage(uint32(page), pa, mmu.MapFlags{W: true}); err != nil {
-		return 0, err
-	}
-	return pa | (gpa & (mmu.PageSize - 1)), nil
+	return vm.Mem.EnsureMapped(gpa)
 }
 
 // WriteGuestMem loads data into guest-physical memory.
 func (vm *VM) WriteGuestMem(gpa uint64, data []byte) error {
-	for off := 0; off < len(data); {
-		pa, err := vm.EnsureMapped(gpa + uint64(off))
-		if err != nil {
-			return err
-		}
-		n := int(mmu.PageSize - (gpa+uint64(off))&(mmu.PageSize-1))
-		if n > len(data)-off {
-			n = len(data) - off
-		}
-		if err := vm.hv.Board.RAM.WriteBytes(pa, data[off:off+n]); err != nil {
-			return err
-		}
-		off += n
-	}
-	return nil
+	return vm.Mem.Write(gpa, data)
+}
+
+// ReadGuestMem copies guest-physical memory out (QEMU inspecting a guest).
+func (vm *VM) ReadGuestMem(gpa uint64, n int) ([]byte, error) {
+	return vm.Mem.Read(gpa, n)
+}
+
+// SetUserMemoryRegion adds a guest RAM slot.
+func (vm *VM) SetUserMemoryRegion(gpaBase, size uint64) {
+	vm.Mem.AddSlot(gpaBase, size)
 }
 
 type vcpuState int
@@ -263,6 +268,7 @@ const (
 	vcpuNeedEnter vcpuState = iota
 	vcpuRunning
 	vcpuBlockedHLT
+	vcpuPaused
 	vcpuShutdown
 )
 
@@ -289,14 +295,15 @@ type VCPU struct {
 	softTimerID  uint64
 	softTimerCPU int
 
-	Stats struct {
-		Exits   uint64
-		Entries uint64
-	}
+	// pauseReq asks the run loop to park the vCPU at its next exit
+	// (user-space pause for register access / migration).
+	pauseReq bool
+
+	Stats VCPUStats
 }
 
 // CreateVCPU adds a vCPU.
-func (vm *VM) CreateVCPU(id int) (*VCPU, error) {
+func (vm *VM) CreateVCPU(id int) (hv.VCPU, error) {
 	if id != len(vm.vcpus) {
 		return nil, fmt.Errorf("kvmx86: vCPUs must be created in order")
 	}
@@ -305,11 +312,24 @@ func (vm *VM) CreateVCPU(id int) (*VCPU, error) {
 	v.Ctx.GP.CPSR = uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF
 	vm.vcpus = append(vm.vcpus, v)
 	vm.APIC.addVCPU()
+	vm.kvm.Trace.RegisterVCPU(vm.VMID, id)
 	return v, nil
 }
 
 // VCPUs returns the VM's vCPUs.
-func (vm *VM) VCPUs() []*VCPU { return vm.vcpus }
+func (vm *VM) VCPUs() []hv.VCPU {
+	out := make([]hv.VCPU, len(vm.vcpus))
+	for i, v := range vm.vcpus {
+		out[i] = v
+	}
+	return out
+}
+
+// VCPUID is the vCPU index within its VM.
+func (v *VCPU) VCPUID() int { return v.ID }
+
+// ExitStats copies out the per-vCPU entry/exit counters.
+func (v *VCPU) ExitStats() hv.VCPUStats { return v.Stats }
 
 // State reports the run state.
 func (v *VCPU) State() string {
@@ -320,6 +340,8 @@ func (v *VCPU) State() string {
 		return "running"
 	case vcpuBlockedHLT:
 		return "hlt"
+	case vcpuPaused:
+		return "paused"
 	case vcpuShutdown:
 		return "shutdown"
 	}
@@ -334,7 +356,7 @@ func (v *VCPU) SetGuestSoftware(h arm.ExcHandler, r arm.Runner) {
 
 // StartThread creates the host vCPU thread.
 func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
-	hv := v.vm.hv
+	x := v.vm.kvm
 	body := kernel.BodyFunc(func(hk *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
 		return v.runStep(hostCPU, c)
 	})
@@ -342,14 +364,21 @@ func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
 	if from < 0 {
 		from = 0
 	}
-	return hv.Host.NewProcFrom(from, fmt.Sprintf("qemu-x86vcpu%d.%d", v.vm.VMID, v.ID), hostCPU, body)
+	return x.Host.NewProcFrom(from, fmt.Sprintf("qemu-x86vcpu%d.%d", v.vm.VMID, v.ID), hostCPU, body)
 }
 
 func (v *VCPU) runStep(hostCPU int, c *arm.CPU) bool {
-	hv := v.vm.hv
+	x := v.vm.kvm
 	switch v.state {
 	case vcpuShutdown:
 		return true
+	case vcpuPaused:
+		hostIdx := hostCPU
+		if hostIdx < 0 {
+			hostIdx = c.ID
+		}
+		x.Host.Block(hostIdx, v.wq)
+		return false
 	case vcpuBlockedHLT:
 		if v.vm.APIC.hasPendingFor(v) {
 			v.state = vcpuNeedEnter
@@ -358,53 +387,60 @@ func (v *VCPU) runStep(hostCPU int, c *arm.CPU) bool {
 			if hostIdx < 0 {
 				hostIdx = c.ID
 			}
-			hv.Host.Block(hostIdx, v.wq)
+			x.Host.Block(hostIdx, v.wq)
 			return false
 		}
 	case vcpuRunning:
 		return false
 	}
 	prev := c.CPSR
-	c.Charge(hv.P.TrapToKernel + hv.Host.Cost.SyscallWork/2)
+	c.Charge(x.P.TrapToKernel + x.Host.Cost.SyscallWork/2)
 	c.SetCPSR(uint32(arm.ModeSVC) | (prev &^ arm.PSRModeMask))
 	v.Stats.Entries++
-	hv.enterGuest(c, v)
+	x.enterGuest(c, v)
 	return false
+}
+
+// Pause asks the vCPU to stop at its next exit, kicking it out of the
+// guest if it is currently running (the user-space pause used for
+// debugging and migration, §4).
+func (v *VCPU) Pause() {
+	v.pauseReq = true
+	if v.phys >= 0 && v.phys != v.vm.kvm.Board.Current {
+		_ = v.vm.kvm.Board.GIC.SendSGI(v.vm.kvm.Board.Current, 1<<uint(v.phys), 2)
+	}
+	if v.state == vcpuNeedEnter || v.state == vcpuBlockedHLT {
+		v.state = vcpuPaused
+	}
+}
+
+// Paused reports whether the vCPU is parked.
+func (v *VCPU) Paused() bool { return v.state == vcpuPaused }
+
+// Resume lets a paused vCPU run again.
+func (v *VCPU) Resume() {
+	v.pauseReq = false
+	if v.state == vcpuPaused {
+		v.state = vcpuNeedEnter
+		v.vm.kvm.Host.Wake(v.vm.kvm.Board.Current, v.wq)
+	}
 }
 
 // Wake unblocks an HLT-blocked vCPU.
 func (v *VCPU) Wake(fromHostCPU int) {
 	if v.state == vcpuBlockedHLT {
 		v.state = vcpuNeedEnter
-		v.vm.hv.Host.Wake(fromHostCPU, v.wq)
+		v.vm.kvm.Host.Wake(fromHostCPU, v.wq)
 	}
 }
 
 // Shutdown stops the vCPU.
 func (v *VCPU) Shutdown() { v.state = vcpuShutdown }
 
-type virtMMIO struct{ d *dev.Virt }
-
-func (m *virtMMIO) Name() string { return m.d.Name() }
-func (m *virtMMIO) Read(v *VCPU, off uint64, size int) uint64 {
-	val, _ := m.d.ReadReg(off, size)
-	return val
-}
-func (m *virtMMIO) Write(v *VCPU, off uint64, size int, val uint64) {
-	_ = m.d.WriteReg(off, size, val)
-}
-
-type uartMMIO struct{ vm *VM }
-
-func (m *uartMMIO) Name() string { return "virtual-uart" }
-func (m *uartMMIO) Read(v *VCPU, off uint64, size int) uint64 {
-	if off == dev.UARTStatus {
-		return 1
-	}
-	return 0
-}
-func (m *uartMMIO) Write(v *VCPU, off uint64, size int, val uint64) {
-	if off == dev.UARTTx {
-		m.vm.Console = append(m.vm.Console, byte(val))
-	}
-}
+// Interface conformance (compile-time).
+var (
+	_ hv.Hypervisor = (*Hypervisor)(nil)
+	_ hv.VM         = (*VM)(nil)
+	_ hv.VCPU       = (*VCPU)(nil)
+	_ hv.GuestOS    = (*GuestOS)(nil)
+)

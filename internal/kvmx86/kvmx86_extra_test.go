@@ -11,11 +11,13 @@ import (
 // isaX86Guest boots a raw-instruction guest on the x86 comparator.
 func isaX86Guest(t *testing.T, hv *Hypervisor, prog []uint32) (*VM, *VCPU) {
 	t.Helper()
-	vm, err := hv.CreateVM(64 << 20)
+	vmI, err := hv.CreateVM(64 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, _ := vm.CreateVCPU(0)
+	vm := vmI.(*VM)
+	vI, _ := vm.CreateVCPU(0)
+	v := vI.(*VCPU)
 	raw := make([]byte, 0, len(prog)*4)
 	for _, w := range prog {
 		raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
@@ -67,7 +69,7 @@ func TestX86EPTViolationBacksMemory(t *testing.T) {
 	if regOf(v, 3) != 0x77 {
 		t.Fatalf("r3 = %#x", regOf(v, 3))
 	}
-	if vm.Stats.EPTFaults == 0 {
+	if vm.Stats.Stage2Faults == 0 {
 		t.Fatal("fresh guest page must take an EPT violation")
 	}
 }

@@ -41,10 +41,11 @@ func x86Env(t *testing.T, cpus int) (*machine.Board, *kernel.Kernel, *Hypervisor
 
 func TestGuestBootsAndRuns(t *testing.T) {
 	b, host, hv := x86Env(t, 2)
-	vm, err := hv.CreateVM(96 << 20)
+	vmI, err := hv.CreateVM(96 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
+	vm := vmI.(*VM)
 	v0, _ := vm.CreateVCPU(0)
 	g, err := NewGuestOS(vm, 96<<20)
 	if err != nil {
@@ -74,7 +75,7 @@ func TestGuestBootsAndRuns(t *testing.T) {
 	if !done {
 		t.Fatal("guest process did not run")
 	}
-	if vm.Stats.EPTFaults == 0 {
+	if vm.Stats.Stage2Faults == 0 {
 		t.Fatal("fresh guest pages must take EPT violations")
 	}
 	if hv.Stats.VMExits == 0 || hv.Stats.VMEntries == 0 {
@@ -84,7 +85,8 @@ func TestGuestBootsAndRuns(t *testing.T) {
 
 func TestGuestTimerViaEmulation(t *testing.T) {
 	b, host, hv := x86Env(t, 2)
-	vm, _ := hv.CreateVM(96 << 20)
+	vmI, _ := hv.CreateVM(96 << 20)
+	vm := vmI.(*VM)
 	v0, _ := vm.CreateVCPU(0)
 	g, _ := NewGuestOS(vm, 96<<20)
 	v0.StartThread(0)
@@ -119,7 +121,8 @@ func TestEOICostStructure(t *testing.T) {
 	// On x86 the guest's EOI costs a full exit (Table 3: ~2,000 cycles),
 	// where ARM with a VGIC does it without trapping (~430 cycles).
 	b, host, hv := x86Env(t, 2)
-	vm, _ := hv.CreateVM(96 << 20)
+	vmI, _ := hv.CreateVM(96 << 20)
+	vm := vmI.(*VM)
 	v0, _ := vm.CreateVCPU(0)
 	g, _ := NewGuestOS(vm, 96<<20)
 	v0.StartThread(0)
@@ -151,7 +154,8 @@ func TestEOICostStructure(t *testing.T) {
 
 func TestIPIPathChargesHardwareIPI(t *testing.T) {
 	b, host, hv := x86Env(t, 2)
-	vm, _ := hv.CreateVM(96 << 20)
+	vmI, _ := hv.CreateVM(96 << 20)
+	vm := vmI.(*VM)
 	v0, _ := vm.CreateVCPU(0)
 	v1, _ := vm.CreateVCPU(1)
 	g, _ := NewGuestOS(vm, 96<<20)

@@ -1,4 +1,4 @@
-package core
+package kvmx86
 
 import (
 	"fmt"
@@ -6,11 +6,10 @@ import (
 	"kvmarm/internal/hv"
 )
 
-// The user-space register save/restore interface of §4 ("user space save
-// and restore of registers, a feature useful for both debugging and VM
-// migration"). The register-ID namespace and its accessors are shared
-// with every backend in internal/hv; this file binds them to the vCPU's
-// saved context and enforces the not-while-running rule.
+// User-space register save/restore (§4), API-parity with the ARM backend:
+// the register-ID namespace and accessors live in internal/hv; this file
+// binds them to the VMCS-held context and enforces the not-while-running
+// rule.
 
 func (v *VCPU) regFile() hv.RegFile {
 	return hv.RegFile{GP: &v.Ctx.GP, CP15: &v.Ctx.CP15}
@@ -24,7 +23,7 @@ func (v *VCPU) RegList() []RegID { return hv.RegList() }
 // be running.
 func (v *VCPU) GetOneReg(id RegID) (uint32, error) {
 	if v.state == vcpuRunning {
-		return 0, fmt.Errorf("core: vCPU %d is running", v.ID)
+		return 0, fmt.Errorf("kvmx86: vCPU %d is running", v.ID)
 	}
 	return hv.GetReg(v.regFile(), id)
 }
@@ -32,7 +31,7 @@ func (v *VCPU) GetOneReg(id RegID) (uint32, error) {
 // SetOneReg writes one guest register (KVM_SET_ONE_REG).
 func (v *VCPU) SetOneReg(id RegID, val uint32) error {
 	if v.state == vcpuRunning {
-		return fmt.Errorf("core: vCPU %d is running", v.ID)
+		return fmt.Errorf("kvmx86: vCPU %d is running", v.ID)
 	}
 	return hv.SetReg(v.regFile(), id, val)
 }

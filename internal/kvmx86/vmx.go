@@ -7,6 +7,7 @@ import (
 	"kvmarm/internal/machine"
 	"kvmarm/internal/mmu"
 	"kvmarm/internal/timer"
+	"kvmarm/internal/trace"
 )
 
 // This file is the VT-x transition machinery: VM entry (VMRESUME) and the
@@ -17,10 +18,11 @@ import (
 
 // enterGuest is VMRESUME: swap in the guest context, pay the fixed entry
 // cost, inject any pending virtual interrupt.
-func (hv *Hypervisor) enterGuest(c *arm.CPU, v *VCPU) {
-	hc := &hv.hostCtx[c.ID]
-	hv.Stats.VMEntries++
+func (x *Hypervisor) enterGuest(c *arm.CPU, v *VCPU) {
+	hc := &x.hostCtx[c.ID]
+	x.Stats.VMEntries++
 	v.Stats.Entries++
+	wsStart := c.Clock
 
 	// Hardware-managed state save/load: single instruction.
 	hc.GP = c.SaveGP()
@@ -31,7 +33,7 @@ func (hv *Hypervisor) enterGuest(c *arm.CPU, v *VCPU) {
 		hc.CP15[i] = c.CP15.Regs[r]
 		c.CP15.Regs[r] = v.Ctx.CP15[i]
 	}
-	c.Charge(hv.P.VMEntry)
+	c.Charge(x.P.VMEntry)
 
 	// Trap configuration (VMCS execution controls): interrupts exit,
 	// HLT exits, EPT on. x86 has no SMC/ACTLR analogues; set/way ops
@@ -41,12 +43,12 @@ func (hv *Hypervisor) enterGuest(c *arm.CPU, v *VCPU) {
 
 	// Guest timer state (KVM x86 emulates the APIC timer with hrtimers;
 	// we back it with the hardware timer so TSC-style reads stay exit-free).
-	hv.timerOnEntry(c, v)
+	x.timerOnEntry(c, v)
 
 	c.RestoreGP(v.Ctx.GP)
 	c.PL1Handler = v.Ctx.PL1Software
 	c.Runner = v.Ctx.Runner
-	hv.loaded[c.ID] = v
+	x.loaded[c.ID] = v
 	v.phys = c.ID
 	v.state = vcpuRunning
 	v.vm.lastGuestCPU = c
@@ -55,18 +57,24 @@ func (hv *Hypervisor) enterGuest(c *arm.CPU, v *VCPU) {
 	// Event injection: pending virtual interrupts are delivered on entry.
 	if v.vm.APIC.hasPendingFor(v) {
 		c.VIRQLine = true
-		c.Charge(hv.P.InjectOnEntry)
+		c.Charge(x.P.InjectOnEntry)
 	} else {
 		c.VIRQLine = false
+	}
+
+	if t := x.Trace; t != nil {
+		t.Emit(trace.Event{Kind: trace.EvWorldSwitchIn, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(c.ID), PC: v.Ctx.GP.PC, Cycles: c.Clock - wsStart, Time: c.Clock})
 	}
 }
 
 // exitGuest is the VM exit: hardware stores the guest state and reloads
 // the host's; the handler below then runs in root mode directly.
-func (hv *Hypervisor) exitGuest(c *arm.CPU, v *VCPU) {
-	hc := &hv.hostCtx[c.ID]
-	hv.Stats.VMExits++
+func (x *Hypervisor) exitGuest(c *arm.CPU, v *VCPU) {
+	hc := &x.hostCtx[c.ID]
+	x.Stats.VMExits++
 	v.Stats.Exits++
+	wsStart := c.Clock
 
 	gp := c.SaveGP()
 	gp.PC = c.Regs.ELRHyp()
@@ -81,45 +89,73 @@ func (hv *Hypervisor) exitGuest(c *arm.CPU, v *VCPU) {
 	// (Cost.TrapToHyp == P.VMExit); only bookkeeping here.
 	c.Charge(40)
 
-	v.Ctx.VTimer = hv.Board.Timers.SaveVirt(c.ID)
-	hv.Board.Timers.DisableVirt(c.ID, c.Clock)
+	v.Ctx.VTimer = x.Board.Timers.SaveVirt(c.ID)
+	x.Board.Timers.DisableVirt(c.ID, c.Clock)
 
 	c.RestoreGP(hc.GP)
 	c.PL1Handler = hc.PL1Software
 	c.Runner = hc.Runner
-	hv.loaded[c.ID] = nil
+	x.loaded[c.ID] = nil
 	v.phys = -1
 	c.VIRQLine = false
 	c.SetCPSR(hc.CPSR)
+
+	if t := x.Trace; t != nil {
+		t.Emit(trace.Event{Kind: trace.EvWorldSwitchOut, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(c.ID), PC: v.Ctx.GP.PC, Cycles: c.Clock - wsStart, Time: c.Clock})
+	}
 }
 
 // vmExit is the root-mode handler for everything the guest does that
 // exits; it is installed as the CPU's Hyp handler but conceptually runs
 // in the host kernel (root mode, ring 0).
-func (hv *Hypervisor) vmExit(c *arm.CPU, e *arm.Exception) {
-	v := hv.loaded[c.ID]
+func (x *Hypervisor) vmExit(c *arm.CPU, e *arm.Exception) {
+	v := x.loaded[c.ID]
 	if v == nil {
 		// Not a guest exit (stray HVC from the host); ignore.
 		c.ERET()
 		return
 	}
-	hv.exitGuest(c, v)
-	hv.handleExit(c, v, e)
+	x.exitGuest(c, v)
+	x.handleExit(c, v, e)
 }
 
-func (hv *Hypervisor) reenter(c *arm.CPU, v *VCPU) {
-	hv.enterGuest(c, v)
+func (x *Hypervisor) reenter(c *arm.CPU, v *VCPU) {
+	if v.pauseReq {
+		v.state = vcpuPaused
+		return
+	}
+	x.enterGuest(c, v)
 }
 
-func (hv *Hypervisor) handleExit(c *arm.CPU, v *VCPU, e *arm.Exception) {
+func (x *Hypervisor) handleExit(c *arm.CPU, v *VCPU, e *arm.Exception) {
 	vm := v.vm
+	// Classify the exit for the tracer on the way out: exactly one event
+	// per exit, cycle-accounting the root-mode handling including the
+	// re-entry when the exit resolves in the kernel.
+	exitKind := trace.ExitOther
+	var exitArg uint64
+	if t := x.Trace; t != nil {
+		start := c.Clock
+		pc := v.Ctx.GP.PC
+		defer func() {
+			t.Emit(trace.Event{Kind: exitKind, VM: vm.VMID, VCPU: int16(v.ID),
+				CPU: int16(c.ID), PC: pc, HSR: e.HSR, Arg: exitArg,
+				Cycles: c.Clock - start, Time: c.Clock})
+		}()
+	}
 	switch e.Kind {
 	case arm.ExcIRQ, arm.ExcFIQ:
+		exitKind = trace.ExitIRQ
 		vm.Stats.IRQExits++
 		v.state = vcpuNeedEnter
-		hv.timerOnExit(c, v)
+		if v.pauseReq {
+			v.state = vcpuPaused
+		}
+		x.timerOnExit(c, v)
 		return
 	case arm.ExcHVC:
+		exitKind = trace.ExitHypercall
 		vm.Stats.Hypercalls++
 		if e.Imm == kernelPSCISystemOff {
 			for _, o := range vm.vcpus {
@@ -130,11 +166,12 @@ func (hv *Hypervisor) handleExit(c *arm.CPU, v *VCPU, e *arm.Exception) {
 			}
 			return
 		}
-		hv.reenter(c, v)
+		x.reenter(c, v)
 		return
 	case arm.ExcHypTrap:
 		switch arm.HSREC(e.HSR) {
 		case arm.ECHVC:
+			exitKind = trace.ExitHypercall
 			vm.Stats.Hypercalls++
 			if e.Imm == kernelPSCISystemOff {
 				for _, o := range vm.vcpus {
@@ -145,19 +182,24 @@ func (hv *Hypervisor) handleExit(c *arm.CPU, v *VCPU, e *arm.Exception) {
 				}
 				return
 			}
-			hv.reenter(c, v)
+			x.reenter(c, v)
 		case arm.ECWFx: // HLT
+			exitKind = trace.ExitWFI
 			vm.Stats.WFIExits++
 			v.Ctx.GP.PC += 4
 			v.state = vcpuBlockedHLT
-			hv.timerOnExit(c, v)
+			if v.pauseReq {
+				v.state = vcpuPaused
+			}
+			x.timerOnExit(c, v)
 		case arm.ECDataAbort, arm.ECInstrAbort:
-			hv.handleEPTViolation(c, v, e)
+			exitKind, exitArg = x.handleEPTViolation(c, v, e)
 		case arm.ECCP15:
+			exitKind = trace.ExitSysReg
 			vm.Stats.SysRegTraps++
-			hv.emulateSysReg(c, v, e)
+			x.emulateSysReg(c, v, e)
 			v.Ctx.GP.PC += 4
-			hv.reenter(c, v)
+			x.reenter(c, v)
 		default:
 			v.state = vcpuNeedEnter
 		}
@@ -173,37 +215,44 @@ const kernelPSCISystemOff = 0x808
 // with host pages; everything else is MMIO, which on x86 always needs
 // software instruction decode (no syndrome assist; "a number of
 // operations require software decoding of instructions on the x86
-// platform").
-func (hv *Hypervisor) handleEPTViolation(c *arm.CPU, v *VCPU, e *arm.Exception) {
+// platform"). Returns the exit classification for the tracer.
+func (x *Hypervisor) handleEPTViolation(c *arm.CPU, v *VCPU, e *arm.Exception) (trace.Kind, uint64) {
 	vm := v.vm
 	gpa := e.FaultIPA
-	if vm.inSlot(gpa) {
-		vm.Stats.EPTFaults++
-		pa, err := hv.Host.Alloc.AllocPages(1)
+	if vm.Mem.InSlot(gpa) {
+		vm.Stats.Stage2Faults++
+		pa, err := x.Host.Alloc.AllocPages(1)
 		if err != nil {
 			v.state = vcpuShutdown
-			return
+			return trace.ExitStage2Fault, gpa
 		}
 		if err := vm.EPT.MapPage(uint32(gpa)&^(mmu.PageSize-1), pa, mmu.MapFlags{W: true}); err != nil {
 			v.state = vcpuShutdown
-			return
+			return trace.ExitStage2Fault, gpa
 		}
-		c.Charge(hv.Host.Cost.FaultWork + hv.Host.Cost.PageZero)
-		hv.reenter(c, v)
-		return
+		c.Charge(x.Host.Cost.FaultWork + x.Host.Cost.PageZero)
+		x.reenter(c, v)
+		return trace.ExitStage2Fault, gpa
 	}
 
 	// MMIO: decode the instruction (always, on x86).
 	isv, sizeLog2, rt, write := arm.DecodeDataAbortISS(arm.HSRISS(e.HSR))
 	size := 1 << sizeLog2
 	_ = isv
-	c.Charge(hv.P.APICDecode)
-	hv.emulateMMIO(c, v, gpa, write, size, rt)
+	vm.Stats.MMIODecoded++
+	c.Charge(x.P.APICDecode)
+	userBefore := vm.Stats.MMIOUserExits
+	x.emulateMMIO(c, v, gpa, write, size, rt)
+	kind := trace.ExitMMIOKernel
+	if vm.Stats.MMIOUserExits != userBefore {
+		kind = trace.ExitMMIOUser
+	}
 	v.Ctx.GP.PC += 4
-	hv.reenter(c, v)
+	x.reenter(c, v)
+	return kind, gpa
 }
 
-func (hv *Hypervisor) emulateMMIO(c *arm.CPU, v *VCPU, gpa uint64, write bool, size, rt int) {
+func (x *Hypervisor) emulateMMIO(c *arm.CPU, v *VCPU, gpa uint64, write bool, size, rt int) {
 	vm := v.vm
 	vm.Stats.MMIOExits++
 
@@ -216,21 +265,21 @@ func (hv *Hypervisor) emulateMMIO(c *arm.CPU, v *VCPU, gpa uint64, write bool, s
 		} else {
 			setRegOf(v, rt, vm.APIC.ReadReg(v, off))
 		}
-		c.Charge(hv.P.APICEmulate)
+		c.Charge(x.P.APICEmulate)
 		return
 	}
 
-	if r, off := vm.findMMIO(gpa); r != nil {
-		if r.user {
+	if r, off := vm.mmio.Find(gpa); r != nil {
+		if r.User {
 			vm.Stats.MMIOUserExits++
-			c.Charge(hv.P.KernelToUser + hv.P.QEMUWork)
+			c.Charge(x.P.KernelToUser + x.P.QEMUWork)
 		} else {
-			c.Charge(hv.P.IOKernelWork)
+			c.Charge(x.P.IOKernelWork)
 		}
 		if write {
-			r.h.Write(v, off, size, uint64(regOf(v, rt)))
+			r.H.Write(v, off, size, uint64(regOf(v, rt)))
 		} else {
-			setRegOf(v, rt, uint32(r.h.Read(v, off, size)))
+			setRegOf(v, rt, uint32(r.H.Read(v, off, size)))
 		}
 		return
 	}
@@ -241,10 +290,10 @@ func (hv *Hypervisor) emulateMMIO(c *arm.CPU, v *VCPU, gpa uint64, write bool, s
 
 // emulateSysReg handles trapped register accesses — for x86 this is the
 // APIC timer (TSC reads never exit).
-func (hv *Hypervisor) emulateSysReg(c *arm.CPU, v *VCPU, e *arm.Exception) {
+func (x *Hypervisor) emulateSysReg(c *arm.CPU, v *VCPU, e *arm.Exception) {
 	reg, rt, read := arm.DecodeCP15ISS(arm.HSRISS(e.HSR))
-	hv.Stats.TimerExits++
-	c.Charge(hv.P.TimerEmulate)
+	x.Stats.TimerExits++
+	c.Charge(x.P.TimerEmulate)
 	vt := &v.Ctx.VTimer
 	vnow := timer.Count(c.Clock) - vt.CNTVOFF
 	switch reg {
@@ -268,7 +317,7 @@ func (hv *Hypervisor) emulateSysReg(c *arm.CPU, v *VCPU, e *arm.Exception) {
 	}
 	// Keep the backing hardware timer in sync so in-guest expiry forces
 	// an exit (the hrtimer model).
-	hv.Board.Timers.RestoreVirt(c.ID, *vt, c.Clock)
+	x.Board.Timers.RestoreVirt(c.ID, *vt, c.Clock)
 }
 
 // regOf/setRegOf access a saved guest register.
@@ -295,9 +344,9 @@ func setRegOf(v *VCPU, n int, val uint32) {
 
 // --- Guest timer multiplexing (hrtimer model) ---
 
-func (hv *Hypervisor) timerOnEntry(c *arm.CPU, v *VCPU) {
+func (x *Hypervisor) timerOnEntry(c *arm.CPU, v *VCPU) {
 	if v.softTimerID != 0 {
-		hv.Host.CancelTimer(v.softTimerCPU, c, v.softTimerID)
+		x.Host.CancelTimer(v.softTimerCPU, c, v.softTimerID)
 		v.softTimerID = 0
 	}
 	st := v.Ctx.VTimer
@@ -307,28 +356,32 @@ func (hv *Hypervisor) timerOnEntry(c *arm.CPU, v *VCPU) {
 			v.Ctx.VTimer = st
 		}
 	}
-	hv.Board.Timers.RestoreVirt(c.ID, st, c.Clock)
+	x.Board.Timers.RestoreVirt(c.ID, st, c.Clock)
 }
 
-func (hv *Hypervisor) timerOnExit(c *arm.CPU, v *VCPU) {
+func (x *Hypervisor) timerOnExit(c *arm.CPU, v *VCPU) {
 	vt := v.Ctx.VTimer
 	if vt.CTL&timer.CTLEnable == 0 || vt.CTL&timer.CTLIMask != 0 {
 		return
 	}
 	vnow := timer.Count(c.Clock) - vt.CNTVOFF
 	if vnow >= vt.CVAL {
-		hv.injectTimer(c.ID, v)
+		x.injectTimer(c.ID, v)
 		return
 	}
 	v.softTimerCPU = c.ID
-	v.softTimerID = hv.Host.AddTimer(c.ID, c, vt.CVAL-vnow+1, func(_ *kernel.Kernel, cpu int) {
+	v.softTimerID = x.Host.AddTimer(c.ID, c, vt.CVAL-vnow+1, func(_ *kernel.Kernel, cpu int) {
 		v.softTimerID = 0
-		hv.injectTimer(cpu, v)
+		x.injectTimer(cpu, v)
 	})
 }
 
-func (hv *Hypervisor) injectTimer(fromHostCPU int, v *VCPU) {
-	v.vm.Stats.TimerInjected++
+func (x *Hypervisor) injectTimer(fromHostCPU int, v *VCPU) {
+	v.vm.Stats.VTimerInjected++
+	if t := x.Trace; t != nil {
+		t.Emit(trace.Event{Kind: trace.EvVTimerInject, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(fromHostCPU), Arg: 27})
+	}
 	v.vm.APIC.InjectPPI(v, 27)
 	v.Wake(fromHostCPU)
 }

@@ -6,6 +6,9 @@
 // For this reproduction the comparable split is: the KVM/ARM implementation
 // (internal/core) by component, the KVM x86 comparator (internal/kvmx86 +
 // internal/x86), and the architecture-generic substrate both share.
+// internal/hv — the backend-neutral Hypervisor/VM/VCPU layer — is the
+// analogue of Linux's virt/kvm/: arch-neutral code that Table 4 charges to
+// neither architecture.
 package loc
 
 import (
@@ -128,9 +131,28 @@ type Row struct {
 	X86       int
 }
 
+// ArchNeutralDirs lists the packages whose code is shared by every
+// backend and therefore attributed to neither architecture in Table 4 —
+// the counterpart of Linux's virt/kvm/.
+var ArchNeutralDirs = []string{"internal/hv"}
+
+// ArchNeutral counts the backend-neutral hypervisor code (internal/hv).
+func ArchNeutral(root string) (Count, error) {
+	var total Count
+	for _, d := range ArchNeutralDirs {
+		c, err := CountDir(filepath.Join(root, d), false)
+		if err != nil {
+			return Count{}, err
+		}
+		total.Add(c)
+	}
+	return total, nil
+}
+
 // Table4 counts this repository's hypervisor code: internal/core (KVM/ARM)
 // against internal/kvmx86+internal/x86 (KVM x86 model), with the paper's
-// numbers carried alongside by the caller.
+// numbers carried alongside by the caller. The shared internal/hv layer is
+// counted by ArchNeutral, not charged to either side.
 func Table4(root string) ([]Row, Count, Count, error) {
 	armTotal, err := CountDir(filepath.Join(root, "internal/core"), false)
 	if err != nil {

@@ -77,9 +77,19 @@ func TestInventoryCoversKnownPackages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pkg := range []string{"internal/core", "internal/arm", "internal/kernel", "internal/mmu"} {
+	for _, pkg := range []string{"internal/core", "internal/arm", "internal/kernel", "internal/mmu", "internal/hv"} {
 		if c, ok := inv[pkg]; !ok || c.Code == 0 {
 			t.Errorf("package %s missing from inventory", pkg)
 		}
+	}
+}
+
+func TestArchNeutralCountsHVLayer(t *testing.T) {
+	c, err := ArchNeutral("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Code < 200 {
+		t.Fatalf("arch-neutral hv layer %d lines: implausibly small", c.Code)
 	}
 }

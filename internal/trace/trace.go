@@ -51,6 +51,7 @@ const (
 	ExitSysReg
 	ExitSMC
 	ExitVFP // lazy VFP switch, handled entirely in the lowvisor
+	ExitEOI // interrupt-completion trap (x86 pre-APICv EOI write exit)
 	ExitOther
 
 	// Memory subsystem (internal/mmu). Arg is the FlushScope.
@@ -68,6 +69,10 @@ const (
 	// the highvisor forwarding it as a virtual interrupt.
 	EvTimerFire
 	EvVTimerInject
+
+	// EvIPI is a virtual IPI emulated by the hypervisor (virtual
+	// distributor SGI or APIC ICR write). Arg is the SGI/vector id.
+	EvIPI
 
 	// NumKinds is the number of event kinds (array sizing).
 	NumKinds
@@ -92,6 +97,7 @@ var kindNames = [NumKinds]string{
 	ExitSysReg:       "exit_sysreg",
 	ExitSMC:          "exit_smc",
 	ExitVFP:          "exit_vfp",
+	ExitEOI:          "exit_eoi",
 	ExitOther:        "exit_other",
 	EvTLBFlush:       "tlb_flush",
 	EvVGICMaint:      "vgic_maintenance",
@@ -101,6 +107,7 @@ var kindNames = [NumKinds]string{
 	EvLRWrite:        "vgic_lr_write",
 	EvTimerFire:      "vtimer_fire",
 	EvVTimerInject:   "vtimer_inject",
+	EvIPI:            "ipi_emulated",
 }
 
 func (k Kind) String() string {
@@ -125,6 +132,8 @@ func (k Kind) Table3Class() string {
 		return "I/O User"
 	case ExitSysReg, ExitSMC, ExitVFP:
 		return "Trap"
+	case ExitEOI:
+		return "EOI+ACK"
 	default:
 		return ""
 	}

@@ -9,12 +9,15 @@
 // natively and (unmodified) inside VMs, and KVM/ARM itself: the paper's
 // split-mode hypervisor with its Hyp-mode lowvisor and kernel-mode
 // highvisor. An Intel VT-x-style comparator (internal/kvmx86) provides the
-// paper's x86 baseline.
+// paper's x86 baseline. Both backends implement the backend-neutral
+// interfaces of internal/hv; this package registers them with the hv
+// registry, so harness code selects platforms by name and never touches a
+// concrete backend type.
 //
 // # Quick start
 //
 //	sys, err := kvmarm.NewARMNative(2)        // bare-metal minOS
-//	vsys, vm, err := kvmarm.NewARMVirt(2, kvmarm.VirtOptions{VGIC: true, VTimers: true})
+//	vsys, err := kvmarm.NewVirt("ARM", 2, nil) // minOS in a VM under KVM/ARM
 //	res, err := workloads.Run(vsys.System, workloads.Apache())
 //
 // See examples/ for runnable programs and internal/bench for the harness
@@ -26,6 +29,7 @@ import (
 
 	"kvmarm/internal/arm"
 	"kvmarm/internal/core"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/kvmx86"
 	"kvmarm/internal/machine"
@@ -60,14 +64,17 @@ type VirtOptions struct {
 	Tracer *trace.Tracer
 }
 
-// VirtSystem is a VM running minOS under KVM/ARM.
-type VirtSystem struct {
+// GuestSystem is a VM running minOS under one of the registered
+// hypervisor backends, held entirely through the internal/hv interfaces.
+// The same type serves the ARM and x86 stacks; use the hv accessors
+// (VM.StatsSnapshot, HV.Counters, Guest.Kernel, ...) for introspection.
+type GuestSystem struct {
 	System *workloads.System
 	Board  *machine.Board
 	Host   *kernel.Kernel
-	KVM    *core.KVM
-	VM     *core.VM
-	Guest  *core.GuestOS
+	HV     hv.Hypervisor
+	VM     hv.VM
+	Guest  hv.GuestOS
 }
 
 // hostHW is the board's hardware map as the host kernel sees it.
@@ -134,9 +141,24 @@ func NewARMNative(cpus int) (*NativeSystem, error) {
 	}, nil
 }
 
+// finishVirt wraps a booted guest into a GuestSystem.
+func finishVirt(name string, cpus int, env *hv.Env, vm hv.VM, guest hv.GuestOS) *GuestSystem {
+	return &GuestSystem{
+		Board: env.Board, Host: env.Host, HV: env.HV, VM: vm, Guest: guest,
+		System: &workloads.System{
+			Name:        name,
+			Board:       env.Board,
+			K:           guest.Kernel(),
+			Spawn:       guest.Spawn,
+			Virtualized: true,
+			SMP:         cpus,
+		},
+	}
+}
+
 // NewARMVirt boots a VM running minOS under KVM/ARM and waits for the
 // guest kernel to come up.
-func NewARMVirt(cpus int, opt VirtOptions) (*VirtSystem, error) {
+func NewARMVirt(cpus int, opt VirtOptions) (*GuestSystem, error) {
 	if opt.MemBytes == 0 {
 		opt.MemBytes = 96 << 20
 	}
@@ -159,51 +181,19 @@ func NewARMVirt(cpus int, opt VirtOptions) (*VirtSystem, error) {
 		return nil, err
 	}
 	kvm.LazyVGIC = opt.LazyVGIC
-	if opt.Tracer != nil {
-		kvm.AttachTracer(opt.Tracer)
-	}
-	vm, err := kvm.CreateVM(opt.MemBytes)
+	env := &hv.Env{Board: b, Host: host, HV: kvm}
+	vm, guest, err := hv.BootGuest(env, cpus, opt.MemBytes, 200_000_000, opt.Tracer)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < cpus; i++ {
-		if _, err := vm.CreateVCPU(i); err != nil {
-			return nil, err
-		}
-	}
-	guest, err := core.NewGuestOS(vm, opt.MemBytes)
-	if err != nil {
-		return nil, err
-	}
-	for i, v := range vm.VCPUs() {
-		if _, err := v.StartThread(i); err != nil {
-			return nil, err
-		}
-	}
-	if !b.Run(200_000_000, guest.Booted) {
-		return nil, fmt.Errorf("kvmarm: guest kernel did not boot: %v", guest.Err())
-	}
-	return &VirtSystem{
-		Board: b, Host: host, KVM: kvm, VM: vm, Guest: guest,
-		System: &workloads.System{
-			Name:        name,
-			Board:       b,
-			K:           guest.K,
-			Spawn:       guest.Spawn,
-			Virtualized: true,
-			SMP:         cpus,
-		},
-	}, nil
+	return finishVirt(name, cpus, env, vm, guest), nil
 }
 
-// X86System is the VT-x comparator platform (native or virtualized).
+// X86System is the VT-x comparator's bare-metal platform.
 type X86System struct {
 	System *workloads.System
 	Board  *machine.Board
 	Host   *kernel.Kernel
-	HV     *kvmx86.Hypervisor
-	VM     *kvmx86.VM
-	Guest  *kvmx86.GuestOS
 }
 
 func bootX86Host(cpus int, p x86.Profile, name string) (*machine.Board, *kernel.Kernel, error) {
@@ -250,46 +240,128 @@ func NewX86Native(cpus int, p x86.Profile) (*X86System, error) {
 }
 
 // NewX86Virt boots a VM running minOS under the KVM x86 comparator.
-func NewX86Virt(cpus int, p x86.Profile) (*X86System, error) {
+func NewX86Virt(cpus int, p x86.Profile, tr *trace.Tracer) (*GuestSystem, error) {
 	const memBytes = 96 << 20
 	b, host, err := bootX86Host(cpus, p, p.Name+"-host")
 	if err != nil {
 		return nil, err
 	}
-	hv, err := kvmx86.Init(b, host, p)
+	xhv, err := kvmx86.Init(b, host, p)
 	if err != nil {
 		return nil, err
 	}
-	vm, err := hv.CreateVM(memBytes)
+	env := &hv.Env{Board: b, Host: host, HV: xhv}
+	vm, guest, err := hv.BootGuest(env, cpus, memBytes, 300_000_000, tr)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < cpus; i++ {
-		if _, err := vm.CreateVCPU(i); err != nil {
-			return nil, err
-		}
+	return finishVirt(p.Name+"-kvm", cpus, env, vm, guest), nil
+}
+
+// NewVirt boots a guest under the backend registered as name (canonical
+// name or alias, e.g. "ARM", "arm-novgic", "x86 laptop"). This is the
+// backend-neutral entry point the harness layers use.
+func NewVirt(backend string, cpus int, tr *trace.Tracer) (*GuestSystem, error) {
+	be, ok := hv.Lookup(backend)
+	if !ok {
+		return nil, fmt.Errorf("kvmarm: unknown backend %q", backend)
 	}
-	guest, err := kvmx86.NewGuestOS(vm, memBytes)
+	switch be.Name {
+	case "ARM":
+		return NewARMVirt(cpus, VirtOptions{VGIC: true, VTimers: true, Tracer: tr})
+	case "ARM no VGIC/vtimers":
+		return NewARMVirt(cpus, VirtOptions{Tracer: tr})
+	case "KVM x86 laptop":
+		return NewX86Virt(cpus, x86.Laptop(), tr)
+	case "KVM x86 server":
+		return NewX86Virt(cpus, x86.Server(), tr)
+	}
+	return nil, fmt.Errorf("kvmarm: backend %q has no boot recipe", be.Name)
+}
+
+// benchHostEnv boots the minimal measurement host the micro-benchmarks
+// use (no virtio hardware map, fixed small allocator) and hands back an
+// hv.Env. Kept deliberately lighter than bootHost so the Table 3 cycle
+// counts measure the hypervisor, not host bring-up.
+func benchHostEnv(b *machine.Board, name string, cpus int) *kernel.Kernel {
+	for _, c := range b.CPUs {
+		c.Secure = false
+		c.SetCPSR(uint32(arm.ModeHYP) | arm.PSRI | arm.PSRF)
+	}
+	return kernel.New(kernel.Config{
+		Name: name, NumCPUs: cpus,
+		CPU:       func(i int) *arm.CPU { return b.CPUs[i] },
+		HW:        kernel.HWConfig{GICDistBase: machine.GICDistBase, GICCPUBase: machine.GICCPUBase},
+		Mem:       b.RAM,
+		DirectGIC: b.GIC,
+		AllocBase: machine.RAMBase + (64 << 20),
+		AllocSize: 160 << 20,
+	})
+}
+
+func benchARMEnv(cpus int, vgic bool) (*hv.Env, error) {
+	cfg := machine.DefaultConfig()
+	cfg.CPUs = cpus
+	cfg.HasVGIC = vgic
+	cfg.HasVirtTimer = vgic
+	b, err := machine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	for i, v := range vm.VCPUs() {
-		if _, err := v.StartThread(i); err != nil {
-			return nil, err
-		}
+	host := benchHostEnv(b, "bench-host", cpus)
+	if err := host.BootAll(); err != nil {
+		return nil, err
 	}
-	if !b.Run(300_000_000, guest.Booted) {
-		return nil, fmt.Errorf("kvmarm: x86 guest did not boot: %v", guest.Err())
+	k, err := core.Init(b, host)
+	if err != nil {
+		return nil, err
 	}
-	return &X86System{
-		Board: b, Host: host, HV: hv, VM: vm, Guest: guest,
-		System: &workloads.System{
-			Name:        p.Name + "-kvm",
-			Board:       b,
-			K:           guest.K,
-			Spawn:       guest.Spawn,
-			Virtualized: true,
-			SMP:         cpus,
+	return &hv.Env{Board: b, Host: host, HV: k}, nil
+}
+
+func benchX86Env(cpus int, p x86.Profile) (*hv.Env, error) {
+	b, err := kvmx86.NewBoard(cpus, p)
+	if err != nil {
+		return nil, err
+	}
+	host := benchHostEnv(b, "bench-x86host", cpus)
+	if err := host.BootAll(); err != nil {
+		return nil, err
+	}
+	xhv, err := kvmx86.Init(b, host, p)
+	if err != nil {
+		return nil, err
+	}
+	return &hv.Env{Board: b, Host: host, HV: xhv}, nil
+}
+
+// init registers the four evaluated platform configurations with the
+// backend registry. This package is the only one that names concrete
+// backend types; everything downstream (bench, workloads, cmd/) resolves
+// them through hv.Lookup.
+func init() {
+	hv.Register(&hv.Backend{
+		Name: "ARM", Aliases: []string{"arm"}, IsARM: true, BootBudget: 200_000_000,
+		NewBoard: func(cpus int) (*machine.Board, error) {
+			return machine.New(machine.Config{CPUs: cpus, RAMBytes: 16 << 20, HasVGIC: true, HasVirtTimer: true})
 		},
-	}, nil
+		NewEnv: func(cpus int) (*hv.Env, error) { return benchARMEnv(cpus, true) },
+	})
+	hv.Register(&hv.Backend{
+		Name: "ARM no VGIC/vtimers", Aliases: []string{"arm-novgic"}, IsARM: true, BootBudget: 200_000_000,
+		NewBoard: func(cpus int) (*machine.Board, error) {
+			return machine.New(machine.Config{CPUs: cpus, RAMBytes: 16 << 20})
+		},
+		NewEnv: func(cpus int) (*hv.Env, error) { return benchARMEnv(cpus, false) },
+	})
+	hv.Register(&hv.Backend{
+		Name: "KVM x86 laptop", Aliases: []string{"x86-laptop", "x86 laptop"}, BootBudget: 300_000_000,
+		NewBoard: func(cpus int) (*machine.Board, error) { return kvmx86.NewBoard(cpus, x86.Laptop()) },
+		NewEnv:   func(cpus int) (*hv.Env, error) { return benchX86Env(cpus, x86.Laptop()) },
+	})
+	hv.Register(&hv.Backend{
+		Name: "KVM x86 server", Aliases: []string{"x86-server", "x86 server"}, BootBudget: 300_000_000,
+		NewBoard: func(cpus int) (*machine.Board, error) { return kvmx86.NewBoard(cpus, x86.Server()) },
+		NewEnv:   func(cpus int) (*hv.Env, error) { return benchX86Env(cpus, x86.Server()) },
+	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"kvmarm"
 	"kvmarm/internal/arm"
+	"kvmarm/internal/core"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/workloads"
 	"kvmarm/internal/x86"
@@ -35,10 +36,10 @@ func TestVirtSystemProperties(t *testing.T) {
 	if !sys.System.Virtualized {
 		t.Fatal("virt system must mark itself virtualized")
 	}
-	if sys.Guest.K.BootedInHyp {
+	if sys.Guest.Kernel().BootedInHyp {
 		t.Fatal("the guest must never see Hyp mode")
 	}
-	if !sys.Guest.K.UseVirtTimer {
+	if !sys.Guest.Kernel().UseVirtTimer {
 		t.Fatal("guests select the virtual timer")
 	}
 	if sys.Host.UseVirtTimer {
@@ -67,7 +68,7 @@ func TestEveryConfigurationBoots(t *testing.T) {
 			return err
 		}},
 		{"x86-server", func() error {
-			_, err := kvmarm.NewX86Virt(2, x86.Server())
+			_, err := kvmarm.NewX86Virt(2, x86.Server(), nil)
 			return err
 		}},
 	}
@@ -88,14 +89,16 @@ func TestGuestIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vm2, err := sys.KVM.CreateVM(64 << 20)
+	vm2, err := sys.HV.CreateVM(64 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vm2.VMID == sys.VM.VMID {
+	if vm2.ID() == sys.VM.ID() {
 		t.Fatal("VMIDs must differ")
 	}
-	if vm2.S2.Root == sys.VM.S2.Root {
+	// Stage-2 trees are a backend detail: drop down to the concrete ARM
+	// types for the structural check.
+	if vm2.(*core.VM).S2.Root == sys.VM.(*core.VM).S2.Root {
 		t.Fatal("Stage-2 trees must differ")
 	}
 	// Write into VM1's memory; VM2's view of the same IPA must differ.
@@ -138,10 +141,10 @@ func TestEndToEndGuestWork(t *testing.T) {
 	if !sys.Board.Run(100_000_000, func() bool { return sys.Host.LiveCount() == 0 }) {
 		t.Fatal("guest work stalled")
 	}
-	if string(sys.VM.Console) != "x" {
-		t.Fatalf("console %q", string(sys.VM.Console))
+	if string(sys.VM.ConsoleBytes()) != "x" {
+		t.Fatalf("console %q", string(sys.VM.ConsoleBytes()))
 	}
-	if sys.VM.Stats.Stage2Faults == 0 || sys.VM.Stats.MMIOExits == 0 {
-		t.Fatalf("expected hypervisor activity: %+v", sys.VM.Stats)
+	if st := sys.VM.StatsSnapshot(); st.Stage2Faults == 0 || st.MMIOExits == 0 {
+		t.Fatalf("expected hypervisor activity: %+v", st)
 	}
 }

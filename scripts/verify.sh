@@ -1,0 +1,15 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 verification recipe (see ROADMAP.md).
+# Builds everything, vets everything, runs the full test suite, and then
+# re-runs the concurrency-sensitive packages under the race detector.
+# The neutrality lint (internal/hv) runs as part of `go test ./...` and
+# fails the build if internal/bench or internal/workloads reach past the
+# backend-neutral hv layer into a concrete hypervisor.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/trace/ ./internal/mmu/ ./internal/core/
