@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var regenGolden = flag.Bool("regen", false, "rewrite golden files instead of comparing")
+
+// TestAblationGolden renders the §6 ablation matrix over every ARM
+// backend and requires it to match the checked-in golden file byte for
+// byte: the simulation has no nondeterminism, so any drift is a real
+// cost-model change and must be reviewed (regenerate with -regen).
+func TestAblationGolden(t *testing.T) {
+	rows, cols, err := AblationTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, rows, cols)
+	t.Log(buf.String())
+
+	golden := filepath.Join("testdata", "ablation.golden")
+	if *regenGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test ./internal/bench/ -run TestAblationGolden -regen): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("ablation table drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Beyond byte-stability, the matrix must show each feature paying off
+	// on every backend that has it.
+	for _, r := range rows {
+		for _, c := range cols {
+			v := r.Values[c]
+			if v == "" {
+				t.Errorf("%s / %s: empty cell", r.Name, c)
+			}
+			if c == "ARM no VGIC/vtimers" && v != "n/a" {
+				t.Errorf("%s / %s: ablations need a VGIC, want n/a, got %q", r.Name, c, v)
+			}
+			if c != "ARM no VGIC/vtimers" && !bytes.Contains([]byte(v), []byte("-")) {
+				t.Errorf("%s / %s: feature must reduce cost, got %q", r.Name, c, v)
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ func TestTable3Shape(t *testing.T) {
 	}
 	const (
 		armC = "ARM"
+		vheC = "ARM VHE"
 		noV  = "ARM no VGIC/vtimers"
 		lapC = "x86 laptop"
 		srvC = "x86 server"
@@ -44,6 +45,17 @@ func TestTable3Shape(t *testing.T) {
 	}
 	if get("Hypercall", armC) <= get("Hypercall", lapC) {
 		t.Error("ARM hypercall (software world switch) must exceed x86's (hardware VMCS)")
+	}
+	// VHE: the trap itself costs the same (same hardware exception), but
+	// the hypercall is cheaper — the host's EL1 state never moves and the
+	// VGIC switch is lazy, so the world switch does far less work.
+	if get("Trap", vheC) != get("Trap", armC) {
+		t.Errorf("VHE trap (%d) must equal split-mode ARM's (%d): same hardware",
+			get("Trap", vheC), get("Trap", armC))
+	}
+	if get("Hypercall", vheC) >= get("Hypercall", armC) {
+		t.Errorf("VHE hypercall (%d) must be cheaper than split-mode ARM's (%d)",
+			get("Hypercall", vheC), get("Hypercall", armC))
 	}
 	// EOI+ACK: ARM's VGIC avoids all traps; x86 exits on EOI; without a
 	// VGIC everything round-trips through QEMU.

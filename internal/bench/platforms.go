@@ -24,9 +24,10 @@ type Config struct {
 	IsARM bool
 }
 
-// Configs returns the four virtualized configurations compared throughout
-// the evaluation, in the paper's legend order: ARM, ARM w/o VGIC/vtimers,
-// x86 laptop, x86 server.
+// Configs returns the virtualized configurations compared throughout
+// the evaluation, in the paper's legend order — ARM, ARM w/o VGIC/vtimers,
+// x86 laptop, x86 server — plus the ARMv8.1 VHE configuration (§7's
+// "running Linux in Hyp mode" outlook) next to its split-mode sibling.
 func Configs() []Config {
 	return []Config{
 		{
@@ -34,6 +35,24 @@ func Configs() []Config {
 			IsARM: true,
 			Virt: func(cpus int) (*workloads.System, error) {
 				s, err := kvmarm.NewARMVirt(cpus, kvmarm.VirtOptions{VGIC: true, VTimers: true})
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+			Native: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewARMNative(cpus)
+				if err != nil {
+					return nil, err
+				}
+				return s.System, nil
+			},
+		},
+		{
+			Name:  "ARM VHE",
+			IsARM: true,
+			Virt: func(cpus int) (*workloads.System, error) {
+				s, err := kvmarm.NewVHEVirt(cpus, kvmarm.VirtOptions{VGIC: true, VTimers: true, LazyVGIC: true})
 				if err != nil {
 					return nil, err
 				}

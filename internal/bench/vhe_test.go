@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"testing"
+
+	"kvmarm/internal/trace"
+	"kvmarm/internal/workloads"
+)
+
+// TestTraceCrossCheckVHE runs the exact-agreement check against the VHE
+// backend with an IPI- and IRQ-heavy SMP workload: every exit class the
+// split-mode backend traces must be traced identically by the VHE path,
+// which shares no world-switch code with it.
+func TestTraceCrossCheckVHE(t *testing.T) {
+	tr, rows, err := TraceCrossCheck("ARM VHE", 2, workloads.LatPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OK() {
+			t.Errorf("%s: traced %d != counter %d", r.Name, r.Traced, r.Counter)
+		}
+	}
+	if tr.Count(trace.EvWorldSwitchIn) == 0 {
+		t.Fatal("no world switches traced")
+	}
+	snap := tr.Snapshot()
+	if snap.TotalExits() == 0 {
+		t.Fatal("no guest exits traced")
+	}
+}
+
+// wsMean is the weighted mean of a log2 cycle histogram, taking each
+// bucket at its midpoint. Coarse, but the split-mode vs. VHE gap is far
+// wider than a bucket.
+func wsMean(h [trace.HistBuckets]uint64) float64 {
+	var n, sum float64
+	for i, c := range h {
+		if c == 0 {
+			continue
+		}
+		lo := uint64(1) << uint(i)
+		if i == 0 {
+			lo = 0
+		}
+		hi := (uint64(1) << uint(i+1)) - 1
+		mid := float64(lo+hi) / 2
+		n += float64(c)
+		sum += float64(c) * mid
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// TestVHEWorldSwitchBelowSplitMode runs the same workload on the
+// split-mode ARM backend and the VHE backend and requires the VHE
+// world-switch cost to sit strictly below split mode's in the traced
+// histograms, both directions. This is the VHE design pay-off: the host's
+// EL1 state lives permanently in EL2 registers, so entry/exit move only
+// guest-visible state — no Hyp trampoline, no host CP15 round trip, and
+// (with the lazy optimisation VHE-era KVM ships) usually no VGIC switch.
+func TestVHEWorldSwitchBelowSplitMode(t *testing.T) {
+	hist := func(backend string) (in, out [trace.HistBuckets]uint64) {
+		t.Helper()
+		tr, rows, err := TraceCrossCheck(backend, 1, workloads.LatSyscall())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.OK() {
+				t.Errorf("%s %s: traced %d != counter %d", backend, r.Name, r.Traced, r.Counter)
+			}
+		}
+		snap := tr.Snapshot()
+		if tr.Count(trace.EvWorldSwitchIn) == 0 {
+			t.Fatalf("%s: no world switches traced", backend)
+		}
+		return snap.WSIn, snap.WSOut
+	}
+	splitIn, splitOut := hist("ARM")
+	vheIn, vheOut := hist("ARM VHE")
+
+	armInMean, armOutMean := wsMean(splitIn), wsMean(splitOut)
+	vheInMean, vheOutMean := wsMean(vheIn), wsMean(vheOut)
+	t.Logf("world-switch in:  split-mode %.0f cycles, VHE %.0f cycles", armInMean, vheInMean)
+	t.Logf("world-switch out: split-mode %.0f cycles, VHE %.0f cycles", armOutMean, vheOutMean)
+	if vheInMean >= armInMean {
+		t.Errorf("VHE world-switch in (%.0f cycles) must be strictly below split mode's (%.0f)",
+			vheInMean, armInMean)
+	}
+	if vheOutMean >= armOutMean {
+		t.Errorf("VHE world-switch out (%.0f cycles) must be strictly below split mode's (%.0f)",
+			vheOutMean, armOutMean)
+	}
+}

@@ -19,6 +19,7 @@ package core
 import (
 	"kvmarm/internal/arm"
 	"kvmarm/internal/gic"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/timer"
 )
 
@@ -56,65 +57,10 @@ type GuestContext struct {
 // Reg reads GP register n from a saved context, honouring the banked view
 // of the saved CPSR's mode (the highvisor reads the faulting instruction's
 // source register this way during MMIO emulation).
-func (g *GuestContext) Reg(n int) uint32 {
-	mode := arm.Mode(g.GP.CPSR & arm.PSRModeMask)
-	switch {
-	case n < 8:
-		return g.GP.Low[n]
-	case n < 13:
-		if mode == arm.ModeFIQ {
-			return g.GP.Mid[1][n-8]
-		}
-		return g.GP.Mid[0][n-8]
-	case n == arm.RegSP:
-		return g.GP.SP[bankIndexOf(mode)]
-	case n == arm.RegLR:
-		return g.GP.LR[bankIndexOf(mode)]
-	case n == arm.RegPC:
-		return g.GP.PC
-	}
-	return 0
-}
+func (g *GuestContext) Reg(n int) uint32 { return hv.BankedReg(&g.GP, n) }
 
 // SetReg writes GP register n in a saved context (MMIO load emulation).
-func (g *GuestContext) SetReg(n int, v uint32) {
-	mode := arm.Mode(g.GP.CPSR & arm.PSRModeMask)
-	switch {
-	case n < 8:
-		g.GP.Low[n] = v
-	case n < 13:
-		if mode == arm.ModeFIQ {
-			g.GP.Mid[1][n-8] = v
-		} else {
-			g.GP.Mid[0][n-8] = v
-		}
-	case n == arm.RegSP:
-		g.GP.SP[bankIndexOf(mode)] = v
-	case n == arm.RegLR:
-		g.GP.LR[bankIndexOf(mode)] = v
-	case n == arm.RegPC:
-		g.GP.PC = v
-	}
-}
-
-// bankIndexOf maps a mode to the GPSnapshot SP/LR slot (usr, svc, abt,
-// und, irq, fiq).
-func bankIndexOf(m arm.Mode) int {
-	switch m {
-	case arm.ModeSVC:
-		return 1
-	case arm.ModeABT:
-		return 2
-	case arm.ModeUND:
-		return 3
-	case arm.ModeIRQ:
-		return 4
-	case arm.ModeFIQ:
-		return 5
-	default:
-		return 0 // usr/sys (hyp never appears in a guest context)
-	}
-}
+func (g *GuestContext) SetReg(n int, v uint32) { hv.SetBankedReg(&g.GP, n, v) }
 
 // hostContext is the host-side state the lowvisor parks on its "Hyp stack"
 // during guest execution (world-switch steps 1 and 4).

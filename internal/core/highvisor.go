@@ -71,6 +71,12 @@ func (h *Highvisor) handleExit(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint3
 			v.vm.Stats.WFIExits++
 			v.Ctx.GP.PC += 4 // skip the WFI/WFE
 			v.state = vcpuBlockedWFI
+			// A pause posted while the vCPU was loaded must win over the
+			// WFI block, or user space waits on a vCPU that is already
+			// parked under the wrong state.
+			if v.pauseReq {
+				v.state = vcpuPaused
+			}
 			h.vtimerOnExit(c, v)
 		case arm.ECDataAbort, arm.ECInstrAbort:
 			exitKind, exitArg = h.handleAbort(c, v, e, insn, insnOK)

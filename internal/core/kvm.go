@@ -169,7 +169,7 @@ type VM struct {
 	// (The same table GuestMem populates on host-side accesses.)
 	S2    *mmu.Builder
 	Mem   hv.GuestMem
-	VDist *VDist
+	VDist *hv.VDist
 	vcpus []*VCPU
 
 	mmio hv.Regions
@@ -202,7 +202,7 @@ func (k *KVM) CreateVM(memBytes uint64) (hv.VM, error) {
 	vm := &VM{kvm: k, VMID: k.nextVMID, S2: s2}
 	vm.Mem = hv.GuestMem{Table: s2, Alloc: k.Host.Alloc, RAM: k.Board.RAM}
 	vm.Mem.AddSlot(machine.RAMBase, memBytes)
-	vm.VDist = newVDist(vm)
+	vm.VDist = hv.NewVDist(k.Board, vm.VMID, &vm.Stats, func() *trace.Tracer { return k.Trace })
 	k.Trace.RegisterVM(vm.VMID)
 
 	if k.Board.Cfg.HasVGIC {
@@ -347,13 +347,19 @@ func (vm *VM) CreateVCPU(id int) (hv.VCPU, error) {
 	v.Ctx.VPIDR = host0.CP15.Regs[arm.SysMIDR]
 	v.Ctx.VMPIDR = 0x8000_0000 | uint32(id)
 	vm.vcpus = append(vm.vcpus, v)
-	vm.VDist.addVCPU()
+	vm.VDist.AddVCPU(v)
 	vm.kvm.Trace.RegisterVCPU(vm.VMID, id)
 	return v, nil
 }
 
 // VCPUID is the vCPU index within its VM.
 func (v *VCPU) VCPUID() int { return v.ID }
+
+// PhysCPU is the physical CPU currently executing this vCPU (-1 if none).
+func (v *VCPU) PhysCPU() int { return v.phys }
+
+// BlockedWFI reports whether the vCPU thread is parked in WFI.
+func (v *VCPU) BlockedWFI() bool { return v.state == vcpuBlockedWFI }
 
 // ExitStats copies out the per-vCPU entry/exit counters.
 func (v *VCPU) ExitStats() hv.VCPUStats { return v.Stats }
@@ -484,7 +490,7 @@ func (v *VCPU) runStep(hostCPU int, c *arm.CPU) bool {
 // exit then parks it inside the saved VGIC context, and the WFI block
 // check must still see it or the vCPU sleeps through its wakeup.
 func (v *VCPU) hasPendingVirq() bool {
-	if v.vm.VDist.hasPendingFor(v) {
+	if v.vm.VDist.HasPendingFor(v) {
 		return true
 	}
 	for i := range v.Ctx.VGIC.LR {

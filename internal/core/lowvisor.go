@@ -200,7 +200,7 @@ func (lv *Lowvisor) worldSwitchIn(c *arm.CPU, v *VCPU) {
 	// (2) Configure the VGIC for the VM: restore the saved interface
 	// state and flush software-pending interrupts into list registers.
 	if k.Board.Cfg.HasVGIC {
-		if !k.LazyVGIC || vgicStateLive(&v.Ctx.VGIC) || v.vm.VDist.hasPendingFor(v) {
+		if !k.LazyVGIC || vgicStateLive(&v.Ctx.VGIC) || v.vm.VDist.HasPendingFor(v) {
 			cost := k.Board.GIC.RestoreVGIC(c.ID, v.Ctx.VGIC)
 			c.Charge(cost)
 			k.Board.GIC.SetVGICEnabled(c.ID, true)
@@ -266,7 +266,7 @@ func (lv *Lowvisor) worldSwitchIn(c *arm.CPU, v *VCPU) {
 	// Software injection path for hardware without a VGIC: pending
 	// virtual interrupts assert the virtual IRQ line by hand.
 	if !k.Board.Cfg.HasVGIC {
-		c.VIRQLine = v.vm.VDist.hasPendingFor(v)
+		c.VIRQLine = v.vm.VDist.HasPendingFor(v)
 	}
 
 	if t := k.Trace; t != nil {

@@ -1,0 +1,70 @@
+package hv
+
+import "kvmarm/internal/arm"
+
+// Banked access to a saved general-purpose snapshot, honouring the saved
+// CPSR's mode — the view MMIO emulation needs when it reads the faulting
+// instruction's source register from a descheduled guest context. Shared
+// by every ARM-style backend.
+
+// BankedReg reads GP register n from a saved context.
+func BankedReg(g *arm.GPSnapshot, n int) uint32 {
+	mode := arm.Mode(g.CPSR & arm.PSRModeMask)
+	switch {
+	case n < 8:
+		return g.Low[n]
+	case n < 13:
+		if mode == arm.ModeFIQ {
+			return g.Mid[1][n-8]
+		}
+		return g.Mid[0][n-8]
+	case n == arm.RegSP:
+		return g.SP[bankIndexOf(mode)]
+	case n == arm.RegLR:
+		return g.LR[bankIndexOf(mode)]
+	case n == arm.RegPC:
+		return g.PC
+	}
+	return 0
+}
+
+// SetBankedReg writes GP register n in a saved context (MMIO load
+// emulation).
+func SetBankedReg(g *arm.GPSnapshot, n int, v uint32) {
+	mode := arm.Mode(g.CPSR & arm.PSRModeMask)
+	switch {
+	case n < 8:
+		g.Low[n] = v
+	case n < 13:
+		if mode == arm.ModeFIQ {
+			g.Mid[1][n-8] = v
+		} else {
+			g.Mid[0][n-8] = v
+		}
+	case n == arm.RegSP:
+		g.SP[bankIndexOf(mode)] = v
+	case n == arm.RegLR:
+		g.LR[bankIndexOf(mode)] = v
+	case n == arm.RegPC:
+		g.PC = v
+	}
+}
+
+// bankIndexOf maps a mode to the GPSnapshot SP/LR slot (usr, svc, abt,
+// und, irq, fiq).
+func bankIndexOf(m arm.Mode) int {
+	switch m {
+	case arm.ModeSVC:
+		return 1
+	case arm.ModeABT:
+		return 2
+	case arm.ModeUND:
+		return 3
+	case arm.ModeIRQ:
+		return 4
+	case arm.ModeFIQ:
+		return 5
+	default:
+		return 0 // usr/sys (hyp never appears in a guest context)
+	}
+}

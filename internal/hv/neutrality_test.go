@@ -16,6 +16,7 @@ import (
 var forbidden = []string{
 	"kvmarm/internal/core",
 	"kvmarm/internal/kvmx86",
+	"kvmarm/internal/vhe",
 }
 
 func TestConsumersAreBackendNeutral(t *testing.T) {

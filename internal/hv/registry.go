@@ -42,13 +42,26 @@ type Backend struct {
 
 var backends []*Backend
 
-// Register adds a backend configuration. Later registrations of the same
-// canonical name replace earlier ones.
+// Register adds a backend configuration. Every name and alias must be
+// unique across the registry — a collision is a programming error (two
+// backends would silently shadow each other in Lookup), so it panics.
 func Register(b *Backend) {
-	for i, old := range backends {
-		if old.Name == b.Name {
-			backends[i] = b
-			return
+	names := append([]string{b.Name}, b.Aliases...)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			panic(fmt.Sprintf("hv: backend %q repeats name/alias %q", b.Name, n))
+		}
+		seen[n] = true
+		for _, old := range backends {
+			if old.Name == n {
+				panic(fmt.Sprintf("hv: backend %q collides with registered backend name %q", b.Name, n))
+			}
+			for _, a := range old.Aliases {
+				if a == n {
+					panic(fmt.Sprintf("hv: backend %q collides with alias %q of backend %q", b.Name, n, old.Name))
+				}
+			}
 		}
 	}
 	backends = append(backends, b)

@@ -1,0 +1,95 @@
+package hv
+
+import "testing"
+
+// withEmptyRegistry runs the test against a scratch backend registry and
+// restores the real one afterwards, so the process-wide registrations
+// from the kvmarm root package are untouched.
+func withEmptyRegistry(t *testing.T) {
+	t.Helper()
+	saved := backends
+	backends = nil
+	t.Cleanup(func() { backends = saved })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	withEmptyRegistry(t)
+	a := &Backend{Name: "alpha", Aliases: []string{"a", "first"}}
+	b := &Backend{Name: "beta"}
+	Register(a)
+	Register(b)
+
+	if got := Backends(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("Backends() = %v, want [alpha beta] in registration order", got)
+	}
+	for _, name := range []string{"alpha", "a", "first"} {
+		got, ok := Lookup(name)
+		if !ok || got != a {
+			t.Errorf("Lookup(%q) = %v,%v, want alpha", name, got, ok)
+		}
+	}
+	if got, ok := Lookup("beta"); !ok || got != b {
+		t.Errorf("Lookup(beta) = %v,%v, want beta", got, ok)
+	}
+	if _, ok := Lookup("gamma"); ok {
+		t.Error("Lookup of unregistered name must miss")
+	}
+	// Mutating the returned slice must not corrupt the registry.
+	Backends()[0] = b
+	if got, _ := Lookup("alpha"); got != a {
+		t.Error("Backends() must return a copy")
+	}
+}
+
+func TestRegisterCollisionsPanic(t *testing.T) {
+	withEmptyRegistry(t)
+	Register(&Backend{Name: "alpha", Aliases: []string{"a"}})
+
+	mustPanic(t, "duplicate name", func() {
+		Register(&Backend{Name: "alpha"})
+	})
+	mustPanic(t, "name colliding with existing alias", func() {
+		Register(&Backend{Name: "a"})
+	})
+	mustPanic(t, "alias colliding with existing name", func() {
+		Register(&Backend{Name: "beta", Aliases: []string{"alpha"}})
+	})
+	mustPanic(t, "alias colliding with existing alias", func() {
+		Register(&Backend{Name: "beta", Aliases: []string{"a"}})
+	})
+	mustPanic(t, "alias repeated within one backend", func() {
+		Register(&Backend{Name: "beta", Aliases: []string{"b", "b"}})
+	})
+	mustPanic(t, "alias equal to own name", func() {
+		Register(&Backend{Name: "beta", Aliases: []string{"beta"}})
+	})
+
+	// Every failed registration must leave the registry unchanged.
+	if got := Backends(); len(got) != 1 || got[0].Name != "alpha" {
+		t.Fatalf("registry corrupted by rejected registrations: %v", got)
+	}
+}
+
+// TestRegisteredBackendNamespace checks the real process-wide registry is
+// collision-free and covers the paper's platforms plus the VHE model.
+func TestRegisteredBackendNamespace(t *testing.T) {
+	seen := map[string]string{}
+	for _, b := range Backends() {
+		for _, n := range append([]string{b.Name}, b.Aliases...) {
+			if prev, dup := seen[n]; dup {
+				t.Errorf("name %q claimed by both %q and %q", n, prev, b.Name)
+			}
+			seen[n] = b.Name
+		}
+	}
+}

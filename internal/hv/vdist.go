@@ -1,19 +1,47 @@
-package core
+package hv
 
 import (
 	"fmt"
 
 	"kvmarm/internal/gic"
+	"kvmarm/internal/machine"
 	"kvmarm/internal/trace"
 )
+
+// VDistVCPU is the small view of a vCPU the virtual distributor needs:
+// enough to decide whether a pending virtual interrupt can be staged into
+// list registers right now (PhysCPU), must wake a sleeping thread
+// (BlockedWFI/Wake), or has to kick a remote core. Both the split-mode
+// core backend and the VHE backend satisfy it.
+type VDistVCPU interface {
+	VCPUID() int
+	// PhysCPU is the physical CPU currently executing this vCPU, -1 when
+	// it is not loaded anywhere.
+	PhysCPU() int
+	// BlockedWFI reports whether the vCPU thread is parked in WFI.
+	BlockedWFI() bool
+	Wake(fromHostCPU int)
+}
 
 // VDist is the virtual distributor of §3.5: "a software model of the GIC
 // distributor as part of the highvisor". It exposes the same MMIO register
 // map as the physical distributor to the VM (every VM access traps here),
 // an interface for emulated devices to raise virtual interrupts, and it
-// programs the hardware list registers whenever a vCPU runs.
+// programs the hardware list registers whenever a vCPU runs. It lives in
+// internal/hv because it is backend-independent: any ARM-style backend
+// with a VGIC (split-mode or VHE) reuses the same software model.
 type VDist struct {
-	vm      *VM
+	// Board is the physical machine (GIC, CPUs) the VM runs on.
+	Board *machine.Board
+	// VMID tags trace events.
+	VMID uint8
+	// Stats is the owning VM's counter block (IPIsEmulated).
+	Stats *VMStats
+	// Tracer returns the current tracer (nil when tracing is off); a
+	// closure so AttachTracer after CreateVM still takes effect.
+	Tracer func() *trace.Tracer
+
+	vcpus   []VDistVCPU
 	enabled bool
 
 	// priv is the banked SGI/PPI state per vCPU.
@@ -23,7 +51,7 @@ type VDist struct {
 	// spi is the shared interrupt state.
 	spi []virqState
 
-	// Stats.
+	// Injections/SGIs/Flushes are delivery statistics.
 	Injections uint64
 	SGIs       uint64
 	Flushes    uint64
@@ -51,11 +79,15 @@ func (s *virqState) deliverable() bool {
 
 const vdistSPIs = 96
 
-func newVDist(vm *VM) *VDist {
-	return &VDist{vm: vm, enabled: true, spi: make([]virqState, vdistSPIs)}
+// NewVDist builds the software distributor model for one VM.
+func NewVDist(b *machine.Board, vmid uint8, stats *VMStats, tracer func() *trace.Tracer) *VDist {
+	return &VDist{Board: b, VMID: vmid, Stats: stats, Tracer: tracer,
+		enabled: true, spi: make([]virqState, vdistSPIs)}
 }
 
-func (d *VDist) addVCPU() {
+// AddVCPU registers the next vCPU (must be called in vCPU-ID order).
+func (d *VDist) AddVCPU(v VDistVCPU) {
+	d.vcpus = append(d.vcpus, v)
 	d.priv = append(d.priv, [gic.SPIBase]virqState{})
 	d.sgiSrc = append(d.sgiSrc, [gic.NumSGIs]int{})
 }
@@ -73,7 +105,7 @@ func (d *VDist) irq(vcpu, id int) *virqState {
 // --- Register emulation (same map as gic.DistDevice) ---
 
 // ReadReg emulates a VM read of the distributor.
-func (d *VDist) ReadReg(v *VCPU, off uint64) uint32 {
+func (d *VDist) ReadReg(v VDistVCPU, off uint64) uint32 {
 	switch {
 	case off == gic.GICDCtlr:
 		if d.enabled {
@@ -86,7 +118,7 @@ func (d *VDist) ReadReg(v *VCPU, off uint64) uint32 {
 		word := int(off-gic.GICDIsenabler) / 4
 		var bits uint32
 		for b := 0; b < 32; b++ {
-			if s := d.irq(v.ID, word*32+b); s != nil && s.enabled {
+			if s := d.irq(v.VCPUID(), word*32+b); s != nil && s.enabled {
 				bits |= 1 << b
 			}
 		}
@@ -96,7 +128,7 @@ func (d *VDist) ReadReg(v *VCPU, off uint64) uint32 {
 		var w uint32
 		for i := 0; i < 4; i++ {
 			if id+i >= gic.SPIBase {
-				if s := d.irq(v.ID, id+i); s != nil {
+				if s := d.irq(v.VCPUID(), id+i); s != nil {
 					w |= uint32(s.target) << (8 * i)
 				}
 			}
@@ -110,19 +142,19 @@ func (d *VDist) ReadReg(v *VCPU, off uint64) uint32 {
 // virtual IPI path: "this will cause a trap to the hypervisor, which
 // emulates the distributor access in software and programs the list
 // registers on the receiving CPU's GIC hypervisor control interface".
-func (d *VDist) WriteReg(v *VCPU, off uint64, val uint32) {
+func (d *VDist) WriteReg(v VDistVCPU, off uint64, val uint32) {
 	switch {
 	case off == gic.GICDCtlr:
 		d.enabled = val&1 != 0
 	case off >= gic.GICDIsenabler && off < gic.GICDIsenabler+0x80:
-		d.writeEnable(v.ID, int(off-gic.GICDIsenabler)/4, val, true)
+		d.writeEnable(v.VCPUID(), int(off-gic.GICDIsenabler)/4, val, true)
 	case off >= gic.GICDIcenabler && off < gic.GICDIcenabler+0x80:
-		d.writeEnable(v.ID, int(off-gic.GICDIcenabler)/4, val, false)
+		d.writeEnable(v.VCPUID(), int(off-gic.GICDIcenabler)/4, val, false)
 	case off >= gic.GICDItargetsr && off < gic.GICDItargetsr+0x400:
 		id := int(off - gic.GICDItargetsr)
 		for i := 0; i < 4; i++ {
 			if id+i >= gic.SPIBase {
-				if s := d.irq(v.ID, id+i); s != nil {
+				if s := d.irq(v.VCPUID(), id+i); s != nil {
 					s.target = uint8(val >> (8 * i))
 				}
 			}
@@ -130,7 +162,7 @@ func (d *VDist) WriteReg(v *VCPU, off uint64, val uint32) {
 	case off == gic.GICDSgir:
 		d.sendSGI(v, uint8(val>>gic.SGIRTargetShift), int(val&gic.SGIRIDMask))
 	}
-	d.deliverAll()
+	d.DeliverAll()
 }
 
 func (d *VDist) writeEnable(vcpu, word int, bits uint32, enable bool) {
@@ -149,45 +181,43 @@ func (d *VDist) writeEnable(vcpu, word int, bits uint32, enable bool) {
 // the virtual interrupt into the receiving core's list registers — no
 // exit on the sender, no kick on the receiver. Only a descheduled or
 // WFI-blocked target still needs the hypervisor (the doorbell case).
-func (d *VDist) SendSGIFrom(src *VCPU, mask uint8, id int) {
+func (d *VDist) SendSGIFrom(src VDistVCPU, mask uint8, id int) {
 	d.sendSGI(src, mask, id)
-	k := d.vm.kvm
-	for i, v := range d.vm.vcpus {
+	for i, v := range d.vcpus {
 		if mask&(1<<i) == 0 {
 			continue
 		}
-		if v.state == vcpuBlockedWFI && d.hasPendingFor(v) {
-			v.Wake(k.Board.Current)
+		if v.BlockedWFI() && d.HasPendingFor(v) {
+			v.Wake(d.Board.Current)
 			continue
 		}
-		if v.phys >= 0 {
+		if phys := v.PhysCPU(); phys >= 0 {
 			// The vSGI hardware and the list registers live in the
 			// same GIC: reconcile retired interrupts against the live
 			// registers, then stage the new one — all without any
 			// CPU involvement.
-			d.SyncFrom(v, k.Board.GIC.VGICCpuIface(v.phys))
-			d.FlushTo(v, v.phys)
+			d.SyncFrom(v, d.Board.GIC.VGICCpuIface(phys))
+			d.FlushTo(v, phys)
 		}
 	}
 }
 
 // sendSGI delivers a virtual IPI from vCPU src to every vCPU in the mask.
-func (d *VDist) sendSGI(src *VCPU, mask uint8, id int) {
+func (d *VDist) sendSGI(src VDistVCPU, mask uint8, id int) {
 	d.SGIs++
-	d.vm.Stats.IPIsEmulated++
-	if t := d.vm.kvm.Trace; t != nil {
-		t.Emit(trace.Event{Kind: trace.EvIPI, VM: d.vm.VMID, VCPU: int16(src.ID),
-			CPU: int16(d.vm.kvm.Board.Current), Arg: uint64(id)})
+	d.Stats.IPIsEmulated++
+	if t := d.Tracer(); t != nil {
+		t.Emit(trace.Event{Kind: trace.EvIPI, VM: d.VMID, VCPU: int16(src.VCPUID()),
+			CPU: int16(d.Board.Current), Arg: uint64(id)})
 	}
-	for i, t := range d.vm.vcpus {
+	for i := range d.vcpus {
 		if mask&(1<<i) == 0 {
 			continue
 		}
 		s := &d.priv[i][id]
 		s.pending = true
 		s.raised++
-		d.sgiSrc[i][id] = src.ID
-		_ = t
+		d.sgiSrc[i][id] = src.VCPUID()
 	}
 }
 
@@ -205,29 +235,29 @@ func (d *VDist) InjectSPI(id int, level bool) {
 		s.raised++
 		d.Injections++
 	}
-	d.deliverAll()
+	d.DeliverAll()
 }
 
 // InjectPPI raises a private virtual interrupt on one vCPU (virtual timer).
-func (d *VDist) InjectPPI(v *VCPU, id int) {
-	s := &d.priv[v.ID][id]
+func (d *VDist) InjectPPI(v VDistVCPU, id int) {
+	s := &d.priv[v.VCPUID()][id]
 	s.pending = true
 	s.raised++
 	d.Injections++
-	d.deliverTo(v)
+	d.DeliverTo(v)
 }
 
 // --- Delivery ---
 
-// hasPendingFor reports whether any enabled virtual interrupt is pending
+// HasPendingFor reports whether any enabled virtual interrupt is pending
 // for v (wake condition for WFI-blocked vCPUs; software VIRQ line level on
 // hardware without a VGIC).
-func (d *VDist) hasPendingFor(v *VCPU) bool {
+func (d *VDist) HasPendingFor(v VDistVCPU) bool {
 	if !d.enabled {
 		return false
 	}
 	for id := 0; id < gic.SPIBase; id++ {
-		if d.priv[v.ID][id].deliverable() {
+		if d.priv[v.VCPUID()][id].deliverable() {
 			return true
 		}
 	}
@@ -240,18 +270,18 @@ func (d *VDist) hasPendingFor(v *VCPU) bool {
 	return false
 }
 
-func (d *VDist) targets(s *virqState, v *VCPU) bool {
-	return s.target == 0 && v.ID == 0 || s.target&(1<<v.ID) != 0
+func (d *VDist) targets(s *virqState, v VDistVCPU) bool {
+	return s.target == 0 && v.VCPUID() == 0 || s.target&(1<<v.VCPUID()) != 0
 }
 
-// deliverAll pushes pending interrupts toward every vCPU.
-func (d *VDist) deliverAll() {
-	for _, v := range d.vm.vcpus {
-		d.deliverTo(v)
+// DeliverAll pushes pending interrupts toward every vCPU.
+func (d *VDist) DeliverAll() {
+	for _, v := range d.vcpus {
+		d.DeliverTo(v)
 	}
 }
 
-// deliverTo makes v see its pending virtual interrupts: a WFI-blocked
+// DeliverTo makes v see its pending virtual interrupts: a WFI-blocked
 // vCPU's thread is woken; a vCPU running on the local core picks the
 // interrupt up when it re-enters (list registers are flushed at every
 // world switch in); a vCPU running on a REMOTE core is kicked out of the
@@ -259,37 +289,36 @@ func (d *VDist) deliverAll() {
 // — which is why the paper's IPI micro-benchmark costs two world switches
 // on each side (Table 3) and why §6 asks hardware to "completely avoid
 // IPI traps".
-func (d *VDist) deliverTo(v *VCPU) {
-	k := d.vm.kvm
-	if v.state == vcpuBlockedWFI && d.hasPendingFor(v) {
-		v.Wake(k.Board.Current)
+func (d *VDist) DeliverTo(v VDistVCPU) {
+	if v.BlockedWFI() && d.HasPendingFor(v) {
+		v.Wake(d.Board.Current)
 		return
 	}
-	if v.phys < 0 {
+	phys := v.PhysCPU()
+	if phys < 0 {
 		return
 	}
-	if !k.Board.Cfg.HasVGIC {
-		k.Board.CPUs[v.phys].VIRQLine = d.hasPendingFor(v)
-		if v.phys != k.Board.Current && d.hasPendingFor(v) {
-			_ = k.Board.GIC.SendSGI(k.Board.Current, 1<<uint(v.phys), 2 /* kernel.IPICall */)
+	if !d.Board.Cfg.HasVGIC {
+		d.Board.CPUs[phys].VIRQLine = d.HasPendingFor(v)
+		if phys != d.Board.Current && d.HasPendingFor(v) {
+			_ = d.Board.GIC.SendSGI(d.Board.Current, 1<<uint(phys), 2 /* kernel.IPICall */)
 		}
 		return
 	}
-	if v.phys == k.Board.Current {
+	if phys == d.Board.Current {
 		// Local: the in-flight exit handler re-enters and flushes.
 		return
 	}
-	if d.hasPendingFor(v) {
+	if d.HasPendingFor(v) {
 		// Kick the remote core out of guest mode (vcpu_kick).
-		_ = k.Board.GIC.SendSGI(k.Board.Current, 1<<uint(v.phys), 2 /* kernel.IPICall */)
+		_ = d.Board.GIC.SendSGI(d.Board.Current, 1<<uint(phys), 2 /* kernel.IPICall */)
 	}
 }
 
 // FlushTo programs pending interrupts for v into free list registers of
 // physical CPU phys. Each LR write is a real (slow) MMIO access.
-func (d *VDist) FlushTo(v *VCPU, phys int) {
-	k := d.vm.kvm
-	g := k.Board.GIC
+func (d *VDist) FlushTo(v VDistVCPU, phys int) {
+	g := d.Board.GIC
 	d.Flushes++
 	stage := func(id int, s *virqState) bool {
 		lr := g.FreeLR(phys)
@@ -299,13 +328,13 @@ func (d *VDist) FlushTo(v *VCPU, phys int) {
 		if err := g.WriteLR(phys, lr, gic.ListReg{VirtID: id, State: gic.LRPending, EOIMaint: s.level}); err != nil {
 			return false
 		}
-		k.Board.CPUs[phys].Charge(gic.CPUIfaceAccessCycles)
+		d.Board.CPUs[phys].Charge(gic.CPUIfaceAccessCycles)
 		s.inflight = true
 		s.staged = s.raised
 		return true
 	}
 	for id := 0; id < gic.SPIBase; id++ {
-		s := &d.priv[v.ID][id]
+		s := &d.priv[v.VCPUID()][id]
 		if s.enabled && s.pending && !s.active && !s.inflight {
 			if !stage(id, s) {
 				return
@@ -325,7 +354,7 @@ func (d *VDist) FlushTo(v *VCPU, phys int) {
 // SyncFrom reconciles the software model with list-register state read
 // back at world switch out: completed LRs retire their interrupts; ones
 // still pending/active return to software state for the next entry.
-func (d *VDist) SyncFrom(v *VCPU, saved *gic.VGICCpu) {
+func (d *VDist) SyncFrom(v VDistVCPU, saved *gic.VGICCpu) {
 	seen := map[int]gic.ListRegState{}
 	for i := range saved.LR {
 		lr := &saved.LR[i]
@@ -350,7 +379,7 @@ func (d *VDist) SyncFrom(v *VCPU, saved *gic.VGICCpu) {
 		// will be restored with the VGIC context at next entry.
 	}
 	for id := 0; id < gic.SPIBase; id++ {
-		retire(id, &d.priv[v.ID][id])
+		retire(id, &d.priv[v.VCPUID()][id])
 	}
 	for i := range d.spi {
 		retire(gic.SPIBase+i, &d.spi[i])
@@ -361,7 +390,7 @@ func (d *VDist) SyncFrom(v *VCPU, saved *gic.VGICCpu) {
 
 // AckEmu emulates a GICC IAR read for hardware without a VGIC: highest
 // pending virtual interrupt becomes active.
-func (d *VDist) AckEmu(v *VCPU) (id, src int) {
+func (d *VDist) AckEmu(v VDistVCPU) (id, src int) {
 	best := -1
 	var bs *virqState
 	consider := func(id int, s *virqState) {
@@ -370,7 +399,7 @@ func (d *VDist) AckEmu(v *VCPU) (id, src int) {
 		}
 	}
 	for id := 0; id < gic.SPIBase; id++ {
-		consider(id, &d.priv[v.ID][id])
+		consider(id, &d.priv[v.VCPUID()][id])
 	}
 	for i := range d.spi {
 		if d.targets(&d.spi[i], v) {
@@ -386,14 +415,14 @@ func (d *VDist) AckEmu(v *VCPU) (id, src int) {
 	}
 	bs.active = true
 	if best < gic.NumSGIs {
-		return best, d.sgiSrc[v.ID][best]
+		return best, d.sgiSrc[v.VCPUID()][best]
 	}
 	return best, 0
 }
 
 // EOIEmu emulates a GICC EOIR write without a VGIC.
-func (d *VDist) EOIEmu(v *VCPU, id int) {
-	if s := d.irq(v.ID, id); s != nil {
+func (d *VDist) EOIEmu(v VDistVCPU, id int) {
+	if s := d.irq(v.VCPUID(), id); s != nil {
 		s.active = false
 		if s.level {
 			s.pending = true
@@ -410,5 +439,5 @@ func (d *VDist) DebugIRQ(vcpu, id int) string {
 	return fmt.Sprintf("{en:%v pend:%v act:%v inflight:%v}", s.enabled, s.pending, s.active, s.inflight)
 }
 
-// DebugPending exposes hasPendingFor for diagnostics.
-func (d *VDist) DebugPending(v *VCPU) bool { return d.hasPendingFor(v) }
+// DebugPending exposes HasPendingFor for diagnostics.
+func (d *VDist) DebugPending(v VDistVCPU) bool { return d.HasPendingFor(v) }

@@ -118,7 +118,7 @@ func Table4Components(root string) []Component {
 	return []Component{
 		{"Core CPU (lowvisor + world switch)", []string{j("internal/core/lowvisor.go"), j("internal/core/context.go")}},
 		{"Page Fault Handling", []string{j("internal/core/kvm.go")}},
-		{"Interrupts", []string{j("internal/core/vdist.go")}},
+		{"Interrupts", []string{j("internal/hv/vdist.go")}},
 		{"Timers", []string{}}, // vtimer code lives inside highvisor.go; counted there
 		{"Other (highvisor, MMIO, guest glue)", []string{j("internal/core/highvisor.go"), j("internal/core/guestos.go")}},
 	}

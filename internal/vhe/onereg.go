@@ -1,0 +1,47 @@
+package vhe
+
+import (
+	"fmt"
+
+	"kvmarm/internal/hv"
+)
+
+// User-space register save/restore (§4), API-parity with the other
+// backends: the register-ID namespace and accessors live in internal/hv;
+// this file binds them to the vCPU's saved context and enforces the
+// not-while-running rule.
+
+func (v *VCPU) regFile() hv.RegFile {
+	return hv.RegFile{GP: &v.Ctx.GP, CP15: &v.Ctx.CP15}
+}
+
+// RegList enumerates every register the interface exposes
+// (KVM_GET_REG_LIST).
+func (v *VCPU) RegList() []RegID { return hv.RegList() }
+
+// GetOneReg reads one guest register (KVM_GET_ONE_REG). The vCPU must not
+// be running.
+func (v *VCPU) GetOneReg(id RegID) (uint32, error) {
+	if v.state == vcpuRunning {
+		return 0, fmt.Errorf("vhe: vCPU %d is running", v.ID)
+	}
+	return hv.GetReg(v.regFile(), id)
+}
+
+// SetOneReg writes one guest register (KVM_SET_ONE_REG).
+func (v *VCPU) SetOneReg(id RegID, val uint32) error {
+	if v.state == vcpuRunning {
+		return fmt.Errorf("vhe: vCPU %d is running", v.ID)
+	}
+	return hv.SetReg(v.regFile(), id, val)
+}
+
+// SaveAllRegs snapshots every exposed register (the migration source side).
+func (v *VCPU) SaveAllRegs() (map[RegID]uint32, error) {
+	return hv.SaveAllRegs(v)
+}
+
+// RestoreAllRegs writes a snapshot back (the migration destination side).
+func (v *VCPU) RestoreAllRegs(regs map[RegID]uint32) error {
+	return hv.RestoreAllRegs(v, regs)
+}

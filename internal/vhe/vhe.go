@@ -1,0 +1,569 @@
+// Package vhe models KVM on ARMv8.1 with the Virtualization Host
+// Extensions (VHE, the E2H bit) — the §6 counterfactual of the paper: "the
+// cost of split-mode virtualization is an artifact of the ARMv7 register
+// banking; hardware that lets the kernel run in Hyp mode removes it".
+//
+// With E2H set, EL1 system-register accesses from the host kernel are
+// redirected to their EL2 counterparts, so an unmodified kernel executes
+// at the hypervisor privilege level. The consequences this package models,
+// each the disappearance of a split-mode cost:
+//
+//   - No lowvisor/highvisor split: the exit handler IS the host kernel.
+//     kvm_call_hyp becomes a plain function call — entering a guest costs
+//     no HVC, and no exit takes a double trap (VM → EL2 → kernel becomes
+//     VM → kernel-at-EL2).
+//   - No Hyp stub and no dedicated Hyp page table: the kernel owns EL2
+//     from boot; its own page tables serve the hypervisor (TTBR1_EL2
+//     exists under E2H).
+//   - The world switch moves only guest-visible state: the host's EL1
+//     context lives in EL2 registers the guest cannot touch, so entry
+//     loads the guest's 26 context registers without first spilling the
+//     host's (half of the paper's Table 1 "Context Switch" traffic), and
+//     the full 38-register trap frame shrinks to the callee-saved set of
+//     a function call.
+//
+// What stays: Stage-2 faults, MMIO emulation, the virtual distributor
+// (shared hv.VDist), virtual-timer multiplexing, and lazy VFP — those
+// costs are architectural, not artifacts of the split.
+//
+// The simulation runs the host kernel in SVC mode as every other backend
+// does; SVC here stands in for "EL2 with E2H redirection" — the point of
+// VHE is precisely that the kernel is unchanged.
+package vhe
+
+import (
+	"fmt"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/dev"
+	"kvmarm/internal/gic"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/mmu"
+	"kvmarm/internal/timer"
+	"kvmarm/internal/trace"
+)
+
+// Backend-neutral aliases, shared with the other backends via internal/hv.
+type (
+	// MMIOHandler emulates a device region for a VM.
+	MMIOHandler = hv.MMIOHandler
+	// VMStats counts per-VM hypervisor activity.
+	VMStats = hv.VMStats
+	// VCPUStats counts per-vCPU exits.
+	VCPUStats = hv.VCPUStats
+	// RegID names one guest register in the ONE_REG namespace.
+	RegID = hv.RegID
+)
+
+// Stats instruments the hypervisor, under the same names as the split-mode
+// backend so the stat cross-check and kvmarm-stat treat both uniformly.
+// HostCalls stays zero by construction: with VHE there is no kvm_call_hyp.
+type Stats struct {
+	WorldSwitchIn      uint64
+	WorldSwitchOut     uint64
+	GuestTraps         uint64
+	HostCalls          uint64
+	VFPLazySwitches    uint64
+	VGICSaveSkipped    uint64
+	VGICRestoreSkipped uint64
+}
+
+// Hypervisor is KVM with VHE: one component, running entirely in the host
+// kernel at EL2.
+type Hypervisor struct {
+	Board *machine.Board
+	Host  *kernel.Kernel
+
+	vms      []*VM
+	nextVMID uint8
+	// loaded tracks which vCPU each physical CPU is running.
+	loaded []*VCPU
+	// hostCtx parks the host's callee-saved state per physical CPU during
+	// guest execution.
+	hostCtx []hostContext
+
+	// LazyVGIC skips list-register save/restore when no virtual
+	// interrupts are in flight (§3.5). Default on: the optimisation
+	// predates VHE-era KVM.
+	LazyVGIC bool
+
+	// UserTransitionCycles / QEMUWorkCycles: kernel→user→kernel round
+	// trip plus device-emulation work for QEMU-routed MMIO (unchanged by
+	// VHE — Table 3's "I/O User" gap is a Linux property, not a mode one).
+	UserTransitionCycles uint64
+	QEMUWorkCycles       uint64
+
+	Stats Stats
+
+	// Trace is the unified exit/trap event sink; nil when tracing is off.
+	Trace *trace.Tracer
+}
+
+// hostContext is the host state parked during guest execution. The GP
+// snapshot and CP15 block are full copies (the simulated CPU has one
+// physical register file), but the world switch charges only the
+// callee-saved subset and the one-directional CP15 load — see switch.go.
+type hostContext struct {
+	GP          arm.GPSnapshot
+	CP15        [arm.NumCtxControlRegs]uint32
+	CPSR        uint32
+	PL1Software arm.ExcHandler
+	Runner      arm.Runner
+	VFP         arm.VFP
+}
+
+// Init brings KVM/VHE up on a booted host kernel. The kernel must have
+// been entered in Hyp mode — under VHE it *stays* there; there is no stub
+// round-trip and no Hyp page table to build, so installing the exit
+// handler is a plain register write on each CPU.
+func Init(b *machine.Board, host *kernel.Kernel) (*Hypervisor, error) {
+	if !host.HypStubInstalled {
+		return nil, fmt.Errorf("vhe: kernel did not boot in Hyp mode; KVM disabled")
+	}
+	if !b.Cfg.HasVGIC || !b.Cfg.HasVirtTimer {
+		return nil, fmt.Errorf("vhe: ARMv8.1 hardware implies a VGIC and virtual timers")
+	}
+	x := &Hypervisor{
+		Board:                b,
+		Host:                 host,
+		loaded:               make([]*VCPU, len(b.CPUs)),
+		hostCtx:              make([]hostContext, len(b.CPUs)),
+		LazyVGIC:             true,
+		UserTransitionCycles: 3000,
+		QEMUWorkCycles:       1400,
+	}
+	for _, c := range b.CPUs {
+		c.HypHandler = x.vheExit
+	}
+	// The VGIC maintenance interrupt tells the hypervisor that a guest
+	// completed a level-triggered virtual interrupt.
+	host.RegisterIRQ(gic.IRQMaintenance, func(_ *kernel.Kernel, cpu int) {
+		b.GIC.ClearMaintenance(cpu)
+	})
+	// The §6 direct-VIPI hardware routes guest SGI writes straight into
+	// the issuing VM's virtual distributor, no exit taken.
+	if b.Cfg.HasDirectVIPI && b.VSGI != nil {
+		b.VSGI.Deliver = func(cpu int, mask uint8, id int) {
+			if v := x.loaded[cpu]; v != nil {
+				v.vm.VDist.SendSGIFrom(v, mask, id)
+			}
+		}
+	}
+	// An expiring guest virtual timer raises a hardware interrupt that
+	// must force an exit so the hypervisor can inject the virtual one.
+	for cpu := range b.CPUs {
+		if err := b.GIC.EnableIRQ(cpu, gic.IRQVirtTimer); err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// AttachTracer wires t into every layer: world switch, exit
+// classification, GIC and timer traffic, and each physical CPU's TLB.
+// Existing VMs and vCPUs are registered for per-VM/per-vCPU counters;
+// attach before creating VMs to capture boot-time exits too. Passing nil
+// detaches.
+func (x *Hypervisor) AttachTracer(t *trace.Tracer) {
+	x.Trace = t
+	x.Board.GIC.Trace = t
+	if x.Board.Timers != nil {
+		x.Board.Timers.Trace = t
+	}
+	for _, c := range x.Board.CPUs {
+		c.MMU.Trace = t
+	}
+	for _, vm := range x.vms {
+		t.RegisterVM(vm.VMID)
+		for _, v := range vm.vcpus {
+			t.RegisterVCPU(vm.VMID, v.ID)
+		}
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (x *Hypervisor) Tracer() *trace.Tracer { return x.Trace }
+
+// VMs lists the created VMs.
+func (x *Hypervisor) VMs() []hv.VM {
+	out := make([]hv.VM, len(x.vms))
+	for i, vm := range x.vms {
+		out[i] = vm
+	}
+	return out
+}
+
+// Counters exposes the hypervisor-level statistics under the same stable
+// names as the split-mode ARM backend (the cross-check keys on them).
+func (x *Hypervisor) Counters() map[string]uint64 {
+	s := x.Stats
+	return map[string]uint64{
+		"world_switch_in":      s.WorldSwitchIn,
+		"world_switch_out":     s.WorldSwitchOut,
+		"guest_traps":          s.GuestTraps,
+		"host_calls":           s.HostCalls,
+		"vfp_lazy_switches":    s.VFPLazySwitches,
+		"vgic_save_skipped":    s.VGICSaveSkipped,
+		"vgic_restore_skipped": s.VGICRestoreSkipped,
+	}
+}
+
+// LoadedVCPU reports the vCPU running on physical CPU id, if any.
+func (x *Hypervisor) LoadedVCPU(cpuID int) *VCPU { return x.loaded[cpuID] }
+
+// GuestContext is the per-vCPU state the world switch moves — the same
+// shape as the split-mode backend's, because the *guest-visible* state is
+// identical; what VHE changes is how much HOST state moves with it.
+type GuestContext struct {
+	GP     arm.GPSnapshot
+	CP15   [arm.NumCtxControlRegs]uint32
+	VPIDR  uint32
+	VMPIDR uint32
+	VGIC   gic.VGICCpu
+	VTimer timer.VirtState
+	VFP    arm.VFP
+	Dirty  bool
+
+	PL1Software arm.ExcHandler
+	Runner      arm.Runner
+}
+
+// Reg reads GP register n from the saved context (banked by saved mode).
+func (g *GuestContext) Reg(n int) uint32 { return hv.BankedReg(&g.GP, n) }
+
+// SetReg writes GP register n in the saved context.
+func (g *GuestContext) SetReg(n int, v uint32) { hv.SetBankedReg(&g.GP, n, v) }
+
+// VM is one virtual machine.
+type VM struct {
+	kvm  *Hypervisor
+	VMID uint8
+	// S2 is the Stage-2 page table (IPA → PA). Under VHE it is still a
+	// separate table — two-dimensional paging is architecture, not split.
+	S2    *mmu.Builder
+	Mem   hv.GuestMem
+	VDist *hv.VDist
+	vcpus []*VCPU
+
+	mmio hv.Regions
+
+	Net *dev.Virt
+	Blk *dev.Virt
+	Con *dev.Virt
+	// Console collects virtual UART output.
+	Console []byte
+
+	// lastGuestCPU is the physical CPU most recently executing this VM.
+	lastGuestCPU *arm.CPU
+
+	Stats VMStats
+}
+
+// CreateVM builds a VM with memBytes of guest RAM at the canonical base.
+func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
+	x.nextVMID++
+	if x.nextVMID == 0 {
+		return nil, fmt.Errorf("vhe: out of VMIDs")
+	}
+	s2, err := mmu.NewBuilder(mmu.TableStage2, x.Board.RAM, x.Host.Alloc)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{kvm: x, VMID: x.nextVMID, S2: s2}
+	vm.Mem = hv.GuestMem{Table: s2, Alloc: x.Host.Alloc, RAM: x.Board.RAM}
+	vm.Mem.AddSlot(machine.RAMBase, memBytes)
+	vm.VDist = hv.NewVDist(x.Board, vm.VMID, &vm.Stats, func() *trace.Tracer { return x.Trace })
+	x.Trace.RegisterVM(vm.VMID)
+
+	// Map the VGIC virtual CPU interface at the IPA where guests expect
+	// the GIC CPU interface (§3.5): ACK/EOI run without traps.
+	if err := s2.MapPage(uint32(machine.GICCPUBase), machine.GICVBase, mmu.MapFlags{W: true}); err != nil {
+		return nil, err
+	}
+	if x.Board.Cfg.HasDirectVIPI {
+		// §6 extension: the direct virtual-SGI register is guest-visible.
+		if err := s2.MapPage(uint32(machine.GICVSGIBase), machine.GICVSGIBase, mmu.MapFlags{W: true}); err != nil {
+			return nil, err
+		}
+	}
+
+	vm.Net, vm.Blk, vm.Con = hv.StandardDevices(x.Board, vm, func(irq int, level bool) {
+		vm.VDist.InjectSPI(irq, level)
+	}, &vm.Console)
+
+	x.vms = append(x.vms, vm)
+	return vm, nil
+}
+
+// ID is the VMID (tags the VM's TLB entries).
+func (vm *VM) ID() uint8 { return vm.VMID }
+
+// Device returns the VM's emulated virtio-style device of class, or nil.
+func (vm *VM) Device(class dev.VirtClass) *dev.Virt {
+	switch class {
+	case dev.VirtNet:
+		return vm.Net
+	case dev.VirtBlock:
+		return vm.Blk
+	case dev.VirtConsole:
+		return vm.Con
+	}
+	return nil
+}
+
+// ConsoleBytes returns the virtual UART output collected so far.
+func (vm *VM) ConsoleBytes() []byte { return vm.Console }
+
+// StatsSnapshot copies out the per-VM activity counters.
+func (vm *VM) StatsSnapshot() hv.VMStats { return vm.Stats }
+
+// AddUserMMIO registers a QEMU-emulated region (I/O User path).
+func (vm *VM) AddUserMMIO(base, size uint64, h MMIOHandler) {
+	vm.mmio.Add(base, size, h, true)
+}
+
+// AddKernelMMIO registers an in-kernel emulated region (I/O Kernel path).
+func (vm *VM) AddKernelMMIO(base, size uint64, h MMIOHandler) {
+	vm.mmio.Add(base, size, h, false)
+}
+
+// EnsureMapped populates the Stage-2 mapping for the page containing ipa
+// and returns the backing PA.
+func (vm *VM) EnsureMapped(ipa uint64) (uint64, error) {
+	return vm.Mem.EnsureMapped(ipa)
+}
+
+// WriteGuestMem copies data into guest-physical memory.
+func (vm *VM) WriteGuestMem(ipa uint64, data []byte) error {
+	return vm.Mem.Write(ipa, data)
+}
+
+// ReadGuestMem copies guest-physical memory out.
+func (vm *VM) ReadGuestMem(ipa uint64, n int) ([]byte, error) {
+	return vm.Mem.Read(ipa, n)
+}
+
+// SetUserMemoryRegion adds a guest RAM slot.
+func (vm *VM) SetUserMemoryRegion(ipaBase, size uint64) {
+	vm.Mem.AddSlot(ipaBase, size)
+}
+
+// VCPUs returns the VM's vCPUs.
+func (vm *VM) VCPUs() []hv.VCPU {
+	out := make([]hv.VCPU, len(vm.vcpus))
+	for i, v := range vm.vcpus {
+		out[i] = v
+	}
+	return out
+}
+
+type vcpuState int
+
+const (
+	vcpuNeedEnter vcpuState = iota
+	vcpuRunning
+	vcpuBlockedWFI
+	vcpuPaused
+	vcpuShutdown
+)
+
+// VCPU is one virtual CPU.
+type VCPU struct {
+	vm  *VM
+	ID  int
+	Ctx GuestContext
+
+	phys  int
+	state vcpuState
+	wq    *kernel.WaitQueue
+	proc  *kernel.Proc
+
+	softTimerID  uint64
+	softTimerCPU int
+
+	// pauseReq asks the run loop to park the vCPU at its next exit.
+	pauseReq bool
+
+	Stats VCPUStats
+}
+
+// CreateVCPU adds a vCPU to the VM.
+func (vm *VM) CreateVCPU(id int) (hv.VCPU, error) {
+	if id != len(vm.vcpus) {
+		return nil, fmt.Errorf("vhe: vCPUs must be created in order")
+	}
+	host0 := vm.kvm.Board.CPUs[0]
+	v := &VCPU{
+		vm:   vm,
+		ID:   id,
+		phys: -1,
+		wq:   kernel.NewWaitQueue(fmt.Sprintf("vhevcpu%d.%d", vm.VMID, id)),
+	}
+	v.Ctx.GP.CPSR = uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF | arm.PSRA
+	v.Ctx.VPIDR = host0.CP15.Regs[arm.SysMIDR]
+	v.Ctx.VMPIDR = 0x8000_0000 | uint32(id)
+	vm.vcpus = append(vm.vcpus, v)
+	vm.VDist.AddVCPU(v)
+	vm.kvm.Trace.RegisterVCPU(vm.VMID, id)
+	return v, nil
+}
+
+// VCPUID is the vCPU index within its VM.
+func (v *VCPU) VCPUID() int { return v.ID }
+
+// PhysCPU is the physical CPU currently executing this vCPU (-1 if none).
+func (v *VCPU) PhysCPU() int { return v.phys }
+
+// BlockedWFI reports whether the vCPU thread is parked in WFI.
+func (v *VCPU) BlockedWFI() bool { return v.state == vcpuBlockedWFI }
+
+// ExitStats copies out the per-vCPU entry/exit counters.
+func (v *VCPU) ExitStats() hv.VCPUStats { return v.Stats }
+
+// SetGuestSoftware installs the guest's kernel-mode software context.
+func (v *VCPU) SetGuestSoftware(h arm.ExcHandler, r arm.Runner) {
+	v.Ctx.PL1Software = h
+	v.Ctx.Runner = r
+}
+
+// VM returns the owning VM.
+func (v *VCPU) VM() *VM { return v.vm }
+
+// State reports the vCPU's run state (for tests and the harness).
+func (v *VCPU) State() string {
+	switch v.state {
+	case vcpuNeedEnter:
+		return "ready"
+	case vcpuRunning:
+		return "running"
+	case vcpuBlockedWFI:
+		return "wfi"
+	case vcpuPaused:
+		return "paused"
+	case vcpuShutdown:
+		return "shutdown"
+	}
+	return "?"
+}
+
+// Pause asks the vCPU to stop at its next exit, kicking it out of the
+// guest if it is currently running (§4).
+func (v *VCPU) Pause() {
+	v.pauseReq = true
+	if v.phys >= 0 && v.phys != v.vm.kvm.Board.Current {
+		_ = v.vm.kvm.Board.GIC.SendSGI(v.vm.kvm.Board.Current, 1<<uint(v.phys), 2)
+	}
+	if v.state == vcpuNeedEnter || v.state == vcpuBlockedWFI {
+		v.state = vcpuPaused
+	}
+}
+
+// Paused reports whether the vCPU is parked.
+func (v *VCPU) Paused() bool { return v.state == vcpuPaused }
+
+// Resume lets a paused vCPU run again.
+func (v *VCPU) Resume() {
+	v.pauseReq = false
+	if v.state == vcpuPaused {
+		v.state = vcpuNeedEnter
+		v.vm.kvm.Host.Wake(v.vm.kvm.Board.Current, v.wq)
+	}
+}
+
+// Shutdown marks the vCPU (and its thread) as finished.
+func (v *VCPU) Shutdown() { v.state = vcpuShutdown }
+
+// StartThread creates the host process (the "QEMU vCPU thread") that runs
+// this vCPU, pinned to hostCPU (-1 for any).
+func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
+	x := v.vm.kvm
+	body := kernel.BodyFunc(func(hk *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
+		return v.runStep(hostCPU, c)
+	})
+	from := hostCPU
+	if from < 0 {
+		from = 0
+	}
+	proc, err := x.Host.NewProcFrom(from, fmt.Sprintf("qemu-vhevcpu%d.%d", v.vm.VMID, v.ID), hostCPU, body)
+	if err != nil {
+		return nil, err
+	}
+	v.proc = proc
+	return proc, nil
+}
+
+// runStep is one iteration of the vCPU thread: the KVM_RUN ioctl. The
+// contrast with the split-mode backend is the last line — entering the
+// guest is a direct function call into the world switch, not an HVC into
+// a lowvisor (kvm_call_hyp under E2H "is just a function call").
+func (v *VCPU) runStep(hostCPU int, c *arm.CPU) bool {
+	x := v.vm.kvm
+	switch v.state {
+	case vcpuShutdown:
+		return true
+	case vcpuPaused:
+		hostIdx := hostCPU
+		if hostIdx < 0 {
+			hostIdx = c.ID
+		}
+		x.Host.Block(hostIdx, v.wq)
+		return false
+	case vcpuBlockedWFI:
+		if v.hasPendingVirq() {
+			v.state = vcpuNeedEnter
+		} else {
+			hostIdx := hostCPU
+			if hostIdx < 0 {
+				hostIdx = c.ID
+			}
+			x.Host.Block(hostIdx, v.wq)
+			return false
+		}
+	case vcpuRunning:
+		return false
+	}
+
+	// ioctl(KVM_RUN): user → kernel transition only; no second trap.
+	prev := c.CPSR
+	c.Charge(c.Cost.TrapToPL1 + x.Host.Cost.SyscallWork/2)
+	c.SetCPSR(uint32(arm.ModeSVC) | (prev &^ arm.PSRModeMask))
+	v.Stats.Entries++
+	x.enterGuest(c, v)
+	return false
+}
+
+// hasPendingVirq reports whether any virtual interrupt awaits this vCPU:
+// in the virtual distributor's software state, or already staged in a
+// (saved) list register.
+func (v *VCPU) hasPendingVirq() bool {
+	if v.vm.VDist.HasPendingFor(v) {
+		return true
+	}
+	for i := range v.Ctx.VGIC.LR {
+		st := v.Ctx.VGIC.LR[i].State
+		if st == gic.LRPending || st == gic.LRPendingActive {
+			return true
+		}
+	}
+	return false
+}
+
+// Wake unblocks a WFI-blocked vCPU (virtual interrupt arrived). May be
+// called from interrupt context on any host CPU.
+func (v *VCPU) Wake(fromHostCPU int) {
+	if v.state == vcpuBlockedWFI {
+		v.state = vcpuNeedEnter
+		v.vm.kvm.Host.Wake(fromHostCPU, v.wq)
+	}
+}
+
+// Interface conformance (compile-time).
+var (
+	_ hv.Hypervisor = (*Hypervisor)(nil)
+	_ hv.VM         = (*VM)(nil)
+	_ hv.VCPU       = (*VCPU)(nil)
+	_ hv.GuestOS    = (*GuestOS)(nil)
+	_ hv.VDistVCPU  = (*VCPU)(nil)
+)

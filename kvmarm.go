@@ -34,6 +34,7 @@ import (
 	"kvmarm/internal/kvmx86"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/trace"
+	"kvmarm/internal/vhe"
 	"kvmarm/internal/workloads"
 	"kvmarm/internal/x86"
 )
@@ -189,6 +190,36 @@ func NewARMVirt(cpus int, opt VirtOptions) (*GuestSystem, error) {
 	return finishVirt(name, cpus, env, vm, guest), nil
 }
 
+// NewVHEVirt boots a VM running minOS under the ARMv8.1 VHE backend and
+// waits for the guest kernel to come up. VHE hardware always has a VGIC
+// and virtual timers; the §6 ablation flags still apply.
+func NewVHEVirt(cpus int, opt VirtOptions) (*GuestSystem, error) {
+	if opt.MemBytes == 0 {
+		opt.MemBytes = 96 << 20
+	}
+	cfg := machine.DefaultConfig()
+	cfg.CPUs = cpus
+	cfg.HasVGIC = true
+	cfg.HasVirtTimer = true
+	cfg.HasSummaryReg = opt.SummaryReg
+	cfg.HasDirectVIPI = opt.DirectVIPI
+	b, host, err := bootHost(cfg, "arm-vhe-host")
+	if err != nil {
+		return nil, err
+	}
+	kvm, err := vhe.Init(b, host)
+	if err != nil {
+		return nil, err
+	}
+	kvm.LazyVGIC = opt.LazyVGIC
+	env := &hv.Env{Board: b, Host: host, HV: kvm}
+	vm, guest, err := hv.BootGuest(env, cpus, opt.MemBytes, 200_000_000, opt.Tracer)
+	if err != nil {
+		return nil, err
+	}
+	return finishVirt("arm-vhe", cpus, env, vm, guest), nil
+}
+
 // X86System is the VT-x comparator's bare-metal platform.
 type X86System struct {
 	System *workloads.System
@@ -271,10 +302,41 @@ func NewVirt(backend string, cpus int, tr *trace.Tracer) (*GuestSystem, error) {
 		return NewARMVirt(cpus, VirtOptions{VGIC: true, VTimers: true, Tracer: tr})
 	case "ARM no VGIC/vtimers":
 		return NewARMVirt(cpus, VirtOptions{Tracer: tr})
+	case "ARM VHE":
+		// VHE-era KVM ships the lazy VGIC switch by default.
+		return NewVHEVirt(cpus, VirtOptions{VGIC: true, VTimers: true, LazyVGIC: true, Tracer: tr})
 	case "KVM x86 laptop":
 		return NewX86Virt(cpus, x86.Laptop(), tr)
 	case "KVM x86 server":
 		return NewX86Virt(cpus, x86.Server(), tr)
+	}
+	return nil, fmt.Errorf("kvmarm: backend %q has no boot recipe", be.Name)
+}
+
+// NewVirtWith boots a guest under the named backend with explicit
+// VirtOptions — the entry point for the per-backend §6 ablation matrix,
+// which flips SummaryReg/DirectVIPI/LazyVGIC on every ARM-style backend.
+// The x86 backends have no ARM feature flags and reject non-default
+// options.
+func NewVirtWith(backend string, cpus int, opt VirtOptions) (*GuestSystem, error) {
+	be, ok := hv.Lookup(backend)
+	if !ok {
+		return nil, fmt.Errorf("kvmarm: unknown backend %q", backend)
+	}
+	switch be.Name {
+	case "ARM", "ARM no VGIC/vtimers":
+		return NewARMVirt(cpus, opt)
+	case "ARM VHE":
+		return NewVHEVirt(cpus, opt)
+	case "KVM x86 laptop", "KVM x86 server":
+		if opt.SummaryReg || opt.DirectVIPI || opt.LazyVGIC {
+			return nil, fmt.Errorf("kvmarm: backend %q has no ARM feature flags", be.Name)
+		}
+		p := x86.Laptop()
+		if be.Name == "KVM x86 server" {
+			p = x86.Server()
+		}
+		return NewX86Virt(cpus, p, opt.Tracer)
 	}
 	return nil, fmt.Errorf("kvmarm: backend %q has no boot recipe", be.Name)
 }
@@ -319,6 +381,26 @@ func benchARMEnv(cpus int, vgic bool) (*hv.Env, error) {
 	return &hv.Env{Board: b, Host: host, HV: k}, nil
 }
 
+func benchVHEEnv(cpus int) (*hv.Env, error) {
+	cfg := machine.DefaultConfig()
+	cfg.CPUs = cpus
+	cfg.HasVGIC = true
+	cfg.HasVirtTimer = true
+	b, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	host := benchHostEnv(b, "bench-vhehost", cpus)
+	if err := host.BootAll(); err != nil {
+		return nil, err
+	}
+	k, err := vhe.Init(b, host)
+	if err != nil {
+		return nil, err
+	}
+	return &hv.Env{Board: b, Host: host, HV: k}, nil
+}
+
 func benchX86Env(cpus int, p x86.Profile) (*hv.Env, error) {
 	b, err := kvmx86.NewBoard(cpus, p)
 	if err != nil {
@@ -335,7 +417,7 @@ func benchX86Env(cpus int, p x86.Profile) (*hv.Env, error) {
 	return &hv.Env{Board: b, Host: host, HV: xhv}, nil
 }
 
-// init registers the four evaluated platform configurations with the
+// init registers the five evaluated platform configurations with the
 // backend registry. This package is the only one that names concrete
 // backend types; everything downstream (bench, workloads, cmd/) resolves
 // them through hv.Lookup.
@@ -353,6 +435,13 @@ func init() {
 			return machine.New(machine.Config{CPUs: cpus, RAMBytes: 16 << 20})
 		},
 		NewEnv: func(cpus int) (*hv.Env, error) { return benchARMEnv(cpus, false) },
+	})
+	hv.Register(&hv.Backend{
+		Name: "ARM VHE", Aliases: []string{"vhe", "arm-vhe"}, IsARM: true, BootBudget: 200_000_000,
+		NewBoard: func(cpus int) (*machine.Board, error) {
+			return machine.New(machine.Config{CPUs: cpus, RAMBytes: 16 << 20, HasVGIC: true, HasVirtTimer: true})
+		},
+		NewEnv: func(cpus int) (*hv.Env, error) { return benchVHEEnv(cpus) },
 	})
 	hv.Register(&hv.Backend{
 		Name: "KVM x86 laptop", Aliases: []string{"x86-laptop", "x86 laptop"}, BootBudget: 300_000_000,
