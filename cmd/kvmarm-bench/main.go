@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, stat")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, stat")
 	root := flag.String("root", ".", "repository root (for table4 line counts)")
 	flag.Parse()
 
@@ -63,6 +63,13 @@ func main() {
 		if err := bench.PrintTable4(out, *root); err != nil {
 			fail(err)
 		}
+	}
+	if run("migrate") {
+		rows, err := bench.MigrationRows()
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintMigration(out, rows)
 	}
 	if run("stat") {
 		for _, backend := range []string{"ARM", "x86 laptop"} {

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMigrationRows checks the downtime measurement over every
+// same-family backend pair: pre-copy must leave a strictly smaller
+// stop-and-copy round than a full transfer (the write-sparse cold pages
+// move while the guest runs), and that must show up as lower downtime.
+func TestMigrationRows(t *testing.T) {
+	rows, err := MigrationRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 ARM backends and 2 x86 backends: 9 + 4 same-family pairs.
+	if len(rows) != 13 {
+		t.Fatalf("got %d pairs, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.PagesTotal < migBenchColdPages {
+			t.Errorf("%s->%s: PagesTotal = %d, want at least the %d cold pages",
+				r.Src, r.Dst, r.PagesTotal, migBenchColdPages)
+		}
+		if r.PagesFinal >= r.PagesTotal {
+			t.Errorf("%s->%s: final round moved %d of %d pages; pre-copy did nothing",
+				r.Src, r.Dst, r.PagesFinal, r.PagesTotal)
+		}
+		if r.PagesPrecopied == 0 {
+			t.Errorf("%s->%s: no pages pre-copied", r.Src, r.Dst)
+		}
+		if r.DowntimePre == 0 || r.DowntimeFull == 0 {
+			t.Errorf("%s->%s: zero downtime reported (%d pre, %d full)",
+				r.Src, r.Dst, r.DowntimePre, r.DowntimeFull)
+		}
+		if r.DowntimePre >= r.DowntimeFull {
+			t.Errorf("%s->%s: pre-copy downtime %d not below stop-and-copy %d",
+				r.Src, r.Dst, r.DowntimePre, r.DowntimeFull)
+		}
+	}
+	var b strings.Builder
+	PrintMigration(&b, rows)
+	if !strings.Contains(b.String(), "downtime") {
+		t.Error("PrintMigration produced no table")
+	}
+}

@@ -141,6 +141,21 @@ func (h *Highvisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint
 	ipa := e.FaultIPA
 	if vm.Mem.InSlot(ipa) {
 		vm.Stats.Stage2Faults++
+		// A write fault on a page the dirty log protected: restore write
+		// access, record the page, drop stale TLB entries, retry. This
+		// must come before the allocation path or a logged page would be
+		// remapped to a fresh (blank) frame.
+		if vm.S2.DirtyLogging() {
+			if dirty, err := vm.S2.DirtyFault(ipa); err != nil {
+				v.state = vcpuShutdown
+				return trace.ExitStage2Fault, ipa
+			} else if dirty {
+				vm.flushS2Page(ipa)
+				c.Charge(h.kvm.Host.Cost.FaultWork / 2)
+				h.reenter(c, v)
+				return trace.ExitStage2Fault, ipa
+			}
+		}
 		// get_user_pages + map into the Stage-2 tables; the faulting
 		// access retries after re-entry.
 		pa, err := h.kvm.Host.Alloc.AllocPages(1)

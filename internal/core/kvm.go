@@ -201,7 +201,9 @@ func (k *KVM) CreateVM(memBytes uint64) (hv.VM, error) {
 	}
 	vm := &VM{kvm: k, VMID: k.nextVMID, S2: s2}
 	vm.Mem = hv.GuestMem{Table: s2, Alloc: k.Host.Alloc, RAM: k.Board.RAM}
-	vm.Mem.AddSlot(machine.RAMBase, memBytes)
+	if err := vm.Mem.AddSlot(machine.RAMBase, memBytes); err != nil {
+		return nil, err
+	}
 	vm.VDist = hv.NewVDist(k.Board, vm.VMID, &vm.Stats, func() *trace.Tracer { return k.Trace })
 	k.Trace.RegisterVM(vm.VMID)
 
@@ -284,8 +286,8 @@ func (vm *VM) ReadGuestMem(ipa uint64, n int) ([]byte, error) {
 }
 
 // SetUserMemoryRegion adds a guest RAM slot.
-func (vm *VM) SetUserMemoryRegion(ipaBase, size uint64) {
-	vm.Mem.AddSlot(ipaBase, size)
+func (vm *VM) SetUserMemoryRegion(ipaBase, size uint64) error {
+	return vm.Mem.AddSlot(ipaBase, size)
 }
 
 func (vm *VM) noteGuestCPU(c *arm.CPU) { vm.lastGuestCPU = c }

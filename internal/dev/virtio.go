@@ -1,6 +1,9 @@
 package dev
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Virtio-style paravirtual device (§3.4: KVM/ARM reuses Virtio for I/O
 // virtualization). The model keeps the essential control flow — a doorbell
@@ -67,6 +70,12 @@ type Virt struct {
 
 	isr       uint64
 	completed []Completion
+	// pending tracks in-flight requests (kicked, completion not yet
+	// fired) by request id. Migration re-issues them on the destination:
+	// the completion callbacks themselves are closures on the source
+	// board's event queue and cannot move.
+	pending map[uint64]uint64 // request id -> bytes
+	nextReq uint64
 
 	// Stats.
 	Kicks      uint64
@@ -111,11 +120,23 @@ func (v *Virt) WriteReg(offset uint64, size int, val uint64) error {
 func (v *Virt) Kick(n uint64) {
 	v.Kicks++
 	v.BytesMoved += n
+	v.submit(n)
+}
+
+// submit schedules the completion for an n-byte request.
+func (v *Virt) submit(n uint64) {
 	lat := v.FixedLatency
 	if v.BytesPerCycle > 0 {
 		lat += uint64(float64(n) / v.BytesPerCycle)
 	}
+	if v.pending == nil {
+		v.pending = make(map[uint64]uint64)
+	}
+	id := v.nextReq
+	v.nextReq++
+	v.pending[id] = n
 	complete := func() {
+		delete(v.pending, id)
 		v.completed = append(v.completed, Completion{Bytes: n})
 		v.isr |= 1
 		v.IRQsRaised++
@@ -135,4 +156,54 @@ func (v *Virt) Drain() []Completion {
 	c := v.completed
 	v.completed = nil
 	return c
+}
+
+// VirtState is the migratable state of a Virt device: the guest-visible
+// registers (ISR), completed-but-undrained requests, the in-flight
+// requests whose DMA must be re-issued on the destination, and the
+// cumulative statistics.
+type VirtState struct {
+	ISR        uint64
+	Completed  []Completion
+	Pending    []uint64 // bytes per in-flight request, submission order
+	Kicks      uint64
+	BytesMoved uint64
+	IRQsRaised uint64
+}
+
+// SaveState serializes the device for migration.
+func (v *Virt) SaveState() *VirtState {
+	st := &VirtState{
+		ISR:        v.isr,
+		Completed:  append([]Completion(nil), v.completed...),
+		Kicks:      v.Kicks,
+		BytesMoved: v.BytesMoved,
+		IRQsRaised: v.IRQsRaised,
+	}
+	ids := make([]uint64, 0, len(v.pending))
+	for id := range v.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st.Pending = append(st.Pending, v.pending[id])
+	}
+	return st
+}
+
+// RestoreState installs a saved state, re-issuing in-flight requests on
+// this device's (destination) board. Re-issue goes through submit, not
+// Kick: the requests were already counted when the guest kicked them.
+// Completion interrupts re-raise through the destination's interrupt
+// controller; the controller's own migrated state carries the line level
+// for interrupts that fired before the save.
+func (v *Virt) RestoreState(st *VirtState) {
+	v.isr = st.ISR
+	v.completed = append([]Completion(nil), st.Completed...)
+	v.Kicks = st.Kicks
+	v.BytesMoved = st.BytesMoved
+	v.IRQsRaised = st.IRQsRaised
+	for _, n := range st.Pending {
+		v.submit(n)
+	}
 }

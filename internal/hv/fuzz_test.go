@@ -69,10 +69,11 @@ func (p *fuzzPool) AllocPages(n int) (uint64, error) {
 
 const fuzzRAMBase = 0x8000_0000
 
-// FuzzGuestMemSlots drives the slot bookkeeping with arbitrary —
-// including overlapping — slot layouts and probe addresses, checking the
-// invariants every backend's stage-2 fault path relies on: InSlot matches
-// a reference scan, EnsureMapped succeeds exactly on in-slot addresses,
+// FuzzGuestMemSlots drives the slot bookkeeping with arbitrary slot
+// layouts and probe addresses, checking the invariants every backend's
+// stage-2 fault path relies on: overlapping slots are rejected, InSlot
+// matches a reference scan, EnsureMapped succeeds exactly on in-slot
+// addresses,
 // mapping is idempotent (same IPA, same PA), and written bytes read back.
 func FuzzGuestMemSlots(f *testing.F) {
 	f.Add([]byte{0, 0x10, 0, 0, 0, 2, 0x34, 0x12, 0x10, 0}) // one slot, one probe
@@ -105,13 +106,29 @@ func FuzzGuestMemSlots(f *testing.F) {
 			ops++
 			ipa := uint64(arg)
 			switch op % 4 {
-			case 0: // add a (possibly overlapping) page-aligned slot
+			case 0: // add a page-aligned slot; overlaps must be rejected
 				base := ipa &^ (mmu.PageSize - 1)
 				size := uint64(1+op/4) * mmu.PageSize // 1..64 pages
 				if base+size > (1 << 32) {
 					base = (1 << 32) - size
 				}
-				m.AddSlot(base, size)
+				overlaps := false
+				for _, s := range ref {
+					if base < s.IPABase+s.Size && s.IPABase < base+size {
+						overlaps = true
+						break
+					}
+				}
+				err := m.AddSlot(base, size)
+				if overlaps {
+					if err == nil {
+						t.Fatalf("AddSlot(%#x, %#x) accepted an overlapping slot (slots %+v)", base, size, ref)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("AddSlot(%#x, %#x) rejected a non-overlapping slot: %v", base, size, err)
+				}
 				ref = append(ref, hv.MemSlot{IPABase: base, Size: size})
 			case 1: // lookup probe
 				if got, want := m.InSlot(ipa), refInSlot(ipa); got != want {

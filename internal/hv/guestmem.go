@@ -36,15 +36,36 @@ type GuestMem struct {
 	Slots []MemSlot
 }
 
-// AddSlot registers a guest RAM slot.
-func (m *GuestMem) AddSlot(ipaBase, size uint64) {
+// AddSlot registers a guest RAM slot. Like KVM_SET_USER_MEMORY_REGION it
+// rejects zero-sized slots and slots overlapping an existing one.
+func (m *GuestMem) AddSlot(ipaBase, size uint64) error {
+	if size == 0 {
+		return fmt.Errorf("hv: zero-sized memory slot at %#x", ipaBase)
+	}
+	for _, s := range m.Slots {
+		// Overflow-safe interval overlap: [a,a+s) and [b,b+t) intersect
+		// iff the lower base's size reaches past the higher base.
+		var overlap bool
+		if s.IPABase <= ipaBase {
+			overlap = ipaBase-s.IPABase < s.Size
+		} else {
+			overlap = s.IPABase-ipaBase < size
+		}
+		if overlap {
+			return fmt.Errorf("hv: memory slot [%#x,+%#x) overlaps existing [%#x,+%#x)",
+				ipaBase, size, s.IPABase, s.Size)
+		}
+	}
 	m.Slots = append(m.Slots, MemSlot{IPABase: ipaBase, Size: size})
+	return nil
 }
 
-// InSlot reports whether ipa falls inside a registered RAM slot.
+// InSlot reports whether ipa falls inside a registered RAM slot. The
+// comparison avoids computing IPABase+Size, which overflows for a slot
+// ending at 2^64.
 func (m *GuestMem) InSlot(ipa uint64) bool {
 	for _, s := range m.Slots {
-		if ipa >= s.IPABase && ipa < s.IPABase+s.Size {
+		if ipa >= s.IPABase && ipa-s.IPABase < s.Size {
 			return true
 		}
 	}
@@ -53,16 +74,22 @@ func (m *GuestMem) InSlot(ipa uint64) bool {
 
 // EnsureMapped populates the second-stage mapping for the page containing
 // ipa (the host/QEMU touching guest memory faults it in just like the
-// guest would) and returns the backing PA.
+// guest would) and returns the backing PA. The slot check comes first: an
+// IPA outside every slot — or one beyond the 32-bit table's reach, which
+// would otherwise truncate onto an unrelated low page — never touches the
+// table.
 func (m *GuestMem) EnsureMapped(ipa uint64) (uint64, error) {
+	if !m.InSlot(ipa) {
+		return 0, fmt.Errorf("hv: IPA %#x not in any memory slot", ipa)
+	}
+	if ipa >= 1<<32 {
+		return 0, fmt.Errorf("hv: IPA %#x beyond the 32-bit translation range", ipa)
+	}
 	page := ipa &^ (mmu.PageSize - 1)
 	if pa, ok, err := m.Table.Lookup(uint32(page)); err != nil {
 		return 0, err
 	} else if ok {
 		return pa | (ipa & (mmu.PageSize - 1)), nil
-	}
-	if !m.InSlot(ipa) {
-		return 0, fmt.Errorf("hv: IPA %#x not in any memory slot", ipa)
 	}
 	pa, err := m.Alloc.AllocPages(1)
 	if err != nil {
@@ -92,6 +119,44 @@ func (m *GuestMem) Write(ipa uint64, data []byte) error {
 		off += n
 	}
 	return nil
+}
+
+// StartDirtyLog write-protects every mapped RAM-slot page and starts the
+// Stage-2 dirty-page log (migration pre-copy). Device windows mapped in
+// the same table (e.g. the GICV page) are excluded by the slot filter.
+// The backend must flush its CPUs' TLBs afterwards. Returns the number of
+// pages protected.
+func (m *GuestMem) StartDirtyLog() (int, error) {
+	return m.Table.EnableDirtyLog(m.InSlot)
+}
+
+// FetchDirtyLog drains the dirty-page set, re-protecting the drained
+// pages for the next round. The backend must flush stale TLB entries for
+// the returned pages.
+func (m *GuestMem) FetchDirtyLog() ([]uint64, error) {
+	return m.Table.CollectDirty()
+}
+
+// StopDirtyLog ends dirty logging, restoring write access everywhere.
+func (m *GuestMem) StopDirtyLog() error {
+	return m.Table.DisableDirtyLog()
+}
+
+// MappedPages lists every RAM-slot page currently mapped in the table —
+// exactly the pages a full migration copy must transfer (untouched pages
+// have no backing frame yet and read as zero on both sides).
+func (m *GuestMem) MappedPages() ([]uint64, error) {
+	all, err := m.Table.MappedPages()
+	if err != nil {
+		return nil, err
+	}
+	pages := all[:0]
+	for _, p := range all {
+		if m.InSlot(p) {
+			pages = append(pages, p)
+		}
+	}
+	return pages, nil
 }
 
 // Read copies guest-physical memory out.

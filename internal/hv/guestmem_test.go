@@ -1,0 +1,150 @@
+// Unit tests for the shared guest-memory bookkeeping: slot registration
+// rules, the slot/range checks EnsureMapped performs before touching the
+// 32-bit table, and host-side copies that straddle page and slot edges.
+package hv_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kvmarm/internal/hv"
+	"kvmarm/internal/mem"
+	"kvmarm/internal/mmu"
+)
+
+const gmRAMBase = 0x8000_0000
+
+func newGuestMem(t *testing.T) *hv.GuestMem {
+	t.Helper()
+	ram := mem.New(gmRAMBase, 64<<20)
+	pool := &fuzzPool{next: gmRAMBase + (16 << 20), end: gmRAMBase + (64 << 20)}
+	table, err := mmu.NewBuilder(mmu.TableStage2, ram, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &hv.GuestMem{Table: table, Alloc: pool, RAM: ram}
+}
+
+func TestAddSlotRejectsOverlapAndZero(t *testing.T) {
+	m := newGuestMem(t)
+	if err := m.AddSlot(gmRAMBase, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSlot(gmRAMBase+4<<20, 0); err == nil {
+		t.Error("zero-sized slot accepted")
+	}
+	cases := []struct {
+		name       string
+		base, size uint64
+	}{
+		{"identical", gmRAMBase, 1 << 20},
+		{"inside", gmRAMBase + 0x1000, 0x1000},
+		{"head overlap", gmRAMBase - 0x1000, 0x2000},
+		{"tail overlap", gmRAMBase + (1 << 20) - 0x1000, 0x2000},
+		{"covers", gmRAMBase - 0x1000, 2 << 20},
+	}
+	for _, c := range cases {
+		if err := m.AddSlot(c.base, c.size); err == nil {
+			t.Errorf("%s slot [%#x,+%#x) accepted over [%#x,+%#x)", c.name, c.base, c.size, uint64(gmRAMBase), uint64(1<<20))
+		}
+	}
+	if len(m.Slots) != 1 {
+		t.Fatalf("slot list grew to %d after rejected adds", len(m.Slots))
+	}
+	// Adjacent (touching, not overlapping) slots are legal, as is one at
+	// the very top of the address space — the overlap check must not
+	// overflow computing base+size.
+	if err := m.AddSlot(gmRAMBase+1<<20, 1<<20); err != nil {
+		t.Errorf("adjacent slot rejected: %v", err)
+	}
+	if err := m.AddSlot(^uint64(0)-0xFFF, 0x1000); err != nil {
+		t.Errorf("top-of-address-space slot rejected: %v", err)
+	}
+}
+
+func TestEnsureMappedBounds(t *testing.T) {
+	m := newGuestMem(t)
+	if err := m.AddSlot(gmRAMBase, 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	// A slot deliberately above the 32-bit translation range: InSlot must
+	// see it, EnsureMapped must refuse it rather than truncate the IPA
+	// onto an unrelated low page.
+	highBase := uint64(1) << 33
+	if err := m.AddSlot(highBase, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.EnsureMapped(gmRAMBase - 4); err == nil {
+		t.Error("EnsureMapped below every slot succeeded")
+	}
+	pa, err := m.EnsureMapped(gmRAMBase + 0x1234)
+	if err != nil {
+		t.Fatalf("EnsureMapped inside slot: %v", err)
+	}
+	if pa&(mmu.PageSize-1) != 0x234 {
+		t.Errorf("page offset not preserved: pa = %#x", pa)
+	}
+	if !m.InSlot(highBase + 8) {
+		t.Fatal("InSlot missed the high slot")
+	}
+	if _, err := m.EnsureMapped(highBase + 8); err == nil {
+		t.Error("EnsureMapped beyond the 32-bit range succeeded (would truncate)")
+	}
+	// The low page the truncation would have landed on must stay unmapped.
+	if _, ok, err := m.Table.Lookup(uint32(highBase + 8)); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Error("truncated low page got mapped by the rejected high access")
+	}
+}
+
+func TestGuestMemCrossPageAndSlotBoundary(t *testing.T) {
+	m := newGuestMem(t)
+	// Two adjacent slots, so a copy can straddle both a page boundary and
+	// the slot seam in one call.
+	seam := uint64(gmRAMBase + 1<<20)
+	if err := m.AddSlot(gmRAMBase, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSlot(seam, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+
+	data := make([]byte, 3*mmu.PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	// Page-boundary crossing inside one slot.
+	at := uint64(gmRAMBase) + mmu.PageSize - 100
+	if err := m.Write(at, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(at, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page round trip corrupted data")
+	}
+	// Slot-seam crossing: start in slot 0, end in slot 1.
+	at = seam - mmu.PageSize/2
+	if err := m.Write(at, data); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = m.Read(at, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("slot-seam round trip corrupted data")
+	}
+	// A copy running off the end of the last slot must fail, not wrap or
+	// map out-of-slot pages.
+	end := seam + 1<<20
+	if err := m.Write(end-8, make([]byte, 16)); err == nil {
+		t.Error("write running past the last slot succeeded")
+	}
+	if _, err := m.Read(end-8, 16); err == nil {
+		t.Error("read running past the last slot succeeded")
+	}
+}

@@ -62,8 +62,9 @@ type VM interface {
 	// AddUserMMIO registers a QEMU-emulated region (the I/O User path).
 	AddUserMMIO(base, size uint64, h MMIOHandler)
 	// SetUserMemoryRegion adds a guest RAM slot
-	// (KVM_SET_USER_MEMORY_REGION).
-	SetUserMemoryRegion(ipaBase, size uint64)
+	// (KVM_SET_USER_MEMORY_REGION). Zero-sized and overlapping slots are
+	// rejected.
+	SetUserMemoryRegion(ipaBase, size uint64) error
 	// EnsureMapped populates the second-stage mapping for the page
 	// containing ipa and returns the backing host-physical address.
 	EnsureMapped(ipa uint64) (uint64, error)
@@ -84,6 +85,29 @@ type VM interface {
 	// vCPUs must already be created) and installs boot shims; start the
 	// vCPU threads to boot it.
 	NewGuestOS(memBytes uint64) (GuestOS, error)
+
+	// Live migration hooks (internal/hv/migrate.go drives them).
+	//
+	// StartDirtyLog write-protects the mapped guest RAM pages, begins
+	// recording pages the guest writes (Stage-2/EPT write faults), and
+	// flushes stale TLB entries. It returns the number of protected
+	// pages.
+	StartDirtyLog() (int, error)
+	// FetchDirtyLog drains the set of pages dirtied since the last call
+	// (or since StartDirtyLog), re-protecting them for the next round.
+	FetchDirtyLog() ([]uint64, error)
+	// StopDirtyLog ends dirty logging and restores write access.
+	StopDirtyLog() error
+	// MappedPages lists the guest RAM pages that currently have backing
+	// frames — the full-copy transfer set.
+	MappedPages() ([]uint64, error)
+	// SaveDeviceState serializes the VM's device-side state — interrupt
+	// controller, per-vCPU virtual timers, console, virtio devices with
+	// their in-flight I/O — with every vCPU paused.
+	SaveDeviceState() (*DeviceState, error)
+	// RestoreDeviceState installs a saved device state into this VM,
+	// whose vCPUs must be created but not yet started.
+	RestoreDeviceState(st *DeviceState) error
 }
 
 // VCPU is one virtual CPU.

@@ -1,0 +1,269 @@
+package hv
+
+import (
+	"fmt"
+
+	"kvmarm/internal/mmu"
+	"kvmarm/internal/trace"
+)
+
+// Live migration between two hypervisor instances over the ONE_REG and
+// guest-memory interfaces (the ROADMAP item; §4's register save/restore
+// interface was designed for exactly this). The engine is backend-neutral:
+// source and destination may run different backends — split-mode to VHE
+// works because the ONE_REG namespace is shared — as long as both are the
+// same architecture family (DeviceState.Family guards the rest).
+//
+// Phases, traced as EvMigratePhase events:
+//
+//	precopy  - optional: enable the Stage-2 dirty log, transfer all mapped
+//	           pages while the guest keeps running, then iterate rounds
+//	           transferring only pages dirtied since the previous round.
+//	stop     - pause every vCPU and transfer the final dirty set (or, with
+//	           pre-copy off, all mapped pages) — the downtime window opens.
+//	restore  - snapshot every vCPU via SaveAllRegs, rebuild it on the
+//	           destination via RestoreAllRegs, move the device state.
+//	resume   - start the destination vCPU threads; downtime window closes.
+
+// Modeled costs charged to the destination's CPU 0 for work performed
+// inside the downtime window (the stop-and-copy transfer and the state
+// restore). They make downtime a measurable quantity in board cycles.
+const (
+	// MigrateCopyCyclesPerPage models transferring one 4 KiB page.
+	MigrateCopyCyclesPerPage = 512
+	// MigrateRegCycles models one ONE_REG get+set pair.
+	MigrateRegCycles = 8
+	// MigrateDeviceCycles models the device-state save/restore pass.
+	MigrateDeviceCycles = 2000
+)
+
+// MigrateOptions tunes a migration.
+type MigrateOptions struct {
+	// Precopy enables iterative pre-copy: dirty-log rounds while the
+	// guest runs, so the stop-and-copy round moves only the residual
+	// dirty set.
+	Precopy bool
+	// Rounds caps pre-copy iterations (default 3).
+	Rounds int
+	// RoundBudget is the source-board step budget per pre-copy round —
+	// how long the guest runs (and dirties pages) between transfers.
+	// Default 20000.
+	RoundBudget uint64
+	// StopThreshold ends pre-copy early once a round's dirty set is this
+	// small (default 1 page).
+	StopThreshold int
+	// PauseBudget is the source-board step budget for parking every
+	// vCPU (default 200000).
+	PauseBudget uint64
+	// Tracer receives the phase/round events (nil: tracing off).
+	Tracer *trace.Tracer
+	// ConfigureVCPU installs host-side guest software (the PL1 handler /
+	// runner pair) on each destination vCPU before it starts: software
+	// contexts are host objects and do not travel with the register
+	// state. Raw machine-code guests pass an isa.Interp runner here.
+	ConfigureVCPU func(id int, v VCPU)
+}
+
+// MigrateResult reports what a migration moved and what it cost.
+type MigrateResult struct {
+	// PagesTotal is the number of mapped guest RAM pages at stop time —
+	// what a non-iterative migration would transfer in the window.
+	PagesTotal int
+	// PagesPrecopied counts pages transferred while the guest ran.
+	PagesPrecopied int
+	// PagesFinal counts pages transferred in the stop-and-copy round.
+	PagesFinal int
+	// Rounds is the number of completed pre-copy rounds (including the
+	// initial full copy).
+	Rounds int
+	// PauseWaitCycles is source-board time spent parking the vCPUs.
+	PauseWaitCycles uint64
+	// TransferCycles is the modeled destination cost of the final copy
+	// and state restore.
+	TransferCycles uint64
+	// DowntimeCycles is the pause-to-resume window: PauseWaitCycles +
+	// TransferCycles.
+	DowntimeCycles uint64
+}
+
+func (o *MigrateOptions) withDefaults() MigrateOptions {
+	opts := *o
+	if opts.Rounds <= 0 {
+		opts.Rounds = 3
+	}
+	if opts.RoundBudget == 0 {
+		opts.RoundBudget = 20000
+	}
+	if opts.StopThreshold <= 0 {
+		opts.StopThreshold = 1
+	}
+	if opts.PauseBudget == 0 {
+		opts.PauseBudget = 200000
+	}
+	return opts
+}
+
+// Migrate moves the running VM srcVM on src to the freshly created (no
+// vCPUs yet) dstVM on dst. On success the source VM is left paused and
+// the destination VM is running (vCPU threads started); the source board
+// must not be stepped again for this VM. On failure the source may be
+// paused but is otherwise intact.
+func Migrate(src *Env, srcVM VM, dst *Env, dstVM VM, o MigrateOptions) (*MigrateResult, error) {
+	opts := o.withDefaults()
+	if len(dstVM.VCPUs()) != 0 {
+		return nil, fmt.Errorf("hv: migration destination already has vCPUs")
+	}
+	res := &MigrateResult{}
+	phase := func(p uint64) {
+		opts.Tracer.Emit(trace.Event{Kind: trace.EvMigratePhase, VM: srcVM.ID(), VCPU: -1, CPU: -1, Arg: p})
+	}
+	round := func(pages int) {
+		opts.Tracer.Emit(trace.Event{Kind: trace.EvMigrateRound, VM: srcVM.ID(), VCPU: -1, CPU: -1, Arg: uint64(pages)})
+	}
+	copyPages := func(pages []uint64) error {
+		for _, p := range pages {
+			data, err := srcVM.ReadGuestMem(p, mmu.PageSize)
+			if err != nil {
+				return fmt.Errorf("hv: migration read of page %#x: %w", p, err)
+			}
+			if err := dstVM.WriteGuestMem(p, data); err != nil {
+				return fmt.Errorf("hv: migration write of page %#x: %w", p, err)
+			}
+		}
+		return nil
+	}
+
+	// Pre-copy: full transfer plus dirty-log rounds, guest still running.
+	if opts.Precopy {
+		phase(trace.MigratePhasePrecopy)
+		if _, err := srcVM.StartDirtyLog(); err != nil {
+			return nil, err
+		}
+		full, err := srcVM.MappedPages()
+		if err != nil {
+			return nil, err
+		}
+		if err := copyPages(full); err != nil {
+			return nil, err
+		}
+		res.PagesPrecopied += len(full)
+		res.Rounds++
+		round(len(full))
+		for r := 0; r < opts.Rounds; r++ {
+			src.Board.Run(opts.RoundBudget, nil)
+			dirty, err := srcVM.FetchDirtyLog()
+			if err != nil {
+				return nil, err
+			}
+			if len(dirty) == 0 {
+				break
+			}
+			if err := copyPages(dirty); err != nil {
+				return nil, err
+			}
+			res.PagesPrecopied += len(dirty)
+			res.Rounds++
+			round(len(dirty))
+			if len(dirty) <= opts.StopThreshold {
+				break
+			}
+		}
+	}
+
+	// Stop: park every vCPU; the downtime window opens here.
+	phase(trace.MigratePhaseStop)
+	pauseStart := src.Board.Now()
+	for _, v := range srcVM.VCPUs() {
+		if v.State() != "shutdown" {
+			v.Pause()
+		}
+	}
+	parked := func() bool {
+		for _, v := range srcVM.VCPUs() {
+			if !v.Paused() && v.State() != "shutdown" {
+				return false
+			}
+		}
+		return true
+	}
+	if !src.Board.Run(opts.PauseBudget, parked) {
+		return nil, fmt.Errorf("hv: migration source vCPUs did not park within %d steps", opts.PauseBudget)
+	}
+	res.PauseWaitCycles = src.Board.Now() - pauseStart
+
+	// Final memory round, guest quiesced.
+	var final []uint64
+	var err error
+	if opts.Precopy {
+		if final, err = srcVM.FetchDirtyLog(); err != nil {
+			return nil, err
+		}
+		if err := srcVM.StopDirtyLog(); err != nil {
+			return nil, err
+		}
+	} else {
+		if final, err = srcVM.MappedPages(); err != nil {
+			return nil, err
+		}
+	}
+	if err := copyPages(final); err != nil {
+		return nil, err
+	}
+	res.PagesFinal = len(final)
+	round(len(final))
+	mapped, err := srcVM.MappedPages()
+	if err != nil {
+		return nil, err
+	}
+	res.PagesTotal = len(mapped)
+
+	// Restore: registers, then device state, onto fresh destination vCPUs.
+	phase(trace.MigratePhaseRestore)
+	regWrites := 0
+	srcCPUs := srcVM.VCPUs()
+	for i, sv := range srcCPUs {
+		snap, err := SaveAllRegs(sv)
+		if err != nil {
+			return nil, fmt.Errorf("hv: saving vCPU %d: %w", i, err)
+		}
+		dv, err := dstVM.CreateVCPU(i)
+		if err != nil {
+			return nil, err
+		}
+		if err := RestoreAllRegs(dv, snap); err != nil {
+			return nil, fmt.Errorf("hv: restoring vCPU %d: %w", i, err)
+		}
+		regWrites += len(snap)
+		if opts.ConfigureVCPU != nil {
+			opts.ConfigureVCPU(i, dv)
+		}
+	}
+	st, err := srcVM.SaveDeviceState()
+	if err != nil {
+		return nil, err
+	}
+	if err := dstVM.RestoreDeviceState(st); err != nil {
+		return nil, err
+	}
+
+	// Resume: start the destination threads; the window closes. Transfer
+	// work is charged to the destination's CPU 0 so downtime is visible
+	// in board cycles.
+	phase(trace.MigratePhaseResume)
+	res.TransferCycles = uint64(res.PagesFinal)*MigrateCopyCyclesPerPage +
+		uint64(regWrites)*MigrateRegCycles + MigrateDeviceCycles
+	res.DowntimeCycles = res.PauseWaitCycles + res.TransferCycles
+	if len(dst.Board.CPUs) > 0 {
+		dst.Board.CPUs[0].Charge(res.TransferCycles)
+	}
+	for i, dv := range dstVM.VCPUs() {
+		if srcCPUs[i].State() == "shutdown" {
+			dv.Shutdown()
+			continue
+		}
+		if _, err := dv.StartThread(i); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -185,9 +185,39 @@ func SaveAllRegs(v VCPU) (map[RegID]uint32, error) {
 }
 
 // RestoreAllRegs writes a snapshot back (the migration destination side).
+// The write order is fixed — CPSR first, then RegList() order — never the
+// map's random iteration order: on a backend that banks registers by the
+// current mode, writing r8..r12 before vs. after the CPSR mode switch
+// lands them in different banks.
 func RestoreAllRegs(v VCPU, regs map[RegID]uint32) error {
-	for id, val := range regs {
+	if val, ok := regs[RegCPSR]; ok {
+		if err := v.SetOneReg(RegCPSR, val); err != nil {
+			return err
+		}
+	}
+	for _, id := range RegList() {
+		if id == RegCPSR {
+			continue
+		}
+		val, ok := regs[id]
+		if !ok {
+			continue
+		}
 		if err := v.SetOneReg(id, val); err != nil {
+			return err
+		}
+	}
+	// Any IDs outside the advertised list still surface as errors, in a
+	// deterministic order.
+	var extras []RegID
+	for id := range regs {
+		if _, err := GetReg(RegFile{GP: &arm.GPSnapshot{}, CP15: &[arm.NumCtxControlRegs]uint32{}}, id); err != nil {
+			extras = append(extras, id)
+		}
+	}
+	sort.Slice(extras, func(i, j int) bool { return extras[i] < extras[j] })
+	for _, id := range extras {
+		if err := v.SetOneReg(id, regs[id]); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,168 @@
+// RestoreAllRegs ordering and mode-banking regressions. The restore order
+// is part of the migration contract: the CPSR must land before anything a
+// backend could bank by current mode, and the remaining writes must follow
+// RegList() order, never map iteration order.
+package hv_test
+
+import (
+	"strings"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/arm"
+	"kvmarm/internal/hv"
+)
+
+// orderVCPU records the order of SetOneReg calls on top of a plain
+// register file. The embedded interface panics on anything RestoreAllRegs
+// has no business calling on a stopped vCPU.
+type orderVCPU struct {
+	hv.VCPU
+	file  hv.RegFile
+	order []hv.RegID
+}
+
+func newOrderVCPU() *orderVCPU {
+	return &orderVCPU{file: hv.RegFile{GP: &arm.GPSnapshot{}, CP15: &[arm.NumCtxControlRegs]uint32{}}}
+}
+
+func (v *orderVCPU) GetOneReg(id hv.RegID) (uint32, error) { return hv.GetReg(v.file, id) }
+func (v *orderVCPU) SetOneReg(id hv.RegID, val uint32) error {
+	v.order = append(v.order, id)
+	return hv.SetReg(v.file, id, val)
+}
+
+func TestRestoreAllRegsOrder(t *testing.T) {
+	src := newOrderVCPU()
+	for i, id := range hv.RegList() {
+		if err := src.SetOneReg(id, uint32(0x1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := hv.SaveAllRegs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newOrderVCPU()
+	if err := hv.RestoreAllRegs(dst, snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.order) != len(snap) {
+		t.Fatalf("restore wrote %d registers, snapshot has %d", len(dst.order), len(snap))
+	}
+	if dst.order[0] != hv.RegCPSR {
+		t.Fatalf("first restored register = %#x, want CPSR (%#x)", uint32(dst.order[0]), uint32(hv.RegCPSR))
+	}
+	want := []hv.RegID{hv.RegCPSR}
+	for _, id := range hv.RegList() {
+		if id != hv.RegCPSR {
+			want = append(want, id)
+		}
+	}
+	for i, id := range dst.order {
+		if id != want[i] {
+			t.Fatalf("restore write %d = %#x, want %#x (RegList order after CPSR)", i, uint32(id), uint32(want[i]))
+		}
+	}
+	// Restoring the same snapshot twice must produce the identical write
+	// sequence — map iteration order must never leak through.
+	again := newOrderVCPU()
+	if err := hv.RestoreAllRegs(again, snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := range again.order {
+		if again.order[i] != dst.order[i] {
+			t.Fatalf("restore order not deterministic at write %d: %#x vs %#x",
+				i, uint32(again.order[i]), uint32(dst.order[i]))
+		}
+	}
+}
+
+func TestRestoreAllRegsUnknownID(t *testing.T) {
+	snap := map[hv.RegID]uint32{hv.RegPC: 0x8000_0000, hv.RegID(0xFF00_0007): 1}
+	err := hv.RestoreAllRegs(newOrderVCPU(), snap)
+	if err == nil || !strings.Contains(err.Error(), "unknown register") {
+		t.Fatalf("restoring an unlisted register id: err = %v, want unknown-register error", err)
+	}
+}
+
+// TestRestoreAllRegsFIQBank migrates a register file whose CPSR says FIQ
+// mode and whose common and FIQ banks hold different values, on every
+// backend. A backend that resolved r8..r12 writes through the current mode
+// — or a restore path that wrote them before the CPSR — would collapse
+// the two banks.
+func TestRestoreAllRegsFIQBank(t *testing.T) {
+	fiqIDs := func() (gp, fiq []hv.RegID) {
+		for i := 8; i <= 12; i++ {
+			gp = append(gp, hv.RegGP(i))
+		}
+		for _, id := range hv.RegList() {
+			if uint32(id)&0xFF00_0000 == 0x0700_0000 {
+				fiq = append(fiq, id)
+			}
+		}
+		return
+	}
+	gpIDs, fiqRegs := fiqIDs()
+	if len(fiqRegs) != 5 {
+		t.Fatalf("expected 5 FIQ-banked registers in RegList, got %d", len(fiqRegs))
+	}
+	for _, be := range hv.Backends() {
+		be := be
+		t.Run(be.Name, func(t *testing.T) {
+			env, err := be.NewEnv(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm, err := env.HV.CreateVM(64 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := vm.CreateVCPU(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The snapshot under migration: vCPU stopped in FIQ mode,
+			// distinct values in the common and FIQ r8..r12 banks.
+			if err := src.SetOneReg(hv.RegCPSR, uint32(arm.ModeFIQ)|arm.PSRI|arm.PSRF); err != nil {
+				t.Fatal(err)
+			}
+			for i, id := range gpIDs {
+				if err := src.SetOneReg(id, uint32(0xAA00+i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, id := range fiqRegs {
+				if err := src.SetOneReg(id, uint32(0xFF00+i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap, err := hv.SaveAllRegs(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dst, err := vm.CreateVCPU(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := hv.RestoreAllRegs(dst, snap); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := dst.GetOneReg(hv.RegCPSR); got&0x1F != uint32(arm.ModeFIQ) {
+				t.Fatalf("restored CPSR mode = %#x, want FIQ", got&0x1F)
+			}
+			for i, id := range gpIDs {
+				if got, err := dst.GetOneReg(id); err != nil || got != uint32(0xAA00+i) {
+					t.Errorf("common-bank r%d = %#x (err %v), want %#x", 8+i, got, err, 0xAA00+i)
+				}
+			}
+			for i, id := range fiqRegs {
+				if got, err := dst.GetOneReg(id); err != nil || got != uint32(0xFF00+i) {
+					t.Errorf("fiq-bank r%d = %#x (err %v), want %#x", 8+i, got, err, 0xFF00+i)
+				}
+			}
+		})
+	}
+}

@@ -70,6 +70,10 @@ type virqState struct {
 	// one is being EOId is silently lost).
 	raised uint64
 	staged uint64
+	// activeOn is the vCPU whose handler ACKed this interrupt, tracked
+	// for migration (the destination re-stages active interrupts into
+	// that vCPU's list registers; see devstate.go).
+	activeOn int8
 }
 
 // deliverable reports whether s holds an undelivered instance for v.
@@ -414,6 +418,7 @@ func (d *VDist) AckEmu(v VDistVCPU) (id, src int) {
 		bs.pending = false
 	}
 	bs.active = true
+	bs.activeOn = int8(v.VCPUID())
 	if best < gic.NumSGIs {
 		return best, d.sgiSrc[v.VCPUID()][best]
 	}

@@ -1,7 +1,10 @@
 package kvmx86
 
 import (
+	"fmt"
+
 	"kvmarm/internal/gic"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/trace"
 )
 
@@ -240,4 +243,55 @@ func (a *APIC) EOI(v *VCPU, id int) {
 		}
 	}
 	a.deliverTo(v)
+}
+
+// SaveState exports the APIC model for migration in the backend-neutral
+// ICState shape shared with the ARM virtual distributor. x86 has no list
+// registers, so there is nothing to drain: pending/active state is all in
+// software already. ActiveOn is meaningless here (EOI is a trapped MMIO
+// write on any vCPU) and is exported as -1.
+func (a *APIC) SaveState() *hv.ICState {
+	st := &hv.ICState{Enabled: true}
+	export := func(s *virqState) hv.VIRQ {
+		return hv.VIRQ{Enabled: s.enabled, Pending: s.pending, Active: s.active,
+			Level: s.level, Target: s.target, ActiveOn: -1}
+	}
+	for i := range a.priv {
+		row := make([]hv.VIRQ, gic.SPIBase)
+		for id := 0; id < gic.SPIBase; id++ {
+			row[id] = export(&a.priv[i][id])
+		}
+		st.Priv = append(st.Priv, row)
+		st.SGISrc = append(st.SGISrc, append([]int(nil), a.sgiSrc[i][:]...))
+	}
+	for i := range a.spi {
+		st.SPI = append(st.SPI, export(&a.spi[i]))
+	}
+	return st
+}
+
+// RestoreState installs a saved APIC (or compatible) model. vCPUs must
+// already exist so the per-vCPU banks line up.
+func (a *APIC) RestoreState(st *hv.ICState) error {
+	if len(st.Priv) != len(a.priv) || len(st.SGISrc) != len(a.priv) {
+		return fmt.Errorf("kvmx86: snapshot has %d vCPU interrupt banks, VM has %d", len(st.Priv), len(a.priv))
+	}
+	if len(st.SPI) != len(a.spi) {
+		return fmt.Errorf("kvmx86: snapshot has %d SPIs, APIC has %d", len(st.SPI), len(a.spi))
+	}
+	imp := func(s *virqState, v hv.VIRQ) {
+		*s = virqState{enabled: v.Enabled, pending: v.Pending, active: v.Active,
+			level: v.Level, target: v.Target}
+	}
+	for i := range a.priv {
+		for id := 0; id < gic.SPIBase; id++ {
+			imp(&a.priv[i][id], st.Priv[i][id])
+		}
+		copy(a.sgiSrc[i][:], st.SGISrc[i])
+	}
+	for i := range a.spi {
+		imp(&a.spi[i], st.SPI[i])
+	}
+	a.deliverAll()
+	return nil
 }

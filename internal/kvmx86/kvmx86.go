@@ -198,7 +198,9 @@ func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
 	}
 	vm := &VM{kvm: x, VMID: x.nextVMID, EPT: ept}
 	vm.Mem = hv.GuestMem{Table: ept, Alloc: x.Host.Alloc, RAM: x.Board.RAM}
-	vm.Mem.AddSlot(machine.RAMBase, memBytes)
+	if err := vm.Mem.AddSlot(machine.RAMBase, memBytes); err != nil {
+		return nil, err
+	}
 	vm.APIC = newAPIC(vm)
 	x.Trace.RegisterVM(vm.VMID)
 
@@ -258,8 +260,8 @@ func (vm *VM) ReadGuestMem(gpa uint64, n int) ([]byte, error) {
 }
 
 // SetUserMemoryRegion adds a guest RAM slot.
-func (vm *VM) SetUserMemoryRegion(gpaBase, size uint64) {
-	vm.Mem.AddSlot(gpaBase, size)
+func (vm *VM) SetUserMemoryRegion(gpaBase, size uint64) error {
+	return vm.Mem.AddSlot(gpaBase, size)
 }
 
 type vcpuState int

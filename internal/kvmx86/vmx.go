@@ -221,6 +221,19 @@ func (x *Hypervisor) handleEPTViolation(c *arm.CPU, v *VCPU, e *arm.Exception) (
 	gpa := e.FaultIPA
 	if vm.Mem.InSlot(gpa) {
 		vm.Stats.Stage2Faults++
+		// Dirty-log write fault: restore write access and retry (must
+		// precede the allocation path, which would clobber the page).
+		if vm.EPT.DirtyLogging() {
+			if dirty, err := vm.EPT.DirtyFault(gpa); err != nil {
+				v.state = vcpuShutdown
+				return trace.ExitStage2Fault, gpa
+			} else if dirty {
+				vm.flushS2Page(gpa)
+				c.Charge(x.Host.Cost.FaultWork / 2)
+				x.reenter(c, v)
+				return trace.ExitStage2Fault, gpa
+			}
+		}
 		pa, err := x.Host.Alloc.AllocPages(1)
 		if err != nil {
 			v.state = vcpuShutdown

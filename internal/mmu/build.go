@@ -46,6 +46,8 @@ type Builder struct {
 	// tablePages records every page allocated for this table tree, so
 	// the owner can return them to its allocator on teardown.
 	tablePages []uint64
+	// log, when non-nil, is the active dirty-page log (see dirty.go).
+	log *dirtyLog
 }
 
 // TablePages returns the physical pages backing this table tree.
@@ -122,7 +124,18 @@ func (b *Builder) MapPage(va uint32, pa uint64, f MapFlags) error {
 	}
 	idx2 := uint64(va>>PageShift) & (L2Entries - 1)
 	leaf := b.leafBits(f) | DescTable | (pa & DescAddrMask)
-	return b.Mem.Write64(l2+idx2*8, leaf)
+	if err := b.Mem.Write64(l2+idx2*8, leaf); err != nil {
+		return err
+	}
+	if b.log != nil && f.W {
+		// A page mapped writable while logging (demand fault-in during a
+		// pre-copy round) starts life dirty: it was never transferred.
+		page := va &^ (PageSize - 1)
+		if b.log.filter(uint64(page)) {
+			b.log.dirty[page] = true
+		}
+	}
+	return nil
 }
 
 // MapBlock installs a 4 MiB block mapping; va and pa must be 4 MiB aligned.

@@ -1,0 +1,206 @@
+package mmu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stage-2 dirty-page logging (live-migration pre-copy). EnableDirtyLog
+// clears DescW on every mapped page the filter selects; the first guest
+// store to such a page takes a Stage-2 permission fault, and the fault
+// handler calls DirtyFault to restore write access and record the page.
+// CollectDirty drains the dirty set and re-protects the drained pages, so
+// each pre-copy round transfers only pages written since the previous one.
+//
+// The log operates on 4 KiB page leaves only: block mappings cannot be
+// tracked at page granularity, so enabling the log over a filtered-in
+// block is an error (guest RAM is always page-mapped; device windows are
+// excluded by the filter).
+//
+// The Builder does not own TLBs. After EnableDirtyLog, DirtyFault, and
+// CollectDirty the caller must invalidate stale Stage-2 entries on every
+// CPU (FlushS2Page/FlushVMID) or cached write permissions defeat the log.
+
+// dirtyLog is the Builder's logging state.
+type dirtyLog struct {
+	filter    func(ipa uint64) bool
+	protected map[uint32]bool // write-protected, waiting for first store
+	dirty     map[uint32]bool // written since the last CollectDirty
+}
+
+// DirtyLogging reports whether the dirty-page log is enabled.
+func (b *Builder) DirtyLogging() bool { return b.log != nil }
+
+// EnableDirtyLog write-protects every currently mapped, writable page
+// leaf selected by filter and starts recording dirty pages. It returns
+// the number of pages protected.
+func (b *Builder) EnableDirtyLog(filter func(ipa uint64) bool) (int, error) {
+	if b.log != nil {
+		return 0, fmt.Errorf("mmu: dirty log already enabled")
+	}
+	log := &dirtyLog{
+		filter:    filter,
+		protected: make(map[uint32]bool),
+		dirty:     make(map[uint32]bool),
+	}
+	n := 0
+	for idx1 := uint64(0); idx1 < L1Entries; idx1++ {
+		d1, err := b.Mem.Read64(b.Root + idx1*8)
+		if err != nil {
+			return 0, err
+		}
+		if d1&DescValid == 0 {
+			continue
+		}
+		if d1&DescTable == 0 {
+			for off := uint64(0); off < BlockSize; off += PageSize {
+				if filter(idx1<<L1Shift | off) {
+					return 0, fmt.Errorf("mmu: dirty log over 4MiB block mapping at %#x", idx1<<L1Shift)
+				}
+			}
+			continue
+		}
+		l2 := d1 & DescAddrMask
+		for idx2 := uint64(0); idx2 < L2Entries; idx2++ {
+			addr := l2 + idx2*8
+			d2, err := b.Mem.Read64(addr)
+			if err != nil {
+				return 0, err
+			}
+			if d2&DescValid == 0 || d2&DescW == 0 {
+				continue // unmapped, or already read-only: a store is a plain fault
+			}
+			page := uint32(idx1<<L1Shift | idx2<<PageShift)
+			if !filter(uint64(page)) {
+				continue
+			}
+			if err := b.Mem.Write64(addr, d2&^DescW); err != nil {
+				return 0, err
+			}
+			log.protected[page] = true
+			n++
+		}
+	}
+	b.log = log
+	return n, nil
+}
+
+// DirtyFault handles a Stage-2 permission fault at ipa while logging. If
+// the page is write-protected by the log it restores write access, marks
+// the page dirty, and returns true; the caller re-enters the guest after
+// flushing the page's TLB entries. A true return with no table change
+// (page already re-enabled, stale TLB) is also possible and idempotent.
+func (b *Builder) DirtyFault(ipa uint64) (bool, error) {
+	if b.log == nil || ipa >= 1<<32 {
+		return false, nil
+	}
+	page := uint32(ipa) &^ (PageSize - 1)
+	if !b.log.protected[page] {
+		// Already dirtied and re-enabled: the faulting CPU held a stale
+		// read-only TLB entry. Nothing to change, but it was ours.
+		return b.log.dirty[page], nil
+	}
+	if err := b.setLeafW(page, true); err != nil {
+		return false, err
+	}
+	delete(b.log.protected, page)
+	b.log.dirty[page] = true
+	return true, nil
+}
+
+// CollectDirty returns the pages dirtied since logging was enabled or
+// since the previous CollectDirty, sorted, and re-write-protects them so
+// the next round traps their next store again.
+func (b *Builder) CollectDirty() ([]uint64, error) {
+	if b.log == nil {
+		return nil, fmt.Errorf("mmu: dirty log not enabled")
+	}
+	pages := make([]uint64, 0, len(b.log.dirty))
+	for page := range b.log.dirty {
+		pages = append(pages, uint64(page))
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, p := range pages {
+		if err := b.setLeafW(uint32(p), false); err != nil {
+			return nil, err
+		}
+		b.log.protected[uint32(p)] = true
+	}
+	b.log.dirty = make(map[uint32]bool)
+	return pages, nil
+}
+
+// DisableDirtyLog restores write access to every still-protected page and
+// stops logging.
+func (b *Builder) DisableDirtyLog() error {
+	if b.log == nil {
+		return nil
+	}
+	for page := range b.log.protected {
+		if err := b.setLeafW(page, true); err != nil {
+			return err
+		}
+	}
+	b.log = nil
+	return nil
+}
+
+// MappedPages returns every mapped 4 KiB page (block mappings expanded to
+// their constituent pages), sorted. Migration's full-copy round uses it to
+// transfer exactly the pages the guest has touched.
+func (b *Builder) MappedPages() ([]uint64, error) {
+	var pages []uint64
+	for idx1 := uint64(0); idx1 < L1Entries; idx1++ {
+		d1, err := b.Mem.Read64(b.Root + idx1*8)
+		if err != nil {
+			return nil, err
+		}
+		if d1&DescValid == 0 {
+			continue
+		}
+		if d1&DescTable == 0 {
+			for off := uint64(0); off < BlockSize; off += PageSize {
+				pages = append(pages, idx1<<L1Shift|off)
+			}
+			continue
+		}
+		l2 := d1 & DescAddrMask
+		for idx2 := uint64(0); idx2 < L2Entries; idx2++ {
+			d2, err := b.Mem.Read64(l2 + idx2*8)
+			if err != nil {
+				return nil, err
+			}
+			if d2&DescValid != 0 {
+				pages = append(pages, idx1<<L1Shift|idx2<<PageShift)
+			}
+		}
+	}
+	return pages, nil
+}
+
+// setLeafW sets or clears DescW on the page leaf mapping page.
+func (b *Builder) setLeafW(page uint32, w bool) error {
+	idx1 := uint64(page >> L1Shift)
+	d1, err := b.Mem.Read64(b.Root + idx1*8)
+	if err != nil {
+		return err
+	}
+	if d1&DescValid == 0 || d1&DescTable == 0 {
+		return fmt.Errorf("mmu: dirty log: no page leaf at %#x", page)
+	}
+	idx2 := uint64(page>>PageShift) & (L2Entries - 1)
+	addr := d1&DescAddrMask + idx2*8
+	d2, err := b.Mem.Read64(addr)
+	if err != nil {
+		return err
+	}
+	if d2&DescValid == 0 {
+		return fmt.Errorf("mmu: dirty log: page %#x unmapped under logging", page)
+	}
+	if w {
+		d2 |= DescW
+	} else {
+		d2 &^= DescW
+	}
+	return b.Mem.Write64(addr, d2)
+}

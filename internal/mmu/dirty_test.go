@@ -1,0 +1,193 @@
+package mmu
+
+import (
+	"testing"
+)
+
+// dirtySetup builds a Stage-2 table with n writable pages mapped from IPA 0
+// plus one read-only page after them, and an MMU to drive faults through.
+func dirtySetup(t *testing.T, n int) (*Builder, *MMU, *Context) {
+	t.Helper()
+	ram, p, m := setup(t)
+	s2, err := NewBuilder(TableStage2, ram, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		pa, _ := p.AllocPages(1)
+		if err := s2.MapPage(uint32(i)*PageSize, pa, MapFlags{W: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa, _ := p.AllocPages(1)
+	if err := s2.MapPage(uint32(n)*PageSize, pa, MapFlags{}); err != nil {
+		t.Fatal(err)
+	}
+	return s2, m, &Context{S2Enabled: true, VTTBR: s2.Root, VMID: 7}
+}
+
+func TestDirtyLogRounds(t *testing.T) {
+	s2, m, ctx := dirtySetup(t, 8)
+	all := func(ipa uint64) bool { return true }
+	n, err := s2.EnableDirtyLog(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("protected %d pages, want 8 (read-only page must not count)", n)
+	}
+	if !s2.DirtyLogging() {
+		t.Fatal("DirtyLogging() false after enable")
+	}
+	if _, err := s2.EnableDirtyLog(all); err == nil {
+		t.Fatal("double enable must fail")
+	}
+
+	// A store to a protected page now takes a Stage-2 permission fault.
+	_, f := m.Translate(ctx, 2*PageSize+0x10, Store)
+	if f == nil || f.Stage != 2 || f.Kind != FaultPermission {
+		t.Fatalf("store under logging: fault = %+v, want stage-2 permission", f)
+	}
+	dirty, err := s2.DirtyFault(f.IPA)
+	if err != nil || !dirty {
+		t.Fatalf("DirtyFault(%#x) = %v, %v, want true", f.IPA, dirty, err)
+	}
+	m.FlushS2Page(ctx.VMID, f.IPA)
+	// The retried store succeeds, and further stores to the page are free.
+	if _, f := m.Translate(ctx, 2*PageSize+0x10, Store); f != nil {
+		t.Fatalf("store after DirtyFault still faults: %+v", f)
+	}
+	// A re-fault on the now-writable page (stale TLB on another CPU) is
+	// idempotent and still reported as the log's.
+	if dirty, err := s2.DirtyFault(f.IPA); err != nil || !dirty {
+		t.Fatalf("stale-TLB DirtyFault = %v, %v, want true", dirty, err)
+	}
+	// Loads never trip the log.
+	if _, f := m.Translate(ctx, 5*PageSize, Load); f != nil {
+		t.Fatalf("load under logging faulted: %+v", f)
+	}
+
+	got, err := s2.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2*PageSize {
+		t.Fatalf("CollectDirty = %#x, want [0x2000]", got)
+	}
+	m.FlushS2Page(ctx.VMID, 2*PageSize)
+
+	// The drained page is re-protected: the next store faults again.
+	_, f = m.Translate(ctx, 2*PageSize, Store)
+	if f == nil || f.Stage != 2 {
+		t.Fatalf("store after drain: fault = %+v, want stage-2", f)
+	}
+	if _, err := s2.DirtyFault(f.IPA); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = s2.CollectDirty(); err != nil || len(got) != 1 {
+		t.Fatalf("second round CollectDirty = %#x, %v", got, err)
+	}
+
+	// Disable restores write access everywhere, without faults.
+	if err := s2.DisableDirtyLog(); err != nil {
+		t.Fatal(err)
+	}
+	m.FlushVMID(ctx.VMID)
+	for i := 0; i < 8; i++ {
+		if _, f := m.Translate(ctx, uint32(i)*PageSize, Store); f != nil {
+			t.Fatalf("store to page %d after disable faulted: %+v", i, f)
+		}
+	}
+	// The genuinely read-only page still faults — the log must not have
+	// granted write access it never removed.
+	if _, f := m.Translate(ctx, 8*PageSize, Store); f == nil {
+		t.Fatal("read-only page became writable after dirty-log disable")
+	}
+	if _, err := s2.CollectDirty(); err == nil {
+		t.Fatal("CollectDirty after disable must fail")
+	}
+}
+
+func TestDirtyLogFilterAndNewMappings(t *testing.T) {
+	s2, m, ctx := dirtySetup(t, 4)
+	filter := func(ipa uint64) bool { return ipa < 2*PageSize }
+	if n, err := s2.EnableDirtyLog(filter); err != nil || n != 2 {
+		t.Fatalf("EnableDirtyLog = %d, %v, want 2 filtered pages", n, err)
+	}
+	// Filtered-out pages keep write access.
+	if _, f := m.Translate(ctx, 3*PageSize, Store); f != nil {
+		t.Fatalf("store to filtered-out page faulted: %+v", f)
+	}
+	// A DirtyFault for an address the log does not cover is not ours.
+	if dirty, err := s2.DirtyFault(3 * PageSize); err != nil || dirty {
+		t.Fatalf("DirtyFault outside filter = %v, %v, want false", dirty, err)
+	}
+	if dirty, err := s2.DirtyFault(1 << 33); err != nil || dirty {
+		t.Fatalf("DirtyFault beyond 32-bit range = %v, %v, want false", dirty, err)
+	}
+
+	// A writable page mapped while logging is dirty by definition — it
+	// was created to be written, and the next round must transfer it.
+	pa, _ := (&pool{next: ramBase + 48<<20}).AllocPages(1)
+	if err := s2.MapPage(16*PageSize, pa, MapFlags{W: true}); err != nil {
+		t.Fatal(err)
+	}
+	// ...but only if the filter covers it.
+	if err := s2.MapPage(17*PageSize, pa+PageSize, MapFlags{W: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.DirtyFault(PageSize); err != nil { // dirty one protected page too
+		t.Fatal(err)
+	}
+	got, err := s2.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]bool{PageSize: true}
+	if filter(16 * PageSize) {
+		want[16*PageSize] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("CollectDirty = %#x, want %v", got, want)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Fatalf("CollectDirty = %#x, want %v", got, want)
+		}
+	}
+}
+
+func TestDirtyLogRejectsBlockMappings(t *testing.T) {
+	ram, p, _ := setup(t)
+	s2, err := NewBuilder(TableStage2, ram, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.MapBlock(0x0040_0000, ramBase, MapFlags{W: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.EnableDirtyLog(func(ipa uint64) bool { return true }); err == nil {
+		t.Fatal("dirty log over a 4MiB block mapping must fail")
+	}
+	// A filter excluding the block is fine.
+	if _, err := s2.EnableDirtyLog(func(ipa uint64) bool { return false }); err != nil {
+		t.Fatalf("dirty log with block filtered out: %v", err)
+	}
+}
+
+func TestMappedPages(t *testing.T) {
+	s2, _, _ := dirtySetup(t, 3)
+	pages, err := s2.MappedPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 writable + 1 read-only.
+	if len(pages) != 4 {
+		t.Fatalf("MappedPages = %d entries, want 4", len(pages))
+	}
+	for i, p := range pages {
+		if p != uint64(i)*PageSize {
+			t.Fatalf("MappedPages[%d] = %#x, want %#x", i, p, i*PageSize)
+		}
+	}
+}

@@ -195,8 +195,13 @@ type tlbKey struct {
 }
 
 type tlbEntry struct {
-	paPage   uint64
-	w, u, xn bool
+	paPage uint64
+	// ipaPage is the intermediate physical page the entry translates
+	// through (equal to paPage when Stage-2 is off). Stage-2 permission
+	// faults and per-IPA invalidation key off it.
+	ipaPage  uint64
+	w, u, xn bool // Stage-1 permissions (w true when Stage-1 is off)
+	s2w      bool // Stage-2 write permission (true when Stage-2 is off)
 }
 
 // New creates an MMU walking tables through phys.
@@ -250,6 +255,24 @@ func (m *MMU) FlushVMID(vmid uint8) {
 	m.stats.Flushes++
 	if m.Trace != nil {
 		m.Trace.Emit(trace.Event{Kind: trace.EvTLBFlush, VM: vmid, VCPU: -1, CPU: -1, Arg: trace.FlushScopeVMID})
+	}
+}
+
+// FlushS2Page invalidates entries of vmid that translate through the
+// given IPA's page (TLBIIPAS2). The dirty-page log uses it after toggling
+// a Stage-2 leaf's write permission so stale combined entries cannot let
+// stores through unlogged (or keep faulting after the page was re-enabled).
+func (m *MMU) FlushS2Page(vmid uint8, ipa uint64) {
+	page := ipa >> PageShift
+	for k, e := range m.tlb {
+		if k.vmid == vmid && e.ipaPage == page {
+			delete(m.tlb, k)
+		}
+	}
+	m.compactOrder()
+	m.stats.Flushes++
+	if m.Trace != nil {
+		m.Trace.Emit(trace.Event{Kind: trace.EvTLBFlush, VM: vmid, VCPU: -1, CPU: -1, Arg: trace.FlushScopeS2Page})
 	}
 }
 
@@ -317,7 +340,7 @@ func (m *MMU) translate(ctx *Context, va uint32, at AccessType) (Result, *Fault)
 	m.stats.Misses++
 
 	var cycles uint64
-	entry := tlbEntry{w: true, u: true}
+	entry := tlbEntry{w: true, u: true, s2w: true}
 
 	ipa := uint64(va)
 	if ctx.S1Enabled {
@@ -342,15 +365,17 @@ func (m *MMU) translate(ctx *Context, va uint32, at AccessType) (Result, *Fault)
 			return Result{}, f
 		}
 		pa = e2.paPage<<PageShift | ipa&(PageSize-1)
-		// Combined permissions: most restrictive of both stages.
-		entry.w = entry.w && e2.w
+		// Stage-2 write permission is tracked separately from Stage-1's:
+		// a later store through a read-inserted entry must raise a
+		// Stage-2 fault (trapping to Hyp with the IPA), not a Stage-1
+		// fault delivered to the guest. XN combines (most restrictive).
+		entry.s2w = e2.w
 		entry.xn = entry.xn || e2.xn
 	}
 
+	entry.ipaPage = ipa >> PageShift
 	entry.paPage = pa >> PageShift
 	if f := checkPerms(entry, ctx, va, at); f != nil {
-		// Permission faults are attributed to Stage-1 here: Stage-2
-		// permission faults were already raised inside walkStage2.
 		return Result{}, f
 	}
 	m.insert(key, entry)
@@ -358,6 +383,7 @@ func (m *MMU) translate(ctx *Context, va uint32, at AccessType) (Result, *Fault)
 }
 
 func checkPerms(e tlbEntry, ctx *Context, va uint32, at AccessType) *Fault {
+	// Stage-1 checks first, matching hardware walk order.
 	if ctx.User && !e.u {
 		return &Fault{Stage: 1, Kind: FaultPermission, Level: 2, VA: va, Access: at}
 	}
@@ -366,6 +392,10 @@ func checkPerms(e tlbEntry, ctx *Context, va uint32, at AccessType) *Fault {
 	}
 	if at == Fetch && e.xn {
 		return &Fault{Stage: 1, Kind: FaultPermission, Level: 2, VA: va, Access: at}
+	}
+	if at == Store && !e.s2w {
+		ipa := e.ipaPage<<PageShift | uint64(va)&(PageSize-1)
+		return &Fault{Stage: 2, Kind: FaultPermission, Level: 2, VA: va, IPA: ipa, Access: at}
 	}
 	return nil
 }

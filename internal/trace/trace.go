@@ -74,6 +74,12 @@ const (
 	// distributor SGI or APIC ICR write). Arg is the SGI/vector id.
 	EvIPI
 
+	// Live migration (internal/hv/migrate.go). EvMigratePhase marks a
+	// phase boundary (Arg is a MigratePhase value); EvMigrateRound is one
+	// memory-copy round (Arg is the number of pages transferred).
+	EvMigratePhase
+	EvMigrateRound
+
 	// NumKinds is the number of event kinds (array sizing).
 	NumKinds
 )
@@ -83,6 +89,15 @@ const (
 	FlushScopeAll uint64 = iota
 	FlushScopeASID
 	FlushScopeVMID
+	FlushScopeS2Page // single-IPA Stage-2 invalidation (TLBIIPAS2)
+)
+
+// MigratePhase values carried in EvMigratePhase's Arg.
+const (
+	MigratePhasePrecopy uint64 = iota
+	MigratePhaseStop
+	MigratePhaseRestore
+	MigratePhaseResume
 )
 
 var kindNames = [NumKinds]string{
@@ -108,6 +123,8 @@ var kindNames = [NumKinds]string{
 	EvTimerFire:      "vtimer_fire",
 	EvVTimerInject:   "vtimer_inject",
 	EvIPI:            "ipi_emulated",
+	EvMigratePhase:   "migrate_phase",
+	EvMigrateRound:   "migrate_round",
 }
 
 func (k Kind) String() string {

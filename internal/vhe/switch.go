@@ -344,6 +344,19 @@ func (x *Hypervisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uin
 	ipa := e.FaultIPA
 	if vm.Mem.InSlot(ipa) {
 		vm.Stats.Stage2Faults++
+		// Dirty-log write fault: restore write access and retry (must
+		// precede the allocation path, which would clobber the page).
+		if vm.S2.DirtyLogging() {
+			if dirty, err := vm.S2.DirtyFault(ipa); err != nil {
+				v.state = vcpuShutdown
+				return trace.ExitStage2Fault, ipa
+			} else if dirty {
+				vm.flushS2Page(ipa)
+				c.Charge(x.Host.Cost.FaultWork / 2)
+				x.reenter(c, v)
+				return trace.ExitStage2Fault, ipa
+			}
+		}
 		pa, err := x.Host.Alloc.AllocPages(1)
 		if err != nil {
 			v.state = vcpuShutdown

@@ -273,7 +273,9 @@ func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
 	}
 	vm := &VM{kvm: x, VMID: x.nextVMID, S2: s2}
 	vm.Mem = hv.GuestMem{Table: s2, Alloc: x.Host.Alloc, RAM: x.Board.RAM}
-	vm.Mem.AddSlot(machine.RAMBase, memBytes)
+	if err := vm.Mem.AddSlot(machine.RAMBase, memBytes); err != nil {
+		return nil, err
+	}
 	vm.VDist = hv.NewVDist(x.Board, vm.VMID, &vm.Stats, func() *trace.Tracer { return x.Trace })
 	x.Trace.RegisterVM(vm.VMID)
 
@@ -346,8 +348,8 @@ func (vm *VM) ReadGuestMem(ipa uint64, n int) ([]byte, error) {
 }
 
 // SetUserMemoryRegion adds a guest RAM slot.
-func (vm *VM) SetUserMemoryRegion(ipaBase, size uint64) {
-	vm.Mem.AddSlot(ipaBase, size)
+func (vm *VM) SetUserMemoryRegion(ipaBase, size uint64) error {
+	return vm.Mem.AddSlot(ipaBase, size)
 }
 
 // VCPUs returns the VM's vCPUs.

@@ -13,3 +13,11 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/
+
+# Migration conformance under the race detector: all 25 source→destination
+# backend pairs, mid-workload, compared against an unmigrated run.
+go test -race -run TestBackendMigration -count=1 ./internal/hv/
+
+# Short guest-memory slot fuzz smoke (overlap rejection, bounds, cross-slot
+# access); the long-running variant is manual.
+go test -fuzz FuzzGuestMemSlots -fuzztime 5s -run '^$' ./internal/hv/
