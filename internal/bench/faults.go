@@ -1,0 +1,147 @@
+// Fault-recovery measurement: inject one deterministic fault per
+// scenario into a live migration and report what the retry layer did
+// about it — recovered after N attempts with this much backoff, or
+// aborted cleanly with the source rolled back. This is the quantitative
+// side of the fault-injection subsystem: transient copy faults and
+// injected backend errors cost attempts and backoff, a stuck vCPU costs
+// the migration.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+
+	"kvmarm/internal/fault"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+)
+
+// FaultRow is one injected-fault scenario and its observed outcome.
+type FaultRow struct {
+	// Scenario names the failure being injected.
+	Scenario string
+	// Point is the catalog name of the armed injection point ("-" for
+	// the fault-free baseline).
+	Point string
+	// Outcome is "migrated" (no fault), "recovered" (fault hit, a retry
+	// attempt completed the move) or "aborted" (permanent failure, the
+	// source rolled back and kept running).
+	Outcome string
+	// Attempts and BackoffCycles are the retry layer's cost: migration
+	// attempts used and total source-board cycles burned between them.
+	Attempts      int
+	BackoffCycles uint64
+	// Downtime is the successful attempt's pause-to-resume window in
+	// board cycles (0 when aborted).
+	Downtime uint64
+	// Detail summarises the abort cause for failed scenarios.
+	Detail string
+}
+
+// faultScenario arms one catalog point with its matching kind.
+type faultScenario struct {
+	name string
+	pt   fault.Point
+	kind fault.Kind
+}
+
+// faultScenarios is the table the experiment sweeps: a fault-free
+// baseline, one transient fault per migration phase, and the one
+// permanent failure mode (a vCPU that never parks).
+func faultScenarios() []faultScenario {
+	return []faultScenario{
+		{name: "no fault"},
+		{name: "page read error", pt: fault.PtPageRead, kind: fault.KindError},
+		{name: "page corruption", pt: fault.PtPageData, kind: fault.KindCorrupt},
+		{name: "page write error", pt: fault.PtPageWrite, kind: fault.KindError},
+		{name: "dirty-log enable error", pt: fault.PtDirtyEnable, kind: fault.KindError},
+		{name: "device save failure", pt: fault.PtDeviceSave, kind: fault.KindDeviceFail},
+		{name: "vCPU start failure", pt: fault.PtVCPUStart, kind: fault.KindError},
+		{name: "stuck vCPU", pt: fault.PtVCPUPark, kind: fault.KindStuck},
+	}
+}
+
+// measureFault runs one scenario: a mid-workload ARM guest, the scenario's
+// fault armed to fire on its first hit, and MigrateWithRetry with the
+// default policy over the top.
+func measureFault(idx int, sc faultScenario) (FaultRow, error) {
+	row := FaultRow{Scenario: sc.name, Point: "-"}
+	be, ok := hv.Lookup("ARM")
+	if !ok {
+		return row, fmt.Errorf("ARM backend not registered")
+	}
+	env, vm, _, err := newMigSource(be)
+	if err != nil {
+		return row, err
+	}
+	dstEnv, err := be.NewEnv(1)
+	if err != nil {
+		return row, err
+	}
+	plane := fault.New(uint64(idx) + 1)
+	env.HV.AttachFaultPlane(plane)
+	dstEnv.HV.AttachFaultPlane(plane)
+	if sc.pt != "" {
+		row.Point = string(sc.pt)
+		plane.Arm(sc.pt, fault.OnNth(1), sc.kind)
+	}
+	opts := hv.MigrateOptions{
+		Precopy:     true,
+		Rounds:      2,
+		RoundBudget: 300,
+		Fault:       plane,
+		ConfigureVCPU: func(id int, v hv.VCPU) {
+			v.SetGuestSoftware(nil, &isa.Interp{})
+		},
+	}
+	newDstVM := func() (hv.VM, error) { return dstEnv.HV.CreateVM(64 << 20) }
+	res, _, err := hv.MigrateWithRetry(env, vm, dstEnv, newDstVM, opts, hv.RetryPolicy{})
+	if err != nil {
+		row.Outcome = "aborted"
+		row.Attempts = 1
+		var abort *hv.AbortError
+		if errors.As(err, &abort) {
+			row.Detail = abort.Cause.Error()
+		} else {
+			row.Detail = err.Error()
+		}
+		return row, nil
+	}
+	row.Outcome = "migrated"
+	if len(plane.Injected()) > 0 {
+		row.Outcome = "recovered"
+	}
+	row.Attempts = res.Attempts
+	row.BackoffCycles = res.BackoffCycles
+	row.Downtime = res.DowntimeCycles
+	return row, nil
+}
+
+// FaultRows runs every scenario on the ARM backend.
+func FaultRows() ([]FaultRow, error) {
+	var rows []FaultRow
+	for i, sc := range faultScenarios() {
+		row, err := measureFault(i, sc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.name, err)
+		}
+		rows = append(rows, row)
+		// Each scenario retires two boards (256 MiB RAM backing apiece);
+		// collect them before GC stalls dominate the sweep.
+		runtime.GC()
+	}
+	return rows, nil
+}
+
+// PrintFaults renders the fault-recovery sweep as a text table.
+func PrintFaults(w io.Writer, rows []FaultRow) {
+	fmt.Fprintf(w, "\nMigration fault injection and recovery (ARM backend; OnNth(1) triggers)\n")
+	fmt.Fprintf(w, "%-24s %-18s %-10s %8s %10s %10s  %s\n",
+		"scenario", "point", "outcome", "attempts", "backoff", "downtime", "detail")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-18s %-10s %8d %10d %10d  %s\n",
+			r.Scenario, r.Point, r.Outcome, r.Attempts, r.BackoffCycles, r.Downtime, r.Detail)
+	}
+}

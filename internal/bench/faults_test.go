@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+func TestFaultRows(t *testing.T) {
+	rows, err := FaultRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(faultScenarios())
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d scenarios", len(rows), want)
+	}
+	for _, r := range rows {
+		switch r.Scenario {
+		case "no fault":
+			if r.Outcome != "migrated" || r.Attempts != 1 || r.BackoffCycles != 0 {
+				t.Errorf("baseline row off: %+v", r)
+			}
+			if r.Downtime == 0 {
+				t.Errorf("baseline downtime is zero: %+v", r)
+			}
+		case "stuck vCPU":
+			if r.Outcome != "aborted" {
+				t.Errorf("stuck vCPU should abort permanently: %+v", r)
+			}
+			if r.Detail == "" {
+				t.Errorf("aborted row carries no detail: %+v", r)
+			}
+		default:
+			// Every other scenario is a transient fault the retry layer
+			// must absorb: more than one attempt, backoff burned, and a
+			// successful handoff.
+			if r.Outcome != "recovered" {
+				t.Errorf("%s: outcome %q, want recovered", r.Scenario, r.Outcome)
+			}
+			if r.Attempts < 2 || r.BackoffCycles == 0 {
+				t.Errorf("%s: attempts=%d backoff=%d, want a real retry", r.Scenario, r.Attempts, r.BackoffCycles)
+			}
+			if r.Downtime == 0 {
+				t.Errorf("%s: recovered with zero downtime", r.Scenario)
+			}
+		}
+	}
+}

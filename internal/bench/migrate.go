@@ -61,20 +61,20 @@ func migrationWorkload() []uint32 {
 		MustAssemble()
 }
 
-// measureMigration runs one source→destination migration and returns the
-// result. The source runs mid-workload before the move begins.
-func measureMigration(src, dst *hv.Backend, precopy bool) (*hv.MigrateResult, error) {
+// newMigSource boots the writer workload on src as a raw 1-vCPU guest and
+// runs it mid-workload, ready to be migrated (shared with the fault table).
+func newMigSource(src *hv.Backend) (*hv.Env, hv.VM, hv.VCPU, error) {
 	env, err := src.NewEnv(1)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	vm, err := env.HV.CreateVM(64 << 20)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	v, err := vm.CreateVCPU(0)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	prog := migrationWorkload()
 	raw := make([]byte, 0, len(prog)*4)
@@ -82,24 +82,24 @@ func measureMigration(src, dst *hv.Backend, precopy bool) (*hv.MigrateResult, er
 		raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
 	}
 	if err := vm.WriteGuestMem(machine.RAMBase, raw); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	cold := make([]byte, migBenchColdPages*4096)
 	for i := range cold {
 		cold[i] = byte(i)
 	}
 	if err := vm.WriteGuestMem(migBenchCold, cold); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	v.SetGuestSoftware(nil, &isa.Interp{})
 	if _, err := v.StartThread(0); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	mid := func() bool {
 		b, err := vm.ReadGuestMem(migBenchCount, 4)
@@ -110,9 +110,18 @@ func measureMigration(src, dst *hv.Backend, precopy bool) (*hv.MigrateResult, er
 	}
 	step := 0
 	if !env.Board.Run(40_000_000, func() bool { step++; return step%512 == 0 && mid() }) {
-		return nil, fmt.Errorf("source workload made no progress on %s", src.Name)
+		return nil, nil, nil, fmt.Errorf("source workload made no progress on %s", src.Name)
 	}
+	return env, vm, v, nil
+}
 
+// measureMigration runs one source→destination migration and returns the
+// result. The source runs mid-workload before the move begins.
+func measureMigration(src, dst *hv.Backend, precopy bool) (*hv.MigrateResult, error) {
+	env, vm, v, err := newMigSource(src)
+	if err != nil {
+		return nil, err
+	}
 	dstEnv, err := dst.NewEnv(1)
 	if err != nil {
 		return nil, err

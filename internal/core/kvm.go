@@ -5,6 +5,7 @@ import (
 
 	"kvmarm/internal/arm"
 	"kvmarm/internal/dev"
+	"kvmarm/internal/fault"
 	"kvmarm/internal/gic"
 	"kvmarm/internal/hv"
 	"kvmarm/internal/kernel"
@@ -64,6 +65,11 @@ type KVM struct {
 	// default: every emit site pays a single nil-check branch when
 	// tracing is off. Attach with AttachTracer.
 	Trace *trace.Tracer
+
+	// Fault is the fault-injection plane (internal/fault). Nil by
+	// default: every consult site pays a single nil-check branch when
+	// injection is off. Attach with AttachFaultPlane.
+	Fault *fault.Plane
 }
 
 // AttachTracer wires t into every layer of the hypervisor: the lowvisor's
@@ -90,6 +96,19 @@ func (k *KVM) AttachTracer(t *trace.Tracer) {
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (k *KVM) Tracer() *trace.Tracer { return k.Trace }
+
+// AttachFaultPlane wires the fault-injection plane into every consult
+// point of this backend: each VM's Stage-2 dirty-log operations, vCPU
+// park requests, and device save/restore. Passing nil detaches.
+func (k *KVM) AttachFaultPlane(p *fault.Plane) {
+	k.Fault = p
+	for _, vm := range k.vms {
+		vm.S2.Fault = p
+	}
+}
+
+// FaultPlane returns the attached plane (nil when injection is off).
+func (k *KVM) FaultPlane() *fault.Plane { return k.Fault }
 
 // VMs lists the created VMs.
 func (k *KVM) VMs() []hv.VM {
@@ -200,6 +219,7 @@ func (k *KVM) CreateVM(memBytes uint64) (hv.VM, error) {
 		return nil, err
 	}
 	vm := &VM{kvm: k, VMID: k.nextVMID, S2: s2}
+	s2.Fault = k.Fault
 	vm.Mem = hv.GuestMem{Table: s2, Alloc: k.Host.Alloc, RAM: k.Board.RAM}
 	if err := vm.Mem.AddSlot(machine.RAMBase, memBytes); err != nil {
 		return nil, err
@@ -397,6 +417,11 @@ func (v *VCPU) State() string {
 // guest if it is currently running (the user-space pause used for
 // debugging and migration, §4).
 func (v *VCPU) Pause() {
+	if v.vm.kvm.Fault.Stuck(fault.PtVCPUPark) {
+		// Injected stuck-vCPU fault: the park request is lost and the
+		// vCPU keeps running. The migration park-watchdog must notice.
+		return
+	}
 	v.pauseReq = true
 	if v.phys >= 0 && v.phys != v.vm.kvm.Board.Current {
 		_ = v.vm.kvm.Board.GIC.SendSGI(v.vm.kvm.Board.Current, 1<<uint(v.phys), 2)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"kvmarm/internal/fault"
 	"kvmarm/internal/hv"
 	"kvmarm/internal/timer"
 )
@@ -69,6 +70,9 @@ func (vm *VM) MappedPages() ([]uint64, error) { return vm.Mem.MappedPages() }
 // SaveDeviceState snapshots everything guest-visible that the ONE_REG
 // vCPU snapshot does not cover. The VM must be paused.
 func (vm *VM) SaveDeviceState() (*hv.DeviceState, error) {
+	if err := vm.kvm.Fault.Fail(fault.PtDeviceSave); err != nil {
+		return nil, err
+	}
 	// Fold any state still parked in list registers back into the
 	// software distributor model first; LRs are per-source-CPU hardware
 	// and do not travel.
@@ -98,6 +102,9 @@ func (vm *VM) SaveDeviceState() (*hv.DeviceState, error) {
 // RestoreDeviceState installs a snapshot taken by SaveDeviceState (possibly
 // on a different ARM backend). vCPUs must already exist and be stopped.
 func (vm *VM) RestoreDeviceState(st *hv.DeviceState) error {
+	if err := vm.kvm.Fault.Fail(fault.PtDeviceRestore); err != nil {
+		return err
+	}
 	if st.Family != "arm" {
 		return fmt.Errorf("core: cannot restore %q device state on an ARM VM", st.Family)
 	}

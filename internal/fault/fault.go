@@ -1,0 +1,366 @@
+// Package fault is the deterministic fault-injection plane of the
+// hypervisor. The paper's central claim is that KVM/ARM is robust enough
+// for mainline Linux; this package makes that property testable by
+// letting a harness arm faults at named points of the forward path —
+// error returns, corrupted page payloads, vCPUs that ignore pause
+// requests, device save/restore failures — on exact, reproducible
+// schedules ("the Nth hit of this point", "every Nth hit"). Recovery code
+// (migration rollback, retry loops, watchdogs) is then driven by real
+// failures instead of hand-mocked ones.
+//
+// Design constraints, in the style of internal/trace:
+//
+//   - Zero cost when off: a nil *Plane is the valid "injection off"
+//     state; every consult site pays one nil-check branch and every
+//     method no-ops on a nil receiver.
+//   - Deterministic: a Plane is seeded, triggers count hits, and
+//     corruption content derives from the seed and hit count — the same
+//     schedule over the same run injects byte-identical faults.
+//   - Observable: every fired injection lands in the plane's log and, if
+//     a tracer is attached, emits an EvFaultInjected event.
+//   - Contained to the forward path: Suppress disables firing while a
+//     recovery routine runs, so rollback exercises the same fallible
+//     operations without the plane re-failing them (the model for a
+//     cancel path using pre-reserved resources).
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"kvmarm/internal/trace"
+)
+
+// Point names one injection point. Points are layer-qualified so a plane
+// can be shared across the whole stack; the same names are used by every
+// backend (e.g. PtVCPUPark is consulted by split-mode, VHE and x86 alike).
+type Point string
+
+// The injection-point catalog. Each constant documents the layer that
+// consults it and the operation that fails when a fault fires there.
+const (
+	// internal/mmu (dirty-page log): Stage-2/EPT write-protect sweep,
+	// per-round dirty-set drain, and log teardown.
+	PtDirtyEnable  Point = "mmu/dirty-enable"
+	PtDirtyCollect Point = "mmu/dirty-collect"
+	PtDirtyDisable Point = "mmu/dirty-disable"
+
+	// Backends (core, vhe, kvmx86): a KindStuck fault here makes
+	// VCPU.Pause drop the park request on the floor — the stuck-vCPU
+	// scenario the migration park-watchdog must convert to a clean abort.
+	PtVCPUPark Point = "vcpu/park"
+
+	// Backends: SaveDeviceState / RestoreDeviceState failure.
+	PtDeviceSave    Point = "device/save"
+	PtDeviceRestore Point = "device/restore"
+
+	// internal/hv migration engine: the page-copy channel (read side,
+	// payload in flight, write side), the ONE_REG snapshot/restore, the
+	// working-set enumeration, and destination vCPU construction/start.
+	PtPageRead    Point = "migrate/page-read"
+	PtPageData    Point = "migrate/page-data"
+	PtPageWrite   Point = "migrate/page-write"
+	PtRegSave     Point = "migrate/reg-save"
+	PtRegRestore  Point = "migrate/reg-restore"
+	PtMappedPages Point = "migrate/mapped-pages"
+	PtVCPUCreate  Point = "migrate/vcpu-create"
+	PtVCPUStart   Point = "migrate/vcpu-start"
+)
+
+// Points lists the catalog in a stable order (table-driven tests and the
+// fuzzer index into it).
+func Points() []Point {
+	return []Point{
+		PtDirtyEnable, PtDirtyCollect, PtDirtyDisable,
+		PtVCPUPark, PtDeviceSave, PtDeviceRestore,
+		PtPageRead, PtPageData, PtPageWrite,
+		PtRegSave, PtRegRestore, PtMappedPages,
+		PtVCPUCreate, PtVCPUStart,
+	}
+}
+
+// Kind classifies what happens when a fault fires.
+type Kind uint8
+
+const (
+	// KindError makes the consulted operation return an injected error.
+	KindError Kind = iota
+	// KindCorrupt flips deterministic bits in a data payload (a page in
+	// the migration copy channel). Only data points consult it.
+	KindCorrupt
+	// KindStuck makes a vCPU silently ignore pause requests, forever
+	// (sticky once triggered). Only park points consult it.
+	KindStuck
+	// KindDeviceFail makes device save/restore return an injected error;
+	// it behaves like KindError but keeps the device-failure scenario
+	// distinct in logs and tables.
+	KindDeviceFail
+	// NumKinds is the number of fault kinds (fuzzer modulus).
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	KindError:      "error",
+	KindCorrupt:    "corrupt",
+	KindStuck:      "stuck",
+	KindDeviceFail: "device-fail",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Trigger is a firing schedule over a point's hit counter.
+type Trigger struct {
+	// Nth fires on the Nth hit of the point, 1-based. Zero never fires
+	// (unless Every is set).
+	Nth uint64
+	// Every additionally fires on every Every-th hit at or after Nth
+	// (Nth, Nth+Every, Nth+2*Every, ...). Zero means fire only once.
+	Every uint64
+}
+
+// OnNth fires exactly once, on the n-th hit.
+func OnNth(n uint64) Trigger { return Trigger{Nth: n} }
+
+// EveryNth fires on every n-th hit (n, 2n, 3n, ...).
+func EveryNth(n uint64) Trigger { return Trigger{Nth: n, Every: n} }
+
+// fires reports whether the schedule selects hit number h (1-based).
+func (tr Trigger) fires(h uint64) bool {
+	if tr.Nth == 0 && tr.Every == 0 {
+		return false
+	}
+	nth := tr.Nth
+	if nth == 0 {
+		nth = tr.Every
+	}
+	if h == nth {
+		return true
+	}
+	return tr.Every != 0 && h > nth && (h-nth)%tr.Every == 0
+}
+
+// InjectedError is the error value an injected KindError / KindDeviceFail
+// fault produces. Callers classify with errors.As / IsInjected.
+type InjectedError struct {
+	Point Point
+	Kind  Kind
+	// Hit is the 1-based hit count at which the fault fired.
+	Hit uint64
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s (hit %d)", e.Kind, e.Point, e.Hit)
+}
+
+// IsInjected reports whether err is (or wraps) an injected fault.
+func IsInjected(err error) bool {
+	for err != nil {
+		if _, ok := err.(*InjectedError); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Injection is one fired fault, recorded in the plane's log.
+type Injection struct {
+	Point Point
+	Kind  Kind
+	Hit   uint64
+}
+
+// rule is one armed fault.
+type rule struct {
+	trig    Trigger
+	kind    Kind
+	latched bool // KindStuck stays on once triggered
+}
+
+// Plane is the injection plane: armed rules, per-point hit counters, and
+// the log of fired injections. The zero value is not usable; call New. A
+// nil *Plane is the valid "injection off" state — every method no-ops on
+// a nil receiver, so consult sites cost one branch when no plane is
+// attached.
+type Plane struct {
+	mu   sync.Mutex
+	seed uint64
+
+	rules    map[Point][]*rule
+	hits     map[Point]uint64
+	log      []Injection
+	suppress int
+
+	// Tracer, when set, receives an EvFaultInjected event per fired
+	// fault (Arg is the Kind, Cycles the hit count).
+	Tracer *trace.Tracer
+}
+
+// New creates an empty plane. The seed feeds the corruption generator so
+// corrupted payloads are reproducible run to run.
+func New(seed uint64) *Plane {
+	return &Plane{
+		seed:  seed,
+		rules: map[Point][]*rule{},
+		hits:  map[Point]uint64{},
+	}
+}
+
+// Arm installs a fault of kind k at point pt on schedule tr. Multiple
+// rules may be armed at one point; each keeps its own latch but they
+// share the point's hit counter.
+func (p *Plane) Arm(pt Point, tr Trigger, k Kind) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.rules[pt] = append(p.rules[pt], &rule{trig: tr, kind: k})
+	p.mu.Unlock()
+}
+
+// Disarm removes every armed rule, keeping hit counters and the log (a
+// test disarms the plane before verifying recovery so the verification
+// path runs clean).
+func (p *Plane) Disarm() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.rules = map[Point][]*rule{}
+	p.mu.Unlock()
+}
+
+// Suppress runs fn with injection disabled — the rollback path runs the
+// same fallible operations as the forward path, and would otherwise trip
+// over its own injected faults. Nested suppression is allowed.
+func (p *Plane) Suppress(fn func()) {
+	if p == nil {
+		fn()
+		return
+	}
+	p.mu.Lock()
+	p.suppress++
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.suppress--
+		p.mu.Unlock()
+	}()
+	fn()
+}
+
+// Hits returns how many times pt has been consulted.
+func (p *Plane) Hits(pt Point) uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits[pt]
+}
+
+// Injected returns the log of fired injections, in firing order.
+func (p *Plane) Injected() []Injection {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Injection(nil), p.log...)
+}
+
+// consult counts one hit of pt and returns the firing rule whose kind is
+// in accept, or nil. Must be called with p non-nil.
+func (p *Plane) consult(pt Point, accept ...Kind) (*rule, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits[pt]++
+	h := p.hits[pt]
+	if p.suppress > 0 {
+		return nil, h
+	}
+	for _, r := range p.rules[pt] {
+		ok := false
+		for _, k := range accept {
+			if r.kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if r.latched || r.trig.fires(h) {
+			if r.kind == KindStuck {
+				r.latched = true
+			}
+			p.log = append(p.log, Injection{Point: pt, Kind: r.kind, Hit: h})
+			p.Tracer.Emit(trace.Event{
+				Kind: trace.EvFaultInjected, VCPU: -1, CPU: -1,
+				Arg: uint64(r.kind), Cycles: h,
+			})
+			return r, h
+		}
+	}
+	return nil, h
+}
+
+// Fail consults pt for error-return faults (KindError, KindDeviceFail)
+// and returns the injected error if one fires, nil otherwise.
+func (p *Plane) Fail(pt Point) error {
+	if p == nil {
+		return nil
+	}
+	r, h := p.consult(pt, KindError, KindDeviceFail)
+	if r == nil {
+		return nil
+	}
+	return &InjectedError{Point: pt, Kind: r.kind, Hit: h}
+}
+
+// Corrupt consults pt for a KindCorrupt fault and, if one fires, flips a
+// deterministic bit of data (derived from the plane seed and hit count).
+// It reports whether the payload was mutated.
+func (p *Plane) Corrupt(pt Point, data []byte) bool {
+	if p == nil || len(data) == 0 {
+		return false
+	}
+	r, h := p.consult(pt, KindCorrupt)
+	if r == nil {
+		return false
+	}
+	x := xorshift(p.seed ^ (h * 0x9E3779B97F4A7C15))
+	data[x%uint64(len(data))] ^= 1 << (x >> 17 % 8)
+	return true
+}
+
+// Stuck consults pt for a KindStuck fault: true means the caller must
+// drop the pause request. Stuck faults latch — once fired, every
+// subsequent hit also reports stuck (the vCPU stays un-pauseable).
+func (p *Plane) Stuck(pt Point) bool {
+	if p == nil {
+		return false
+	}
+	r, _ := p.consult(pt, KindStuck)
+	return r != nil
+}
+
+// xorshift is the xorshift64* deterministic bit mixer.
+func xorshift(x uint64) uint64 {
+	if x == 0 {
+		x = 0x2545F4914F6CDD1D
+	}
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	return x * 0x2545F4914F6CDD1D
+}

@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"kvmarm/internal/trace"
+)
+
+// A nil plane is the valid "off" state: every method must no-op.
+func TestNilPlane(t *testing.T) {
+	var p *Plane
+	if err := p.Fail(PtPageRead); err != nil {
+		t.Fatalf("nil plane injected an error: %v", err)
+	}
+	if p.Corrupt(PtPageData, []byte{1, 2, 3}) {
+		t.Fatal("nil plane corrupted data")
+	}
+	if p.Stuck(PtVCPUPark) {
+		t.Fatal("nil plane reported stuck")
+	}
+	p.Arm(PtPageRead, OnNth(1), KindError)
+	p.Disarm()
+	if p.Hits(PtPageRead) != 0 || p.Injected() != nil {
+		t.Fatal("nil plane has state")
+	}
+	ran := false
+	p.Suppress(func() { ran = true })
+	if !ran {
+		t.Fatal("nil plane Suppress did not run fn")
+	}
+}
+
+func TestTriggerSchedules(t *testing.T) {
+	cases := []struct {
+		name  string
+		tr    Trigger
+		fires []uint64 // hits (1-based) the schedule selects, within 1..12
+	}{
+		{"never", Trigger{}, nil},
+		{"on-3rd", OnNth(3), []uint64{3}},
+		{"every-4th", EveryNth(4), []uint64{4, 8, 12}},
+		{"from-2-every-5", Trigger{Nth: 2, Every: 5}, []uint64{2, 7, 12}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := map[uint64]bool{}
+			for _, h := range tc.fires {
+				want[h] = true
+			}
+			for h := uint64(1); h <= 12; h++ {
+				if got := tc.tr.fires(h); got != want[h] {
+					t.Errorf("hit %d: fires=%v, want %v", h, got, want[h])
+				}
+			}
+		})
+	}
+}
+
+func TestFailSchedule(t *testing.T) {
+	p := New(1)
+	p.Arm(PtDeviceSave, OnNth(2), KindDeviceFail)
+	if err := p.Fail(PtDeviceSave); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	err := p.Fail(PtDeviceSave)
+	if err == nil {
+		t.Fatal("hit 2 did not fire")
+	}
+	if !IsInjected(err) {
+		t.Fatalf("IsInjected(%v) = false", err)
+	}
+	if !IsInjected(fmt.Errorf("wrapped: %w", err)) {
+		t.Fatal("IsInjected does not see through wrapping")
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != PtDeviceSave || ie.Kind != KindDeviceFail || ie.Hit != 2 {
+		t.Fatalf("bad injected error: %+v", ie)
+	}
+	if err := p.Fail(PtDeviceSave); err != nil {
+		t.Fatalf("OnNth fired twice: %v", err)
+	}
+	log := p.Injected()
+	if len(log) != 1 || log[0] != (Injection{Point: PtDeviceSave, Kind: KindDeviceFail, Hit: 2}) {
+		t.Fatalf("log = %+v", log)
+	}
+	if p.Hits(PtDeviceSave) != 3 {
+		t.Fatalf("hits = %d, want 3", p.Hits(PtDeviceSave))
+	}
+}
+
+// Kinds only fire at consult sites that accept them: a corrupt rule never
+// turns a Fail site into an error, and vice versa.
+func TestKindSelectivity(t *testing.T) {
+	p := New(1)
+	p.Arm(PtPageData, EveryNth(1), KindError)
+	if p.Corrupt(PtPageData, []byte{0}) {
+		t.Fatal("Corrupt fired a KindError rule")
+	}
+	p.Arm(PtPageRead, EveryNth(1), KindCorrupt)
+	if err := p.Fail(PtPageRead); err != nil {
+		t.Fatalf("Fail fired a KindCorrupt rule: %v", err)
+	}
+	p.Arm(PtVCPUPark, EveryNth(1), KindError)
+	if p.Stuck(PtVCPUPark) {
+		t.Fatal("Stuck fired a KindError rule")
+	}
+}
+
+// Corruption is deterministic in (seed, hit count) and actually mutates.
+func TestCorruptDeterministic(t *testing.T) {
+	mutate := func(seed uint64) [2][8]byte {
+		p := New(seed)
+		p.Arm(PtPageData, EveryNth(1), KindCorrupt)
+		var out [2][8]byte
+		for i := range out {
+			if !p.Corrupt(PtPageData, out[i][:]) {
+				t.Fatal("EveryNth(1) corrupt did not fire")
+			}
+			if out[i] == ([8]byte{}) {
+				t.Fatal("corrupt fired but payload unchanged")
+			}
+		}
+		return out
+	}
+	a, b := mutate(42), mutate(42)
+	if a != b {
+		t.Fatalf("same seed, different corruption: %v vs %v", a, b)
+	}
+	if a[0] == a[1] {
+		t.Fatal("consecutive hits corrupted identically (hit count not mixed in)")
+	}
+}
+
+// KindStuck latches: once fired, every later consult reports stuck.
+func TestStuckLatches(t *testing.T) {
+	p := New(1)
+	p.Arm(PtVCPUPark, OnNth(2), KindStuck)
+	if p.Stuck(PtVCPUPark) {
+		t.Fatal("hit 1 stuck early")
+	}
+	for i := 0; i < 3; i++ {
+		if !p.Stuck(PtVCPUPark) {
+			t.Fatalf("hit %d not stuck after latch", i+2)
+		}
+	}
+}
+
+// Suppress masks firing (rollback safety) but keeps counting hits; it
+// nests, and rules survive it — unlike Disarm, which removes them.
+func TestSuppressAndDisarm(t *testing.T) {
+	p := New(1)
+	p.Arm(PtDirtyDisable, EveryNth(1), KindError)
+	p.Suppress(func() {
+		if err := p.Fail(PtDirtyDisable); err != nil {
+			t.Fatalf("fault fired under suppression: %v", err)
+		}
+		p.Suppress(func() {
+			if err := p.Fail(PtDirtyDisable); err != nil {
+				t.Fatalf("fault fired under nested suppression: %v", err)
+			}
+		})
+	})
+	if p.Hits(PtDirtyDisable) != 2 {
+		t.Fatalf("suppressed hits not counted: %d", p.Hits(PtDirtyDisable))
+	}
+	if err := p.Fail(PtDirtyDisable); err == nil {
+		t.Fatal("rule did not survive suppression")
+	}
+	p.Disarm()
+	if err := p.Fail(PtDirtyDisable); err != nil {
+		t.Fatalf("rule survived Disarm: %v", err)
+	}
+	if p.Hits(PtDirtyDisable) != 4 {
+		t.Fatalf("Disarm reset hit counters: %d", p.Hits(PtDirtyDisable))
+	}
+}
+
+// Every fired injection emits one EvFaultInjected trace event.
+func TestTraceEmission(t *testing.T) {
+	p := New(1)
+	p.Tracer = trace.New(16)
+	p.Arm(PtPageWrite, OnNth(1), KindError)
+	if err := p.Fail(PtPageWrite); err == nil {
+		t.Fatal("fault did not fire")
+	}
+	if got := p.Tracer.Count(trace.EvFaultInjected); got != 1 {
+		t.Fatalf("EvFaultInjected count = %d, want 1", got)
+	}
+}
+
+// The catalog is stable and covers every Pt constant exactly once.
+func TestPointsCatalog(t *testing.T) {
+	pts := Points()
+	seen := map[Point]bool{}
+	for _, pt := range pts {
+		if seen[pt] {
+			t.Fatalf("duplicate catalog entry %q", pt)
+		}
+		seen[pt] = true
+	}
+	for _, pt := range []Point{
+		PtDirtyEnable, PtDirtyCollect, PtDirtyDisable, PtVCPUPark,
+		PtDeviceSave, PtDeviceRestore, PtPageRead, PtPageData, PtPageWrite,
+		PtRegSave, PtRegRestore, PtMappedPages, PtVCPUCreate, PtVCPUStart,
+	} {
+		if !seen[pt] {
+			t.Fatalf("catalog missing %q", pt)
+		}
+	}
+}
+
+// The plane is safe under concurrent consults (exercised with -race in
+// tier 1); counts are not lost.
+func TestConcurrentConsults(t *testing.T) {
+	p := New(1)
+	p.Arm(PtPageRead, EveryNth(10), KindError)
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := p.Fail(PtPageRead); err != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Hits(PtPageRead); got != workers*per {
+		t.Fatalf("hits = %d, want %d", got, workers*per)
+	}
+	if fired != workers*per/10 {
+		t.Fatalf("fired = %d, want %d", fired, workers*per/10)
+	}
+	if len(p.Injected()) != fired {
+		t.Fatalf("log length %d != fired %d", len(p.Injected()), fired)
+	}
+}

@@ -23,6 +23,7 @@ package hv
 import (
 	"kvmarm/internal/arm"
 	"kvmarm/internal/dev"
+	"kvmarm/internal/fault"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/trace"
 )
@@ -40,6 +41,15 @@ type Hypervisor interface {
 	AttachTracer(t *trace.Tracer)
 	// Tracer returns the currently attached tracer (nil when off).
 	Tracer() *trace.Tracer
+	// AttachFaultPlane wires the deterministic fault-injection plane
+	// (internal/fault) into the backend's injection points: the Stage-2/
+	// EPT dirty-log operations, vCPU park requests, and device
+	// save/restore. Existing VMs are re-wired too; nil detaches. A
+	// harness driving a migration attaches the same plane to the source
+	// backend, the destination backend, and MigrateOptions.Fault.
+	AttachFaultPlane(p *fault.Plane)
+	// FaultPlane returns the currently attached plane (nil when off).
+	FaultPlane() *fault.Plane
 	// VMs lists the created VMs.
 	VMs() []VM
 	// Counters exposes the backend's hypervisor-level statistics under

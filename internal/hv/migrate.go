@@ -1,8 +1,11 @@
 package hv
 
 import (
+	"errors"
 	"fmt"
 
+	"kvmarm/internal/fault"
+	"kvmarm/internal/kernel"
 	"kvmarm/internal/mmu"
 	"kvmarm/internal/trace"
 )
@@ -24,6 +27,17 @@ import (
 //	restore  - snapshot every vCPU via SaveAllRegs, rebuild it on the
 //	           destination via RestoreAllRegs, move the device state.
 //	resume   - start the destination vCPU threads; downtime window closes.
+//
+// The engine is transactional: every error path runs a rollback that
+// stops the dirty log (no source page is left write-protected), restores
+// the source's device snapshot if one was taken (SaveDeviceState drains
+// list registers — the snapshot re-stages them), tears down every
+// destination vCPU including already-started threads, and resumes exactly
+// the source vCPUs this migration paused. "On failure the source is
+// intact" is the tested contract, not a comment. A park-watchdog in the
+// stop phase converts a vCPU that keeps running after its pause request
+// (e.g. an injected fault.KindStuck) into a clean StuckVCPUError instead
+// of a silent budget exhaustion.
 
 // Modeled costs charged to the destination's CPU 0 for work performed
 // inside the downtime window (the stop-and-copy transfer and the state
@@ -36,6 +50,69 @@ const (
 	// MigrateDeviceCycles models the device-state save/restore pass.
 	MigrateDeviceCycles = 2000
 )
+
+// Park-watchdog tuning.
+const (
+	// ParkStuckExits is how many guest exits a vCPU may take after its
+	// pause request before the watchdog declares it stuck: a healthy
+	// vCPU parks at its very next exit, so dozens of further exits mean
+	// the request was lost, not that the guest is slow. (A vCPU taking
+	// no exits — blocked in WFI — is not stuck; it parks on wake.)
+	ParkStuckExits = 64
+	// rollbackReapBudget is the destination board-step budget for
+	// already-started vCPU threads to observe their shutdown and exit.
+	rollbackReapBudget = 100_000
+)
+
+// ErrMigrateTransient marks failures of the migration copy channel — an
+// injected read/write fault or a payload checksum mismatch — that a
+// retry with a fresh destination has a real chance of clearing.
+// MigrateWithRetry re-attempts errors matching errors.Is against it.
+var ErrMigrateTransient = errors.New("hv: transient migration copy fault")
+
+// BudgetError reports a migration budget exhausted: the source vCPUs did
+// not park within PauseBudget ("park"), or pre-copy did not converge
+// below MaxFinalPages within its rounds ("precopy"). MigrateWithRetry
+// widens the corresponding budget and retries.
+type BudgetError struct {
+	Phase  string
+	Budget uint64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("hv: migration %s budget (%d) exhausted", e.Phase, e.Budget)
+}
+
+// StuckVCPUError reports the park-watchdog's verdict: a vCPU kept taking
+// exits after its pause request without ever parking. This is a clean,
+// permanent abort — retrying cannot help a vCPU that ignores pauses.
+type StuckVCPUError struct {
+	VCPU int
+	// Exits counts the guest exits the vCPU took after the pause request.
+	Exits uint64
+}
+
+func (e *StuckVCPUError) Error() string {
+	return fmt.Sprintf("hv: migration aborted: vCPU %d stuck un-pauseable (%d exits after pause request)", e.VCPU, e.Exits)
+}
+
+// AbortError wraps a migration failure after rollback ran. Unwrap yields
+// the original cause, so errors.Is/As classification sees through it.
+type AbortError struct {
+	Cause error
+	// RollbackErr is non-nil when the rollback itself hit an error; the
+	// source may then not be fully intact.
+	RollbackErr error
+}
+
+func (e *AbortError) Error() string {
+	if e.RollbackErr != nil {
+		return fmt.Sprintf("hv: migration aborted: %v (rollback incomplete: %v)", e.Cause, e.RollbackErr)
+	}
+	return fmt.Sprintf("hv: migration aborted: %v (source rolled back)", e.Cause)
+}
+
+func (e *AbortError) Unwrap() error { return e.Cause }
 
 // MigrateOptions tunes a migration.
 type MigrateOptions struct {
@@ -55,8 +132,21 @@ type MigrateOptions struct {
 	// PauseBudget is the source-board step budget for parking every
 	// vCPU (default 200000).
 	PauseBudget uint64
-	// Tracer receives the phase/round events (nil: tracing off).
+	// MaxFinalPages, when positive, is the convergence bound: if the
+	// last pre-copy round still dirtied more pages than this, the
+	// migration aborts with a BudgetError before opening the downtime
+	// window (the stop-and-copy round would blow the downtime target).
+	// Zero disables the check.
+	MaxFinalPages int
+	// Tracer receives the phase/round/abort events (nil: tracing off).
 	Tracer *trace.Tracer
+	// Fault is the fault-injection plane consulted at the engine's own
+	// injection points (page copy channel, register snapshot, vCPU
+	// construction). Attach the same plane to the source and destination
+	// backends so backend-level points (dirty log, device state, vCPU
+	// park) share its schedule and its rollback suppression. Nil:
+	// injection off, zero overhead.
+	Fault *fault.Plane
 	// ConfigureVCPU installs host-side guest software (the PL1 handler /
 	// runner pair) on each destination vCPU before it starts: software
 	// contexts are host objects and do not travel with the register
@@ -84,6 +174,12 @@ type MigrateResult struct {
 	// DowntimeCycles is the pause-to-resume window: PauseWaitCycles +
 	// TransferCycles.
 	DowntimeCycles uint64
+	// Attempts is the number of migration attempts this result took: 1
+	// for a first-try success, more when MigrateWithRetry re-ran it.
+	Attempts int
+	// BackoffCycles is the total source-board time MigrateWithRetry
+	// spent backing off between attempts (0 for a first-try success).
+	BackoffCycles uint64
 }
 
 func (o *MigrateOptions) withDefaults() MigrateOptions {
@@ -103,28 +199,143 @@ func (o *MigrateOptions) withDefaults() MigrateOptions {
 	return opts
 }
 
+// migrateTxn tracks what a migration has touched, so rollback can unwind
+// exactly that and nothing else.
+type migrateTxn struct {
+	src, dst     *Env
+	srcVM, dstVM VM
+	opts         *MigrateOptions
+	// dirtyLog records that StartDirtyLog succeeded on the source.
+	dirtyLog bool
+	// paused lists the source vCPUs this migration paused (not ones the
+	// caller had already parked).
+	paused []VCPU
+	// devState is the device snapshot taken from the source, if any.
+	// SaveDeviceState drains list-register state into the software
+	// model, so a rollback must restore the snapshot to re-stage it.
+	devState *DeviceState
+	// started lists destination vCPU threads already running.
+	started []*kernel.Proc
+}
+
+// suppressed runs fn with every fault plane in scope suppressed, so the
+// rollback path does not trip over the very faults it is recovering from.
+func (tx *migrateTxn) suppressed(fn func()) {
+	planes := []*fault.Plane{tx.opts.Fault, tx.src.HV.FaultPlane(), tx.dst.HV.FaultPlane()}
+	var call func(i int)
+	call = func(i int) {
+		if i == len(planes) {
+			fn()
+			return
+		}
+		planes[i].Suppress(func() { call(i + 1) })
+	}
+	call(0)
+}
+
+// rollback unwinds a failed migration: stop the dirty log, tear down the
+// destination (threads included), restore the source's device snapshot,
+// resume the paused source vCPUs. Returns the first errors it could not
+// recover from (joined), nil for a complete rollback.
+func (tx *migrateTxn) rollback() error {
+	var errs []error
+	tx.suppressed(func() {
+		// Dirty log first: no source page may stay write-protected, or
+		// the "intact" source takes permission faults forever after.
+		if tx.dirtyLog {
+			if err := tx.srcVM.StopDirtyLog(); err != nil {
+				errs = append(errs, fmt.Errorf("hv: rollback: stopping dirty log: %w", err))
+			}
+		}
+		// Destination teardown: shut down every created vCPU. Wake
+		// before Shutdown — a thread blocked in guest WFI/HLT would
+		// otherwise sleep through the state change and linger forever.
+		for _, dv := range tx.dstVM.VCPUs() {
+			dv.Wake(0)
+			dv.Shutdown()
+		}
+		if len(tx.started) > 0 {
+			reaped := func() bool {
+				for _, p := range tx.started {
+					if p.State != kernel.ProcDead {
+						return false
+					}
+				}
+				return true
+			}
+			if !tx.dst.Board.Run(rollbackReapBudget, reaped) {
+				errs = append(errs, errors.New("hv: rollback: destination vCPU threads did not exit"))
+			}
+		}
+		// Source device state: re-install the snapshot so interrupts
+		// drained out of list registers are re-staged before resume.
+		if tx.devState != nil {
+			if err := tx.srcVM.RestoreDeviceState(tx.devState); err != nil {
+				errs = append(errs, fmt.Errorf("hv: rollback: restoring source device state: %w", err))
+			}
+		}
+		// Resume exactly the vCPUs this migration paused.
+		for _, v := range tx.paused {
+			if v.Paused() {
+				v.Resume()
+			}
+		}
+	})
+	return errors.Join(errs...)
+}
+
+// payloadSum is the copy channel's checksum: a corrupted page payload (an
+// injected fault.KindCorrupt) is detected on "receive", like a real
+// migration stream's framing would.
+func payloadSum(data []byte) uint64 {
+	var s uint64
+	for i, b := range data {
+		s += uint64(b) * uint64(i+1)
+	}
+	return s
+}
+
 // Migrate moves the running VM srcVM on src to the freshly created (no
 // vCPUs yet) dstVM on dst. On success the source VM is left paused and
 // the destination VM is running (vCPU threads started); the source board
-// must not be stepped again for this VM. On failure the source may be
-// paused but is otherwise intact.
+// must not be stepped again for this VM. On failure the migration is
+// rolled back — dirty log stopped, destination vCPUs (and any started
+// threads) torn down, source device state restored, paused source vCPUs
+// resumed — and the returned error is an *AbortError wrapping the cause.
 func Migrate(src *Env, srcVM VM, dst *Env, dstVM VM, o MigrateOptions) (*MigrateResult, error) {
 	opts := o.withDefaults()
 	if len(dstVM.VCPUs()) != 0 {
 		return nil, fmt.Errorf("hv: migration destination already has vCPUs")
 	}
-	res := &MigrateResult{}
+	tx := &migrateTxn{src: src, dst: dst, srcVM: srcVM, dstVM: dstVM, opts: &opts}
+	res := &MigrateResult{Attempts: 1}
 	phase := func(p uint64) {
 		opts.Tracer.Emit(trace.Event{Kind: trace.EvMigratePhase, VM: srcVM.ID(), VCPU: -1, CPU: -1, Arg: p})
 	}
 	round := func(pages int) {
 		opts.Tracer.Emit(trace.Event{Kind: trace.EvMigrateRound, VM: srcVM.ID(), VCPU: -1, CPU: -1, Arg: uint64(pages)})
 	}
+	fail := func(cause error, reason uint64) (*MigrateResult, error) {
+		opts.Tracer.Emit(trace.Event{Kind: trace.EvMigrateAbort, VM: srcVM.ID(), VCPU: -1, CPU: -1, Arg: reason})
+		return nil, &AbortError{Cause: cause, RollbackErr: tx.rollback()}
+	}
 	copyPages := func(pages []uint64) error {
 		for _, p := range pages {
+			if err := opts.Fault.Fail(fault.PtPageRead); err != nil {
+				return fmt.Errorf("hv: migration read of page %#x: %w: %w", p, ErrMigrateTransient, err)
+			}
 			data, err := srcVM.ReadGuestMem(p, mmu.PageSize)
 			if err != nil {
 				return fmt.Errorf("hv: migration read of page %#x: %w", p, err)
+			}
+			if opts.Fault != nil {
+				sum := payloadSum(data)
+				if opts.Fault.Corrupt(fault.PtPageData, data) && payloadSum(data) != sum {
+					return fmt.Errorf("hv: migration payload of page %#x failed checksum: %w", p, ErrMigrateTransient)
+				}
+			}
+			if err := opts.Fault.Fail(fault.PtPageWrite); err != nil {
+				return fmt.Errorf("hv: migration write of page %#x: %w: %w", p, ErrMigrateTransient, err)
 			}
 			if err := dstVM.WriteGuestMem(p, data); err != nil {
 				return fmt.Errorf("hv: migration write of page %#x: %w", p, err)
@@ -132,19 +343,27 @@ func Migrate(src *Env, srcVM VM, dst *Env, dstVM VM, o MigrateOptions) (*Migrate
 		}
 		return nil
 	}
+	mappedPages := func() ([]uint64, error) {
+		if err := opts.Fault.Fail(fault.PtMappedPages); err != nil {
+			return nil, err
+		}
+		return srcVM.MappedPages()
+	}
 
 	// Pre-copy: full transfer plus dirty-log rounds, guest still running.
+	lastDirty := 0
 	if opts.Precopy {
 		phase(trace.MigratePhasePrecopy)
 		if _, err := srcVM.StartDirtyLog(); err != nil {
-			return nil, err
+			return fail(err, trace.MigrateAbortError)
 		}
-		full, err := srcVM.MappedPages()
+		tx.dirtyLog = true
+		full, err := mappedPages()
 		if err != nil {
-			return nil, err
+			return fail(err, trace.MigrateAbortError)
 		}
 		if err := copyPages(full); err != nil {
-			return nil, err
+			return fail(err, trace.MigrateAbortError)
 		}
 		res.PagesPrecopied += len(full)
 		res.Rounds++
@@ -153,41 +372,77 @@ func Migrate(src *Env, srcVM VM, dst *Env, dstVM VM, o MigrateOptions) (*Migrate
 			src.Board.Run(opts.RoundBudget, nil)
 			dirty, err := srcVM.FetchDirtyLog()
 			if err != nil {
-				return nil, err
+				return fail(err, trace.MigrateAbortError)
 			}
 			if len(dirty) == 0 {
+				lastDirty = 0
 				break
 			}
 			if err := copyPages(dirty); err != nil {
-				return nil, err
+				return fail(err, trace.MigrateAbortError)
 			}
 			res.PagesPrecopied += len(dirty)
 			res.Rounds++
 			round(len(dirty))
+			lastDirty = len(dirty)
 			if len(dirty) <= opts.StopThreshold {
 				break
 			}
 		}
+		if opts.MaxFinalPages > 0 && lastDirty > opts.MaxFinalPages {
+			return fail(&BudgetError{Phase: "precopy", Budget: uint64(opts.MaxFinalPages)}, trace.MigrateAbortBudget)
+		}
 	}
 
-	// Stop: park every vCPU; the downtime window opens here.
+	// Stop: park every vCPU; the downtime window opens here. The park
+	// watchdog rides the wait predicate: a vCPU that keeps taking exits
+	// after its pause request has lost the request and will never park —
+	// abort cleanly instead of burning the whole budget waiting for it.
 	phase(trace.MigratePhaseStop)
 	pauseStart := src.Board.Now()
-	for _, v := range srcVM.VCPUs() {
-		if v.State() != "shutdown" {
+	srcCPUs := srcVM.VCPUs()
+	exitsAtPause := make([]uint64, len(srcCPUs))
+	for i, v := range srcCPUs {
+		if v.State() == "shutdown" {
+			continue
+		}
+		exitsAtPause[i] = v.ExitStats().Exits
+		if !v.Paused() {
 			v.Pause()
+			tx.paused = append(tx.paused, v)
 		}
 	}
 	parked := func() bool {
-		for _, v := range srcVM.VCPUs() {
+		for _, v := range srcCPUs {
 			if !v.Paused() && v.State() != "shutdown" {
 				return false
 			}
 		}
 		return true
 	}
-	if !src.Board.Run(opts.PauseBudget, parked) {
-		return nil, fmt.Errorf("hv: migration source vCPUs did not park within %d steps", opts.PauseBudget)
+	stuck := -1
+	watch := func() bool {
+		if parked() {
+			return true
+		}
+		for i, v := range srcCPUs {
+			if v.Paused() || v.State() == "shutdown" {
+				continue
+			}
+			if v.ExitStats().Exits-exitsAtPause[i] >= ParkStuckExits {
+				stuck = i
+				return true
+			}
+		}
+		return false
+	}
+	src.Board.Run(opts.PauseBudget, watch)
+	if stuck >= 0 {
+		v := srcCPUs[stuck]
+		return fail(&StuckVCPUError{VCPU: v.VCPUID(), Exits: v.ExitStats().Exits - exitsAtPause[stuck]}, trace.MigrateAbortStuck)
+	}
+	if !parked() {
+		return fail(&BudgetError{Phase: "park", Budget: opts.PauseBudget}, trace.MigrateAbortBudget)
 	}
 	res.PauseWaitCycles = src.Board.Now() - pauseStart
 
@@ -196,42 +451,51 @@ func Migrate(src *Env, srcVM VM, dst *Env, dstVM VM, o MigrateOptions) (*Migrate
 	var err error
 	if opts.Precopy {
 		if final, err = srcVM.FetchDirtyLog(); err != nil {
-			return nil, err
+			return fail(err, trace.MigrateAbortError)
 		}
 		if err := srcVM.StopDirtyLog(); err != nil {
-			return nil, err
+			return fail(err, trace.MigrateAbortError)
 		}
+		tx.dirtyLog = false
 	} else {
-		if final, err = srcVM.MappedPages(); err != nil {
-			return nil, err
+		if final, err = mappedPages(); err != nil {
+			return fail(err, trace.MigrateAbortError)
 		}
 	}
 	if err := copyPages(final); err != nil {
-		return nil, err
+		return fail(err, trace.MigrateAbortError)
 	}
 	res.PagesFinal = len(final)
 	round(len(final))
-	mapped, err := srcVM.MappedPages()
+	mapped, err := mappedPages()
 	if err != nil {
-		return nil, err
+		return fail(err, trace.MigrateAbortError)
 	}
 	res.PagesTotal = len(mapped)
 
 	// Restore: registers, then device state, onto fresh destination vCPUs.
 	phase(trace.MigratePhaseRestore)
 	regWrites := 0
-	srcCPUs := srcVM.VCPUs()
 	for i, sv := range srcCPUs {
+		if err := opts.Fault.Fail(fault.PtRegSave); err != nil {
+			return fail(fmt.Errorf("hv: saving vCPU %d: %w", i, err), trace.MigrateAbortError)
+		}
 		snap, err := SaveAllRegs(sv)
 		if err != nil {
-			return nil, fmt.Errorf("hv: saving vCPU %d: %w", i, err)
+			return fail(fmt.Errorf("hv: saving vCPU %d: %w", i, err), trace.MigrateAbortError)
+		}
+		if err := opts.Fault.Fail(fault.PtVCPUCreate); err != nil {
+			return fail(err, trace.MigrateAbortError)
 		}
 		dv, err := dstVM.CreateVCPU(i)
 		if err != nil {
-			return nil, err
+			return fail(err, trace.MigrateAbortError)
+		}
+		if err := opts.Fault.Fail(fault.PtRegRestore); err != nil {
+			return fail(fmt.Errorf("hv: restoring vCPU %d: %w", i, err), trace.MigrateAbortError)
 		}
 		if err := RestoreAllRegs(dv, snap); err != nil {
-			return nil, fmt.Errorf("hv: restoring vCPU %d: %w", i, err)
+			return fail(fmt.Errorf("hv: restoring vCPU %d: %w", i, err), trace.MigrateAbortError)
 		}
 		regWrites += len(snap)
 		if opts.ConfigureVCPU != nil {
@@ -240,10 +504,11 @@ func Migrate(src *Env, srcVM VM, dst *Env, dstVM VM, o MigrateOptions) (*Migrate
 	}
 	st, err := srcVM.SaveDeviceState()
 	if err != nil {
-		return nil, err
+		return fail(err, trace.MigrateAbortError)
 	}
+	tx.devState = st
 	if err := dstVM.RestoreDeviceState(st); err != nil {
-		return nil, err
+		return fail(err, trace.MigrateAbortError)
 	}
 
 	// Resume: start the destination threads; the window closes. Transfer
@@ -261,9 +526,14 @@ func Migrate(src *Env, srcVM VM, dst *Env, dstVM VM, o MigrateOptions) (*Migrate
 			dv.Shutdown()
 			continue
 		}
-		if _, err := dv.StartThread(i); err != nil {
-			return nil, err
+		if err := opts.Fault.Fail(fault.PtVCPUStart); err != nil {
+			return fail(fmt.Errorf("hv: starting destination vCPU %d: %w: %w", i, ErrMigrateTransient, err), trace.MigrateAbortError)
 		}
+		proc, err := dv.StartThread(i)
+		if err != nil {
+			return fail(fmt.Errorf("hv: starting destination vCPU %d: %w", i, err), trace.MigrateAbortError)
+		}
+		tx.started = append(tx.started, proc)
 	}
 	return res, nil
 }

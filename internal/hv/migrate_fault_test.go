@@ -1,0 +1,353 @@
+// Fault-injection conformance for the transactional migration engine:
+// every injection point in the catalog, armed on every relevant backend,
+// must leave the world in exactly one of two states — the destination
+// runs with exact source state, or the migration aborts and the source
+// resumes and completes with unmigrated state. "Mostly migrated" is not
+// a state.
+package hv_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/fault"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/trace"
+)
+
+// faultMatrixBackends are the configurations the matrix runs: all three
+// ARM backends plus the x86 comparator.
+func faultMatrixBackends(t *testing.T) []*hv.Backend {
+	t.Helper()
+	var out []*hv.Backend
+	for _, name := range []string{"ARM", "ARM no VGIC/vtimers", "ARM VHE", "KVM x86 laptop"} {
+		be, ok := hv.Lookup(name)
+		if !ok {
+			t.Fatalf("backend %q not registered", name)
+		}
+		out = append(out, be)
+	}
+	return out
+}
+
+// faultKindFor maps a catalog point to the fault kind its consult site
+// accepts (arming any other kind there is a no-op by design).
+func faultKindFor(pt fault.Point) fault.Kind {
+	switch pt {
+	case fault.PtPageData:
+		return fault.KindCorrupt
+	case fault.PtVCPUPark:
+		return fault.KindStuck
+	case fault.PtDeviceSave, fault.PtDeviceRestore:
+		return fault.KindDeviceFail
+	default:
+		return fault.KindError
+	}
+}
+
+// faultMig is a mid-workload migration setup with one fault plane wired
+// through the source backend, the destination backend and the engine.
+type faultMig struct {
+	plane  *fault.Plane
+	srcEnv *hv.Env
+	srcVM  hv.VM
+	srcV   hv.VCPU
+	dstEnv *hv.Env
+	opts   hv.MigrateOptions
+}
+
+func setupFaultMig(t *testing.T, srcBE, dstBE *hv.Backend, seed uint64) *faultMig {
+	t.Helper()
+	srcEnv, srcVM, srcV := startMigrationGuest(t, srcBE)
+	if _, err := srcV.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	mid := func() bool {
+		step++
+		return step%512 == 0 && guestCount(t, srcVM) >= 60
+	}
+	if !srcEnv.Board.Run(40_000_000, mid) {
+		t.Fatalf("source guest made no progress (count=%d)", guestCount(t, srcVM))
+	}
+	dstEnv, err := dstBE.NewEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := fault.New(seed)
+	srcEnv.HV.AttachFaultPlane(plane)
+	dstEnv.HV.AttachFaultPlane(plane)
+	return &faultMig{
+		plane:  plane,
+		srcEnv: srcEnv,
+		srcVM:  srcVM,
+		srcV:   srcV,
+		dstEnv: dstEnv,
+		opts: hv.MigrateOptions{
+			Precopy:     true,
+			Rounds:      2,
+			RoundBudget: 300,
+			Fault:       plane,
+			ConfigureVCPU: func(id int, v hv.VCPU) {
+				v.SetGuestSoftware(nil, &isa.Interp{})
+			},
+		},
+	}
+}
+
+func (f *faultMig) newDstVM(t *testing.T) hv.VM {
+	t.Helper()
+	vm, err := f.dstEnv.HV.CreateVM(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+// verifyDstTornDown asserts the abort arm's destination half: every
+// destination vCPU is shut down and no vCPU thread stays live.
+func verifyDstTornDown(t *testing.T, dstEnv *hv.Env, dstVM hv.VM) {
+	t.Helper()
+	if !dstEnv.Board.Run(1_000_000, func() bool { return dstEnv.Host.LiveCount() == 0 }) {
+		t.Fatal("destination vCPU threads still live after rollback")
+	}
+	for _, v := range dstVM.VCPUs() {
+		if v.State() != "shutdown" {
+			t.Errorf("destination vCPU %d left in state %q after rollback", v.VCPUID(), v.State())
+		}
+	}
+}
+
+// verifySourceIntact asserts the abort arm's source half: no vCPU left
+// paused, the dirty log off with every page's write access restored (a
+// fresh StartDirtyLog must protect exactly the mapped set), and the
+// workload still runs to completion with unmigrated state.
+func verifySourceIntact(t *testing.T, f *faultMig, baseline *migGuestState) {
+	t.Helper()
+	f.plane.Disarm()
+	for _, v := range f.srcVM.VCPUs() {
+		if v.Paused() {
+			t.Fatalf("source vCPU %d left paused after rollback", v.VCPUID())
+		}
+	}
+	mapped, err := f.srcVM.MappedPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.srcVM.StartDirtyLog()
+	if err != nil {
+		t.Fatalf("dirty log not released by rollback: %v", err)
+	}
+	if n != len(mapped) {
+		t.Fatalf("rollback left write-protected pages: fresh dirty log protected %d of %d mapped pages", n, len(mapped))
+	}
+	if err := f.srcVM.StopDirtyLog(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.srcEnv.Board.Run(80_000_000, func() bool { return f.srcEnv.Host.LiveCount() == 0 }) {
+		t.Fatalf("rolled-back source did not finish (state=%s, count=%d)",
+			f.srcV.State(), guestCount(t, f.srcVM))
+	}
+	compareMigState(t, captureMigState(t, f.srcVM, f.srcV), baseline)
+}
+
+// TestMigrateFaultMatrix arms one fault at every catalog point on every
+// backend (source and destination the same configuration) and checks the
+// binary outcome: the stuck-vCPU point must abort via the park-watchdog's
+// StuckVCPUError, every other point via its injected/transient error, and
+// in all cases the rollback must leave the source able to finish with
+// byte-identical unmigrated state and the destination fully torn down.
+func TestMigrateFaultMatrix(t *testing.T) {
+	baselines := map[string]*migGuestState{}
+	baseline := func(be *hv.Backend) *migGuestState {
+		if baselines[be.Name] == nil {
+			baselines[be.Name] = baselineMigState(t, be)
+		}
+		return baselines[be.Name]
+	}
+	for _, be := range faultMatrixBackends(t) {
+		for _, pt := range fault.Points() {
+			be, pt := be, pt
+			t.Run(fmt.Sprintf("%s at %s", be.Name, pt), func(t *testing.T) {
+				t.Cleanup(runtime.GC)
+				f := setupFaultMig(t, be, be, 0xFA17)
+				kind := faultKindFor(pt)
+				f.plane.Arm(pt, fault.OnNth(1), kind)
+				tr := trace.New(64)
+				f.opts.Tracer = tr
+				f.plane.Tracer = tr
+				dstVM := f.newDstVM(t)
+
+				res, err := hv.Migrate(f.srcEnv, f.srcVM, f.dstEnv, dstVM, f.opts)
+				if err == nil {
+					t.Fatalf("migration succeeded with a %s fault armed at %s (res=%+v)", kind, pt, res)
+				}
+				if len(f.plane.Injected()) == 0 {
+					t.Fatalf("point %s was never consulted: %v", pt, err)
+				}
+				var abort *hv.AbortError
+				if !errors.As(err, &abort) {
+					t.Fatalf("error is not an AbortError: %v", err)
+				}
+				if abort.RollbackErr != nil {
+					t.Fatalf("rollback incomplete: %v", abort.RollbackErr)
+				}
+				var stuckErr *hv.StuckVCPUError
+				if kind == fault.KindStuck {
+					if !errors.As(err, &stuckErr) {
+						t.Fatalf("stuck park fault produced %v, want StuckVCPUError", err)
+					}
+				} else {
+					if errors.As(err, &stuckErr) {
+						t.Fatalf("non-stuck fault at %s misclassified as stuck: %v", pt, err)
+					}
+					if !fault.IsInjected(err) && !errors.Is(err, hv.ErrMigrateTransient) {
+						t.Fatalf("abort cause is neither injected nor transient: %v", err)
+					}
+				}
+				if tr.Count(trace.EvMigrateAbort) != 1 {
+					t.Errorf("EvMigrateAbort count = %d, want 1", tr.Count(trace.EvMigrateAbort))
+				}
+				if tr.Count(trace.EvFaultInjected) == 0 {
+					t.Error("no EvFaultInjected event emitted")
+				}
+
+				verifyDstTornDown(t, f.dstEnv, dstVM)
+				verifySourceIntact(t, f, baseline(be))
+			})
+		}
+	}
+}
+
+// TestMigrateRollbackNoProtectedPages is the focused regression for the
+// dirty-log leak: a migration that fails at the stop phase — after the
+// final dirty set was re-protected but before the log is stopped — must
+// not leave a single source page write-protected. The guest's post-abort
+// stores would otherwise fault forever.
+func TestMigrateRollbackNoProtectedPages(t *testing.T) {
+	be, ok := hv.Lookup("ARM")
+	if !ok {
+		t.Fatal("ARM backend not registered")
+	}
+	base := baselineMigState(t, be)
+	f := setupFaultMig(t, be, be, 1)
+	// StopDirtyLog fails on its first call: the stop-phase teardown,
+	// with the final dirty set still write-protected.
+	f.plane.Arm(fault.PtDirtyDisable, fault.OnNth(1), fault.KindError)
+	dstVM := f.newDstVM(t)
+	if _, err := hv.Migrate(f.srcEnv, f.srcVM, f.dstEnv, dstVM, f.opts); err == nil {
+		t.Fatal("migration succeeded with StopDirtyLog fault armed")
+	}
+	verifyDstTornDown(t, f.dstEnv, dstVM)
+	verifySourceIntact(t, f, base)
+}
+
+// TestMigrateWithRetryTransient: a transient copy-channel fault on the
+// first attempt must be recovered by MigrateWithRetry — the rolled-back
+// source keeps running through the backoff, the second attempt succeeds,
+// and the result reports the attempt count and backoff spent.
+func TestMigrateWithRetryTransient(t *testing.T) {
+	for _, kind := range []fault.Kind{fault.KindError, fault.KindCorrupt} {
+		kind := kind
+		pt := fault.PtPageWrite
+		if kind == fault.KindCorrupt {
+			pt = fault.PtPageData
+		}
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Cleanup(runtime.GC)
+			be, ok := hv.Lookup("ARM")
+			if !ok {
+				t.Fatal("ARM backend not registered")
+			}
+			base := baselineMigState(t, be)
+			f := setupFaultMig(t, be, be, 7)
+			f.plane.Arm(pt, fault.OnNth(10), kind)
+			tr := trace.New(64)
+			f.opts.Tracer = tr
+			factoryCalls := 0
+			res, dstVM, err := hv.MigrateWithRetry(f.srcEnv, f.srcVM, f.dstEnv, func() (hv.VM, error) {
+				factoryCalls++
+				return f.dstEnv.HV.CreateVM(64 << 20)
+			}, f.opts, hv.RetryPolicy{})
+			if err != nil {
+				t.Fatalf("retry did not recover the transient fault: %v", err)
+			}
+			if res.Attempts != 2 || factoryCalls != 2 {
+				t.Fatalf("Attempts = %d, factory calls = %d, want 2 and 2", res.Attempts, factoryCalls)
+			}
+			if res.BackoffCycles == 0 {
+				t.Fatal("BackoffCycles = 0 after a retried attempt")
+			}
+			if tr.Count(trace.EvMigrateRetry) != 1 {
+				t.Errorf("EvMigrateRetry count = %d, want 1", tr.Count(trace.EvMigrateRetry))
+			}
+			dstV := dstVM.VCPUs()[0]
+			if !f.dstEnv.Board.Run(80_000_000, func() bool { return f.dstEnv.Host.LiveCount() == 0 }) {
+				t.Fatalf("migrated guest did not finish (state=%s)", dstV.State())
+			}
+			compareMigState(t, captureMigState(t, dstVM, dstV), base)
+		})
+	}
+}
+
+// TestMigrateWithRetryWidensConvergenceBudget: a pre-copy convergence
+// failure (the last round still dirtied more than MaxFinalPages) is a
+// BudgetError, and the retry loop must widen Rounds and RoundBudget until
+// the workload can converge. The guest dirties at least two pages per
+// round while it runs, so MaxFinalPages=1 cannot converge until the
+// widened rounds outlast the workload.
+func TestMigrateWithRetryWidensConvergenceBudget(t *testing.T) {
+	be, ok := hv.Lookup("ARM")
+	if !ok {
+		t.Fatal("ARM backend not registered")
+	}
+	base := baselineMigState(t, be)
+	f := setupFaultMig(t, be, be, 3)
+	f.opts.MaxFinalPages = 1
+	res, dstVM, err := hv.MigrateWithRetry(f.srcEnv, f.srcVM, f.dstEnv, func() (hv.VM, error) {
+		return f.dstEnv.HV.CreateVM(64 << 20)
+	}, f.opts, hv.RetryPolicy{Attempts: 10, BackoffCycles: 100})
+	if err != nil {
+		t.Fatalf("retry never widened the pre-copy budget to convergence: %v", err)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("Attempts = %d, want at least one widening retry", res.Attempts)
+	}
+	if res.BackoffCycles == 0 {
+		t.Fatal("BackoffCycles = 0 after widening retries")
+	}
+	if !f.dstEnv.Board.Run(80_000_000, func() bool { return f.dstEnv.Host.LiveCount() == 0 }) {
+		t.Fatal("migrated guest did not finish")
+	}
+	compareMigState(t, captureMigState(t, dstVM, dstVM.VCPUs()[0]), base)
+}
+
+// TestMigrateWithRetryStuckIsPermanent: the park-watchdog's verdict must
+// not be retried — a vCPU that ignores pause requests will ignore them on
+// every attempt.
+func TestMigrateWithRetryStuckIsPermanent(t *testing.T) {
+	be, ok := hv.Lookup("ARM")
+	if !ok {
+		t.Fatal("ARM backend not registered")
+	}
+	base := baselineMigState(t, be)
+	f := setupFaultMig(t, be, be, 5)
+	f.plane.Arm(fault.PtVCPUPark, fault.OnNth(1), fault.KindStuck)
+	factoryCalls := 0
+	_, _, err := hv.MigrateWithRetry(f.srcEnv, f.srcVM, f.dstEnv, func() (hv.VM, error) {
+		factoryCalls++
+		return f.dstEnv.HV.CreateVM(64 << 20)
+	}, f.opts, hv.RetryPolicy{})
+	var stuckErr *hv.StuckVCPUError
+	if !errors.As(err, &stuckErr) {
+		t.Fatalf("stuck vCPU produced %v, want StuckVCPUError", err)
+	}
+	if factoryCalls != 1 {
+		t.Fatalf("stuck abort was retried %d times; it is permanent", factoryCalls-1)
+	}
+	verifySourceIntact(t, f, base)
+}

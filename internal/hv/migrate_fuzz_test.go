@@ -1,0 +1,99 @@
+// Fuzz target for the transactional migration engine: arbitrary
+// (injection point × trigger schedule × fault kind × seed) combinations
+// must always land in exactly one of two verified states — the
+// destination runs to completion with exact source state, or the
+// migration aborts, the source rolls back intact and completes with
+// unmigrated state. Anything in between (leaked write protection, orphan
+// destination threads, a paused source) is a finding.
+package hv_test
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/fault"
+	"kvmarm/internal/hv"
+)
+
+var fuzzMigBaselines struct {
+	sync.Mutex
+	m map[string]*migGuestState
+}
+
+func fuzzMigBaseline(t *testing.T, be *hv.Backend) *migGuestState {
+	t.Helper()
+	fuzzMigBaselines.Lock()
+	defer fuzzMigBaselines.Unlock()
+	if fuzzMigBaselines.m == nil {
+		fuzzMigBaselines.m = map[string]*migGuestState{}
+	}
+	if fuzzMigBaselines.m[be.Name] == nil {
+		fuzzMigBaselines.m[be.Name] = baselineMigState(t, be)
+	}
+	return fuzzMigBaselines.m[be.Name]
+}
+
+func FuzzMigrateFaults(f *testing.F) {
+	pts := fault.Points()
+	// Seed corpus: one entry per catalog point with its natural kind
+	// firing on the first hit, plus schedules that fire late, repeat, or
+	// never, on both architecture families.
+	for i := range pts {
+		f.Add(uint8(i), uint8(faultKindFor(pts[i])), uint8(1), uint8(0), uint64(i), false)
+	}
+	f.Add(uint8(6), uint8(fault.KindError), uint8(40), uint8(0), uint64(99), true) // page-read, deep into precopy, x86
+	f.Add(uint8(7), uint8(fault.KindCorrupt), uint8(3), uint8(5), uint64(7), false)
+	f.Add(uint8(0), uint8(fault.KindError), uint8(0), uint8(0), uint64(0), false) // never fires
+	f.Add(uint8(13), uint8(fault.KindStuck), uint8(2), uint8(0), uint64(5), true) // wrong kind for the point
+	f.Fuzz(func(t *testing.T, ptIdx, kindByte, nth, every uint8, seed uint64, x86 bool) {
+		// Each iteration allocates two boards (256 MiB RAM backing
+		// apiece); collect them promptly or the run drowns in GC stalls.
+		t.Cleanup(runtime.GC)
+		pt := pts[int(ptIdx)%len(pts)]
+		kind := fault.Kind(kindByte % uint8(fault.NumKinds))
+		trig := fault.Trigger{Nth: uint64(nth % 64), Every: uint64(every % 8)}
+		name := "ARM"
+		if x86 {
+			name = "KVM x86 laptop"
+		}
+		be, ok := hv.Lookup(name)
+		if !ok {
+			t.Fatalf("backend %q not registered", name)
+		}
+		base := fuzzMigBaseline(t, be)
+
+		fm := setupFaultMig(t, be, be, seed)
+		fm.plane.Arm(pt, trig, kind)
+		dstVM := fm.newDstVM(t)
+		res, err := hv.Migrate(fm.srcEnv, fm.srcVM, fm.dstEnv, dstVM, fm.opts)
+
+		if err == nil {
+			// Success arm: the destination must run to completion with
+			// exact source state; the source stays parked.
+			fm.plane.Disarm()
+			if res == nil {
+				t.Fatal("nil result from successful migration")
+			}
+			dstV := dstVM.VCPUs()[0]
+			if !fm.dstEnv.Board.Run(80_000_000, func() bool { return fm.dstEnv.Host.LiveCount() == 0 }) {
+				t.Fatalf("migrated guest did not finish (state=%s)", dstV.State())
+			}
+			compareMigState(t, captureMigState(t, dstVM, dstV), base)
+			return
+		}
+		// Abort arm: rollback must be complete — destination torn down,
+		// source intact and able to finish with unmigrated state.
+		var abort *hv.AbortError
+		if !errors.As(err, &abort) {
+			t.Fatalf("migration error is not an AbortError: %v", err)
+		}
+		if abort.RollbackErr != nil {
+			t.Fatalf("rollback incomplete: %v", abort.RollbackErr)
+		}
+		verifyDstTornDown(t, fm.dstEnv, dstVM)
+		verifySourceIntact(t, fm, base)
+	})
+}

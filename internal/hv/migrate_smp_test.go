@@ -1,0 +1,375 @@
+// SMP migration conformance: a 2-vCPU guest with both vCPUs dirtying
+// their own pages concurrently must migrate with no state divergence, and
+// a rollback that happens after some destination threads already started
+// must stop them — the regression this file pins is the half-resumed
+// destination left running beside a resumed source.
+package hv_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/arm"
+	"kvmarm/internal/fault"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+// Second vCPU's code and data live in their own regions so the two
+// workloads dirty disjoint pages concurrently.
+const (
+	smpProg1Base  = machine.RAMBase + 4<<20
+	smpCount1Addr = machine.RAMBase + 5<<20
+	smpMark1Addr  = smpCount1Addr + 4
+	smpBuf1Base   = machine.RAMBase + 6<<20
+)
+
+// smpPrimaryProgram is the migration workload on vCPU 0, which then waits
+// for vCPU 1's completion marker before powering off the VM. The wait
+// loop hypercalls every iteration so a pause request always has a prompt
+// exit to land on.
+func smpPrimaryProgram() []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		MOV32(isa.R1, migBufBase).
+		MOV32(isa.R3, migCountAddr).
+		MOVW(isa.R2, 0).
+		Label("loop").
+		ADDI(isa.R2, isa.R2, 1).
+		STR(isa.R2, isa.R3, 0).
+		STR(isa.R2, isa.R1, 0).
+		ADDI(isa.R1, isa.R1, 4).
+		HVC(1).
+		CMPI(isa.R2, migIters).
+		BNE("loop").
+		MOV32(isa.R4, 0xC0DE1234).
+		STR(isa.R4, isa.R3, 4).
+		MOV32(isa.R5, smpMark1Addr).
+		Label("wait").
+		HVC(1).
+		LDR(isa.R6, isa.R5, 0).
+		CMP(isa.R6, isa.R4).
+		BNE("wait").
+		HVC(kernel.PSCISystemOff).
+		MustAssemble()
+}
+
+// smpSecondaryProgram is the same workload against vCPU 1's own pages; it
+// then idles in WFI (a pause request parks a blocked vCPU immediately, and
+// the primary's power-off wakes it for shutdown) until vCPU 0 powers off
+// the VM.
+func smpSecondaryProgram() []uint32 {
+	return isa.NewAsm(smpProg1Base).
+		MOV32(isa.R1, smpBuf1Base).
+		MOV32(isa.R3, smpCount1Addr).
+		MOVW(isa.R2, 0).
+		Label("loop").
+		ADDI(isa.R2, isa.R2, 1).
+		STR(isa.R2, isa.R3, 0).
+		STR(isa.R2, isa.R1, 0).
+		ADDI(isa.R1, isa.R1, 4).
+		HVC(1).
+		CMPI(isa.R2, migIters).
+		BNE("loop").
+		MOV32(isa.R4, 0xC0DE1234).
+		STR(isa.R4, isa.R3, 4).
+		Label("idle").
+		WFI().
+		B("idle").
+		MustAssemble()
+}
+
+// startSMPGuest builds a 2-vCPU VM running both workloads on a 2-CPU host.
+func startSMPGuest(t *testing.T, be *hv.Backend) (*hv.Env, hv.VM) {
+	t.Helper()
+	env, err := be.NewEnv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := env.HV.CreateVM(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := [][]uint32{smpPrimaryProgram(), smpSecondaryProgram()}
+	bases := []uint32{machine.RAMBase, smpProg1Base}
+	for i := 0; i < 2; i++ {
+		v, err := vm.CreateVCPU(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.WriteGuestMem(uint64(bases[i]), progBytes(progs[i])); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.SetOneReg(hv.RegPC, bases[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
+			t.Fatal(err)
+		}
+		v.SetGuestSoftware(nil, &isa.Interp{})
+	}
+	cold := make([]byte, migColdPages*4096)
+	for i := range cold {
+		cold[i] = byte(i)
+	}
+	if err := vm.WriteGuestMem(migColdBase, cold); err != nil {
+		t.Fatal(err)
+	}
+	return env, vm
+}
+
+func startSMPThreads(t *testing.T, vm hv.VM) {
+	t.Helper()
+	for i, v := range vm.VCPUs() {
+		if _, err := v.StartThread(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// smpGuestState is the guest-visible state an SMP migration must
+// preserve: both workloads' progress words, markers and write logs, plus
+// vCPU 0's registers (vCPU 1's final PC depends on where in its idle loop
+// the power-off lands, so its registers are not deterministic).
+type smpGuestState struct {
+	count0, mark0 uint32
+	count1, mark1 uint32
+	buf0, buf1    []byte
+	regs0         map[hv.RegID]uint32
+}
+
+func captureSMPState(t *testing.T, vm hv.VM) *smpGuestState {
+	t.Helper()
+	read := func(addr uint64, n int) []byte {
+		b, err := vm.ReadGuestMem(addr, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	regs0, err := hv.SaveAllRegs(vm.VCPUs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := read(migCountAddr, 8)
+	w1 := read(smpCount1Addr, 8)
+	return &smpGuestState{
+		count0: binary.LittleEndian.Uint32(w0[0:4]),
+		mark0:  binary.LittleEndian.Uint32(w0[4:8]),
+		count1: binary.LittleEndian.Uint32(w1[0:4]),
+		mark1:  binary.LittleEndian.Uint32(w1[4:8]),
+		buf0:   read(migBufBase, migIters*4),
+		buf1:   read(smpBuf1Base, migIters*4),
+		regs0:  regs0,
+	}
+}
+
+func compareSMPState(t *testing.T, got, want *smpGuestState) {
+	t.Helper()
+	if got.count0 != want.count0 || got.mark0 != want.mark0 {
+		t.Errorf("vCPU0 count/marker = %d/%#x, want %d/%#x", got.count0, got.mark0, want.count0, want.mark0)
+	}
+	if got.count1 != want.count1 || got.mark1 != want.mark1 {
+		t.Errorf("vCPU1 count/marker = %d/%#x, want %d/%#x", got.count1, got.mark1, want.count1, want.mark1)
+	}
+	if !bytes.Equal(got.buf0, want.buf0) {
+		t.Error("vCPU0 write log diverged from unmigrated run")
+	}
+	if !bytes.Equal(got.buf1, want.buf1) {
+		t.Error("vCPU1 write log diverged from unmigrated run")
+	}
+	for id, w := range want.regs0 {
+		if g, ok := got.regs0[id]; !ok || g != w {
+			t.Errorf("vCPU0 reg %#x = %#x, want %#x", uint32(id), got.regs0[id], w)
+		}
+	}
+}
+
+func smpCounts(t *testing.T, vm hv.VM) (uint32, uint32) {
+	t.Helper()
+	c0 := guestCount(t, vm)
+	b, err := vm.ReadGuestMem(smpCount1Addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c0, binary.LittleEndian.Uint32(b)
+}
+
+// runSMPMidWorkload runs the guest until both vCPUs are mid-loop: far
+// enough in that both have concurrent dirtying history, far enough from
+// the end that the destination inherits live work on both vCPUs.
+func runSMPMidWorkload(t *testing.T, env *hv.Env, vm hv.VM) {
+	t.Helper()
+	step := 0
+	mid := func() bool {
+		step++
+		if step%512 != 0 {
+			return false
+		}
+		c0, c1 := smpCounts(t, vm)
+		return c0 >= 60 && c1 >= 60
+	}
+	if !env.Board.Run(40_000_000, mid) {
+		c0, c1 := smpCounts(t, vm)
+		t.Fatalf("SMP guest made no progress (counts=%d/%d)", c0, c1)
+	}
+}
+
+func smpBaseline(t *testing.T, be *hv.Backend) *smpGuestState {
+	t.Helper()
+	env, vm := startSMPGuest(t, be)
+	startSMPThreads(t, vm)
+	if !env.Board.Run(160_000_000, func() bool { return env.Host.LiveCount() == 0 }) {
+		t.Fatal("SMP baseline guest did not finish")
+	}
+	return captureSMPState(t, vm)
+}
+
+// TestBackendMigrationSMP migrates the 2-vCPU guest mid-workload, with
+// both vCPUs dirtying concurrently through pre-copy, across the pairs the
+// single-vCPU matrix cannot cover: split-mode → VHE (the cross-backend
+// ONE_REG contract under SMP) and x86 → x86.
+func TestBackendMigrationSMP(t *testing.T) {
+	pairs := [][2]string{
+		{"ARM", "ARM VHE"},
+		{"ARM VHE", "ARM"},
+		{"KVM x86 laptop", "KVM x86 server"},
+	}
+	baselines := map[string]*smpGuestState{}
+	baseline := func(be *hv.Backend) *smpGuestState {
+		if baselines[be.Name] == nil {
+			baselines[be.Name] = smpBaseline(t, be)
+		}
+		return baselines[be.Name]
+	}
+	for _, pair := range pairs {
+		pair := pair
+		t.Run(pair[0]+" to "+pair[1], func(t *testing.T) {
+			t.Cleanup(runtime.GC)
+			srcBE, ok := hv.Lookup(pair[0])
+			if !ok {
+				t.Fatalf("backend %q not registered", pair[0])
+			}
+			dstBE, ok := hv.Lookup(pair[1])
+			if !ok {
+				t.Fatalf("backend %q not registered", pair[1])
+			}
+			srcEnv, srcVM := startSMPGuest(t, srcBE)
+			startSMPThreads(t, srcVM)
+			runSMPMidWorkload(t, srcEnv, srcVM)
+
+			dstEnv, err := dstBE.NewEnv(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dstVM, err := dstEnv.HV.CreateVM(64 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := hv.Migrate(srcEnv, srcVM, dstEnv, dstVM, hv.MigrateOptions{
+				Precopy:     true,
+				Rounds:      2,
+				RoundBudget: 300,
+				ConfigureVCPU: func(id int, v hv.VCPU) {
+					v.SetGuestSoftware(nil, &isa.Interp{})
+				},
+			})
+			if err != nil {
+				t.Fatalf("SMP migration failed: %v", err)
+			}
+			if res.PagesFinal >= res.PagesTotal {
+				t.Errorf("stop-and-copy moved %d of %d pages; pre-copy did nothing", res.PagesFinal, res.PagesTotal)
+			}
+			c0, c1 := smpCounts(t, dstVM)
+			if c0 >= migIters && c1 >= migIters {
+				t.Fatal("both destination workloads already finished: no live SMP work migrated")
+			}
+			if len(dstVM.VCPUs()) != 2 {
+				t.Fatalf("destination has %d vCPUs, want 2", len(dstVM.VCPUs()))
+			}
+			if !dstEnv.Board.Run(160_000_000, func() bool { return dstEnv.Host.LiveCount() == 0 }) {
+				c0, c1 = smpCounts(t, dstVM)
+				t.Fatalf("migrated SMP guest did not finish (counts=%d/%d)", c0, c1)
+			}
+			for _, v := range dstVM.VCPUs() {
+				if v.ExitStats().Entries == 0 {
+					t.Errorf("destination vCPU %d never entered the guest", v.VCPUID())
+				}
+			}
+			compareSMPState(t, captureSMPState(t, dstVM), baseline(srcBE))
+		})
+	}
+}
+
+// TestMigrateRollbackStopsStartedThreads is the focused regression for
+// the half-resumed destination: with two vCPUs, a fault on the second
+// StartThread used to leave the first destination thread running while
+// the source resumed — two live copies of the same guest. The rollback
+// must stop the already-started thread.
+func TestMigrateRollbackStopsStartedThreads(t *testing.T) {
+	for _, name := range []string{"ARM", "KVM x86 laptop"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Cleanup(runtime.GC)
+			be, ok := hv.Lookup(name)
+			if !ok {
+				t.Fatalf("backend %q not registered", name)
+			}
+			base := smpBaseline(t, be)
+			srcEnv, srcVM := startSMPGuest(t, be)
+			startSMPThreads(t, srcVM)
+			runSMPMidWorkload(t, srcEnv, srcVM)
+
+			dstEnv, err := be.NewEnv(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plane := fault.New(2)
+			srcEnv.HV.AttachFaultPlane(plane)
+			dstEnv.HV.AttachFaultPlane(plane)
+			// First destination thread starts, second fails.
+			plane.Arm(fault.PtVCPUStart, fault.OnNth(2), fault.KindError)
+			dstVM, err := dstEnv.HV.CreateVM(64 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = hv.Migrate(srcEnv, srcVM, dstEnv, dstVM, hv.MigrateOptions{
+				Precopy: true,
+				Rounds:  2, RoundBudget: 300,
+				Fault: plane,
+				ConfigureVCPU: func(id int, v hv.VCPU) {
+					v.SetGuestSoftware(nil, &isa.Interp{})
+				},
+			})
+			if err == nil {
+				t.Fatal("migration succeeded with a vcpu-start fault armed")
+			}
+			plane.Disarm()
+			// The first destination thread was already live; it must be
+			// stopped, not left running a second copy of the guest.
+			if !dstEnv.Board.Run(1_000_000, func() bool { return dstEnv.Host.LiveCount() == 0 }) {
+				t.Fatal("destination thread left running after rollback")
+			}
+			for _, v := range dstVM.VCPUs() {
+				if v.State() != "shutdown" {
+					t.Errorf("destination vCPU %d in state %q after rollback", v.VCPUID(), v.State())
+				}
+			}
+			// Source must still be whole: both vCPUs resumable to the
+			// unmigrated final state.
+			for _, v := range srcVM.VCPUs() {
+				if v.Paused() {
+					t.Fatalf("source vCPU %d left paused after rollback", v.VCPUID())
+				}
+			}
+			if !srcEnv.Board.Run(160_000_000, func() bool { return srcEnv.Host.LiveCount() == 0 }) {
+				t.Fatal("rolled-back SMP source did not finish")
+			}
+			compareSMPState(t, captureSMPState(t, srcVM), base)
+		})
+	}
+}

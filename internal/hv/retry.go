@@ -1,0 +1,117 @@
+package hv
+
+import (
+	"errors"
+	"fmt"
+
+	"kvmarm/internal/fault"
+	"kvmarm/internal/trace"
+)
+
+// Retry layer over the transactional Migrate: because a failed migration
+// rolls the source back to a runnable state, a failed attempt is not the
+// end — transient copy faults can be re-tried outright, and budget
+// exhaustion can be re-tried with a wider budget. Only genuinely
+// permanent failures (a stuck vCPU, a real backend error) abort.
+
+// RetryPolicy bounds MigrateWithRetry.
+type RetryPolicy struct {
+	// Attempts is the maximum number of migration attempts (default 3).
+	Attempts int
+	// BackoffCycles is the source-board time to wait before the second
+	// attempt; it doubles for each further attempt (default 5000). The
+	// guest keeps running during backoff — that is the point of rolling
+	// back instead of wedging.
+	BackoffCycles uint64
+}
+
+func (p *RetryPolicy) withDefaults() RetryPolicy {
+	pol := *p
+	if pol.Attempts <= 0 {
+		pol.Attempts = 3
+	}
+	if pol.BackoffCycles == 0 {
+		pol.BackoffCycles = 5000
+	}
+	return pol
+}
+
+// retryable classifies a migration failure. Transient copy faults and
+// injected backend errors are worth a plain retry; budget exhaustion is
+// retryable after widening the budget; everything else — stuck vCPUs
+// first among them — is permanent.
+func retryable(err error) (widen *BudgetError, ok bool) {
+	var stuck *StuckVCPUError
+	if errors.As(err, &stuck) {
+		return nil, false
+	}
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return be, true
+	}
+	if errors.Is(err, ErrMigrateTransient) || fault.IsInjected(err) {
+		return nil, true
+	}
+	return nil, false
+}
+
+// MigrateWithRetry runs Migrate with bounded attempts. Each failed attempt
+// has been rolled back, so the source is runnable throughout; the policy's
+// backoff is burned on the source board (the guest makes progress while
+// the operator "waits"), doubling per attempt. A *BudgetError widens the
+// offending budget before the next try: PauseBudget doubles on a "park"
+// exhaustion, Rounds and RoundBudget double on a "precopy" convergence
+// failure. newDstVM builds a fresh destination VM per attempt — a rolled-
+// back attempt leaves its destination VM with dead vCPUs, unusable for
+// the next try. On success the result carries the attempt count and total
+// backoff, and the destination VM used is returned.
+func MigrateWithRetry(src *Env, srcVM VM, dst *Env, newDstVM func() (VM, error), o MigrateOptions, p RetryPolicy) (*MigrateResult, VM, error) {
+	pol := p.withDefaults()
+	opts := o
+	backoff := pol.BackoffCycles
+	var totalBackoff uint64
+	var lastErr error
+	for attempt := 1; attempt <= pol.Attempts; attempt++ {
+		dstVM, err := newDstVM()
+		if err != nil {
+			return nil, nil, fmt.Errorf("hv: building migration destination VM: %w", err)
+		}
+		res, err := Migrate(src, srcVM, dst, dstVM, opts)
+		if err == nil {
+			res.Attempts = attempt
+			res.BackoffCycles = totalBackoff
+			return res, dstVM, nil
+		}
+		lastErr = err
+		widen, ok := retryable(err)
+		if !ok || attempt == pol.Attempts {
+			break
+		}
+		if widen != nil {
+			switch widen.Phase {
+			case "park":
+				pb := opts.PauseBudget
+				if pb == 0 {
+					pb = (&MigrateOptions{}).withDefaults().PauseBudget
+				}
+				opts.PauseBudget = pb * 2
+			case "precopy":
+				def := (&MigrateOptions{}).withDefaults()
+				if opts.Rounds <= 0 {
+					opts.Rounds = def.Rounds
+				}
+				if opts.RoundBudget == 0 {
+					opts.RoundBudget = def.RoundBudget
+				}
+				opts.Rounds *= 2
+				opts.RoundBudget *= 2
+			}
+		}
+		opts.Tracer.Emit(trace.Event{Kind: trace.EvMigrateRetry, VM: srcVM.ID(), VCPU: -1, CPU: -1, Arg: uint64(attempt)})
+		// Backoff on the source board: the rolled-back guest runs on.
+		src.Board.Run(backoff, nil)
+		totalBackoff += backoff
+		backoff *= 2
+	}
+	return nil, nil, lastErr
+}

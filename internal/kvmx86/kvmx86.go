@@ -21,6 +21,7 @@ import (
 
 	"kvmarm/internal/arm"
 	"kvmarm/internal/dev"
+	"kvmarm/internal/fault"
 	"kvmarm/internal/hv"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
@@ -87,6 +88,10 @@ type Hypervisor struct {
 	// Trace is the unified exit/trap event sink; nil when tracing is
 	// off. Attach with AttachTracer.
 	Trace *trace.Tracer
+
+	// Fault is the fault-injection plane (internal/fault); nil when
+	// injection is off. Attach with AttachFaultPlane.
+	Fault *fault.Plane
 }
 
 type hostSaved struct {
@@ -145,6 +150,19 @@ func (x *Hypervisor) AttachTracer(t *trace.Tracer) {
 // Tracer returns the attached tracer (nil when tracing is off).
 func (x *Hypervisor) Tracer() *trace.Tracer { return x.Trace }
 
+// AttachFaultPlane wires the fault-injection plane into every consult
+// point of this backend: each VM's EPT dirty-log operations, vCPU park
+// requests, and device save/restore. Passing nil detaches.
+func (x *Hypervisor) AttachFaultPlane(p *fault.Plane) {
+	x.Fault = p
+	for _, vm := range x.vms {
+		vm.EPT.Fault = p
+	}
+}
+
+// FaultPlane returns the attached plane (nil when injection is off).
+func (x *Hypervisor) FaultPlane() *fault.Plane { return x.Fault }
+
 // VMs lists the created VMs.
 func (x *Hypervisor) VMs() []hv.VM {
 	out := make([]hv.VM, len(x.vms))
@@ -197,6 +215,7 @@ func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
 		return nil, err
 	}
 	vm := &VM{kvm: x, VMID: x.nextVMID, EPT: ept}
+	ept.Fault = x.Fault
 	vm.Mem = hv.GuestMem{Table: ept, Alloc: x.Host.Alloc, RAM: x.Board.RAM}
 	if err := vm.Mem.AddSlot(machine.RAMBase, memBytes); err != nil {
 		return nil, err
@@ -407,6 +426,11 @@ func (v *VCPU) runStep(hostCPU int, c *arm.CPU) bool {
 // guest if it is currently running (the user-space pause used for
 // debugging and migration, §4).
 func (v *VCPU) Pause() {
+	if v.vm.kvm.Fault.Stuck(fault.PtVCPUPark) {
+		// Injected stuck-vCPU fault: the park request is lost and the
+		// vCPU keeps running. The migration park-watchdog must notice.
+		return
+	}
 	v.pauseReq = true
 	if v.phys >= 0 && v.phys != v.vm.kvm.Board.Current {
 		_ = v.vm.kvm.Board.GIC.SendSGI(v.vm.kvm.Board.Current, 1<<uint(v.phys), 2)

@@ -3,6 +3,7 @@ package kvmx86
 import (
 	"fmt"
 
+	"kvmarm/internal/fault"
 	"kvmarm/internal/hv"
 	"kvmarm/internal/timer"
 )
@@ -67,6 +68,9 @@ func (vm *VM) MappedPages() ([]uint64, error) { return vm.Mem.MappedPages() }
 // SaveDeviceState snapshots everything guest-visible that the register
 // snapshot does not cover. The VM must be paused.
 func (vm *VM) SaveDeviceState() (*hv.DeviceState, error) {
+	if err := vm.kvm.Fault.Fail(fault.PtDeviceSave); err != nil {
+		return nil, err
+	}
 	st := &hv.DeviceState{
 		Family:  "x86",
 		IC:      vm.APIC.SaveState(),
@@ -88,6 +92,9 @@ func (vm *VM) SaveDeviceState() (*hv.DeviceState, error) {
 // RestoreDeviceState installs a snapshot taken by SaveDeviceState on
 // another x86 instance. vCPUs must already exist and be stopped.
 func (vm *VM) RestoreDeviceState(st *hv.DeviceState) error {
+	if err := vm.kvm.Fault.Fail(fault.PtDeviceRestore); err != nil {
+		return err
+	}
 	if st.Family != "x86" {
 		return fmt.Errorf("kvmx86: cannot restore %q device state on an x86 VM", st.Family)
 	}

@@ -1,6 +1,10 @@
 package mmu
 
-import "fmt"
+import (
+	"fmt"
+
+	"kvmarm/internal/fault"
+)
 
 // PhysWriter writes physical memory for page-table construction.
 type PhysWriter interface {
@@ -48,6 +52,9 @@ type Builder struct {
 	tablePages []uint64
 	// log, when non-nil, is the active dirty-page log (see dirty.go).
 	log *dirtyLog
+	// Fault, when non-nil, is the fault-injection plane consulted by the
+	// dirty-log operations (see dirty.go); nil means injection off.
+	Fault *fault.Plane
 }
 
 // TablePages returns the physical pages backing this table tree.

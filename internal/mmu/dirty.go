@@ -3,6 +3,8 @@ package mmu
 import (
 	"fmt"
 	"sort"
+
+	"kvmarm/internal/fault"
 )
 
 // Stage-2 dirty-page logging (live-migration pre-copy). EnableDirtyLog
@@ -35,6 +37,9 @@ func (b *Builder) DirtyLogging() bool { return b.log != nil }
 // leaf selected by filter and starts recording dirty pages. It returns
 // the number of pages protected.
 func (b *Builder) EnableDirtyLog(filter func(ipa uint64) bool) (int, error) {
+	if err := b.Fault.Fail(fault.PtDirtyEnable); err != nil {
+		return 0, err
+	}
 	if b.log != nil {
 		return 0, fmt.Errorf("mmu: dirty log already enabled")
 	}
@@ -112,6 +117,9 @@ func (b *Builder) DirtyFault(ipa uint64) (bool, error) {
 // since the previous CollectDirty, sorted, and re-write-protects them so
 // the next round traps their next store again.
 func (b *Builder) CollectDirty() ([]uint64, error) {
+	if err := b.Fault.Fail(fault.PtDirtyCollect); err != nil {
+		return nil, err
+	}
 	if b.log == nil {
 		return nil, fmt.Errorf("mmu: dirty log not enabled")
 	}
@@ -133,6 +141,9 @@ func (b *Builder) CollectDirty() ([]uint64, error) {
 // DisableDirtyLog restores write access to every still-protected page and
 // stops logging.
 func (b *Builder) DisableDirtyLog() error {
+	if err := b.Fault.Fail(fault.PtDirtyDisable); err != nil {
+		return err
+	}
 	if b.log == nil {
 		return nil
 	}

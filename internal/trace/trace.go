@@ -80,6 +80,15 @@ const (
 	EvMigratePhase
 	EvMigrateRound
 
+	// Fault injection & recovery. EvFaultInjected is one fired fault
+	// from the internal/fault plane (Arg is the fault.Kind, Cycles the
+	// point's hit count). EvMigrateAbort marks a migration rolled back
+	// (Arg is a MigrateAbort* reason); EvMigrateRetry marks a retry
+	// attempt beginning (Arg is the attempt number just failed).
+	EvFaultInjected
+	EvMigrateAbort
+	EvMigrateRetry
+
 	// NumKinds is the number of event kinds (array sizing).
 	NumKinds
 )
@@ -98,6 +107,16 @@ const (
 	MigratePhaseStop
 	MigratePhaseRestore
 	MigratePhaseResume
+)
+
+// MigrateAbort reasons carried in EvMigrateAbort's Arg.
+const (
+	// MigrateAbortError: an operation on the migration path failed.
+	MigrateAbortError uint64 = iota
+	// MigrateAbortStuck: the park watchdog declared a vCPU un-pauseable.
+	MigrateAbortStuck
+	// MigrateAbortBudget: a pause/convergence budget was exhausted.
+	MigrateAbortBudget
 )
 
 var kindNames = [NumKinds]string{
@@ -125,6 +144,9 @@ var kindNames = [NumKinds]string{
 	EvIPI:            "ipi_emulated",
 	EvMigratePhase:   "migrate_phase",
 	EvMigrateRound:   "migrate_round",
+	EvFaultInjected:  "fault_injected",
+	EvMigrateAbort:   "migrate_abort",
+	EvMigrateRetry:   "migrate_retry",
 }
 
 func (k Kind) String() string {

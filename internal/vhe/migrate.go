@@ -3,6 +3,7 @@ package vhe
 import (
 	"fmt"
 
+	"kvmarm/internal/fault"
 	"kvmarm/internal/hv"
 	"kvmarm/internal/timer"
 )
@@ -66,6 +67,9 @@ func (vm *VM) MappedPages() ([]uint64, error) { return vm.Mem.MappedPages() }
 // SaveDeviceState snapshots everything guest-visible that the ONE_REG
 // vCPU snapshot does not cover. The VM must be paused.
 func (vm *VM) SaveDeviceState() (*hv.DeviceState, error) {
+	if err := vm.kvm.Fault.Fail(fault.PtDeviceSave); err != nil {
+		return nil, err
+	}
 	for _, v := range vm.vcpus {
 		vm.VDist.DrainLRs(v, &v.Ctx.VGIC)
 	}
@@ -90,6 +94,9 @@ func (vm *VM) SaveDeviceState() (*hv.DeviceState, error) {
 // RestoreDeviceState installs a snapshot taken by SaveDeviceState (possibly
 // on a different ARM backend). vCPUs must already exist and be stopped.
 func (vm *VM) RestoreDeviceState(st *hv.DeviceState) error {
+	if err := vm.kvm.Fault.Fail(fault.PtDeviceRestore); err != nil {
+		return err
+	}
 	if st.Family != "arm" {
 		return fmt.Errorf("vhe: cannot restore %q device state on an ARM VM", st.Family)
 	}

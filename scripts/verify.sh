@@ -12,12 +12,22 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/
+go test -race ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/ ./internal/fault/
 
 # Migration conformance under the race detector: all 25 source→destination
 # backend pairs, mid-workload, compared against an unmigrated run.
 go test -race -run TestBackendMigration -count=1 ./internal/hv/
 
+# Migration-rollback suite under the race detector: every fault-injection
+# point on every backend family must end in a binary state (destination
+# exact, or source rolled back and intact), retry recovers transients,
+# and a stuck vCPU aborts cleanly.
+go test -race -run 'TestMigrateFaultMatrix|TestMigrateRollback|TestMigrateWithRetry' -count=1 ./internal/hv/
+
 # Short guest-memory slot fuzz smoke (overlap rejection, bounds, cross-slot
 # access); the long-running variant is manual.
 go test -fuzz FuzzGuestMemSlots -fuzztime 5s -run '^$' ./internal/hv/
+
+# Short migration fault-injection fuzz smoke (point × trigger × kind →
+# binary outcome invariant); the long-running variant is manual.
+go test -fuzz FuzzMigrateFaults -fuzztime 5s -run '^$' ./internal/hv/
