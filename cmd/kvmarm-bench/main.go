@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, faults, stat")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, fleet, faults, stat")
 	root := flag.String("root", ".", "repository root (for table4 line counts)")
 	flag.Parse()
 
@@ -70,6 +70,13 @@ func main() {
 			fail(err)
 		}
 		bench.PrintMigration(out, rows)
+	}
+	if run("fleet") {
+		rows, err := bench.FleetRows()
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintFleet(out, rows)
 	}
 	if run("faults") {
 		rows, err := bench.FaultRows()

@@ -1,0 +1,245 @@
+// Fleet-fork economics: for every registered backend, boot one template
+// guest through a write-heavy init phase into a read-mostly serve loop,
+// snapshot it, fork N copy-on-write clones, and compare the board time
+// until the Nth clone makes progress against N cold boots reaching the
+// same point. The fork path skips boot and init entirely and shares the
+// template's pages, so it should win by roughly the init phase times N —
+// and the sharing stats show how much memory the fleet never copied.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/fleet"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+// FleetRow is one backend's fork-vs-cold-boot measurement.
+type FleetRow struct {
+	Backend string
+	// Clones is the fleet size N.
+	Clones int
+	// SnapshotPages is the number of pages the template snapshot froze.
+	SnapshotPages int
+	// ForkReady / ColdReady are the board cycles from starting the first
+	// fork (resp. first cold boot) until the Nth instance has made guest
+	// progress past the capture point.
+	ForkReady, ColdReady uint64
+	// SharedPages / PrivatePages split the clones' pages into still-shared
+	// and privatized-by-write after the run; SharedFrac is the fraction
+	// still shared.
+	SharedPages, PrivatePages int
+	SharedFrac                float64
+}
+
+const (
+	fleetBenchCount = machine.RAMBase + 1<<20
+	fleetBenchReady = machine.RAMBase + 1<<20 + 4
+	fleetBenchData  = machine.RAMBase + 2<<20
+	// fleetBenchPages is the dataset the init phase writes — the bulk a
+	// cold boot must re-create and a fork shares for free.
+	fleetBenchPages = 48
+	// fleetBenchIters bounds the serve loop: the host scheduler runs a
+	// guest thread until it exits for good, so an instance must finish
+	// soon after its capture point or early instances starve later ones
+	// and the Nth-ready time measures the spin, not the fork.
+	fleetBenchIters = 120
+	fleetBenchSize  = 64 << 20
+	// fleetBenchMid is the serve-loop count the template reaches before
+	// capture; clone and cold-boot readiness is progress past it.
+	fleetBenchMid = 60
+)
+
+// fleetWorkload is the two-phase guest: init stamps the dataset pages and
+// raises the ready marker; serve is a read-mostly loop — it reads the
+// dataset and writes only the counter page, hypercalling every iteration
+// so pause requests park promptly.
+func fleetWorkload() []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		// init: stamp every dataset page (one store per page).
+		MOV32(isa.R1, fleetBenchData).
+		MOV32(isa.R4, fleetBenchData+fleetBenchPages*4096).
+		MOVW(isa.R8, 4096).
+		MOVW(isa.R2, 1).
+		Label("init").
+		STR(isa.R2, isa.R1, 0).
+		ADD(isa.R1, isa.R1, isa.R8).
+		CMP(isa.R1, isa.R4).
+		BNE("init").
+		// ready marker up.
+		MOV32(isa.R3, fleetBenchReady).
+		STR(isa.R2, isa.R3, 0).
+		// serve: read the dataset, bump the counter, hypercall.
+		MOV32(isa.R3, fleetBenchCount).
+		MOV32(isa.R5, fleetBenchData).
+		MOVW(isa.R2, 0).
+		Label("serve").
+		ADDI(isa.R2, isa.R2, 1).
+		LDR(isa.R7, isa.R5, 0).
+		ADD(isa.R7, isa.R7, isa.R2).
+		STR(isa.R2, isa.R3, 0).
+		HVC(1).
+		CMPI(isa.R2, fleetBenchIters).
+		BNE("serve").
+		HVC(kernel.PSCISystemOff).
+		MustAssemble()
+}
+
+// bootFleetGuest creates a raw 1-vCPU guest running the fleet workload.
+func bootFleetGuest(env *hv.Env, hostCPU int) (hv.VM, error) {
+	vm, err := env.HV.CreateVM(fleetBenchSize)
+	if err != nil {
+		return nil, err
+	}
+	v, err := vm.CreateVCPU(0)
+	if err != nil {
+		return nil, err
+	}
+	prog := fleetWorkload()
+	raw := make([]byte, 0, len(prog)*4)
+	for _, w := range prog {
+		raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	if err := vm.WriteGuestMem(machine.RAMBase, raw); err != nil {
+		return nil, err
+	}
+	if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+		return nil, err
+	}
+	if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
+		return nil, err
+	}
+	v.SetGuestSoftware(nil, &isa.Interp{})
+	if _, err := v.StartThread(hostCPU); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
+
+// fleetCountOf reads a guest's serve-loop counter.
+func fleetCountOf(vm hv.VM) uint32 {
+	b, err := vm.ReadGuestMem(fleetBenchCount, 4)
+	if err != nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// fleetProgressed reports whether every VM's counter passed mark.
+func fleetProgressed(vms []hv.VM, mark uint32) func() bool {
+	step := 0
+	return func() bool {
+		step++
+		if step%128 != 0 {
+			return false
+		}
+		for _, vm := range vms {
+			if fleetCountOf(vm) <= mark {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// measureFleet runs the fork-vs-cold comparison for one backend.
+func measureFleet(b *hv.Backend, n int) (FleetRow, error) {
+	row := FleetRow{Backend: b.Name, Clones: n}
+
+	// Template: boot, run through init into the serve loop.
+	env, err := b.NewEnv(4)
+	if err != nil {
+		return row, err
+	}
+	template, err := bootFleetGuest(env, 0)
+	if err != nil {
+		return row, err
+	}
+	mid := fleetProgressed([]hv.VM{template}, fleetBenchMid)
+	if !env.Board.Run(80_000_000, mid) {
+		return row, fmt.Errorf("template made no progress on %s", b.Name)
+	}
+
+	// Capture and fork N clones; measure time until the Nth has run.
+	fl, err := fleet.New(env, template, fleet.Options{
+		ConfigureVCPU: func(id int, v hv.VCPU) {
+			v.SetGuestSoftware(nil, &isa.Interp{})
+		},
+	})
+	if err != nil {
+		return row, err
+	}
+	// The capture point, read after capture: the template advances a step
+	// or two while parking, so a pre-capture reading would let clones
+	// "progress" without running. Every clone starts from exactly this
+	// count; progress past it means the clone's own serve loop ran.
+	mark := fleetCountOf(template)
+	row.SnapshotPages = fl.Snap.SharedPages
+	forkStart := env.Board.Now()
+	clones, err := fl.ForkN(n)
+	if err != nil {
+		return row, err
+	}
+	if !env.Board.Run(80_000_000, fleetProgressed(clones, mark)) {
+		return row, fmt.Errorf("clones made no progress on %s", b.Name)
+	}
+	row.ForkReady = env.Board.Now() - forkStart
+	st := fl.Stats()
+	row.SharedPages, row.PrivatePages = st.SharedPages, st.PrivatePages
+	row.SharedFrac = st.SharedFraction()
+
+	// Cold comparator: N fresh boots on a fresh board, run to the same
+	// serve-loop point.
+	coldEnv, err := b.NewEnv(4)
+	if err != nil {
+		return row, err
+	}
+	coldStart := coldEnv.Board.Now()
+	var cold []hv.VM
+	for i := 0; i < n; i++ {
+		vm, err := bootFleetGuest(coldEnv, i%len(coldEnv.Board.CPUs))
+		if err != nil {
+			return row, err
+		}
+		cold = append(cold, vm)
+	}
+	if !coldEnv.Board.Run(160_000_000, fleetProgressed(cold, mark)) {
+		return row, fmt.Errorf("cold boots made no progress on %s", b.Name)
+	}
+	row.ColdReady = coldEnv.Board.Now() - coldStart
+	return row, nil
+}
+
+// FleetRows measures fork-vs-cold for every registered backend.
+func FleetRows() ([]FleetRow, error) {
+	var rows []FleetRow
+	for _, b := range hv.Backends() {
+		row, err := measureFleet(b, 8)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		rows = append(rows, row)
+		// Each measurement retires two boards; collect before the heap
+		// target balloons.
+		runtime.GC()
+	}
+	return rows, nil
+}
+
+// PrintFleet renders the measurement as a text table.
+func PrintFleet(w io.Writer, rows []FleetRow) {
+	fmt.Fprintf(w, "\nFleet fork vs. cold boot (N instances; board cycles to Nth ready)\n")
+	fmt.Fprintf(w, "%-22s %3s %6s %12s %12s %8s %8s %7s\n",
+		"backend", "N", "pages", "fork-ready", "cold-ready", "shared", "private", "frac")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %3d %6d %12d %12d %8d %8d %6.0f%%\n",
+			r.Backend, r.Clones, r.SnapshotPages, r.ForkReady, r.ColdReady,
+			r.SharedPages, r.PrivatePages, 100*r.SharedFrac)
+	}
+}

@@ -141,6 +141,24 @@ func (h *Highvisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uint
 	ipa := e.FaultIPA
 	if vm.Mem.InSlot(ipa) {
 		vm.Stats.Stage2Faults++
+		// A write fault on a copy-on-write shared page (snapshot/fork):
+		// break the sharing — private copy, or in-place reclaim for the
+		// last sharer — and retry. Checked before the dirty log because a
+		// shared page is read-only and so was never in the log's protected
+		// set; left to the paths below it would be remapped to a blank
+		// frame.
+		if vm.S2.CowSharing() {
+			if handled, err := vm.S2.CowFault(ipa); err != nil {
+				v.state = vcpuShutdown
+				return trace.ExitStage2Fault, ipa
+			} else if handled {
+				vm.flushS2Page(ipa)
+				// Break = fault handling plus copying the page.
+				c.Charge(h.kvm.Host.Cost.FaultWork/2 + h.kvm.Host.Cost.PageZero)
+				h.reenter(c, v)
+				return trace.ExitStage2Fault, ipa
+			}
+		}
 		// A write fault on a page the dirty log protected: restore write
 		// access, record the page, drop stale TLB entries, retry. This
 		// must come before the allocation path or a logged page would be

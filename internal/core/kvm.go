@@ -221,6 +221,8 @@ func (k *KVM) CreateVM(memBytes uint64) (hv.VM, error) {
 	vm := &VM{kvm: k, VMID: k.nextVMID, S2: s2}
 	s2.Fault = k.Fault
 	vm.Mem = hv.GuestMem{Table: s2, Alloc: k.Host.Alloc, RAM: k.Board.RAM}
+	vm.Mem.FlushPage = vm.flushS2Page
+	vm.Mem.FlushAll = vm.flushTLBs
 	if err := vm.Mem.AddSlot(machine.RAMBase, memBytes); err != nil {
 		return nil, err
 	}
@@ -256,6 +258,10 @@ func (k *KVM) CreateVM(memBytes uint64) (hv.VM, error) {
 
 // ID is the VMID (tags the VM's TLB entries).
 func (vm *VM) ID() uint8 { return vm.VMID }
+
+// GuestMemory exposes the slot bookkeeping and Stage-2 table for snapshot
+// capture and copy-on-write fork.
+func (vm *VM) GuestMemory() *hv.GuestMem { return &vm.Mem }
 
 // Device returns the VM's emulated virtio-style device of class, or nil.
 func (vm *VM) Device(class dev.VirtClass) *dev.Virt {

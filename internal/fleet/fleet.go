@@ -1,0 +1,125 @@
+// Package fleet turns one booted guest into many. A Fleet captures a
+// snapshot of a template VM (internal/hv/snapshot.go) and forks instances
+// that share every snapshot page copy-on-write: a clone costs page-table
+// adoption and a device-state restore, not a boot and not a memory copy.
+// Pages privatize lazily on first write, so a read-mostly fleet keeps most
+// of its memory in the single shared set of frames.
+//
+// The package is backend-neutral: it drives hv.VM through the snapshot
+// API and places clone vCPU threads with the board's least-busy-CPU hint,
+// so the same fleet code runs on every registered backend.
+package fleet
+
+import (
+	"fmt"
+
+	"kvmarm/internal/hv"
+)
+
+// Options tunes fleet construction.
+type Options struct {
+	// Snapshot tunes the template capture (pause budget, keep-paused).
+	Snapshot hv.SnapshotOptions
+	// ConfigureVCPU installs host-side guest software on each clone vCPU
+	// (software contexts do not travel with registers); required for raw
+	// machine-code guests.
+	ConfigureVCPU func(id int, v hv.VCPU)
+}
+
+// Fleet is one captured template and the clones forked from it.
+type Fleet struct {
+	Env      *hv.Env
+	Snap     *hv.Snapshot
+	Template hv.VM
+	Clones   []hv.VM
+
+	conf func(id int, v hv.VCPU)
+}
+
+// Stats aggregates the fleet's copy-on-write economy.
+type Stats struct {
+	// Clones is the number of forked instances.
+	Clones int
+	// SnapshotPages is the number of pages the snapshot froze.
+	SnapshotPages int
+	// SharedPages sums, over all clones, pages still mapped to shared
+	// frames; PrivatePages sums pages privatized by write faults.
+	SharedPages, PrivatePages int
+	// SharedFrames is the number of distinct frames still referenced in
+	// the snapshot's pool (template + clones + the snapshot's own pins).
+	SharedFrames int
+}
+
+// SharedFraction is the fleet-wide fraction of clone pages still shared.
+func (s Stats) SharedFraction() float64 {
+	total := s.SharedPages + s.PrivatePages
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SharedPages) / float64(total)
+}
+
+// New captures template into a snapshot and returns a fleet ready to fork.
+// The template keeps running (unless the snapshot options say otherwise);
+// its own writes break sharing page by page like any clone's.
+func New(env *hv.Env, template hv.VM, o Options) (*Fleet, error) {
+	snap, err := hv.CaptureSnapshot(env, template, o.Snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: capturing template: %w", err)
+	}
+	return &Fleet{Env: env, Snap: snap, Template: template, conf: o.ConfigureVCPU}, nil
+}
+
+// Fork adds one clone, placing its vCPU threads on the board's currently
+// least-busy CPUs so a fleet spreads instead of stacking on CPU 0. The
+// clone index rotates the placement too: busy-cycle counts only move while
+// the board runs, so a burst of forks between runs would otherwise all
+// land on the same "least busy" CPU.
+func (f *Fleet) Fork() (hv.VM, error) {
+	base := f.Env.Board.LeastBusyCPU() + len(f.Clones)
+	vm, err := hv.Fork(f.Env, f.Snap, hv.ForkOptions{
+		ConfigureVCPU: f.conf,
+		Pin: func(id int) int {
+			return (base + id) % len(f.Env.Board.CPUs)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: forking clone %d: %w", len(f.Clones), err)
+	}
+	f.Clones = append(f.Clones, vm)
+	return vm, nil
+}
+
+// ForkN adds n clones.
+func (f *Fleet) ForkN(n int) ([]hv.VM, error) {
+	added := make([]hv.VM, 0, n)
+	for i := 0; i < n; i++ {
+		vm, err := f.Fork()
+		if err != nil {
+			return added, err
+		}
+		added = append(added, vm)
+	}
+	return added, nil
+}
+
+// Stats reports the fleet's current page-sharing state.
+func (f *Fleet) Stats() Stats {
+	st := Stats{
+		Clones:        len(f.Clones),
+		SnapshotPages: f.Snap.SharedPages,
+	}
+	for _, vm := range f.Clones {
+		t := vm.GuestMemory().Table
+		st.SharedPages += t.CowSharedPages()
+		st.PrivatePages += t.CowBrokenPages()
+	}
+	if pool := f.Template.GuestMemory().Table.SharePool(); pool != nil {
+		st.SharedFrames = pool.SharedFrames()
+	}
+	return st
+}
+
+// Release drops the snapshot's frame pins. Existing clones keep running on
+// whatever they still share; no further forks are possible.
+func (f *Fleet) Release() { f.Snap.Release() }

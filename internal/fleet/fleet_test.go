@@ -1,0 +1,145 @@
+// Fleet behaviour on every registered backend: capture a template
+// mid-workload, fork clones, and check the copy-on-write economy the
+// Stats report — most pages stay shared, each clone privatizes only what
+// it writes, and a released fleet refuses further forks.
+package fleet_test
+
+import (
+	"encoding/binary"
+	"runtime"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/arm"
+	"kvmarm/internal/fleet"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+const (
+	flCountAddr = machine.RAMBase + 1<<20
+	flDataBase  = machine.RAMBase + 2<<20
+	flDataPages = 12
+	flIters     = 150
+)
+
+// flProgram counts 1..flIters, storing the count and hypercalling each
+// iteration, then powers off.
+func flProgram() []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		MOV32(isa.R3, flCountAddr).
+		MOVW(isa.R2, 0).
+		Label("loop").
+		ADDI(isa.R2, isa.R2, 1).
+		STR(isa.R2, isa.R3, 0).
+		HVC(1).
+		CMPI(isa.R2, flIters).
+		BNE("loop").
+		HVC(kernel.PSCISystemOff).
+		MustAssemble()
+}
+
+func flCount(t *testing.T, vm hv.VM) uint32 {
+	t.Helper()
+	b, err := vm.ReadGuestMem(flCountAddr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func TestFleetForkAndStats(t *testing.T) {
+	for _, be := range hv.Backends() {
+		be := be
+		t.Run(be.Name, func(t *testing.T) {
+			t.Cleanup(runtime.GC)
+			env, err := be.NewEnv(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm, err := env.HV.CreateVM(64 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := vm.CreateVCPU(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := flProgram()
+			raw := make([]byte, 0, len(prog)*4)
+			for _, w := range prog {
+				raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+			}
+			if err := vm.WriteGuestMem(machine.RAMBase, raw); err != nil {
+				t.Fatal(err)
+			}
+			// A read-only dataset the clones inherit but never write.
+			if err := vm.WriteGuestMem(flDataBase, make([]byte, flDataPages*4096)); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
+				t.Fatal(err)
+			}
+			v.SetGuestSoftware(nil, &isa.Interp{})
+			if _, err := v.StartThread(0); err != nil {
+				t.Fatal(err)
+			}
+			step := 0
+			if !env.Board.Run(40_000_000, func() bool {
+				step++
+				return step%256 == 0 && flCount(t, vm) >= 40
+			}) {
+				t.Fatal("template made no progress")
+			}
+
+			fl, err := fleet.New(env, vm, fleet.Options{
+				ConfigureVCPU: func(id int, vc hv.VCPU) {
+					vc.SetGuestSoftware(nil, &isa.Interp{})
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clones, err := fl.ForkN(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !env.Board.Run(200_000_000, func() bool { return env.Host.LiveCount() == 0 }) {
+				t.Fatal("fleet did not run to completion")
+			}
+			for i, c := range clones {
+				if got := flCount(t, c); got != flIters {
+					t.Errorf("clone %d finished with count %d, want %d", i, got, flIters)
+				}
+			}
+			st := fl.Stats()
+			if st.Clones != 3 {
+				t.Errorf("Stats.Clones = %d, want 3", st.Clones)
+			}
+			if st.SnapshotPages < flDataPages {
+				t.Errorf("snapshot froze %d pages, want at least the %d dataset pages", st.SnapshotPages, flDataPages)
+			}
+			// Each clone privatized its counter page and keeps sharing the
+			// dataset and program pages.
+			if st.PrivatePages < 3 {
+				t.Errorf("Stats.PrivatePages = %d, want >= 3 (one counter page per clone)", st.PrivatePages)
+			}
+			if frac := st.SharedFraction(); frac <= 0.5 {
+				t.Errorf("shared fraction %.2f after read-mostly run, want > 0.5", frac)
+			}
+			if st.SharedFrames == 0 {
+				t.Error("Stats.SharedFrames = 0 with a live snapshot pool")
+			}
+
+			fl.Release()
+			if _, err := fl.Fork(); err == nil {
+				t.Error("Fork after Release succeeded")
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+// Dirty-log lifecycle conformance: misuse of the Start/Fetch/Stop
+// sequence must fail loudly on every backend. Regression: a double
+// StartDirtyLog silently re-protected pages and lost the first log's
+// dirty set, and Fetch/Stop with no active log silently returned nothing
+// — a migration driver bug became silent data loss instead of an error.
+package hv_test
+
+import (
+	"errors"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/hv"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/mmu"
+)
+
+func TestDirtyLogLifecycleConformance(t *testing.T) {
+	for _, b := range hv.Backends() {
+		t.Run(b.Name, func(t *testing.T) {
+			env, err := b.NewEnv(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm, err := env.HV.CreateVM(16 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Populate a few pages so the log has something to protect.
+			if err := vm.WriteGuestMem(machine.RAMBase, make([]byte, 3*4096)); err != nil {
+				t.Fatal(err)
+			}
+
+			// Fetch/Stop before any Start: clear errors, not silence.
+			if _, err := vm.FetchDirtyLog(); !errors.Is(err, mmu.ErrDirtyLogInactive) {
+				t.Errorf("FetchDirtyLog with no log: got %v, want ErrDirtyLogInactive", err)
+			}
+			if err := vm.StopDirtyLog(); !errors.Is(err, mmu.ErrDirtyLogInactive) {
+				t.Errorf("StopDirtyLog with no log: got %v, want ErrDirtyLogInactive", err)
+			}
+
+			if _, err := vm.StartDirtyLog(); err != nil {
+				t.Fatalf("StartDirtyLog: %v", err)
+			}
+			// Double start must not silently restart the log.
+			if _, err := vm.StartDirtyLog(); !errors.Is(err, mmu.ErrDirtyLogActive) {
+				t.Errorf("second StartDirtyLog: got %v, want ErrDirtyLogActive", err)
+			}
+			// The first log is still intact and usable: a page mapped fresh
+			// while logging starts life dirty.
+			if err := vm.WriteGuestMem(machine.RAMBase+8<<20, []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+			pages, err := vm.FetchDirtyLog()
+			if err != nil {
+				t.Fatalf("FetchDirtyLog after rejected restart: %v", err)
+			}
+			if len(pages) == 0 {
+				t.Error("dirty set lost after rejected restart")
+			}
+			if err := vm.StopDirtyLog(); err != nil {
+				t.Fatalf("StopDirtyLog: %v", err)
+			}
+			if err := vm.StopDirtyLog(); !errors.Is(err, mmu.ErrDirtyLogInactive) {
+				t.Errorf("second StopDirtyLog: got %v, want ErrDirtyLogInactive", err)
+			}
+		})
+	}
+}

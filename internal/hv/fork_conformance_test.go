@@ -1,0 +1,169 @@
+// Snapshot/fork conformance: on every registered backend, a mid-workload
+// guest is captured, two clones are forked, and all three run to
+// completion. Each instance's final guest-visible state must equal an
+// unforked baseline run, and a write into one clone — host-side, through
+// the copy-on-write break in GuestMem.Write — must stay invisible to the
+// template and the sibling. The portable variant restores the snapshot
+// into a fresh hypervisor instance and expects the same equivalence.
+package hv_test
+
+import (
+	"encoding/binary"
+	"runtime"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+)
+
+// forkPokeAddr is a write-log slot stamped early in the workload (count 3
+// lands at migBufBase+8) and never written again — the host pokes it in
+// one clone to probe isolation.
+const forkPokeAddr = migBufBase + 8
+
+// forkConf installs the raw-guest interpreter on clone vCPUs (software
+// contexts do not travel with registers).
+var forkConf = hv.ForkOptions{
+	ConfigureVCPU: func(id int, v hv.VCPU) {
+		v.SetGuestSoftware(nil, &isa.Interp{})
+	},
+}
+
+// bufWord reads one 32-bit word of a VM's write log.
+func bufWord(t *testing.T, vm hv.VM, addr uint64) uint32 {
+	t.Helper()
+	b, err := vm.ReadGuestMem(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// runMidWorkload starts the template's vCPU thread and drives it into the
+// middle of its write loop.
+func runMidWorkload(t *testing.T, env *hv.Env, vm hv.VM, v hv.VCPU) {
+	t.Helper()
+	if _, err := v.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	if !env.Board.Run(40_000_000, func() bool {
+		step++
+		return step%512 == 0 && guestCount(t, vm) >= 60
+	}) {
+		t.Fatal("template made no workload progress")
+	}
+}
+
+func TestSnapshotForkConformance(t *testing.T) {
+	for _, be := range hv.Backends() {
+		be := be
+		t.Run(be.Name, func(t *testing.T) {
+			t.Cleanup(runtime.GC)
+			want := baselineMigState(t, be)
+
+			env, vm, v := startMigrationGuest(t, be)
+			runMidWorkload(t, env, vm, v)
+			snap, err := hv.CaptureSnapshot(env, vm, hv.SnapshotOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.SharedPages < migColdPages {
+				t.Fatalf("snapshot froze %d pages, want at least the %d cold pages", snap.SharedPages, migColdPages)
+			}
+			c1, err := hv.Fork(env, snap, forkConf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := hv.Fork(env, snap, forkConf)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Poke one clone through the host-side write path; the break
+			// must privatize the page in c1 only.
+			poke := uint32(0xFEED_FACE)
+			pb := make([]byte, 4)
+			binary.LittleEndian.PutUint32(pb, poke)
+			if err := c1.WriteGuestMem(forkPokeAddr, pb); err != nil {
+				t.Fatal(err)
+			}
+			if got := bufWord(t, c1, forkPokeAddr); got != poke {
+				t.Fatalf("poked word in c1 = %#x, want %#x", got, poke)
+			}
+			if got := bufWord(t, c2, forkPokeAddr); got != 3 {
+				t.Errorf("sibling clone sees poked word %#x, want original 3", got)
+			}
+			if got := bufWord(t, vm, forkPokeAddr); got != 3 {
+				t.Errorf("template sees poked word %#x, want original 3", got)
+			}
+
+			// Run template and both clones to completion.
+			if !env.Board.Run(200_000_000, func() bool { return env.Host.LiveCount() == 0 }) {
+				t.Fatal("fleet did not run to completion")
+			}
+			for name, m := range map[string]hv.VM{"template": vm, "c1": c1, "c2": c2} {
+				for _, vc := range m.VCPUs() {
+					if vc.State() != "shutdown" {
+						t.Fatalf("%s vCPU %d finished in state %q", name, vc.VCPUID(), vc.State())
+					}
+				}
+			}
+
+			// Template and the untouched clone must match the unforked run
+			// exactly; the poked clone must match except the poked word.
+			compareMigState(t, captureMigState(t, vm, v), want)
+			compareMigState(t, captureMigState(t, c2, c2.VCPUs()[0]), want)
+			c1State := captureMigState(t, c1, c1.VCPUs()[0])
+			if got := binary.LittleEndian.Uint32(c1State.buf[8:12]); got != poke {
+				t.Errorf("poked word after c1 run = %#x, want %#x", got, poke)
+			}
+			binary.LittleEndian.PutUint32(c1State.buf[8:12], 3)
+			compareMigState(t, c1State, want)
+
+			// The cold pages were never written: the fleet still shares
+			// them after running to completion.
+			for name, m := range map[string]hv.VM{"c1": c1, "c2": c2} {
+				if s := m.GuestMemory().Table.CowSharedPages(); s < migColdPages {
+					t.Errorf("%s shares %d pages after the run, want >= %d", name, s, migColdPages)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotRestoreConformance(t *testing.T) {
+	for _, be := range hv.Backends() {
+		be := be
+		t.Run(be.Name, func(t *testing.T) {
+			t.Cleanup(runtime.GC)
+			want := baselineMigState(t, be)
+
+			srcEnv, vm, v := startMigrationGuest(t, be)
+			runMidWorkload(t, srcEnv, vm, v)
+			snap, err := hv.CaptureSnapshot(srcEnv, vm, hv.SnapshotOptions{Portable: true, KeepPaused: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Fork is same-environment only; crossing instances needs the
+			// portable Restore.
+			dstEnv, err := be.NewEnv(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := hv.Fork(dstEnv, snap, forkConf); err == nil {
+				t.Error("Fork into a different environment succeeded")
+			}
+			clone, err := hv.Restore(dstEnv, snap, forkConf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dstEnv.Board.Run(120_000_000, func() bool { return dstEnv.Host.LiveCount() == 0 }) {
+				t.Fatal("restored clone did not run to completion")
+			}
+			compareMigState(t, captureMigState(t, clone, clone.VCPUs()[0]), want)
+		})
+	}
+}

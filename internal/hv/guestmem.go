@@ -34,13 +34,28 @@ type GuestMem struct {
 	Alloc PageAllocator
 	RAM   PhysMem
 	Slots []MemSlot
+
+	// FlushPage / FlushAll, when set by the backend, invalidate this VM's
+	// TLB entries after a single-page permission change (a host-side
+	// copy-on-write break) or a whole-table one (a snapshot freeze). The
+	// GuestMem does not own TLBs, so without these callbacks the backend
+	// must flush around Freeze/Write itself.
+	FlushPage func(ipa uint64)
+	FlushAll  func()
 }
 
 // AddSlot registers a guest RAM slot. Like KVM_SET_USER_MEMORY_REGION it
-// rejects zero-sized slots and slots overlapping an existing one.
+// rejects zero-sized slots, slots overlapping an existing one, and slots
+// whose end wraps past 2^64.
 func (m *GuestMem) AddSlot(ipaBase, size uint64) error {
 	if size == 0 {
 		return fmt.Errorf("hv: zero-sized memory slot at %#x", ipaBase)
+	}
+	// A slot ending exactly at 2^64 (end == 0 after wrap) is legal; one
+	// wrapping past it describes no coherent interval — the overlap check
+	// below is overflow-safe and would happily accept the nonsense.
+	if end := ipaBase + size; end != 0 && end < ipaBase {
+		return fmt.Errorf("hv: memory slot [%#x,+%#x) wraps past 2^64", ipaBase, size)
 	}
 	for _, s := range m.Slots {
 		// Overflow-safe interval overlap: [a,a+s) and [b,b+t) intersect
@@ -102,14 +117,28 @@ func (m *GuestMem) EnsureMapped(ipa uint64) (uint64, error) {
 }
 
 // Write copies data into guest-physical memory, populating mappings as
-// needed.
+// needed. A host-side write bypasses Stage-2 permission faults, so pages
+// still mapped to a shared copy-on-write frame are privatized here first —
+// writing through the shared PA would leak into every sibling VM.
 func (m *GuestMem) Write(ipa uint64, data []byte) error {
 	for off := 0; off < len(data); {
-		pa, err := m.EnsureMapped(ipa + uint64(off))
+		cur := ipa + uint64(off)
+		pa, err := m.EnsureMapped(cur)
 		if err != nil {
 			return err
 		}
-		n := int(mmu.PageSize - (ipa+uint64(off))&(mmu.PageSize-1))
+		if m.Table.IsCowShared(cur) {
+			if _, err := m.Table.CowFault(cur); err != nil {
+				return err
+			}
+			if m.FlushPage != nil {
+				m.FlushPage(cur &^ (mmu.PageSize - 1))
+			}
+			if pa, err = m.EnsureMapped(cur); err != nil {
+				return err
+			}
+		}
+		n := int(mmu.PageSize - cur&(mmu.PageSize-1))
 		if n > len(data)-off {
 			n = len(data) - off
 		}
@@ -117,6 +146,41 @@ func (m *GuestMem) Write(ipa uint64, data []byte) error {
 			return err
 		}
 		off += n
+	}
+	return nil
+}
+
+// FreezeCowShared write-protects every mapped RAM-slot page and registers
+// its frame in pool as copy-on-write shared (snapshot capture). Device
+// windows mapped in the same table are excluded by the slot filter, like
+// the dirty log. Flushes the VM's TLBs through FlushAll when set. Returns
+// the number of pages frozen.
+func (m *GuestMem) FreezeCowShared(pool *mmu.CowPool) (int, error) {
+	n, err := m.Table.FreezeCow(pool, m.InSlot)
+	if err != nil {
+		return 0, err
+	}
+	if m.FlushAll != nil {
+		m.FlushAll()
+	}
+	return n, nil
+}
+
+// AdoptCowPages maps each snapshot frame (IPA page → frame PA) read-only
+// into this VM's table as a copy-on-write sharer (the fork destination
+// side). The pages must be inside registered slots and not mapped yet; no
+// TLB flush is needed — a fresh VM has no cached translations.
+func (m *GuestMem) AdoptCowPages(pool *mmu.CowPool, frames map[uint64]uint64) error {
+	for page, pa := range frames {
+		if !m.InSlot(page) {
+			return fmt.Errorf("hv: snapshot page %#x outside the destination's memory slots", page)
+		}
+		if page >= 1<<32 {
+			return fmt.Errorf("hv: snapshot page %#x beyond the 32-bit translation range", page)
+		}
+		if err := m.Table.AdoptCowPage(pool, uint32(page), pa); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -62,6 +62,35 @@ func TestAddSlotRejectsOverlapAndZero(t *testing.T) {
 	}
 }
 
+// Regression: AddSlot accepted slots whose end wraps past 2^64 (e.g. base
+// ^uint64(0)-0xFFF with size 0x2000). Such a slot describes no coherent
+// interval — the overlap check and InSlot then reason about garbage. A
+// slot ending exactly at 2^64 stays legal.
+func TestAddSlotRejectsWraparound(t *testing.T) {
+	m := newGuestMem(t)
+	cases := []struct {
+		name       string
+		base, size uint64
+	}{
+		{"one past the top", ^uint64(0) - 0xFFF, 0x1001},
+		{"far past the top", ^uint64(0) - 0xFFF, 0x10000},
+		{"max base", ^uint64(0), 2},
+		{"huge size", 1 << 63, (1 << 63) + 0x1000},
+	}
+	for _, c := range cases {
+		if err := m.AddSlot(c.base, c.size); err == nil {
+			t.Errorf("%s: slot [%#x,+%#x) wrapping past 2^64 accepted", c.name, c.base, c.size)
+		}
+	}
+	if len(m.Slots) != 0 {
+		t.Fatalf("slot list grew to %d after rejected adds", len(m.Slots))
+	}
+	// Ending exactly at 2^64 is a coherent (if exotic) interval.
+	if err := m.AddSlot(^uint64(0)-0xFFF, 0x1000); err != nil {
+		t.Errorf("slot ending exactly at 2^64 rejected: %v", err)
+	}
+}
+
 func TestEnsureMappedBounds(t *testing.T) {
 	m := newGuestMem(t)
 	if err := m.AddSlot(gmRAMBase, 2<<20); err != nil {

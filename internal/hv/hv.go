@@ -118,6 +118,13 @@ type VM interface {
 	// RestoreDeviceState installs a saved device state into this VM,
 	// whose vCPUs must be created but not yet started.
 	RestoreDeviceState(st *DeviceState) error
+
+	// GuestMemory exposes the VM's slot bookkeeping and second-stage
+	// table (the shared GuestMem every backend embeds). Snapshot capture
+	// and copy-on-write fork (internal/hv/snapshot.go) drive the
+	// freeze/adopt machinery through it; the backend wires the TLB-flush
+	// callbacks so permission changes are globally visible.
+	GuestMemory() *GuestMem
 }
 
 // VCPU is one virtual CPU.

@@ -39,8 +39,16 @@ func (p *RetryPolicy) withDefaults() RetryPolicy {
 // retryable classifies a migration failure. Transient copy faults and
 // injected backend errors are worth a plain retry; budget exhaustion is
 // retryable after widening the budget; everything else — stuck vCPUs
-// first among them — is permanent.
+// first among them — is permanent. An abort whose rollback itself failed
+// is permanent regardless of its cause: the source may not be intact, and
+// re-running a migration from an uncertain source can only compound the
+// damage. This check comes first because AbortError.Unwrap exposes the
+// cause — a transient cause must not win over a failed rollback.
 func retryable(err error) (widen *BudgetError, ok bool) {
+	var abort *AbortError
+	if errors.As(err, &abort) && abort.RollbackErr != nil {
+		return nil, false
+	}
 	var stuck *StuckVCPUError
 	if errors.As(err, &stuck) {
 		return nil, false

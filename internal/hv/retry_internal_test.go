@@ -1,0 +1,50 @@
+// White-box tests for the retry classifier. Regression: an AbortError
+// whose rollback itself failed used to be classified by its *cause*
+// (AbortError.Unwrap exposes it to errors.Is/As), so a transient copy
+// fault followed by a failed rollback was retried against a source VM
+// that may not be intact. A failed rollback must be permanent no matter
+// what the original cause was.
+package hv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRetryableFailedRollbackIsPermanent(t *testing.T) {
+	rollback := errors.New("device restore failed")
+	cases := []struct {
+		name  string
+		cause error
+	}{
+		{"transient cause", ErrMigrateTransient},
+		{"budget cause", &BudgetError{Phase: "precopy", Budget: 300}},
+		{"plain cause", errors.New("copy failed")},
+	}
+	for _, c := range cases {
+		abort := &AbortError{Cause: c.cause, RollbackErr: rollback}
+		if widen, ok := retryable(abort); ok || widen != nil {
+			t.Errorf("%s + failed rollback classified retryable", c.name)
+		}
+		// Classification must see through wrapping, like the call site's
+		// errors.As does.
+		if _, ok := retryable(fmt.Errorf("attempt 1: %w", abort)); ok {
+			t.Errorf("wrapped %s + failed rollback classified retryable", c.name)
+		}
+	}
+}
+
+func TestRetryableCleanRollbackClassification(t *testing.T) {
+	// A clean rollback keeps the cause-based classification.
+	if _, ok := retryable(&AbortError{Cause: ErrMigrateTransient}); !ok {
+		t.Error("clean-rollback transient abort not retryable")
+	}
+	widen, ok := retryable(&AbortError{Cause: &BudgetError{Phase: "park", Budget: 7}})
+	if !ok || widen == nil || widen.Phase != "park" {
+		t.Errorf("clean-rollback budget abort: widen=%v ok=%v", widen, ok)
+	}
+	if _, ok := retryable(&AbortError{Cause: &StuckVCPUError{VCPU: 1, Exits: 99}}); ok {
+		t.Error("stuck-vCPU abort classified retryable")
+	}
+}

@@ -1,0 +1,350 @@
+package hv
+
+import (
+	"fmt"
+
+	"kvmarm/internal/mmu"
+)
+
+// VM snapshots and copy-on-write fork. CaptureSnapshot is migration's
+// save side turned into a first-class object: the full ONE_REG register
+// file of every vCPU, the backend's DeviceState, and guest memory. Memory
+// is captured two ways:
+//
+//   - By default the snapshot freezes the source's mapped RAM pages
+//     read-only (the same Stage-2/EPT write-protect machinery the dirty
+//     log rides) and records their frames in a mmu.CowPool. Fork then
+//     builds clones in the *same* environment whose tables map those
+//     frames read-only: clones share every snapshot page until their
+//     first write, which faults and privatizes just that page. The
+//     snapshot holds its own pool reference per frame, so frame contents
+//     stay immutable — the source resuming and writing breaks *its*
+//     sharing without disturbing clones forked later.
+//
+//   - With Portable set the snapshot additionally copies every mapped
+//     page's bytes, and Restore can rebuild the VM in a different
+//     same-family environment (an offline migration through an object
+//     instead of a live stream).
+//
+// Fork is the fleet primitive: one booted template, N instances, each
+// paying only a page-table adoption instead of a boot or a full copy.
+
+// Modeled costs charged to the environment's CPU 0 (board cycles), making
+// snapshot capture and fork measurable quantities like migration downtime.
+const (
+	// SnapFreezeCyclesPerPage models write-protecting one page leaf.
+	SnapFreezeCyclesPerPage = 12
+	// ForkMapCyclesPerPage models adopting one shared page into a clone
+	// (a PTE write — the whole point is that it is not a 4 KiB copy).
+	ForkMapCyclesPerPage = 24
+	// ForkDeviceCycles models the device-state restore pass.
+	ForkDeviceCycles = 2000
+)
+
+// SnapshotOptions tunes CaptureSnapshot.
+type SnapshotOptions struct {
+	// PauseBudget is the board step budget for parking every vCPU
+	// (default 200000).
+	PauseBudget uint64
+	// KeepPaused leaves the source vCPUs parked after capture; by default
+	// they resume and the source runs on (its first write to a shared
+	// page takes a copy-on-write fault like any clone's).
+	KeepPaused bool
+	// Portable additionally copies every mapped page's bytes so the
+	// snapshot can Restore into a different environment. Fork does not
+	// need it.
+	Portable bool
+}
+
+// Snapshot is a captured VM: registers, device state, and guest memory
+// (shared frames for same-environment forks, page bytes when portable).
+type Snapshot struct {
+	// Family is the device-state family ("arm", "x86").
+	Family string
+	// Slots is the source's guest-physical slot layout; Slots[0] is the
+	// canonical RAM slot whose size Fork/Restore pass to CreateVM.
+	Slots []MemSlot
+	// Regs holds each vCPU's ONE_REG file, in creation order.
+	Regs []map[RegID]uint32
+	// Shutdown marks vCPUs that had already powered off at capture time.
+	Shutdown []bool
+	// Devices is the backend device state (interrupt controller, virtual
+	// timers, console, virtio queues).
+	Devices *DeviceState
+	// SharedPages is the number of pages frozen for copy-on-write fork.
+	SharedPages int
+	// Pages is the portable memory image (IPA page → bytes), nil unless
+	// captured with Portable.
+	Pages map[uint64][]byte
+
+	env    *Env
+	pool   *mmu.CowPool
+	frames map[uint64]uint64
+}
+
+// ForkOptions tunes Fork.
+type ForkOptions struct {
+	// ConfigureVCPU installs host-side guest software on each clone vCPU
+	// before it starts (software contexts do not travel with registers).
+	ConfigureVCPU func(id int, v VCPU)
+	// Pin chooses the host CPU for clone vCPU id's thread (-1 for any).
+	// Nil pins vCPU i to host CPU i when it exists, else any.
+	Pin func(id int) int
+}
+
+// CaptureSnapshot pauses vm's vCPUs, captures registers, device state and
+// memory, re-stages the device state into the source (SaveDeviceState
+// drains list registers, exactly like migration's rollback must undo), and
+// — unless KeepPaused — resumes the source. The source keeps running on
+// copy-on-write shared memory afterwards; the snapshot stays immutable.
+func CaptureSnapshot(env *Env, vm VM, o SnapshotOptions) (*Snapshot, error) {
+	opts := o
+	if opts.PauseBudget == 0 {
+		opts.PauseBudget = 200000
+	}
+	mem := vm.GuestMemory()
+	if mem == nil || mem.Table == nil {
+		return nil, fmt.Errorf("hv: VM exposes no guest memory to snapshot")
+	}
+	if len(mem.Slots) == 0 {
+		return nil, fmt.Errorf("hv: VM has no memory slots to snapshot")
+	}
+
+	vcpus := vm.VCPUs()
+	var paused []VCPU
+	resume := func() {
+		for _, v := range paused {
+			if v.Paused() {
+				v.Resume()
+			}
+		}
+	}
+	for _, v := range vcpus {
+		if v.State() != "shutdown" && !v.Paused() {
+			v.Pause()
+			paused = append(paused, v)
+		}
+	}
+	parked := func() bool {
+		for _, v := range vcpus {
+			if !v.Paused() && v.State() != "shutdown" {
+				return false
+			}
+		}
+		return true
+	}
+	if !env.Board.Run(opts.PauseBudget, parked) {
+		resume()
+		return nil, &BudgetError{Phase: "park", Budget: opts.PauseBudget}
+	}
+
+	snap := &Snapshot{
+		Slots: append([]MemSlot(nil), mem.Slots...),
+		env:   env,
+	}
+	for i, v := range vcpus {
+		regs, err := SaveAllRegs(v)
+		if err != nil {
+			resume()
+			return nil, fmt.Errorf("hv: snapshotting vCPU %d: %w", i, err)
+		}
+		snap.Regs = append(snap.Regs, regs)
+		snap.Shutdown = append(snap.Shutdown, v.State() == "shutdown")
+	}
+	st, err := vm.SaveDeviceState()
+	if err != nil {
+		resume()
+		return nil, err
+	}
+	snap.Devices = st
+	snap.Family = st.Family
+
+	// Freeze guest memory for copy-on-write sharing. A table that froze
+	// for an earlier snapshot keeps its pool; all snapshots of one source
+	// count frames in the same place.
+	pool := mem.Table.SharePool()
+	if pool == nil {
+		pool = mmu.NewCowPool()
+	}
+	if _, err := mem.FreezeCowShared(pool); err != nil {
+		resume()
+		return nil, err
+	}
+	snap.pool = pool
+	snap.frames = mem.Table.CowPages()
+	snap.SharedPages = len(snap.frames)
+	// The snapshot's own reference per frame: a sole-sharer source can
+	// then never reclaim a frame in place, so its contents stay exactly
+	// as captured for every future Fork.
+	for _, pa := range snap.frames {
+		pool.Retain(pa)
+	}
+	if len(env.Board.CPUs) > 0 {
+		env.Board.CPUs[0].Charge(uint64(snap.SharedPages) * SnapFreezeCyclesPerPage)
+	}
+
+	if opts.Portable {
+		pages, err := vm.MappedPages()
+		if err != nil {
+			resume()
+			return nil, err
+		}
+		snap.Pages = make(map[uint64][]byte, len(pages))
+		for _, p := range pages {
+			data, err := vm.ReadGuestMem(p, mmu.PageSize)
+			if err != nil {
+				resume()
+				return nil, err
+			}
+			snap.Pages[p] = data
+		}
+	}
+
+	// Re-stage the device snapshot into the source: SaveDeviceState
+	// drained its list registers, and a resumed guest must find its ACKed
+	// interrupts where it left them.
+	if err := vm.RestoreDeviceState(st); err != nil {
+		resume()
+		return nil, err
+	}
+	if !opts.KeepPaused {
+		resume()
+	}
+	return snap, nil
+}
+
+// Release drops the snapshot's frame references. Frames every clone has
+// privatized (or that had no clones) become sole-owned again and can be
+// reclaimed in place on the owner's next write. Forking after Release is
+// an error.
+func (s *Snapshot) Release() {
+	for _, pa := range s.frames {
+		s.pool.Release(pa)
+	}
+	s.frames = nil
+}
+
+// buildFromSnapshot is the common clone construction: VM, slots, vCPUs
+// with restored registers. Memory arrives separately (adopt vs copy).
+func buildFromSnapshot(env *Env, snap *Snapshot, conf func(id int, v VCPU)) (VM, error) {
+	vm, err := env.HV.CreateVM(snap.Slots[0].Size)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range snap.Slots[1:] {
+		if err := vm.SetUserMemoryRegion(s.IPABase, s.Size); err != nil {
+			return nil, err
+		}
+	}
+	for i, regs := range snap.Regs {
+		v, err := vm.CreateVCPU(i)
+		if err != nil {
+			return nil, err
+		}
+		if err := RestoreAllRegs(v, regs); err != nil {
+			return nil, fmt.Errorf("hv: restoring vCPU %d: %w", i, err)
+		}
+		if conf != nil {
+			conf(i, v)
+		}
+	}
+	return vm, nil
+}
+
+// startClone installs the device state and starts the clone's vCPU
+// threads (shutdown vCPUs stay down). Shared by Fork and Restore.
+func startClone(env *Env, vm VM, snap *Snapshot, pin func(id int) int) error {
+	if err := vm.RestoreDeviceState(snap.Devices); err != nil {
+		return err
+	}
+	for i, v := range vm.VCPUs() {
+		if snap.Shutdown[i] {
+			v.Shutdown()
+			continue
+		}
+		host := i
+		if pin != nil {
+			host = pin(i)
+		} else if host >= len(env.Board.CPUs) {
+			host = -1
+		}
+		if _, err := v.StartThread(host); err != nil {
+			return fmt.Errorf("hv: starting clone vCPU %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// teardownClone shuts down a half-built clone's vCPUs after a fork error.
+func teardownClone(vm VM) {
+	for _, v := range vm.VCPUs() {
+		v.Wake(0)
+		v.Shutdown()
+	}
+}
+
+// Fork builds and starts a new instance of the snapshot in the snapshot's
+// own environment, sharing every captured page copy-on-write. The clone
+// pays one page-table entry per shared page instead of a copy or a boot;
+// its first write to any shared page privatizes that page only.
+func Fork(env *Env, snap *Snapshot, o ForkOptions) (VM, error) {
+	if env != snap.env {
+		return nil, fmt.Errorf("hv: fork requires the snapshot's own environment (use a Portable snapshot and Restore to cross instances)")
+	}
+	if snap.frames == nil {
+		return nil, fmt.Errorf("hv: snapshot has been released; nothing to fork")
+	}
+	vm, err := buildFromSnapshot(env, snap, o.ConfigureVCPU)
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.GuestMemory().AdoptCowPages(snap.pool, snap.frames); err != nil {
+		teardownClone(vm)
+		return nil, err
+	}
+	if err := startClone(env, vm, snap, o.Pin); err != nil {
+		teardownClone(vm)
+		return nil, err
+	}
+	regs := 0
+	for _, r := range snap.Regs {
+		regs += len(r)
+	}
+	if len(env.Board.CPUs) > 0 {
+		env.Board.CPUs[0].Charge(uint64(len(snap.frames))*ForkMapCyclesPerPage +
+			uint64(regs)*MigrateRegCycles + ForkDeviceCycles)
+	}
+	return vm, nil
+}
+
+// Restore rebuilds the snapshot as a full private copy in env, which may
+// be a different hypervisor instance of the same family (offline
+// migration through an object). Requires a Portable snapshot.
+func Restore(env *Env, snap *Snapshot, o ForkOptions) (VM, error) {
+	if snap.Pages == nil {
+		return nil, fmt.Errorf("hv: snapshot is not portable (captured without SnapshotOptions.Portable)")
+	}
+	vm, err := buildFromSnapshot(env, snap, o.ConfigureVCPU)
+	if err != nil {
+		return nil, err
+	}
+	for page, data := range snap.Pages {
+		if err := vm.WriteGuestMem(page, data); err != nil {
+			teardownClone(vm)
+			return nil, err
+		}
+	}
+	if err := startClone(env, vm, snap, o.Pin); err != nil {
+		teardownClone(vm)
+		return nil, err
+	}
+	regs := 0
+	for _, r := range snap.Regs {
+		regs += len(r)
+	}
+	if len(env.Board.CPUs) > 0 {
+		env.Board.CPUs[0].Charge(uint64(len(snap.Pages))*MigrateCopyCyclesPerPage +
+			uint64(regs)*MigrateRegCycles + ForkDeviceCycles)
+	}
+	return vm, nil
+}

@@ -217,6 +217,8 @@ func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
 	vm := &VM{kvm: x, VMID: x.nextVMID, EPT: ept}
 	ept.Fault = x.Fault
 	vm.Mem = hv.GuestMem{Table: ept, Alloc: x.Host.Alloc, RAM: x.Board.RAM}
+	vm.Mem.FlushPage = vm.flushS2Page
+	vm.Mem.FlushAll = vm.flushTLBs
 	if err := vm.Mem.AddSlot(machine.RAMBase, memBytes); err != nil {
 		return nil, err
 	}
@@ -233,6 +235,10 @@ func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
 
 // ID is the VMID (the VPID tagging the VM's TLB entries).
 func (vm *VM) ID() uint8 { return vm.VMID }
+
+// GuestMemory exposes the slot bookkeeping and EPT for snapshot capture
+// and copy-on-write fork.
+func (vm *VM) GuestMemory() *hv.GuestMem { return &vm.Mem }
 
 // Device returns the VM's emulated virtio-style device of class, or nil.
 func (vm *VM) Device(class dev.VirtClass) *dev.Virt {

@@ -221,6 +221,21 @@ func (x *Hypervisor) handleEPTViolation(c *arm.CPU, v *VCPU, e *arm.Exception) (
 	gpa := e.FaultIPA
 	if vm.Mem.InSlot(gpa) {
 		vm.Stats.Stage2Faults++
+		// Copy-on-write write fault (snapshot/fork): break the sharing and
+		// retry. Checked before the dirty log — a shared page is read-only
+		// and never in the log's protected set; the paths below would remap
+		// it to a blank frame.
+		if vm.EPT.CowSharing() {
+			if handled, err := vm.EPT.CowFault(gpa); err != nil {
+				v.state = vcpuShutdown
+				return trace.ExitStage2Fault, gpa
+			} else if handled {
+				vm.flushS2Page(gpa)
+				c.Charge(x.Host.Cost.FaultWork/2 + x.Host.Cost.PageZero)
+				x.reenter(c, v)
+				return trace.ExitStage2Fault, gpa
+			}
+		}
 		// Dirty-log write fault: restore write access and retry (must
 		// precede the allocation path, which would clobber the page).
 		if vm.EPT.DirtyLogging() {

@@ -405,3 +405,16 @@ func (b *Board) Utilization(cpu int) float64 {
 	}
 	return float64(busy) / float64(busy+idle)
 }
+
+// LeastBusyCPU returns the CPU with the fewest busy cycles so far — a
+// placement hint for packing many VMs onto one board (a fleet of forked
+// clones spreads its vCPU threads instead of stacking them on CPU 0).
+func (b *Board) LeastBusyCPU() int {
+	best := 0
+	for i := 1; i < len(b.BusyCycles); i++ {
+		if b.BusyCycles[i] < b.BusyCycles[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -52,6 +52,12 @@ type Builder struct {
 	tablePages []uint64
 	// log, when non-nil, is the active dirty-page log (see dirty.go).
 	log *dirtyLog
+	// Copy-on-write state (see cow.go): pages still mapped to shared
+	// frames, the pool counting each frame's sharers, and pages already
+	// privatized (kept for stale-TLB fault idempotency).
+	cow       map[uint32]uint64
+	cowPool   *CowPool
+	cowBroken map[uint32]bool
 	// Fault, when non-nil, is the fault-injection plane consulted by the
 	// dirty-log operations (see dirty.go); nil means injection off.
 	Fault *fault.Plane

@@ -1,10 +1,23 @@
 package mmu
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"kvmarm/internal/fault"
+)
+
+// Dirty-log lifecycle misuse errors. The write-protect machinery now has
+// two riders (migration pre-copy and snapshot capture), so a double enable
+// or a drain/disable with no active log must fail loudly instead of
+// silently corrupting protect counts. Callers match with errors.Is.
+var (
+	// ErrDirtyLogActive reports EnableDirtyLog on a table already logging.
+	ErrDirtyLogActive = errors.New("mmu: dirty log already enabled")
+	// ErrDirtyLogInactive reports CollectDirty or DisableDirtyLog with no
+	// active log.
+	ErrDirtyLogInactive = errors.New("mmu: dirty log not enabled")
 )
 
 // Stage-2 dirty-page logging (live-migration pre-copy). EnableDirtyLog
@@ -41,7 +54,7 @@ func (b *Builder) EnableDirtyLog(filter func(ipa uint64) bool) (int, error) {
 		return 0, err
 	}
 	if b.log != nil {
-		return 0, fmt.Errorf("mmu: dirty log already enabled")
+		return 0, ErrDirtyLogActive
 	}
 	log := &dirtyLog{
 		filter:    filter,
@@ -121,7 +134,7 @@ func (b *Builder) CollectDirty() ([]uint64, error) {
 		return nil, err
 	}
 	if b.log == nil {
-		return nil, fmt.Errorf("mmu: dirty log not enabled")
+		return nil, ErrDirtyLogInactive
 	}
 	pages := make([]uint64, 0, len(b.log.dirty))
 	for page := range b.log.dirty {
@@ -139,13 +152,16 @@ func (b *Builder) CollectDirty() ([]uint64, error) {
 }
 
 // DisableDirtyLog restores write access to every still-protected page and
-// stops logging.
+// stops logging. Disabling a log that is not running is a lifecycle error:
+// the caller's enable/disable pairing is broken, and a silent nil here
+// historically masked double-stops that unprotected pages a concurrent
+// user still counted on.
 func (b *Builder) DisableDirtyLog() error {
 	if err := b.Fault.Fail(fault.PtDirtyDisable); err != nil {
 		return err
 	}
 	if b.log == nil {
-		return nil
+		return ErrDirtyLogInactive
 	}
 	for page := range b.log.protected {
 		if err := b.setLeafW(page, true); err != nil {

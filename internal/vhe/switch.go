@@ -344,6 +344,21 @@ func (x *Hypervisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uin
 	ipa := e.FaultIPA
 	if vm.Mem.InSlot(ipa) {
 		vm.Stats.Stage2Faults++
+		// Copy-on-write write fault (snapshot/fork): break the sharing and
+		// retry. Checked before the dirty log — a shared page is read-only
+		// and never in the log's protected set; the paths below would remap
+		// it to a blank frame.
+		if vm.S2.CowSharing() {
+			if handled, err := vm.S2.CowFault(ipa); err != nil {
+				v.state = vcpuShutdown
+				return trace.ExitStage2Fault, ipa
+			} else if handled {
+				vm.flushS2Page(ipa)
+				c.Charge(x.Host.Cost.FaultWork/2 + x.Host.Cost.PageZero)
+				x.reenter(c, v)
+				return trace.ExitStage2Fault, ipa
+			}
+		}
 		// Dirty-log write fault: restore write access and retry (must
 		// precede the allocation path, which would clobber the page).
 		if vm.S2.DirtyLogging() {

@@ -12,11 +12,17 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/ ./internal/fault/
+go test -race ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/ ./internal/fault/ ./internal/fleet/
 
 # Migration conformance under the race detector: all 25 source→destination
 # backend pairs, mid-workload, compared against an unmigrated run.
 go test -race -run TestBackendMigration -count=1 ./internal/hv/
+
+# Snapshot/fork conformance under the race detector: per backend, a
+# mid-workload capture forked into clones must run to the same final state
+# as an unforked run, with clone writes invisible to siblings; the
+# portable restore path must match across hypervisor instances.
+go test -race -run 'TestSnapshotForkConformance|TestSnapshotRestoreConformance' -count=1 ./internal/hv/
 
 # Migration-rollback suite under the race detector: every fault-injection
 # point on every backend family must end in a binary state (destination
@@ -31,3 +37,8 @@ go test -fuzz FuzzGuestMemSlots -fuzztime 5s -run '^$' ./internal/hv/
 # Short migration fault-injection fuzz smoke (point × trigger × kind →
 # binary outcome invariant); the long-running variant is manual.
 go test -fuzz FuzzMigrateFaults -fuzztime 5s -run '^$' ./internal/hv/
+
+# Short snapshot-fork fuzz smoke (arbitrary host-write interleavings over a
+# frozen template and three CoW clones: isolation + pool refcount
+# invariants); the long-running variant is manual.
+go test -fuzz FuzzSnapshotFork -fuzztime 5s -run '^$' ./internal/hv/
