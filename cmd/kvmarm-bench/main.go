@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, fleet, faults, stat")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, fleet, faults, mips, stat")
 	root := flag.String("root", ".", "repository root (for table4 line counts)")
 	flag.Parse()
 
@@ -84,6 +84,13 @@ func main() {
 			fail(err)
 		}
 		bench.PrintFaults(out, rows)
+	}
+	if run("mips") {
+		rows, err := bench.MIPSRows(bench.MIPSIters)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintMIPS(out, rows)
 	}
 	if run("stat") {
 		for _, backend := range []string{"ARM", "x86 laptop"} {

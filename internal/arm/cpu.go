@@ -267,6 +267,21 @@ func (c *CPU) Access(va uint32, size int, at mmu.AccessType, v *uint64, issValid
 	return false
 }
 
+// TranslatePC translates the current PC for an instruction fetch without
+// reading it, taking the architectural prefetch abort on failure — the
+// same exception, with the same syndrome, that Fetch32 would take. Block
+// dispatch uses it to pay the fetch translation once per basic block.
+func (c *CPU) TranslatePC() (uint64, bool) {
+	ctx := c.TranslationContext()
+	res, f := c.MMU.Translate(&ctx, c.Regs.PC(), mmu.Fetch)
+	if f != nil {
+		c.TakeException(c.abortFor(f, DataAbortISS(true, 2, 0, false)))
+		return 0, false
+	}
+	c.Charge(res.Cycles)
+	return res.PA, true
+}
+
 // Fetch32 reads the instruction at the current PC, taking a prefetch abort
 // on failure.
 func (c *CPU) Fetch32() (uint32, bool) {

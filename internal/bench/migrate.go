@@ -35,7 +35,11 @@ const (
 	migBenchCount = machine.RAMBase + 1<<20
 	migBenchBuf   = machine.RAMBase + 2<<20
 	migBenchCold  = machine.RAMBase + 3<<20
-	migBenchIters = 400
+	// migBenchIters is sized so the writer is still mid-loop when the
+	// step-budgeted pre-copy rounds reach the stop phase: board steps
+	// retire whole decoded blocks on the ARM backends, so the budgets
+	// below cover several hundred iterations.
+	migBenchIters = 3000
 	// migBenchColdPages is the write-sparse bulk pre-copy gets to move
 	// outside the downtime window.
 	migBenchColdPages = 64

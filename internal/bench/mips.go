@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+// Guest-MIPS: host-side throughput of the instruction simulation, the one
+// number the decoded basic-block cache exists to move. Simulated cycle
+// counts are identical in both modes by construction (the block runner
+// charges exactly what single-step charges); what the cache buys is fewer
+// host-side dispatches — one fetch/translate/decode per straight-line
+// block instead of one per instruction — so the comparison is wall-clock:
+// guest instructions retired per host second, single-step vs block mode.
+
+// MIPSIters is the default loop count for the CLI run; tests use fewer.
+const MIPSIters = 1_000_000
+
+// MIPSRow is one backend's single-step vs block-dispatch measurement.
+type MIPSRow struct {
+	Config string
+	Insns  uint64 // guest instructions retired (identical in both modes)
+	Clock  uint64 // simulated cycles (identical in both modes)
+
+	SingleNS int64 // host wall-clock, single-step dispatch
+	BlockNS  int64 // host wall-clock, block dispatch
+
+	Hits, Misses uint64 // block-cache counters from the block run
+}
+
+// SingleMIPS is guest millions-of-instructions per host second without
+// the block cache.
+func (r MIPSRow) SingleMIPS() float64 { return mips(r.Insns, r.SingleNS) }
+
+// BlockMIPS is the same with block dispatch.
+func (r MIPSRow) BlockMIPS() float64 { return mips(r.Insns, r.BlockNS) }
+
+// Speedup is BlockMIPS/SingleMIPS.
+func (r MIPSRow) Speedup() float64 {
+	if r.BlockNS == 0 {
+		return 0
+	}
+	return float64(r.SingleNS) / float64(r.BlockNS)
+}
+
+func mips(insns uint64, ns int64) float64 {
+	if ns == 0 {
+		return 0
+	}
+	return float64(insns) * 1e3 / float64(ns)
+}
+
+// mipsProgram is a loop-heavy ALU guest: ten straight-line instructions
+// per iteration ending in the back-branch, so the loop body decodes into
+// a single cached block that stays hot for the whole run.
+func mipsProgram(iters uint32) []uint32 {
+	a := isa.NewAsm(machine.RAMBase)
+	a.MOV32(isa.R4, iters)
+	a.MOVW(isa.R0, 0)
+	a.MOVW(isa.R1, 3)
+	a.Label("loop")
+	a.ADD(isa.R0, isa.R0, isa.R1)
+	a.XOR(isa.R2, isa.R0, isa.R1)
+	a.ORR(isa.R3, isa.R2, isa.R0)
+	a.AND(isa.R2, isa.R3, isa.R1)
+	a.LSL(isa.R3, isa.R2, isa.R1)
+	a.SUB(isa.R2, isa.R3, isa.R0)
+	a.ADDI(isa.R5, isa.R2, 7)
+	a.SUBI(isa.R4, isa.R4, 1)
+	a.CMPI(isa.R4, 0)
+	a.BNE("loop")
+	a.HVC(kernel.PSCISystemOff)
+	return a.MustAssemble()
+}
+
+// runMIPS boots the ALU guest on cfg with the chosen dispatch mode and
+// returns host wall-clock alongside the simulated totals.
+func runMIPS(cfg string, iters uint32, singleStep bool) (ns int64, clock, insns, hits, misses uint64, err error) {
+	be, ok := hv.Lookup(cfg)
+	if !ok {
+		err = fmt.Errorf("unknown MIPS config %q", cfg)
+		return
+	}
+	env, err := be.NewEnv(1)
+	if err != nil {
+		return
+	}
+	vm, err := env.HV.CreateVM(64 << 20)
+	if err != nil {
+		return
+	}
+	v, err := vm.CreateVCPU(0)
+	if err != nil {
+		return
+	}
+	if err = vm.WriteGuestMem(machine.RAMBase, progBytes(mipsProgram(iters))); err != nil {
+		return
+	}
+	if err = v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+		return
+	}
+	if err = v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
+		return
+	}
+	v.SetGuestSoftware(nil, &isa.Interp{SingleStep: singleStep})
+	if _, err = v.StartThread(0); err != nil {
+		return
+	}
+	budget := uint64(iters)*12 + 1_000_000
+	start := time.Now()
+	if !env.Board.Run(budget, func() bool { return env.Host.LiveCount() == 0 }) {
+		err = fmt.Errorf("MIPS guest did not finish (%s)", v.State())
+		return
+	}
+	ns = time.Since(start).Nanoseconds()
+	clock = env.Board.CPUs[0].Clock
+	insns = env.Board.CPUs[0].Insns
+	counters := env.HV.Counters()
+	hits, misses = counters["block_hits"], counters["block_misses"]
+	return
+}
+
+// MIPSRows measures both ARM backends in both dispatch modes. The run
+// fails if a mode pair disagrees on simulated cycles or retired
+// instructions — the cache must be invisible to the simulation.
+func MIPSRows(iters uint32) ([]MIPSRow, error) {
+	var rows []MIPSRow
+	for _, cfg := range []string{"ARM", "ARM VHE"} {
+		sNS, sClock, sInsns, _, _, err := runMIPS(cfg, iters, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s single-step: %w", cfg, err)
+		}
+		bNS, bClock, bInsns, hits, misses, err := runMIPS(cfg, iters, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s block: %w", cfg, err)
+		}
+		if sClock != bClock || sInsns != bInsns {
+			return nil, fmt.Errorf("%s: block dispatch diverged from single-step: cycles %d vs %d, insns %d vs %d",
+				cfg, bClock, sClock, bInsns, sInsns)
+		}
+		rows = append(rows, MIPSRow{
+			Config: cfg, Insns: sInsns, Clock: sClock,
+			SingleNS: sNS, BlockNS: bNS, Hits: hits, Misses: misses,
+		})
+	}
+	return rows, nil
+}
+
+// PrintMIPS renders the guest-MIPS table.
+func PrintMIPS(w io.Writer, rows []MIPSRow) {
+	fmt.Fprintf(w, "\nGuest MIPS — single-step vs decoded-block dispatch (identical simulated cycles)\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %14s %14s %9s %12s\n",
+		"Config", "guest insns", "sim cycles", "single MIPS", "block MIPS", "speedup", "cache hit%")
+	for _, r := range rows {
+		hitPct := 0.0
+		if r.Hits+r.Misses > 0 {
+			hitPct = 100 * float64(r.Hits) / float64(r.Hits+r.Misses)
+		}
+		fmt.Fprintf(w, "%-10s %12d %12d %14.1f %14.1f %8.2fx %11.1f%%\n",
+			r.Config, r.Insns, r.Clock, r.SingleMIPS(), r.BlockMIPS(), r.Speedup(), hitPct)
+	}
+}

@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestGuestMIPSSpeedup is the acceptance gate for the decoded basic-block
+// cache: block dispatch must retire guest instructions at least twice as
+// fast (host wall-clock) as single-step on both ARM backends, while the
+// simulated cycle and instruction totals stay identical (MIPSRows fails
+// internally on any divergence). The measured margin is ~5-7x, so the 2x
+// floor leaves ample headroom for loaded CI machines.
+func TestGuestMIPSSpeedup(t *testing.T) {
+	rows, err := MIPSRows(300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%s: %.1f -> %.1f MIPS (%.2fx), hit%%=%.1f",
+			r.Config, r.SingleMIPS(), r.BlockMIPS(), r.Speedup(),
+			100*float64(r.Hits)/float64(r.Hits+r.Misses))
+		if r.Speedup() < 2 {
+			t.Errorf("%s: block dispatch speedup %.2fx, want >= 2x", r.Config, r.Speedup())
+		}
+		if r.Hits == 0 || r.Misses == 0 {
+			t.Errorf("%s: block counters hits=%d misses=%d; cache not exercised", r.Config, r.Hits, r.Misses)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"kvmarm/internal/fault"
 	"kvmarm/internal/gic"
 	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/mmu"
@@ -70,6 +71,12 @@ type KVM struct {
 	// default: every consult site pays a single nil-check branch when
 	// injection is off. Attach with AttachFaultPlane.
 	Fault *fault.Plane
+
+	// Blocks is the decoded basic-block cache shared by every vCPU on
+	// this board, keyed by physical address. SetGuestSoftware wraps guest
+	// interpreters in a block-dispatch runner backed by it; pass an
+	// Interp with SingleStep set to opt a guest out.
+	Blocks *isa.BlockCache
 }
 
 // AttachTracer wires t into every layer of the hypervisor: the lowvisor's
@@ -85,6 +92,9 @@ func (k *KVM) AttachTracer(t *trace.Tracer) {
 	}
 	for _, c := range k.Board.CPUs {
 		c.MMU.Trace = t
+	}
+	if k.Blocks != nil {
+		k.Blocks.Trace = t
 	}
 	for _, vm := range k.vms {
 		t.RegisterVM(vm.VMID)
@@ -123,7 +133,7 @@ func (k *KVM) VMs() []hv.VM {
 // stable names.
 func (k *KVM) Counters() map[string]uint64 {
 	s := k.low.Stats
-	return map[string]uint64{
+	out := map[string]uint64{
 		"world_switch_in":     s.WorldSwitchIn,
 		"world_switch_out":    s.WorldSwitchOut,
 		"guest_traps":         s.GuestTraps,
@@ -132,6 +142,12 @@ func (k *KVM) Counters() map[string]uint64 {
 		"vgic_save_skipped":   s.VGICSaveSkipped,
 		"vgic_restore_skipped": s.VGICRestoreSkipped,
 	}
+	if k.Blocks != nil {
+		out["block_hits"] = k.Blocks.Stats.Hits
+		out["block_misses"] = k.Blocks.Stats.Misses
+		out["block_invals"] = k.Blocks.Stats.Invals
+	}
+	return out
 }
 
 // Init brings KVM up on a booted host kernel, per the paper's boot
@@ -147,6 +163,14 @@ func Init(b *machine.Board, host *kernel.Kernel) (*KVM, error) {
 	k.high = newHighvisor(k)
 	if err := k.low.initHyp(); err != nil {
 		return nil, err
+	}
+	// Decoded basic-block cache: every RAM mutation reports through
+	// mem.OnWrite (self-modifying code, DMA, host writes), and every
+	// CPU's TLB shootdown reaches it via MMU.Code.
+	k.Blocks = isa.NewBlockCache(b.RAM)
+	b.RAM.OnWrite = k.Blocks.OnWrite
+	for _, c := range b.CPUs {
+		c.MMU.Code = k.Blocks
 	}
 	// The VGIC maintenance interrupt tells the hypervisor that a guest
 	// completed a level-triggered virtual interrupt.
@@ -220,6 +244,7 @@ func (k *KVM) CreateVM(memBytes uint64) (hv.VM, error) {
 	}
 	vm := &VM{kvm: k, VMID: k.nextVMID, S2: s2}
 	s2.Fault = k.Fault
+	s2.Code = k.Blocks
 	vm.Mem = hv.GuestMem{Table: s2, Alloc: k.Host.Alloc, RAM: k.Board.RAM}
 	vm.Mem.FlushPage = vm.flushS2Page
 	vm.Mem.FlushAll = vm.flushTLBs
@@ -394,8 +419,13 @@ func (v *VCPU) ExitStats() hv.VCPUStats { return v.Stats }
 
 // SetGuestSoftware installs the guest's kernel-mode software context: the
 // PL1 exception handler and the execution runner the world switch loads.
+// A guest Interp is wrapped in the board's block-dispatch runner unless it
+// opted out with SingleStep; other runner types pass through unchanged.
 func (v *VCPU) SetGuestSoftware(h arm.ExcHandler, r arm.Runner) {
 	v.Ctx.PL1Software = h
+	if it, ok := r.(*isa.Interp); ok && !it.SingleStep && v.vm.kvm.Blocks != nil {
+		r = &isa.BlockRunner{It: it, Cache: v.vm.kvm.Blocks}
+	}
 	v.Ctx.Runner = r
 }
 

@@ -29,7 +29,11 @@ const (
 	// contents encode the whole execution history.
 	migBufBase = machine.RAMBase + 2<<20
 	// migIters is the loop count; the marker store and power-off follow.
-	migIters = 300
+	// Sized so the guest is still mid-loop when pre-copy's step-budgeted
+	// rounds reach the stop phase: a board step retires a whole decoded
+	// block on the ARM backends, so the step budgets below cover several
+	// hundred iterations, not several hundred instructions.
+	migIters = 2000
 	// migColdBase/migColdPages: pre-populated pages the guest never
 	// writes — the write-sparse bulk that pre-copy should move while the
 	// guest runs, keeping the stop-and-copy round small.

@@ -1,0 +1,76 @@
+// Self-modifying code vs the decoded basic-block cache: a guest store
+// into its own instruction stream must invalidate the cached block before
+// the patched instruction is reached again, on every ARM backend. A stale
+// block replays the unpatched loop forever, so a pass proves the
+// mem.Physical write hook reaches the cache synchronously.
+package hv_test
+
+import (
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+// selfModProgram loops until an instruction it patches at runtime takes
+// effect:
+//
+//	     MOV32 r1, #patchAddr      ; address of the MOVW below
+//	     MOV32 r2, #enc(MOVW r5,2) ; replacement word
+//	top: MOVW  r5, #1              ; <- patched to MOVW r5, #2
+//	     CMPI  r5, #2
+//	     BEQ   done
+//	     STR   r2, [r1]            ; patch the loop header in place
+//	     B     top
+//	done: HVC  #off
+//
+// The first pass sees r5=1 and patches; the second pass must decode the
+// new word, set r5=2, and exit. With a stale cached block the loop never
+// terminates and the run budget expires.
+func selfModProgram() []uint32 {
+	patched := isa.NewAsm(0).MOVW(isa.R5, 2).MustAssemble()[0]
+	// MOV32 expands to MOVW+MOVT, so "top" sits 4 words past the base.
+	patchAddr := uint32(machine.RAMBase) + 4*4
+	return isa.NewAsm(machine.RAMBase).
+		MOV32(isa.R1, patchAddr).
+		MOV32(isa.R2, patched).
+		Label("top").
+		MOVW(isa.R5, 1).
+		CMPI(isa.R5, 2).
+		BEQ("done").
+		STR(isa.R2, isa.R1, 0).
+		B("top").
+		Label("done").
+		HVC(kernel.PSCISystemOff).
+		MustAssemble()
+}
+
+func TestSelfModifyingCode(t *testing.T) {
+	for _, name := range []string{"ARM", "ARM no VGIC/vtimers", "ARM VHE"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			be, ok := hv.Lookup(name)
+			if !ok {
+				t.Fatalf("backend %q not registered", name)
+			}
+			env, _, v := rawGuest(t, be, selfModProgram())
+			runToShutdown(t, env, v)
+			r5, err := v.GetOneReg(hv.RegGP(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r5 != 2 {
+				t.Fatalf("r5 = %d after self-patch, want 2 (patched instruction never executed)", r5)
+			}
+			// The loop runs twice, so the patched block must have been
+			// both filled and dropped.
+			c := env.HV.Counters()
+			if c["block_invals"] == 0 {
+				t.Errorf("block_invals = 0; the code store never reached the cache (counters=%v)", c)
+			}
+		})
+	}
+}

@@ -1,0 +1,210 @@
+package isa
+
+import (
+	"kvmarm/internal/mem"
+	"kvmarm/internal/mmu"
+	"kvmarm/internal/trace"
+)
+
+// Decoded basic-block cache. A Block is a straight-line run of decoded
+// instructions starting at a physical address and ending at the first
+// instruction that can branch, raise an exception, change the processor
+// mode, or touch the translation regime. Blocks are keyed by entry PA —
+// never by VA — so Stage-1 remaps and ASID switches need no invalidation:
+// the dispatcher re-translates the PC at every block entry, and a block is
+// stale only when the *memory under it* changed. Content coherence comes
+// from three sources, all funnelled here:
+//
+//   - mem.Physical.OnWrite: every RAM mutation (guest stores, DMA, table
+//     writes, migration copies) reports its physical range;
+//   - mmu.MMU flushes (TLBIALL, VMID recycling, per-IPA Stage-2
+//     shootdown) conservatively drop cached blocks with the TLB entries;
+//   - mmu.Builder write-protect transitions (dirty log, copy-on-write
+//     sharing breaks) report the affected frames.
+//
+// The simulation interleaves CPUs on one goroutine, so the cache needs no
+// lock; the trace counters it bumps are atomic because a Tracer may be
+// snapshotted concurrently.
+
+// MaxBlockInsns bounds a block's length. Blocks also never cross a 4 KiB
+// page boundary, so one block is invalidated by exactly one page.
+const MaxBlockInsns = 128
+
+// DefaultBlockCap is the block-count limit above which a fill clears the
+// whole cache (simple, rare, and deterministic).
+const DefaultBlockCap = 4096
+
+// Block is one decoded straight-line run.
+type Block struct {
+	// PA is the physical address of the first instruction (the key).
+	PA uint64
+	// Ins are the decoded instructions, 4 bytes apart starting at PA.
+	Ins []Instr
+	// dead marks a block invalidated while a dispatcher may still hold a
+	// pointer to it (self-modifying code invalidates the block it runs
+	// in); the dispatcher checks it after every instruction.
+	dead bool
+}
+
+// BlockStats counts cache outcomes.
+type BlockStats struct {
+	Hits   uint64 // dispatches served from the cache
+	Misses uint64 // lookups that had to decode (or fall back)
+	Fills  uint64 // blocks decoded and cached
+	Invals uint64 // blocks dropped by invalidation
+}
+
+// BlockCache holds decoded blocks for one board's RAM.
+type BlockCache struct {
+	// RAM is the physical memory blocks decode from; fills outside it
+	// (device space) are refused and the dispatcher falls back to
+	// single-stepping.
+	RAM *mem.Physical
+	// Cap bounds the cached block count (DefaultBlockCap when 0).
+	Cap int
+	// Trace, when non-nil, receives fill/invalidate events and
+	// hit/miss/invalidation counters for kvmarm-stat.
+	Trace *trace.Tracer
+	// Stats are the local counters (always maintained).
+	Stats BlockStats
+
+	blocks map[uint64]*Block   // entry PA → block
+	pages  map[uint64][]*Block // PA page → blocks resident in it
+}
+
+// NewBlockCache creates an empty cache over ram.
+func NewBlockCache(ram *mem.Physical) *BlockCache {
+	return &BlockCache{
+		RAM:    ram,
+		blocks: make(map[uint64]*Block),
+		pages:  make(map[uint64][]*Block),
+	}
+}
+
+// Lookup returns the cached block entered at pa, counting the outcome.
+func (bc *BlockCache) Lookup(pa uint64) *Block {
+	if b, ok := bc.blocks[pa]; ok {
+		bc.Stats.Hits++
+		bc.Trace.AddBlockHit()
+		return b
+	}
+	bc.Stats.Misses++
+	bc.Trace.AddBlockMiss()
+	return nil
+}
+
+// blockEnd reports whether op terminates a block. Terminators are kept as
+// the block's last instruction: anything that can redirect the PC, raise
+// an exception the dispatcher must observe immediately, change the mode
+// or interrupt masks, or write a system register (TLB/MMU maintenance).
+// Instructions that merely *may* trap mid-block (loads/stores, VFP ops)
+// are safe: a taken exception moves the PC, which the dispatcher checks
+// after every instruction.
+func blockEnd(op Op) bool {
+	switch op {
+	case OpB, OpBL, OpBEQ, OpBNE, OpBLT, OpBGE, OpBX,
+		OpSVC, OpHVC, OpSMC, OpWFI, OpWFE, OpERET,
+		OpMSR, OpMRC, OpMCR, OpCPS, OpHALT, OpInvalid:
+		return true
+	}
+	return false
+}
+
+// Fill decodes and caches the block entered at pa, or returns nil when pa
+// cannot host one (unaligned, outside RAM).
+func (bc *BlockCache) Fill(pa uint64) *Block {
+	if bc.RAM == nil || pa&3 != 0 || !bc.RAM.Contains(pa, 4) {
+		return nil
+	}
+	capacity := bc.Cap
+	if capacity <= 0 {
+		capacity = DefaultBlockCap
+	}
+	if len(bc.blocks) >= capacity {
+		bc.InvalidateAll()
+	}
+	b := &Block{PA: pa}
+	pageEnd := (pa | (mmu.PageSize - 1)) + 1
+	for p := pa; p < pageEnd && len(b.Ins) < MaxBlockInsns; p += 4 {
+		w, err := bc.RAM.Read32(p)
+		if err != nil {
+			break
+		}
+		in := Decode(w)
+		b.Ins = append(b.Ins, in)
+		if blockEnd(in.Op) {
+			break
+		}
+	}
+	if len(b.Ins) == 0 {
+		return nil
+	}
+	bc.blocks[pa] = b
+	page := pa >> mmu.PageShift
+	bc.pages[page] = append(bc.pages[page], b)
+	bc.Stats.Fills++
+	if bc.Trace != nil {
+		bc.Trace.Emit(trace.Event{Kind: trace.EvBlockFill, VCPU: -1, CPU: -1,
+			Arg: pa, Cycles: uint64(len(b.Ins))})
+	}
+	return b
+}
+
+// OnWrite invalidates blocks overlapping the written physical range
+// [pa, pa+n). Wired as mem.Physical.OnWrite, it fires on every RAM
+// mutation; the common case (no code cached in the touched pages) is two
+// map lookups.
+func (bc *BlockCache) OnWrite(pa, n uint64) {
+	if len(bc.pages) == 0 || n == 0 {
+		return
+	}
+	first := pa >> mmu.PageShift
+	last := (pa + n - 1) >> mmu.PageShift
+	for page := first; page <= last; page++ {
+		bc.dropPage(page)
+	}
+}
+
+// InvalidatePhysPage drops every block resident in the given physical
+// page (mmu.CodeInvalidator).
+func (bc *BlockCache) InvalidatePhysPage(paPage uint64) {
+	bc.dropPage(paPage)
+}
+
+// InvalidateAll drops every cached block (mmu.CodeInvalidator).
+func (bc *BlockCache) InvalidateAll() {
+	n := len(bc.blocks)
+	if n == 0 {
+		return
+	}
+	for _, b := range bc.blocks {
+		b.dead = true
+	}
+	bc.blocks = make(map[uint64]*Block)
+	bc.pages = make(map[uint64][]*Block)
+	bc.noteInvals(uint64(n))
+}
+
+func (bc *BlockCache) dropPage(page uint64) {
+	resident, ok := bc.pages[page]
+	if !ok {
+		return
+	}
+	for _, b := range resident {
+		b.dead = true
+		delete(bc.blocks, b.PA)
+	}
+	delete(bc.pages, page)
+	bc.noteInvals(uint64(len(resident)))
+}
+
+func (bc *BlockCache) noteInvals(n uint64) {
+	bc.Stats.Invals += n
+	bc.Trace.AddBlockInvals(n)
+	if bc.Trace != nil {
+		bc.Trace.Emit(trace.Event{Kind: trace.EvBlockInval, VCPU: -1, CPU: -1, Arg: n})
+	}
+}
+
+// Len reports the number of cached blocks.
+func (bc *BlockCache) Len() int { return len(bc.blocks) }

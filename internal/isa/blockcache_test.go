@@ -1,0 +1,348 @@
+package isa
+
+import (
+	"testing"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/bus"
+	"kvmarm/internal/mem"
+	"kvmarm/internal/mmu"
+)
+
+// blockMachine is testMachine with the decoded-block cache wired the way
+// the backends wire it: RAM writes notify the cache, and the CPU runs the
+// block-dispatch runner.
+func blockMachine(t *testing.T, prog []uint32, mode arm.Mode) (*arm.CPU, *BlockCache) {
+	t.Helper()
+	c, it := testMachine(t, prog, mode)
+	bc := NewBlockCache(c.Bus.RAM)
+	c.Bus.RAM.OnWrite = bc.OnWrite
+	c.Runner = &BlockRunner{It: it, Cache: bc}
+	return c, bc
+}
+
+func TestBlockCacheFillAndLookup(t *testing.T) {
+	prog := NewAsm(ramBase).
+		MOVW(R0, 1).
+		MOVW(R1, 2).
+		ADD(R2, R0, R1).
+		B("done").
+		MOVW(R3, 9). // skipped
+		Label("done").
+		HALT().
+		MustAssemble()
+	_, bc := blockMachine(t, prog, arm.ModeSVC)
+
+	b := bc.Fill(ramBase)
+	if b == nil {
+		t.Fatal("Fill returned nil for valid code")
+	}
+	// The block stops at — and includes — the first terminator (B).
+	if got := len(b.Ins); got != 4 {
+		t.Fatalf("block has %d instructions, want 4 (terminator included)", got)
+	}
+	if b.Ins[3].Op != OpB {
+		t.Fatalf("last decoded op = %v, want B", b.Ins[3].Op)
+	}
+	if got := bc.Lookup(ramBase); got != b {
+		t.Fatalf("Lookup returned %p, want the filled block %p", got, b)
+	}
+	if bc.Stats.Hits != 1 || bc.Stats.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 hit", bc.Stats)
+	}
+	if bc.Lookup(ramBase+4) != nil {
+		t.Error("Lookup at an unfilled PA returned a block")
+	}
+	if bc.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss", bc.Stats)
+	}
+}
+
+func TestBlockCacheRefusesBadPAs(t *testing.T) {
+	_, bc := blockMachine(t, []uint32{Encode(Instr{Op: OpHALT})}, arm.ModeSVC)
+	if bc.Fill(ramBase+2) != nil {
+		t.Error("Fill accepted an unaligned PA")
+	}
+	if bc.Fill(0x1000) != nil {
+		t.Error("Fill accepted a non-RAM PA")
+	}
+}
+
+func TestBlockCacheStopsAtPageBoundary(t *testing.T) {
+	// Straight-line code ending 2 words short of a page boundary: the
+	// block must stop at the boundary, not run into the next page.
+	_, bc := blockMachine(t, nil, arm.ModeSVC)
+	start := uint64(ramBase) + mmu.PageSize - 8
+	ram := bc.RAM
+	for off := uint64(0); off < 64; off += 4 {
+		if err := ram.Write32(start+off, Encode(Instr{Op: OpNOP})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := bc.Fill(start)
+	if b == nil {
+		t.Fatal("Fill failed")
+	}
+	if len(b.Ins) != 2 {
+		t.Fatalf("block crossed the page boundary: %d instructions, want 2", len(b.Ins))
+	}
+}
+
+func TestBlockCacheCapsBlockLength(t *testing.T) {
+	words := make([]uint32, MaxBlockInsns+32)
+	for i := range words {
+		words[i] = Encode(Instr{Op: OpNOP})
+	}
+	_, bc := blockMachine(t, words, arm.ModeSVC)
+	b := bc.Fill(ramBase)
+	if b == nil || len(b.Ins) != MaxBlockInsns {
+		t.Fatalf("block length = %d, want the %d cap", len(b.Ins), MaxBlockInsns)
+	}
+}
+
+func TestBlockCacheWriteInvalidates(t *testing.T) {
+	prog := NewAsm(ramBase).MOVW(R0, 1).MOVW(R1, 2).HALT().MustAssemble()
+	_, bc := blockMachine(t, prog, arm.ModeSVC)
+	b := bc.Fill(ramBase)
+	if b == nil || bc.Len() != 1 {
+		t.Fatalf("fill failed (len=%d)", bc.Len())
+	}
+	// A store into the block's page kills it synchronously.
+	if err := bc.RAM.Write32(ramBase+4, Encode(Instr{Op: OpNOP})); err != nil {
+		t.Fatal(err)
+	}
+	if !b.dead {
+		t.Error("write to block page did not mark the held block dead")
+	}
+	if bc.Lookup(ramBase) != nil {
+		t.Error("dead block still served from the cache")
+	}
+	if bc.Stats.Invals != 1 {
+		t.Errorf("Invals = %d, want 1", bc.Stats.Invals)
+	}
+	// Writes to pages with no cached code are the hot path: no effect.
+	if err := bc.RAM.Write32(ramBase+64*mmu.PageSize, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if bc.Stats.Invals != 1 {
+		t.Errorf("unrelated write bumped Invals to %d", bc.Stats.Invals)
+	}
+}
+
+func TestBlockCacheInvalidateAllAndPhysPage(t *testing.T) {
+	prog := NewAsm(ramBase).MOVW(R0, 1).HALT().MustAssemble()
+	_, bc := blockMachine(t, prog, arm.ModeSVC)
+	b := bc.Fill(ramBase)
+	bc.InvalidatePhysPage(ramBase >> mmu.PageShift)
+	if !b.dead || bc.Len() != 0 {
+		t.Fatalf("InvalidatePhysPage left block alive (len=%d)", bc.Len())
+	}
+	b = bc.Fill(ramBase)
+	bc.InvalidateAll()
+	if !b.dead || bc.Len() != 0 {
+		t.Fatalf("InvalidateAll left block alive (len=%d)", bc.Len())
+	}
+}
+
+func TestBlockCacheCapacityEviction(t *testing.T) {
+	_, bc := blockMachine(t, nil, arm.ModeSVC)
+	bc.Cap = 4
+	halt := Encode(Instr{Op: OpHALT})
+	for i := uint64(0); i < 5; i++ {
+		if err := bc.RAM.Write32(ramBase+i*4, halt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 4; i++ {
+		bc.Fill(ramBase + i*4)
+	}
+	if bc.Len() != 4 {
+		t.Fatalf("len = %d, want 4", bc.Len())
+	}
+	// The fill past capacity evicts everything, then admits the new block.
+	if bc.Fill(ramBase+16) == nil {
+		t.Fatal("fill at capacity failed")
+	}
+	if bc.Len() != 1 {
+		t.Fatalf("len = %d after eviction, want 1", bc.Len())
+	}
+}
+
+// TestBlockRunnerMatchesSingleStep runs the same program under both
+// dispatch modes and requires identical architectural state and identical
+// cycle/instruction totals — the cache must be invisible to the guest.
+func TestBlockRunnerMatchesSingleStep(t *testing.T) {
+	prog := NewAsm(ramBase).
+		MOVW(R0, 0).
+		MOVW(R1, 0).
+		MOVW(R4, 50).
+		Label("loop").
+		ADDI(R0, R0, 3).
+		XOR(R1, R0, R1).
+		MOV32(R6, ramBase+0x10000).
+		STR(R1, R6, 0).
+		LDR(R2, R6, 0).
+		SUBI(R4, R4, 1).
+		CMPI(R4, 0).
+		BNE("loop").
+		HALT().
+		MustAssemble()
+	single, _ := testMachine(t, prog, arm.ModeSVC)
+	single.Runner.(*Interp).SingleStep = true
+	block, bc := blockMachine(t, prog, arm.ModeSVC)
+	run(t, single, 10000)
+	run(t, block, 10000)
+	compareCPUs(t, single, block)
+	if bc.Stats.Hits == 0 {
+		t.Error("block run never hit the cache")
+	}
+}
+
+func compareCPUs(t *testing.T, want, got *arm.CPU) {
+	t.Helper()
+	for i := 0; i <= 12; i++ {
+		if want.Regs.R(i) != got.Regs.R(i) {
+			t.Errorf("r%d = %#x, want %#x", i, got.Regs.R(i), want.Regs.R(i))
+		}
+	}
+	if want.Regs.PC() != got.Regs.PC() {
+		t.Errorf("pc = %#x, want %#x", got.Regs.PC(), want.Regs.PC())
+	}
+	if want.CPSR != got.CPSR {
+		t.Errorf("cpsr = %#x, want %#x", got.CPSR, want.CPSR)
+	}
+	if want.Clock != got.Clock {
+		t.Errorf("clock = %d, want %d", got.Clock, want.Clock)
+	}
+	if want.Insns != got.Insns {
+		t.Errorf("insns = %d, want %d", got.Insns, want.Insns)
+	}
+	if want.Halted != got.Halted {
+		t.Errorf("halted = %v, want %v", got.Halted, want.Halted)
+	}
+}
+
+// FuzzBlockCache interleaves random straight-line ALU work, forward
+// branches, scratch stores, and stores INTO the code region, then runs
+// the program under block dispatch and under a single-step oracle. Any
+// divergence in registers, flags, cycles, instruction counts, or memory
+// is a cache-coherence bug. Programs halt by construction: branches only
+// go forward and the code region is backstopped with HALT words, while
+// code stores write valid MOVW encodings (straight-line) inside the
+// generated region only.
+func FuzzBlockCache(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x07, 0x00, 0x07, 0x04, 0x01, 0x02})
+	f.Add([]byte{0x05, 0x02, 0x07, 0x08, 0x05, 0x01, 0x06, 0x10})
+	f.Add([]byte{0x07, 0x00, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x07, 0x0c})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := fuzzProgram(data)
+		single := fuzzMachine(t, prog)
+		single.Runner.(*Interp).SingleStep = true
+		block := fuzzMachine(t, prog)
+		bc := NewBlockCache(block.Bus.RAM)
+		block.Bus.RAM.OnWrite = bc.OnWrite
+		block.Runner = &BlockRunner{It: block.Runner.(*Interp), Cache: bc}
+
+		const maxSteps = 4096
+		for i := 0; i < maxSteps && !single.Halted; i++ {
+			single.Step()
+		}
+		if !single.Halted {
+			t.Fatalf("oracle did not halt (pc=%#x): generator produced a loop", single.Regs.PC())
+		}
+		for i := 0; i < maxSteps && !block.Halted; i++ {
+			block.Step()
+		}
+		compareCPUs(t, single, block)
+		// Full-image compare over code and scratch.
+		for off := uint64(0); off < 2*mmu.PageSize; off += 4 {
+			w1, err1 := single.Bus.RAM.Read32(ramBase + off)
+			w2, err2 := block.Bus.RAM.Read32(ramBase + off)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if w1 != w2 {
+				t.Errorf("ram[%#x] = %#x, want %#x", ramBase+off, w2, w1)
+			}
+		}
+	})
+}
+
+// fuzzMachine is testMachine minus *testing.T plumbing (fuzz workers pass
+// a fresh T). The scratch page is the one after the code page.
+func fuzzMachine(t *testing.T, prog []uint32) *arm.CPU {
+	t.Helper()
+	ram := mem.New(ramBase, 16<<20)
+	b := bus.New(ram)
+	c := arm.NewCPU(0, b)
+	c.Secure = false
+	c.SetCPSR(uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF)
+	for i, w := range prog {
+		if err := ram.Write32(ramBase+uint64(i)*4, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Regs.SetPC(ramBase)
+	c.Runner = &Interp{}
+	// r2/r3 hold valid MOVW r5 encodings — the only words code stores can
+	// plant — and r6/r7 the code/scratch bases. The generator never makes
+	// them ALU destinations.
+	c.Regs.SetR(2, Encode(Instr{Op: OpMOVW, Rd: 5, Imm16: 0x11}))
+	c.Regs.SetR(3, Encode(Instr{Op: OpMOVW, Rd: 5, Imm16: 0x22}))
+	c.Regs.SetR(6, ramBase)
+	c.Regs.SetR(7, ramBase+uint32(mmu.PageSize))
+	return c
+}
+
+// fuzzProgram decodes the fuzz bytes into a halting program: at most 48
+// generated words followed by a HALT backstop sized so every forward
+// branch lands on real code.
+func fuzzProgram(data []byte) []uint32 {
+	const maxGen = 48
+	var words []uint32
+	next := func(i int) byte {
+		if i+1 < len(data) {
+			return data[i+1]
+		}
+		return 0
+	}
+	nGen := len(data)
+	if nGen > maxGen {
+		nGen = maxGen
+	}
+	for i := 0; i < nGen; i++ {
+		arg := next(i)
+		var in Instr
+		switch data[i] % 8 {
+		case 0:
+			in = Instr{Op: OpADDI, Rd: 0, Rn: 0, Imm12: uint16(arg)}
+		case 1:
+			in = Instr{Op: OpSUBI, Rd: 1, Rn: 1, Imm12: uint16(arg)}
+		case 2:
+			in = Instr{Op: OpADD, Rd: 0, Rn: 0, Rm: 1}
+		case 3:
+			in = Instr{Op: OpXOR, Rd: 1, Rn: 0, Rm: 1}
+		case 4:
+			in = Instr{Op: OpCMPI, Rn: 0, Imm12: uint16(arg)}
+		case 5:
+			// Forward-only branch, 1..8 words ahead (taken or not).
+			ops := []Op{OpB, OpBEQ, OpBNE}
+			in = Instr{Op: ops[int(arg)%3], Imm24: int32(arg)%8 + 1}
+		case 6:
+			// Scratch store: harmless data traffic through the OnWrite hook.
+			in = Instr{Op: OpSTR, Rd: 2, Rn: 7, Imm12: uint16(arg&0x3F) * 4}
+		case 7:
+			// Code store: patch a generated word with MOVW r5 — the
+			// self-modification the cache must observe. Offsets stay
+			// inside the generated region so the HALT backstop survives.
+			in = Instr{Op: OpSTR, Rd: 3, Rn: 6, Imm12: uint16(int(arg) % nGen * 4)}
+		}
+		words = append(words, Encode(in))
+	}
+	// Backstop: the longest branch from the last word stays inside it.
+	for i := 0; i < 12; i++ {
+		words = append(words, Encode(Instr{Op: OpHALT}))
+	}
+	return words
+}

@@ -1,0 +1,66 @@
+package isa
+
+import "kvmarm/internal/arm"
+
+// BlockRunner dispatches decoded basic blocks: one Step translates the PC
+// once, looks the block up by physical address, and executes it to the
+// end — instead of paying fetch translation, bus access, and decode per
+// instruction. It implements arm.Runner and is what the ARM backends
+// install around a guest's Interp (see SetGuestSoftware); the modelled
+// cycle charges are identical to single-stepping, so Table 3 and the
+// ablation goldens do not move — only host-side speed does.
+//
+// Fallback rules:
+//   - unaligned PC, non-RAM PC (MMIO fetch), or an empty fill →
+//     single-step this instruction via the wrapped Interp;
+//   - prefetch abort at block entry → the exception is taken exactly as
+//     the per-instruction fetch would have taken it, and the Step ends;
+//   - mid-block PC redirection (taken branch resolved early is
+//     impossible — branches terminate blocks — but aborts, traps, and
+//     exceptions are not) → stop after the redirecting instruction;
+//   - the block dies under us (self-modifying store, invalidation) →
+//     stop after the current instruction; the next Step refills;
+//   - WFI sleep or HALT → stop.
+//
+// Interrupts are checked once per block: arm.CPU.Step delivers pending
+// interrupts before invoking the runner, and within a block no
+// instruction can unmask or accept one (mode- and mask-changing ops
+// terminate blocks), so the single check preserves delivery semantics.
+type BlockRunner struct {
+	It    *Interp
+	Cache *BlockCache
+}
+
+// Step executes one basic block (or falls back to one instruction).
+func (r *BlockRunner) Step(c *arm.CPU) {
+	pc := c.Regs.PC()
+	if pc&3 != 0 {
+		r.It.Step(c)
+		return
+	}
+	pa, ok := c.TranslatePC()
+	if !ok {
+		return // prefetch abort taken at block entry
+	}
+	b := r.Cache.Lookup(pa)
+	if b == nil {
+		if b = r.Cache.Fill(pa); b == nil {
+			r.It.Step(c)
+			return
+		}
+	}
+	ram := c.Bus.RAMCycles
+	expect := pc
+	for i := range b.Ins {
+		// The per-instruction fetch charge the interpreter would have
+		// paid through the bus; its translation charge is zero here by
+		// construction (the whole block shares the entry translation,
+		// which a single-stepped run would hit in the TLB too).
+		c.Charge(ram)
+		r.It.Exec(c, &b.Ins[i])
+		expect += 4
+		if b.dead || c.Halted || c.WFIWait || c.Regs.PC() != expect {
+			return
+		}
+	}
+}

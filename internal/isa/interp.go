@@ -12,43 +12,63 @@ import (
 type Interp struct {
 	// OnHalt, if set, is called when a HALT retires.
 	OnHalt func(c *arm.CPU)
+	// SingleStep opts this interpreter out of block dispatch: backends
+	// that normally wrap guest interpreters in a BlockRunner leave a
+	// SingleStep Interp alone. The bench layer uses it to compare block
+	// dispatch against plain interpretation on identical guests.
+	SingleStep bool
 }
 
 // Step fetches, decodes and executes one instruction.
 func (it *Interp) Step(c *arm.CPU) {
-	instrPC := c.Regs.PC()
 	w, ok := c.Fetch32()
 	if !ok {
 		return // prefetch abort taken
 	}
 	in := Decode(w)
+	it.Exec(c, &in)
+}
+
+// setFlags writes the NZCV condition bits.
+func setFlags(c *arm.CPU, n, z, carry, v bool) {
+	psr := c.CPSR &^ (arm.PSRN | arm.PSRZ | arm.PSRC | arm.PSRV)
+	if n {
+		psr |= arm.PSRN
+	}
+	if z {
+		psr |= arm.PSRZ
+	}
+	if carry {
+		psr |= arm.PSRC
+	}
+	if v {
+		psr |= arm.PSRV
+	}
+	c.SetCPSR(psr)
+}
+
+// compare implements CMP/CMPI flag setting for a-b.
+func compare(c *arm.CPU, a, b uint32) {
+	d := a - b
+	setFlags(c, int32(d) < 0, d == 0, a >= b, (int32(a) < int32(b)) != (int32(d) < 0))
+}
+
+// branchTarget resolves an imm24 word offset relative to the instruction
+// at pc.
+func branchTarget(pc uint32, off int32) uint32 {
+	return uint32(int64(pc) + 4 + int64(off)*4)
+}
+
+// Exec executes one already-decoded instruction at the current PC. The
+// fetch (translation + bus read) must have been paid by the caller — Step
+// for single-stepping, the BlockRunner for block dispatch. Exec charges
+// the base instruction cost and advances or redirects the PC exactly as
+// the fused interpreter did.
+func (it *Interp) Exec(c *arm.CPU, in *Instr) {
+	instrPC := c.Regs.PC()
 	c.Insns++
 	c.Charge(c.Cost.Insn)
-
 	next := instrPC + 4
-	setFlags := func(n, z, carry, v bool) {
-		psr := c.CPSR &^ (arm.PSRN | arm.PSRZ | arm.PSRC | arm.PSRV)
-		if n {
-			psr |= arm.PSRN
-		}
-		if z {
-			psr |= arm.PSRZ
-		}
-		if carry {
-			psr |= arm.PSRC
-		}
-		if v {
-			psr |= arm.PSRV
-		}
-		c.SetCPSR(psr)
-	}
-	compare := func(a, b uint32) {
-		d := a - b
-		setFlags(int32(d) < 0, d == 0, a >= b, (int32(a) < int32(b)) != (int32(d) < 0))
-	}
-	branchTo := func(idxOff int32) {
-		next = uint32(int64(instrPC) + 4 + int64(idxOff)*4)
-	}
 
 	switch in.Op {
 	case OpNOP:
@@ -72,9 +92,9 @@ func (it *Interp) Step(c *arm.CPU) {
 	case OpLSR:
 		c.Regs.SetR(in.Rd, c.Regs.R(in.Rn)>>(c.Regs.R(in.Rm)&31))
 	case OpCMP:
-		compare(c.Regs.R(in.Rn), c.Regs.R(in.Rm))
+		compare(c, c.Regs.R(in.Rn), c.Regs.R(in.Rm))
 	case OpCMPI:
-		compare(c.Regs.R(in.Rn), uint32(in.Imm12))
+		compare(c, c.Regs.R(in.Rn), uint32(in.Imm12))
 	case OpMOVW:
 		c.Regs.SetR(in.Rd, uint32(in.Imm16))
 	case OpMOVT:
@@ -92,8 +112,7 @@ func (it *Interp) Step(c *arm.CPU) {
 		default:
 			addr = c.Regs.R(in.Rn) + uint32(in.Imm12)
 		}
-		isMem, isStore, synd, size := in.IsMemAccess()
-		_ = isMem
+		_, isStore, synd, size := in.IsMemAccess()
 		// Aborts must return to this instruction so it can be retried
 		// (page fault) or skipped after emulation (MMIO): keep PC here.
 		var v uint64
@@ -110,25 +129,25 @@ func (it *Interp) Step(c *arm.CPU) {
 		}
 
 	case OpB:
-		branchTo(in.Imm24)
+		next = branchTarget(instrPC, in.Imm24)
 	case OpBL:
 		c.Regs.SetR(arm.RegLR, next)
-		branchTo(in.Imm24)
+		next = branchTarget(instrPC, in.Imm24)
 	case OpBEQ:
 		if c.CPSR&arm.PSRZ != 0 {
-			branchTo(in.Imm24)
+			next = branchTarget(instrPC, in.Imm24)
 		}
 	case OpBNE:
 		if c.CPSR&arm.PSRZ == 0 {
-			branchTo(in.Imm24)
+			next = branchTarget(instrPC, in.Imm24)
 		}
 	case OpBLT:
 		if (c.CPSR&arm.PSRN != 0) != (c.CPSR&arm.PSRV != 0) {
-			branchTo(in.Imm24)
+			next = branchTarget(instrPC, in.Imm24)
 		}
 	case OpBGE:
 		if (c.CPSR&arm.PSRN != 0) == (c.CPSR&arm.PSRV != 0) {
-			branchTo(in.Imm24)
+			next = branchTarget(instrPC, in.Imm24)
 		}
 	case OpBX:
 		next = c.Regs.R(in.Rm)
@@ -249,6 +268,7 @@ func (it *Interp) Step(c *arm.CPU) {
 		return
 
 	default:
+		// OpInvalid and anything else Decode let through.
 		c.TakeException(&arm.Exception{Kind: arm.ExcUndef})
 		return
 	}

@@ -92,6 +92,12 @@ const (
 	OpVMUL Op = 0x52
 	OpVMRS Op = 0x53 // rd <- FPSCR
 
+	// OpInvalid is what Decode returns for any word whose opcode byte
+	// names no SARM32 instruction: the interpreter raises an
+	// undefined-instruction exception on it. 0xFE is reserved (never a
+	// real opcode) so re-encoding an invalid word cannot collide.
+	OpInvalid Op = 0xFE
+
 	// HALT stops the CPU; r0 is the exit code. Test/example harness only.
 	OpHALT Op = 0xFF
 )
@@ -107,7 +113,18 @@ var opNames = map[Op]string{
 	OpWFI: "wfi", OpWFE: "wfe", OpERET: "eret", OpMRS: "mrs", OpMSR: "msr",
 	OpMRC: "mrc", OpMCR: "mcr", OpCPS: "cps", OpSEV: "sev",
 	OpVMOV: "vmov", OpVADD: "vadd", OpVMUL: "vmul", OpVMRS: "vmrs",
-	OpHALT: "halt",
+	OpHALT: "halt", OpInvalid: "invalid",
+}
+
+// validOp marks the opcodes Decode accepts; everything else becomes
+// OpInvalid.
+var validOp [256]bool
+
+func init() {
+	for op := range opNames {
+		validOp[op] = true
+	}
+	validOp[OpInvalid] = false
 }
 
 func (o Op) String() string {
@@ -151,11 +168,16 @@ func Encode(i Instr) uint32 {
 	return w
 }
 
-// Decode unpacks a 32-bit word. Unknown opcodes decode with Op preserved so
-// the interpreter can raise an undefined-instruction exception.
+// Decode unpacks a 32-bit word. Words whose opcode byte names no SARM32
+// instruction decode to OpInvalid (Raw preserved), and the interpreter
+// raises an undefined-instruction exception on them.
 func Decode(w uint32) Instr {
+	op := Op(w >> 24)
+	if !validOp[op] {
+		op = OpInvalid
+	}
 	i := Instr{
-		Op:    Op(w >> 24),
+		Op:    op,
 		Rd:    int(w >> 20 & 0xF),
 		Rn:    int(w >> 16 & 0xF),
 		Rm:    int(w >> 12 & 0xF),

@@ -14,6 +14,14 @@ import (
 type Physical struct {
 	Base uint64
 	data []byte
+
+	// OnWrite, when non-nil, is called after every successful mutation
+	// with the written physical range. Every RAM write funnels through
+	// here — guest stores, host kernel writes, DMA, page-table updates,
+	// migration copies — which makes this the authoritative coherence
+	// hook for caches of memory contents (the decoded basic-block cache
+	// invalidates through it).
+	OnWrite func(pa, n uint64)
 }
 
 // New allocates size bytes of RAM based at base.
@@ -52,6 +60,9 @@ func (p *Physical) Write8(addr uint64, v byte) error {
 		return err
 	}
 	p.data[i] = v
+	if p.OnWrite != nil {
+		p.OnWrite(addr, 1)
+	}
 	return nil
 }
 
@@ -71,6 +82,9 @@ func (p *Physical) Write32(addr uint64, v uint32) error {
 		return err
 	}
 	binary.LittleEndian.PutUint32(p.data[i:], v)
+	if p.OnWrite != nil {
+		p.OnWrite(addr, 4)
+	}
 	return nil
 }
 
@@ -90,6 +104,9 @@ func (p *Physical) Write64(addr uint64, v uint64) error {
 		return err
 	}
 	binary.LittleEndian.PutUint64(p.data[i:], v)
+	if p.OnWrite != nil {
+		p.OnWrite(addr, 8)
+	}
 	return nil
 }
 
@@ -110,6 +127,9 @@ func (p *Physical) WriteBytes(addr uint64, src []byte) error {
 		return err
 	}
 	copy(p.data[i:], src)
+	if p.OnWrite != nil && len(src) > 0 {
+		p.OnWrite(addr, uint64(len(src)))
+	}
 	return nil
 }
 
@@ -121,6 +141,9 @@ func (p *Physical) Zero(addr, n uint64) error {
 	}
 	for j := uint64(0); j < n; j++ {
 		p.data[i+j] = 0
+	}
+	if p.OnWrite != nil && n > 0 {
+		p.OnWrite(addr, n)
 	}
 	return nil
 }

@@ -61,6 +61,11 @@ type Builder struct {
 	// Fault, when non-nil, is the fault-injection plane consulted by the
 	// dirty-log operations (see dirty.go); nil means injection off.
 	Fault *fault.Plane
+	// Code, when non-nil, is notified when a write-protect transition
+	// (dirty log, copy-on-write) touches a frame, so decoded-code caches
+	// drop blocks resident in it. The backends wire the board's block
+	// cache into each VM's Stage-2 table.
+	Code CodeInvalidator
 }
 
 // TablePages returns the physical pages backing this table tree.

@@ -236,6 +236,14 @@ func (b *Builder) CowFault(ipa uint64) (bool, error) {
 			return false, err
 		}
 		b.cowPool.ref[pa]--
+		// The sharing break remapped this IPA from the frozen frame to a
+		// private copy: drop cached code decoded from either frame (the
+		// copy loop's writes already reported newPA through mem.OnWrite,
+		// but the old frame's blocks are stale for THIS table now too).
+		if b.Code != nil {
+			b.Code.InvalidatePhysPage(pa >> PageShift)
+			b.Code.InvalidatePhysPage(newPA >> PageShift)
+		}
 	}
 	delete(b.cow, page)
 	b.cowBroken[page] = true

@@ -95,6 +95,7 @@ func (b *Builder) EnableDirtyLog(filter func(ipa uint64) bool) (int, error) {
 			if err := b.Mem.Write64(addr, d2&^DescW); err != nil {
 				return 0, err
 			}
+			b.notifyCode(d2)
 			log.protected[page] = true
 			n++
 		}
@@ -229,5 +230,17 @@ func (b *Builder) setLeafW(page uint32, w bool) error {
 	} else {
 		d2 &^= DescW
 	}
-	return b.Mem.Write64(addr, d2)
+	if err := b.Mem.Write64(addr, d2); err != nil {
+		return err
+	}
+	b.notifyCode(d2)
+	return nil
+}
+
+// notifyCode reports a write-permission transition on the frame mapped by
+// leaf d2 to the attached code-cache invalidator.
+func (b *Builder) notifyCode(d2 uint64) {
+	if b.Code != nil {
+		b.Code.InvalidatePhysPage(d2 & DescAddrMask >> PageShift)
+	}
 }

@@ -159,6 +159,19 @@ type PhysReader interface {
 	Read64(pa uint64) (uint64, error)
 }
 
+// CodeInvalidator receives physical-page invalidation notices from the
+// translation layer: TLB shootdown (MMU.Code), and write-protect
+// transitions — dirty-log toggles and copy-on-write sharing breaks — from
+// the Stage-2 table owner (Builder.Code). The decoded basic-block cache
+// (internal/isa) implements it; this package only defines the interface so
+// the dependency stays one-way.
+type CodeInvalidator interface {
+	// InvalidatePhysPage drops cached code in the given PA page.
+	InvalidatePhysPage(paPage uint64)
+	// InvalidateAll drops everything.
+	InvalidateAll()
+}
+
 // MMU is one CPU's translation unit with its TLB.
 type MMU struct {
 	Phys PhysReader
@@ -168,6 +181,12 @@ type MMU struct {
 	TLBCapacity int
 	// Trace, when non-nil, receives TLB maintenance events (flushes).
 	Trace *trace.Tracer
+	// Code, when non-nil, is notified on TLB shootdown so decoded-code
+	// caches drop stale blocks with the translations. Stage-1-only
+	// maintenance (FlushASID) does not notify: blocks are keyed by PA
+	// and re-translate at every entry, so a Stage-1 remap cannot leave
+	// them stale.
+	Code CodeInvalidator
 
 	tlb   map[tlbKey]tlbEntry
 	order []tlbKey // FIFO eviction order
@@ -222,6 +241,9 @@ func (m *MMU) FlushAll() {
 	m.tlb = make(map[tlbKey]tlbEntry)
 	m.order = m.order[:0]
 	m.stats.Flushes++
+	if m.Code != nil {
+		m.Code.InvalidateAll()
+	}
 	if m.Trace != nil {
 		m.Trace.Emit(trace.Event{Kind: trace.EvTLBFlush, VCPU: -1, CPU: -1, Arg: trace.FlushScopeAll})
 	}
@@ -253,6 +275,9 @@ func (m *MMU) FlushVMID(vmid uint8) {
 	}
 	m.compactOrder()
 	m.stats.Flushes++
+	if m.Code != nil {
+		m.Code.InvalidateAll()
+	}
 	if m.Trace != nil {
 		m.Trace.Emit(trace.Event{Kind: trace.EvTLBFlush, VM: vmid, VCPU: -1, CPU: -1, Arg: trace.FlushScopeVMID})
 	}
@@ -266,6 +291,9 @@ func (m *MMU) FlushS2Page(vmid uint8, ipa uint64) {
 	page := ipa >> PageShift
 	for k, e := range m.tlb {
 		if k.vmid == vmid && e.ipaPage == page {
+			if m.Code != nil {
+				m.Code.InvalidatePhysPage(e.paPage)
+			}
 			delete(m.tlb, k)
 		}
 	}

@@ -42,6 +42,11 @@ type Snapshot struct {
 	// buckets: bucket i counts switches costing [2^(i-1), 2^i)).
 	WSIn  [HistBuckets]uint64
 	WSOut [HistBuckets]uint64
+	// Block-cache tallies (decoded basic-block cache): dispatches served
+	// from the cache, lookups that missed, and blocks invalidated.
+	BlockHits   uint64
+	BlockMisses uint64
+	BlockInvals uint64
 	// Events is the ring content in chronological order.
 	Events []Event
 }
@@ -55,12 +60,15 @@ func (t *Tracer) Snapshot() Snapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := Snapshot{
-		Total:  t.seq,
-		Counts: t.counts,
-		Cycles: t.cycles,
-		WSIn:   t.wsIn,
-		WSOut:  t.wsOut,
-		VMs:    make(map[uint8]VCPUStat, len(t.vms)),
+		Total:       t.seq,
+		Counts:      t.counts,
+		Cycles:      t.cycles,
+		WSIn:        t.wsIn,
+		WSOut:       t.wsOut,
+		BlockHits:   t.blockHits.Load(),
+		BlockMisses: t.blockMisses.Load(),
+		BlockInvals: t.blockInvals.Load(),
+		VMs:         make(map[uint8]VCPUStat, len(t.vms)),
 	}
 	for vmid, vc := range t.vms {
 		s.VMs[vmid] = VCPUStat{VM: vmid, VCPU: -1, Counts: vc.counts, Cycles: vc.cycles}
@@ -139,6 +147,15 @@ func (s *Snapshot) WriteStat(w io.Writer) {
 				v.Counts[ExitMMIOKernel]+v.Counts[ExitMMIOUser],
 				v.Counts[ExitHypercall], v.Counts[ExitWFI], v.Counts[ExitIRQ])
 		}
+	}
+	if s.BlockHits+s.BlockMisses+s.BlockInvals > 0 {
+		total := s.BlockHits + s.BlockMisses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(s.BlockHits) / float64(total)
+		}
+		fmt.Fprintf(w, "\nblock cache: %d hits, %d misses (%.1f%% hit), %d blocks invalidated\n",
+			s.BlockHits, s.BlockMisses, rate, s.BlockInvals)
 	}
 	writeHist(w, "world-switch in cycles", s.WSIn)
 	writeHist(w, "world-switch out cycles", s.WSOut)

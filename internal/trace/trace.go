@@ -25,7 +25,10 @@
 // VGIC state traffic, timer expiry).
 package trace
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Kind classifies a trace event.
 type Kind uint8
@@ -89,6 +92,15 @@ const (
 	EvMigrateAbort
 	EvMigrateRetry
 
+	// Decoded basic-block cache (internal/isa). EvBlockFill is one block
+	// decoded and cached (Arg is its entry PA, Cycles its instruction
+	// count); EvBlockInval is one invalidation sweep (Arg is the number
+	// of blocks dropped). Per-dispatch hits and misses are far too hot
+	// for ring events — they are tallied in the atomic block counters
+	// surfaced by Snapshot.
+	EvBlockFill
+	EvBlockInval
+
 	// NumKinds is the number of event kinds (array sizing).
 	NumKinds
 )
@@ -147,6 +159,8 @@ var kindNames = [NumKinds]string{
 	EvFaultInjected:  "fault_injected",
 	EvMigrateAbort:   "migrate_abort",
 	EvMigrateRetry:   "migrate_retry",
+	EvBlockFill:      "block_fill",
+	EvBlockInval:     "block_inval",
 }
 
 func (k Kind) String() string {
@@ -240,6 +254,14 @@ type Tracer struct {
 
 	wsIn  [HistBuckets]uint64
 	wsOut [HistBuckets]uint64
+
+	// Block-cache tallies (decoded basic-block cache, internal/isa). A
+	// hit is counted on every dispatched block — far hotter than any
+	// ring event — so these bypass the mutex: atomic adds, read by
+	// Snapshot.
+	blockHits   atomic.Uint64
+	blockMisses atomic.Uint64
+	blockInvals atomic.Uint64
 }
 
 // DefaultRingSize is the ring capacity used when New is given n <= 0.
@@ -373,6 +395,40 @@ func (t *Tracer) Count(k Kind) uint64 {
 	return t.counts[k]
 }
 
+// AddBlockHit counts one block-cache dispatch hit. Nil-safe and lock-free
+// (hot path: once per dispatched block).
+func (t *Tracer) AddBlockHit() {
+	if t == nil {
+		return
+	}
+	t.blockHits.Add(1)
+}
+
+// AddBlockMiss counts one block-cache lookup miss.
+func (t *Tracer) AddBlockMiss() {
+	if t == nil {
+		return
+	}
+	t.blockMisses.Add(1)
+}
+
+// AddBlockInvals counts n blocks dropped by invalidation.
+func (t *Tracer) AddBlockInvals(n uint64) {
+	if t == nil {
+		return
+	}
+	t.blockInvals.Add(n)
+}
+
+// BlockCounters returns the block-cache tallies (hits, misses,
+// invalidated blocks).
+func (t *Tracer) BlockCounters() (hits, misses, invals uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.blockHits.Load(), t.blockMisses.Load(), t.blockInvals.Load()
+}
+
 // Reset clears the ring and all counters, keeping registrations.
 func (t *Tracer) Reset() {
 	if t == nil {
@@ -385,6 +441,9 @@ func (t *Tracer) Reset() {
 	t.cycles = [NumKinds]uint64{}
 	t.wsIn = [HistBuckets]uint64{}
 	t.wsOut = [HistBuckets]uint64{}
+	t.blockHits.Store(0)
+	t.blockMisses.Store(0)
+	t.blockInvals.Store(0)
 	for _, vc := range t.vms {
 		*vc = vmCounters{}
 	}

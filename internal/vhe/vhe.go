@@ -39,6 +39,7 @@ import (
 	"kvmarm/internal/fault"
 	"kvmarm/internal/gic"
 	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/mmu"
@@ -104,6 +105,12 @@ type Hypervisor struct {
 	// Fault is the fault-injection plane (internal/fault); nil when
 	// injection is off. Attach with AttachFaultPlane.
 	Fault *fault.Plane
+
+	// Blocks is the decoded basic-block cache shared by every vCPU (blocks
+	// are keyed by physical address, so one cache serves all VMs). The
+	// Stage-2 tables and physical RAM notify it on every event that can
+	// invalidate decoded code.
+	Blocks *isa.BlockCache
 }
 
 // hostContext is the host state parked during guest execution. The GP
@@ -139,8 +146,11 @@ func Init(b *machine.Board, host *kernel.Kernel) (*Hypervisor, error) {
 		UserTransitionCycles: 3000,
 		QEMUWorkCycles:       1400,
 	}
+	x.Blocks = isa.NewBlockCache(b.RAM)
+	b.RAM.OnWrite = x.Blocks.OnWrite
 	for _, c := range b.CPUs {
 		c.HypHandler = x.vheExit
+		c.MMU.Code = x.Blocks
 	}
 	// The VGIC maintenance interrupt tells the hypervisor that a guest
 	// completed a level-triggered virtual interrupt.
@@ -180,6 +190,9 @@ func (x *Hypervisor) AttachTracer(t *trace.Tracer) {
 	for _, c := range x.Board.CPUs {
 		c.MMU.Trace = t
 	}
+	if x.Blocks != nil {
+		x.Blocks.Trace = t
+	}
 	for _, vm := range x.vms {
 		t.RegisterVM(vm.VMID)
 		for _, v := range vm.vcpus {
@@ -217,7 +230,7 @@ func (x *Hypervisor) VMs() []hv.VM {
 // names as the split-mode ARM backend (the cross-check keys on them).
 func (x *Hypervisor) Counters() map[string]uint64 {
 	s := x.Stats
-	return map[string]uint64{
+	m := map[string]uint64{
 		"world_switch_in":      s.WorldSwitchIn,
 		"world_switch_out":     s.WorldSwitchOut,
 		"guest_traps":          s.GuestTraps,
@@ -226,6 +239,12 @@ func (x *Hypervisor) Counters() map[string]uint64 {
 		"vgic_save_skipped":    s.VGICSaveSkipped,
 		"vgic_restore_skipped": s.VGICRestoreSkipped,
 	}
+	if x.Blocks != nil {
+		m["block_hits"] = x.Blocks.Stats.Hits
+		m["block_misses"] = x.Blocks.Stats.Misses
+		m["block_invals"] = x.Blocks.Stats.Invals
+	}
+	return m
 }
 
 // LoadedVCPU reports the vCPU running on physical CPU id, if any.
@@ -291,6 +310,7 @@ func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
 	}
 	vm := &VM{kvm: x, VMID: x.nextVMID, S2: s2}
 	s2.Fault = x.Fault
+	s2.Code = x.Blocks
 	vm.Mem = hv.GuestMem{Table: s2, Alloc: x.Host.Alloc, RAM: x.Board.RAM}
 	vm.Mem.FlushPage = vm.flushS2Page
 	vm.Mem.FlushAll = vm.flushTLBs
@@ -450,8 +470,14 @@ func (v *VCPU) BlockedWFI() bool { return v.state == vcpuBlockedWFI }
 func (v *VCPU) ExitStats() hv.VCPUStats { return v.Stats }
 
 // SetGuestSoftware installs the guest's kernel-mode software context.
+// An *isa.Interp runner is wrapped in the block-dispatch runner backed by
+// the hypervisor-wide decoded-block cache unless the interpreter opts out
+// with SingleStep; other runner types pass through unchanged.
 func (v *VCPU) SetGuestSoftware(h arm.ExcHandler, r arm.Runner) {
 	v.Ctx.PL1Software = h
+	if it, ok := r.(*isa.Interp); ok && !it.SingleStep && v.vm.kvm.Blocks != nil {
+		r = &isa.BlockRunner{It: it, Cache: v.vm.kvm.Blocks}
+	}
 	v.Ctx.Runner = r
 }
 

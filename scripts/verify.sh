@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/ ./internal/fault/ ./internal/fleet/
+go test -race ./internal/isa/ ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/ ./internal/fault/ ./internal/fleet/
 
 # Migration conformance under the race detector: all 25 source→destination
 # backend pairs, mid-workload, compared against an unmigrated run.
@@ -42,3 +42,8 @@ go test -fuzz FuzzMigrateFaults -fuzztime 5s -run '^$' ./internal/hv/
 # frozen template and three CoW clones: isolation + pool refcount
 # invariants); the long-running variant is manual.
 go test -fuzz FuzzSnapshotFork -fuzztime 5s -run '^$' ./internal/hv/
+
+# Short block-cache fuzz smoke (random store/execute interleavings under
+# block dispatch vs a single-step oracle: identical registers, flags,
+# cycles, and memory); the long-running variant is manual.
+go test -fuzz FuzzBlockCache -fuzztime 5s -run '^$' ./internal/isa/
