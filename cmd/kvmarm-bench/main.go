@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, fleet, faults, mips, stat")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, fleet, overcommit, faults, mips, stat")
 	root := flag.String("root", ".", "repository root (for table4 line counts)")
 	flag.Parse()
 
@@ -77,6 +77,13 @@ func main() {
 			fail(err)
 		}
 		bench.PrintFleet(out, rows)
+	}
+	if run("overcommit") {
+		rows, err := bench.OvercommitRows()
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintOvercommit(out, rows)
 	}
 	if run("faults") {
 		rows, err := bench.FaultRows()

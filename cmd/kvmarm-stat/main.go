@@ -1,7 +1,9 @@
 // Command kvmarm-stat boots a traced KVM/ARM guest, runs a workload on it,
 // and prints the kvm_stat-style aggregated view of every exit and
 // world-switch event the hypervisor took, cross-checked against the
-// hypervisor's own counters.
+// hypervisor's own counters. When the run multiplexed more vCPU threads
+// than host CPUs, the report grows a per-vCPU scheduling section (steal
+// cycles and preemptions, from the EvSchedSteal/EvSchedPreempt events).
 //
 // Usage:
 //

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+)
+
+// TestOvercommitRows runs the full matrix and asserts the issue's
+// acceptance bars: every backend reports all three ratios, steady-state
+// fairness stays within 2×, overcommitted runs observe steal time, and
+// every VM's final state matches the sequential oracle.
+func TestOvercommitRows(t *testing.T) {
+	rows, err := OvercommitRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perBackend := map[string]int{}
+	for _, r := range rows {
+		perBackend[r.Backend]++
+		if !r.OracleOK {
+			t.Errorf("%s at %d:1: final state diverged from the sequential oracle", r.Backend, r.Ratio)
+		}
+		if r.Cycles == 0 || r.InsnsPerKCycle <= 0 {
+			t.Errorf("%s at %d:1: empty throughput measurement (%d cycles, %.1f insns/kcy)",
+				r.Backend, r.Ratio, r.Cycles, r.InsnsPerKCycle)
+		}
+		if r.Fairness > 2 {
+			t.Errorf("%s at %d:1: fairness %.2fx (min/max progress %d/%d), want <= 2x",
+				r.Backend, r.Ratio, r.Fairness, r.MinProgress, r.MaxProgress)
+		}
+		if r.Ratio > 1 && r.StealTicks == 0 {
+			t.Errorf("%s at %d:1: no steal time observed under overcommit", r.Backend, r.Ratio)
+		}
+	}
+	for be, n := range perBackend {
+		if n != 3 {
+			t.Errorf("backend %s measured %d ratios, want 3", be, n)
+		}
+	}
+
+	var sb strings.Builder
+	PrintOvercommit(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"overcommit", "fairness", "oracle", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintOvercommit output missing %q:\n%s", want, out)
+		}
+	}
+	t.Log(out)
+}

@@ -12,6 +12,7 @@ import (
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/mmu"
+	"kvmarm/internal/timer"
 	"kvmarm/internal/trace"
 )
 
@@ -77,6 +78,11 @@ type KVM struct {
 	// interpreters in a block-dispatch runner backed by it; pass an
 	// Interp with SingleStep set to opt a guest out.
 	Blocks *isa.BlockCache
+
+	// vcpuProcs maps host processes to the vCPUs they run, so the host
+	// scheduler's switch/preempt hooks can attribute steal time to the
+	// right VM/vCPU in the trace stream (overcommit observability).
+	vcpuProcs map[*kernel.Proc]*VCPU
 }
 
 // AttachTracer wires t into every layer of the hypervisor: the lowvisor's
@@ -158,11 +164,32 @@ func Init(b *machine.Board, host *kernel.Kernel) (*KVM, error) {
 		Host:                 host,
 		UserTransitionCycles: 3000,
 		QEMUWorkCycles:       1400,
+		vcpuProcs:            make(map[*kernel.Proc]*VCPU),
 	}
 	k.low = newLowvisor(k)
 	k.high = newHighvisor(k)
 	if err := k.low.initHyp(); err != nil {
 		return nil, err
+	}
+	// Host-scheduler observability: when the host multiplexes more vCPU
+	// threads than physical CPUs, surface per-vCPU steal time and
+	// preemptions through the trace stream (kvmarm-stat's scheduling
+	// section). Non-vCPU host processes are accounted on their Proc only.
+	host.OnSchedSwitch = func(cpu int, p *kernel.Proc, wait uint64) {
+		v := k.vcpuProcs[p]
+		if v == nil || wait == 0 || k.Trace == nil {
+			return
+		}
+		k.Trace.Emit(trace.Event{Kind: trace.EvSchedSteal, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(cpu), Cycles: wait << timer.CycleShift, Time: b.CPUs[cpu].Clock})
+	}
+	host.OnSchedPreempt = func(cpu int, p *kernel.Proc) {
+		v := k.vcpuProcs[p]
+		if v == nil || k.Trace == nil {
+			return
+		}
+		k.Trace.Emit(trace.Event{Kind: trace.EvSchedPreempt, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(cpu), Time: b.CPUs[cpu].Clock})
 	}
 	// Decoded basic-block cache: every RAM mutation reports through
 	// mem.OnWrite (self-modifying code, DMA, host writes), and every
@@ -373,6 +400,11 @@ type VCPU struct {
 	wq    *kernel.WaitQueue
 	proc  *kernel.Proc
 
+	// insnMark is the physical CPU's retired-instruction count at the
+	// last world-switch in; the switch out accumulates the delta into
+	// Stats.GuestInsns (per-vCPU architectural progress).
+	insnMark uint64
+
 	// vtimer soft-timer bookkeeping while the vCPU is out of the CPU.
 	softTimerID  uint64
 	softTimerCPU int
@@ -414,8 +446,18 @@ func (v *VCPU) PhysCPU() int { return v.phys }
 // BlockedWFI reports whether the vCPU thread is parked in WFI.
 func (v *VCPU) BlockedWFI() bool { return v.state == vcpuBlockedWFI }
 
-// ExitStats copies out the per-vCPU entry/exit counters.
-func (v *VCPU) ExitStats() hv.VCPUStats { return v.Stats }
+// ExitStats copies out the per-vCPU entry/exit counters, merging in the
+// host scheduler's accounting for the vCPU's thread (steal time and
+// preemptions — the overcommit fairness measures).
+func (v *VCPU) ExitStats() hv.VCPUStats {
+	st := v.Stats
+	if p := v.proc; p != nil {
+		st.StealTicks = p.RunDelayTicks
+		st.Preemptions = p.Preemptions
+		st.SchedSlices = p.SchedSlices
+	}
+	return st
+}
 
 // SetGuestSoftware installs the guest's kernel-mode software context: the
 // PL1 exception handler and the execution runner the world switch loads.
@@ -483,11 +525,16 @@ func (v *VCPU) Resume() {
 func (v *VCPU) Shutdown() { v.state = vcpuShutdown }
 
 // StartThread creates the host process (the "QEMU vCPU thread") that runs
-// this vCPU, pinned to hostCPU (-1 for any). The thread loops on the
-// KVM_RUN ioctl; exits that need user space are handled inline with QEMU
-// costs charged.
+// this vCPU, pinned to hostCPU (-1 for any). A pin beyond the board's CPU
+// count wraps modulo — overcommit placement may hand out more vCPU
+// threads than physical CPUs and the host scheduler time-slices them.
+// The thread loops on the KVM_RUN ioctl; exits that need user space are
+// handled inline with QEMU costs charged.
 func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
 	k := v.vm.kvm
+	if n := len(k.Board.CPUs); hostCPU >= n {
+		hostCPU %= n
+	}
 	body := kernel.BodyFunc(func(hk *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
 		return v.runStep(hostCPU, c)
 	})
@@ -500,6 +547,7 @@ func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
 		return nil, err
 	}
 	v.proc = proc
+	k.vcpuProcs[proc] = v
 	return proc, nil
 }
 

@@ -258,6 +258,7 @@ func (lv *Lowvisor) worldSwitchIn(c *arm.CPU, v *VCPU) {
 	c.Runner = v.Ctx.Runner
 	lv.loaded[c.ID] = v
 	v.phys = c.ID
+	v.insnMark = c.Insns
 	v.state = vcpuRunning
 	v.vm.noteGuestCPU(c)
 	c.SetCPSR(v.Ctx.GP.CPSR)
@@ -361,6 +362,7 @@ func (lv *Lowvisor) worldSwitchOut(c *arm.CPU, v *VCPU) {
 	c.Runner = hc.Runner
 	lv.loaded[c.ID] = nil
 	v.phys = -1
+	v.Stats.GuestInsns += c.Insns - v.insnMark
 	c.VIRQLine = false
 	c.SetCPSR(hc.CPSR)
 	c.Charge(c.Cost.ERET)

@@ -6,8 +6,10 @@
 // of its memory in the single shared set of frames.
 //
 // The package is backend-neutral: it drives hv.VM through the snapshot
-// API and places clone vCPU threads with the board's least-busy-CPU hint,
-// so the same fleet code runs on every registered backend.
+// API and balances clone vCPU threads across the board's CPUs by host
+// run-queue load, so the same fleet code runs on every registered backend
+// and overcommitted fleets (more vCPU threads than physical CPUs) spread
+// evenly for the host scheduler to time-slice.
 package fleet
 
 import (
@@ -24,6 +26,11 @@ type Options struct {
 	// (software contexts do not travel with registers); required for raw
 	// machine-code guests.
 	ConfigureVCPU func(id int, v hv.VCPU)
+	// Overcommit caps the clone vCPU threads placed per physical CPU (the
+	// N in N:1 vCPU overcommit). Fork fails once every CPU holds that many
+	// fleet threads. 0 means uncapped: forks always succeed and placement
+	// still balances run-queue load.
+	Overcommit int
 }
 
 // Fleet is one captured template and the clones forked from it.
@@ -33,7 +40,13 @@ type Fleet struct {
 	Template hv.VM
 	Clones   []hv.VM
 
-	conf func(id int, v hv.VCPU)
+	conf       func(id int, v hv.VCPU)
+	overcommit int
+	// assigned counts the clone vCPU threads this fleet placed per
+	// physical CPU. The host run queue alone cannot drive placement: a
+	// thread that ran and blocked in WFI leaves the queue, and a burst of
+	// forks between board runs must still spread deterministically.
+	assigned []int
 }
 
 // Stats aggregates the fleet's copy-on-write economy.
@@ -67,23 +80,69 @@ func New(env *hv.Env, template hv.VM, o Options) (*Fleet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: capturing template: %w", err)
 	}
-	return &Fleet{Env: env, Snap: snap, Template: template, conf: o.ConfigureVCPU}, nil
+	return &Fleet{
+		Env:        env,
+		Snap:       snap,
+		Template:   template,
+		conf:       o.ConfigureVCPU,
+		overcommit: o.Overcommit,
+		assigned:   make([]int, len(env.Board.CPUs)),
+	}, nil
 }
 
-// Fork adds one clone, placing its vCPU threads on the board's currently
-// least-busy CPUs so a fleet spreads instead of stacking on CPU 0. The
-// clone index rotates the placement too: busy-cycle counts only move while
-// the board runs, so a burst of forks between runs would otherwise all
-// land on the same "least busy" CPU.
+// placeThread picks the physical CPU for one clone vCPU thread: the
+// lowest-index CPU (under the overcommit cap, if any) minimizing fleet
+// threads already placed there plus the host's current run-queue length.
+// Run-queue load, not raw busy cycles: a CPU whose history is expensive
+// but whose queue is empty is the right target, and the old
+// least-busy-plus-clone-index rotation could stack all vCPUs of one clone
+// on a single CPU once ratios climbed.
+func (f *Fleet) placeThread() (int, error) {
+	best, bestScore := -1, 0
+	for cpu := range f.assigned {
+		if f.overcommit > 0 && f.assigned[cpu] >= f.overcommit {
+			continue
+		}
+		score := f.assigned[cpu] + f.Env.Host.RunqueueLen(cpu)
+		if best < 0 || score < bestScore {
+			best, bestScore = cpu, score
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("fleet: overcommit capacity exhausted (%d threads per CPU on %d CPUs)",
+			f.overcommit, len(f.assigned))
+	}
+	f.assigned[best]++
+	return best, nil
+}
+
+// Fork adds one clone, balancing its vCPU threads across the board by
+// run-queue load (see placeThread). The clone's placements are computed
+// up front so its own vCPUs spread across distinct CPUs whenever room
+// allows, deterministically even between board runs.
 func (f *Fleet) Fork() (hv.VM, error) {
-	base := f.Env.Board.LeastBusyCPU() + len(f.Clones)
+	nv := len(f.Template.VCPUs())
+	places := make([]int, nv)
+	for i := range places {
+		cpu, err := f.placeThread()
+		if err != nil {
+			for _, c := range places[:i] {
+				f.assigned[c]--
+			}
+			return nil, fmt.Errorf("fleet: forking clone %d: %w", len(f.Clones), err)
+		}
+		places[i] = cpu
+	}
 	vm, err := hv.Fork(f.Env, f.Snap, hv.ForkOptions{
 		ConfigureVCPU: f.conf,
 		Pin: func(id int) int {
-			return (base + id) % len(f.Env.Board.CPUs)
+			return places[id%len(places)]
 		},
 	})
 	if err != nil {
+		for _, c := range places {
+			f.assigned[c]--
+		}
 		return nil, fmt.Errorf("fleet: forking clone %d: %w", len(f.Clones), err)
 	}
 	f.Clones = append(f.Clones, vm)

@@ -50,6 +50,110 @@ func flCount(t *testing.T, vm hv.VM) uint32 {
 	return binary.LittleEndian.Uint32(b)
 }
 
+// TestFleetOvercommitPlacement pins the placement algorithm: a forked
+// clone's vCPU threads spread across distinct CPUs (the old clone-index
+// rotation could stack a whole clone on one CPU), the per-CPU load stays
+// balanced fork after fork, and the Overcommit cap turns exhausted
+// capacity into an error instead of a silent pile-up. Placement is
+// backend-neutral, so one backend suffices; the board never runs during
+// the forks, making every queue-length observation deterministic.
+func TestFleetOvercommitPlacement(t *testing.T) {
+	be := hv.Backends()[0]
+	env, err := be.NewEnv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := env.HV.CreateVM(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const spinBase = machine.RAMBase + 0x1000
+	progs := []struct {
+		base  uint64
+		cpsr  uint32
+		words []uint32
+	}{
+		{machine.RAMBase, uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF, flProgram()},
+		// vCPU 1 loops forever but hypercalls every iteration, so the
+		// snapshot capture can park it at an exit (a tight loop with no
+		// exits could dodge the pause request indefinitely).
+		{spinBase, uint32(arm.ModeSVC) | arm.PSRI | arm.PSRF, isa.NewAsm(spinBase).
+			MOVW(isa.R2, 1).
+			Label("spin").
+			ADDI(isa.R2, isa.R2, 1).
+			HVC(1).
+			CMPI(isa.R2, 0).
+			BNE("spin").
+			MustAssemble()},
+	}
+	for id, pr := range progs {
+		v, err := vm.CreateVCPU(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := make([]byte, 0, len(pr.words)*4)
+		for _, w := range pr.words {
+			raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+		}
+		if err := vm.WriteGuestMem(pr.base, raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.SetOneReg(hv.RegPC, uint32(pr.base)); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.SetOneReg(hv.RegCPSR, pr.cpsr); err != nil {
+			t.Fatal(err)
+		}
+		v.SetGuestSoftware(nil, &isa.Interp{})
+		if _, err := v.StartThread(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step := 0
+	if !env.Board.Run(40_000_000, func() bool {
+		step++
+		return step%256 == 0 && flCount(t, vm) >= 40
+	}) {
+		t.Fatal("template made no progress")
+	}
+
+	fl, err := fleet.New(env, vm, fleet.Options{
+		Overcommit: 4,
+		ConfigureVCPU: func(id int, vc hv.VCPU) {
+			vc.SetGuestSoftware(nil, &isa.Interp{})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queueLens := func() [2]int {
+		return [2]int{env.Host.RunqueueLen(0), env.Host.RunqueueLen(1)}
+	}
+	// Each 2-vCPU clone must land one thread on each of the 2 CPUs.
+	for i := 0; i < 3; i++ {
+		before := queueLens()
+		if _, err := fl.Fork(); err != nil {
+			t.Fatal(err)
+		}
+		after := queueLens()
+		if after[0]-before[0] != 1 || after[1]-before[1] != 1 {
+			t.Fatalf("fork %d placed threads unevenly: queue growth %d/%d, want 1/1",
+				i, after[0]-before[0], after[1]-before[1])
+		}
+	}
+	// Capacity is Overcommit×CPUs = 8 clone threads: the 4th clone fills
+	// it, the 5th must fail and roll back cleanly.
+	if _, err := fl.Fork(); err != nil {
+		t.Fatalf("fork at exact capacity failed: %v", err)
+	}
+	if _, err := fl.Fork(); err == nil {
+		t.Fatal("fork beyond overcommit capacity succeeded")
+	}
+	if got := len(fl.Clones); got != 4 {
+		t.Fatalf("fleet holds %d clones after failed fork, want 4", got)
+	}
+}
+
 func TestFleetForkAndStats(t *testing.T) {
 	for _, be := range hv.Backends() {
 		be := be

@@ -200,8 +200,22 @@ type VMStats struct {
 	EOIExits       uint64
 }
 
-// VCPUStats counts per-vCPU entries and exits.
+// VCPUStats counts per-vCPU entries and exits, plus the host-scheduler
+// accounting that matters under vCPU overcommit: retired guest
+// instructions (the architectural progress measure the overcommit bench
+// and oracle compare), steal time, and preemption counts for the vCPU's
+// host thread.
 type VCPUStats struct {
 	Exits   uint64
 	Entries uint64
+	// GuestInsns counts guest instructions retired while this vCPU was
+	// loaded on a physical CPU (accumulated at each world-switch out).
+	GuestInsns uint64
+	// StealTicks is counter ticks the vCPU thread spent runnable but
+	// waiting for a host CPU (run delay / steal time).
+	StealTicks uint64
+	// Preemptions counts times the thread was forced off a host CPU
+	// while still runnable; SchedSlices counts times it was switched on.
+	Preemptions uint64
+	SchedSlices uint64
 }

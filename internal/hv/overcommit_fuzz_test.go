@@ -1,0 +1,76 @@
+// FuzzOvercommitSchedule throws randomized scheduling at the overcommit
+// path — quantum size, overcommit ratio, thread arrival order and
+// arrival stagger — and demands the guests can't tell: every VM's final
+// registers, flags, memory, and retired-instruction count must equal the
+// sequential oracle (same guests, a whole CPU each, default quantum,
+// in-order arrival).
+package hv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"kvmarm/internal/hv"
+)
+
+func FuzzOvercommitSchedule(f *testing.F) {
+	// Seeds: default-ish quantum at 2×; tiny quantum at 4× reversed
+	// arrival; long quantum at 1× with stagger; mid quantum on the last
+	// backend.
+	f.Add(uint16(9_500), byte(1), byte(0), byte(0), byte(0), byte(80))
+	f.Add(uint16(0), byte(2), byte(0), byte(7), byte(3), byte(40))
+	f.Add(uint16(49_500), byte(0), byte(1), byte(0), byte(6), byte(10))
+	f.Add(uint16(20_000), byte(2), byte(4), byte(13), byte(1), byte(80))
+	f.Fuzz(func(t *testing.T, quantumSel uint16, ratioSel, beSel, orderSeed, staggerSel, itersSel byte) {
+		quantum := 500 + uint32(quantumSel)%49_501
+		ratio := []int{1, 2, 4}[int(ratioSel)%3]
+		const cpus = 2
+		nVMs := cpus * ratio
+		iters := 40 + int(itersSel)%(ocIters-39) // 40..ocIters
+		backends := hv.Backends()
+		be := backends[int(beSel)%len(backends)]
+
+		// Arrival order: Fisher-Yates over a deterministic LCG stream so
+		// the corpus stays reproducible.
+		order := make([]int, nVMs)
+		for i := range order {
+			order[i] = i
+		}
+		seed := uint32(orderSeed)*2654435761 + 1
+		for i := nVMs - 1; i > 0; i-- {
+			seed = seed*1664525 + 1013904223
+			j := int(seed>>16) % (i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		stagger := uint64(staggerSel%8) * 500
+
+		t.Logf("backend=%q quantum=%d ratio=%d:1 iters=%d order=%v stagger=%d",
+			be.Name, quantum, ratio, iters, order, stagger)
+
+		// Overcommitted run under the fuzzed schedule. Pins follow the VM
+		// index (not arrival rank), so late arrivals still land on their
+		// deterministic CPU and only the ordering varies.
+		env, vms := createOvercommitGuests(t, be, cpus, nVMs, iters)
+		env.Host.SetTimeSlice(quantum)
+		for rank, i := range order {
+			if _, err := vms[i].VCPUs()[0].StartThread(i); err != nil {
+				t.Fatal(err)
+			}
+			if stagger > 0 && rank < len(order)-1 {
+				env.Board.Run(stagger, func() bool { return false })
+			}
+		}
+		runOvercommitToCompletion(t, env)
+		got := make([]*ocFinal, nVMs)
+		for i, vm := range vms {
+			got[i] = captureOcFinal(t, vm)
+		}
+
+		// Sequential oracle: a whole CPU per VM, default quantum, in-order.
+		oenv, ovms := bootOvercommitGuests(t, be, nVMs, nVMs, iters)
+		runOvercommitToCompletion(t, oenv)
+		for i, vm := range ovms {
+			compareOcFinal(t, fmt.Sprintf("VM %d", i), got[i], captureOcFinal(t, vm))
+		}
+	})
+}

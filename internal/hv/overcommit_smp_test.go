@@ -1,0 +1,405 @@
+// Overcommitted SMP conformance: a 4-vCPU guest multiplexed on a single
+// host CPU (4:1 overcommit) must migrate, fork, and fail exactly like an
+// uncontended one. The baseline for every comparison is the same guest
+// with a whole CPU per vCPU, so these tests double as scheduling oracles:
+// time-slicing four workloads through one CPU — with a live migration or
+// a snapshot/fork in the middle — must leave no architectural trace.
+package hv_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/arm"
+	"kvmarm/internal/fault"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+const (
+	osmpVCPUs = 4
+	// osmpIters is sized so one vCPU's loop spans several default time
+	// slices (an iteration costs ~6-7k cycles with its exit, a slice is
+	// 640k): the migration must land while all four vCPUs still hold
+	// live, partially-run work, not after a short workload has drained
+	// through the first slice rotation.
+	osmpIters  = 600
+	osmpMarker = 0xC0DE1234
+)
+
+// Each vCPU owns a 3 MiB region — code, progress words, write log — so
+// the four workloads dirty disjoint pages concurrently.
+func osmpProgBase(i int) uint32  { return machine.RAMBase + uint32(i*3)<<20 }
+func osmpCountAddr(i int) uint32 { return osmpProgBase(i) + 1<<20 }
+func osmpMarkAddr(i int) uint32  { return osmpCountAddr(i) + 4 }
+func osmpBufBase(i int) uint32   { return osmpProgBase(i) + 2<<20 }
+
+// osmpWorkload emits the common loop: count 1..osmpIters into vCPU i's
+// own progress word and write log, hypercalling each iteration, then
+// store the completion marker.
+func osmpWorkload(a *isa.Asm, i int) *isa.Asm {
+	return a.
+		MOV32(isa.R1, osmpBufBase(i)).
+		MOV32(isa.R3, osmpCountAddr(i)).
+		MOVW(isa.R2, 0).
+		Label("loop").
+		ADDI(isa.R2, isa.R2, 1).
+		STR(isa.R2, isa.R3, 0).
+		STR(isa.R2, isa.R1, 0).
+		ADDI(isa.R1, isa.R1, 4).
+		HVC(1).
+		CMPI(isa.R2, osmpIters).
+		BNE("loop").
+		MOV32(isa.R4, osmpMarker).
+		STR(isa.R4, isa.R3, 4)
+}
+
+// osmpPrimaryProgram runs the workload on vCPU 0, then waits for every
+// secondary's completion marker (hypercalling each poll, so a pause
+// request always has a prompt exit to land on) before powering off.
+func osmpPrimaryProgram() []uint32 {
+	a := osmpWorkload(isa.NewAsm(machine.RAMBase), 0)
+	for j := 1; j < osmpVCPUs; j++ {
+		a = a.
+			MOV32(isa.R5, osmpMarkAddr(j)).
+			Label(fmt.Sprintf("wait%d", j)).
+			HVC(1).
+			LDR(isa.R6, isa.R5, 0).
+			CMP(isa.R6, isa.R4).
+			BNE(fmt.Sprintf("wait%d", j))
+	}
+	return a.HVC(kernel.PSCISystemOff).MustAssemble()
+}
+
+// osmpSecondaryProgram runs the workload against vCPU j's own region,
+// then idles in WFI (freeing its time slice on an overcommitted CPU)
+// until the primary powers off the VM.
+func osmpSecondaryProgram(j int) []uint32 {
+	return osmpWorkload(isa.NewAsm(osmpProgBase(j)), j).
+		Label("idle").
+		WFI().
+		B("idle").
+		MustAssemble()
+}
+
+// startOSMPGuest builds the 4-vCPU guest on a cpus-CPU host and starts
+// thread i pinned to CPU i — on a 1-CPU board every pin wraps to CPU 0,
+// which is the 4:1 overcommit under test.
+func startOSMPGuest(t *testing.T, be *hv.Backend, cpus int) (*hv.Env, hv.VM) {
+	t.Helper()
+	env, err := be.NewEnv(cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := env.HV.CreateVM(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < osmpVCPUs; i++ {
+		prog := osmpSecondaryProgram(i)
+		if i == 0 {
+			prog = osmpPrimaryProgram()
+		}
+		v, err := vm.CreateVCPU(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.WriteGuestMem(uint64(osmpProgBase(i)), progBytes(prog)); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.SetOneReg(hv.RegPC, osmpProgBase(i)); err != nil {
+			t.Fatal(err)
+		}
+		// IRQs unmasked: HCR.IMO routes physical interrupts to the
+		// hypervisor, so the host slice timer can preempt the guest
+		// mid-loop (an ExcIRQ exit, invisible to the guest). A masked
+		// guest only yields the CPU at unwinding exits, and the
+		// primary's marker-wait loop would monopolize the one CPU
+		// forever while the secondaries it waits on never run.
+		if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRF); err != nil {
+			t.Fatal(err)
+		}
+		v.SetGuestSoftware(nil, &isa.Interp{})
+	}
+	for i, v := range vm.VCPUs() {
+		if _, err := v.StartThread(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return env, vm
+}
+
+// osmpState is the guest-visible state to preserve: every vCPU's
+// progress word, marker and write log, plus vCPU 0's registers (the
+// secondaries' final PC depends on where in the WFI idle loop the
+// power-off lands, so their registers are not deterministic).
+type osmpState struct {
+	counts, marks [osmpVCPUs]uint32
+	bufs          [osmpVCPUs][]byte
+	regs0         map[hv.RegID]uint32
+}
+
+func captureOSMPState(t *testing.T, vm hv.VM) *osmpState {
+	t.Helper()
+	st := &osmpState{}
+	for i := 0; i < osmpVCPUs; i++ {
+		w, err := vm.ReadGuestMem(uint64(osmpCountAddr(i)), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.counts[i] = binary.LittleEndian.Uint32(w[0:4])
+		st.marks[i] = binary.LittleEndian.Uint32(w[4:8])
+		if st.bufs[i], err = vm.ReadGuestMem(uint64(osmpBufBase(i)), osmpIters*4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regs0, err := hv.SaveAllRegs(vm.VCPUs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.regs0 = regs0
+	return st
+}
+
+func compareOSMPState(t *testing.T, got, want *osmpState) {
+	t.Helper()
+	for i := 0; i < osmpVCPUs; i++ {
+		if got.counts[i] != want.counts[i] || got.marks[i] != want.marks[i] {
+			t.Errorf("vCPU%d count/marker = %d/%#x, want %d/%#x",
+				i, got.counts[i], got.marks[i], want.counts[i], want.marks[i])
+		}
+		if !bytes.Equal(got.bufs[i], want.bufs[i]) {
+			t.Errorf("vCPU%d write log diverged from uncontended run", i)
+		}
+	}
+	for id, w := range want.regs0 {
+		if g, ok := got.regs0[id]; !ok || g != w {
+			t.Errorf("vCPU0 reg %#x = %#x, want %#x", uint32(id), got.regs0[id], w)
+		}
+	}
+}
+
+func osmpCount(t *testing.T, vm hv.VM, i int) uint32 {
+	t.Helper()
+	b, err := vm.ReadGuestMem(uint64(osmpCountAddr(i)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// runOSMPMidWorkload runs the overcommitted guest until every vCPU is
+// mid-loop: fair scheduling must have advanced all four through the one
+// CPU, and all four must still have live work left to migrate.
+func runOSMPMidWorkload(t *testing.T, env *hv.Env, vm hv.VM) {
+	t.Helper()
+	step := 0
+	mid := func() bool {
+		step++
+		if step%256 != 0 {
+			return false
+		}
+		for i := 0; i < osmpVCPUs; i++ {
+			if osmpCount(t, vm, i) < 60 {
+				return false
+			}
+		}
+		return true
+	}
+	if !env.Board.Run(80_000_000, mid) {
+		t.Fatalf("overcommitted SMP guest made no progress (counts=%d/%d/%d/%d)",
+			osmpCount(t, vm, 0), osmpCount(t, vm, 1), osmpCount(t, vm, 2), osmpCount(t, vm, 3))
+	}
+	for i := 0; i < osmpVCPUs; i++ {
+		if c := osmpCount(t, vm, i); c >= osmpIters {
+			t.Fatalf("vCPU%d already finished (count=%d) before the migration point", i, c)
+		}
+	}
+}
+
+// osmpBaseline runs the guest uncontended — a whole CPU per vCPU — to
+// completion: the sequential oracle every overcommitted run must match.
+func osmpBaseline(t *testing.T, be *hv.Backend) *osmpState {
+	t.Helper()
+	env, vm := startOSMPGuest(t, be, osmpVCPUs)
+	if !env.Board.Run(400_000_000, func() bool { return env.Host.LiveCount() == 0 }) {
+		t.Fatal("uncontended SMP baseline did not finish")
+	}
+	return captureOSMPState(t, vm)
+}
+
+// TestBackendMigrationSMPOvercommitted migrates the 4-vCPU guest while
+// all four vCPU threads time-slice one host CPU, source and destination
+// both at 4:1. A pause request now lands on a mostly-descheduled fleet —
+// a queued vCPU only sees it at its next scheduled exit — so the park
+// phase gets a budget sized for a full slice rotation rather than the
+// uncontended default.
+func TestBackendMigrationSMPOvercommitted(t *testing.T) {
+	pairs := [][2]string{
+		{"ARM", "ARM VHE"},
+		{"KVM x86 laptop", "KVM x86 server"},
+	}
+	for _, pair := range pairs {
+		pair := pair
+		t.Run(pair[0]+" to "+pair[1], func(t *testing.T) {
+			t.Cleanup(runtime.GC)
+			srcBE, ok := hv.Lookup(pair[0])
+			if !ok {
+				t.Fatalf("backend %q not registered", pair[0])
+			}
+			dstBE, ok := hv.Lookup(pair[1])
+			if !ok {
+				t.Fatalf("backend %q not registered", pair[1])
+			}
+			want := osmpBaseline(t, srcBE)
+
+			srcEnv, srcVM := startOSMPGuest(t, srcBE, 1)
+			runOSMPMidWorkload(t, srcEnv, srcVM)
+
+			dstEnv, err := dstBE.NewEnv(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dstVM, err := dstEnv.HV.CreateVM(64 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := hv.Migrate(srcEnv, srcVM, dstEnv, dstVM, hv.MigrateOptions{
+				Precopy:     true,
+				Rounds:      2,
+				RoundBudget: 300,
+				PauseBudget: 2_000_000,
+				ConfigureVCPU: func(id int, v hv.VCPU) {
+					v.SetGuestSoftware(nil, &isa.Interp{})
+				},
+			})
+			if err != nil {
+				t.Fatalf("overcommitted SMP migration failed: %v", err)
+			}
+			if res.PagesFinal >= res.PagesTotal {
+				t.Errorf("stop-and-copy moved %d of %d pages; pre-copy did nothing", res.PagesFinal, res.PagesTotal)
+			}
+			if got := len(dstVM.VCPUs()); got != osmpVCPUs {
+				t.Fatalf("destination has %d vCPUs, want %d", got, osmpVCPUs)
+			}
+			if !dstEnv.Board.Run(400_000_000, func() bool { return dstEnv.Host.LiveCount() == 0 }) {
+				t.Fatalf("migrated overcommitted guest did not finish (counts=%d/%d/%d/%d)",
+					osmpCount(t, dstVM, 0), osmpCount(t, dstVM, 1), osmpCount(t, dstVM, 2), osmpCount(t, dstVM, 3))
+			}
+			for _, v := range dstVM.VCPUs() {
+				if v.ExitStats().Entries == 0 {
+					t.Errorf("destination vCPU %d never entered the guest", v.VCPUID())
+				}
+			}
+			compareOSMPState(t, captureOSMPState(t, dstVM), want)
+		})
+	}
+}
+
+// TestMigrateOvercommittedStuckVCPUAborts: the park watchdog must still
+// convert a stuck vCPU into a clean abort when the fleet is 4:1
+// overcommitted — the stuck thread keeps taking its time-sliced exits, so
+// the exit-count watchdog fires instead of the budget silently draining —
+// and the rollback must leave the overcommitted source able to finish and
+// match the uncontended baseline.
+func TestMigrateOvercommittedStuckVCPUAborts(t *testing.T) {
+	for _, name := range []string{"ARM", "KVM x86 laptop"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Cleanup(runtime.GC)
+			be, ok := hv.Lookup(name)
+			if !ok {
+				t.Fatalf("backend %q not registered", name)
+			}
+			want := osmpBaseline(t, be)
+			srcEnv, srcVM := startOSMPGuest(t, be, 1)
+			runOSMPMidWorkload(t, srcEnv, srcVM)
+
+			dstEnv, err := be.NewEnv(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plane := fault.New(7)
+			srcEnv.HV.AttachFaultPlane(plane)
+			dstEnv.HV.AttachFaultPlane(plane)
+			plane.Arm(fault.PtVCPUPark, fault.OnNth(1), fault.KindStuck)
+			dstVM, err := dstEnv.HV.CreateVM(64 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = hv.Migrate(srcEnv, srcVM, dstEnv, dstVM, hv.MigrateOptions{
+				Precopy: true,
+				Rounds:  2, RoundBudget: 300,
+				PauseBudget: 2_000_000,
+				Fault:       plane,
+				ConfigureVCPU: func(id int, v hv.VCPU) {
+					v.SetGuestSoftware(nil, &isa.Interp{})
+				},
+			})
+			var stuck *hv.StuckVCPUError
+			if !errors.As(err, &stuck) {
+				t.Fatalf("stuck overcommitted vCPU produced %v, want StuckVCPUError", err)
+			}
+			plane.Disarm()
+			for _, v := range srcVM.VCPUs() {
+				if v.Paused() {
+					t.Fatalf("source vCPU %d left paused after stuck abort", v.VCPUID())
+				}
+			}
+			if !srcEnv.Board.Run(400_000_000, func() bool { return srcEnv.Host.LiveCount() == 0 }) {
+				t.Fatal("rolled-back overcommitted source did not finish")
+			}
+			compareOSMPState(t, captureOSMPState(t, srcVM), want)
+		})
+	}
+}
+
+// TestSnapshotForkConformanceOvercommitted: template plus three forked
+// clones share the one host CPU (four vCPU threads, 4:1), and every
+// instance must still reach the unforked baseline state — copy-on-write
+// forking and time-sliced scheduling compose without interference.
+func TestSnapshotForkConformanceOvercommitted(t *testing.T) {
+	for _, be := range hv.Backends() {
+		be := be
+		t.Run(be.Name, func(t *testing.T) {
+			t.Cleanup(runtime.GC)
+			want := baselineMigState(t, be)
+
+			env, vm, v := startMigrationGuest(t, be)
+			runMidWorkload(t, env, vm, v)
+			snap, err := hv.CaptureSnapshot(env, vm, hv.SnapshotOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clones := make([]hv.VM, 3)
+			for i := range clones {
+				if clones[i], err = hv.Fork(env, snap, forkConf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !env.Board.Run(400_000_000, func() bool { return env.Host.LiveCount() == 0 }) {
+				t.Fatal("overcommitted fork fleet did not run to completion")
+			}
+			compareMigState(t, captureMigState(t, vm, v), want)
+			for i, c := range clones {
+				cv := c.VCPUs()[0]
+				if cv.State() != "shutdown" {
+					t.Errorf("clone %d finished in state %q", i, cv.State())
+				}
+				// Time-slicing one CPU four ways must show up in the clone's
+				// scheduling accounting without touching its architecture.
+				if st := cv.ExitStats(); st.SchedSlices == 0 {
+					t.Errorf("clone %d ran with zero recorded scheduler slices", i)
+				}
+				compareMigState(t, captureMigState(t, c, cv), want)
+			}
+		})
+	}
+}

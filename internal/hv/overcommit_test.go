@@ -1,0 +1,230 @@
+// vCPU overcommit conformance: the host scheduler time-slicing more vCPU
+// threads than physical CPUs must be invisible to the guests. Every
+// workload run overcommitted is checked against a sequential oracle — the
+// same guests run with a whole CPU each — and the architectural state
+// (registers, memory, retired guest instructions) must match exactly;
+// only wall-clock scheduling artifacts (steal time, preemptions) may
+// differ.
+package hv_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/arm"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+)
+
+const (
+	ocCountAddr = machine.RAMBase + 1<<20
+	ocMarkAddr  = ocCountAddr + 4
+	ocBufBase   = machine.RAMBase + 2<<20
+	ocMarker    = 0x0C0FFEE5
+	ocIters     = 120
+)
+
+// ocProgram is the per-VM workload: count 1..iters, logging every count
+// to the write buffer and hypercalling each iteration (an exit per
+// iteration keeps the host scheduler in play), then store the marker and
+// power off. Each VM has its own address space, so every instance uses
+// the same addresses.
+func ocProgram(iters int) []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		MOV32(isa.R1, ocBufBase).
+		MOV32(isa.R3, ocCountAddr).
+		MOVW(isa.R2, 0).
+		Label("loop").
+		ADDI(isa.R2, isa.R2, 1).
+		STR(isa.R2, isa.R3, 0).
+		STR(isa.R2, isa.R1, 0).
+		ADDI(isa.R1, isa.R1, 4).
+		HVC(1).
+		CMPI(isa.R2, uint16(iters)).
+		BNE("loop").
+		MOV32(isa.R4, ocMarker).
+		STR(isa.R4, isa.R3, 4).
+		HVC(kernel.PSCISystemOff).
+		MustAssemble()
+}
+
+// ocFinal is one VM's final architectural state plus its scheduling
+// accounting.
+type ocFinal struct {
+	count, marker uint32
+	buf           []byte
+	regs          map[hv.RegID]uint32
+	stats         hv.VCPUStats
+}
+
+// createOvercommitGuests creates nVMs single-vCPU VMs running ocProgram
+// on a cpus-CPU environment, without starting their vCPU threads — the
+// caller controls thread arrival order (the fuzz dimension).
+func createOvercommitGuests(t *testing.T, be *hv.Backend, cpus, nVMs, iters int) (*hv.Env, []hv.VM) {
+	t.Helper()
+	env, err := be.NewEnv(cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := progBytes(ocProgram(iters))
+	vms := make([]hv.VM, nVMs)
+	for i := 0; i < nVMs; i++ {
+		vm, err := env.HV.CreateVM(32 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := vm.CreateVCPU(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.WriteGuestMem(machine.RAMBase, prog); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+			t.Fatal(err)
+		}
+		// IRQs unmasked: HCR.IMO turns the host's slice-timer interrupt
+		// into an ExcIRQ exit (invisible to the guest), so a short
+		// quantum can preempt a vCPU mid-loop instead of only between
+		// hypercall exits — the harder case for the oracle to check.
+		if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRF); err != nil {
+			t.Fatal(err)
+		}
+		v.SetGuestSoftware(nil, &isa.Interp{})
+		vms[i] = vm
+	}
+	return env, vms
+}
+
+// bootOvercommitGuests is createOvercommitGuests plus in-order thread
+// start, vCPU thread i pinned to CPU i (the backend wraps pins beyond
+// the board modulo the CPU count, which is exactly the overcommit
+// placement under test).
+func bootOvercommitGuests(t *testing.T, be *hv.Backend, cpus, nVMs, iters int) (*hv.Env, []hv.VM) {
+	t.Helper()
+	env, vms := createOvercommitGuests(t, be, cpus, nVMs, iters)
+	for i, vm := range vms {
+		if _, err := vm.VCPUs()[0].StartThread(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return env, vms
+}
+
+func runOvercommitToCompletion(t *testing.T, env *hv.Env) {
+	t.Helper()
+	if !env.Board.Run(400_000_000, func() bool { return env.Host.LiveCount() == 0 }) {
+		t.Fatalf("overcommitted fleet did not run to completion (%d live procs)", env.Host.LiveCount())
+	}
+}
+
+func captureOcFinal(t *testing.T, vm hv.VM) *ocFinal {
+	t.Helper()
+	v := vm.VCPUs()[0]
+	regs, err := hv.SaveAllRegs(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := vm.ReadGuestMem(ocCountAddr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := vm.ReadGuestMem(ocBufBase, ocIters*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ocFinal{
+		count:  binary.LittleEndian.Uint32(words[0:4]),
+		marker: binary.LittleEndian.Uint32(words[4:8]),
+		buf:    buf,
+		regs:   regs,
+		stats:  v.ExitStats(),
+	}
+}
+
+// compareOcFinal checks architectural equality between an overcommitted
+// run and the sequential oracle: registers, memory, and the retired
+// guest-instruction count must all match.
+func compareOcFinal(t *testing.T, name string, got, want *ocFinal) {
+	t.Helper()
+	if got.count != want.count || got.marker != want.marker {
+		t.Errorf("%s: count/marker = %d/%#x, want %d/%#x", name, got.count, got.marker, want.count, want.marker)
+	}
+	if !bytes.Equal(got.buf, want.buf) {
+		t.Errorf("%s: write-log buffer diverged from sequential oracle", name)
+	}
+	for id, w := range want.regs {
+		if g, ok := got.regs[id]; !ok || g != w {
+			t.Errorf("%s: reg %#x = %#x, want %#x", name, uint32(id), got.regs[id], w)
+		}
+	}
+	if got.stats.GuestInsns != want.stats.GuestInsns {
+		t.Errorf("%s: retired %d guest instructions, oracle retired %d",
+			name, got.stats.GuestInsns, want.stats.GuestInsns)
+	}
+}
+
+// TestOvercommitSequentialOracle runs N single-vCPU guests on 2 host CPUs
+// at 2× and 4× overcommit on every registered backend, and demands each
+// guest's final architectural state equal the sequential oracle (same
+// guests, a whole CPU each). It also checks the scheduler accounting
+// surfaced through ExitStats: an overcommitted run must observe steal
+// time somewhere, the oracle must observe none.
+func TestOvercommitSequentialOracle(t *testing.T) {
+	const cpus = 2
+	for _, be := range hv.Backends() {
+		be := be
+		t.Run(be.Name, func(t *testing.T) {
+			oracles := map[int][]*ocFinal{}
+			oracle := func(nVMs int) []*ocFinal {
+				if oracles[nVMs] == nil {
+					env, vms := bootOvercommitGuests(t, be, nVMs, nVMs, ocIters)
+					runOvercommitToCompletion(t, env)
+					finals := make([]*ocFinal, nVMs)
+					for i, vm := range vms {
+						finals[i] = captureOcFinal(t, vm)
+						// A whole CPU each: the only run delay allowed is
+						// first-dispatch latency, never slice waiting.
+						if st := finals[i].stats; st.StealTicks > 100 {
+							t.Errorf("oracle VM %d reports %d steal ticks with a whole CPU", i, st.StealTicks)
+						}
+					}
+					oracles[nVMs] = finals
+				}
+				return oracles[nVMs]
+			}
+			for _, ratio := range []int{2, 4} {
+				ratio := ratio
+				t.Run(fmt.Sprintf("%dx", ratio), func(t *testing.T) {
+					t.Cleanup(runtime.GC)
+					nVMs := cpus * ratio
+					want := oracle(nVMs)
+					env, vms := bootOvercommitGuests(t, be, cpus, nVMs, ocIters)
+					runOvercommitToCompletion(t, env)
+					stolen := 0
+					for i, vm := range vms {
+						got := captureOcFinal(t, vm)
+						compareOcFinal(t, fmt.Sprintf("VM %d", i), got, want[i])
+						// Sharing a CPU must show up as steal time well
+						// beyond the oracle's dispatch latency.
+						if got.stats.StealTicks > want[i].stats.StealTicks+100 {
+							stolen++
+						}
+						if got.stats.SchedSlices == 0 {
+							t.Errorf("VM %d ran with zero recorded scheduler slices", i)
+						}
+					}
+					if stolen == 0 {
+						t.Errorf("no vCPU observed steal time at %d:1 overcommit", ratio)
+					}
+				})
+			}
+		})
+	}
+}

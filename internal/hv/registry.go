@@ -93,6 +93,9 @@ func Backends() []*Backend {
 // interfaces: attach the tracer (before the VM exists, so boot-time exits
 // are captured), create the VM and its vCPUs, couple a guest OS, start
 // the vCPU threads, and run the board until the guest kernel is up.
+// vCPU thread i is pinned to host CPU i; asking for more vCPUs than the
+// board has CPUs is allowed — the backends wrap the pin modulo the CPU
+// count and the host scheduler time-slices the overcommitted threads.
 func BootGuest(env *Env, cpus int, memBytes, budget uint64, tr *trace.Tracer) (VM, GuestOS, error) {
 	if tr != nil {
 		env.HV.AttachTracer(tr)

@@ -88,7 +88,10 @@ type ForkOptions struct {
 	// before it starts (software contexts do not travel with registers).
 	ConfigureVCPU func(id int, v VCPU)
 	// Pin chooses the host CPU for clone vCPU id's thread (-1 for any).
-	// Nil pins vCPU i to host CPU i when it exists, else any.
+	// Nil pins vCPU i to host CPU i when it exists, else any. Pins at or
+	// beyond the board's CPU count wrap modulo the count (the backends
+	// normalize them), so an overcommitting caller may hand out more
+	// distinct pins than there are physical CPUs.
 	Pin func(id int) int
 }
 

@@ -171,6 +171,15 @@ type Kernel struct {
 	// calls made from the kernel.
 	OnHypStub func(c *arm.CPU, e *arm.Exception)
 
+	// OnSchedSwitch, if set, observes every context switch: p was
+	// switched onto logical cpu after waiting waitTicks counter ticks
+	// runnable (its steal time for this slice). The hypervisor installs
+	// it on the host kernel to attribute steal time to vCPU threads.
+	OnSchedSwitch func(cpu int, p *Proc, waitTicks uint64)
+	// OnSchedPreempt, if set, observes p being forced off logical cpu
+	// while still runnable (slice-tick or wakeup preemption).
+	OnSchedPreempt func(cpu int, p *Proc)
+
 	// OnIdle, if set, is called when a CPU has nothing to run (used by
 	// tests; the default action is WFI).
 	OnIdle func(cpu int)

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"kvmarm/internal/arm"
+	"kvmarm/internal/timer"
 )
 
 // ProcState is a process's lifecycle state.
@@ -51,6 +52,26 @@ type Proc struct {
 	// Steps counts body steps executed.
 	Steps uint64
 
+	// VRuntime is the fair-share virtual runtime in counter ticks (the
+	// CFS analogue): time the process has actually held a CPU. pickNext
+	// selects the runnable process with the smallest VRuntime, so an
+	// overcommitted run queue converges to equal shares.
+	VRuntime uint64
+	// RunDelayTicks accumulates counter ticks spent runnable but waiting
+	// for a CPU — steal time, from a vCPU thread's point of view
+	// (/proc/<pid>/schedstat's run_delay).
+	RunDelayTicks uint64
+	// SchedSlices counts times the process was switched onto a CPU;
+	// Preemptions counts times it was forced off while still runnable
+	// (slice-tick or wakeup preemption, not a voluntary block).
+	SchedSlices uint64
+	Preemptions uint64
+	// readyAt / runStart are runqueue-clock stamps (counter ticks) of the
+	// last wakeup and the last switch-in, feeding the two accumulators
+	// above without extra paid counter reads.
+	readyAt  uint64
+	runStart uint64
+
 	cpu     int
 	onCPU   bool
 	ExitErr string
@@ -74,6 +95,10 @@ type WaitQueue struct {
 // NewWaitQueue creates a wait queue.
 func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{name: name} }
 
+// DefaultSliceTicks is the scheduler's default time-slice quantum in
+// counter ticks (~10k ticks; one tick is 1<<timer.CycleShift cycles).
+const DefaultSliceTicks = 10_000
+
 type cpuSched struct {
 	k   *Kernel
 	cpu int
@@ -85,10 +110,57 @@ type cpuSched struct {
 
 	// Switches counts context switches on this CPU.
 	Switches uint64
+
+	// clockBase/cycBase cache the last paid runqueue-clock read and the
+	// CPU cycle count at which it was taken: accounting stamps between
+	// context switches derive from them for free, keeping the kernel at
+	// exactly one paid counter read per switch (the Figure 3 cost model).
+	clockBase uint64
+	cycBase   uint64
 }
 
 func newCPUSched(k *Kernel, cpu int) *cpuSched {
-	return &cpuSched{k: k, cpu: cpu, sliceTicks: 10_000} // ~10k counter ticks
+	return &cpuSched{k: k, cpu: cpu, sliceTicks: DefaultSliceTicks}
+}
+
+// cachedClock extrapolates the runqueue clock from the last paid read.
+func (s *cpuSched) cachedClock() uint64 {
+	c := s.k.CPU(s.cpu)
+	if c.Clock <= s.cycBase {
+		return s.clockBase
+	}
+	return s.clockBase + timer.Count(c.Clock-s.cycBase)
+}
+
+// noteClock re-bases the cached clock from a paid counter read.
+func (s *cpuSched) noteClock(now uint64, c *arm.CPU) {
+	s.clockBase, s.cycBase = now, c.Clock
+}
+
+// SetTimeSlice sets the preemption quantum (counter ticks) on every CPU;
+// 0 restores the default. Takes effect at each CPU's next context switch.
+func (k *Kernel) SetTimeSlice(ticks uint32) {
+	if ticks == 0 {
+		ticks = DefaultSliceTicks
+	}
+	for _, s := range k.scheds {
+		s.sliceTicks = ticks
+	}
+}
+
+// TimeSlice reports the current preemption quantum in counter ticks.
+func (k *Kernel) TimeSlice() uint32 { return k.scheds[0].sliceTicks }
+
+// RunqueueLen reports logical cpu's run-queue load: queued runnable
+// processes plus the one currently on the CPU. Placement layers (fleet
+// overcommit) balance on this rather than raw busy cycles.
+func (k *Kernel) RunqueueLen(cpu int) int {
+	s := k.scheds[cpu]
+	n := len(s.runq)
+	if s.curr != nil {
+		n++
+	}
+	return n
 }
 
 // NewProc creates a process with a fresh address space and enqueues it.
@@ -100,7 +172,7 @@ func (k *Kernel) NewProc(name string, affinity int, body Body) (*Proc, error) {
 	p := &Proc{PID: k.nextPID, Name: name, Body: body, AS: as, Affinity: affinity, cpu: 0}
 	k.nextPID++
 	k.procs[p.PID] = p
-	k.enqueue(p)
+	k.enqueueAndKick(p)
 	return p, nil
 }
 
@@ -125,20 +197,96 @@ func (k *Kernel) Proc(pid int) (*Proc, bool) {
 	return p, ok
 }
 
-// enqueue makes p runnable on its preferred CPU and kicks that CPU if it
-// is idle (the reschedule-IPI path).
-func (k *Kernel) enqueue(p *Proc) {
-	cpu := p.cpu
+// placeCPU chooses the run queue for a waking/new process. Pinned
+// processes go to their CPU (an overcommitted pin wraps modulo the CPU
+// count, so "vCPU 5 of 4 board CPUs" lands on CPU 1 instead of silently
+// on CPU 0). Unpinned processes balance on run-queue load, keeping the
+// previous CPU on ties for locality.
+func (k *Kernel) placeCPU(p *Proc) int {
 	if p.Affinity >= 0 {
-		cpu = p.Affinity
+		return p.Affinity % k.NumCPUs
 	}
-	if cpu >= k.NumCPUs {
-		cpu = 0
+	prev := p.cpu
+	if prev >= k.NumCPUs {
+		prev = 0
 	}
+	best, bestLoad := prev, k.RunqueueLen(prev)
+	for i := 0; i < k.NumCPUs; i++ {
+		if i == prev {
+			continue
+		}
+		if l := k.RunqueueLen(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// minVruntime is the smallest virtual runtime among this queue's runnable
+// and running processes at runqueue-clock time now.
+func (s *cpuSched) minVruntime(now uint64) (uint64, bool) {
+	var minv uint64
+	ok := false
+	for _, q := range s.runq {
+		if !ok || q.VRuntime < minv {
+			minv, ok = q.VRuntime, true
+		}
+	}
+	if p := s.curr; p != nil {
+		v := p.VRuntime
+		if now > p.runStart {
+			v += now - p.runStart
+		}
+		if !ok || v < minv {
+			minv, ok = v, true
+		}
+	}
+	return minv, ok
+}
+
+// enqueue makes p runnable on a CPU chosen by placeCPU. It does not kick
+// the target — wakeProc layers the cross-CPU IPI logic on top, and
+// NewProc uses enqueueAndKick; the requeue paths (Yield, preemption) run
+// on the target CPU itself where the scheduler loop is already live.
+func (k *Kernel) enqueue(p *Proc) {
+	cpu := k.placeCPU(p)
 	p.cpu = cpu
 	p.State = ProcRunnable
 	s := k.scheds[cpu]
+	now := s.cachedClock()
+	p.readyAt = now
+	// Fair placement (CFS place_entity): floor the arriving vruntime to
+	// the queue's minimum, so neither a fresh process (VRuntime 0) nor a
+	// long sleeper with a stale low vruntime can monopolize the CPU, and
+	// the arrival still wins ties against longer-running peers.
+	if minv, ok := s.minVruntime(now); ok && p.VRuntime < minv {
+		p.VRuntime = minv
+	}
 	s.runq = append(s.runq, p)
+}
+
+// enqueueAndKick is enqueue plus the lost-wakeup closure for callers with
+// no issuing-CPU context (NewProc): a queued process must eventually run
+// even if the target CPU never takes another interrupt on its own.
+func (k *Kernel) enqueueAndKick(p *Proc) {
+	k.enqueue(p)
+	cpu := p.cpu
+	s := k.scheds[cpu]
+	if s.curr != nil {
+		// The current process runs tickless (its switch-in saw no
+		// contention, so no slice timer is armed): without a kick the
+		// arrival would wait for it to block voluntarily — maybe
+		// forever. This is the lost-reschedule edge the overcommit
+		// fairness tests pin.
+		if k.timers[cpu].sliceDeadline == 0 {
+			s.needResched = true
+		}
+	} else if k.CPU(cpu).WFIWait {
+		// The target core already parked in WFI and nothing else will
+		// interrupt it: raise the reschedule IPI so it wakes (the same
+		// self-IPI wakeProc sends on its own paths).
+		k.gicSendIPI(k.CPU(cpu), 1<<uint(cpu), IPIReschedule)
+	}
 }
 
 // WakeFromIRQ is enqueue plus the cross-CPU kick, callable from interrupt
@@ -233,8 +381,23 @@ func (k *Kernel) exitCurrent(cpu int) {
 	s.curr = nil
 }
 
+// chargeCurr banks the running process's elapsed ticks into its virtual
+// runtime, using the cached runqueue clock (no paid counter read).
+func (s *cpuSched) chargeCurr() {
+	p := s.curr
+	if p == nil {
+		return
+	}
+	now := s.cachedClock()
+	if now > p.runStart {
+		p.VRuntime += now - p.runStart
+		p.runStart = now
+	}
+}
+
 // switchAway deschedules the current process without requeueing it.
 func (s *cpuSched) switchAway() {
+	s.chargeCurr()
 	s.curr = nil
 	s.needResched = true
 }
@@ -257,6 +420,17 @@ func (s *cpuSched) contextSwitchTo(c *arm.CPU, p *Proc) {
 	// Save + restore the general-purpose file (38 registers each way).
 	c.Charge(uint64(arm.GPCount()) * (c.Cost.RegSave + c.Cost.RegRestore))
 	now := k.readRunqueueClock(c)
+	s.noteClock(now, c)
+	p.SchedSlices++
+	var wait uint64
+	if now > p.readyAt {
+		wait = now - p.readyAt
+		p.RunDelayTicks += wait
+	}
+	p.runStart = now
+	if h := k.OnSchedSwitch; h != nil {
+		h(s.cpu, p, wait)
+	}
 	k.switchAddressSpace(c, p.AS)
 	// Arm the preemption tick unless this is the only live process
 	// (tickless when truly uncontended, like NO_HZ Linux; but a blocked
@@ -310,16 +484,31 @@ func (s *cpuSched) pickNext(c *arm.CPU) {
 	k := s.k
 	s.needResched = false
 	if s.curr != nil {
-		// Preempted: requeue.
+		// Preempted while still runnable: bank its runtime and requeue.
+		s.chargeCurr()
 		old := s.curr
 		s.curr = nil
+		old.onCPU = false
+		old.Preemptions++
+		if h := k.OnSchedPreempt; h != nil {
+			h(s.cpu, old)
+		}
 		k.enqueue(old)
 	}
 	if len(s.runq) == 0 {
 		return
 	}
-	p := s.runq[0]
-	s.runq = s.runq[1:]
+	// Fair pick: the smallest virtual runtime wins; ties keep queue
+	// (FIFO) order, which preserves the pre-vruntime round-robin when
+	// every waiter is even.
+	best := 0
+	for i := 1; i < len(s.runq); i++ {
+		if s.runq[i].VRuntime < s.runq[best].VRuntime {
+			best = i
+		}
+	}
+	p := s.runq[best]
+	s.runq = append(s.runq[:best], s.runq[best+1:]...)
 	p.State = ProcRunning
 	p.onCPU = true
 	s.curr = p

@@ -1,0 +1,212 @@
+package kernel
+
+import (
+	"testing"
+
+	"kvmarm/internal/arm"
+)
+
+// spinBody is a CPU-bound process body that never exits: each step burns
+// a fixed slice of user cycles, like a vCPU thread whose guest never
+// blocks.
+func spinBody(cost uint64) Body {
+	return BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		c.Charge(cost)
+		return false
+	})
+}
+
+// TestSchedFairShares: CPU-bound peers multiplexed on one CPU converge to
+// equal shares — the vruntime pick keeps the fastest and slowest within
+// 2× of each other, and everyone gets repeated slices.
+func TestSchedFairShares(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	const nprocs = 4
+	procs := make([]*Proc, nprocs)
+	for i := range procs {
+		p, err := k.NewProc("spin", 0, spinBody(2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	b.Run(300_000, func() bool { return false })
+	minSteps, maxSteps := procs[0].Steps, procs[0].Steps
+	for _, p := range procs {
+		if p.SchedSlices < 2 {
+			t.Errorf("proc %d got %d slices, want >= 2", p.PID, p.SchedSlices)
+		}
+		if p.Steps < minSteps {
+			minSteps = p.Steps
+		}
+		if p.Steps > maxSteps {
+			maxSteps = p.Steps
+		}
+		if p.VRuntime == 0 {
+			t.Errorf("proc %d has zero vruntime after running", p.PID)
+		}
+	}
+	if minSteps == 0 || maxSteps > 2*minSteps {
+		t.Fatalf("unfair shares: step counts range %d..%d (want max <= 2*min)", minSteps, maxSteps)
+	}
+	// Everyone but the first to run waited for the CPU at least once.
+	delayed := 0
+	for _, p := range procs {
+		if p.RunDelayTicks > 0 {
+			delayed++
+		}
+	}
+	if delayed < nprocs-1 {
+		t.Errorf("only %d/%d procs accumulated run delay on a 4:1 overcommitted CPU", delayed, nprocs)
+	}
+}
+
+// TestSchedBoundedStarvation is the no-starvation bound: with N runnable
+// peers on one CPU, every process first runs within N+1 context switches
+// and, from then on, never waits more than N+1 switches between
+// consecutive slices.
+func TestSchedBoundedStarvation(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	const nprocs = 6
+	const bound = nprocs + 1
+	switches := 0
+	firstRun := map[int]int{}
+	lastRun := map[int]int{}
+	maxGap := 0
+	k.OnSchedSwitch = func(cpu int, p *Proc, wait uint64) {
+		switches++
+		if _, seen := firstRun[p.PID]; !seen {
+			firstRun[p.PID] = switches
+		} else if gap := switches - lastRun[p.PID]; gap > maxGap {
+			maxGap = gap
+		}
+		lastRun[p.PID] = switches
+	}
+	procs := make([]*Proc, nprocs)
+	for i := range procs {
+		p, err := k.NewProc("spin", 0, spinBody(2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	b.Run(500_000, func() bool { return false })
+	for _, p := range procs {
+		first, ran := firstRun[p.PID]
+		if !ran {
+			t.Fatalf("proc %d never ran in %d switches", p.PID, switches)
+		}
+		if first > bound {
+			t.Errorf("proc %d first ran at switch %d, bound is %d", p.PID, first, bound)
+		}
+		if p.SchedSlices < 3 {
+			t.Errorf("proc %d got only %d slices", p.PID, p.SchedSlices)
+		}
+	}
+	if maxGap > bound {
+		t.Errorf("a runnable proc waited %d switches between slices, bound is %d", maxGap, bound)
+	}
+}
+
+// TestSchedLateArrivalPreemptsTickless pins the lost-reschedule edge: a
+// lone CPU-bound process runs tickless (no slice timer armed), so a
+// NewProc arrival must set needResched itself or it waits forever.
+func TestSchedLateArrivalPreemptsTickless(t *testing.T) {
+	b, k := hostBoot(t, 1)
+	lone, err := k.NewProc("lone", 0, spinBody(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the lone process establish itself (uncontended: tickless).
+	b.Run(2_000, func() bool { return false })
+	if k.CurrentProc(0) != lone {
+		t.Fatal("lone process is not running")
+	}
+	late, err := k.NewProc("late", 0, spinBody(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Run(200_000, func() bool { return late.Steps > 0 }) {
+		t.Fatal("late arrival starved behind a tickless current process")
+	}
+}
+
+// TestSchedNewProcKicksWFIIdleCPU pins the other lost-wakeup edge: a CPU
+// with no work parks in WFI, and a process enqueued to it from outside
+// interrupt context must get a reschedule IPI or it never starts.
+func TestSchedNewProcKicksWFIIdleCPU(t *testing.T) {
+	b, k := hostBoot(t, 2)
+	// With no processes anywhere, both CPUs sink into WFI.
+	b.Run(5_000, func() bool { return false })
+	if !b.CPUs[1].WFIWait {
+		t.Fatal("idle CPU 1 did not reach WFI")
+	}
+	done := false
+	if _, err := k.NewProc("late", 1, BodyFunc(func(k *Kernel, p *Proc, c *arm.CPU) bool {
+		done = true
+		c.Charge(100)
+		return true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Run(200_000, func() bool { return done }) {
+		t.Fatal("process enqueued to a WFI-parked CPU never ran")
+	}
+}
+
+// TestSchedTimeSliceQuantum: the configured quantum controls preemption
+// cadence — a short slice forces many more preemptions than a long one
+// over the same contended run.
+func TestSchedTimeSliceQuantum(t *testing.T) {
+	preemptions := func(slice uint32) uint64 {
+		b, k := hostBoot(t, 1)
+		k.SetTimeSlice(slice)
+		if got := k.TimeSlice(); got != slice {
+			t.Fatalf("TimeSlice() = %d after SetTimeSlice(%d)", got, slice)
+		}
+		a, err := k.NewProc("a", 0, spinBody(2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp, err := k.NewProc("b", 0, spinBody(2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Run(120_000, func() bool { return false })
+		return a.Preemptions + bp.Preemptions
+	}
+	short := preemptions(500)
+	long := preemptions(20_000)
+	if short <= long {
+		t.Fatalf("short quantum forced %d preemptions, long quantum %d — want short > long", short, long)
+	}
+
+	// SetTimeSlice(0) restores the default.
+	_, k := hostBoot(t, 1)
+	k.SetTimeSlice(123)
+	k.SetTimeSlice(0)
+	if got := k.TimeSlice(); got != DefaultSliceTicks {
+		t.Fatalf("TimeSlice() = %d after SetTimeSlice(0), want default %d", got, DefaultSliceTicks)
+	}
+}
+
+// TestSchedAffinityWraps: a pin beyond the CPU count lands on pin % CPUs
+// (overcommit hands out more vCPU pins than board CPUs), not silently on
+// CPU 0.
+func TestSchedAffinityWraps(t *testing.T) {
+	b, k := hostBoot(t, 2)
+	p, err := k.NewProc("wrapped", 5, spinBody(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.RunqueueLen(1); got != 1 {
+		t.Fatalf("RunqueueLen(1) = %d after pinning to 5 on 2 CPUs, want 1", got)
+	}
+	if got := k.RunqueueLen(0); got != 0 {
+		t.Fatalf("RunqueueLen(0) = %d, want 0", got)
+	}
+	b.Run(20_000, func() bool { return p.Steps > 0 })
+	if k.CurrentProc(1) != p {
+		t.Fatal("wrapped-affinity process is not running on CPU 1")
+	}
+}

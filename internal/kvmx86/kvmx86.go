@@ -92,6 +92,11 @@ type Hypervisor struct {
 	// Fault is the fault-injection plane (internal/fault); nil when
 	// injection is off. Attach with AttachFaultPlane.
 	Fault *fault.Plane
+
+	// vcpuProcs maps host processes to the vCPUs they run, so the host
+	// scheduler's switch/preempt hooks can attribute steal time to the
+	// right VM/vCPU in the trace stream (overcommit observability).
+	vcpuProcs map[*kernel.Proc]*VCPU
 }
 
 type hostSaved struct {
@@ -106,11 +111,32 @@ type hostSaved struct {
 // special boot mode is required: the kernel already runs in root mode.
 func Init(b *machine.Board, host *kernel.Kernel, p x86.Profile) (*Hypervisor, error) {
 	x := &Hypervisor{
-		Board:   b,
-		Host:    host,
-		P:       p,
-		loaded:  make([]*VCPU, len(b.CPUs)),
-		hostCtx: make([]hostSaved, len(b.CPUs)),
+		Board:     b,
+		Host:      host,
+		P:         p,
+		loaded:    make([]*VCPU, len(b.CPUs)),
+		hostCtx:   make([]hostSaved, len(b.CPUs)),
+		vcpuProcs: make(map[*kernel.Proc]*VCPU),
+	}
+	// Host-scheduler observability: when the host multiplexes more vCPU
+	// threads than physical CPUs, surface per-vCPU steal time and
+	// preemptions through the trace stream (kvmarm-stat's scheduling
+	// section). Non-vCPU host processes are accounted on their Proc only.
+	host.OnSchedSwitch = func(cpu int, p *kernel.Proc, wait uint64) {
+		v := x.vcpuProcs[p]
+		if v == nil || wait == 0 || x.Trace == nil {
+			return
+		}
+		x.Trace.Emit(trace.Event{Kind: trace.EvSchedSteal, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(cpu), Cycles: wait << timer.CycleShift, Time: b.CPUs[cpu].Clock})
+	}
+	host.OnSchedPreempt = func(cpu int, p *kernel.Proc) {
+		v := x.vcpuProcs[p]
+		if v == nil || x.Trace == nil {
+			return
+		}
+		x.Trace.Emit(trace.Event{Kind: trace.EvSchedPreempt, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(cpu), Time: b.CPUs[cpu].Clock})
 	}
 	for _, c := range b.CPUs {
 		c.HypHandler = x.vmExit
@@ -318,6 +344,12 @@ type VCPU struct {
 	phys  int
 	state vcpuState
 	wq    *kernel.WaitQueue
+	proc  *kernel.Proc
+
+	// insnMark is the physical CPU's retired-instruction count at the
+	// last VM entry; the exit accumulates the delta into
+	// Stats.GuestInsns (per-vCPU architectural progress).
+	insnMark uint64
 
 	softTimerID  uint64
 	softTimerCPU int
@@ -355,8 +387,18 @@ func (vm *VM) VCPUs() []hv.VCPU {
 // VCPUID is the vCPU index within its VM.
 func (v *VCPU) VCPUID() int { return v.ID }
 
-// ExitStats copies out the per-vCPU entry/exit counters.
-func (v *VCPU) ExitStats() hv.VCPUStats { return v.Stats }
+// ExitStats copies out the per-vCPU entry/exit counters, merging in the
+// host scheduler's accounting for the vCPU's thread (steal time and
+// preemptions — the overcommit fairness measures).
+func (v *VCPU) ExitStats() hv.VCPUStats {
+	st := v.Stats
+	if p := v.proc; p != nil {
+		st.StealTicks = p.RunDelayTicks
+		st.Preemptions = p.Preemptions
+		st.SchedSlices = p.SchedSlices
+	}
+	return st
+}
 
 // State reports the run state.
 func (v *VCPU) State() string {
@@ -381,9 +423,14 @@ func (v *VCPU) SetGuestSoftware(h arm.ExcHandler, r arm.Runner) {
 	v.Ctx.Runner = r
 }
 
-// StartThread creates the host vCPU thread.
+// StartThread creates the host vCPU thread. A pin beyond the board's CPU
+// count wraps modulo — overcommit placement may hand out more vCPU
+// threads than physical CPUs and the host scheduler time-slices them.
 func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
 	x := v.vm.kvm
+	if n := len(x.Board.CPUs); hostCPU >= n {
+		hostCPU %= n
+	}
 	body := kernel.BodyFunc(func(hk *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
 		return v.runStep(hostCPU, c)
 	})
@@ -391,7 +438,13 @@ func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
 	if from < 0 {
 		from = 0
 	}
-	return x.Host.NewProcFrom(from, fmt.Sprintf("qemu-x86vcpu%d.%d", v.vm.VMID, v.ID), hostCPU, body)
+	proc, err := x.Host.NewProcFrom(from, fmt.Sprintf("qemu-x86vcpu%d.%d", v.vm.VMID, v.ID), hostCPU, body)
+	if err != nil {
+		return nil, err
+	}
+	v.proc = proc
+	x.vcpuProcs[proc] = v
+	return proc, nil
 }
 
 func (v *VCPU) runStep(hostCPU int, c *arm.CPU) bool {

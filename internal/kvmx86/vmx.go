@@ -50,6 +50,7 @@ func (x *Hypervisor) enterGuest(c *arm.CPU, v *VCPU) {
 	c.Runner = v.Ctx.Runner
 	x.loaded[c.ID] = v
 	v.phys = c.ID
+	v.insnMark = c.Insns
 	v.state = vcpuRunning
 	v.vm.lastGuestCPU = c
 	c.SetCPSR(v.Ctx.GP.CPSR)
@@ -97,6 +98,7 @@ func (x *Hypervisor) exitGuest(c *arm.CPU, v *VCPU) {
 	c.Runner = hc.Runner
 	x.loaded[c.ID] = nil
 	v.phys = -1
+	v.Stats.GuestInsns += c.Insns - v.insnMark
 	c.VIRQLine = false
 	c.SetCPSR(hc.CPSR)
 

@@ -407,8 +407,11 @@ func (b *Board) Utilization(cpu int) float64 {
 }
 
 // LeastBusyCPU returns the CPU with the fewest busy cycles so far — a
-// placement hint for packing many VMs onto one board (a fleet of forked
-// clones spreads its vCPU threads instead of stacking them on CPU 0).
+// coarse placement hint for packing many VMs onto one board. Fleet
+// placement (internal/fleet) no longer uses it: busy-cycle history says
+// nothing about the current run-queue depth, so overcommitted fleets
+// balance on kernel.RunqueueLen instead and this remains for callers
+// wanting a history-weighted hint.
 func (b *Board) LeastBusyCPU() int {
 	best := 0
 	for i := 1; i < len(b.BusyCycles); i++ {

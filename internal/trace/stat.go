@@ -148,6 +148,16 @@ func (s *Snapshot) WriteStat(w io.Writer) {
 				v.Counts[ExitHypercall], v.Counts[ExitWFI], v.Counts[ExitIRQ])
 		}
 	}
+	if s.Counts[EvSchedSteal]+s.Counts[EvSchedPreempt] > 0 {
+		fmt.Fprintf(w, "\nper-vCPU scheduling (overcommit):\n")
+		for _, v := range s.VCPUs {
+			if v.Counts[EvSchedSteal]+v.Counts[EvSchedPreempt] == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  vm %d vcpu %d: %d slices stolen-from (%d cycles steal), %d preemptions\n",
+				v.VM, v.VCPU, v.Counts[EvSchedSteal], v.Cycles[EvSchedSteal], v.Counts[EvSchedPreempt])
+		}
+	}
 	if s.BlockHits+s.BlockMisses+s.BlockInvals > 0 {
 		total := s.BlockHits + s.BlockMisses
 		rate := 0.0

@@ -101,6 +101,14 @@ const (
 	EvBlockFill
 	EvBlockInval
 
+	// Host-scheduler multiplexing of vCPU threads (overcommit).
+	// EvSchedSteal is one vCPU thread switch-in that had to wait for the
+	// CPU (Cycles is the wait converted to board cycles — steal time);
+	// EvSchedPreempt is a vCPU thread forced off its CPU while runnable
+	// (slice-tick preemption).
+	EvSchedSteal
+	EvSchedPreempt
+
 	// NumKinds is the number of event kinds (array sizing).
 	NumKinds
 )
@@ -161,6 +169,8 @@ var kindNames = [NumKinds]string{
 	EvMigrateRetry:   "migrate_retry",
 	EvBlockFill:      "block_fill",
 	EvBlockInval:     "block_inval",
+	EvSchedSteal:     "sched_steal",
+	EvSchedPreempt:   "sched_preempt",
 }
 
 func (k Kind) String() string {

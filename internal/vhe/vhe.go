@@ -111,6 +111,11 @@ type Hypervisor struct {
 	// Stage-2 tables and physical RAM notify it on every event that can
 	// invalidate decoded code.
 	Blocks *isa.BlockCache
+
+	// vcpuProcs maps host processes to the vCPUs they run, so the host
+	// scheduler's switch/preempt hooks can attribute steal time to the
+	// right VM/vCPU in the trace stream (overcommit observability).
+	vcpuProcs map[*kernel.Proc]*VCPU
 }
 
 // hostContext is the host state parked during guest execution. The GP
@@ -145,6 +150,27 @@ func Init(b *machine.Board, host *kernel.Kernel) (*Hypervisor, error) {
 		LazyVGIC:             true,
 		UserTransitionCycles: 3000,
 		QEMUWorkCycles:       1400,
+		vcpuProcs:            make(map[*kernel.Proc]*VCPU),
+	}
+	// Host-scheduler observability: when the host multiplexes more vCPU
+	// threads than physical CPUs, surface per-vCPU steal time and
+	// preemptions through the trace stream (kvmarm-stat's scheduling
+	// section). Non-vCPU host processes are accounted on their Proc only.
+	host.OnSchedSwitch = func(cpu int, p *kernel.Proc, wait uint64) {
+		v := x.vcpuProcs[p]
+		if v == nil || wait == 0 || x.Trace == nil {
+			return
+		}
+		x.Trace.Emit(trace.Event{Kind: trace.EvSchedSteal, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(cpu), Cycles: wait << timer.CycleShift, Time: b.CPUs[cpu].Clock})
+	}
+	host.OnSchedPreempt = func(cpu int, p *kernel.Proc) {
+		v := x.vcpuProcs[p]
+		if v == nil || x.Trace == nil {
+			return
+		}
+		x.Trace.Emit(trace.Event{Kind: trace.EvSchedPreempt, VM: v.vm.VMID, VCPU: int16(v.ID),
+			CPU: int16(cpu), Time: b.CPUs[cpu].Clock})
 	}
 	x.Blocks = isa.NewBlockCache(b.RAM)
 	b.RAM.OnWrite = x.Blocks.OnWrite
@@ -427,6 +453,11 @@ type VCPU struct {
 	wq    *kernel.WaitQueue
 	proc  *kernel.Proc
 
+	// insnMark is the physical CPU's retired-instruction count at the
+	// last world-switch in; the switch out accumulates the delta into
+	// Stats.GuestInsns (per-vCPU architectural progress).
+	insnMark uint64
+
 	softTimerID  uint64
 	softTimerCPU int
 
@@ -466,8 +497,18 @@ func (v *VCPU) PhysCPU() int { return v.phys }
 // BlockedWFI reports whether the vCPU thread is parked in WFI.
 func (v *VCPU) BlockedWFI() bool { return v.state == vcpuBlockedWFI }
 
-// ExitStats copies out the per-vCPU entry/exit counters.
-func (v *VCPU) ExitStats() hv.VCPUStats { return v.Stats }
+// ExitStats copies out the per-vCPU entry/exit counters, merging in the
+// host scheduler's accounting for the vCPU's thread (steal time and
+// preemptions — the overcommit fairness measures).
+func (v *VCPU) ExitStats() hv.VCPUStats {
+	st := v.Stats
+	if p := v.proc; p != nil {
+		st.StealTicks = p.RunDelayTicks
+		st.Preemptions = p.Preemptions
+		st.SchedSlices = p.SchedSlices
+	}
+	return st
+}
 
 // SetGuestSoftware installs the guest's kernel-mode software context.
 // An *isa.Interp runner is wrapped in the block-dispatch runner backed by
@@ -534,9 +575,14 @@ func (v *VCPU) Resume() {
 func (v *VCPU) Shutdown() { v.state = vcpuShutdown }
 
 // StartThread creates the host process (the "QEMU vCPU thread") that runs
-// this vCPU, pinned to hostCPU (-1 for any).
+// this vCPU, pinned to hostCPU (-1 for any). A pin beyond the board's CPU
+// count wraps modulo — overcommit placement may hand out more vCPU
+// threads than physical CPUs and the host scheduler time-slices them.
 func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
 	x := v.vm.kvm
+	if n := len(x.Board.CPUs); hostCPU >= n {
+		hostCPU %= n
+	}
 	body := kernel.BodyFunc(func(hk *kernel.Kernel, p *kernel.Proc, c *arm.CPU) bool {
 		return v.runStep(hostCPU, c)
 	})
@@ -549,6 +595,7 @@ func (v *VCPU) StartThread(hostCPU int) (*kernel.Proc, error) {
 		return nil, err
 	}
 	v.proc = proc
+	x.vcpuProcs[proc] = v
 	return proc, nil
 }
 

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/isa/ ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/ ./internal/fault/ ./internal/fleet/
+go test -race ./internal/isa/ ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/ ./internal/fault/ ./internal/fleet/ ./internal/kernel/
 
 # Migration conformance under the race detector: all 25 source→destination
 # backend pairs, mid-workload, compared against an unmigrated run.
@@ -29,6 +29,11 @@ go test -race -run 'TestSnapshotForkConformance|TestSnapshotRestoreConformance' 
 # exact, or source rolled back and intact), retry recovers transients,
 # and a stuck vCPU aborts cleanly.
 go test -race -run 'TestMigrateFaultMatrix|TestMigrateRollback|TestMigrateWithRetry' -count=1 ./internal/hv/
+
+# Overcommit oracle suite under the race detector: overcommitted fleets,
+# overcommitted SMP migration, stuck-vCPU abort at 4:1 and single-CPU
+# fork conformance must all equal their uncontended sequential runs.
+go test -race -run 'TestOvercommitSequentialOracle|TestBackendMigrationSMPOvercommitted|TestMigrateOvercommittedStuckVCPUAborts|TestSnapshotForkConformanceOvercommitted' -count=1 ./internal/hv/
 
 # Short guest-memory slot fuzz smoke (overlap rejection, bounds, cross-slot
 # access); the long-running variant is manual.
@@ -47,3 +52,9 @@ go test -fuzz FuzzSnapshotFork -fuzztime 5s -run '^$' ./internal/hv/
 # block dispatch vs a single-step oracle: identical registers, flags,
 # cycles, and memory); the long-running variant is manual.
 go test -fuzz FuzzBlockCache -fuzztime 5s -run '^$' ./internal/isa/
+
+# Short overcommit-scheduling fuzz smoke (random quantum, overcommit
+# ratio, backend, arrival order and stagger vs the sequential oracle:
+# identical registers, memory, and retired instructions); the
+# long-running variant is manual.
+go test -fuzz FuzzOvercommitSchedule -fuzztime 5s -run '^$' ./internal/hv/
