@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, fleet, overcommit, faults, mips, stat")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, fleet, overcommit, traffic, faults, mips, stat")
 	root := flag.String("root", ".", "repository root (for table4 line counts)")
 	flag.Parse()
 
@@ -84,6 +84,18 @@ func main() {
 			fail(err)
 		}
 		bench.PrintOvercommit(out, rows)
+	}
+	if run("traffic") {
+		rows, err := bench.TrafficRows()
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintTraffic(out, rows)
+		mrows, err := bench.TrafficMigrateRows()
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintTrafficMigrate(out, mrows)
 	}
 	if run("faults") {
 		rows, err := bench.FaultRows()

@@ -1,0 +1,577 @@
+// Traffic serving: the paper's network-bound workloads (§6: Apache,
+// MemCached) made concrete. For every registered backend, N client guests
+// drive request frames through the host software switch at a server guest
+// that answers each one — requests/sec and p50/p99 round-trip latency per
+// backend — and a migration leg live-migrates the server to a fresh board
+// mid-traffic, rebinds its switch port, and reports what the clients saw:
+// retried (lost in the cut-over window) and stale (answered twice) requests,
+// with the final server/client state required to equal an unmigrated run.
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"kvmarm/internal/arm"
+	"kvmarm/internal/dev"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/kernel"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/net"
+)
+
+const (
+	// Per-VM data area (each VM has its own address space, so server and
+	// clients reuse the same layout).
+	trData = machine.RAMBase + 1<<20
+	trRx   = trData          // RX buffer: [len:4][frame]
+	trTx   = trData + 0x1000 // TX frame (clients: host-written template)
+	trVars = trData + 0x2000 // server: per-client last-id table
+	//                          clients: +0 done, +4 retries, +8 stale
+
+	// trFrameLen is a request/response frame: 24-byte header + one payload
+	// word carrying the client index.
+	trFrameLen = net.HeaderSize + 4
+
+	// trOpReq/trOpResp: the one-op protocol. The server answers op with
+	// op+1; clients accept only op==trOpResp frames as responses, which
+	// keeps early flooded requests (switch still learning) from being
+	// mistaken for answers.
+	trOpReq  = 1
+	trOpResp = trOpReq + 1
+
+	// trTimeout is the client's poll budget per request (one hypercall
+	// exit per iteration, several thousand cycles each) before it counts a
+	// retry and resends the same id — far beyond any contended round trip,
+	// so retries measure real frame loss (the migration cut-over), not
+	// scheduling jitter.
+	trTimeout = 400
+
+	// trClients × trRequests requests per run on a trCPUs-CPU board.
+	trClients  = 3
+	trRequests = 25
+	trCPUs     = 2
+
+	// trClockHz converts cycles to seconds (the modeled 1.7 GHz core).
+	trClockHz = 1.7e9
+)
+
+// RX-buffer offsets of frame fields (buffer is [len:4][frame]).
+const (
+	trBufLen   = 0
+	trBufDstLo = 4 + net.OffDstLo
+	trBufDstHi = 4 + net.OffDstHi
+	trBufSrcLo = 4 + net.OffSrcLo
+	trBufSrcHi = 4 + net.OffSrcHi
+	trBufOp    = 4 + net.OffOp
+	trBufID    = 4 + net.OffID
+	trBufBody  = 4 + net.HeaderSize
+)
+
+// trServerProgram: post the RX buffer, poll its length word (a hypercall
+// per iteration keeps the vCPU pausable for migration), and for each
+// request build the response in the TX frame by swapping src/dst, bumping
+// op, echoing id and client index — recording table[idx] = id — then
+// re-post and send. Serves forever; the host decides when traffic is done.
+func trServerProgram() []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		MOV32(isa.R11, machine.VirtNetBase).
+		MOV32(isa.R4, trRx).
+		MOV32(isa.R5, trTx).
+		MOV32(isa.R6, trVars).
+		Label("serve").
+		MOVW(isa.R0, 0).
+		STR(isa.R0, isa.R4, trBufLen).        // clear the length word...
+		STR(isa.R4, isa.R11, dev.VirtRxAddr). // ...and post the buffer
+		Label("poll").
+		HVC(1).
+		LDR(isa.R0, isa.R4, trBufLen).
+		CMPI(isa.R0, 0).
+		BEQ("poll").
+		// Response header: dst <- request src, src <- request dst (us).
+		LDR(isa.R1, isa.R4, trBufSrcLo).
+		STR(isa.R1, isa.R5, net.OffDstLo).
+		LDR(isa.R1, isa.R4, trBufSrcHi).
+		STR(isa.R1, isa.R5, net.OffDstHi).
+		LDR(isa.R1, isa.R4, trBufDstLo).
+		STR(isa.R1, isa.R5, net.OffSrcLo).
+		LDR(isa.R1, isa.R4, trBufDstHi).
+		STR(isa.R1, isa.R5, net.OffSrcHi).
+		LDR(isa.R1, isa.R4, trBufOp).
+		ADDI(isa.R1, isa.R1, 1). // op -> op+1: this is a response
+		STR(isa.R1, isa.R5, net.OffOp).
+		LDR(isa.R2, isa.R4, trBufID).
+		STR(isa.R2, isa.R5, net.OffID).
+		LDR(isa.R1, isa.R4, trBufBody). // client index
+		STR(isa.R1, isa.R5, net.HeaderSize).
+		// table[idx*4] = id: the per-client high-water mark. Idempotent
+		// under retries, which is exactly what makes the post-migration
+		// state comparable to an unmigrated run.
+		MOVW(isa.R7, 2).
+		LSL(isa.R1, isa.R1, isa.R7).
+		STRR(isa.R2, isa.R6, isa.R1).
+		// Send the response and go back to serving.
+		STR(isa.R5, isa.R11, dev.VirtTxAddr).
+		MOVW(isa.R0, trFrameLen).
+		STR(isa.R0, isa.R11, dev.VirtTxLen).
+		B("serve").
+		MustAssemble()
+}
+
+// trClientProgram: for id = 1..requests — patch the id into the
+// host-written template, post the RX buffer, send, and poll. A poll budget
+// overrun counts a retry and resends the same id; a frame that is not this
+// request's response (wrong op: an early flooded request; wrong id: a
+// duplicate answer to a retried request) counts as stale and polling
+// continues. Requests done, it reports and powers off.
+func trClientProgram(requests int) []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		MOV32(isa.R11, machine.VirtNetBase).
+		MOV32(isa.R4, trRx).
+		MOV32(isa.R5, trTx).
+		MOV32(isa.R6, trVars).
+		MOVW(isa.R7, 1). // request id
+		Label("next").
+		STR(isa.R7, isa.R5, net.OffID).
+		MOVW(isa.R0, 0).
+		STR(isa.R0, isa.R4, trBufLen).
+		STR(isa.R4, isa.R11, dev.VirtRxAddr).
+		STR(isa.R5, isa.R11, dev.VirtTxAddr).
+		MOVW(isa.R0, trFrameLen).
+		STR(isa.R0, isa.R11, dev.VirtTxLen).
+		MOVW(isa.R8, 0). // poll budget
+		Label("poll").
+		HVC(1).
+		LDR(isa.R0, isa.R4, trBufLen).
+		CMPI(isa.R0, 0).
+		BNE("got").
+		ADDI(isa.R8, isa.R8, 1).
+		CMPI(isa.R8, trTimeout).
+		BNE("poll").
+		LDR(isa.R0, isa.R6, 4). // timeout: retries++, resend same id
+		ADDI(isa.R0, isa.R0, 1).
+		STR(isa.R0, isa.R6, 4).
+		B("next").
+		Label("got").
+		LDR(isa.R0, isa.R4, trBufOp).
+		CMPI(isa.R0, trOpResp).
+		BNE("stale").
+		LDR(isa.R0, isa.R4, trBufID).
+		CMP(isa.R0, isa.R7).
+		BEQ("ok").
+		Label("stale"). // not our response: count it, re-arm, keep polling
+		LDR(isa.R0, isa.R6, 8).
+		ADDI(isa.R0, isa.R0, 1).
+		STR(isa.R0, isa.R6, 8).
+		MOVW(isa.R0, 0).
+		STR(isa.R0, isa.R4, trBufLen).
+		STR(isa.R4, isa.R11, dev.VirtRxAddr).
+		MOVW(isa.R8, 0).
+		B("poll").
+		Label("ok").
+		STR(isa.R7, isa.R6, 0). // done high-water mark
+		ADDI(isa.R7, isa.R7, 1).
+		CMPI(isa.R7, uint16(requests+1)).
+		BNE("next").
+		HVC(kernel.PSCISystemOff).
+		MustAssemble()
+}
+
+// trafficNet is one booted traffic scenario: a server and N clients on one
+// board, wired through a switch, with host-side latency taps.
+type trafficNet struct {
+	env     *hv.Env
+	sw      *net.Switch
+	server  hv.VM
+	clients []hv.VM
+	// rtts collects per-request round trips (first TX of an id to its
+	// response landing), across all clients.
+	rtts []uint64
+}
+
+func trBootVM(env *hv.Env, prog []uint32, threadHint int) (hv.VM, error) {
+	vm, err := env.HV.CreateVM(16 << 20)
+	if err != nil {
+		return nil, err
+	}
+	v, err := vm.CreateVCPU(0)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 0, len(prog)*4)
+	for _, w := range prog {
+		raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	if err := vm.WriteGuestMem(machine.RAMBase, raw); err != nil {
+		return nil, err
+	}
+	// Pre-map the data pages so first-write faults stay out of the
+	// measured path.
+	if err := vm.WriteGuestMem(trData, make([]byte, 0x3000)); err != nil {
+		return nil, err
+	}
+	if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+		return nil, err
+	}
+	// IRQs stay unmasked (no PSRI): the host slice timer preempts the
+	// polling loops via ExcIRQ, which is what keeps a server and a client
+	// pinned to the same host CPU both making progress.
+	if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRF); err != nil {
+		return nil, err
+	}
+	v.SetGuestSoftware(nil, &isa.Interp{})
+	if _, err := v.StartThread(threadHint); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
+
+// trBoot boots the scenario: server first (port "srv"), then the clients
+// ("cli0".."cliN-1") with their request templates written into guest
+// memory once the switch has assigned MACs.
+func trBoot(be *hv.Backend, clients, requests int) (*trafficNet, error) {
+	env, err := be.NewEnv(trCPUs)
+	if err != nil {
+		return nil, err
+	}
+	tn := &trafficNet{env: env, sw: net.NewSwitch()}
+	// Server plus N clients on trCPUs CPUs: give the host scheduler a
+	// short quantum so a polling client cannot starve the server.
+	env.Host.SetTimeSlice(obQuantum)
+	if tn.server, err = trBootVM(env, trServerProgram(), 0); err != nil {
+		return nil, err
+	}
+	srvPort, err := tn.sw.AttachVirt("srv", tn.server.Device(dev.VirtNet))
+	if err != nil {
+		return nil, err
+	}
+	cliProg := trClientProgram(requests)
+	for i := 0; i < clients; i++ {
+		vm, err := trBootVM(env, cliProg, i+1)
+		if err != nil {
+			return nil, err
+		}
+		nic := vm.Device(dev.VirtNet)
+		port, err := tn.sw.AttachVirt(fmt.Sprintf("cli%d", i), nic)
+		if err != nil {
+			return nil, err
+		}
+		payload := make([]byte, 4)
+		binary.LittleEndian.PutUint32(payload, uint32(i))
+		tmpl := net.MakeFrame(srvPort.MAC, port.MAC, trOpReq, 0, payload)
+		if err := vm.WriteGuestMem(trTx, tmpl); err != nil {
+			return nil, err
+		}
+		// Latency taps: first TX of each id starts its clock; the
+		// response landing in this client's RX buffer stops it. Retries
+		// do not restart the clock, so the tail includes loss recovery.
+		sendT := map[uint32]uint64{}
+		nic.OnTxFrame = func(f []byte) {
+			if id := net.ID(f); id != 0 {
+				if _, seen := sendT[id]; !seen {
+					sendT[id] = env.Board.Now()
+				}
+			}
+		}
+		nic.OnRxDeliver = func(f []byte) {
+			if net.Op(f) != trOpResp {
+				return
+			}
+			if t0, seen := sendT[net.ID(f)]; seen {
+				tn.rtts = append(tn.rtts, env.Board.Now()-t0)
+				delete(sendT, net.ID(f))
+			}
+		}
+		tn.clients = append(tn.clients, vm)
+	}
+	return tn, nil
+}
+
+// counters reads one client's (done, retries, stale) triple.
+func (tn *trafficNet) counters(i int) (done, retries, stale uint32) {
+	b, err := tn.clients[i].ReadGuestMem(trVars, 12)
+	if err != nil {
+		return 0, 0, 0
+	}
+	le := binary.LittleEndian
+	return le.Uint32(b), le.Uint32(b[4:]), le.Uint32(b[8:])
+}
+
+func (tn *trafficNet) doneSum() (sum uint32) {
+	for i := range tn.clients {
+		d, _, _ := tn.counters(i)
+		sum += d
+	}
+	return sum
+}
+
+// serverTable reads the server's per-client last-id table from vm (the
+// server may live on another board post-migration).
+func trServerTable(vm hv.VM, clients int) ([]uint32, error) {
+	b, err := vm.ReadGuestMem(trVars, 4*clients)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, clients)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out, nil
+}
+
+func trPercentile(rtts []uint64, p int) uint64 {
+	if len(rtts) == 0 {
+		return 0
+	}
+	i := len(rtts) * p / 100
+	if i >= len(rtts) {
+		i = len(rtts) - 1
+	}
+	return rtts[i]
+}
+
+// TrafficRow is one backend's traffic measurement.
+type TrafficRow struct {
+	Backend  string
+	Clients  int
+	Requests int // per client
+	// Cycles is board time from first step to the last client finishing.
+	Cycles uint64
+	// ReqPerSec is completed requests per second at the modeled 1.7 GHz.
+	ReqPerSec float64
+	// P50/P99 are round-trip latency percentiles in cycles.
+	P50, P99 uint64
+	// Retries/Stale are the clients' loss counters (0 in a clean run).
+	Retries, Stale uint64
+	// Forwarded/Flooded are switch totals: after the first exchanges the
+	// MAC table must carry the load (Forwarded >> Flooded).
+	Forwarded, Flooded uint64
+	// HostProbe reports whether a host-port probe injected after the run
+	// was answered by the still-serving guest.
+	HostProbe bool
+}
+
+// runTraffic drives one booted scenario to completion and measures it.
+func runTraffic(tn *trafficNet, clients, requests int) (TrafficRow, error) {
+	row := TrafficRow{Clients: clients, Requests: requests}
+	total := uint32(clients * requests)
+	start := tn.env.Board.Now()
+	step := 0
+	done := func() bool {
+		step++
+		return step%256 == 0 && tn.doneSum() >= total
+	}
+	if !tn.env.Board.Run(60_000_000, done) {
+		return row, fmt.Errorf("traffic did not complete: %d/%d requests", tn.doneSum(), total)
+	}
+	row.Cycles = tn.env.Board.Now() - start
+	for i := range tn.clients {
+		d, r, s := tn.counters(i)
+		if d != uint32(requests) {
+			return row, fmt.Errorf("client %d finished %d/%d requests", i, d, requests)
+		}
+		row.Retries += uint64(r)
+		row.Stale += uint64(s)
+	}
+	row.ReqPerSec = float64(total) * trClockHz / float64(row.Cycles)
+	sort.Slice(tn.rtts, func(i, j int) bool { return tn.rtts[i] < tn.rtts[j] })
+	row.P50 = trPercentile(tn.rtts, 50)
+	row.P99 = trPercentile(tn.rtts, 99)
+	row.Forwarded, row.Flooded = tn.sw.Forwarded, tn.sw.Flooded
+
+	// Host-port probe: the server keeps serving after the client fleet
+	// powers off, so a frame injected from a host port must come back.
+	var answer []byte
+	probe, err := tn.sw.AttachHost("probe", func(f []byte) {
+		if net.Op(f) == trOpResp && net.ID(f) == 7777 {
+			answer = f
+		}
+	})
+	if err != nil {
+		return row, err
+	}
+	payload := make([]byte, 4)
+	binary.LittleEndian.PutUint32(payload, uint32(clients)) // spare table slot
+	probe.Inject(net.MakeFrame(tn.sw.Port("srv").MAC, probe.MAC, trOpReq, 7777, payload))
+	tn.env.Board.Run(40_000_000, func() bool { return answer != nil })
+	row.HostProbe = answer != nil
+	return row, nil
+}
+
+// TrafficRows measures every registered backend.
+func TrafficRows() ([]TrafficRow, error) {
+	var rows []TrafficRow
+	for _, be := range hv.Backends() {
+		tn, err := trBoot(be, trClients, trRequests)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", be.Name, err)
+		}
+		row, err := runTraffic(tn, trClients, trRequests)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", be.Name, err)
+		}
+		row.Backend = be.Name
+		rows = append(rows, row)
+		runtime.GC()
+	}
+	return rows, nil
+}
+
+// PrintTraffic renders the measurement as a text table.
+func PrintTraffic(w io.Writer, rows []TrafficRow) {
+	fmt.Fprintf(w, "\ntraffic: %d clients x %d requests through the software switch (latency in cycles @1.7GHz)\n",
+		trClients, trRequests)
+	fmt.Fprintf(w, "%-22s %10s %9s %9s %7s %6s %8s %7s %6s\n",
+		"backend", "req/s", "p50", "p99", "retry", "stale", "fwd", "flood", "probe")
+	for _, r := range rows {
+		probe := "ok"
+		if !r.HostProbe {
+			probe = "FAIL"
+		}
+		fmt.Fprintf(w, "%-22s %10.0f %9d %9d %7d %6d %8d %7d %6s\n",
+			r.Backend, r.ReqPerSec, r.P50, r.P99, r.Retries, r.Stale, r.Forwarded, r.Flooded, probe)
+	}
+}
+
+// TrafficMigrateRow is one backend's mid-traffic server migration.
+type TrafficMigrateRow struct {
+	Backend string
+	// DowntimeCycles is the migration's stop-phase length.
+	DowntimeCycles uint64
+	// Retries/Stale are what the clients saw across the cut-over: requests
+	// lost in flight and retried, and duplicate answers discarded. This is
+	// the user-visible meaning of the downtime tables.
+	Retries, Stale uint64
+	// StateOK reports final-state equality with an unmigrated run: every
+	// client completed every request and the migrated server's per-client
+	// table matches.
+	StateOK bool
+}
+
+// runTrafficMigrate runs the scenario on be, live-migrates the server to a
+// fresh board at roughly half the traffic, rebinds its switch port, and
+// interleaves both boards until the clients finish.
+func runTrafficMigrate(be *hv.Backend, refTable []uint32) (TrafficMigrateRow, error) {
+	row := TrafficMigrateRow{Backend: be.Name}
+	tn, err := trBoot(be, trClients, trRequests)
+	if err != nil {
+		return row, err
+	}
+	total := uint32(trClients * trRequests)
+	step := 0
+	half := func() bool {
+		step++
+		return step%256 == 0 && tn.doneSum() >= total/2
+	}
+	if !tn.env.Board.Run(60_000_000, half) {
+		return row, fmt.Errorf("traffic stalled before the migration point (%d/%d)", tn.doneSum(), total)
+	}
+
+	dstEnv, err := be.NewEnv(1)
+	if err != nil {
+		return row, err
+	}
+	dstVM, err := dstEnv.HV.CreateVM(16 << 20)
+	if err != nil {
+		return row, err
+	}
+	res, err := hv.Migrate(tn.env, tn.server, dstEnv, dstVM, hv.MigrateOptions{
+		Precopy:     true,
+		Rounds:      2,
+		RoundBudget: 300,
+		ConfigureVCPU: func(id int, v hv.VCPU) {
+			v.SetGuestSoftware(nil, &isa.Interp{})
+		},
+	})
+	if err != nil {
+		return row, fmt.Errorf("migrating the server: %w", err)
+	}
+	row.DowntimeCycles = res.DowntimeCycles
+	// The server lives on the destination board now; its switch port (and
+	// every peer's learned MAC entry) follows it. Frames completed by the
+	// detached source NIC during the cut-over fell off the unplugged
+	// cable — the clients' retry counters below are exactly that loss.
+	if err := tn.sw.Rebind("srv", dstVM.Device(dev.VirtNet)); err != nil {
+		return row, err
+	}
+
+	// Interleave both boards: clients on the source, server on the
+	// destination, frames crossing through the switch.
+	finished := func() bool { return tn.doneSum() >= total }
+	for i := 0; i < 60_000_000; i++ {
+		tn.env.Board.Step()
+		dstEnv.Board.Step()
+		if i%256 == 0 && finished() {
+			break
+		}
+	}
+	if !finished() {
+		return row, fmt.Errorf("traffic did not complete after migration (%d/%d)", tn.doneSum(), total)
+	}
+
+	row.StateOK = true
+	for i := range tn.clients {
+		d, r, s := tn.counters(i)
+		if d != uint32(trRequests) {
+			row.StateOK = false
+		}
+		row.Retries += uint64(r)
+		row.Stale += uint64(s)
+	}
+	table, err := trServerTable(dstVM, trClients)
+	if err != nil {
+		return row, err
+	}
+	for i := range table {
+		if table[i] != refTable[i] {
+			row.StateOK = false
+		}
+	}
+	return row, nil
+}
+
+// TrafficMigrateRows runs the migration leg on every backend, comparing
+// each against an unmigrated reference run's final server table.
+func TrafficMigrateRows() ([]TrafficMigrateRow, error) {
+	var rows []TrafficMigrateRow
+	for _, be := range hv.Backends() {
+		ref, err := trBoot(be, trClients, trRequests)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", be.Name, err)
+		}
+		if _, err := runTraffic(ref, trClients, trRequests); err != nil {
+			return nil, fmt.Errorf("%s reference: %w", be.Name, err)
+		}
+		refTable, err := trServerTable(ref.server, trClients)
+		if err != nil {
+			return nil, fmt.Errorf("%s reference: %w", be.Name, err)
+		}
+		runtime.GC()
+		row, err := runTrafficMigrate(be, refTable)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", be.Name, err)
+		}
+		rows = append(rows, row)
+		runtime.GC()
+	}
+	return rows, nil
+}
+
+// PrintTrafficMigrate renders the migration leg as a text table.
+func PrintTrafficMigrate(w io.Writer, rows []TrafficMigrateRow) {
+	fmt.Fprintf(w, "\nserver live-migration mid-traffic (%d clients x %d requests; state vs unmigrated run)\n",
+		trClients, trRequests)
+	fmt.Fprintf(w, "%-22s %12s %8s %6s %6s\n", "backend", "downtime", "retried", "stale", "state")
+	for _, r := range rows {
+		state := "equal"
+		if !r.StateOK {
+			state = "FAIL"
+		}
+		fmt.Fprintf(w, "%-22s %12d %8d %6d %6s\n",
+			r.Backend, r.DowntimeCycles, r.Retries, r.Stale, state)
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+)
+
+// TestTrafficRows runs the full traffic matrix and asserts the issue's
+// acceptance bars: every backend completes all requests through the
+// switch, a clean run loses nothing (no retries, no stale answers), the
+// MAC table carries the load after the opening flood, and a host-port
+// probe injected after the run is answered by the still-serving guest.
+func TestTrafficRows(t *testing.T) {
+	rows, err := TrafficRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("measured %d backends, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReqPerSec <= 0 || r.Cycles == 0 {
+			t.Errorf("%s: empty measurement (%.0f req/s over %d cycles)", r.Backend, r.ReqPerSec, r.Cycles)
+		}
+		if r.P50 == 0 || r.P99 < r.P50 {
+			t.Errorf("%s: broken latency percentiles p50=%d p99=%d", r.Backend, r.P50, r.P99)
+		}
+		if r.Retries != 0 {
+			t.Errorf("%s: clean run lost frames (retries=%d)", r.Backend, r.Retries)
+		}
+		// Stale frames in a clean run come only from the opening flood
+		// (a flooded request lands in a peer's posted buffer before the
+		// MAC table converges), so each flood explains at most one stale
+		// frame per peer port.
+		if r.Stale > r.Flooded*uint64(trClients) {
+			t.Errorf("%s: %d stale frames exceed the flood budget (%d floods)", r.Backend, r.Stale, r.Flooded)
+		}
+		if r.Forwarded <= r.Flooded {
+			t.Errorf("%s: MAC learning not carrying the load (fwd=%d flood=%d)", r.Backend, r.Forwarded, r.Flooded)
+		}
+		if !r.HostProbe {
+			t.Errorf("%s: host-port probe went unanswered", r.Backend)
+		}
+	}
+
+	var sb strings.Builder
+	PrintTraffic(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"traffic", "req/s", "p99", "probe"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintTraffic output missing %q:\n%s", want, out)
+		}
+	}
+	t.Log(out)
+}
+
+// TestTrafficMigrateRows live-migrates the server mid-traffic on every
+// backend and asserts the run still completes with final state equal to an
+// unmigrated run, with only a bounded number of requests lost to the
+// cut-over window.
+func TestTrafficMigrateRows(t *testing.T) {
+	rows, err := TrafficMigrateRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("measured %d backends, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if !r.StateOK {
+			t.Errorf("%s: migrated run's final state diverged from the unmigrated run", r.Backend)
+		}
+		if r.DowntimeCycles == 0 {
+			t.Errorf("%s: zero downtime reported", r.Backend)
+		}
+		// The cut-over can cost a few in-flight requests, never a flood:
+		// clients retry until served, so loss is bounded by what was in
+		// flight during the rebind window.
+		if r.Retries > uint64(trClients*5) {
+			t.Errorf("%s: %d retried requests, want a bounded handful", r.Backend, r.Retries)
+		}
+	}
+
+	var sb strings.Builder
+	PrintTrafficMigrate(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"live-migration", "downtime", "retried", "state"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintTrafficMigrate output missing %q:\n%s", want, out)
+		}
+	}
+	t.Log(out)
+}

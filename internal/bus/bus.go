@@ -38,7 +38,11 @@ func (a Access) String() string {
 type Device interface {
 	// Name identifies the device in errors and traces.
 	Name() string
-	// ReadReg returns the value of the register at offset.
+	// ReadReg returns the value of the register at offset. Reads of
+	// registers the device does not implement must error just like
+	// writes (the CPU access path turns either into a data abort); a
+	// device that wants read-as-zero semantics gets them at its MMIO
+	// adapter (hv.VirtMMIO), not by silently returning 0 here.
 	ReadReg(offset uint64, size int) (uint64, error)
 	// WriteReg stores v to the register at offset.
 	WriteReg(offset uint64, size int, v uint64) error

@@ -29,7 +29,8 @@ func TestVirtCompletionLatency(t *testing.T) {
 	}
 	v := &Virt{
 		Class: VirtBlock, IRQ: 41,
-		BytesPerCycle: 0.1, FixedLatency: 1000,
+		// 0.1 bytes per cycle = 10 cycles per byte.
+		CyclesPerByteNum: 10, CyclesPerByteDen: 1, FixedLatency: 1000,
 		Now: func() uint64 { return now },
 		Sched: func(at uint64, fn func()) {
 			events = append(events, struct {

@@ -1,7 +1,10 @@
 package dev
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -12,14 +15,42 @@ import (
 // interrupt status register — without modeling descriptor rings byte by
 // byte. Each kick moves Bytes of data; completion latency is computed from
 // the device's bandwidth and fixed per-request overhead.
+//
+// On top of the byte-count doorbell, VirtNet devices carry real frames: the
+// driver stages a guest-physical address + length (VirtTxAddr/VirtTxLen),
+// the device reads the frame out of guest memory and, after the transfer
+// latency, hands it to the attached switch (SendFrame). Inbound frames land
+// in a driver-posted RX buffer (VirtRxAddr) as [len:4 LE][bytes], raise ISR
+// bit 1, and queue in a bounded device ring while no buffer is posted.
 
 // Virt register offsets.
 const (
 	VirtQueueNotify = 0x00 // write: kick; value = request size in bytes
 	VirtISR         = 0x04 // read: interrupt status; read clears
 	VirtConfig      = 0x08 // read: device class
+	VirtTxAddr      = 0x10 // read/write: guest-physical address of the staged TX frame
+	VirtTxLen       = 0x14 // write: frame length; the write submits the staged frame
+	VirtRxAddr      = 0x18 // read/write: post an RX buffer (0 unposts); posting drains the queue
+	VirtRxCap       = 0x1C // read/write: RX buffer capacity in bytes (0 = default 2048)
+	VirtRxLen       = 0x20 // read: length of the last delivered RX frame
+	VirtMACLo       = 0x24 // read: MAC address bits [31:0]
+	VirtMACHi       = 0x28 // read: MAC address bits [47:32]
 	VirtSize        = 0x1000
 )
+
+// ISR bits.
+const (
+	VirtISRComplete = 1 << 0 // a submitted request (kick or TX) finished
+	VirtISRRx       = 1 << 1 // a frame was delivered into the posted RX buffer
+)
+
+// VirtDefaultRxCap is the RX buffer capacity assumed when the driver never
+// programs VirtRxCap.
+const VirtDefaultRxCap = 2048
+
+// VirtRxQueueDepth bounds the frames queued device-side while no RX buffer
+// is posted; beyond it frames drop (RxDropped), like a real NIC ring.
+const VirtRxQueueDepth = 64
 
 // VirtClass distinguishes device types.
 type VirtClass int
@@ -48,17 +79,35 @@ type Completion struct {
 	Bytes uint64
 }
 
+// pendingReq is one in-flight request: its size, the TX frame it carries
+// (nil for plain kicks), and the absolute board cycle its completion is
+// scheduled for. The deadline is what migration needs: remaining latency on
+// the destination is deadline minus save-time Now.
+type pendingReq struct {
+	bytes    uint64
+	frame    []byte
+	deadline uint64
+}
+
 // Virt is a paravirtual device instance.
 type Virt struct {
 	Class VirtClass
 	// IRQ is the SPI this device raises on completion.
 	IRQ int
-	// BytesPerCycle is the transfer bandwidth (e.g. a 100 Mb/s NIC on a
-	// 1.7 GHz core moves ~0.0074 bytes per CPU cycle).
-	BytesPerCycle float64
+	// CyclesPerByteNum/CyclesPerByteDen express the transfer cost as an
+	// exact rational: an n-byte request costs n·Num/Den cycles (truncated).
+	// E.g. a 100 Mb/s NIC on a 1.7 GHz core moves ~0.0074 bytes per cycle
+	// = 5000/37 cycles per byte. Integer math keeps latency bit-stable
+	// across platforms; a float64 division here once rounded differently
+	// for large transfers depending on the host FPU.
+	CyclesPerByteNum uint64
+	CyclesPerByteDen uint64
 	// FixedLatency is per-request overhead in cycles (device firmware,
 	// DMA setup).
 	FixedLatency uint64
+	// MAC is the device's link address (VirtNet; 48 bits, assigned by the
+	// switch port it attaches to).
+	MAC uint64
 
 	// Sched schedules fn at an absolute cycle time (wired to the board's
 	// event queue).
@@ -67,20 +116,47 @@ type Virt struct {
 	Now func() uint64
 	// RaiseIRQ asserts/deasserts the device's SPI (wired to the GIC).
 	RaiseIRQ func(irq int, level bool)
+	// ReadMem/WriteMem access guest-physical memory (frame DMA). Wired to
+	// the VM's guest-memory accessors (hv path) or board RAM (native path).
+	ReadMem  func(addr uint64, n int) ([]byte, error)
+	WriteMem func(addr uint64, data []byte) error
+	// SendFrame hands a fully transferred TX frame to the network (set by
+	// the switch port this device attaches to). Nil: frames vanish into an
+	// unplugged cable (counted in TxFrames regardless).
+	SendFrame func(frame []byte)
+	// OnTxFrame/OnRxDeliver are host-side observation taps (benchmarks
+	// timestamping request/response frames). OnTxFrame fires at submission,
+	// OnRxDeliver when a frame lands in the guest's RX buffer.
+	OnTxFrame   func(frame []byte)
+	OnRxDeliver func(frame []byte)
 
-	isr       uint64
-	completed []Completion
-	// pending tracks in-flight requests (kicked, completion not yet
-	// fired) by request id. Migration re-issues them on the destination:
-	// the completion callbacks themselves are closures on the source
-	// board's event queue and cannot move.
-	pending map[uint64]uint64 // request id -> bytes
+	isr uint64
+	// pending tracks in-flight requests (kicked, completion not yet fired)
+	// by request id. Migration re-issues them on the destination with their
+	// remaining latency: the completion callbacks themselves are closures
+	// on the source board's event queue and cannot move.
+	pending map[uint64]*pendingReq
 	nextReq uint64
+	// epoch orphans scheduled completion closures when a state restore
+	// replaces the pending set (migration rollback restores onto the same
+	// device whose original closures are still queued on the board; without
+	// the epoch guard each request would complete twice).
+	epoch     uint64
+	completed []Completion
+
+	txAddr uint64
+	rxAddr uint64
+	rxCap  uint64
+	rxLen  uint64
+	rxq    [][]byte
 
 	// Stats.
 	Kicks      uint64
 	BytesMoved uint64
 	IRQsRaised uint64
+	TxFrames   uint64
+	RxFrames   uint64
+	RxDropped  uint64
 }
 
 // Name implements bus.Device.
@@ -89,7 +165,9 @@ func (v *Virt) Name() string { return v.Class.String() }
 // AccessCycles implements bus.Device.
 func (v *Virt) AccessCycles() uint64 { return 35 }
 
-// ReadReg implements bus.Device.
+// ReadReg implements bus.Device. Reads of unknown registers error, exactly
+// like writes: on the native bus path the error becomes a guest data abort,
+// and the hv user-space path documents its own RAZ policy (hv.VirtMMIO).
 func (v *Virt) ReadReg(offset uint64, size int) (uint64, error) {
 	switch offset {
 	case VirtISR:
@@ -101,8 +179,20 @@ func (v *Virt) ReadReg(offset uint64, size int) (uint64, error) {
 		return s, nil
 	case VirtConfig:
 		return uint64(v.Class), nil
+	case VirtTxAddr:
+		return v.txAddr, nil
+	case VirtRxAddr:
+		return v.rxAddr, nil
+	case VirtRxCap:
+		return v.rxBufCap(), nil
+	case VirtRxLen:
+		return v.rxLen, nil
+	case VirtMACLo:
+		return v.MAC & 0xFFFF_FFFF, nil
+	case VirtMACHi:
+		return v.MAC >> 32 & 0xFFFF, nil
 	}
-	return 0, nil
+	return 0, fmt.Errorf("%s: read of unknown register %#x", v.Name(), offset)
 }
 
 // WriteReg implements bus.Device.
@@ -110,6 +200,17 @@ func (v *Virt) WriteReg(offset uint64, size int, val uint64) error {
 	switch offset {
 	case VirtQueueNotify:
 		v.Kick(val)
+		return nil
+	case VirtTxAddr:
+		v.txAddr = val
+		return nil
+	case VirtTxLen:
+		return v.Tx(v.txAddr, val)
+	case VirtRxAddr:
+		v.PostRxBuffer(val)
+		return nil
+	case VirtRxCap:
+		v.rxCap = val
 		return nil
 	}
 	return fmt.Errorf("%s: write to unknown register %#x", v.Name(), offset)
@@ -120,34 +221,169 @@ func (v *Virt) WriteReg(offset uint64, size int, val uint64) error {
 func (v *Virt) Kick(n uint64) {
 	v.Kicks++
 	v.BytesMoved += n
-	v.submit(n)
+	v.queue(n, nil, v.latency(n))
 }
 
-// submit schedules the completion for an n-byte request.
-func (v *Virt) submit(n uint64) {
-	lat := v.FixedLatency
-	if v.BytesPerCycle > 0 {
-		lat += uint64(float64(n) / v.BytesPerCycle)
+// Tx submits a frame of n bytes read from guest memory at addr. The frame
+// bytes are captured now (the guest may reuse the buffer immediately); the
+// network sees the frame when the transfer latency elapses.
+func (v *Virt) Tx(addr, n uint64) error {
+	var frame []byte
+	if v.ReadMem != nil {
+		var err error
+		if frame, err = v.ReadMem(addr, int(n)); err != nil {
+			return fmt.Errorf("%s: TX frame DMA at %#x+%d: %w", v.Name(), addr, n, err)
+		}
+	} else {
+		frame = make([]byte, n)
 	}
+	v.Kicks++
+	v.BytesMoved += n
+	v.TxFrames++
+	if v.OnTxFrame != nil {
+		v.OnTxFrame(frame)
+	}
+	v.queue(n, frame, v.latency(n))
+	return nil
+}
+
+// PostRxBuffer posts a guest-physical RX buffer (0 unposts) and drains any
+// frames queued while no buffer was available.
+func (v *Virt) PostRxBuffer(addr uint64) {
+	v.rxAddr = addr
+	for len(v.rxq) > 0 && v.rxAddr != 0 {
+		f := v.rxq[0]
+		v.rxq = v.rxq[1:]
+		v.deliver(f)
+	}
+}
+
+// DeliverFrame hands an inbound frame to the device (the switch's egress).
+// With a posted RX buffer the frame lands in guest memory immediately;
+// otherwise it queues, and drops once the bounded queue is full. The device
+// takes ownership of frame.
+func (v *Virt) DeliverFrame(frame []byte) {
+	if v.rxAddr != 0 {
+		v.deliver(frame)
+		return
+	}
+	if len(v.rxq) >= VirtRxQueueDepth {
+		v.RxDropped++
+		return
+	}
+	v.rxq = append(v.rxq, frame)
+}
+
+// deliver writes [len:4 LE][frame] into the posted RX buffer, consumes the
+// buffer, and raises ISR bit 1. Oversized frames and failed DMA drop,
+// leaving the buffer posted.
+func (v *Virt) deliver(frame []byte) {
+	if uint64(len(frame))+4 > v.rxBufCap() {
+		v.RxDropped++
+		return
+	}
+	buf := make([]byte, 4+len(frame))
+	binary.LittleEndian.PutUint32(buf, uint32(len(frame)))
+	copy(buf[4:], frame)
+	if v.WriteMem != nil {
+		if err := v.WriteMem(v.rxAddr, buf); err != nil {
+			v.RxDropped++
+			return
+		}
+	}
+	v.rxLen = uint64(len(frame))
+	v.rxAddr = 0
+	v.RxFrames++
+	v.isr |= VirtISRRx
+	v.IRQsRaised++
+	if v.RaiseIRQ != nil {
+		v.RaiseIRQ(v.IRQ, true)
+	}
+	if v.OnRxDeliver != nil {
+		v.OnRxDeliver(frame)
+	}
+}
+
+func (v *Virt) rxBufCap() uint64 {
+	if v.rxCap == 0 {
+		return VirtDefaultRxCap
+	}
+	return v.rxCap
+}
+
+// latency is the full cost of a fresh n-byte request, saturating with the
+// transfer term.
+func (v *Virt) latency(n uint64) uint64 {
+	x := v.xferCycles(n)
+	if x > math.MaxUint64-v.FixedLatency {
+		return math.MaxUint64
+	}
+	return v.FixedLatency + x
+}
+
+// xferCycles computes n·Num/Den in full 128-bit precision, saturating at
+// 2^64-1 (a guest can write any 64-bit value to the doorbell; an absurd
+// size must yield an absurd latency, not a panic or a wrapped small one).
+func (v *Virt) xferCycles(n uint64) uint64 {
+	if v.CyclesPerByteNum == 0 || v.CyclesPerByteDen == 0 {
+		return 0
+	}
+	hi, lo := bits.Mul64(n, v.CyclesPerByteNum)
+	if hi >= v.CyclesPerByteDen {
+		return math.MaxUint64
+	}
+	q, _ := bits.Div64(hi, lo, v.CyclesPerByteDen)
+	return q
+}
+
+// queue schedules completion of an n-byte request lat cycles from now. The
+// migration restore path re-enters here with the saved remaining latency,
+// so queue must not add FixedLatency or touch the kick statistics.
+func (v *Virt) queue(n uint64, frame []byte, lat uint64) {
 	if v.pending == nil {
-		v.pending = make(map[uint64]uint64)
+		v.pending = make(map[uint64]*pendingReq)
+	}
+	deadline := lat
+	if v.Now != nil {
+		if now := v.Now(); lat > math.MaxUint64-now {
+			deadline = math.MaxUint64 // absurd request: pending forever
+		} else {
+			deadline = now + lat
+		}
 	}
 	id := v.nextReq
 	v.nextReq++
-	v.pending[id] = n
+	v.pending[id] = &pendingReq{bytes: n, frame: frame, deadline: deadline}
+	epoch := v.epoch
 	complete := func() {
-		delete(v.pending, id)
-		v.completed = append(v.completed, Completion{Bytes: n})
-		v.isr |= 1
-		v.IRQsRaised++
-		if v.RaiseIRQ != nil {
-			v.RaiseIRQ(v.IRQ, true)
+		if v.epoch != epoch {
+			return // state restored over us; this request was re-issued elsewhere
 		}
+		req, ok := v.pending[id]
+		if !ok {
+			return
+		}
+		delete(v.pending, id)
+		v.complete(req)
 	}
 	if v.Sched != nil && v.Now != nil {
-		v.Sched(v.Now()+lat, complete)
+		v.Sched(deadline, complete)
 	} else {
 		complete()
+	}
+}
+
+// complete finishes one request: completion record, ISR, SPI, and — for TX
+// frames — handoff to the network.
+func (v *Virt) complete(req *pendingReq) {
+	v.completed = append(v.completed, Completion{Bytes: req.bytes})
+	v.isr |= VirtISRComplete
+	v.IRQsRaised++
+	if v.RaiseIRQ != nil {
+		v.RaiseIRQ(v.IRQ, true)
+	}
+	if req.frame != nil && v.SendFrame != nil {
+		v.SendFrame(req.frame)
 	}
 }
 
@@ -158,27 +394,65 @@ func (v *Virt) Drain() []Completion {
 	return c
 }
 
+// PendingCount reports the in-flight requests (tests and tooling).
+func (v *Virt) PendingCount() int { return len(v.pending) }
+
+// PendingState is one in-flight request in migratable form. Remaining is
+// the latency still to be served at save time — the destination charges
+// only that, so a request 80% through its transfer completes 20% in, not
+// from scratch.
+type PendingState struct {
+	Bytes     uint64
+	Remaining uint64
+	Frame     []byte
+}
+
 // VirtState is the migratable state of a Virt device: the guest-visible
-// registers (ISR), completed-but-undrained requests, the in-flight
-// requests whose DMA must be re-issued on the destination, and the
-// cumulative statistics.
+// registers, completed-but-undrained requests, the in-flight requests whose
+// DMA must be re-issued on the destination, the RX side (posted buffer,
+// queued frames), and the cumulative statistics.
 type VirtState struct {
-	ISR        uint64
-	Completed  []Completion
-	Pending    []uint64 // bytes per in-flight request, submission order
+	ISR       uint64
+	MAC       uint64
+	Completed []Completion
+	Pending   []PendingState
+	TxAddr    uint64
+	RxAddr    uint64
+	RxCap     uint64
+	RxLen     uint64
+	RxQueue   [][]byte
+
 	Kicks      uint64
 	BytesMoved uint64
 	IRQsRaised uint64
+	TxFrames   uint64
+	RxFrames   uint64
+	RxDropped  uint64
 }
 
 // SaveState serializes the device for migration.
 func (v *Virt) SaveState() *VirtState {
 	st := &VirtState{
 		ISR:        v.isr,
+		MAC:        v.MAC,
 		Completed:  append([]Completion(nil), v.completed...),
+		TxAddr:     v.txAddr,
+		RxAddr:     v.rxAddr,
+		RxCap:      v.rxCap,
+		RxLen:      v.rxLen,
 		Kicks:      v.Kicks,
 		BytesMoved: v.BytesMoved,
 		IRQsRaised: v.IRQsRaised,
+		TxFrames:   v.TxFrames,
+		RxFrames:   v.RxFrames,
+		RxDropped:  v.RxDropped,
+	}
+	for _, f := range v.rxq {
+		st.RxQueue = append(st.RxQueue, append([]byte(nil), f...))
+	}
+	var now uint64
+	if v.Now != nil {
+		now = v.Now()
 	}
 	ids := make([]uint64, 0, len(v.pending))
 	for id := range v.pending {
@@ -186,24 +460,55 @@ func (v *Virt) SaveState() *VirtState {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		st.Pending = append(st.Pending, v.pending[id])
+		req := v.pending[id]
+		rem := uint64(0)
+		if req.deadline > now {
+			rem = req.deadline - now
+		}
+		st.Pending = append(st.Pending, PendingState{
+			Bytes:     req.bytes,
+			Remaining: rem,
+			Frame:     append([]byte(nil), req.frame...),
+		})
 	}
 	return st
 }
 
 // RestoreState installs a saved state, re-issuing in-flight requests on
-// this device's (destination) board. Re-issue goes through submit, not
-// Kick: the requests were already counted when the guest kicked them.
+// this device's (destination) board with only their remaining latency —
+// time already served on the source stays served. Re-issue bypasses Kick:
+// the requests were already counted when the guest kicked them. Bumping the
+// epoch orphans any completion closures still scheduled against this device
+// (the rollback path restores onto the source, whose originals are still in
+// its event queue); the replaced pending set is rebuilt from the snapshot.
 // Completion interrupts re-raise through the destination's interrupt
 // controller; the controller's own migrated state carries the line level
 // for interrupts that fired before the save.
 func (v *Virt) RestoreState(st *VirtState) {
+	v.epoch++
+	v.pending = make(map[uint64]*pendingReq)
 	v.isr = st.ISR
+	v.MAC = st.MAC
 	v.completed = append([]Completion(nil), st.Completed...)
+	v.txAddr = st.TxAddr
+	v.rxAddr = st.RxAddr
+	v.rxCap = st.RxCap
+	v.rxLen = st.RxLen
+	v.rxq = nil
+	for _, f := range st.RxQueue {
+		v.rxq = append(v.rxq, append([]byte(nil), f...))
+	}
 	v.Kicks = st.Kicks
 	v.BytesMoved = st.BytesMoved
 	v.IRQsRaised = st.IRQsRaised
-	for _, n := range st.Pending {
-		v.submit(n)
+	v.TxFrames = st.TxFrames
+	v.RxFrames = st.RxFrames
+	v.RxDropped = st.RxDropped
+	for _, p := range st.Pending {
+		var frame []byte
+		if len(p.Frame) > 0 {
+			frame = append([]byte(nil), p.Frame...)
+		}
+		v.queue(p.Bytes, frame, p.Remaining)
 	}
 }

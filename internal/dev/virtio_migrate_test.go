@@ -1,0 +1,355 @@
+// Mid-flight virtio save/restore: requests in the air when a VM migrates
+// must complete exactly once, after only their remaining latency, with the
+// device statistics counted once no matter how many times the state moves
+// — plus the frame TX/RX surface the network switch rides on.
+package dev
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// fakeBoard is a deterministic stand-in for the board's clock and event
+// queue: events fire when the test advances the clock past them.
+type fakeBoard struct {
+	now    uint64
+	events []struct {
+		at uint64
+		fn func()
+	}
+	irqs []bool // level of each RaiseIRQ call
+}
+
+func (b *fakeBoard) wire(v *Virt) {
+	v.Now = func() uint64 { return b.now }
+	v.Sched = func(at uint64, fn func()) {
+		b.events = append(b.events, struct {
+			at uint64
+			fn func()
+		}{at, fn})
+	}
+	v.RaiseIRQ = func(irq int, level bool) { b.irqs = append(b.irqs, level) }
+}
+
+// advance moves the clock to t and fires every event due by then, in
+// schedule order.
+func (b *fakeBoard) advance(t uint64) {
+	b.now = t
+	for i := 0; i < len(b.events); i++ {
+		if b.events[i].at <= t && b.events[i].fn != nil {
+			fn := b.events[i].fn
+			b.events[i].fn = nil
+			fn()
+		}
+	}
+}
+
+func netVirt(b *fakeBoard) *Virt {
+	v := &Virt{
+		Class: VirtNet, IRQ: 40,
+		// The board NIC's real ratio: 5000/37 cycles per byte.
+		CyclesPerByteNum: 5000, CyclesPerByteDen: 37,
+		FixedLatency: 20_000,
+	}
+	b.wire(v)
+	return v
+}
+
+func TestVirtIntegerLatencyExact(t *testing.T) {
+	b := &fakeBoard{}
+	v := netVirt(b)
+	// 1500 bytes · 5000/37 = 7_500_000/37 = 202_702 cycles (truncated),
+	// plus the 20_000 fixed: exact integer math, no float rounding.
+	v.Kick(1500)
+	if len(b.events) != 1 {
+		t.Fatal("completion not scheduled")
+	}
+	if want := uint64(20_000 + 202_702); b.events[0].at != want {
+		t.Fatalf("latency %d, want %d", b.events[0].at, want)
+	}
+	// A guest writing garbage to the doorbell saturates instead of
+	// wrapping or panicking.
+	v.Kick(1<<64 - 1)
+	if b.events[1].at != 1<<64-1 {
+		t.Fatalf("absurd kick latency %d, want saturation", b.events[1].at)
+	}
+}
+
+func TestVirtReadRegUnknownErrors(t *testing.T) {
+	v := &Virt{Class: VirtNet}
+	if _, err := v.ReadReg(0x999, 4); err == nil {
+		t.Error("unknown register read must fail like a write")
+	}
+	if err := v.WriteReg(0x999, 4, 0); err == nil {
+		t.Error("unknown register write must fail")
+	}
+	// Every defined register still reads cleanly.
+	for _, off := range []uint64{VirtISR, VirtConfig, VirtTxAddr, VirtRxAddr,
+		VirtRxCap, VirtRxLen, VirtMACLo, VirtMACHi} {
+		if _, err := v.ReadReg(off, 4); err != nil {
+			t.Errorf("register %#x: %v", off, err)
+		}
+	}
+}
+
+// TestVirtPendingRemainingLatency is the migration-latency acceptance
+// check: a request 10_000 cycles into a 41_960-cycle transfer when the VM
+// migrates completes on the destination after the remaining 31_960 cycles
+// — source-elapsed + destination-remaining equals the full latency, and
+// the old full-latency re-issue (41_960 again, 51_960 total) is ruled out.
+func TestVirtPendingRemainingLatency(t *testing.T) {
+	src := &fakeBoard{}
+	sv := &Virt{Class: VirtBlock, IRQ: 41, CyclesPerByteNum: 10, CyclesPerByteDen: 1, FixedLatency: 1000}
+	src.wire(sv)
+
+	sv.Kick(4096) // 1000 + 40_960 = 41_960 cycles
+	const full = uint64(41_960)
+	const elapsed = uint64(10_000)
+	src.advance(elapsed) // mid-transfer; completion still 31_960 away
+
+	st := sv.SaveState()
+	if len(st.Pending) != 1 {
+		t.Fatalf("pending = %d, want 1", len(st.Pending))
+	}
+	if st.Pending[0].Remaining != full-elapsed {
+		t.Fatalf("remaining = %d, want %d", st.Pending[0].Remaining, full-elapsed)
+	}
+
+	// Destination board with an unrelated clock.
+	dst := &fakeBoard{now: 500}
+	dv := &Virt{Class: VirtBlock, IRQ: 41, CyclesPerByteNum: 10, CyclesPerByteDen: 1, FixedLatency: 1000}
+	dst.wire(dv)
+	dv.RestoreState(st)
+	if len(dst.events) != 1 {
+		t.Fatalf("re-issue scheduled %d events, want 1", len(dst.events))
+	}
+	if want := dst.now + (full - elapsed); dst.events[0].at != want {
+		t.Fatalf("destination completion at %d, want %d (remaining only, not full latency)",
+			dst.events[0].at, want)
+	}
+	// One cycle short: nothing fires.
+	dst.advance(500 + full - elapsed - 1)
+	if len(dv.Drain()) != 0 {
+		t.Fatal("request completed early")
+	}
+	// On the deadline: exactly one completion, counted once.
+	dst.advance(500 + full - elapsed)
+	if c := dv.Drain(); len(c) != 1 || c[0].Bytes != 4096 {
+		t.Fatalf("completions %+v", c)
+	}
+	if dv.Kicks != 1 || dv.BytesMoved != 4096 || dv.IRQsRaised != 1 {
+		t.Fatalf("stats kicks=%d bytes=%d irqs=%d, want 1/4096/1",
+			dv.Kicks, dv.BytesMoved, dv.IRQsRaised)
+	}
+}
+
+// TestVirtRestoreRollbackNoDoubleComplete restores a snapshot onto the
+// device it was saved from — the migration rollback path — while the
+// original completion closure is still in the board's event queue. The
+// request must complete once, not twice.
+func TestVirtRestoreRollbackNoDoubleComplete(t *testing.T) {
+	b := &fakeBoard{}
+	v := &Virt{Class: VirtNet, IRQ: 40, CyclesPerByteNum: 10, CyclesPerByteDen: 1, FixedLatency: 100}
+	b.wire(v)
+	v.Kick(50) // completes at 600
+	st := v.SaveState()
+	v.RestoreState(st) // rollback: re-issues, orphaning the original closure
+	if len(b.events) != 2 {
+		t.Fatalf("events = %d, want original + re-issue", len(b.events))
+	}
+	b.advance(10_000) // fire both
+	if c := v.Drain(); len(c) != 1 {
+		t.Fatalf("completed %d times, want exactly once", len(c))
+	}
+	if v.IRQsRaised != 1 || v.Kicks != 1 || v.BytesMoved != 50 {
+		t.Fatalf("stats irqs=%d kicks=%d bytes=%d, want 1/1/50",
+			v.IRQsRaised, v.Kicks, v.BytesMoved)
+	}
+}
+
+// TestVirtRepeatedMigrationStats chains two migrations (A→B→C) with an
+// undrained completion and a pending request in flight; ISR, completions
+// and statistics must arrive intact and counted once.
+func TestVirtRepeatedMigrationStats(t *testing.T) {
+	boards := []*fakeBoard{{}, {now: 7777}, {now: 123}}
+	devs := make([]*Virt, 3)
+	for i, fb := range boards {
+		devs[i] = &Virt{Class: VirtNet, IRQ: 40, CyclesPerByteNum: 10, CyclesPerByteDen: 1, FixedLatency: 100}
+		fb.wire(devs[i])
+	}
+	devs[0].Kick(10) // completes at 200
+	boards[0].advance(300)
+	devs[0].Kick(1000) // completes at 10_400; still pending at every hop
+	boards[0].advance(400)
+
+	st := devs[0].SaveState()
+	devs[1].RestoreState(st)
+	boards[1].advance(boards[1].now + 50) // destination runs a little
+	st2 := devs[1].SaveState()
+	devs[2].RestoreState(st2)
+
+	final := devs[2]
+	// Undrained completion survived both hops; pending not yet fired.
+	if c := final.Drain(); len(c) != 1 || c[0].Bytes != 10 {
+		t.Fatalf("undrained completions %+v, want the 10-byte one", c)
+	}
+	if isr, _ := final.ReadReg(VirtISR, 4); isr&VirtISRComplete == 0 {
+		t.Fatal("ISR completion bit lost in transit")
+	}
+	// Remaining latency kept shrinking: the full 10_100, minus the 100
+	// cycles served on A after the kick, minus the 50 served on B.
+	boards[2].advance(boards[2].now + 10_100 - 100 - 50)
+	if c := final.Drain(); len(c) != 1 || c[0].Bytes != 1000 {
+		t.Fatalf("pending completion %+v after remaining latency", c)
+	}
+	if final.Kicks != 2 || final.BytesMoved != 1010 || final.IRQsRaised != 2 {
+		t.Fatalf("stats kicks=%d bytes=%d irqs=%d, want 2/1010/2",
+			final.Kicks, final.BytesMoved, final.IRQsRaised)
+	}
+	if final.PendingCount() != 0 {
+		t.Fatalf("pending = %d after completion", final.PendingCount())
+	}
+}
+
+// TestVirtTxFrame: a TX submission reads the frame out of guest memory at
+// kick time, and hands it to the network only when the transfer latency
+// elapses.
+func TestVirtTxFrame(t *testing.T) {
+	b := &fakeBoard{}
+	v := netVirt(b)
+	guestMem := map[uint64][]byte{0x8010_0000: []byte("hello, peer!")}
+	v.ReadMem = func(addr uint64, n int) ([]byte, error) {
+		m, ok := guestMem[addr]
+		if !ok || n > len(m) {
+			return nil, fmt.Errorf("bad DMA %#x+%d", addr, n)
+		}
+		return append([]byte(nil), m[:n]...), nil
+	}
+	var sent [][]byte
+	v.SendFrame = func(f []byte) { sent = append(sent, f) }
+	var tapped int
+	v.OnTxFrame = func([]byte) { tapped++ }
+
+	if err := v.WriteReg(VirtTxAddr, 4, 0x8010_0000); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteReg(VirtTxLen, 4, 12); err != nil {
+		t.Fatal(err)
+	}
+	if tapped != 1 {
+		t.Fatal("OnTxFrame must fire at submission")
+	}
+	if len(sent) != 0 {
+		t.Fatal("frame hit the wire before the transfer latency")
+	}
+	// The guest may scribble over the buffer immediately; the captured
+	// frame must not change.
+	guestMem[0x8010_0000] = []byte("overwritten!")
+	b.advance(b.events[0].at)
+	if len(sent) != 1 || string(sent[0]) != "hello, peer!" {
+		t.Fatalf("sent %q", sent)
+	}
+	if v.TxFrames != 1 || v.Kicks != 1 || v.BytesMoved != 12 {
+		t.Fatalf("stats tx=%d kicks=%d bytes=%d", v.TxFrames, v.Kicks, v.BytesMoved)
+	}
+	// A TX from an unmapped address is a DMA error the driver sees.
+	if err := v.WriteReg(VirtTxAddr, 4, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteReg(VirtTxLen, 4, 4); err == nil {
+		t.Fatal("TX from unmapped guest memory must error")
+	}
+}
+
+// TestVirtRxDeliver: frames land in the posted buffer as [len:4 LE][bytes],
+// consume the buffer, raise ISR bit 1; without a buffer they queue and
+// drain on the next post; oversized frames and queue overflow drop.
+func TestVirtRxDeliver(t *testing.T) {
+	b := &fakeBoard{}
+	v := netVirt(b)
+	written := map[uint64][]byte{}
+	v.WriteMem = func(addr uint64, data []byte) error {
+		written[addr] = append([]byte(nil), data...)
+		return nil
+	}
+
+	// No buffer posted: queue.
+	v.DeliverFrame([]byte("queued-frame"))
+	if v.RxFrames != 0 || len(written) != 0 {
+		t.Fatal("delivery without a posted buffer")
+	}
+	// Posting drains the queue.
+	if err := v.WriteReg(VirtRxAddr, 4, 0x8020_0000); err != nil {
+		t.Fatal(err)
+	}
+	got := written[0x8020_0000]
+	if got == nil {
+		t.Fatal("queued frame not delivered on post")
+	}
+	if n := binary.LittleEndian.Uint32(got); n != 12 || !bytes.Equal(got[4:], []byte("queued-frame")) {
+		t.Fatalf("RX buffer = len %d, %q", n, got[4:])
+	}
+	if isr, _ := v.ReadReg(VirtISR, 4); isr&VirtISRRx == 0 {
+		t.Fatal("RX must raise ISR bit 1")
+	}
+	if rl, _ := v.ReadReg(VirtRxLen, 4); rl != 12 {
+		t.Fatalf("VirtRxLen = %d", rl)
+	}
+	// The buffer was consumed: a second frame queues.
+	if ra, _ := v.ReadReg(VirtRxAddr, 4); ra != 0 {
+		t.Fatal("posted buffer not consumed")
+	}
+
+	// Oversized frames drop and leave the (re-posted) buffer intact.
+	v.rxCap = 8
+	if err := v.WriteReg(VirtRxAddr, 4, 0x8030_0000); err != nil {
+		t.Fatal(err)
+	}
+	v.DeliverFrame(make([]byte, 64))
+	if v.RxDropped != 1 {
+		t.Fatalf("dropped = %d, want 1", v.RxDropped)
+	}
+	if ra, _ := v.ReadReg(VirtRxAddr, 4); ra != 0x8030_0000 {
+		t.Fatal("oversize drop must keep the buffer posted")
+	}
+	v.rxCap = 0
+	v.PostRxBuffer(0) // unpost
+
+	// Queue overflow drops beyond the bounded depth.
+	for i := 0; i < VirtRxQueueDepth+5; i++ {
+		v.DeliverFrame([]byte{byte(i)})
+	}
+	if v.RxDropped != 1+5 {
+		t.Fatalf("dropped = %d, want 6", v.RxDropped)
+	}
+}
+
+// TestVirtRxQueueSurvivesMigration: frames queued device-side (no posted
+// buffer) travel in the device state and deliver on the destination.
+func TestVirtRxQueueSurvivesMigration(t *testing.T) {
+	src := &fakeBoard{}
+	sv := netVirt(src)
+	sv.DeliverFrame([]byte("in-flight-1"))
+	sv.DeliverFrame([]byte("in-flight-2"))
+
+	dst := &fakeBoard{}
+	dv := netVirt(dst)
+	written := map[uint64][]byte{}
+	dv.WriteMem = func(addr uint64, data []byte) error {
+		written[addr] = append([]byte(nil), data...)
+		return nil
+	}
+	dv.RestoreState(sv.SaveState())
+	if err := dv.WriteReg(VirtRxAddr, 4, 0x9000); err != nil {
+		t.Fatal(err)
+	}
+	// First queued frame lands in the buffer, second stays queued.
+	if got := written[0x9000]; got == nil || !bytes.Equal(got[4:], []byte("in-flight-1")) {
+		t.Fatalf("first queued frame = %q", written[0x9000])
+	}
+	if dv.RxFrames != 1 || len(dv.rxq) != 1 {
+		t.Fatalf("rxFrames=%d queued=%d", dv.RxFrames, len(dv.rxq))
+	}
+}

@@ -15,7 +15,9 @@ package fleet
 import (
 	"fmt"
 
+	"kvmarm/internal/dev"
 	"kvmarm/internal/hv"
+	"kvmarm/internal/net"
 )
 
 // Options tunes fleet construction.
@@ -31,6 +33,15 @@ type Options struct {
 	// fleet threads. 0 means uncapped: forks always succeed and placement
 	// still balances run-queue load.
 	Overcommit int
+	// Network, when set, attaches every clone's virtio NIC to this switch
+	// after the fork. The clone gets its own port and a fresh MAC — the
+	// template's restored device state carries the template's address, and
+	// a fleet of clones all claiming one MAC would fight over the switch's
+	// learning table.
+	Network *net.Switch
+	// NetPrefix names the clones' switch ports (default "clone"); clone i
+	// attaches as "<prefix><i>".
+	NetPrefix string
 }
 
 // Fleet is one captured template and the clones forked from it.
@@ -42,6 +53,8 @@ type Fleet struct {
 
 	conf       func(id int, v hv.VCPU)
 	overcommit int
+	network    *net.Switch
+	netPrefix  string
 	// assigned counts the clone vCPU threads this fleet placed per
 	// physical CPU. The host run queue alone cannot drive placement: a
 	// thread that ran and blocked in WFI leaves the queue, and a burst of
@@ -80,12 +93,18 @@ func New(env *hv.Env, template hv.VM, o Options) (*Fleet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: capturing template: %w", err)
 	}
+	prefix := o.NetPrefix
+	if prefix == "" {
+		prefix = "clone"
+	}
 	return &Fleet{
 		Env:        env,
 		Snap:       snap,
 		Template:   template,
 		conf:       o.ConfigureVCPU,
 		overcommit: o.Overcommit,
+		network:    o.Network,
+		netPrefix:  prefix,
 		assigned:   make([]int, len(env.Board.CPUs)),
 	}, nil
 }
@@ -144,6 +163,14 @@ func (f *Fleet) Fork() (hv.VM, error) {
 			f.assigned[c]--
 		}
 		return nil, fmt.Errorf("fleet: forking clone %d: %w", len(f.Clones), err)
+	}
+	if f.network != nil {
+		if nic := vm.Device(dev.VirtNet); nic != nil {
+			name := fmt.Sprintf("%s%d", f.netPrefix, len(f.Clones))
+			if _, err := f.network.AttachVirt(name, nic); err != nil {
+				return nil, fmt.Errorf("fleet: attaching clone %d to switch: %w", len(f.Clones), err)
+			}
+		}
 	}
 	f.Clones = append(f.Clones, vm)
 	return vm, nil

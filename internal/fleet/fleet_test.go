@@ -6,16 +6,19 @@ package fleet_test
 
 import (
 	"encoding/binary"
+	"fmt"
 	"runtime"
 	"testing"
 
 	_ "kvmarm" // registers the ARM and x86 backends
 	"kvmarm/internal/arm"
+	"kvmarm/internal/dev"
 	"kvmarm/internal/fleet"
 	"kvmarm/internal/hv"
 	"kvmarm/internal/isa"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
+	"kvmarm/internal/net"
 )
 
 const (
@@ -151,6 +154,125 @@ func TestFleetOvercommitPlacement(t *testing.T) {
 	}
 	if got := len(fl.Clones); got != 4 {
 		t.Fatalf("fleet holds %d clones after failed fork, want 4", got)
+	}
+}
+
+// TestFleetNetworkAttach forks clones with Options.Network set: every
+// clone's NIC lands on its own switch port with a fresh MAC (the restored
+// device state carries the template's address, which a fleet cannot
+// share), and a frame each clone sends after the fork point reaches a host
+// tap port. Attachment is backend-neutral, so one backend suffices.
+func TestFleetNetworkAttach(t *testing.T) {
+	const (
+		frameAddr = flDataBase
+		txAt      = 600
+		iters     = 800
+		nClones   = 3
+	)
+	be := hv.Backends()[0]
+	env, err := be.NewEnv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := env.HV.CreateVM(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.CreateVCPU(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count with a hypercall per iteration; at txAt (past any possible
+	// snapshot point) kick one pre-written broadcast frame.
+	prog := isa.NewAsm(machine.RAMBase).
+		MOV32(isa.R3, flCountAddr).
+		MOV32(isa.R11, machine.VirtNetBase).
+		MOV32(isa.R5, frameAddr).
+		MOVW(isa.R2, 0).
+		Label("loop").
+		ADDI(isa.R2, isa.R2, 1).
+		STR(isa.R2, isa.R3, 0).
+		HVC(1).
+		CMPI(isa.R2, txAt).
+		BNE("skip").
+		STR(isa.R5, isa.R11, dev.VirtTxAddr).
+		MOVW(isa.R0, net.HeaderSize+4).
+		STR(isa.R0, isa.R11, dev.VirtTxLen).
+		Label("skip").
+		CMPI(isa.R2, iters).
+		BNE("loop").
+		HVC(kernel.PSCISystemOff).
+		MustAssemble()
+	raw := make([]byte, 0, len(prog)*4)
+	for _, w := range prog {
+		raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	if err := vm.WriteGuestMem(machine.RAMBase, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WriteGuestMem(frameAddr, net.MakeFrame(net.Broadcast, 0, 9, 1, []byte{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRI|arm.PSRF); err != nil {
+		t.Fatal(err)
+	}
+	v.SetGuestSoftware(nil, &isa.Interp{})
+	if _, err := v.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	if !env.Board.Run(40_000_000, func() bool {
+		step++
+		return step%64 == 0 && flCount(t, vm) >= 40
+	}) {
+		t.Fatal("template made no progress")
+	}
+	if flCount(t, vm) >= txAt {
+		t.Fatalf("template already past the TX point (count %d)", flCount(t, vm))
+	}
+
+	sw := net.NewSwitch()
+	var tapGot []net.MAC
+	if _, err := sw.AttachHost("tap", func(f []byte) { tapGot = append(tapGot, net.Src(f)) }); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := fleet.New(env, vm, fleet.Options{
+		Network: sw,
+		ConfigureVCPU: func(id int, vc hv.VCPU) {
+			vc.SetGuestSoftware(nil, &isa.Interp{})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clones, err := fl.ForkN(nClones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := map[uint64]bool{}
+	for i, c := range clones {
+		nic := c.Device(dev.VirtNet)
+		if nic == nil || nic.MAC == 0 {
+			t.Fatalf("clone %d NIC has no MAC", i)
+		}
+		if macs[nic.MAC] {
+			t.Fatalf("clone %d reuses MAC %#x", i, nic.MAC)
+		}
+		macs[nic.MAC] = true
+		if sw.Port(fmt.Sprintf("clone%d", i)) == nil {
+			t.Fatalf("clone %d has no switch port", i)
+		}
+	}
+	if !env.Board.Run(200_000_000, func() bool { return env.Host.LiveCount() == 0 }) {
+		t.Fatal("fleet did not run to completion")
+	}
+	// Each clone's broadcast flooded to the tap. The template's own TX went
+	// nowhere: its NIC was never attached.
+	if len(tapGot) != nClones {
+		t.Fatalf("host tap received %d frames, want %d", len(tapGot), nClones)
 	}
 }
 

@@ -119,7 +119,10 @@ func (m *GuestMem) EnsureMapped(ipa uint64) (uint64, error) {
 // Write copies data into guest-physical memory, populating mappings as
 // needed. A host-side write bypasses Stage-2 permission faults, so pages
 // still mapped to a shared copy-on-write frame are privatized here first —
-// writing through the shared PA would leak into every sibling VM.
+// writing through the shared PA would leak into every sibling VM — and
+// each touched page is reported to the dirty log, which would otherwise
+// never see host-side writes: a frame a device DMAs into guest RAM during
+// pre-copy must reach the migration destination like any guest store.
 func (m *GuestMem) Write(ipa uint64, data []byte) error {
 	for off := 0; off < len(data); {
 		cur := ipa + uint64(off)
@@ -145,6 +148,7 @@ func (m *GuestMem) Write(ipa uint64, data []byte) error {
 		if err := m.RAM.WriteBytes(pa, data[off:off+n]); err != nil {
 			return err
 		}
+		m.Table.MarkDirty(cur)
 		off += n
 	}
 	return nil

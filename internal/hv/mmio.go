@@ -36,6 +36,11 @@ type VirtMMIO struct{ D *dev.Virt }
 
 func (m *VirtMMIO) Name() string { return m.D.Name() }
 
+// Read returns 0 for accesses the device errors on (unknown registers):
+// the user-space device model is RAZ/WI, like the UART below, while the
+// native bus path turns the same error into a guest data abort. ReadReg
+// errors symmetrically with WriteReg, so no caller depends on the device
+// itself returning a silent zero.
 func (m *VirtMMIO) Read(v VCPU, off uint64, size int) uint64 {
 	val, _ := m.D.ReadReg(off, size)
 	return val

@@ -199,25 +199,37 @@ func New(cfg Config) (*Board, error) {
 			return nil, err
 		}
 	}
-	mkVirt := func(class dev.VirtClass, base uint64, irq int, bw float64, lat uint64) (*dev.Virt, error) {
+	mkVirt := func(class dev.VirtClass, base uint64, irq int, num, den, lat uint64) (*dev.Virt, error) {
 		v := &dev.Virt{
-			Class: class, IRQ: irq, BytesPerCycle: bw, FixedLatency: lat,
+			Class: class, IRQ: irq,
+			CyclesPerByteNum: num, CyclesPerByteDen: den, FixedLatency: lat,
 			Sched:    b.Schedule,
 			Now:      b.Now,
 			RaiseIRQ: func(irq int, level bool) { _ = b.GIC.RaiseSPI(irq, level) },
+			// Frame DMA on the native board goes straight to physical RAM.
+			ReadMem: func(addr uint64, n int) ([]byte, error) {
+				buf := make([]byte, n)
+				err := b.RAM.ReadBytes(addr, buf)
+				return buf, err
+			},
+			WriteMem: func(addr uint64, data []byte) error {
+				return b.RAM.WriteBytes(addr, data)
+			},
 		}
 		return v, b.Bus.Map(base, dev.VirtSize, v)
 	}
 	var err error
-	// 100 Mb/s NIC at 1.7 GHz: 12.5 MB/s / 1.7e9 cyc/s ≈ 0.0074 B/cyc.
-	if b.Net, err = mkVirt(dev.VirtNet, VirtNetBase, IRQNet, 0.0074, 20_000); err != nil {
+	// 100 Mb/s NIC at 1.7 GHz: 12.5 MB/s / 1.7e9 cyc/s ≈ 0.0074 B/cyc
+	// = 37/5000 bytes per cycle, so 5000/37 cycles per byte.
+	if b.Net, err = mkVirt(dev.VirtNet, VirtNetBase, IRQNet, 5000, 37, 20_000); err != nil {
 		return nil, err
 	}
-	// SATA SSD ~250 MB/s ≈ 0.147 B/cyc, ~85 µs access ≈ 145k cycles.
-	if b.Blk, err = mkVirt(dev.VirtBlock, VirtBlkBase, IRQBlk, 0.147, 145_000); err != nil {
+	// SATA SSD ~250 MB/s ≈ 0.147 B/cyc = 147/1000 (1000/147 cycles per
+	// byte), ~85 µs access ≈ 145k cycles.
+	if b.Blk, err = mkVirt(dev.VirtBlock, VirtBlkBase, IRQBlk, 1000, 147, 145_000); err != nil {
 		return nil, err
 	}
-	if b.Con, err = mkVirt(dev.VirtConsole, VirtConBase, IRQCon, 1.0, 5_000); err != nil {
+	if b.Con, err = mkVirt(dev.VirtConsole, VirtConBase, IRQCon, 1, 1, 5_000); err != nil {
 		return nil, err
 	}
 	return b, nil

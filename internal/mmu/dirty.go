@@ -127,6 +127,24 @@ func (b *Builder) DirtyFault(ipa uint64) (bool, error) {
 	return true, nil
 }
 
+// MarkDirty records a host-side write to ipa in the active dirty log.
+// Host writes (device frame DMA, QEMU pokes into guest RAM) bypass the
+// Stage-2 permission fault that normally feeds the log, so the host
+// guest-memory write path reports them here; with no log running it is a
+// no-op. The page's write protection is left alone — the guest-visible
+// leaf permissions only change through DirtyFault/CollectDirty, which stay
+// idempotent against an already-dirty entry.
+func (b *Builder) MarkDirty(ipa uint64) {
+	if b.log == nil || ipa >= 1<<32 {
+		return
+	}
+	page := uint32(ipa) &^ (PageSize - 1)
+	if b.log.filter != nil && !b.log.filter(uint64(page)) {
+		return
+	}
+	b.log.dirty[page] = true
+}
+
 // CollectDirty returns the pages dirtied since logging was enabled or
 // since the previous CollectDirty, sorted, and re-write-protects them so
 // the next round traps their next store again.

@@ -1,0 +1,82 @@
+// Package net is the host-side virtual network: an Ethernet-flavored frame
+// format that guests can build with plain word stores, and a learning
+// software switch (switch.go) connecting virtio-net devices across VMs and
+// boards, with host ports for NAT-style gateways. It mirrors the user-space
+// network stack QEMU provides under KVM/ARM (§3.4): devices see frames,
+// the host moves them.
+package net
+
+import "encoding/binary"
+
+// MAC is a 48-bit link address in the low bits of a uint64.
+type MAC uint64
+
+// Broadcast is the all-ones destination: flooded to every port.
+const Broadcast MAC = 0xFFFF_FFFF_FFFF
+
+// Frame layout. Every field is a little-endian 32-bit word at a 4-byte
+// offset so raw machine-code guests assemble and parse frames with single
+// LDR/STR instructions — no byte shuffling.
+//
+//	word 0 (byte  0): destination MAC bits [31:0]
+//	word 1 (byte  4): destination MAC bits [47:32]
+//	word 2 (byte  8): source MAC bits [31:0]
+//	word 3 (byte 12): source MAC bits [47:32]
+//	word 4 (byte 16): op (protocol/type, caller-defined)
+//	word 5 (byte 20): id (request correlation, caller-defined)
+//	bytes 24..     : payload
+const (
+	OffDstLo   = 0
+	OffDstHi   = 4
+	OffSrcLo   = 8
+	OffSrcHi   = 12
+	OffOp      = 16
+	OffID      = 20
+	HeaderSize = 24
+)
+
+// MakeFrame assembles a frame.
+func MakeFrame(dst, src MAC, op, id uint32, payload []byte) []byte {
+	f := make([]byte, HeaderSize+len(payload))
+	le := binary.LittleEndian
+	le.PutUint32(f[OffDstLo:], uint32(dst))
+	le.PutUint32(f[OffDstHi:], uint32(dst>>32)&0xFFFF)
+	le.PutUint32(f[OffSrcLo:], uint32(src))
+	le.PutUint32(f[OffSrcHi:], uint32(src>>32)&0xFFFF)
+	le.PutUint32(f[OffOp:], op)
+	le.PutUint32(f[OffID:], id)
+	copy(f[HeaderSize:], payload)
+	return f
+}
+
+// Dst returns the destination MAC. Short frames read as 0 (the switch
+// drops them before forwarding).
+func Dst(f []byte) MAC { return mac(f, OffDstLo, OffDstHi) }
+
+// Src returns the source MAC.
+func Src(f []byte) MAC { return mac(f, OffSrcLo, OffSrcHi) }
+
+// Op returns the op word.
+func Op(f []byte) uint32 { return word(f, OffOp) }
+
+// ID returns the id word.
+func ID(f []byte) uint32 { return word(f, OffID) }
+
+// Payload returns the bytes after the header (nil for short frames).
+func Payload(f []byte) []byte {
+	if len(f) < HeaderSize {
+		return nil
+	}
+	return f[HeaderSize:]
+}
+
+func word(f []byte, off int) uint32 {
+	if len(f) < off+4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(f[off:])
+}
+
+func mac(f []byte, lo, hi int) MAC {
+	return MAC(word(f, lo)) | MAC(word(f, hi)&0xFFFF)<<32
+}

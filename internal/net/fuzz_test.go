@@ -1,0 +1,85 @@
+package net
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzSwitchFrames drives random frame interleavings through the switch
+// and checks every port's delivery sequence against a sequential oracle —
+// an independent minimal model of MAC learning: deliver to the port the
+// destination was learned on, flood unknown/broadcast everywhere but the
+// ingress port, drop hairpins, learn every source.
+func FuzzSwitchFrames(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 0, 2, 2, 4, 3, 0, 5, 4})
+	f.Add([]byte{3, 3, 0, 0, 4, 1, 2, 0, 9, 1, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nPorts = 4
+		s := NewSwitch()
+		got := make([][]string, nPorts)
+		ports := make([]*Port, nPorts)
+		for i := 0; i < nPorts; i++ {
+			i := i
+			p, err := s.AttachHost(fmt.Sprintf("p%d", i), func(frame []byte) {
+				got[i] = append(got[i], fmt.Sprintf("%x:%d", uint64(Src(frame)), ID(frame)))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ports[i] = p
+		}
+
+		// Oracle state: which port each MAC was last seen on.
+		learned := map[MAC]int{}
+		want := make([][]string, nPorts)
+
+		for i := 0; i+3 <= len(data); i += 3 {
+			src := int(data[i]) % nPorts
+			dstSel := int(data[i+1]) % (nPorts + 2)
+			id := uint32(data[i+2])
+			var dst MAC
+			switch dstSel {
+			case nPorts:
+				dst = Broadcast
+			case nPorts + 1:
+				dst = 0x0200_FFFF_0000 // never attached: always unknown
+			default:
+				dst = ports[dstSel].MAC
+			}
+
+			// Oracle first (the real switch mutates shared learning
+			// state). Source learning precedes the lookup, like the
+			// switch and real hardware: a self-addressed frame is a
+			// hairpin drop even on the very first send.
+			tag := fmt.Sprintf("%x:%d", uint64(ports[src].MAC), id)
+			learned[ports[src].MAC] = src
+			out, known := learned[dst]
+			switch {
+			case dst != Broadcast && known && out == src:
+				// hairpin: dropped
+			case dst != Broadcast && known:
+				want[out] = append(want[out], tag)
+			default: // broadcast or unknown unicast: flood
+				for j := 0; j < nPorts; j++ {
+					if j != src {
+						want[j] = append(want[j], tag)
+					}
+				}
+			}
+
+			ports[src].Inject(MakeFrame(dst, ports[src].MAC, 1, id, nil))
+		}
+
+		for i := 0; i < nPorts; i++ {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("port %d received %d frames, oracle says %d\ngot  %v\nwant %v",
+					i, len(got[i]), len(want[i]), got[i], want[i])
+			}
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("port %d frame %d: got %s, want %s", i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package net
+
+import (
+	"fmt"
+
+	"kvmarm/internal/dev"
+)
+
+// Switch is a learning software switch. Ports attach virtio-net devices
+// (guest NICs, possibly on different boards) or host callbacks (gateways,
+// test taps). Frame flow is synchronous and deterministic: a device's TX
+// completion calls ingress, ingress learns the source MAC, forwards to the
+// learned destination port or floods unknown/broadcast destinations, and
+// egress hands each receiver its own copy via dev.Virt.DeliverFrame (guest
+// ports) or the host callback.
+//
+// The switch owns MAC assignment: AttachVirt gives each device a
+// locally-administered address (02:00:...), programs it into the device's
+// VirtMACLo/Hi registers, and wires SendFrame. Rebind swaps the device
+// behind a port — live migration moves a VM to a new board and the port
+// follows, keeping the address and the peers' learned entries valid.
+type Switch struct {
+	ports   []*Port
+	byName  map[string]*Port
+	fdb     map[MAC]*Port
+	nextMAC uint64
+
+	// Stats.
+	Forwarded uint64 // frames sent to a single learned port
+	Flooded   uint64 // frames replicated to all other ports
+	Dropped   uint64 // malformed, hairpin, or dead-end frames
+	Learned   uint64 // distinct source MACs learned
+}
+
+// Port is one switch attachment point.
+type Port struct {
+	Name string
+	MAC  MAC
+	sw   *Switch
+	dev  *dev.Virt          // guest NIC, or
+	rx   func(frame []byte) // host receiver
+
+	// Stats.
+	TxFrames uint64 // frames this port sent into the switch
+	RxFrames uint64 // frames delivered out this port
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch() *Switch {
+	return &Switch{
+		byName: make(map[string]*Port),
+		fdb:    make(map[MAC]*Port),
+	}
+}
+
+// allocMAC hands out sequential locally-administered unicast addresses
+// (02:00:00:00:00:NN upward).
+func (s *Switch) allocMAC() MAC {
+	s.nextMAC++
+	return MAC(0x0200_0000_0000 + s.nextMAC)
+}
+
+func (s *Switch) addPort(name string, p *Port) (*Port, error) {
+	if _, dup := s.byName[name]; dup {
+		return nil, fmt.Errorf("net: duplicate port name %q", name)
+	}
+	p.Name = name
+	p.sw = s
+	s.ports = append(s.ports, p)
+	s.byName[name] = p
+	return p, nil
+}
+
+// AttachVirt attaches a guest NIC: assigns it a MAC, wires its TX
+// completion into the switch, and returns the port.
+func (s *Switch) AttachVirt(name string, v *dev.Virt) (*Port, error) {
+	p, err := s.addPort(name, &Port{MAC: s.allocMAC(), dev: v})
+	if err != nil {
+		return nil, err
+	}
+	s.bind(p, v)
+	return p, nil
+}
+
+// AttachHost attaches a host-side receiver (a gateway or a test tap) under
+// its own MAC. Use Port.Inject to send frames from it.
+func (s *Switch) AttachHost(name string, rx func(frame []byte)) (*Port, error) {
+	return s.addPort(name, &Port{MAC: s.allocMAC(), rx: rx})
+}
+
+// AttachNAT attaches a NAT-style gateway port: frames addressed to it (or
+// broadcast) are answered on behalf of the outside world. serve maps a
+// request payload to a response payload (nil: no answer); the response
+// travels back to the frame's source with addresses rewritten so guests
+// only ever see the gateway's MAC — translation in both directions.
+func (s *Switch) AttachNAT(name string, serve func(op, id uint32, payload []byte) []byte) (*Port, error) {
+	var p *Port
+	p, err := s.AttachHost(name, func(frame []byte) {
+		if d := Dst(frame); d != p.MAC && d != Broadcast {
+			return
+		}
+		resp := serve(Op(frame), ID(frame), Payload(frame))
+		if resp == nil {
+			return
+		}
+		p.Inject(MakeFrame(Src(frame), p.MAC, Op(frame), ID(frame), resp))
+	})
+	return p, err
+}
+
+// Rebind swaps the guest NIC behind an existing port (live migration: the
+// server moved to a destination board; its port, MAC, and the peers'
+// learned entries stay). The old device's uplink is cut; frames it still
+// completes fall off the unplugged cable.
+func (s *Switch) Rebind(name string, v *dev.Virt) error {
+	p, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("net: rebind of unknown port %q", name)
+	}
+	if p.dev == nil {
+		return fmt.Errorf("net: rebind of host port %q", name)
+	}
+	p.dev.SendFrame = nil
+	s.bind(p, v)
+	return nil
+}
+
+func (s *Switch) bind(p *Port, v *dev.Virt) {
+	p.dev = v
+	v.MAC = uint64(p.MAC)
+	v.SendFrame = func(frame []byte) { s.ingress(p, frame) }
+}
+
+// Port returns the named port, or nil.
+func (s *Switch) Port(name string) *Port { return s.byName[name] }
+
+// Inject sends a frame into the switch from this port (host ports; guest
+// NICs send through their TX path).
+func (p *Port) Inject(frame []byte) { p.sw.ingress(p, frame) }
+
+// ingress is the switching decision for one frame arriving on in.
+func (s *Switch) ingress(in *Port, frame []byte) {
+	if len(frame) < HeaderSize {
+		s.Dropped++
+		return
+	}
+	in.TxFrames++
+	src, dst := Src(frame), Dst(frame)
+	if src != 0 && src != Broadcast {
+		if prev := s.fdb[src]; prev != in {
+			if prev == nil {
+				s.Learned++
+			}
+			s.fdb[src] = in // learn, or follow a station that moved ports
+		}
+	}
+	if dst != Broadcast {
+		if out := s.fdb[dst]; out == in {
+			s.Dropped++ // hairpin: destination learned on the ingress port
+			return
+		} else if out != nil {
+			s.Forwarded++
+			s.egress(out, frame)
+			return
+		}
+	}
+	// Broadcast or unknown unicast: flood everywhere but the ingress port.
+	if len(s.ports) < 2 {
+		s.Dropped++
+		return
+	}
+	s.Flooded++
+	for _, p := range s.ports {
+		if p != in {
+			s.egress(p, frame)
+		}
+	}
+}
+
+// egress delivers one frame out one port. Each receiver gets its own copy:
+// devices queue frames and guests scribble on delivered buffers.
+func (s *Switch) egress(p *Port, frame []byte) {
+	p.RxFrames++
+	f := append([]byte(nil), frame...)
+	switch {
+	case p.dev != nil:
+		p.dev.DeliverFrame(f)
+	case p.rx != nil:
+		p.rx(f)
+	}
+}

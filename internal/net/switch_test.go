@@ -1,0 +1,199 @@
+package net
+
+import (
+	"bytes"
+	"testing"
+
+	"kvmarm/internal/dev"
+)
+
+// hostTap attaches a host port that records everything delivered to it.
+func hostTap(t *testing.T, s *Switch, name string) (*Port, *[][]byte) {
+	t.Helper()
+	var got [][]byte
+	p, err := s.AttachHost(name, func(f []byte) { got = append(got, f) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, &got
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := MakeFrame(0x0200_0000_0001, 0x0200_0000_0002, 7, 42, []byte("payload"))
+	if Dst(f) != 0x0200_0000_0001 || Src(f) != 0x0200_0000_0002 {
+		t.Fatalf("dst=%#x src=%#x", Dst(f), Src(f))
+	}
+	if Op(f) != 7 || ID(f) != 42 || string(Payload(f)) != "payload" {
+		t.Fatalf("op=%d id=%d payload=%q", Op(f), ID(f), Payload(f))
+	}
+	// Short frames parse as zero instead of panicking.
+	if Dst(f[:3]) != 0 || Payload(f[:3]) != nil {
+		t.Fatal("short frame must read as zero")
+	}
+}
+
+func TestSwitchLearningAndForwarding(t *testing.T) {
+	s := NewSwitch()
+	a, aGot := hostTap(t, s, "a")
+	b, bGot := hostTap(t, s, "b")
+	_, cGot := hostTap(t, s, "c")
+
+	// First frame a→b: b's MAC is unlearned, so it floods to b and c.
+	a.Inject(MakeFrame(b.MAC, a.MAC, 1, 1, nil))
+	if len(*bGot) != 1 || len(*cGot) != 1 || len(*aGot) != 0 {
+		t.Fatalf("flood delivered b=%d c=%d a=%d", len(*bGot), len(*cGot), len(*aGot))
+	}
+	if s.Flooded != 1 || s.Forwarded != 0 || s.Learned != 1 {
+		t.Fatalf("stats %+v", *s)
+	}
+	// b answers: a is learned now, so only a receives; b's MAC learns too.
+	b.Inject(MakeFrame(a.MAC, b.MAC, 1, 2, nil))
+	if len(*aGot) != 1 || len(*cGot) != 1 {
+		t.Fatalf("reply delivered a=%d c=%d", len(*aGot), len(*cGot))
+	}
+	// Second a→b is now unicast.
+	a.Inject(MakeFrame(b.MAC, a.MAC, 1, 3, nil))
+	if len(*bGot) != 2 || len(*cGot) != 1 {
+		t.Fatalf("unicast delivered b=%d c=%d", len(*bGot), len(*cGot))
+	}
+	if s.Forwarded != 2 || s.Learned != 2 {
+		t.Fatalf("stats %+v", *s)
+	}
+
+	// Broadcast goes everywhere but the ingress port.
+	a.Inject(MakeFrame(Broadcast, a.MAC, 1, 4, nil))
+	if len(*bGot) != 3 || len(*cGot) != 2 || len(*aGot) != 1 {
+		t.Fatalf("broadcast delivered b=%d c=%d a=%d", len(*bGot), len(*cGot), len(*aGot))
+	}
+
+	// Hairpin (destination learned on the ingress port) drops.
+	a.Inject(MakeFrame(a.MAC, a.MAC, 1, 5, nil))
+	if len(*aGot) != 1 || s.Dropped == 0 {
+		t.Fatal("hairpin frame must drop")
+	}
+	// Runts drop.
+	a.Inject([]byte{1, 2, 3})
+	if s.Dropped != 2 {
+		t.Fatalf("dropped = %d", s.Dropped)
+	}
+}
+
+func TestSwitchVirtPortsEndToEnd(t *testing.T) {
+	s := NewSwitch()
+	mem := map[*dev.Virt]map[uint64][]byte{}
+	mkNIC := func() *dev.Virt {
+		v := &dev.Virt{Class: dev.VirtNet}
+		mem[v] = map[uint64][]byte{}
+		v.WriteMem = func(addr uint64, data []byte) error {
+			mem[v][addr] = append([]byte(nil), data...)
+			return nil
+		}
+		return v
+	}
+	va, vb := mkNIC(), mkNIC()
+	pa, err := s.AttachVirt("a", va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := s.AttachVirt("b", vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.MAC == 0 || va.MAC == vb.MAC {
+		t.Fatalf("MAC assignment a=%#x b=%#x", va.MAC, vb.MAC)
+	}
+	if _, err := s.AttachVirt("a", mkNIC()); err == nil {
+		t.Fatal("duplicate port name must fail")
+	}
+
+	// b posts an RX buffer; a NIC with no Sched completes synchronously,
+	// so a's SendFrame fires straight into the switch.
+	vb.PostRxBuffer(0x9000)
+	frame := MakeFrame(MAC(vb.MAC), MAC(va.MAC), 1, 9, []byte("hi"))
+	va.ReadMem = func(addr uint64, n int) ([]byte, error) {
+		return append([]byte(nil), frame[:n]...), nil
+	}
+	if err := va.Tx(0x100, uint64(len(frame))); err != nil {
+		t.Fatal(err)
+	}
+	got := mem[vb][0x9000]
+	if got == nil || !bytes.Equal(got[4:], frame) {
+		t.Fatalf("b received %q", got)
+	}
+	if pa.TxFrames != 1 || pb.RxFrames != 1 {
+		t.Fatalf("port stats tx=%d rx=%d", pa.TxFrames, pb.RxFrames)
+	}
+}
+
+func TestSwitchRebind(t *testing.T) {
+	s := NewSwitch()
+	old := &dev.Virt{Class: dev.VirtNet}
+	if _, err := s.AttachVirt("srv", old); err != nil {
+		t.Fatal(err)
+	}
+	newDev := &dev.Virt{Class: dev.VirtNet}
+	if err := s.Rebind("srv", newDev); err != nil {
+		t.Fatal(err)
+	}
+	if newDev.MAC != old.MAC {
+		t.Fatal("rebound device must keep the port MAC")
+	}
+	if old.SendFrame != nil {
+		t.Fatal("old device must be unplugged")
+	}
+	if newDev.SendFrame == nil {
+		t.Fatal("new device must be wired")
+	}
+	// Frames to the port's MAC now reach the new device.
+	newDev.WriteMem = func(addr uint64, data []byte) error { return nil }
+	newDev.PostRxBuffer(0x9000)
+	p, _ := hostTap(t, s, "probe")
+	p.Inject(MakeFrame(MAC(newDev.MAC), p.MAC, 1, 1, nil))
+	if newDev.RxFrames != 1 || old.RxFrames != 0 {
+		t.Fatalf("rebound rx=%d old rx=%d", newDev.RxFrames, old.RxFrames)
+	}
+	if err := s.Rebind("missing", newDev); err == nil {
+		t.Fatal("rebind of unknown port must fail")
+	}
+	if err := s.Rebind("probe", newDev); err == nil {
+		t.Fatal("rebind of a host port must fail")
+	}
+}
+
+func TestSwitchNATPort(t *testing.T) {
+	s := NewSwitch()
+	client, got := hostTap(t, s, "client")
+	nat, err := s.AttachNAT("gw", func(op, id uint32, payload []byte) []byte {
+		if op != 80 {
+			return nil
+		}
+		return append([]byte("resp:"), payload...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A request to the gateway comes back translated: src is the gateway's
+	// own MAC, never an outside address.
+	client.Inject(MakeFrame(nat.MAC, client.MAC, 80, 5, []byte("GET /")))
+	if len(*got) != 1 {
+		t.Fatalf("NAT answered %d times", len(*got))
+	}
+	resp := (*got)[0]
+	if Src(resp) != nat.MAC || Dst(resp) != client.MAC || ID(resp) != 5 {
+		t.Fatalf("translation src=%#x dst=%#x id=%d", Src(resp), Dst(resp), ID(resp))
+	}
+	if string(Payload(resp)) != "resp:GET /" {
+		t.Fatalf("payload %q", Payload(resp))
+	}
+	// Unknown op: the gateway stays silent.
+	client.Inject(MakeFrame(nat.MAC, client.MAC, 81, 6, nil))
+	if len(*got) != 1 {
+		t.Fatal("NAT must not answer unserved ops")
+	}
+	// Frames between guests never touch the gateway handler's reply path.
+	other, otherGot := hostTap(t, s, "other")
+	client.Inject(MakeFrame(other.MAC, client.MAC, 80, 7, nil))
+	if len(*otherGot) != 1 || len(*got) != 1 {
+		t.Fatalf("misrouted: other=%d client=%d", len(*otherGot), len(*got))
+	}
+}

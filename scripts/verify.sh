@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/isa/ ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/ ./internal/fault/ ./internal/fleet/ ./internal/kernel/
+go test -race ./internal/isa/ ./internal/trace/ ./internal/mmu/ ./internal/core/ ./internal/vhe/ ./internal/hv/ ./internal/fault/ ./internal/fleet/ ./internal/kernel/ ./internal/dev/ ./internal/net/
 
 # Migration conformance under the race detector: all 25 source→destination
 # backend pairs, mid-workload, compared against an unmigrated run.
@@ -52,6 +52,16 @@ go test -fuzz FuzzSnapshotFork -fuzztime 5s -run '^$' ./internal/hv/
 # block dispatch vs a single-step oracle: identical registers, flags,
 # cycles, and memory); the long-running variant is manual.
 go test -fuzz FuzzBlockCache -fuzztime 5s -run '^$' ./internal/isa/
+
+# Mid-flight virtio save/restore suite under the race detector: a request
+# migrated mid-transfer completes on the destination at source-elapsed +
+# destination-remaining cycles, an undrained completion's ISR agrees with
+# the migrated GIC state, and stats survive a migration chain counted once.
+go test -race -run 'TestMigrationVirt|TestMigrationHostWrites' -count=1 ./internal/hv/
+
+# Short switch-frame fuzz smoke (random frame interleavings vs a
+# sequential MAC-learning oracle); the long-running variant is manual.
+go test -fuzz FuzzSwitchFrames -fuzztime 5s -run '^$' ./internal/net/
 
 # Short overcommit-scheduling fuzz smoke (random quantum, overcommit
 # ratio, backend, arrival order and stagger vs the sequential oracle:
