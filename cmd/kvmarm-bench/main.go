@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, fleet, overcommit, traffic, faults, mips, stat")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table4, fig3, fig4, fig5, fig6, fig7, migrate, fleet, overcommit, traffic, chaos, faults, mips, stat")
 	root := flag.String("root", ".", "repository root (for table4 line counts)")
 	flag.Parse()
 
@@ -96,6 +96,13 @@ func main() {
 			fail(err)
 		}
 		bench.PrintTrafficMigrate(out, mrows)
+	}
+	if run("chaos") {
+		rows, err := bench.ChaosRows()
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintChaos(out, rows)
 	}
 	if run("faults") {
 		rows, err := bench.FaultRows()

@@ -6,7 +6,11 @@
 // p50/p99 round-trip latency for every backend, then repeats the scenario
 // while live-migrating the server to a fresh board mid-traffic — the
 // switch port is rebound to the destination NIC and the clients' retry
-// counters show what the cut-over cost.
+// counters show what the cut-over cost. A final chaos leg re-runs the
+// scenario under injected device and network faults — dead server clones
+// are re-forked by the fleet supervisor, lost and corrupted frames are
+// absorbed by checksums and bounded retry — and every run must end with
+// server state equal to a fault-free twin.
 //
 //	go run ./examples/webserver
 package main
@@ -39,4 +43,17 @@ func main() {
 		}
 	}
 	fmt.Println("\nevery migrated run finished with state equal to its unmigrated twin.")
+
+	fmt.Println("\nnow injecting device and network faults under self-healing ...")
+	crows, err := bench.ChaosRows()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.PrintChaos(os.Stdout, crows)
+	for _, r := range crows {
+		if !r.StateOK {
+			log.Fatalf("%s/%s: chaos run diverged from its fault-free twin", r.Backend, r.Fault)
+		}
+	}
+	fmt.Println("\nevery fault either healed in place (retry, checksum) or was re-forked by the fleet; all state equal.")
 }

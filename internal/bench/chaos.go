@@ -1,0 +1,434 @@
+// Chaos serving: the PR-9 traffic scenario run under injected runtime
+// faults with the fleet self-healing the damage. The server is a fleet
+// clone forked from a snapshot template ("srv0" on the switch); each fault
+// family — device MMIO errors, device bring-up failure, swallowed virtio
+// completions, frame drop/corrupt/delay, a port outage — is injected at
+// quarter-load into a fresh boot, and the harness supervises the fleet
+// while the clients drive traffic with bounded retry/backoff. Every row
+// reports the throughput and tail-latency degradation, what the recovery
+// layers saw (retries, detected corruptions, re-forks, recovery latency),
+// and whether the final server state equals a fault-free twin run.
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"kvmarm/internal/dev"
+	"kvmarm/internal/fault"
+	"kvmarm/internal/fleet"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/net"
+	"kvmarm/internal/trace"
+)
+
+const (
+	// chStallBudget is the fleet watchdog's no-progress window. Far above
+	// the slice quantum and any healthy poll gap, well below the clients'
+	// total retry budget — a stalled server is re-forked while its clients
+	// are still backing off.
+	chStallBudget = 500_000
+	// chSliceSteps is the board-run slice between Supervise calls;
+	// chMaxSlices bounds the whole run (no fault family may hang it).
+	chSliceSteps = 50_000
+	chMaxSlices  = 4000
+	// chWarmSteps bounds the fault-free warm-up to quarter-load.
+	chWarmSteps = 60_000_000
+	// chOutageCycles is the port-down window; chDelayCycles the armed
+	// per-frame delay. Both sit inside the clients' backoff budget.
+	chOutageCycles = 300_000
+	chDelayCycles  = 60_000
+	// chSeed seeds every chaos plane (deterministic fault schedules).
+	chSeed = 2014
+)
+
+// trClientCounters reads a traffic client's (done, retries, stale, failed)
+// words; shared by the traffic and chaos scenarios.
+func trClientCounters(vm hv.VM) (done, retries, stale, failed uint32) {
+	b, err := vm.ReadGuestMem(trVars, 16)
+	if err != nil {
+		return 0, 0, 0, 0
+	}
+	le := binary.LittleEndian
+	return le.Uint32(b), le.Uint32(b[4:]), le.Uint32(b[8:]), le.Uint32(b[12:])
+}
+
+// chaosNet is one booted chaos scenario: a fleet-backed server clone and N
+// client guests on one board, wired through a fault-capable switch.
+type chaosNet struct {
+	env      *hv.Env
+	sw       *net.Switch
+	fl       *fleet.Fleet
+	tracer   *trace.Tracer
+	clients  []hv.VM
+	rtts     []uint64
+	nclients int
+	requests int
+	// recoveries accumulates every Supervise re-fork across the run.
+	recoveries []fleet.Recovery
+}
+
+// server is the current srv0 clone (Supervise may have replaced it).
+func (cn *chaosNet) server() hv.VM { return cn.fl.Clones[0] }
+
+func (cn *chaosNet) doneSum() (sum uint32) {
+	for _, c := range cn.clients {
+		d, _, _, _ := trClientCounters(c)
+		sum += d
+	}
+	return sum
+}
+
+// clientsFinished reports whether every client powered off — after its
+// last request or after a bounded-retry give-up. Either way the run ends;
+// a hung client would mean the retry bound failed.
+func (cn *chaosNet) clientsFinished() bool {
+	for _, c := range cn.clients {
+		if c.VCPUs()[0].State() != "shutdown" {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosBoot boots the scenario: a server template captured into a fleet
+// snapshot (KeepPaused), one serving clone on switch port "srv0", and N
+// clients addressing the clone's MAC.
+func chaosBoot(be *hv.Backend, clients, requests int) (*chaosNet, error) {
+	env, err := be.NewEnv(trCPUs)
+	if err != nil {
+		return nil, err
+	}
+	cn := &chaosNet{env: env, nclients: clients, requests: requests}
+	env.Host.SetTimeSlice(obQuantum)
+	cn.tracer = trace.New(4096)
+	env.HV.AttachTracer(cn.tracer)
+
+	// Template server: runs long enough to post its first RX buffer, so
+	// every clone forks mid-serve-loop, then parks under the snapshot.
+	template, err := trBootVM(env, trServerProgram(), 0)
+	if err != nil {
+		return nil, err
+	}
+	// The predicate never fires: the step budget elapsing IS the warm-up.
+	env.Board.Run(20_000, func() bool { return false })
+
+	cn.sw = net.NewSwitch()
+	cn.sw.Tracer = cn.tracer
+	cn.sw.Fault = fault.New(chSeed)
+	cn.sw.Sched = func(delay uint64, fn func()) { env.Board.ScheduleAfter(delay, fn) }
+
+	cn.fl, err = fleet.New(env, template, fleet.Options{
+		Snapshot:    hv.SnapshotOptions{KeepPaused: true},
+		Network:     cn.sw,
+		NetPrefix:   "srv",
+		StallBudget: chStallBudget,
+		ConfigureVCPU: func(id int, v hv.VCPU) {
+			v.SetGuestSoftware(nil, &isa.Interp{})
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("capturing server template: %w", err)
+	}
+	if _, err := cn.fl.Fork(); err != nil {
+		return nil, fmt.Errorf("forking server clone: %w", err)
+	}
+	srvMAC := cn.sw.Port("srv0").MAC
+
+	cliProg := trClientProgram(requests)
+	for i := 0; i < clients; i++ {
+		vm, err := trBootVM(env, cliProg, i+1)
+		if err != nil {
+			return nil, err
+		}
+		nic := vm.Device(dev.VirtNet)
+		port, err := cn.sw.AttachVirt(fmt.Sprintf("cli%d", i), nic)
+		if err != nil {
+			return nil, err
+		}
+		payload := make([]byte, 4)
+		binary.LittleEndian.PutUint32(payload, uint32(i))
+		tmpl := net.MakeFrame(srvMAC, port.MAC, trOpReq, 0, payload)
+		if err := vm.WriteGuestMem(trTx, tmpl); err != nil {
+			return nil, err
+		}
+		sendT := map[uint32]uint64{}
+		nic.OnTxFrame = func(f []byte) {
+			if id := net.ID(f); id != 0 {
+				if _, seen := sendT[id]; !seen {
+					sendT[id] = env.Board.Now()
+				}
+			}
+		}
+		nic.OnRxDeliver = func(f []byte) {
+			if net.Op(f) != trOpResp {
+				return
+			}
+			if t0, seen := sendT[net.ID(f)]; seen {
+				cn.rtts = append(cn.rtts, env.Board.Now()-t0)
+				delete(sendT, net.ID(f))
+			}
+		}
+		cn.clients = append(cn.clients, vm)
+	}
+	return cn, nil
+}
+
+// chaosFamily is one fault family: a name and the injection applied at
+// quarter-load. A nil inject is the fault-free baseline (the twin).
+type chaosFamily struct {
+	name   string
+	inject func(cn *chaosNet) error
+}
+
+// chaosFamilies returns the fault catalog exercised by the chaos bench.
+func chaosFamilies() []chaosFamily {
+	return []chaosFamily{
+		{"baseline", nil},
+
+		// An MMIO register access on the server's NIC errors: the guest
+		// takes a data abort and dies on the spot (no abort recovery in
+		// these guests); Supervise re-forks the slot.
+		{"dev/mmio", func(cn *chaosNet) error {
+			pl := fault.New(chSeed + 1)
+			pl.Arm(fault.PtDevMMIO, fault.OnNth(1), fault.KindError)
+			cn.server().Device(dev.VirtNet).Fault = pl
+			return nil
+		}},
+
+		// Device bring-up fails during CreateVM: the typed error surfaces
+		// to the caller, whose retry succeeds. Running traffic is
+		// untouched — this is the boot-time face of the chaos plane.
+		{"dev/bringup", func(cn *chaosNet) error {
+			pl := fault.New(chSeed + 2)
+			pl.Arm(fault.PtDevBringup, fault.OnNth(1), fault.KindError)
+			cn.env.HV.AttachFaultPlane(pl)
+			if _, err := cn.env.HV.CreateVM(16 << 20); !fault.IsInjected(err) {
+				return fmt.Errorf("device bring-up fault not surfaced (err %v)", err)
+			}
+			if _, err := cn.env.HV.CreateVM(16 << 20); err != nil {
+				return fmt.Errorf("bring-up retry after injected failure: %w", err)
+			}
+			return nil
+		}},
+
+		// A virtio completion on the server's NIC is swallowed: the
+		// response frame never leaves, the request stays pending forever,
+		// and the watchdog's device-stall detection drives a re-fork.
+		{"dev/completion", func(cn *chaosNet) error {
+			pl := fault.New(chSeed + 3)
+			pl.Arm(fault.PtDevCompletion, fault.OnNth(1), fault.KindDrop)
+			cn.server().Device(dev.VirtNet).Fault = pl
+			return nil
+		}},
+
+		// Wire loss: ~1/8 of frames vanish. Client timeouts and bounded
+		// retry absorb it.
+		{"net/drop", func(cn *chaosNet) error {
+			cn.sw.Fault.Arm(fault.PtNetFrame, fault.WithProb(1, 8), fault.KindDrop)
+			return nil
+		}},
+
+		// Wire corruption: ~1/8 of frames get a bit flipped. The frame
+		// checksum catches every one before routing (no silent
+		// corruption); clients retry the lost requests.
+		{"net/corrupt", func(cn *chaosNet) error {
+			cn.sw.Fault.Arm(fault.PtNetFrame, fault.WithProb(1, 8), fault.KindCorrupt)
+			return nil
+		}},
+
+		// Wire delay: ~1/4 of frames are held for chDelayCycles — the
+		// p99 column is the point of this row.
+		{"net/delay", func(cn *chaosNet) error {
+			cn.sw.Fault.ArmDelay(fault.PtNetFrame, fault.WithProb(1, 4), chDelayCycles)
+			return nil
+		}},
+
+		// Port outage: the server's switch port goes down for
+		// chOutageCycles (both directions drop), then comes back. Client
+		// backoff rides it out; the FDB keeps its entries.
+		{"net/port-down", func(cn *chaosNet) error {
+			if err := cn.sw.SetPortDown("srv0", true); err != nil {
+				return err
+			}
+			cn.env.Board.ScheduleAfter(chOutageCycles, func() {
+				_ = cn.sw.SetPortDown("srv0", false)
+			})
+			return nil
+		}},
+	}
+}
+
+// ChaosRow is one backend × fault-family measurement.
+type ChaosRow struct {
+	Backend string
+	Fault   string
+	// Cycles spans the run; ReqPerSec counts completed requests at the
+	// modeled clock; P99 is the round-trip tail in cycles.
+	Cycles    uint64
+	ReqPerSec float64
+	P99       uint64
+	// Retries/Stale/Failed aggregate the clients' recovery counters
+	// (Failed counts clients that exhausted their retry bound).
+	Retries, Stale, Failed uint64
+	// CorruptDetected/InjectedDrops/PortDownDrops are the switch's typed
+	// loss counters; BusErrors counts injected-MMIO data aborts.
+	CorruptDetected, InjectedDrops, PortDownDrops uint64
+	BusErrors                                     uint64
+	// Recoveries counts Supervise re-forks; RecoveryCycles is the board
+	// time from injection to the first re-fork (0: none; granularity one
+	// supervision slice).
+	Recoveries     uint64
+	RecoveryCycles uint64
+	// StateOK: every client finished every request and the final server
+	// table equals the fault-free twin's.
+	StateOK bool
+}
+
+// runChaos drives one booted scenario through warm-up, injection and the
+// supervised run to completion, and fills the row's measurements (StateOK
+// is the caller's, who holds the twin).
+func runChaos(cn *chaosNet, fam chaosFamily) (ChaosRow, error) {
+	row := ChaosRow{Fault: fam.name}
+	total := uint32(cn.nclients * cn.requests)
+	start := cn.env.Board.Now()
+	step := 0
+	warm := func() bool {
+		step++
+		return step%256 == 0 && cn.doneSum() >= total/4
+	}
+	if !cn.env.Board.Run(chWarmSteps, warm) {
+		return row, fmt.Errorf("warm-up stalled at %d/%d requests", cn.doneSum(), total)
+	}
+	if fam.inject != nil {
+		if err := fam.inject(cn); err != nil {
+			return row, err
+		}
+	}
+	injectAt := cn.env.Board.Now()
+
+	fin := func() bool {
+		step++
+		return step%256 == 0 && cn.clientsFinished()
+	}
+	finished := false
+	for i := 0; i < chMaxSlices; i++ {
+		if finished = cn.env.Board.Run(chSliceSteps, fin); finished {
+			break
+		}
+		recs, err := cn.fl.Supervise()
+		if err != nil {
+			return row, err
+		}
+		if len(recs) > 0 && row.RecoveryCycles == 0 {
+			row.RecoveryCycles = cn.env.Board.Now() - injectAt
+		}
+		cn.recoveries = append(cn.recoveries, recs...)
+	}
+	if !finished {
+		return row, fmt.Errorf("%s: traffic never finished (%d/%d requests)", fam.name, cn.doneSum(), total)
+	}
+
+	row.Cycles = cn.env.Board.Now() - start
+	row.ReqPerSec = float64(cn.doneSum()) * trClockHz / float64(row.Cycles)
+	sort.Slice(cn.rtts, func(i, j int) bool { return cn.rtts[i] < cn.rtts[j] })
+	row.P99 = trPercentile(cn.rtts, 99)
+	for _, c := range cn.clients {
+		_, r, s, f := trClientCounters(c)
+		row.Retries += uint64(r)
+		row.Stale += uint64(s)
+		if f != 0 {
+			row.Failed++
+		}
+	}
+	row.CorruptDetected = cn.sw.DroppedCorrupt
+	row.InjectedDrops = cn.sw.DroppedInjected
+	row.PortDownDrops = cn.sw.DroppedPortDown
+	row.BusErrors = cn.tracer.Count(trace.EvGuestBusError)
+	row.Recoveries = cn.fl.Recoveries
+	return row, nil
+}
+
+// chaosStateOK checks the oracle: every client completed every request
+// with no give-up, and the server's table matches the twin's.
+func chaosStateOK(cn *chaosNet, twin []uint32) bool {
+	for _, c := range cn.clients {
+		d, _, _, f := trClientCounters(c)
+		if d != uint32(cn.requests) || f != 0 {
+			return false
+		}
+	}
+	table, err := trServerTable(cn.server(), cn.nclients)
+	if err != nil || len(table) != len(twin) {
+		return false
+	}
+	for i := range table {
+		if table[i] != twin[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosBackendRows runs every fault family on one backend, comparing each
+// run's final server table against the baseline (fault-free twin) run.
+func chaosBackendRows(be *hv.Backend, clients, requests int) ([]ChaosRow, error) {
+	var rows []ChaosRow
+	var twin []uint32
+	for _, fam := range chaosFamilies() {
+		cn, err := chaosBoot(be, clients, requests)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", be.Name, fam.name, err)
+		}
+		row, err := runChaos(cn, fam)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", be.Name, fam.name, err)
+		}
+		if fam.name == "baseline" {
+			if twin, err = trServerTable(cn.server(), clients); err != nil {
+				return nil, fmt.Errorf("%s/baseline: %w", be.Name, err)
+			}
+		}
+		row.Backend = be.Name
+		row.StateOK = chaosStateOK(cn, twin)
+		rows = append(rows, row)
+		runtime.GC()
+	}
+	return rows, nil
+}
+
+// ChaosRows measures every registered backend under every fault family.
+func ChaosRows() ([]ChaosRow, error) {
+	var rows []ChaosRow
+	for _, be := range hv.Backends() {
+		brows, err := chaosBackendRows(be, trClients, trRequests)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, brows...)
+	}
+	return rows, nil
+}
+
+// PrintChaos renders the chaos measurement as a text table.
+func PrintChaos(w io.Writer, rows []ChaosRow) {
+	fmt.Fprintf(w, "\nchaos: %d clients x %d requests, fault injected at quarter-load; state vs fault-free twin (latency in cycles @1.7GHz)\n",
+		trClients, trRequests)
+	fmt.Fprintf(w, "%-22s %-14s %9s %9s %6s %6s %5s %8s %6s %7s %6s %9s %6s\n",
+		"backend", "fault", "req/s", "p99", "retry", "stale", "fail",
+		"corrupt", "drops", "buserr", "refork", "rec-lat", "state")
+	for _, r := range rows {
+		state := "equal"
+		if !r.StateOK {
+			state = "FAIL"
+		}
+		fmt.Fprintf(w, "%-22s %-14s %9.0f %9d %6d %6d %5d %8d %6d %7d %6d %9d %6s\n",
+			r.Backend, r.Fault, r.ReqPerSec, r.P99, r.Retries, r.Stale, r.Failed,
+			r.CorruptDetected, r.InjectedDrops+r.PortDownDrops, r.BusErrors,
+			r.Recoveries, r.RecoveryCycles, state)
+	}
+}

@@ -31,10 +31,11 @@ const (
 	trRx   = trData          // RX buffer: [len:4][frame]
 	trTx   = trData + 0x1000 // TX frame (clients: host-written template)
 	trVars = trData + 0x2000 // server: per-client last-id table
-	//                          clients: +0 done, +4 retries, +8 stale
+	//                          clients: +0 done, +4 retries, +8 stale,
+	//                          +12 failed request id (0 = none)
 
-	// trFrameLen is a request/response frame: 24-byte header + one payload
-	// word carrying the client index.
+	// trFrameLen is a request/response frame: header + one payload word
+	// carrying the client index.
 	trFrameLen = net.HeaderSize + 4
 
 	// trOpReq/trOpResp: the one-op protocol. The server answers op with
@@ -47,9 +48,20 @@ const (
 	// trTimeout is the client's poll budget per request (one hypercall
 	// exit per iteration, several thousand cycles each) before it counts a
 	// retry and resends the same id — far beyond any contended round trip,
-	// so retries measure real frame loss (the migration cut-over), not
-	// scheduling jitter.
-	trTimeout = 400
+	// so retries measure real frame loss (the migration cut-over, a chaos
+	// fault), not scheduling jitter. Each consecutive timeout on one
+	// request doubles the budget (exponential backoff, clamped at
+	// trTimeoutMax) so a lossy or delayed link is given room instead of
+	// being hammered.
+	trTimeout    = 400
+	trTimeoutMax = trTimeout * 16
+
+	// trMaxRetries bounds the retries of a single request: past it the
+	// client records the failed id at trVars+12 and powers off. Giving up
+	// is what turns a permanently dead link into typed evidence (a "dead"
+	// clone for the fleet supervisor, a failed-id word for the harness)
+	// instead of an infinite poll loop.
+	trMaxRetries = 8
 
 	// trClients × trRequests requests per run on a trCPUs-CPU board.
 	trClients  = 3
@@ -124,18 +136,24 @@ func trServerProgram() []uint32 {
 
 // trClientProgram: for id = 1..requests — patch the id into the
 // host-written template, post the RX buffer, send, and poll. A poll budget
-// overrun counts a retry and resends the same id; a frame that is not this
-// request's response (wrong op: an early flooded request; wrong id: a
-// duplicate answer to a retried request) counts as stale and polling
-// continues. Requests done, it reports and powers off.
+// overrun counts a retry, doubles the budget (clamped at trTimeoutMax) and
+// resends the same id — up to trMaxRetries times, after which the client
+// records the failed id and powers off rather than spin forever. A frame
+// that is not this request's response (wrong op: an early flooded request;
+// wrong id: a duplicate answer to a retried request) counts as stale and
+// polling continues. Requests done, it reports and powers off.
 func trClientProgram(requests int) []uint32 {
 	return isa.NewAsm(machine.RAMBase).
 		MOV32(isa.R11, machine.VirtNetBase).
 		MOV32(isa.R4, trRx).
 		MOV32(isa.R5, trTx).
 		MOV32(isa.R6, trVars).
-		MOVW(isa.R7, 1). // request id
-		Label("next").
+		MOVW(isa.R3, trTimeoutMax). // backoff clamp
+		MOVW(isa.R7, 1).            // request id
+		Label("fresh").             // new id: reset backoff and retry count
+		MOVW(isa.R9, trTimeout).
+		MOVW(isa.R10, 0).
+		Label("next"). // (re)send the current id
 		STR(isa.R7, isa.R5, net.OffID).
 		MOVW(isa.R0, 0).
 		STR(isa.R0, isa.R4, trBufLen).
@@ -143,19 +161,29 @@ func trClientProgram(requests int) []uint32 {
 		STR(isa.R5, isa.R11, dev.VirtTxAddr).
 		MOVW(isa.R0, trFrameLen).
 		STR(isa.R0, isa.R11, dev.VirtTxLen).
-		MOVW(isa.R8, 0). // poll budget
+		MOVW(isa.R8, 0). // poll counter
 		Label("poll").
 		HVC(1).
 		LDR(isa.R0, isa.R4, trBufLen).
 		CMPI(isa.R0, 0).
 		BNE("got").
 		ADDI(isa.R8, isa.R8, 1).
-		CMPI(isa.R8, trTimeout).
+		CMP(isa.R8, isa.R9).
 		BNE("poll").
-		LDR(isa.R0, isa.R6, 4). // timeout: retries++, resend same id
+		LDR(isa.R0, isa.R6, 4). // timeout: retries++
 		ADDI(isa.R0, isa.R0, 1).
 		STR(isa.R0, isa.R6, 4).
+		ADDI(isa.R10, isa.R10, 1). // bounded: give up past trMaxRetries
+		CMPI(isa.R10, trMaxRetries).
+		BEQ("fail").
+		ADD(isa.R9, isa.R9, isa.R9). // exponential backoff, clamped
+		CMP(isa.R9, isa.R3).
+		BLT("next").
+		MOV(isa.R9, isa.R3).
 		B("next").
+		Label("fail"). // typed give-up: record the id, power off
+		STR(isa.R7, isa.R6, 12).
+		HVC(kernel.PSCISystemOff).
 		Label("got").
 		LDR(isa.R0, isa.R4, trBufOp).
 		CMPI(isa.R0, trOpResp).
@@ -176,7 +204,7 @@ func trClientProgram(requests int) []uint32 {
 		STR(isa.R7, isa.R6, 0). // done high-water mark
 		ADDI(isa.R7, isa.R7, 1).
 		CMPI(isa.R7, uint16(requests+1)).
-		BNE("next").
+		BNE("fresh").
 		HVC(kernel.PSCISystemOff).
 		MustAssemble()
 }
@@ -291,19 +319,20 @@ func trBoot(be *hv.Backend, clients, requests int) (*trafficNet, error) {
 	return tn, nil
 }
 
-// counters reads one client's (done, retries, stale) triple.
-func (tn *trafficNet) counters(i int) (done, retries, stale uint32) {
-	b, err := tn.clients[i].ReadGuestMem(trVars, 12)
+// counters reads one client's (done, retries, stale, failed) words;
+// failed is the request id the client gave up on (0: none).
+func (tn *trafficNet) counters(i int) (done, retries, stale, failed uint32) {
+	b, err := tn.clients[i].ReadGuestMem(trVars, 16)
 	if err != nil {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
 	le := binary.LittleEndian
-	return le.Uint32(b), le.Uint32(b[4:]), le.Uint32(b[8:])
+	return le.Uint32(b), le.Uint32(b[4:]), le.Uint32(b[8:]), le.Uint32(b[12:])
 }
 
 func (tn *trafficNet) doneSum() (sum uint32) {
 	for i := range tn.clients {
-		d, _, _ := tn.counters(i)
+		d, _, _, _ := tn.counters(i)
 		sum += d
 	}
 	return sum
@@ -370,7 +399,7 @@ func runTraffic(tn *trafficNet, clients, requests int) (TrafficRow, error) {
 	}
 	row.Cycles = tn.env.Board.Now() - start
 	for i := range tn.clients {
-		d, r, s := tn.counters(i)
+		d, r, s, _ := tn.counters(i)
 		if d != uint32(requests) {
 			return row, fmt.Errorf("client %d finished %d/%d requests", i, d, requests)
 		}
@@ -515,7 +544,7 @@ func runTrafficMigrate(be *hv.Backend, refTable []uint32) (TrafficMigrateRow, er
 
 	row.StateOK = true
 	for i := range tn.clients {
-		d, r, s := tn.counters(i)
+		d, r, s, _ := tn.counters(i)
 		if d != uint32(trRequests) {
 			row.StateOK = false
 		}

@@ -120,6 +120,11 @@ func (k *KVM) AttachFaultPlane(p *fault.Plane) {
 	k.Fault = p
 	for _, vm := range k.vms {
 		vm.S2.Fault = p
+		for _, d := range []*dev.Virt{vm.Net, vm.Blk, vm.Con} {
+			if d != nil {
+				d.Fault = p
+			}
+		}
 	}
 }
 
@@ -300,9 +305,13 @@ func (k *KVM) CreateVM(memBytes uint64) (hv.VM, error) {
 	// unmodified guest kernel discovers them at the same addresses.
 	// Virtio block and network are emulated in QEMU (user space); the
 	// console UART too.
+	if err := k.Fault.Fail(fault.PtDevBringup); err != nil {
+		return nil, fmt.Errorf("core: device bring-up for vm %d: %w", vm.VMID, err)
+	}
 	vm.Net, vm.Blk, vm.Con = hv.StandardDevices(k.Board, vm, func(irq int, level bool) {
 		vm.VDist.InjectSPI(irq, level)
 	}, &vm.Console)
+	vm.Net.Fault, vm.Blk.Fault, vm.Con.Fault = k.Fault, k.Fault, k.Fault
 
 	k.vms = append(k.vms, vm)
 	return vm, nil

@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+
+	"kvmarm/internal/fault"
 )
 
 // Virtio-style paravirtual device (§3.4: KVM/ARM reuses Virtio for I/O
@@ -129,6 +131,11 @@ type Virt struct {
 	// OnRxDeliver when a frame lands in the guest's RX buffer.
 	OnTxFrame   func(frame []byte)
 	OnRxDeliver func(frame []byte)
+	// Fault, when set, is consulted on every guest register access
+	// (PtDevMMIO: an injected error surfaces as a data abort) and on every
+	// request submission (PtDevCompletion: a KindDrop fault leaves the
+	// request pending forever — the stall the runtime watchdog detects).
+	Fault *fault.Plane
 
 	isr uint64
 	// pending tracks in-flight requests (kicked, completion not yet fired)
@@ -169,6 +176,9 @@ func (v *Virt) AccessCycles() uint64 { return 35 }
 // like writes: on the native bus path the error becomes a guest data abort,
 // and the hv user-space path documents its own RAZ policy (hv.VirtMMIO).
 func (v *Virt) ReadReg(offset uint64, size int) (uint64, error) {
+	if err := v.Fault.Fail(fault.PtDevMMIO); err != nil {
+		return 0, fmt.Errorf("%s: read of register %#x: %w", v.Name(), offset, err)
+	}
 	switch offset {
 	case VirtISR:
 		s := v.isr
@@ -197,6 +207,9 @@ func (v *Virt) ReadReg(offset uint64, size int) (uint64, error) {
 
 // WriteReg implements bus.Device.
 func (v *Virt) WriteReg(offset uint64, size int, val uint64) error {
+	if err := v.Fault.Fail(fault.PtDevMMIO); err != nil {
+		return fmt.Errorf("%s: write to register %#x: %w", v.Name(), offset, err)
+	}
 	switch offset {
 	case VirtQueueNotify:
 		v.Kick(val)
@@ -354,6 +367,12 @@ func (v *Virt) queue(n uint64, frame []byte, lat uint64) {
 	id := v.nextReq
 	v.nextReq++
 	v.pending[id] = &pendingReq{bytes: n, frame: frame, deadline: deadline}
+	if v.Fault.Drop(fault.PtDevCompletion) {
+		// Completion stall: the request stays pending (its deadline intact,
+		// so OldestPendingDeadline exposes the overdue entry to the runtime
+		// watchdog) but its completion is never scheduled.
+		return
+	}
 	epoch := v.epoch
 	complete := func() {
 		if v.epoch != epoch {
@@ -396,6 +415,23 @@ func (v *Virt) Drain() []Completion {
 
 // PendingCount reports the in-flight requests (tests and tooling).
 func (v *Virt) PendingCount() int { return len(v.pending) }
+
+// OldestPendingDeadline returns the earliest completion deadline among
+// in-flight requests, and whether any exist. A deadline far in the past is
+// the signature of a stalled device: the completion should have fired and
+// did not (the runtime watchdog's detection criterion).
+func (v *Virt) OldestPendingDeadline() (uint64, bool) {
+	if len(v.pending) == 0 {
+		return 0, false
+	}
+	oldest, first := uint64(math.MaxUint64), false
+	for _, req := range v.pending {
+		if !first || req.deadline < oldest {
+			oldest, first = req.deadline, true
+		}
+	}
+	return oldest, true
+}
 
 // PendingState is one in-flight request in migratable form. Remaining is
 // the latency still to be served at save time — the destination charges

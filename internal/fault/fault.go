@@ -65,6 +65,27 @@ const (
 	PtMappedPages Point = "migrate/mapped-pages"
 	PtVCPUCreate  Point = "migrate/vcpu-create"
 	PtVCPUStart   Point = "migrate/vcpu-start"
+
+	// Runtime chaos points: faults into a *running* guest rather than a
+	// migration in flight. They live in a separate catalog (ChaosPoints)
+	// because the migration fault matrix requires every Points() entry to
+	// abort a migration, which these do not touch.
+	//
+	// internal/dev (virtio model): a KindError fault makes ReadReg/WriteReg
+	// return an injected error on an otherwise-valid register access — the
+	// hv user-space MMIO path converts it into a guest data abort.
+	PtDevMMIO Point = "dev/mmio"
+	// Backends: device bring-up during CreateVM fails (a board whose NIC
+	// never probes).
+	PtDevBringup Point = "dev/bringup"
+	// internal/dev: a KindDrop fault makes a kicked request's completion
+	// never fire — the request stays pending forever, which is what the
+	// runtime watchdog's device-stall detection exists to catch.
+	PtDevCompletion Point = "dev/completion-stall"
+	// internal/net (software switch): per-frame network faults — KindDrop
+	// loses the frame, KindCorrupt flips a bit (caught by the frame
+	// checksum at egress), KindDelay parks it for the armed delay.
+	PtNetFrame Point = "net/frame"
 )
 
 // Points lists the catalog in a stable order (table-driven tests and the
@@ -77,6 +98,13 @@ func Points() []Point {
 		PtRegSave, PtRegRestore, PtMappedPages,
 		PtVCPUCreate, PtVCPUStart,
 	}
+}
+
+// ChaosPoints lists the runtime chaos catalog in a stable order. Kept
+// apart from Points: every migration point must abort a migration when
+// armed, while chaos points fire during normal execution.
+func ChaosPoints() []Point {
+	return []Point{PtDevMMIO, PtDevBringup, PtDevCompletion, PtNetFrame}
 }
 
 // Kind classifies what happens when a fault fires.
@@ -95,6 +123,14 @@ const (
 	// it behaves like KindError but keeps the device-failure scenario
 	// distinct in logs and tables.
 	KindDeviceFail
+	// KindDrop discards the consulted unit of work: a network frame is
+	// lost in the switch, a virtio completion never fires. Only chaos
+	// points consult it.
+	KindDrop
+	// KindDelay holds the consulted unit of work for the armed number of
+	// cycles (ArmDelay) before letting it proceed. Only chaos points
+	// consult it.
+	KindDelay
 	// NumKinds is the number of fault kinds (fuzzer modulus).
 	NumKinds
 )
@@ -104,6 +140,8 @@ var kindNames = [NumKinds]string{
 	KindCorrupt:    "corrupt",
 	KindStuck:      "stuck",
 	KindDeviceFail: "device-fail",
+	KindDrop:       "drop",
+	KindDelay:      "delay",
 }
 
 func (k Kind) String() string {
@@ -116,11 +154,16 @@ func (k Kind) String() string {
 // Trigger is a firing schedule over a point's hit counter.
 type Trigger struct {
 	// Nth fires on the Nth hit of the point, 1-based. Zero never fires
-	// (unless Every is set).
+	// (unless Every or ProbDen is set).
 	Nth uint64
 	// Every additionally fires on every Every-th hit at or after Nth
 	// (Nth, Nth+Every, Nth+2*Every, ...). Zero means fire only once.
 	Every uint64
+	// ProbNum/ProbDen, when ProbDen != 0, fire each hit independently
+	// with probability ProbNum/ProbDen, decided by an xorshift stream
+	// seeded from the plane seed and the hit count — deterministic per
+	// seed, so "drop ~1% of frames" replays byte-identically.
+	ProbNum, ProbDen uint64
 }
 
 // OnNth fires exactly once, on the n-th hit.
@@ -129,8 +172,16 @@ func OnNth(n uint64) Trigger { return Trigger{Nth: n} }
 // EveryNth fires on every n-th hit (n, 2n, 3n, ...).
 func EveryNth(n uint64) Trigger { return Trigger{Nth: n, Every: n} }
 
-// fires reports whether the schedule selects hit number h (1-based).
-func (tr Trigger) fires(h uint64) bool {
+// WithProb fires each hit independently with probability num/den, seeded
+// off the plane (deterministic for a fixed seed).
+func WithProb(num, den uint64) Trigger { return Trigger{ProbNum: num, ProbDen: den} }
+
+// fires reports whether the schedule selects hit number h (1-based) on a
+// plane with the given seed.
+func (tr Trigger) fires(seed, h uint64) bool {
+	if tr.ProbDen != 0 {
+		return xorshift(seed^(h*0xA24BAED4963EE407))%tr.ProbDen < tr.ProbNum
+	}
 	if tr.Nth == 0 && tr.Every == 0 {
 		return false
 	}
@@ -183,7 +234,8 @@ type Injection struct {
 type rule struct {
 	trig    Trigger
 	kind    Kind
-	latched bool // KindStuck stays on once triggered
+	latched bool   // KindStuck stays on once triggered
+	arg     uint64 // KindDelay: hold duration in cycles
 }
 
 // Plane is the injection plane: armed rules, per-point hit counters, and
@@ -224,6 +276,17 @@ func (p *Plane) Arm(pt Point, tr Trigger, k Kind) {
 	}
 	p.mu.Lock()
 	p.rules[pt] = append(p.rules[pt], &rule{trig: tr, kind: k})
+	p.mu.Unlock()
+}
+
+// ArmDelay installs a KindDelay fault at pt on schedule tr: each firing
+// hit reports a hold of the given number of cycles via Delay.
+func (p *Plane) ArmDelay(pt Point, tr Trigger, cycles uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.rules[pt] = append(p.rules[pt], &rule{trig: tr, kind: KindDelay, arg: cycles})
 	p.mu.Unlock()
 }
 
@@ -299,7 +362,7 @@ func (p *Plane) consult(pt Point, accept ...Kind) (*rule, uint64) {
 		if !ok {
 			continue
 		}
-		if r.latched || r.trig.fires(h) {
+		if r.latched || r.trig.fires(p.seed, h) {
 			if r.kind == KindStuck {
 				r.latched = true
 			}
@@ -341,6 +404,29 @@ func (p *Plane) Corrupt(pt Point, data []byte) bool {
 	x := xorshift(p.seed ^ (h * 0x9E3779B97F4A7C15))
 	data[x%uint64(len(data))] ^= 1 << (x >> 17 % 8)
 	return true
+}
+
+// Drop consults pt for a KindDrop fault: true means the caller must
+// discard the unit of work in flight (frame, completion).
+func (p *Plane) Drop(pt Point) bool {
+	if p == nil {
+		return false
+	}
+	r, _ := p.consult(pt, KindDrop)
+	return r != nil
+}
+
+// Delay consults pt for a KindDelay fault; if one fires it returns the
+// armed hold in cycles and true.
+func (p *Plane) Delay(pt Point) (uint64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	r, _ := p.consult(pt, KindDelay)
+	if r == nil {
+		return 0, false
+	}
+	return r.arg, true
 }
 
 // Stuck consults pt for a KindStuck fault: true means the caller must

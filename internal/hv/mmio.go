@@ -1,6 +1,9 @@
 package hv
 
-import "kvmarm/internal/dev"
+import (
+	"kvmarm/internal/dev"
+	"kvmarm/internal/fault"
+)
 
 // MMIORegion is one registered emulated-device window.
 type MMIORegion struct {
@@ -30,6 +33,35 @@ func (rs Regions) Find(ipa uint64) (*MMIORegion, uint64) {
 	return nil, 0
 }
 
+// MMIOFallible is the optional error-propagating face of an MMIOHandler.
+// Handlers that implement it can report an access failure the backend must
+// deliver to the guest as a data abort (an injected device error); plain
+// handlers keep their infallible RAZ/WI semantics. Backends dispatch
+// through MMIORead/MMIOWrite so both kinds route uniformly.
+type MMIOFallible interface {
+	ReadErr(v VCPU, off uint64, size int) (uint64, error)
+	WriteErr(v VCPU, off uint64, size int, val uint64) error
+}
+
+// MMIORead dispatches a user-region MMIO read, preferring the fallible
+// face when the handler has one.
+func MMIORead(h MMIOHandler, v VCPU, off uint64, size int) (uint64, error) {
+	if f, ok := h.(MMIOFallible); ok {
+		return f.ReadErr(v, off, size)
+	}
+	return h.Read(v, off, size), nil
+}
+
+// MMIOWrite dispatches a user-region MMIO write, preferring the fallible
+// face when the handler has one.
+func MMIOWrite(h MMIOHandler, v VCPU, off uint64, size int, val uint64) error {
+	if f, ok := h.(MMIOFallible); ok {
+		return f.WriteErr(v, off, size, val)
+	}
+	h.Write(v, off, size, val)
+	return nil
+}
+
 // VirtMMIO adapts a dev.Virt to the VM MMIO interface (QEMU's device
 // model: same register layout as the physical board's).
 type VirtMMIO struct{ D *dev.Virt }
@@ -48,6 +80,26 @@ func (m *VirtMMIO) Read(v VCPU, off uint64, size int) uint64 {
 
 func (m *VirtMMIO) Write(v VCPU, off uint64, size int, val uint64) {
 	_ = m.D.WriteReg(off, size, val)
+}
+
+// ReadErr implements MMIOFallible: only *injected* device errors (the
+// chaos plane's PtDevMMIO) propagate, becoming a guest data abort in the
+// backend. Unknown-register errors keep the documented RAZ policy — the
+// guest sees zero, exactly as before the chaos plane existed.
+func (m *VirtMMIO) ReadErr(v VCPU, off uint64, size int) (uint64, error) {
+	val, err := m.D.ReadReg(off, size)
+	if err != nil && fault.IsInjected(err) {
+		return 0, err
+	}
+	return val, nil
+}
+
+// WriteErr implements MMIOFallible; see ReadErr for the error policy.
+func (m *VirtMMIO) WriteErr(v VCPU, off uint64, size int, val uint64) error {
+	if err := m.D.WriteReg(off, size, val); err != nil && fault.IsInjected(err) {
+		return err
+	}
+	return nil
 }
 
 // UARTMMIO is the emulated console UART; output accumulates in *Console.

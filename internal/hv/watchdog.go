@@ -1,0 +1,216 @@
+package hv
+
+import (
+	"fmt"
+
+	"kvmarm/internal/dev"
+	"kvmarm/internal/trace"
+)
+
+// This file is the runtime liveness layer: the park watchdog the migration
+// engine always had, generalized so any harness can detect a vCPU or
+// device that stopped making progress during *normal* execution — a guest
+// spinning on a response that was dropped on the wire, a virtio request
+// whose completion a chaos fault swallowed. Detection is purely
+// observational (architectural progress counters and completion
+// deadlines), so it works identically on every backend.
+
+// StallError reports one stalled execution unit found by the runtime
+// watchdog. Exactly one of VCPU >= 0 or Device != "" identifies the unit.
+type StallError struct {
+	// VM is the VMID of the stalled VM.
+	VM uint8
+	// VCPU is the stalled vCPU index, or -1 when the stall is a device's.
+	VCPU int
+	// Device names the stalled device ("virtio-net", ...), "" for vCPUs.
+	Device string
+	// NoProgress is the observed no-progress window in cycles: time since
+	// the vCPU last retired an instruction, or time a virtio completion is
+	// overdue past its deadline.
+	NoProgress uint64
+}
+
+func (e *StallError) Error() string {
+	if e.Device != "" {
+		return fmt.Sprintf("hv: watchdog: vm %d device %s stalled (completion %d cycles overdue)",
+			e.VM, e.Device, e.NoProgress)
+	}
+	return fmt.Sprintf("hv: watchdog: vm %d vcpu %d stalled (%d cycles without progress)",
+		e.VM, e.VCPU, e.NoProgress)
+}
+
+// RuntimeWatchdog detects stalled vCPUs and devices across a set of
+// watched VMs. A vCPU stalls when it retires no guest instructions over
+// the budget while in a runnable state (a WFI wait counts as stalled too:
+// a healthy guest in this codebase either polls or sleeps in short timer
+// ticks, so a WFI older than the budget means the wakeup interrupt is
+// lost). A device stalls when its oldest in-flight virtio completion is
+// overdue by more than the budget. Paused and shut-down vCPUs are
+// exempted — both are deliberate states.
+type RuntimeWatchdog struct {
+	env *Env
+	// Budget is the no-progress window in cycles before a unit is
+	// declared stalled.
+	Budget uint64
+	// Tracer, when set, receives one EvWatchdogStall event per detection.
+	Tracer *trace.Tracer
+
+	watched []*watchedVM
+}
+
+// watchedVM is the per-VM progress ledger.
+type watchedVM struct {
+	vm    VM
+	insns []uint64 // last observed GuestInsns per vCPU
+	seen  []uint64 // cycle time progress was last observed per vCPU
+}
+
+// NewRuntimeWatchdog creates a watchdog over env's board clock with the
+// given no-progress budget in cycles.
+func NewRuntimeWatchdog(env *Env, budget uint64) *RuntimeWatchdog {
+	return &RuntimeWatchdog{env: env, Budget: budget}
+}
+
+// Watch adds vm to the watch set, starting its progress clock now.
+func (w *RuntimeWatchdog) Watch(vm VM) {
+	now := w.env.Board.Now()
+	vcpus := vm.VCPUs()
+	wv := &watchedVM{
+		vm:    vm,
+		insns: make([]uint64, len(vcpus)),
+		seen:  make([]uint64, len(vcpus)),
+	}
+	for i, v := range vcpus {
+		wv.insns[i] = v.ExitStats().GuestInsns
+		wv.seen[i] = now
+	}
+	w.watched = append(w.watched, wv)
+}
+
+// Unwatch removes vm from the watch set.
+func (w *RuntimeWatchdog) Unwatch(vm VM) {
+	for i, wv := range w.watched {
+		if wv.vm == vm {
+			w.watched = append(w.watched[:i], w.watched[i+1:]...)
+			return
+		}
+	}
+}
+
+// Check scans every watched VM once and returns the stalls found (nil when
+// all healthy). Call it periodically between board-run slices; each call
+// also refreshes the progress ledger, so detection latency is at most one
+// check interval past the budget.
+func (w *RuntimeWatchdog) Check() []*StallError {
+	var stalls []*StallError
+	now := w.env.Board.Now()
+	for _, wv := range w.watched {
+		for i, v := range wv.vm.VCPUs() {
+			if i >= len(wv.insns) {
+				break
+			}
+			switch v.State() {
+			case "paused", "shutdown":
+				// Deliberate states: keep the clock fresh so resuming
+				// does not instantly trip the budget.
+				wv.seen[i] = now
+				continue
+			}
+			if insns := v.ExitStats().GuestInsns; insns != wv.insns[i] {
+				wv.insns[i] = insns
+				wv.seen[i] = now
+				continue
+			}
+			if gap := now - wv.seen[i]; gap > w.Budget {
+				stalls = append(stalls, w.report(&StallError{
+					VM: wv.vm.ID(), VCPU: i, NoProgress: gap,
+				}))
+			}
+		}
+		for _, class := range []dev.VirtClass{dev.VirtNet, dev.VirtBlock, dev.VirtConsole} {
+			d := wv.vm.Device(class)
+			if d == nil {
+				continue
+			}
+			if dl, ok := d.OldestPendingDeadline(); ok && now > dl && now-dl > w.Budget {
+				stalls = append(stalls, w.report(&StallError{
+					VM: wv.vm.ID(), VCPU: -1, Device: d.Name(), NoProgress: now - dl,
+				}))
+			}
+		}
+	}
+	return stalls
+}
+
+// report emits the stall's trace event and passes it through.
+func (w *RuntimeWatchdog) report(s *StallError) *StallError {
+	vcpu := int16(s.VCPU)
+	w.Tracer.Emit(trace.Event{
+		Kind: trace.EvWatchdogStall, VM: s.VM, VCPU: vcpu, CPU: -1,
+		Arg: s.NoProgress,
+	})
+	return s
+}
+
+// ParkWatch is the migration park-watchdog, extracted so any pause path
+// can use it: it snapshots each vCPU's exit count when the pause request
+// is issued and declares a vCPU stuck once it keeps taking exits past the
+// limit without parking — the signature of a dropped park request
+// (PtVCPUPark fault). Use Watch as a Board.Run predicate.
+type ParkWatch struct {
+	vcpus   []VCPU
+	exitsAt []uint64
+	limit   uint64
+	stuck   int
+}
+
+// NewParkWatch snapshots the exit counters of vcpus; limit is the number
+// of post-pause exits after which a still-running vCPU is declared stuck
+// (ParkStuckExits is the migration default). Call before issuing Pause.
+func NewParkWatch(vcpus []VCPU, limit uint64) *ParkWatch {
+	w := &ParkWatch{vcpus: vcpus, exitsAt: make([]uint64, len(vcpus)), limit: limit, stuck: -1}
+	for i, v := range vcpus {
+		if v.State() != "shutdown" {
+			w.exitsAt[i] = v.ExitStats().Exits
+		}
+	}
+	return w
+}
+
+// Parked reports whether every vCPU is paused or shut down.
+func (w *ParkWatch) Parked() bool {
+	for _, v := range w.vcpus {
+		if !v.Paused() && v.State() != "shutdown" {
+			return false
+		}
+	}
+	return true
+}
+
+// Watch is the Board.Run predicate: stop when everything parked or some
+// vCPU is provably stuck.
+func (w *ParkWatch) Watch() bool {
+	if w.Parked() {
+		return true
+	}
+	for i, v := range w.vcpus {
+		if v.Paused() || v.State() == "shutdown" {
+			continue
+		}
+		if v.ExitStats().Exits-w.exitsAt[i] >= w.limit {
+			w.stuck = i
+			return true
+		}
+	}
+	return false
+}
+
+// Stuck returns the stuck vCPU and its post-pause exit count, if Watch
+// declared one.
+func (w *ParkWatch) Stuck() (VCPU, uint64, bool) {
+	if w.stuck < 0 {
+		return nil, 0, false
+	}
+	v := w.vcpus[w.stuck]
+	return v, v.ExitStats().Exits - w.exitsAt[w.stuck], true
+}

@@ -1,0 +1,197 @@
+// Runtime watchdog conformance: a vCPU that stops retiring instructions
+// outside a deliberate paused/shutdown state must be reported as stalled,
+// a healthy vCPU must not, and a virtio request whose completion was
+// swallowed by a chaos fault must surface as a device stall. Identical on
+// every backend — the watchdog only reads architectural progress counters
+// and completion deadlines.
+package hv_test
+
+import (
+	"testing"
+
+	_ "kvmarm" // registers the ARM and x86 backends
+	"kvmarm/internal/dev"
+	"kvmarm/internal/fault"
+	"kvmarm/internal/hv"
+	"kvmarm/internal/isa"
+	"kvmarm/internal/machine"
+	"kvmarm/internal/trace"
+)
+
+// wdBudget is the no-progress window used by these tests, far above any
+// legitimate inter-exit gap of the busy guest.
+const wdBudget = 150_000
+
+// wdBusyProgram spins forever, hypercalling each iteration so the vCPU
+// keeps taking exits and retiring instructions.
+func wdBusyProgram() []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		Label("loop").
+		ADDI(isa.R2, isa.R2, 1).
+		HVC(1).
+		B("loop").
+		MustAssemble()
+}
+
+// wdSleepProgram executes WFI with no wakeup source ever — the lost-IRQ
+// stall the watchdog is designed to catch.
+func wdSleepProgram() []uint32 {
+	return isa.NewAsm(machine.RAMBase).
+		Label("sleep").
+		WFI().
+		B("sleep").
+		MustAssemble()
+}
+
+func wdBootVM(t *testing.T, env *hv.Env, prog []uint32, hostCPU int) hv.VM {
+	t.Helper()
+	vm, err := env.HV.CreateVM(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.CreateVCPU(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WriteGuestMem(machine.RAMBase, progBytes(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetOneReg(hv.RegPC, machine.RAMBase); err != nil {
+		t.Fatal(err)
+	}
+	v.SetGuestSoftware(nil, &isa.Interp{})
+	if _, err := v.StartThread(hostCPU); err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+// wdRunPast drives the board until at least cycles board-cycles elapse.
+func wdRunPast(t *testing.T, env *hv.Env, cycles uint64) {
+	t.Helper()
+	deadline := env.Board.Now() + cycles
+	if !env.Board.Run(50_000_000, func() bool { return env.Board.Now() >= deadline }) {
+		t.Fatalf("board stopped before cycle deadline (now=%d want>=%d)",
+			env.Board.Now(), deadline)
+	}
+}
+
+func TestRuntimeWatchdog(t *testing.T) {
+	for _, be := range hv.Backends() {
+		be := be
+		t.Run(be.Name, func(t *testing.T) {
+			env, err := be.NewEnv(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := trace.New(256)
+			env.HV.AttachTracer(tr)
+			busy := wdBootVM(t, env, wdBusyProgram(), 0)
+			sleeper := wdBootVM(t, env, wdSleepProgram(), 1)
+
+			wd := hv.NewRuntimeWatchdog(env, wdBudget)
+			wd.Tracer = tr
+			wd.Watch(busy)
+			wd.Watch(sleeper)
+
+			// Within the budget: nothing to report.
+			wdRunPast(t, env, wdBudget/2)
+			if stalls := wd.Check(); len(stalls) != 0 {
+				t.Fatalf("premature stall report: %v", stalls[0])
+			}
+
+			// Past the budget: the WFI'd guest is stalled, the busy one is
+			// not.
+			wdRunPast(t, env, wdBudget*2)
+			stalls := wd.Check()
+			if len(stalls) != 1 {
+				t.Fatalf("got %d stalls, want 1: %v", len(stalls), stalls)
+			}
+			s := stalls[0]
+			if s.VM != sleeper.ID() || s.VCPU != 0 || s.Device != "" {
+				t.Fatalf("wrong unit flagged: %v", s)
+			}
+			if s.NoProgress <= wdBudget {
+				t.Fatalf("NoProgress %d not past budget %d", s.NoProgress, wdBudget)
+			}
+			if s.Error() == "" {
+				t.Fatal("empty error string")
+			}
+
+			// Deliberate pauses are exempt: park the sleeper and the report
+			// clears.
+			for _, v := range sleeper.VCPUs() {
+				v.Pause()
+				v.Wake(0)
+			}
+			wdRunPast(t, env, wdBudget*2)
+			if !sleeper.VCPUs()[0].Paused() {
+				t.Fatal("sleeper did not park")
+			}
+			if stalls := wd.Check(); len(stalls) != 0 {
+				t.Fatalf("paused vCPU flagged: %v", stalls[0])
+			}
+
+			// Device stall: swallow a virtio completion on the busy VM's NIC
+			// and the overdue deadline surfaces as a device StallError.
+			nic := busy.Device(dev.VirtNet)
+			if nic == nil {
+				t.Fatal("busy VM has no virtio-net")
+			}
+			pl := fault.New(3)
+			pl.Arm(fault.PtDevCompletion, fault.EveryNth(1), fault.KindDrop)
+			nic.Fault = pl
+			if err := nic.WriteReg(dev.VirtQueueNotify, 4, 256); err != nil {
+				t.Fatal(err)
+			}
+			if nic.PendingCount() != 1 {
+				t.Fatalf("pending=%d after swallowed kick", nic.PendingCount())
+			}
+			wdRunPast(t, env, wdBudget*3)
+			stalls = wd.Check()
+			if len(stalls) != 1 {
+				t.Fatalf("got %d stalls, want 1 device stall: %v", len(stalls), stalls)
+			}
+			if s := stalls[0]; s.Device != "virtio-net" || s.VCPU != -1 || s.VM != busy.ID() {
+				t.Fatalf("wrong device stall: %v", s)
+			}
+
+			// Every detection emitted a trace event.
+			if n := tr.Count(trace.EvWatchdogStall); n < 2 {
+				t.Fatalf("EvWatchdogStall events = %d, want >= 2", n)
+			}
+
+			// Unwatch silences the still-stalled device.
+			wd.Unwatch(busy)
+			if stalls := wd.Check(); len(stalls) != 0 {
+				t.Fatalf("unwatched VM still reported: %v", stalls[0])
+			}
+		})
+	}
+}
+
+// ParkWatch extracted from the migration engine must still park a healthy
+// SMP guest and report no stuck vCPU.
+func TestParkWatchParksHealthyGuest(t *testing.T) {
+	be := hv.Backends()[0]
+	env, err := be.NewEnv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := wdBootVM(t, env, wdBusyProgram(), 0)
+	wdRunPast(t, env, 50_000)
+
+	vcpus := vm.VCPUs()
+	pw := hv.NewParkWatch(vcpus, hv.ParkStuckExits)
+	for _, v := range vcpus {
+		v.Pause()
+		v.Wake(0)
+	}
+	env.Board.Run(10_000_000, pw.Watch)
+	if _, _, ok := pw.Stuck(); ok {
+		t.Fatal("healthy vCPU declared stuck")
+	}
+	if !pw.Parked() {
+		t.Fatal("guest did not park")
+	}
+}

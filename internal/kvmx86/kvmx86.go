@@ -183,6 +183,11 @@ func (x *Hypervisor) AttachFaultPlane(p *fault.Plane) {
 	x.Fault = p
 	for _, vm := range x.vms {
 		vm.EPT.Fault = p
+		for _, d := range []*dev.Virt{vm.Net, vm.Blk, vm.Con} {
+			if d != nil {
+				d.Fault = p
+			}
+		}
 	}
 }
 
@@ -251,9 +256,13 @@ func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
 	vm.APIC = newAPIC(vm)
 	x.Trace.RegisterVM(vm.VMID)
 
+	if err := x.Fault.Fail(fault.PtDevBringup); err != nil {
+		return nil, fmt.Errorf("kvmx86: device bring-up for vm %d: %w", vm.VMID, err)
+	}
 	vm.Net, vm.Blk, vm.Con = hv.StandardDevices(x.Board, vm, func(irq int, level bool) {
 		vm.APIC.InjectSPI(irq, level)
 	}, &vm.Console)
+	vm.Net.Fault, vm.Blk.Fault, vm.Con.Fault = x.Fault, x.Fault, x.Fault
 
 	x.vms = append(x.vms, vm)
 	return vm, nil

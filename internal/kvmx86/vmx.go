@@ -3,6 +3,7 @@ package kvmx86
 import (
 	"kvmarm/internal/arm"
 	"kvmarm/internal/gic"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
 	"kvmarm/internal/mmu"
@@ -273,6 +274,11 @@ func (x *Hypervisor) handleEPTViolation(c *arm.CPU, v *VCPU, e *arm.Exception) (
 	c.Charge(x.P.APICDecode)
 	userBefore := vm.Stats.MMIOUserExits
 	x.emulateMMIO(c, v, gpa, write, size, rt)
+	if v.state == vcpuShutdown {
+		// The access raised a bus error (injected device fault): the vCPU
+		// is dead, do not advance PC or re-enter the guest.
+		return trace.ExitOther, gpa
+	}
 	kind := trace.ExitMMIOKernel
 	if vm.Stats.MMIOUserExits != userBefore {
 		kind = trace.ExitMMIOUser
@@ -306,10 +312,25 @@ func (x *Hypervisor) emulateMMIO(c *arm.CPU, v *VCPU, gpa uint64, write bool, si
 		} else {
 			c.Charge(x.P.IOKernelWork)
 		}
+		var err error
 		if write {
-			r.H.Write(v, off, size, uint64(regOf(v, rt)))
+			err = hv.MMIOWrite(r.H, v, off, size, uint64(regOf(v, rt)))
 		} else {
-			setRegOf(v, rt, uint32(r.H.Read(v, off, size)))
+			var val uint64
+			if val, err = hv.MMIORead(r.H, v, off, size); err == nil {
+				setRegOf(v, rt, uint32(val))
+			}
+		}
+		if err != nil {
+			// Injected device error: deliver a bus error. The guests here
+			// have no abort recovery, so the vCPU dies on the spot — the
+			// fleet supervisor's re-fork is the recovery story.
+			vm.Stats.BusErrors++
+			if t := x.Trace; t != nil {
+				t.Emit(trace.Event{Kind: trace.EvGuestBusError, VM: vm.VMID,
+					VCPU: int16(v.ID), CPU: int16(c.ID), PC: v.Ctx.GP.PC, Arg: gpa})
+			}
+			v.state = vcpuShutdown
 		}
 		return
 	}

@@ -6,7 +6,10 @@
 // the host moves them.
 package net
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
 
 // MAC is a 48-bit link address in the low bits of a uint64.
 type MAC uint64
@@ -24,7 +27,14 @@ const Broadcast MAC = 0xFFFF_FFFF_FFFF
 //	word 3 (byte 12): source MAC bits [47:32]
 //	word 4 (byte 16): op (protocol/type, caller-defined)
 //	word 5 (byte 20): id (request correlation, caller-defined)
-//	bytes 24..     : payload
+//	word 6 (byte 24): checksum over all other bytes (Seal/Verify)
+//	bytes 28..     : payload
+//
+// Guests do not compute the checksum; the switch seals every frame at
+// ingress ("checksum offload") and verifies at egress, so any bit flip on
+// the wire — including one in the MAC words that would misroute the frame
+// — is detected and the frame dropped with a counter instead of silently
+// delivered.
 const (
 	OffDstLo   = 0
 	OffDstHi   = 4
@@ -32,10 +42,11 @@ const (
 	OffSrcHi   = 12
 	OffOp      = 16
 	OffID      = 20
-	HeaderSize = 24
+	OffSum     = 24
+	HeaderSize = 28
 )
 
-// MakeFrame assembles a frame.
+// MakeFrame assembles a sealed frame.
 func MakeFrame(dst, src MAC, op, id uint32, payload []byte) []byte {
 	f := make([]byte, HeaderSize+len(payload))
 	le := binary.LittleEndian
@@ -46,7 +57,39 @@ func MakeFrame(dst, src MAC, op, id uint32, payload []byte) []byte {
 	le.PutUint32(f[OffOp:], op)
 	le.PutUint32(f[OffID:], id)
 	copy(f[HeaderSize:], payload)
+	Seal(f)
 	return f
+}
+
+// Sum computes the checksum over every byte except the checksum word
+// itself: CRC-32 (IEEE), which detects any single-bit error at any offset
+// — exactly the fault the chaos plane's KindCorrupt injects.
+func Sum(f []byte) uint32 {
+	if len(f) <= OffSum {
+		return crc32.ChecksumIEEE(f)
+	}
+	c := crc32.Update(0, crc32.IEEETable, f[:OffSum])
+	if len(f) > OffSum+4 {
+		c = crc32.Update(c, crc32.IEEETable, f[OffSum+4:])
+	}
+	return c
+}
+
+// Seal stamps the checksum word. Short frames (no room for the word) are
+// left alone; the switch already drops them as malformed.
+func Seal(f []byte) {
+	if len(f) < HeaderSize {
+		return
+	}
+	binary.LittleEndian.PutUint32(f[OffSum:], Sum(f))
+}
+
+// Verify reports whether the frame's checksum word matches its content.
+func Verify(f []byte) bool {
+	if len(f) < HeaderSize {
+		return false
+	}
+	return binary.LittleEndian.Uint32(f[OffSum:]) == Sum(f)
 }
 
 // Dst returns the destination MAC. Short frames read as 0 (the switch

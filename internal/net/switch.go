@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"kvmarm/internal/dev"
+	"kvmarm/internal/fault"
+	"kvmarm/internal/trace"
 )
 
 // Switch is a learning software switch. Ports attach virtio-net devices
@@ -19,17 +21,41 @@ import (
 // VirtMACLo/Hi registers, and wires SendFrame. Rebind swaps the device
 // behind a port — live migration moves a VM to a new board and the port
 // follows, keeping the address and the peers' learned entries valid.
+//
+// The switch is also the network's chaos surface and integrity check. It
+// seals every frame's checksum word at ingress (checksum offload — guests
+// never compute it), consults the attached fault plane at PtNetFrame
+// (drop, bit-flip corruption, delivery delay), and verifies the checksum
+// before routing, so a corrupted frame is dropped and counted rather than
+// delivered or misrouted. Ports can be administratively downed
+// (SetPortDown) to model a yanked cable.
 type Switch struct {
 	ports   []*Port
 	byName  map[string]*Port
 	fdb     map[MAC]*Port
 	nextMAC uint64
 
-	// Stats.
-	Forwarded uint64 // frames sent to a single learned port
-	Flooded   uint64 // frames replicated to all other ports
-	Dropped   uint64 // malformed, hairpin, or dead-end frames
-	Learned   uint64 // distinct source MACs learned
+	// Fault, when set, is consulted once per frame per fault kind at
+	// PtNetFrame (drop, then corrupt, then delay — three hits per frame).
+	Fault *fault.Plane
+	// Sched, when set, schedules a parked (KindDelay) frame's late
+	// delivery after the given cycle count — wire it to the board's
+	// ScheduleAfter. Nil means delay faults deliver immediately.
+	Sched func(delay uint64, fn func())
+	// Tracer, when set, receives running network tallies for kvmarm-stat.
+	Tracer *trace.Tracer
+
+	// Stats. Dropped is the sum of the per-cause counters below.
+	Forwarded        uint64 // frames sent to a single learned port
+	Flooded          uint64 // frames replicated to all other ports
+	Dropped          uint64 // total drops, all causes
+	Learned          uint64 // distinct source MACs learned
+	DroppedMalformed uint64 // runt frames (shorter than the header)
+	DroppedHairpin   uint64 // destination learned on the ingress port
+	DroppedNoRoute   uint64 // dead-end flood (fewer than two ports)
+	DroppedPortDown  uint64 // ingress or egress port administratively down
+	DroppedCorrupt   uint64 // checksum mismatch detected before routing
+	DroppedInjected  uint64 // discarded by an armed KindDrop fault
 }
 
 // Port is one switch attachment point.
@@ -39,6 +65,7 @@ type Port struct {
 	sw   *Switch
 	dev  *dev.Virt          // guest NIC, or
 	rx   func(frame []byte) // host receiver
+	down bool               // administratively down (SetPortDown)
 
 	// Stats.
 	TxFrames uint64 // frames this port sent into the switch
@@ -109,9 +136,10 @@ func (s *Switch) AttachNAT(name string, serve func(op, id uint32, payload []byte
 }
 
 // Rebind swaps the guest NIC behind an existing port (live migration: the
-// server moved to a destination board; its port, MAC, and the peers'
-// learned entries stay). The old device's uplink is cut; frames it still
-// completes fall off the unplugged cable.
+// server moved to a destination board; fleet recovery: a stalled clone was
+// re-forked. Its port, MAC, and the peers' learned entries stay). The old
+// device's uplink is cut; frames it still completes fall off the unplugged
+// cable.
 func (s *Switch) Rebind(name string, v *dev.Virt) error {
 	p, ok := s.byName[name]
 	if !ok {
@@ -120,8 +148,23 @@ func (s *Switch) Rebind(name string, v *dev.Virt) error {
 	if p.dev == nil {
 		return fmt.Errorf("net: rebind of host port %q", name)
 	}
-	p.dev.SendFrame = nil
+	if p.dev != v {
+		p.dev.SendFrame = nil
+	}
 	s.bind(p, v)
+	return nil
+}
+
+// SetPortDown administratively downs (or restores) a port. A down port
+// neither accepts ingress frames nor receives deliveries; both directions
+// count as DroppedPortDown. The FDB keeps its entries — a flapped port
+// resumes where it was.
+func (s *Switch) SetPortDown(name string, down bool) error {
+	p, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("net: SetPortDown of unknown port %q", name)
+	}
+	p.down = down
 	return nil
 }
 
@@ -138,40 +181,81 @@ func (s *Switch) Port(name string) *Port { return s.byName[name] }
 // NICs send through their TX path).
 func (p *Port) Inject(frame []byte) { p.sw.ingress(p, frame) }
 
-// ingress is the switching decision for one frame arriving on in.
+// drop counts one dropped frame under its cause and in the sum.
+func (s *Switch) drop(cause *uint64) {
+	*cause++
+	s.Dropped++
+	s.Tracer.AddNetDropped(1)
+}
+
+// ingress accepts one frame arriving on in: seal, chaos consults, route.
 func (s *Switch) ingress(in *Port, frame []byte) {
 	if len(frame) < HeaderSize {
-		s.Dropped++
+		s.drop(&s.DroppedMalformed)
 		return
 	}
 	in.TxFrames++
+	if in.down {
+		s.drop(&s.DroppedPortDown)
+		return
+	}
+	// Checksum offload: the switch stamps the integrity word on the wire
+	// side of the NIC, so guests build frames with plain word stores and
+	// any corruption past this point is detectable.
+	Seal(frame)
+	if s.Fault.Drop(fault.PtNetFrame) {
+		s.drop(&s.DroppedInjected)
+		return
+	}
+	s.Fault.Corrupt(fault.PtNetFrame, frame)
+	if d, ok := s.Fault.Delay(fault.PtNetFrame); ok && s.Sched != nil {
+		held := append([]byte(nil), frame...)
+		s.Sched(d, func() { s.route(in, held) })
+		return
+	}
+	s.route(in, frame)
+}
+
+// route is the switching decision: verify, learn, forward or flood.
+func (s *Switch) route(in *Port, frame []byte) {
+	if !Verify(frame) {
+		s.drop(&s.DroppedCorrupt)
+		return
+	}
 	src, dst := Src(frame), Dst(frame)
 	if src != 0 && src != Broadcast {
 		if prev := s.fdb[src]; prev != in {
 			if prev == nil {
 				s.Learned++
+				s.Tracer.AddNetLearned(1)
 			}
 			s.fdb[src] = in // learn, or follow a station that moved ports
 		}
 	}
 	if dst != Broadcast {
 		if out := s.fdb[dst]; out == in {
-			s.Dropped++ // hairpin: destination learned on the ingress port
+			s.drop(&s.DroppedHairpin)
 			return
 		} else if out != nil {
+			if out.down {
+				s.drop(&s.DroppedPortDown)
+				return
+			}
 			s.Forwarded++
+			s.Tracer.AddNetForwarded(1)
 			s.egress(out, frame)
 			return
 		}
 	}
 	// Broadcast or unknown unicast: flood everywhere but the ingress port.
 	if len(s.ports) < 2 {
-		s.Dropped++
+		s.drop(&s.DroppedNoRoute)
 		return
 	}
 	s.Flooded++
+	s.Tracer.AddNetFlooded(1)
 	for _, p := range s.ports {
-		if p != in {
+		if p != in && !p.down {
 			s.egress(p, frame)
 		}
 	}
@@ -184,7 +268,11 @@ func (s *Switch) egress(p *Port, frame []byte) {
 	f := append([]byte(nil), frame...)
 	switch {
 	case p.dev != nil:
+		before := p.dev.RxDropped
 		p.dev.DeliverFrame(f)
+		if p.dev.RxDropped > before {
+			s.Tracer.AddNetRxDropped(p.dev.RxDropped - before)
+		}
 	case p.rx != nil:
 		p.rx(f)
 	}

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"kvmarm/internal/dev"
+	"kvmarm/internal/fault"
+	"kvmarm/internal/trace"
 )
 
 // hostTap attaches a host port that records everything delivered to it.
@@ -157,6 +159,220 @@ func TestSwitchRebind(t *testing.T) {
 	}
 	if err := s.Rebind("probe", newDev); err == nil {
 		t.Fatal("rebind of a host port must fail")
+	}
+}
+
+// The checksum word catches any single-bit flip anywhere in the frame,
+// and Seal repairs a reconstructed frame.
+func TestFrameChecksum(t *testing.T) {
+	f := MakeFrame(0x0200_0000_0001, 0x0200_0000_0002, 7, 42, []byte("payload"))
+	if !Verify(f) {
+		t.Fatal("MakeFrame must seal")
+	}
+	for bit := 0; bit < 8*len(f); bit++ {
+		f[bit/8] ^= 1 << (bit % 8)
+		if Verify(f) {
+			t.Fatalf("flip of bit %d went undetected", bit)
+		}
+		f[bit/8] ^= 1 << (bit % 8)
+	}
+	f[HeaderSize] ^= 0xFF
+	Seal(f)
+	if !Verify(f) {
+		t.Fatal("Seal must restore validity")
+	}
+	if Verify(f[:HeaderSize-1]) {
+		t.Fatal("short frame must not verify")
+	}
+}
+
+// Every drop lands in exactly one per-cause counter and Dropped stays the
+// sum; the tracer tallies mirror the switch counters.
+func TestSwitchDropCauses(t *testing.T) {
+	s := NewSwitch()
+	s.Tracer = trace.New(16)
+	a, _ := hostTap(t, s, "a")
+
+	a.Inject(MakeFrame(Broadcast, a.MAC, 1, 1, nil)) // single port: dead end
+	a.Inject([]byte{1, 2, 3})                        // runt
+	a.Inject(MakeFrame(a.MAC, a.MAC, 1, 2, nil))     // hairpin (a learned on a)
+	if s.DroppedNoRoute != 1 || s.DroppedMalformed != 1 || s.DroppedHairpin != 1 {
+		t.Fatalf("per-cause: noroute=%d malformed=%d hairpin=%d",
+			s.DroppedNoRoute, s.DroppedMalformed, s.DroppedHairpin)
+	}
+	sum := s.DroppedMalformed + s.DroppedHairpin + s.DroppedNoRoute +
+		s.DroppedPortDown + s.DroppedCorrupt + s.DroppedInjected
+	if s.Dropped != sum || s.Dropped != 3 {
+		t.Fatalf("Dropped=%d, sum=%d", s.Dropped, sum)
+	}
+	if _, _, dropped, learned, _ := s.Tracer.NetCounters(); dropped != 3 || learned != 1 {
+		t.Fatalf("tracer tallies dropped=%d learned=%d", dropped, learned)
+	}
+}
+
+// An armed KindCorrupt fault flips a bit on the wire; the checksum check
+// catches it before routing and the frame is never delivered.
+func TestSwitchCorruptionDetected(t *testing.T) {
+	s := NewSwitch()
+	s.Fault = fault.New(7)
+	s.Fault.Arm(fault.PtNetFrame, fault.EveryNth(1), fault.KindCorrupt)
+	a, _ := hostTap(t, s, "a")
+	b, bGot := hostTap(t, s, "b")
+	a.Inject(MakeFrame(b.MAC, a.MAC, 1, 1, []byte("x")))
+	if len(*bGot) != 0 {
+		t.Fatal("corrupted frame was delivered")
+	}
+	if s.DroppedCorrupt != 1 || s.Dropped != 1 {
+		t.Fatalf("corrupt=%d dropped=%d", s.DroppedCorrupt, s.Dropped)
+	}
+	// Disarmed, traffic flows and verifies again.
+	s.Fault.Disarm()
+	a.Inject(MakeFrame(b.MAC, a.MAC, 1, 2, []byte("y")))
+	if len(*bGot) != 1 || !Verify((*bGot)[0]) {
+		t.Fatalf("clean frame delivery: got=%d", len(*bGot))
+	}
+}
+
+// An armed KindDrop fault loses the frame, counted as injected loss —
+// distinguishable from topology drops.
+func TestSwitchInjectedDrop(t *testing.T) {
+	s := NewSwitch()
+	s.Fault = fault.New(7)
+	s.Fault.Arm(fault.PtNetFrame, fault.EveryNth(1), fault.KindDrop)
+	a, _ := hostTap(t, s, "a")
+	b, bGot := hostTap(t, s, "b")
+	a.Inject(MakeFrame(b.MAC, a.MAC, 1, 1, nil))
+	if len(*bGot) != 0 || s.DroppedInjected != 1 {
+		t.Fatalf("delivered=%d injected=%d", len(*bGot), s.DroppedInjected)
+	}
+	if s.DroppedCorrupt != 0 && s.DroppedHairpin != 0 {
+		t.Fatal("injected loss leaked into another cause")
+	}
+}
+
+// An armed KindDelay fault parks the frame on the scheduler hook; it
+// arrives intact when the hook fires, not before.
+func TestSwitchDelayedDelivery(t *testing.T) {
+	s := NewSwitch()
+	s.Fault = fault.New(7)
+	s.Fault.ArmDelay(fault.PtNetFrame, fault.EveryNth(1), 5000)
+	var delay uint64
+	var fire func()
+	s.Sched = func(d uint64, fn func()) { delay, fire = d, fn }
+	a, _ := hostTap(t, s, "a")
+	b, bGot := hostTap(t, s, "b")
+	a.Inject(MakeFrame(b.MAC, a.MAC, 1, 77, []byte("late")))
+	if len(*bGot) != 0 {
+		t.Fatal("delayed frame delivered early")
+	}
+	if fire == nil || delay != 5000 {
+		t.Fatalf("delay hook: delay=%d armed=%v", delay, fire != nil)
+	}
+	fire()
+	if len(*bGot) != 1 || ID((*bGot)[0]) != 77 || string(Payload((*bGot)[0])) != "late" {
+		t.Fatalf("late delivery: %d frames", len(*bGot))
+	}
+}
+
+// A downed port drops both directions; flapping it back up resumes
+// traffic with the FDB intact.
+func TestSwitchPortDown(t *testing.T) {
+	s := NewSwitch()
+	a, _ := hostTap(t, s, "a")
+	b, bGot := hostTap(t, s, "b")
+	// Learn both MACs.
+	a.Inject(MakeFrame(b.MAC, a.MAC, 1, 1, nil))
+	b.Inject(MakeFrame(a.MAC, b.MAC, 1, 2, nil))
+
+	if err := s.SetPortDown("nope", true); err == nil {
+		t.Fatal("unknown port must error")
+	}
+	if err := s.SetPortDown("b", true); err != nil {
+		t.Fatal(err)
+	}
+	a.Inject(MakeFrame(b.MAC, a.MAC, 1, 3, nil)) // egress down
+	b.Inject(MakeFrame(a.MAC, b.MAC, 1, 4, nil)) // ingress down
+	if got := len(*bGot); got != 1 {
+		t.Fatalf("down port received %d frames", got)
+	}
+	if s.DroppedPortDown != 2 {
+		t.Fatalf("port-down drops = %d", s.DroppedPortDown)
+	}
+	// Broadcast skips the downed port instead of dropping the frame.
+	c, cGot := hostTap(t, s, "c")
+	_ = c
+	a.Inject(MakeFrame(Broadcast, a.MAC, 1, 5, nil))
+	if len(*cGot) != 1 || len(*bGot) != 1 {
+		t.Fatalf("flood with downed port: c=%d b=%d", len(*cGot), len(*bGot))
+	}
+	if err := s.SetPortDown("b", false); err != nil {
+		t.Fatal(err)
+	}
+	a.Inject(MakeFrame(b.MAC, a.MAC, 1, 6, nil))
+	if len(*bGot) != 2 || s.Forwarded < 2 {
+		t.Fatalf("flapped port did not resume: b=%d forwarded=%d", len(*bGot), s.Forwarded)
+	}
+}
+
+// Rebind edge cases: a port that never learned its MAC into the FDB, RX
+// frames still queued on the old NIC at rebind time, and double-rebind to
+// the same port.
+func TestSwitchRebindEdgeCases(t *testing.T) {
+	s := NewSwitch()
+	old := &dev.Virt{Class: dev.VirtNet}
+	if _, err := s.AttachVirt("srv", old); err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := hostTap(t, s, "probe")
+
+	// Queue RX frames on the old NIC (no posted buffer: they sit in its
+	// device-side ring) — the port's MAC is in no FDB entry yet, so the
+	// frame floods and still reaches the NIC.
+	probe.Inject(MakeFrame(MAC(old.MAC), probe.MAC, 1, 1, nil))
+	if s.Flooded != 1 {
+		t.Fatalf("unlearned MAC must flood, flooded=%d", s.Flooded)
+	}
+
+	// Rebind while that frame is queued: the old device keeps its queued
+	// RX frames (they were already delivered to it), the new device
+	// starts empty.
+	replacement := &dev.Virt{Class: dev.VirtNet}
+	if err := s.Rebind("srv", replacement); err != nil {
+		t.Fatal(err)
+	}
+	if replacement.MAC != old.MAC {
+		t.Fatal("replacement must inherit the port MAC")
+	}
+	var oldMem [][]byte
+	old.WriteMem = func(addr uint64, data []byte) error {
+		oldMem = append(oldMem, append([]byte(nil), data...))
+		return nil
+	}
+	old.PostRxBuffer(0x9000)
+	if len(oldMem) != 1 || old.RxFrames != 1 {
+		t.Fatalf("old NIC lost its queued frame: mem=%d rx=%d", len(oldMem), old.RxFrames)
+	}
+
+	// New traffic reaches only the replacement.
+	replacement.WriteMem = func(addr uint64, data []byte) error { return nil }
+	replacement.PostRxBuffer(0xA000)
+	probe.Inject(MakeFrame(MAC(replacement.MAC), probe.MAC, 1, 2, nil))
+	if replacement.RxFrames != 1 || old.RxFrames != 1 {
+		t.Fatalf("post-rebind delivery new=%d old=%d", replacement.RxFrames, old.RxFrames)
+	}
+
+	// Double-rebind to the same device is idempotent: the uplink must
+	// stay wired (a naive cut-then-bind would unplug it).
+	if err := s.Rebind("srv", replacement); err != nil {
+		t.Fatal(err)
+	}
+	if replacement.SendFrame == nil {
+		t.Fatal("double-rebind unplugged the device")
+	}
+	replacement.PostRxBuffer(0xA000)
+	probe.Inject(MakeFrame(MAC(replacement.MAC), probe.MAC, 1, 3, nil))
+	if replacement.RxFrames != 2 {
+		t.Fatalf("post-double-rebind delivery rx=%d", replacement.RxFrames)
 	}
 }
 

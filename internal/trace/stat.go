@@ -47,6 +47,14 @@ type Snapshot struct {
 	BlockHits   uint64
 	BlockMisses uint64
 	BlockInvals uint64
+	// Network tallies (software switch): frames forwarded to a learned
+	// port, flooded, dropped (all causes), source MACs learned, and NIC
+	// RX-queue rejections.
+	NetForwarded uint64
+	NetFlooded   uint64
+	NetDropped   uint64
+	NetLearned   uint64
+	NetRxDropped uint64
 	// Events is the ring content in chronological order.
 	Events []Event
 }
@@ -60,15 +68,20 @@ func (t *Tracer) Snapshot() Snapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := Snapshot{
-		Total:       t.seq,
-		Counts:      t.counts,
-		Cycles:      t.cycles,
-		WSIn:        t.wsIn,
-		WSOut:       t.wsOut,
-		BlockHits:   t.blockHits.Load(),
-		BlockMisses: t.blockMisses.Load(),
-		BlockInvals: t.blockInvals.Load(),
-		VMs:         make(map[uint8]VCPUStat, len(t.vms)),
+		Total:        t.seq,
+		Counts:       t.counts,
+		Cycles:       t.cycles,
+		WSIn:         t.wsIn,
+		WSOut:        t.wsOut,
+		BlockHits:    t.blockHits.Load(),
+		BlockMisses:  t.blockMisses.Load(),
+		BlockInvals:  t.blockInvals.Load(),
+		NetForwarded: t.netForwarded.Load(),
+		NetFlooded:   t.netFlooded.Load(),
+		NetDropped:   t.netDropped.Load(),
+		NetLearned:   t.netLearned.Load(),
+		NetRxDropped: t.netRxDropped.Load(),
+		VMs:          make(map[uint8]VCPUStat, len(t.vms)),
 	}
 	for vmid, vc := range t.vms {
 		s.VMs[vmid] = VCPUStat{VM: vmid, VCPU: -1, Counts: vc.counts, Cycles: vc.cycles}
@@ -166,6 +179,10 @@ func (s *Snapshot) WriteStat(w io.Writer) {
 		}
 		fmt.Fprintf(w, "\nblock cache: %d hits, %d misses (%.1f%% hit), %d blocks invalidated\n",
 			s.BlockHits, s.BlockMisses, rate, s.BlockInvals)
+	}
+	if s.NetForwarded+s.NetFlooded+s.NetDropped+s.NetLearned+s.NetRxDropped > 0 {
+		fmt.Fprintf(w, "\nnetwork: %d forwarded, %d flooded, %d dropped, %d learned, %d rx-dropped\n",
+			s.NetForwarded, s.NetFlooded, s.NetDropped, s.NetLearned, s.NetRxDropped)
 	}
 	writeHist(w, "world-switch in cycles", s.WSIn)
 	writeHist(w, "world-switch out cycles", s.WSOut)

@@ -109,6 +109,16 @@ const (
 	EvSchedSteal
 	EvSchedPreempt
 
+	// Runtime chaos & recovery. EvGuestBusError is an injected device
+	// error delivered to the guest as a data abort (Arg is the faulting
+	// IPA); EvWatchdogStall is the runtime watchdog declaring a vCPU or
+	// device stalled (Arg is the no-progress window in cycles);
+	// EvFleetRecover is the fleet supervisor re-forking a dead or stalled
+	// clone (Arg is the clone index, Cycles the recovery cost).
+	EvGuestBusError
+	EvWatchdogStall
+	EvFleetRecover
+
 	// NumKinds is the number of event kinds (array sizing).
 	NumKinds
 )
@@ -171,6 +181,9 @@ var kindNames = [NumKinds]string{
 	EvBlockInval:     "block_inval",
 	EvSchedSteal:     "sched_steal",
 	EvSchedPreempt:   "sched_preempt",
+	EvGuestBusError:  "guest_bus_error",
+	EvWatchdogStall:  "watchdog_stall",
+	EvFleetRecover:   "fleet_recover",
 }
 
 func (k Kind) String() string {
@@ -272,6 +285,15 @@ type Tracer struct {
 	blockHits   atomic.Uint64
 	blockMisses atomic.Uint64
 	blockInvals atomic.Uint64
+
+	// Network tallies (internal/net software switch), same regime as the
+	// block-cache counters: per-frame, so atomic adds instead of ring
+	// events, read by Snapshot and kvmarm-stat's "network:" line.
+	netForwarded atomic.Uint64
+	netFlooded   atomic.Uint64
+	netDropped   atomic.Uint64
+	netLearned   atomic.Uint64
+	netRxDropped atomic.Uint64
 }
 
 // DefaultRingSize is the ring capacity used when New is given n <= 0.
@@ -439,6 +461,57 @@ func (t *Tracer) BlockCounters() (hits, misses, invals uint64) {
 	return t.blockHits.Load(), t.blockMisses.Load(), t.blockInvals.Load()
 }
 
+// AddNetForwarded counts n frames forwarded to a learned port. Nil-safe
+// and lock-free like the block-cache tallies (per-frame hot path).
+func (t *Tracer) AddNetForwarded(n uint64) {
+	if t == nil {
+		return
+	}
+	t.netForwarded.Add(n)
+}
+
+// AddNetFlooded counts n frames flooded to all other ports.
+func (t *Tracer) AddNetFlooded(n uint64) {
+	if t == nil {
+		return
+	}
+	t.netFlooded.Add(n)
+}
+
+// AddNetDropped counts n frames dropped by the switch (any cause).
+func (t *Tracer) AddNetDropped(n uint64) {
+	if t == nil {
+		return
+	}
+	t.netDropped.Add(n)
+}
+
+// AddNetLearned counts n source MACs learned.
+func (t *Tracer) AddNetLearned(n uint64) {
+	if t == nil {
+		return
+	}
+	t.netLearned.Add(n)
+}
+
+// AddNetRxDropped counts n frames a NIC's bounded RX queue rejected.
+func (t *Tracer) AddNetRxDropped(n uint64) {
+	if t == nil {
+		return
+	}
+	t.netRxDropped.Add(n)
+}
+
+// NetCounters returns the network tallies (forwarded, flooded, dropped,
+// learned, NIC RX-queue drops).
+func (t *Tracer) NetCounters() (forwarded, flooded, dropped, learned, rxDropped uint64) {
+	if t == nil {
+		return 0, 0, 0, 0, 0
+	}
+	return t.netForwarded.Load(), t.netFlooded.Load(), t.netDropped.Load(),
+		t.netLearned.Load(), t.netRxDropped.Load()
+}
+
 // Reset clears the ring and all counters, keeping registrations.
 func (t *Tracer) Reset() {
 	if t == nil {
@@ -454,6 +527,11 @@ func (t *Tracer) Reset() {
 	t.blockHits.Store(0)
 	t.blockMisses.Store(0)
 	t.blockInvals.Store(0)
+	t.netForwarded.Store(0)
+	t.netFlooded.Store(0)
+	t.netDropped.Store(0)
+	t.netLearned.Store(0)
+	t.netRxDropped.Store(0)
 	for _, vc := range t.vms {
 		*vc = vmCounters{}
 	}

@@ -3,6 +3,7 @@ package vhe
 import (
 	"kvmarm/internal/arm"
 	"kvmarm/internal/gic"
+	"kvmarm/internal/hv"
 	"kvmarm/internal/isa"
 	"kvmarm/internal/kernel"
 	"kvmarm/internal/machine"
@@ -409,6 +410,11 @@ func (x *Hypervisor) handleAbort(c *arm.CPU, v *VCPU, e *arm.Exception, insn uin
 	}
 	userBefore := vm.Stats.MMIOUserExits
 	x.emulateMMIO(c, v, ipa, write, size, rt)
+	if v.state == vcpuShutdown {
+		// The access raised a bus error (injected device fault): the vCPU
+		// is dead, do not advance PC or re-enter the guest.
+		return trace.ExitOther, ipa
+	}
 	kind := trace.ExitMMIOKernel
 	if vm.Stats.MMIOUserExits != userBefore {
 		kind = trace.ExitMMIOUser
@@ -444,10 +450,25 @@ func (x *Hypervisor) emulateMMIO(c *arm.CPU, v *VCPU, ipa uint64, write bool, si
 		} else {
 			c.Charge(620) // in-kernel device emulation work
 		}
+		var err error
 		if write {
-			r.H.Write(v, off, size, uint64(v.Ctx.Reg(rt)))
+			err = hv.MMIOWrite(r.H, v, off, size, uint64(v.Ctx.Reg(rt)))
 		} else {
-			v.Ctx.SetReg(rt, uint32(r.H.Read(v, off, size)))
+			var val uint64
+			if val, err = hv.MMIORead(r.H, v, off, size); err == nil {
+				v.Ctx.SetReg(rt, uint32(val))
+			}
+		}
+		if err != nil {
+			// Injected device error: deliver a bus error. The guests here
+			// have no abort recovery, so the vCPU dies on the spot — the
+			// fleet supervisor's re-fork is the recovery story.
+			vm.Stats.BusErrors++
+			if t := x.Trace; t != nil {
+				t.Emit(trace.Event{Kind: trace.EvGuestBusError, VM: vm.VMID,
+					VCPU: int16(v.ID), CPU: int16(c.ID), PC: v.Ctx.GP.PC, Arg: ipa})
+			}
+			v.state = vcpuShutdown
 		}
 		return
 	}

@@ -237,6 +237,11 @@ func (x *Hypervisor) AttachFaultPlane(p *fault.Plane) {
 	x.Fault = p
 	for _, vm := range x.vms {
 		vm.S2.Fault = p
+		for _, d := range []*dev.Virt{vm.Net, vm.Blk, vm.Con} {
+			if d != nil {
+				d.Fault = p
+			}
+		}
 	}
 }
 
@@ -358,9 +363,13 @@ func (x *Hypervisor) CreateVM(memBytes uint64) (hv.VM, error) {
 		}
 	}
 
+	if err := x.Fault.Fail(fault.PtDevBringup); err != nil {
+		return nil, fmt.Errorf("vhe: device bring-up for vm %d: %w", vm.VMID, err)
+	}
 	vm.Net, vm.Blk, vm.Con = hv.StandardDevices(x.Board, vm, func(irq int, level bool) {
 		vm.VDist.InjectSPI(irq, level)
 	}, &vm.Console)
+	vm.Net.Fault, vm.Blk.Fault, vm.Con.Fault = x.Fault, x.Fault, x.Fault
 
 	x.vms = append(x.vms, vm)
 	return vm, nil

@@ -68,3 +68,17 @@ go test -fuzz FuzzSwitchFrames -fuzztime 5s -run '^$' ./internal/net/
 # identical registers, memory, and retired instructions); the
 # long-running variant is manual.
 go test -fuzz FuzzOvercommitSchedule -fuzztime 5s -run '^$' ./internal/hv/
+
+# Runtime chaos matrix under the race detector: every fault family
+# (device MMIO error, bring-up failure, completion stall, frame
+# drop/corrupt/delay, port outage) on every backend must either recover
+# — traffic completes and the server state equals a fault-free twin —
+# or surface typed evidence; never a hang, never silent corruption.
+go test -race -run 'TestChaosMatrix' -count=1 ./internal/bench/
+go test -race -run 'TestRuntimeWatchdog|TestParkWatchParksHealthyGuest' -count=1 ./internal/hv/
+go test -race -run 'TestFleetSupervise' -count=1 ./internal/fleet/
+
+# Short chaos-traffic fuzz smoke (fault point × kind × trigger × seed
+# over the traffic scenario: complete-and-equal-to-twin or typed
+# evidence); the long-running variant is manual.
+go test -fuzz FuzzChaosTraffic -fuzztime 5s -run '^$' ./internal/bench/
